@@ -1,0 +1,42 @@
+// Ablation (DESIGN.md §5): the Eq. (8) reward (loss progress / time gap)
+// versus the naive 1/T reward. The naive reward pushes every worker to the
+// maximum pruning ratio regardless of accuracy cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Ablation", "Eq.(8) reward vs naive 1/T reward");
+  CsvTable table({"reward", "time_to_0.85", "final_accuracy",
+                  "mean_ratio"});
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 42);
+  for (const char* method : {"fedmp", "fedmp_time_reward"}) {
+    ExperimentConfig config;
+    config.task = "cnn";
+    config.method = method;
+    config.trainer = bench::BenchTrainerOptions(80);
+    const fl::RoundLog log = bench::MustRun(config, task);
+    double mean_ratio = 0.0;
+    for (const auto& r : log.records()) mean_ratio += r.mean_ratio;
+    mean_ratio /= static_cast<double>(log.records().size());
+    FEDMP_CHECK(table
+                    .AddRow({std::string(method),
+                             bench::FormatTime(log.TimeToAccuracy(0.85)),
+                             StrFormat("%.4f", log.FinalAccuracy()),
+                             StrFormat("%.3f", mean_ratio)})
+                    .ok());
+    std::printf("  %-18s t85=%s final=%.4f mean_ratio=%.3f\n", method,
+                bench::FormatTime(log.TimeToAccuracy(0.85)).c_str(),
+                log.FinalAccuracy(), mean_ratio);
+    std::fflush(stdout);
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 10: completion time to the target accuracy as the worker count grows
+// 10 -> 30 (half cluster A, half B, as §V-G). Paper shape: mild growth for
+// every method; FedMP keeps a constant-factor lead.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Fig. 10", "completion time vs number of workers");
+  CsvTable table({"workers", "method", "time_to_target",
+                  "speedup_vs_synfl"});
+  const double target = 0.70;
+  const data::FlTask task =
+      data::MakeAlexNetCifarTask(data::TaskScale::kBench, 42);
+  for (int workers : {10, 20, 30}) {
+    double synfl_time = -1.0;
+    for (const std::string& method : PaperMethods()) {
+      ExperimentConfig config;
+      config.task = "alexnet";
+      config.method = method;
+      config.num_workers = workers;
+      config.trainer = bench::BenchTrainerOptions(45);
+      config.trainer.stop_at_accuracy = target;
+      const fl::RoundLog log = bench::MustRun(config, task);
+      double t = log.TimeToAccuracy(target);
+      if (t < 0.0) t = log.TotalSimTime() * 1.25;
+      if (method == "syn_fl") synfl_time = t;
+      FEDMP_CHECK(table
+                      .AddRow({StrFormat("%d", workers), method,
+                               StrFormat("%.1f", t),
+                               bench::FormatSpeedup(synfl_time, t)})
+                      .ok());
+      std::printf("  N=%-2d / %-8s t=%.1f\n", workers, method.c_str(), t);
+      std::fflush(stdout);
+    }
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

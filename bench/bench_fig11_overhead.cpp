@@ -1,0 +1,74 @@
+// Fig. 11: PS-side per-round algorithm overhead (pruning-ratio decision +
+// distributed model pruning) versus the number of workers — REAL measured
+// milliseconds, not simulated time. Paper shape: grows ~linearly with N and
+// stays orders of magnitude below round times (hundreds of seconds).
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Fig. 11", "PS algorithm overhead vs worker count");
+  CsvTable table({"task", "workers", "decision_ms", "pruning_ms",
+                  "total_ms"});
+  for (const std::string& name : data::VisionTaskNames()) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kBench, 42);
+    auto model = nn::BuildModelOrDie(task.model, 7);
+    const nn::TensorList weights = model->GetWeights();
+    for (int workers : {10, 15, 20, 25, 30}) {
+      fl::FedMpStrategy strategy;
+      strategy.Initialize(workers, 3);
+      std::vector<fl::WorkerRoundPlan> plans(
+          static_cast<size_t>(workers));
+      const int rounds = 20;
+      double decision_ms = 0.0, pruning_ms = 0.0;
+      for (int k = 0; k < rounds; ++k) {
+        auto t0 = std::chrono::steady_clock::now();
+        strategy.PlanRound(k, &plans);
+        auto t1 = std::chrono::steady_clock::now();
+        for (const auto& plan : plans) {
+          auto sub = pruning::PruneByRatio(task.model, weights,
+                                           plan.pruning_ratio);
+          FEDMP_CHECK(sub.ok());
+        }
+        auto t2 = std::chrono::steady_clock::now();
+        decision_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        pruning_ms +=
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        // Close the bandit loop with a synthetic observation.
+        fl::RoundObservation obs;
+        obs.completion_times.assign(static_cast<size_t>(workers), 1.0);
+        obs.comp_times = obs.completion_times;
+        obs.comm_times = obs.completion_times;
+        obs.delta_losses.assign(static_cast<size_t>(workers), 0.1);
+        obs.participated.assign(static_cast<size_t>(workers), true);
+        obs.round_time = 1.0;
+        strategy.ObserveRound(k, obs);
+      }
+      decision_ms /= rounds;
+      pruning_ms /= rounds;
+      FEDMP_CHECK(table
+                      .AddRow({name, StrFormat("%d", workers),
+                               StrFormat("%.3f", decision_ms),
+                               StrFormat("%.3f", pruning_ms),
+                               StrFormat("%.3f", decision_ms + pruning_ms)})
+                      .ok());
+      std::printf("  %s N=%-2d decision %.3fms pruning %.3fms\n",
+                  name.c_str(), workers, decision_ms, pruning_ms);
+      std::fflush(stdout);
+    }
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

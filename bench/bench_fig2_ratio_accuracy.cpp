@@ -1,0 +1,52 @@
+// Fig. 2: test accuracy reached within a fixed time budget as a function of
+// a FIXED uniform pruning ratio. Paper shape: accuracy rises for moderate
+// ratios (faster rounds, enough capacity) then falls for aggressive ones.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Fig. 2", "accuracy vs pruning ratio at a time budget");
+  CsvTable table({"task", "ratio", "accuracy_at_budget"});
+  struct Setup {
+    const char* task;
+    double budget;
+    int64_t rounds;
+  };
+  // Round caps are generous so the TIME budget is what binds at every
+  // ratio (pruned models run more, faster rounds inside the same budget).
+  for (const Setup& setup : {Setup{"cnn", 220.0, 160},
+                             Setup{"vgg", 500.0, 90}}) {
+    const data::FlTask task = data::MakeTaskByName(
+        setup.task, data::TaskScale::kBench, 42);
+    const std::vector<double> ratios =
+        std::string(setup.task) == "cnn"
+            ? std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+            : std::vector<double>{0.0, 0.2, 0.4, 0.6};
+    for (double ratio : ratios) {
+      ExperimentConfig config;
+      config.task = setup.task;
+      config.method =
+          ratio == 0.0 ? "syn_fl" : StrFormat("fixed:%.2f", ratio);
+      config.trainer = bench::BenchTrainerOptions(setup.rounds);
+      config.trainer.time_budget_seconds = setup.budget;
+      const fl::RoundLog log = bench::MustRun(config, task);
+      const double acc = log.BestAccuracyWithin(setup.budget);
+      FEDMP_CHECK(table
+                      .AddRow({std::string(setup.task),
+                               StrFormat("%.1f", ratio),
+                               StrFormat("%.4f", acc)})
+                      .ok());
+      std::printf("  %s ratio %.1f -> %.4f\n", setup.task, ratio, acc);
+      std::fflush(stdout);
+    }
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 4: normalized completion time (to the task's target accuracy) as a
+// function of the E-UCB pruning granularity theta. Paper shape: flat for
+// small theta, rising for large theta.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Fig. 4", "effect of pruning granularity theta");
+  CsvTable table({"task", "theta", "time_to_target", "normalized"});
+  struct Setup {
+    const char* task;
+    double target;
+    int64_t rounds;
+  };
+  // Targets below the tasks' ceilings so every run crosses them.
+  for (const Setup& setup :
+       {Setup{"cnn", 0.85, 80}, Setup{"alexnet", 0.70, 60}}) {
+    const data::FlTask task =
+        data::MakeTaskByName(setup.task, data::TaskScale::kBench, 42);
+    std::vector<double> times;
+    const std::vector<double> thetas{0.01, 0.02, 0.05, 0.10, 0.15, 0.25};
+    for (double theta : thetas) {
+      ExperimentConfig config;
+      config.task = setup.task;
+      config.method = "fedmp";
+      config.theta = theta;
+      config.trainer = bench::BenchTrainerOptions(setup.rounds);
+      config.trainer.stop_at_accuracy = setup.target;
+      const fl::RoundLog log = bench::MustRun(config, task);
+      double t = log.TimeToAccuracy(setup.target);
+      if (t < 0.0) t = log.TotalSimTime() * 1.25;  // did not converge
+      times.push_back(t);
+      std::printf("  %s theta %.2f -> %s\n", setup.task, theta,
+                  bench::FormatTime(t).c_str());
+      std::fflush(stdout);
+    }
+    const double best = *std::min_element(times.begin(), times.end());
+    for (size_t i = 0; i < thetas.size(); ++i) {
+      FEDMP_CHECK(table
+                      .AddRow({std::string(setup.task),
+                               StrFormat("%.2f", thetas[i]),
+                               StrFormat("%.1f", times[i]),
+                               StrFormat("%.2f", times[i] / best)})
+                      .ok());
+    }
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 5: average per-round computation and communication time versus
+// pruning ratio, from the cost model over the medium-heterogeneity fleet.
+// Paper shape: both components decrease monotonically with the ratio.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Fig. 5", "per-round comp/comm time vs pruning ratio");
+  CsvTable table({"task", "ratio", "comp_s", "comm_s", "total_s"});
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 42);
+  for (const std::string& name : data::VisionTaskNames()) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kBench, 42);
+    auto model = nn::BuildModelOrDie(task.model, 7);
+    for (double ratio : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      auto sub =
+          pruning::PruneByRatio(task.model, model->GetWeights(), ratio);
+      FEDMP_CHECK(sub.ok()) << sub.status();
+      double comp = 0.0, comm = 0.0;
+      for (const auto& device : fleet) {
+        const edge::RoundCost cost = edge::EstimateRoundCostNominal(
+            sub->spec, task.local_iterations, task.batch_size, device);
+        comp += cost.comp_seconds;
+        comm += cost.comm_seconds;
+      }
+      comp /= static_cast<double>(fleet.size());
+      comm /= static_cast<double>(fleet.size());
+      FEDMP_CHECK(table
+                      .AddRow({name, StrFormat("%.1f", ratio),
+                               StrFormat("%.2f", comp),
+                               StrFormat("%.2f", comm),
+                               StrFormat("%.2f", comp + comm)})
+                      .ok());
+    }
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

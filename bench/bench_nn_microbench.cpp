@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the NN substrate's hot kernels:
+// layer forward/backward and the pruning/recovery pipeline. These set the
+// wall-clock budget every FL experiment pays per round.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/task_zoo.h"
+#include "nn/initializers.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/linear.h"
+#include "nn/layers/lstm.h"
+#include "nn/model_builder.h"
+#include "nn/tensor_ops.h"
+#include "pruning/recovery.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a({n, n}), b({n, n});
+  nn::UniformInit(a, -1, 1, rng);
+  nn::UniformInit(b, -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2d conv(8, 16, 3, 1, 1, true, rng);
+  nn::Tensor x({8, 8, 16, 16});
+  nn::UniformInit(x, -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2d conv(8, 16, 3, 1, 1, true, rng);
+  nn::Tensor x({8, 8, 16, 16});
+  nn::UniformInit(x, -1, 1, rng);
+  nn::Tensor y = conv.Forward(x, true);
+  nn::Tensor grad(y.shape());
+  nn::UniformInit(grad, -1, 1, rng);
+  for (auto _ : state) {
+    conv.Forward(x, true);
+    benchmark::DoNotOptimize(conv.Backward(grad));
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Lstm lstm(16, 24, rng);
+  nn::Tensor x({8, 16, 16});
+  nn::UniformInit(x, -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Forward(x, true));
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_PruneByRatio(benchmark::State& state) {
+  const data::FlTask task =
+      data::MakeTaskByName("vgg", data::TaskScale::kBench, 1);
+  auto model = nn::BuildModelOrDie(task.model, 2);
+  const nn::TensorList weights = model->GetWeights();
+  const double ratio = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto sub = pruning::PruneByRatio(task.model, weights, ratio);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_PruneByRatio)->Arg(20)->Arg(50)->Arg(80);
+
+void BM_RecoverToFull(benchmark::State& state) {
+  const data::FlTask task =
+      data::MakeTaskByName("vgg", data::TaskScale::kBench, 1);
+  auto model = nn::BuildModelOrDie(task.model, 2);
+  const nn::TensorList weights = model->GetWeights();
+  auto sub = pruning::PruneByRatio(task.model, weights, 0.5);
+  FEDMP_CHECK(sub.ok());
+  for (auto _ : state) {
+    auto full =
+        pruning::RecoverToFull(task.model, sub->weights, sub->mask);
+    benchmark::DoNotOptimize(full);
+  }
+}
+BENCHMARK(BM_RecoverToFull);
+
+void BM_ModelForward(benchmark::State& state) {
+  const data::FlTask task =
+      data::MakeTaskByName("cnn", data::TaskScale::kBench, 1);
+  auto model = nn::BuildModelOrDie(task.model, 2);
+  Rng rng(1);
+  nn::Tensor x({16, 1, 14, 14});
+  nn::UniformInit(x, -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Forward(x, true));
+  }
+}
+BENCHMARK(BM_ModelForward);
+
+}  // namespace
+}  // namespace fedmp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table IV (§VI): the RNN extension. 2-layer LSTM language model with ISS
+// structured pruning; perplexity within a time budget and speedup to a
+// target perplexity for Syn-FL / UP-FL / FedMP. Paper shape: FedMP lowest
+// perplexity and ~1.6x speedup; UP-FL can be SLOWER than Syn-FL (0.8x).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Table IV", "LSTM LM: perplexity and speedup");
+  const data::FlTask task =
+      data::MakeLstmPtbTask(data::TaskScale::kBench, 42);
+  const double budget = 300.0;
+  const double target_ppl = task.target_perplexity;
+  CsvTable table({"method", "ppl_at_budget", "time_to_target",
+                  "speedup_vs_synfl"});
+  double synfl_time = -1.0;
+  for (const char* method : {"syn_fl", "up_fl", "fedmp"}) {
+    ExperimentConfig config;
+    config.task = "lstm";
+    config.method = method;
+    config.trainer = bench::BenchTrainerOptions(90);
+    config.trainer.time_budget_seconds = budget;
+    config.trainer.stop_at_perplexity = -1.0;  // run the full budget
+    const fl::RoundLog log = bench::MustRun(config, task);
+    const double ppl = log.BestPerplexityWithin(budget);
+    double t = log.TimeToPerplexity(target_ppl);
+    if (t < 0.0) t = log.TotalSimTime() * 1.25;
+    if (std::string(method) == "syn_fl") synfl_time = t;
+    FEDMP_CHECK(table
+                    .AddRow({std::string(method), StrFormat("%.2f", ppl),
+                             StrFormat("%.1f", t),
+                             bench::FormatSpeedup(synfl_time, t)})
+                    .ok());
+    std::printf("  %-7s ppl@%.0fs = %.2f, t(ppl<=%.0f)=%.1f\n", method,
+                budget, ppl, target_ppl, t);
+    std::fflush(stdout);
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

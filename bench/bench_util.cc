@@ -1,0 +1,55 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fedmp::bench {
+
+int64_t ScaledRounds(int64_t rounds) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("FEDMP_BENCH_SCALE")) {
+    scale = std::atof(env);
+    if (scale <= 0.0) scale = 1.0;
+  }
+  const int64_t scaled = static_cast<int64_t>(rounds * scale);
+  return scaled < 4 ? 4 : scaled;
+}
+
+fl::TrainerOptions BenchTrainerOptions(int64_t max_rounds) {
+  fl::TrainerOptions opt;
+  opt.max_rounds = ScaledRounds(max_rounds);
+  opt.eval_every = 3;
+  opt.eval_batch_size = 50;
+  opt.eval_max_batches = 5;  // cap evaluation cost on one core
+  opt.seed = 1;
+  return opt;
+}
+
+fl::RoundLog MustRun(const ExperimentConfig& config,
+                     const data::FlTask& task) {
+  auto log = RunExperimentOnTask(config, task);
+  FEDMP_CHECK(log.ok()) << "experiment failed: " << log.status();
+  return *std::move(log);
+}
+
+std::string FormatTime(double seconds) {
+  if (seconds < 0.0) return "n/a";
+  return StrFormat("%.0fs", seconds);
+}
+
+std::string FormatSpeedup(double base_time, double other_time) {
+  if (base_time < 0.0 || other_time <= 0.0) return "n/a";
+  return StrFormat("%.1fx", base_time / other_time);
+}
+
+void PrintHeader(const std::string& artifact, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), caption.c_str());
+  std::printf("(synthetic substrate; compare SHAPES with the paper, not\n");
+  std::printf(" absolute numbers — see EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace fedmp::bench

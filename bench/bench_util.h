@@ -1,0 +1,33 @@
+#ifndef FEDMP_BENCH_BENCH_UTIL_H_
+#define FEDMP_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "core/fedmp.h"
+
+namespace fedmp::bench {
+
+// Scales every bench's round budget by the env var FEDMP_BENCH_SCALE
+// (default 1.0). Use e.g. FEDMP_BENCH_SCALE=0.3 for a quick smoke pass.
+int64_t ScaledRounds(int64_t rounds);
+
+// Baseline trainer options shared by the experiment benches.
+fl::TrainerOptions BenchTrainerOptions(int64_t max_rounds);
+
+// Runs one experiment, aborting the process on configuration errors (bench
+// binaries treat those as programmer mistakes).
+fl::RoundLog MustRun(const ExperimentConfig& config,
+                     const data::FlTask& task);
+
+// Formats a time-to-target (negative => "n/a").
+std::string FormatTime(double seconds);
+
+// speedup of `other` relative to `base` on time-to-target; n/a-safe.
+std::string FormatSpeedup(double base_time, double other_time);
+
+// Prints the standard bench header with the paper artifact it reproduces.
+void PrintHeader(const std::string& artifact, const std::string& caption);
+
+}  // namespace fedmp::bench
+
+#endif  // FEDMP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,44 @@
+// Asynchronous FedMP (paper Algorithm 2 / Fig. 12): the PS folds in the
+// first m arrivals per round instead of waiting for everyone. Compares
+// Asyn-FedMP against plain Asyn-FL on the same fleet.
+
+#include <cstdio>
+
+#include "core/fedmp.h"
+
+int main() {
+  using namespace fedmp;
+
+  auto run = [](const char* method) {
+    ExperimentConfig config;
+    config.task = "cnn";
+    config.method = method;
+    config.async_mode = true;
+    config.async_m = 5;  // aggregate the first 5 of 10 arrivals
+    config.heterogeneity = edge::HeterogeneityLevel::kHigh;
+    config.trainer.max_rounds = 80;
+    config.trainer.eval_every = 4;
+    auto log = RunExperiment(config);
+    FEDMP_CHECK(log.ok()) << log.status();
+    return *std::move(log);
+  };
+
+  const fl::RoundLog asyn_fl = run("syn_fl");    // Asyn-FL [43]
+  const fl::RoundLog asyn_fedmp = run("fedmp");  // Asyn-FedMP
+
+  std::printf("asynchronous setting, m=5, High heterogeneity:\n");
+  std::printf("  %-12s t(80%%)=%8.1fs  final=%.4f\n", "Asyn-FL",
+              asyn_fl.TimeToAccuracy(0.80), asyn_fl.FinalAccuracy());
+  std::printf("  %-12s t(80%%)=%8.1fs  final=%.4f\n", "Asyn-FedMP",
+              asyn_fedmp.TimeToAccuracy(0.80), asyn_fedmp.FinalAccuracy());
+
+  // Per-aggregation wall time: async rounds are short because the PS never
+  // waits for stragglers.
+  const double fl_round =
+      asyn_fl.TotalSimTime() / asyn_fl.records().size();
+  const double mp_round =
+      asyn_fedmp.TotalSimTime() / asyn_fedmp.records().size();
+  std::printf("  mean aggregation interval: Asyn-FL %.2fs, "
+              "Asyn-FedMP %.2fs\n", fl_round, mp_round);
+  return 0;
+}

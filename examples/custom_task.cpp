@@ -1,0 +1,76 @@
+// Bring-your-own task: the paper's §VI extension point. Defines a custom
+// dataset (synthetic 2-channel textures), a custom CNN architecture via
+// ModelSpec, non-IID shards, and trains it with FedMP — no changes to the
+// library, just the public API.
+
+#include <cstdio>
+
+#include "core/fedmp.h"
+
+int main() {
+  using namespace fedmp;
+  using nn::LayerSpec;
+
+  // 1. A custom dataset through the synthetic generator (swap in your own
+  //    data::Dataset loader here for real data).
+  data::SyntheticImageConfig data_config;
+  data_config.channels = 2;
+  data_config.height = data_config.width = 12;
+  data_config.num_classes = 6;
+  data_config.train_per_class = 60;
+  data_config.test_per_class = 20;
+  data_config.noise_stddev = 0.4;
+  data_config.seed = 99;
+  data::TrainTestSplit split = data::GenerateSyntheticImages(data_config);
+
+  // 2. A custom architecture. Any Conv/BN/ReLU/Pool/Residual/Dense chain
+  //    (and Embed/LSTM for sequence tasks) is prunable out of the box.
+  nn::ModelSpec model;
+  model.name = "custom-texture-net";
+  model.input.kind = nn::ShapeKind::kImage;
+  model.input.c = 2;
+  model.input.h = model.input.w = 12;
+  model.num_classes = 6;
+  model.layers = {
+      LayerSpec::Conv(2, 12, 3, 1, 1),   LayerSpec::BatchNorm(12),
+      LayerSpec::Relu(),                 LayerSpec::MaxPool(2, 2),
+      LayerSpec::Residual(12, 8),        LayerSpec::MaxPool(2, 2),
+      LayerSpec::Conv(12, 24, 3, 1, 1),  LayerSpec::Relu(),
+      LayerSpec::GlobalPool(),           LayerSpec::Dense(24, 6),
+  };
+  std::printf("custom model: %lld params, %lld FLOPs/sample\n",
+              (long long)model.NumParams(),
+              (long long)model.ForwardFlopsPerSample());
+
+  // 3. Bundle it as an FlTask with training hyper-parameters.
+  data::FlTask task;
+  task.name = "custom";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = model;
+  task.learning_rate = 0.05;
+  task.batch_size = 16;
+  task.local_iterations = 3;
+
+  // 4. Run FedMP on a heterogeneous fleet with label-skewed shards.
+  ExperimentConfig config;
+  config.partition = "skew:40";
+  config.heterogeneity = edge::HeterogeneityLevel::kMedium;
+  config.trainer.max_rounds = 40;
+  config.trainer.eval_every = 4;
+  config.trainer.verbose = true;
+
+  config.method = "fedmp";
+  auto fedmp_log = RunExperimentOnTask(config, task);
+  FEDMP_CHECK(fedmp_log.ok()) << fedmp_log.status();
+  config.method = "syn_fl";
+  auto synfl_log = RunExperimentOnTask(config, task);
+  FEDMP_CHECK(synfl_log.ok()) << synfl_log.status();
+
+  std::printf("\ncustom task, skew:40, medium heterogeneity:\n");
+  std::printf("  FedMP : final %.4f in %.0f simulated s\n",
+              fedmp_log->FinalAccuracy(), fedmp_log->TotalSimTime());
+  std::printf("  Syn-FL: final %.4f in %.0f simulated s\n",
+              synfl_log->FinalAccuracy(), synfl_log->TotalSimTime());
+  return 0;
+}

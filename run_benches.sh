@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary in sequence, teeing the combined output.
+cd /root/repo/build
+for b in bench/bench_fig5_round_time bench/bench_fig11_overhead \
+         bench/bench_fig2_ratio_accuracy bench/bench_ablation_reward \
+         bench/bench_ablation_discount bench/bench_table4_lstm \
+         bench/bench_fig7_r2sp_vs_bsp bench/bench_fig12_async \
+         bench/bench_fig4_theta bench/bench_table3_fig6_methods \
+         bench/bench_fig8_heterogeneity bench/bench_fig9_noniid \
+         bench/bench_fig10_scalability bench/bench_nn_microbench; do
+  echo; echo "### $b ###"; ./$b 2>&1; echo "### exit=$? ###"
+done

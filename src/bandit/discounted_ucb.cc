@@ -1,0 +1,76 @@
+#include "bandit/discounted_ucb.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fedmp::bandit {
+
+DiscountedUcb::DiscountedUcb(int64_t num_arms, double lambda, uint64_t seed)
+    : num_arms_(num_arms), lambda_(lambda), rng_(seed) {
+  FEDMP_CHECK_GT(num_arms, 0);
+  FEDMP_CHECK(lambda > 0.0 && lambda < 1.0);
+}
+
+double DiscountedUcb::DiscountedCount(int64_t arm) const {
+  double count = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    if (history_[s].arm == arm) {
+      count += std::pow(lambda_, static_cast<double>(k - s));
+    }
+  }
+  return count;
+}
+
+double DiscountedUcb::DiscountedMean(int64_t arm) const {
+  double count = 0.0, sum = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    if (history_[s].arm == arm) {
+      const double w = std::pow(lambda_, static_cast<double>(k - s));
+      count += w;
+      sum += w * history_[s].reward;
+    }
+  }
+  return count > 0.0 ? sum / count : 0.0;
+}
+
+double DiscountedUcb::UpperConfidence(int64_t arm) const {
+  const double count = DiscountedCount(arm);
+  if (count <= 0.0) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    total += std::pow(lambda_, static_cast<double>(k - s));
+  }
+  return DiscountedMean(arm) +
+         std::sqrt(2.0 * std::log(std::max(total, 1.000001)) / count);
+}
+
+int64_t DiscountedUcb::SelectArm() {
+  FEDMP_CHECK_EQ(pending_arm_, -1)
+      << "SelectArm called twice without Observe";
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<int64_t> best_arms;
+  for (int64_t a = 0; a < num_arms_; ++a) {
+    const double u = UpperConfidence(a);
+    if (u > best) {
+      best = u;
+      best_arms.assign(1, a);
+    } else if (u == best) {
+      best_arms.push_back(a);
+    }
+  }
+  pending_arm_ = best_arms[rng_.NextIndex(best_arms.size())];
+  return pending_arm_;
+}
+
+void DiscountedUcb::Observe(double reward) {
+  FEDMP_CHECK_NE(pending_arm_, -1) << "Observe without SelectArm";
+  history_.push_back(Pull{pending_arm_, reward});
+  pending_arm_ = -1;
+}
+
+}  // namespace fedmp::bandit

@@ -1,0 +1,45 @@
+#ifndef FEDMP_BANDIT_DISCOUNTED_UCB_H_
+#define FEDMP_BANDIT_DISCOUNTED_UCB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fedmp::bandit {
+
+// Classic discounted UCB over a finite arm set (Garivier & Moulines [40]).
+// Used by the UP-FL baseline to pick its round-uniform pruning ratio from a
+// fixed grid, and as the discrete reference point E-UCB is compared against
+// in the ablation benches.
+class DiscountedUcb {
+ public:
+  DiscountedUcb(int64_t num_arms, double lambda, uint64_t seed);
+
+  // Arm with the largest discounted UCB; unpulled arms first.
+  int64_t SelectArm();
+
+  // Reward for the most recent SelectArm().
+  void Observe(double reward);
+
+  double DiscountedCount(int64_t arm) const;
+  double DiscountedMean(int64_t arm) const;
+  double UpperConfidence(int64_t arm) const;
+  int64_t num_arms() const { return num_arms_; }
+
+ private:
+  struct Pull {
+    int64_t arm = 0;
+    double reward = 0.0;
+  };
+
+  int64_t num_arms_;
+  double lambda_;
+  Rng rng_;
+  std::vector<Pull> history_;
+  int64_t pending_arm_ = -1;
+};
+
+}  // namespace fedmp::bandit
+
+#endif  // FEDMP_BANDIT_DISCOUNTED_UCB_H_

@@ -1,0 +1,106 @@
+#include "bandit/eucb.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fedmp::bandit {
+
+EucbAgent::EucbAgent(const EucbOptions& options, uint64_t seed)
+    : options_(options),
+      tree_(options.ratio_lo, options.ratio_hi, options.theta),
+      rng_(seed) {
+  FEDMP_CHECK(options.lambda > 0.0 && options.lambda < 1.0);
+  FEDMP_CHECK_GE(options.ratio_lo, 0.0);
+  FEDMP_CHECK_LE(options.ratio_hi, 1.0);
+}
+
+double EucbAgent::DiscountedCount(size_t index) const {
+  const Interval& leaf = tree_.leaves()[index];
+  double count = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    if (!history_[s].rewarded) continue;
+    if (leaf.Contains(history_[s].ratio)) {
+      count += std::pow(options_.lambda, static_cast<double>(k - s));
+    }
+  }
+  return count;
+}
+
+double EucbAgent::DiscountedMean(size_t index) const {
+  const Interval& leaf = tree_.leaves()[index];
+  double count = 0.0, sum = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    if (!history_[s].rewarded) continue;
+    if (leaf.Contains(history_[s].ratio)) {
+      const double w = std::pow(options_.lambda, static_cast<double>(k - s));
+      count += w;
+      sum += w * history_[s].reward;
+    }
+  }
+  return count > 0.0 ? sum / count : 0.0;
+}
+
+double EucbAgent::UpperConfidence(size_t index) const {
+  const double count = DiscountedCount(index);
+  if (count <= 0.0) return std::numeric_limits<double>::infinity();
+  // n_k(lambda): total discounted pulls across all leaves.
+  double total = 0.0;
+  const size_t k = history_.size();
+  for (size_t s = 0; s < k; ++s) {
+    if (!history_[s].rewarded) continue;
+    total += std::pow(options_.lambda, static_cast<double>(k - s));
+  }
+  const double padding =
+      options_.exploration_coef *
+      std::sqrt(2.0 * std::log(std::max(total, 1.000001)) / count);
+  return DiscountedMean(index) + padding;
+}
+
+double EucbAgent::SelectRatio() {
+  FEDMP_CHECK(!awaiting_reward_)
+      << "SelectRatio called twice without ObserveReward";
+  // Choose the leaf with the largest UCB (ties uniformly at random).
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_leaves;
+  for (size_t j = 0; j < tree_.num_leaves(); ++j) {
+    const double u = UpperConfidence(j);
+    if (u > best) {
+      best = u;
+      best_leaves.assign(1, j);
+    } else if (u == best) {
+      best_leaves.push_back(j);
+    }
+  }
+  const size_t chosen =
+      best_leaves[rng_.NextIndex(best_leaves.size())];
+  const Interval leaf = tree_.leaves()[chosen];
+  // All arms inside the chosen region are treated alike: sample uniformly.
+  const double ratio = rng_.Uniform(leaf.lo, leaf.hi);
+  // Grow the tree at the chosen arm while diameters exceed theta, once the
+  // leaf has accumulated enough pulls to justify refinement.
+  pull_counts_.resize(tree_.num_leaves(), 0);
+  if (++pull_counts_[chosen] >= options_.min_pulls_to_split) {
+    if (tree_.SplitAt(chosen, ratio)) {
+      // The split leaf's raw-pull counter restarts for both halves.
+      pull_counts_[chosen] = 0;
+      pull_counts_.insert(pull_counts_.begin() +
+                              static_cast<std::ptrdiff_t>(chosen) + 1, 0);
+    }
+  }
+  history_.push_back(Pull{ratio, 0.0, false});
+  awaiting_reward_ = true;
+  return ratio;
+}
+
+void EucbAgent::ObserveReward(double reward) {
+  FEDMP_CHECK(awaiting_reward_) << "ObserveReward without SelectRatio";
+  history_.back().reward = reward;
+  history_.back().rewarded = true;
+  awaiting_reward_ = false;
+}
+
+}  // namespace fedmp::bandit

@@ -1,0 +1,54 @@
+#include "bandit/partition_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::bandit {
+
+PartitionTree::PartitionTree(double lo, double hi, double theta)
+    : lo_(lo), hi_(hi), theta_(theta) {
+  FEDMP_CHECK_LT(lo, hi);
+  FEDMP_CHECK_GT(theta, 0.0);
+  leaves_.push_back(Interval{lo, hi});
+}
+
+size_t PartitionTree::LeafIndex(double v) const {
+  FEDMP_CHECK(v >= lo_ && v < hi_) << "arm " << v << " outside domain";
+  // Leaves are sorted by lo; binary-search the last leaf with lo <= v.
+  size_t left = 0, right = leaves_.size() - 1;
+  while (left < right) {
+    const size_t mid = (left + right + 1) / 2;
+    if (leaves_[mid].lo <= v) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+  FEDMP_CHECK(leaves_[left].Contains(v));
+  return left;
+}
+
+bool PartitionTree::SplitAt(size_t index, double at) {
+  FEDMP_CHECK_LT(index, leaves_.size());
+  Interval leaf = leaves_[index];
+  if (leaf.diameter() <= theta_) return false;
+  if (at <= leaf.lo || at >= leaf.hi) return false;
+  leaves_[index] = Interval{leaf.lo, at};
+  leaves_.insert(leaves_.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                 Interval{at, leaf.hi});
+  return true;
+}
+
+bool PartitionTree::CoversDomain() const {
+  double cursor = lo_;
+  for (const Interval& leaf : leaves_) {
+    if (std::fabs(leaf.lo - cursor) > 1e-12) return false;
+    if (leaf.hi <= leaf.lo) return false;
+    cursor = leaf.hi;
+  }
+  return std::fabs(cursor - hi_) < 1e-12;
+}
+
+}  // namespace fedmp::bandit

@@ -1,0 +1,50 @@
+#ifndef FEDMP_BANDIT_PARTITION_TREE_H_
+#define FEDMP_BANDIT_PARTITION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedmp::bandit {
+
+// A half-open interval of the continuous arm space.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double diameter() const { return hi - lo; }
+  bool Contains(double v) const { return v >= lo && v < hi; }
+};
+
+// The leaves of E-UCB's incremental regression tree: a sequence of finite
+// partitions of [lo, hi). Starts as the single region [lo, hi); regions
+// split at chosen arms until their diameter drops below theta (§IV-C,
+// Algorithm 1 lines 7-9). Only the leaf set is materialized — interior
+// nodes carry no state in Algorithm 1.
+class PartitionTree {
+ public:
+  // theta: the pruning-granularity stop threshold.
+  PartitionTree(double lo, double hi, double theta);
+
+  const std::vector<Interval>& leaves() const { return leaves_; }
+  size_t num_leaves() const { return leaves_.size(); }
+  double theta() const { return theta_; }
+
+  // Index of the leaf containing v (v must lie in [lo, hi)).
+  size_t LeafIndex(double v) const;
+
+  // Splits leaf `index` at `at` into [lo, at) and [at, hi). No-op (returns
+  // false) when the leaf's diameter is already <= theta or `at` would
+  // create an empty half.
+  bool SplitAt(size_t index, double at);
+
+  // Invariant check: leaves sorted, disjoint, covering [lo, hi).
+  bool CoversDomain() const;
+
+ private:
+  double lo_, hi_, theta_;
+  std::vector<Interval> leaves_;  // sorted by lo
+};
+
+}  // namespace fedmp::bandit
+
+#endif  // FEDMP_BANDIT_PARTITION_TREE_H_

@@ -1,0 +1,32 @@
+#include "bandit/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::bandit {
+
+double FedMpReward(double delta_loss, double completion_time,
+                   double mean_time, const RewardOptions& options) {
+  FEDMP_CHECK_GT(mean_time, 0.0);
+  FEDMP_CHECK_GE(completion_time, 0.0);
+  // A round that made no local progress earns no reward; without this
+  // clamp, noisy negative loss deltas amplified by a small time gap would
+  // penalize exactly the arms Eq. (8) is meant to favour.
+  delta_loss = std::max(delta_loss, 0.0);
+  double gap = std::fabs(completion_time - mean_time);
+  double floor = options.epsilon_frac * mean_time;
+  if (options.relative_gap) {
+    gap /= mean_time;
+    floor = options.epsilon_frac;
+  }
+  return delta_loss / std::max(gap, floor);
+}
+
+double TimeOnlyReward(double completion_time) {
+  FEDMP_CHECK_GT(completion_time, 0.0);
+  return 1.0 / completion_time;
+}
+
+}  // namespace fedmp::bandit

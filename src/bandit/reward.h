@@ -1,0 +1,29 @@
+#ifndef FEDMP_BANDIT_REWARD_H_
+#define FEDMP_BANDIT_REWARD_H_
+
+namespace fedmp::bandit {
+
+struct RewardOptions {
+  // Eq. (8) divides by |T_n - mean(T)|, which explodes as a worker's
+  // completion time approaches the average. The (relative) denominator is
+  // clamped at epsilon_frac; the clamp is ablated in bench_ablation_reward.
+  double epsilon_frac = 0.05;
+  // Use the relative gap |T_n - mean| / mean instead of the absolute gap.
+  // Eq. (8) up to a constant per round, but scale-free: rewards stay
+  // comparable across rounds as absolute times shrink with pruning.
+  bool relative_gap = true;
+};
+
+// The E-UCB reward of Eq. (8):
+//   R(alpha) = delta_loss / |T_n - mean(T)|
+// delta_loss: the worker's loss decrease this round (its contribution to
+// convergence). completion_time: T_n. mean_time: (1/N) sum of all T_n'.
+double FedMpReward(double delta_loss, double completion_time,
+                   double mean_time, const RewardOptions& options = {});
+
+// The naive time-only reward used as the ablation baseline: 1 / T_n.
+double TimeOnlyReward(double completion_time);
+
+}  // namespace fedmp::bandit
+
+#endif  // FEDMP_BANDIT_REWARD_H_

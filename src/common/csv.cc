@@ -1,0 +1,87 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fedmp {
+
+namespace {
+std::string EscapeCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+Status CsvTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    return InvalidArgumentError(StrFormat(
+        "row width %zu does not match header width %zu", cells.size(),
+        header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::Ok();
+}
+
+Status CsvTable::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(StrFormat("%.4f", v));
+  return AddRow(std::move(out));
+}
+
+void CsvTable::WriteCsv(std::ostream& os) const {
+  std::vector<std::string> escaped;
+  escaped.reserve(header_.size());
+  for (const auto& h : header_) escaped.push_back(EscapeCsvField(h));
+  os << Join(escaped, ",") << "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(EscapeCsvField(cell));
+    os << Join(escaped, ",") << "\n";
+  }
+}
+
+void CsvTable::WritePretty(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+Status CsvTable::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open " + path + " for writing");
+  WriteCsv(out);
+  return Status::Ok();
+}
+
+}  // namespace fedmp

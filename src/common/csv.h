@@ -1,0 +1,44 @@
+#ifndef FEDMP_COMMON_CSV_H_
+#define FEDMP_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fedmp {
+
+// Column-ordered in-memory table used by the bench harness to emit the rows
+// and series each paper table/figure reports. Cells are stored as strings.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  // Appends a row; must match the header width.
+  Status AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with 4 decimals.
+  Status AddRow(const std::vector<double>& cells);
+
+  // Writes RFC-4180-ish CSV (fields containing ',' or '"' are quoted).
+  void WriteCsv(std::ostream& os) const;
+
+  // Writes an aligned, human-readable console table.
+  void WritePretty(std::ostream& os) const;
+
+  // Writes the CSV to `path`, creating parent-less files only.
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_CSV_H_

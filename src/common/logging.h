@@ -1,0 +1,78 @@
+#ifndef FEDMP_COMMON_LOGGING_H_
+#define FEDMP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fedmp {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Minimum severity emitted to stderr; default kInfo. Thread-compatible.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+// Accumulates one log line and flushes it (with file:line and severity tag)
+// on destruction. kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Turns a streamed LogMessage expression into void so it can sit in the
+// false branch of the FEDMP_CHECK ternary. '&' binds looser than '<<'.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+
+#define FEDMP_LOG(severity)                                  \
+  ::fedmp::internal_logging::LogMessage(                     \
+      __FILE__, __LINE__, ::fedmp::LogSeverity::k##severity)
+
+// Fatal if `condition` is false. Streams extra context:
+//   FEDMP_CHECK(n > 0) << "bad n=" << n;
+#define FEDMP_CHECK(condition)                                        \
+  (condition)                                                         \
+      ? (void)0                                                       \
+      : ::fedmp::internal_logging::Voidify() &                        \
+        (::fedmp::internal_logging::LogMessage(                       \
+             __FILE__, __LINE__, ::fedmp::LogSeverity::kFatal)        \
+         << "Check failed: " #condition " ")
+
+#define FEDMP_CHECK_EQ(a, b) \
+  FEDMP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FEDMP_CHECK_NE(a, b) \
+  FEDMP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FEDMP_CHECK_LT(a, b) \
+  FEDMP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FEDMP_CHECK_LE(a, b) \
+  FEDMP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FEDMP_CHECK_GT(a, b) \
+  FEDMP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FEDMP_CHECK_GE(a, b) \
+  FEDMP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+#ifndef FEDMP_COMMON_MATH_UTIL_H_
+#define FEDMP_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace fedmp {
+
+// Clamps v into [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+inline double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+inline double Stddev(const std::vector<double>& v) {
+  return std::sqrt(Variance(v));
+}
+
+// True if |a - b| <= atol + rtol*|b|.
+inline bool AlmostEqual(double a, double b, double atol = 1e-6,
+                        double rtol = 1e-5) {
+  return std::fabs(a - b) <= atol + rtol * std::fabs(b);
+}
+
+// Indices that would sort `values` ascending (stable).
+inline std::vector<size_t> ArgsortAscending(const std::vector<float>& values) {
+  std::vector<size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](size_t a, size_t b) { return values[a] < values[b]; });
+  return idx;
+}
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_MATH_UTIL_H_

@@ -1,0 +1,64 @@
+#ifndef FEDMP_COMMON_STATUSOR_H_
+#define FEDMP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace fedmp {
+
+// Holds either a value of type T or a non-OK Status, mirroring absl::StatusOr.
+// Accessing the value of a non-OK StatusOr is a fatal programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from T and Status make `return value;` and
+  // `return InvalidArgumentError(...);` both work, matching absl usage.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    FEDMP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FEDMP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FEDMP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FEDMP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+// error status to the caller.
+#define FEDMP_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto FEDMP_CONCAT_(_statusor_, __LINE__) = (expr);       \
+  if (!FEDMP_CONCAT_(_statusor_, __LINE__).ok())           \
+    return FEDMP_CONCAT_(_statusor_, __LINE__).status();   \
+  lhs = std::move(FEDMP_CONCAT_(_statusor_, __LINE__)).value()
+
+#define FEDMP_CONCAT_IMPL_(a, b) a##b
+#define FEDMP_CONCAT_(a, b) FEDMP_CONCAT_IMPL_(a, b)
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_STATUSOR_H_

@@ -1,0 +1,62 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace fedmp {
+
+std::vector<std::string> Split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == delim) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanCount(int64_t n) {
+  const double d = static_cast<double>(n);
+  if (n >= 1000000000) return StrFormat("%.1fG", d / 1e9);
+  if (n >= 1000000) return StrFormat("%.1fM", d / 1e6);
+  if (n >= 1000) return StrFormat("%.1fK", d / 1e3);
+  return StrFormat("%lld", static_cast<long long>(n));
+}
+
+std::string FixedCell(double value, int width, int precision) {
+  return StrFormat("%*.*f", width, precision, value);
+}
+
+}  // namespace fedmp

@@ -1,0 +1,29 @@
+#ifndef FEDMP_COMMON_STRING_UTIL_H_
+#define FEDMP_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedmp {
+
+// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char delim);
+
+// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+// Printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// "1.5K" / "2.3M" / "4.0G"-style human-readable count.
+std::string HumanCount(int64_t n);
+
+// Fixed-width numeric cell for aligned console tables.
+std::string FixedCell(double value, int width, int precision);
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_STRING_UTIL_H_

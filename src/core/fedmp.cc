@@ -1,0 +1,133 @@
+#include "core/fedmp.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/strategies/fedprox.h"
+#include "fl/strategies/flexcom.h"
+#include "fl/strategies/syn_fl.h"
+#include "fl/strategies/up_fl.h"
+
+namespace fedmp {
+
+StatusOr<std::unique_ptr<fl::Strategy>> MakeStrategy(const std::string& name,
+                                                     double theta,
+                                                     double lambda) {
+  fl::FedMpOptions fedmp_options;
+  fedmp_options.eucb.theta = theta;
+  fedmp_options.eucb.lambda = lambda;
+  if (name == "fedmp") {
+    return std::unique_ptr<fl::Strategy>(
+        new fl::FedMpStrategy(fedmp_options));
+  }
+  if (name == "fedmp_bsp") {
+    fedmp_options.sync = fl::SyncScheme::kBSP;
+    return std::unique_ptr<fl::Strategy>(
+        new fl::FedMpStrategy(fedmp_options));
+  }
+  if (name == "fedmp_time_reward") {
+    fedmp_options.time_only_reward = true;
+    return std::unique_ptr<fl::Strategy>(
+        new fl::FedMpStrategy(fedmp_options));
+  }
+  if (name == "fedmp_quant") {
+    fedmp_options.quantize_residuals = true;
+    return std::unique_ptr<fl::Strategy>(
+        new fl::FedMpStrategy(fedmp_options));
+  }
+  if (name == "syn_fl") {
+    return std::unique_ptr<fl::Strategy>(new fl::SynFlStrategy());
+  }
+  if (name == "up_fl") {
+    fl::UpFlOptions options;
+    options.lambda = lambda;
+    return std::unique_ptr<fl::Strategy>(new fl::UpFlStrategy(options));
+  }
+  if (name == "fedprox") {
+    return std::unique_ptr<fl::Strategy>(new fl::FedProxStrategy());
+  }
+  if (name == "flexcom") {
+    return std::unique_ptr<fl::Strategy>(new fl::FlexComStrategy());
+  }
+  if (name.rfind("fixed:", 0) == 0) {
+    const double ratio = std::atof(name.c_str() + 6);
+    if (ratio < 0.0 || ratio >= 1.0) {
+      return InvalidArgumentError("fixed ratio out of [0,1): " + name);
+    }
+    return std::unique_ptr<fl::Strategy>(new fl::FixedRatioStrategy(ratio));
+  }
+  return InvalidArgumentError("unknown method: " + name);
+}
+
+std::vector<edge::DeviceProfile> MakeFleet(const ExperimentConfig& config) {
+  if (config.num_workers > 0) {
+    return edge::MakeHalfAHalfB(config.num_workers, config.data_seed);
+  }
+  return edge::MakeHeterogeneousWorkers(config.heterogeneity,
+                                        config.data_seed);
+}
+
+StatusOr<data::Partition> MakePartition(const ExperimentConfig& config,
+                                        const data::FlTask& task,
+                                        int num_workers) {
+  Rng rng(config.trainer.seed ^ 0xDA7AULL);
+  if (config.partition == "iid") {
+    return data::PartitionIid(task.train.size(), num_workers, rng);
+  }
+  if (config.partition.rfind("skew:", 0) == 0) {
+    const double y = std::atof(config.partition.c_str() + 5);
+    if (y < 0.0 || y > 100.0) {
+      return InvalidArgumentError("skew level out of [0,100]: " +
+                                  config.partition);
+    }
+    return data::PartitionLabelSkew(task.train, num_workers, y, rng);
+  }
+  if (config.partition.rfind("missing:", 0) == 0) {
+    const int64_t y = std::atoll(config.partition.c_str() + 8);
+    if (y < 0 || y >= task.train.num_classes) {
+      return InvalidArgumentError("missing-class level invalid: " +
+                                  config.partition);
+    }
+    return data::PartitionMissingClasses(task.train, num_workers, y, rng);
+  }
+  return InvalidArgumentError("unknown partition: " + config.partition);
+}
+
+StatusOr<fl::RoundLog> RunExperiment(const ExperimentConfig& config) {
+  const data::FlTask task =
+      data::MakeTaskByName(config.task, config.scale, config.data_seed);
+  return RunExperimentOnTask(config, task);
+}
+
+StatusOr<fl::RoundLog> RunExperimentOnTask(const ExperimentConfig& config,
+                                           const data::FlTask& task) {
+  FEDMP_ASSIGN_OR_RETURN(
+      std::unique_ptr<fl::Strategy> strategy,
+      MakeStrategy(config.method, config.theta, config.lambda));
+  const std::vector<edge::DeviceProfile> fleet = MakeFleet(config);
+  FEDMP_ASSIGN_OR_RETURN(
+      data::Partition partition,
+      MakePartition(config, task, static_cast<int>(fleet.size())));
+
+  if (config.async_mode) {
+    fl::AsyncTrainerOptions async_options;
+    async_options.base = config.trainer;
+    async_options.m = config.async_m;
+    fl::AsyncTrainer trainer(&task, fleet, std::move(partition),
+                             std::move(strategy), async_options);
+    return trainer.Run();
+  }
+  fl::Trainer trainer(&task, fleet, std::move(partition),
+                      std::move(strategy), config.trainer);
+  return trainer.Run();
+}
+
+const std::vector<std::string>& PaperMethods() {
+  static const std::vector<std::string>& methods =
+      *new std::vector<std::string>{"syn_fl", "up_fl", "fedprox", "flexcom",
+                                    "fedmp"};
+  return methods;
+}
+
+}  // namespace fedmp

@@ -1,0 +1,79 @@
+#ifndef FEDMP_CORE_FEDMP_H_
+#define FEDMP_CORE_FEDMP_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "fl/async_trainer.h"
+#include "fl/trainer.h"
+
+namespace fedmp {
+
+// ---------------------------------------------------------------------------
+// Public façade: one-call experiment runner used by the examples and every
+// bench binary. Composes the task zoo, the edge clusters, the data
+// partitioners, a strategy, and a (a)synchronous trainer.
+// ---------------------------------------------------------------------------
+
+// A full experiment description.
+struct ExperimentConfig {
+  // Task: "cnn" (MNIST stand-in), "alexnet" (CIFAR-10), "vgg" (EMNIST),
+  // "resnet" (Tiny-ImageNet), "lstm" (Penn TreeBank).
+  std::string task = "cnn";
+  data::TaskScale scale = data::TaskScale::kBench;
+  uint64_t data_seed = 42;
+
+  // Method: "fedmp", "syn_fl", "up_fl", "fedprox", "flexcom",
+  // "fedmp_bsp" (Fig. 7 ablation), "fedmp_time_reward" (reward ablation),
+  // "fedmp_quant" (8-bit residual storage, §III-C),
+  // or "fixed:<ratio>" (Figs. 2/5).
+  std::string method = "fedmp";
+  double theta = 0.05;    // E-UCB pruning granularity (Fig. 4)
+  double lambda = 0.98;   // discount factor (see bandit/eucb.h)
+
+  // Worker fleet. When num_workers > 0, uses the §V-G scaling fleet (half
+  // cluster A, half B of that size); otherwise the 10-worker heterogeneity
+  // scenario below.
+  edge::HeterogeneityLevel heterogeneity =
+      edge::HeterogeneityLevel::kMedium;
+  int num_workers = 0;
+
+  // Data distribution: "iid", "skew:<y>" (y% one label, §V-F),
+  // "missing:<y>" (each worker lacks y classes, §V-F).
+  std::string partition = "iid";
+
+  // Asynchronous setting (§IV-D / Fig. 12).
+  bool async_mode = false;
+  int async_m = 5;
+
+  fl::TrainerOptions trainer;
+};
+
+// Builds a strategy by name ("fedmp", "syn_fl", ...; see ExperimentConfig).
+StatusOr<std::unique_ptr<fl::Strategy>> MakeStrategy(const std::string& name,
+                                                     double theta,
+                                                     double lambda);
+
+// Builds the worker fleet of a config.
+std::vector<edge::DeviceProfile> MakeFleet(const ExperimentConfig& config);
+
+// Builds the data partition of a config over `task` for `num_workers`.
+StatusOr<data::Partition> MakePartition(const ExperimentConfig& config,
+                                        const data::FlTask& task,
+                                        int num_workers);
+
+// Runs the experiment end to end and returns the per-round log.
+StatusOr<fl::RoundLog> RunExperiment(const ExperimentConfig& config);
+
+// Runs against an already-constructed task (saves regenerating datasets
+// when sweeping methods over the same task).
+StatusOr<fl::RoundLog> RunExperimentOnTask(const ExperimentConfig& config,
+                                           const data::FlTask& task);
+
+// The five methods compared throughout §V, in paper order.
+const std::vector<std::string>& PaperMethods();
+
+}  // namespace fedmp
+
+#endif  // FEDMP_CORE_FEDMP_H_

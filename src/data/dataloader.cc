@@ -1,0 +1,80 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fedmp::data {
+
+void Dataset::Gather(const std::vector<int64_t>& indices, nn::Tensor* batch,
+                     std::vector<int64_t>* batch_labels) const {
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t n = ExampleNumel();
+  std::vector<int64_t> shape;
+  shape.push_back(b);
+  for (int64_t d : example_shape) shape.push_back(d);
+  *batch = nn::Tensor(shape);
+  batch_labels->resize(static_cast<size_t>(b));
+  float* dst = batch->data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t idx = indices[static_cast<size_t>(i)];
+    FEDMP_CHECK(idx >= 0 && idx < size()) << "example index out of range";
+    const auto& ex = examples[static_cast<size_t>(idx)];
+    FEDMP_CHECK_EQ(static_cast<int64_t>(ex.size()), n);
+    std::copy(ex.begin(), ex.end(), dst + i * n);
+    (*batch_labels)[static_cast<size_t>(i)] =
+        labels[static_cast<size_t>(idx)];
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<int64_t>& indices) const {
+  Dataset out;
+  out.example_shape = example_shape;
+  out.num_classes = num_classes;
+  out.examples.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (int64_t idx : indices) {
+    FEDMP_CHECK(idx >= 0 && idx < size()) << "subset index out of range";
+    out.examples.push_back(examples[static_cast<size_t>(idx)]);
+    out.labels.push_back(labels[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+DataLoader::DataLoader(const Dataset* dataset, std::vector<int64_t> indices,
+                       int64_t batch_size, bool shuffle, uint64_t seed)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  FEDMP_CHECK(dataset != nullptr);
+  FEDMP_CHECK_GT(batch_size, 0);
+  FEDMP_CHECK(!indices_.empty()) << "DataLoader over an empty shard";
+  if (shuffle_) rng_.Shuffle(indices_);
+}
+
+DataLoader::DataLoader(const Dataset* dataset, int64_t batch_size,
+                       bool shuffle, uint64_t seed)
+    : DataLoader(dataset, [&] {
+        std::vector<int64_t> all(
+            static_cast<size_t>(dataset ? dataset->size() : 0));
+        for (size_t i = 0; i < all.size(); ++i) all[i] = (int64_t)i;
+        return all;
+      }(), batch_size, shuffle, seed) {}
+
+void DataLoader::NextBatch(nn::Tensor* batch, std::vector<int64_t>* labels) {
+  const int64_t remaining = size() - cursor_;
+  const int64_t take = std::min(batch_size_, remaining);
+  std::vector<int64_t> chosen(
+      indices_.begin() + cursor_, indices_.begin() + cursor_ + take);
+  dataset_->Gather(chosen, batch, labels);
+  cursor_ += take;
+  if (cursor_ >= size()) {
+    cursor_ = 0;
+    ++epochs_completed_;
+    if (shuffle_) rng_.Shuffle(indices_);
+  }
+}
+
+}  // namespace fedmp::data

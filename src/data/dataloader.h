@@ -1,0 +1,46 @@
+#ifndef FEDMP_DATA_DATALOADER_H_
+#define FEDMP_DATA_DATALOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace fedmp::data {
+
+// Mini-batch iterator over a (shard of a) dataset. Reshuffles at every epoch
+// boundary when `shuffle` is set. The dataset must outlive the loader.
+class DataLoader {
+ public:
+  // Iterates `dataset` restricted to `indices` (pass all indices for the
+  // full set). Batches wrap around epochs; the final short batch of an epoch
+  // is emitted as-is.
+  DataLoader(const Dataset* dataset, std::vector<int64_t> indices,
+             int64_t batch_size, bool shuffle, uint64_t seed);
+
+  // Convenience: iterate the entire dataset.
+  DataLoader(const Dataset* dataset, int64_t batch_size, bool shuffle,
+             uint64_t seed);
+
+  // Fills `batch` [B, example_shape...] and `labels`; B <= batch_size.
+  // Advances the cursor; wraps (and reshuffles) at the end of the epoch.
+  void NextBatch(nn::Tensor* batch, std::vector<int64_t>* labels);
+
+  int64_t size() const { return static_cast<int64_t>(indices_.size()); }
+  int64_t batch_size() const { return batch_size_; }
+  int64_t epochs_completed() const { return epochs_completed_; }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<int64_t> indices_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  int64_t cursor_ = 0;
+  int64_t epochs_completed_ = 0;
+};
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_DATALOADER_H_

@@ -1,0 +1,42 @@
+#ifndef FEDMP_DATA_DATASET_H_
+#define FEDMP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmp::data {
+
+// An in-memory supervised dataset: one flat feature tensor per example plus
+// an integer label. For vision tasks `example_shape` is {C,H,W}; for the
+// language-model task examples are token windows {T} and the label field is
+// unused (targets are the shifted window, see SyntheticTextDataset).
+struct Dataset {
+  std::vector<int64_t> example_shape;
+  int64_t num_classes = 0;
+  // examples.size() == labels.size(); each example has
+  // prod(example_shape) floats.
+  std::vector<std::vector<float>> examples;
+  std::vector<int64_t> labels;
+
+  int64_t size() const { return static_cast<int64_t>(examples.size()); }
+
+  int64_t ExampleNumel() const {
+    int64_t n = 1;
+    for (int64_t d : example_shape) n *= d;
+    return n;
+  }
+
+  // Materializes examples[indices] as a batch tensor [B, example_shape...]
+  // and the matching labels.
+  void Gather(const std::vector<int64_t>& indices, nn::Tensor* batch,
+              std::vector<int64_t>* batch_labels) const;
+
+  // A dataset containing the given subset of this one's examples (copies).
+  Dataset Subset(const std::vector<int64_t>& indices) const;
+};
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_DATASET_H_

@@ -1,0 +1,127 @@
+#include "data/partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fedmp::data {
+
+namespace {
+// Example indices grouped by label.
+std::vector<std::vector<int64_t>> IndicesByLabel(const Dataset& dataset) {
+  std::vector<std::vector<int64_t>> by_label(
+      static_cast<size_t>(dataset.num_classes));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const int64_t y = dataset.labels[static_cast<size_t>(i)];
+    FEDMP_CHECK(y >= 0 && y < dataset.num_classes);
+    by_label[static_cast<size_t>(y)].push_back(i);
+  }
+  return by_label;
+}
+}  // namespace
+
+Partition PartitionIid(int64_t dataset_size, int64_t num_workers, Rng& rng) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  std::vector<int64_t> order(static_cast<size_t>(dataset_size));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = (int64_t)i;
+  rng.Shuffle(order);
+  Partition out(static_cast<size_t>(num_workers));
+  for (int64_t i = 0; i < dataset_size; ++i) {
+    out[static_cast<size_t>(i % num_workers)].push_back(
+        order[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Partition PartitionLabelSkew(const Dataset& dataset, int64_t num_workers,
+                             double y_percent, Rng& rng) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  FEDMP_CHECK(y_percent >= 0.0 && y_percent <= 100.0);
+  if (y_percent == 0.0) return PartitionIid(dataset.size(), num_workers, rng);
+
+  auto by_label = IndicesByLabel(dataset);
+  for (auto& bucket : by_label) rng.Shuffle(bucket);
+  std::vector<size_t> cursor(by_label.size(), 0);
+
+  const int64_t per_worker = dataset.size() / num_workers;
+  const int64_t dominant_count = static_cast<int64_t>(
+      static_cast<double>(per_worker) * y_percent / 100.0);
+
+  // Take `count` indices of label `y`, wrapping via re-use if exhausted
+  // (shards may then share examples, which mirrors sampling with
+  // replacement and keeps shard sizes equal).
+  auto take = [&](int64_t y, int64_t count, std::vector<int64_t>* shard) {
+    auto& bucket = by_label[static_cast<size_t>(y)];
+    if (bucket.empty()) return;
+    for (int64_t i = 0; i < count; ++i) {
+      if (cursor[static_cast<size_t>(y)] >= bucket.size()) {
+        cursor[static_cast<size_t>(y)] = 0;
+      }
+      shard->push_back(bucket[cursor[static_cast<size_t>(y)]++]);
+    }
+  };
+
+  Partition out(static_cast<size_t>(num_workers));
+  const int64_t classes = dataset.num_classes;
+  for (int64_t w = 0; w < num_workers; ++w) {
+    const int64_t dominant = w % classes;
+    take(dominant, dominant_count, &out[static_cast<size_t>(w)]);
+    // Remaining samples uniformly from the other labels.
+    const int64_t rest = per_worker - dominant_count;
+    for (int64_t i = 0; i < rest; ++i) {
+      int64_t y = static_cast<int64_t>(
+          rng.NextIndex(static_cast<uint64_t>(classes)));
+      if (classes > 1 && y == dominant) y = (y + 1) % classes;
+      take(y, 1, &out[static_cast<size_t>(w)]);
+    }
+  }
+  return out;
+}
+
+Partition PartitionMissingClasses(const Dataset& dataset, int64_t num_workers,
+                                  int64_t missing_classes, Rng& rng) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  const int64_t classes = dataset.num_classes;
+  FEDMP_CHECK(missing_classes >= 0 && missing_classes < classes)
+      << "each worker must keep at least one class";
+
+  auto by_label = IndicesByLabel(dataset);
+  for (auto& bucket : by_label) rng.Shuffle(bucket);
+
+  // holder[y] = workers that hold class y.
+  std::vector<std::vector<int64_t>> holders(static_cast<size_t>(classes));
+  for (int64_t w = 0; w < num_workers; ++w) {
+    const int64_t start =
+        (w * std::max<int64_t>(missing_classes, 1)) % classes;
+    for (int64_t y = 0; y < classes; ++y) {
+      // Worker w misses the contiguous block [start, start+missing).
+      const int64_t offset = (y - start + classes) % classes;
+      if (offset >= missing_classes) {
+        holders[static_cast<size_t>(y)].push_back(w);
+      }
+    }
+  }
+
+  Partition out(static_cast<size_t>(num_workers));
+  for (int64_t y = 0; y < classes; ++y) {
+    const auto& hold = holders[static_cast<size_t>(y)];
+    FEDMP_CHECK(!hold.empty())
+        << "class " << y << " held by no worker; lower missing_classes";
+    const auto& bucket = by_label[static_cast<size_t>(y)];
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      out[static_cast<size_t>(hold[i % hold.size()])].push_back(bucket[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ShardLabelHistogram(const Dataset& dataset,
+                                         const std::vector<int64_t>& shard) {
+  std::vector<int64_t> hist(static_cast<size_t>(dataset.num_classes), 0);
+  for (int64_t idx : shard) {
+    ++hist[static_cast<size_t>(dataset.labels[static_cast<size_t>(idx)])];
+  }
+  return hist;
+}
+
+}  // namespace fedmp::data

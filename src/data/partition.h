@@ -1,0 +1,39 @@
+#ifndef FEDMP_DATA_PARTITION_H_
+#define FEDMP_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace fedmp::data {
+
+// Partitioners assign example indices of a dataset to N workers, reproducing
+// the paper's data-distribution settings (§V-A default and §V-F non-IID).
+using Partition = std::vector<std::vector<int64_t>>;
+
+// Uniform IID split: shuffled indices dealt round-robin.
+Partition PartitionIid(int64_t dataset_size, int64_t num_workers, Rng& rng);
+
+// MNIST/CIFAR-style label skew (§V-F): y_percent% of each worker's samples
+// come from one dominant label (worker w's dominant label is w mod
+// num_classes); the rest are drawn uniformly from other labels.
+// y_percent == 0 degenerates to IID.
+Partition PartitionLabelSkew(const Dataset& dataset, int64_t num_workers,
+                             double y_percent, Rng& rng);
+
+// EMNIST/Tiny-ImageNet-style missing classes (§V-F): each worker lacks
+// `missing_classes` classes (a contiguous block starting at a per-worker
+// offset); samples of the remaining classes are split evenly among the
+// workers that do hold them.
+Partition PartitionMissingClasses(const Dataset& dataset, int64_t num_workers,
+                                  int64_t missing_classes, Rng& rng);
+
+// Label histogram of one shard — used by tests and diagnostics.
+std::vector<int64_t> ShardLabelHistogram(const Dataset& dataset,
+                                         const std::vector<int64_t>& shard);
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_PARTITION_H_

@@ -1,0 +1,122 @@
+#include "data/synthetic_image.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fedmp::data {
+
+namespace {
+
+// Bilinearly upsamples a coarse [grid x grid] pattern to [h x w].
+void UpsampleBilinear(const std::vector<float>& coarse, int64_t grid,
+                      int64_t h, int64_t w, float* out) {
+  for (int64_t y = 0; y < h; ++y) {
+    const double gy = (static_cast<double>(y) / std::max<int64_t>(h - 1, 1)) *
+                      (grid - 1);
+    const int64_t y0 = static_cast<int64_t>(gy);
+    const int64_t y1 = std::min(y0 + 1, grid - 1);
+    const double fy = gy - y0;
+    for (int64_t x = 0; x < w; ++x) {
+      const double gx =
+          (static_cast<double>(x) / std::max<int64_t>(w - 1, 1)) * (grid - 1);
+      const int64_t x0 = static_cast<int64_t>(gx);
+      const int64_t x1 = std::min(x0 + 1, grid - 1);
+      const double fx = gx - x0;
+      const double v = (1 - fy) * ((1 - fx) * coarse[y0 * grid + x0] +
+                                   fx * coarse[y0 * grid + x1]) +
+                       fy * ((1 - fx) * coarse[y1 * grid + x0] +
+                             fx * coarse[y1 * grid + x1]);
+      out[y * w + x] = static_cast<float>(v);
+    }
+  }
+}
+
+// One sample: shifted prototype + pixel noise.
+std::vector<float> MakeSample(const std::vector<float>& prototype,
+                              const SyntheticImageConfig& cfg, Rng& rng) {
+  const int64_t plane = cfg.height * cfg.width;
+  std::vector<float> sample(
+      static_cast<size_t>(cfg.channels * plane), 0.0f);
+  const int64_t sy = cfg.max_shift > 0
+                         ? static_cast<int64_t>(rng.NextIndex(
+                               static_cast<uint64_t>(2 * cfg.max_shift + 1))) -
+                               cfg.max_shift
+                         : 0;
+  const int64_t sx = cfg.max_shift > 0
+                         ? static_cast<int64_t>(rng.NextIndex(
+                               static_cast<uint64_t>(2 * cfg.max_shift + 1))) -
+                               cfg.max_shift
+                         : 0;
+  for (int64_t c = 0; c < cfg.channels; ++c) {
+    const float* proto = prototype.data() + c * plane;
+    float* dst = sample.data() + c * plane;
+    for (int64_t y = 0; y < cfg.height; ++y) {
+      const int64_t py = y + sy;
+      for (int64_t x = 0; x < cfg.width; ++x) {
+        const int64_t px = x + sx;
+        float v = 0.0f;
+        if (py >= 0 && py < cfg.height && px >= 0 && px < cfg.width) {
+          v = proto[py * cfg.width + px];
+        }
+        v += static_cast<float>(rng.Gaussian(0.0, cfg.noise_stddev));
+        dst[y * cfg.width + x] = v;
+      }
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+TrainTestSplit GenerateSyntheticImages(const SyntheticImageConfig& cfg) {
+  FEDMP_CHECK_GT(cfg.num_classes, 0);
+  FEDMP_CHECK_GT(cfg.channels, 0);
+  FEDMP_CHECK_GE(cfg.prototype_grid, 2);
+  Rng rng(cfg.seed);
+
+  // Deterministic per-class prototypes.
+  const int64_t plane = cfg.height * cfg.width;
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(static_cast<size_t>(cfg.num_classes));
+  for (int64_t k = 0; k < cfg.num_classes; ++k) {
+    std::vector<float> proto(static_cast<size_t>(cfg.channels * plane));
+    for (int64_t c = 0; c < cfg.channels; ++c) {
+      std::vector<float> coarse(
+          static_cast<size_t>(cfg.prototype_grid * cfg.prototype_grid));
+      for (auto& v : coarse) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      UpsampleBilinear(coarse, cfg.prototype_grid, cfg.height, cfg.width,
+                       proto.data() + c * plane);
+    }
+    prototypes.push_back(std::move(proto));
+  }
+
+  TrainTestSplit split;
+  for (Dataset* ds : {&split.train, &split.test}) {
+    ds->example_shape = {cfg.channels, cfg.height, cfg.width};
+    ds->num_classes = cfg.num_classes;
+  }
+  for (int64_t k = 0; k < cfg.num_classes; ++k) {
+    for (int64_t i = 0; i < cfg.train_per_class; ++i) {
+      split.train.examples.push_back(
+          MakeSample(prototypes[static_cast<size_t>(k)], cfg, rng));
+      split.train.labels.push_back(k);
+    }
+    for (int64_t i = 0; i < cfg.test_per_class; ++i) {
+      split.test.examples.push_back(
+          MakeSample(prototypes[static_cast<size_t>(k)], cfg, rng));
+      split.test.labels.push_back(k);
+    }
+  }
+  // Shuffle so sequential mini-batches are class-mixed.
+  for (Dataset* ds : {&split.train, &split.test}) {
+    std::vector<int64_t> order(static_cast<size_t>(ds->size()));
+    for (size_t i = 0; i < order.size(); ++i) order[i] = (int64_t)i;
+    rng.Shuffle(order);
+    *ds = ds->Subset(order);
+  }
+  return split;
+}
+
+}  // namespace fedmp::data

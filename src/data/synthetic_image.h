@@ -1,0 +1,39 @@
+#ifndef FEDMP_DATA_SYNTHETIC_IMAGE_H_
+#define FEDMP_DATA_SYNTHETIC_IMAGE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fedmp::data {
+
+// Class-conditional synthetic image generator standing in for MNIST /
+// CIFAR-10 / EMNIST / Tiny-ImageNet (none of which are available offline;
+// see DESIGN.md §2). Each class gets a smooth random prototype (a coarse
+// random grid bilinearly upsampled); samples are the prototype under a small
+// random translation plus Gaussian pixel noise. The task difficulty is
+// controlled by noise, shift, and class count, and is learnable by exactly
+// the CNN capacity knobs pruning removes.
+struct SyntheticImageConfig {
+  int64_t channels = 1;
+  int64_t height = 14;
+  int64_t width = 14;
+  int64_t num_classes = 10;
+  int64_t train_per_class = 100;
+  int64_t test_per_class = 40;
+  double noise_stddev = 0.35;
+  int64_t max_shift = 2;        // uniform translation in [-max_shift, +]
+  int64_t prototype_grid = 4;   // coarse grid size before upsampling
+  uint64_t seed = 42;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+TrainTestSplit GenerateSyntheticImages(const SyntheticImageConfig& config);
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_SYNTHETIC_IMAGE_H_

@@ -1,0 +1,83 @@
+#include "data/synthetic_text.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fedmp::data {
+
+TrainTestSplit GenerateSyntheticText(const SyntheticTextConfig& cfg) {
+  FEDMP_CHECK_GT(cfg.vocab_size, 1);
+  FEDMP_CHECK_GT(cfg.seq_len, 1);
+  FEDMP_CHECK_GT(cfg.branching, 0);
+  FEDMP_CHECK(cfg.concentration > 0.0 && cfg.concentration <= 1.0);
+  Rng rng(cfg.seed);
+
+  const int64_t v = cfg.vocab_size;
+  // Row-stochastic transition matrix with `branching` favoured successors.
+  std::vector<double> transition(static_cast<size_t>(v * v),
+                                 (1.0 - cfg.concentration) /
+                                     static_cast<double>(v));
+  for (int64_t s = 0; s < v; ++s) {
+    for (int64_t b = 0; b < cfg.branching; ++b) {
+      const int64_t succ = static_cast<int64_t>(
+          rng.NextIndex(static_cast<uint64_t>(v)));
+      transition[static_cast<size_t>(s * v + succ)] +=
+          cfg.concentration / static_cast<double>(cfg.branching);
+    }
+  }
+
+  auto sample_next = [&](int64_t state) -> int64_t {
+    double r = rng.NextDouble();
+    const double* row = transition.data() + state * v;
+    for (int64_t j = 0; j < v; ++j) {
+      r -= row[j];
+      if (r <= 0.0) return j;
+    }
+    return v - 1;
+  };
+
+  auto make_windows = [&](int64_t count, Dataset* ds) {
+    ds->example_shape = {cfg.seq_len + 1};
+    ds->num_classes = v;
+    int64_t state = static_cast<int64_t>(rng.NextIndex((uint64_t)v));
+    for (int64_t i = 0; i < count; ++i) {
+      std::vector<float> window(static_cast<size_t>(cfg.seq_len + 1));
+      for (int64_t t = 0; t <= cfg.seq_len; ++t) {
+        window[static_cast<size_t>(t)] = static_cast<float>(state);
+        state = sample_next(state);
+      }
+      ds->labels.push_back(
+          static_cast<int64_t>(window[static_cast<size_t>(cfg.seq_len)]));
+      ds->examples.push_back(std::move(window));
+    }
+  };
+
+  TrainTestSplit split;
+  make_windows(cfg.train_windows, &split.train);
+  make_windows(cfg.test_windows, &split.test);
+  return split;
+}
+
+void SplitLmBatch(const nn::Tensor& windows, nn::Tensor* inputs,
+                  std::vector<int64_t>* targets) {
+  FEDMP_CHECK_EQ(windows.ndim(), 2);
+  const int64_t batch = windows.dim(0);
+  const int64_t seq_plus1 = windows.dim(1);
+  FEDMP_CHECK_GT(seq_plus1, 1);
+  const int64_t seq = seq_plus1 - 1;
+  *inputs = nn::Tensor({batch, seq});
+  targets->assign(static_cast<size_t>(batch * seq), 0);
+  const float* pw = windows.data();
+  float* pi = inputs->data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      pi[b * seq + t] = pw[b * seq_plus1 + t];
+      (*targets)[static_cast<size_t>(b * seq + t)] =
+          static_cast<int64_t>(std::lround(pw[b * seq_plus1 + t + 1]));
+    }
+  }
+}
+
+}  // namespace fedmp::data

@@ -1,0 +1,41 @@
+#ifndef FEDMP_DATA_SYNTHETIC_TEXT_H_
+#define FEDMP_DATA_SYNTHETIC_TEXT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/synthetic_image.h"  // for TrainTestSplit
+
+namespace fedmp::data {
+
+// Synthetic language-modeling corpus standing in for Penn TreeBank (see
+// DESIGN.md §2): tokens are drawn from a sparse random first-order Markov
+// chain, so the stream has real predictable structure (perplexity well below
+// vocab size is achievable) while remaining fully deterministic from `seed`.
+//
+// Examples are windows of seq_len+1 tokens stored as floats in a Dataset
+// with example_shape {seq_len + 1}; consumers split each window into inputs
+// [0, seq_len) and next-token targets [1, seq_len]. `labels` holds the
+// window's final token (unused by the LM loss, convenient for smoke tests).
+struct SyntheticTextConfig {
+  int64_t vocab_size = 50;
+  int64_t seq_len = 16;
+  int64_t train_windows = 800;
+  int64_t test_windows = 200;
+  // Each token's successor distribution concentrates on this many tokens.
+  int64_t branching = 3;
+  // Probability mass assigned to the favoured successors (rest uniform).
+  double concentration = 0.9;
+  uint64_t seed = 7;
+};
+
+TrainTestSplit GenerateSyntheticText(const SyntheticTextConfig& config);
+
+// Splits a batch of windows [B, seq_len+1] into LM inputs [B, seq_len] and
+// flattened next-token targets of length B*seq_len.
+void SplitLmBatch(const nn::Tensor& windows, nn::Tensor* inputs,
+                  std::vector<int64_t>* targets);
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_SYNTHETIC_TEXT_H_

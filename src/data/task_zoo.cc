@@ -1,0 +1,283 @@
+#include "data/task_zoo.h"
+
+#include "common/logging.h"
+
+namespace fedmp::data {
+
+namespace {
+
+using nn::LayerSpec;
+using nn::ModelSpec;
+using nn::ShapeKind;
+
+ModelSpec CnnSpec(bool tiny) {
+  ModelSpec spec;
+  spec.name = tiny ? "cnn-tiny" : "cnn";
+  spec.input.kind = ShapeKind::kImage;
+  if (tiny) {
+    spec.input.c = 1;
+    spec.input.h = spec.input.w = 8;
+    spec.num_classes = 4;
+    spec.layers = {
+        LayerSpec::Conv(1, 4, 3, 1, 1), LayerSpec::Relu(),
+        LayerSpec::MaxPool(2, 2),       LayerSpec::Flat(),
+        LayerSpec::Dense(4 * 4 * 4, 4),
+    };
+    return spec;
+  }
+  // The paper's CNN [4]: two 5x5 convs, one hidden FC, softmax output.
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 14;
+  spec.num_classes = 10;
+  spec.layers = {
+      LayerSpec::Conv(1, 12, 5, 1, 2),  LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),         LayerSpec::Conv(12, 24, 5, 1, 2),
+      LayerSpec::Relu(),                LayerSpec::MaxPool(2, 2),
+      LayerSpec::Flat(),                LayerSpec::Dense(24 * 3 * 3, 96),
+      LayerSpec::Relu(),                LayerSpec::Dense(96, 10),
+  };
+  return spec;
+}
+
+ModelSpec AlexNetSpec(bool tiny) {
+  ModelSpec spec;
+  spec.name = tiny ? "alexnet-tiny" : "mini-alexnet";
+  spec.input.kind = ShapeKind::kImage;
+  if (tiny) {
+    spec.input.c = 3;
+    spec.input.h = spec.input.w = 8;
+    spec.num_classes = 4;
+    spec.layers = {
+        LayerSpec::Conv(3, 4, 3, 1, 1), LayerSpec::Relu(),
+        LayerSpec::MaxPool(2, 2),       LayerSpec::Flat(),
+        LayerSpec::Dense(4 * 4 * 4, 4),
+    };
+    return spec;
+  }
+  spec.input.c = 3;
+  spec.input.h = spec.input.w = 16;
+  spec.num_classes = 10;
+  spec.layers = {
+      LayerSpec::Conv(3, 16, 3, 1, 1),  LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),         LayerSpec::Conv(16, 32, 3, 1, 1),
+      LayerSpec::Relu(),                LayerSpec::MaxPool(2, 2),
+      LayerSpec::Conv(32, 32, 3, 1, 1), LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),         LayerSpec::Flat(),
+      LayerSpec::Dense(32 * 2 * 2, 96), LayerSpec::Relu(),
+      LayerSpec::Drop(0.2),             LayerSpec::Dense(96, 10),
+  };
+  return spec;
+}
+
+ModelSpec VggSpec(bool tiny) {
+  ModelSpec spec;
+  spec.name = tiny ? "vgg-tiny" : "mini-vgg";
+  spec.input.kind = ShapeKind::kImage;
+  if (tiny) {
+    spec.input.c = 1;
+    spec.input.h = spec.input.w = 8;
+    spec.num_classes = 6;
+    spec.layers = {
+        LayerSpec::Conv(1, 4, 3, 1, 1), LayerSpec::Relu(),
+        LayerSpec::Conv(4, 4, 3, 1, 1), LayerSpec::Relu(),
+        LayerSpec::MaxPool(2, 2),       LayerSpec::Flat(),
+        LayerSpec::Dense(4 * 4 * 4, 6),
+    };
+    return spec;
+  }
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 16;
+  spec.num_classes = 20;
+  spec.layers = {
+      LayerSpec::Conv(1, 12, 3, 1, 1),  LayerSpec::Relu(),
+      LayerSpec::Conv(12, 12, 3, 1, 1), LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),         LayerSpec::Conv(12, 24, 3, 1, 1),
+      LayerSpec::Relu(),                LayerSpec::Conv(24, 24, 3, 1, 1),
+      LayerSpec::Relu(),                LayerSpec::MaxPool(2, 2),
+      LayerSpec::Conv(24, 48, 3, 1, 1), LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),         LayerSpec::Flat(),
+      LayerSpec::Dense(48 * 2 * 2, 96), LayerSpec::Relu(),
+      LayerSpec::Dense(96, 20),
+  };
+  return spec;
+}
+
+ModelSpec ResNetSpec(bool tiny) {
+  ModelSpec spec;
+  spec.name = tiny ? "resnet-tiny" : "mini-resnet";
+  spec.input.kind = ShapeKind::kImage;
+  if (tiny) {
+    spec.input.c = 3;
+    spec.input.h = spec.input.w = 8;
+    spec.num_classes = 4;
+    spec.layers = {
+        LayerSpec::Conv(3, 8, 3, 1, 1), LayerSpec::BatchNorm(8),
+        LayerSpec::Relu(),              LayerSpec::Residual(8, 8),
+        LayerSpec::GlobalPool(),        LayerSpec::Dense(8, 4),
+    };
+    return spec;
+  }
+  spec.input.c = 3;
+  spec.input.h = spec.input.w = 16;
+  spec.num_classes = 20;
+  spec.layers = {
+      LayerSpec::Conv(3, 16, 3, 1, 1), LayerSpec::BatchNorm(16),
+      LayerSpec::Relu(),               LayerSpec::Residual(16, 16),
+      LayerSpec::MaxPool(2, 2),        LayerSpec::Residual(16, 16),
+      LayerSpec::MaxPool(2, 2),        LayerSpec::Residual(16, 16),
+      LayerSpec::GlobalPool(),         LayerSpec::Dense(16, 20),
+  };
+  return spec;
+}
+
+ModelSpec LstmSpec(bool tiny, int64_t vocab, int64_t seq_len) {
+  ModelSpec spec;
+  spec.name = tiny ? "lstm-tiny" : "lstm-lm";
+  spec.input.kind = ShapeKind::kTokens;
+  spec.input.t = seq_len;
+  spec.num_classes = vocab;
+  if (tiny) {
+    spec.layers = {
+        LayerSpec::Embed(vocab, 8),
+        LayerSpec::LstmLayer(8, 12),
+        LayerSpec::TimeFlat(),
+        LayerSpec::Dense(12, vocab),
+    };
+    return spec;
+  }
+  // The paper's §VI model: two stacked LSTM layers.
+  spec.layers = {
+      LayerSpec::Embed(vocab, 16),
+      LayerSpec::LstmLayer(16, 24),
+      LayerSpec::LstmLayer(24, 24),
+      LayerSpec::TimeFlat(),
+      LayerSpec::Dense(24, vocab),
+  };
+  return spec;
+}
+
+}  // namespace
+
+FlTask MakeCnnMnistTask(TaskScale scale, uint64_t seed) {
+  const bool tiny = scale == TaskScale::kTiny;
+  SyntheticImageConfig cfg;
+  cfg.channels = 1;
+  cfg.height = cfg.width = tiny ? 8 : 14;
+  cfg.num_classes = tiny ? 4 : 10;
+  cfg.train_per_class = tiny ? 12 : 100;
+  cfg.test_per_class = tiny ? 6 : 30;
+  cfg.noise_stddev = 0.30;
+  cfg.seed = seed;
+  TrainTestSplit split = GenerateSyntheticImages(cfg);
+  FlTask task;
+  task.name = "cnn";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = CnnSpec(tiny);
+  task.target_accuracy = 0.90;
+  return task;
+}
+
+FlTask MakeAlexNetCifarTask(TaskScale scale, uint64_t seed) {
+  const bool tiny = scale == TaskScale::kTiny;
+  SyntheticImageConfig cfg;
+  cfg.channels = 3;
+  cfg.height = cfg.width = tiny ? 8 : 16;
+  cfg.num_classes = tiny ? 4 : 10;
+  cfg.train_per_class = tiny ? 12 : 100;
+  cfg.test_per_class = tiny ? 6 : 30;
+  cfg.noise_stddev = 0.6;
+  cfg.seed = seed + 1;
+  TrainTestSplit split = GenerateSyntheticImages(cfg);
+  FlTask task;
+  task.name = "alexnet";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = AlexNetSpec(tiny);
+  task.target_accuracy = 0.80;
+  return task;
+}
+
+FlTask MakeVggEmnistTask(TaskScale scale, uint64_t seed) {
+  const bool tiny = scale == TaskScale::kTiny;
+  SyntheticImageConfig cfg;
+  cfg.channels = 1;
+  cfg.height = cfg.width = tiny ? 8 : 16;
+  cfg.num_classes = tiny ? 6 : 20;
+  cfg.train_per_class = tiny ? 10 : 50;
+  cfg.test_per_class = tiny ? 5 : 15;
+  cfg.noise_stddev = 0.55;
+  cfg.seed = seed + 2;
+  TrainTestSplit split = GenerateSyntheticImages(cfg);
+  FlTask task;
+  task.name = "vgg";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = VggSpec(tiny);
+  task.target_accuracy = 0.80;
+  return task;
+}
+
+FlTask MakeResNetTinyImagenetTask(TaskScale scale, uint64_t seed) {
+  const bool tiny = scale == TaskScale::kTiny;
+  SyntheticImageConfig cfg;
+  cfg.channels = 3;
+  cfg.height = cfg.width = tiny ? 8 : 16;
+  cfg.num_classes = tiny ? 4 : 20;
+  cfg.train_per_class = tiny ? 12 : 50;
+  cfg.test_per_class = tiny ? 6 : 15;
+  // Hardest task of the four (the paper reaches only ~47% on it).
+  cfg.noise_stddev = 1.1;
+  cfg.max_shift = 3;
+  cfg.seed = seed + 3;
+  TrainTestSplit split = GenerateSyntheticImages(cfg);
+  FlTask task;
+  task.name = "resnet";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = ResNetSpec(tiny);
+  task.target_accuracy = 0.45;
+  task.learning_rate = 0.02;
+  return task;
+}
+
+FlTask MakeLstmPtbTask(TaskScale scale, uint64_t seed) {
+  const bool tiny = scale == TaskScale::kTiny;
+  SyntheticTextConfig cfg;
+  cfg.vocab_size = tiny ? 12 : 40;
+  cfg.seq_len = tiny ? 6 : 16;
+  cfg.train_windows = tiny ? 60 : 700;
+  cfg.test_windows = tiny ? 20 : 200;
+  cfg.seed = seed + 4;
+  TrainTestSplit split = GenerateSyntheticText(cfg);
+  FlTask task;
+  task.name = "lstm";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  task.model = LstmSpec(tiny, cfg.vocab_size, cfg.seq_len);
+  task.is_language_model = true;
+  task.learning_rate = 0.5;
+  task.momentum = 0.0;
+  task.weight_decay = 0.0;
+  task.target_perplexity = tiny ? 9.0 : 20.0;
+  return task;
+}
+
+FlTask MakeTaskByName(const std::string& name, TaskScale scale,
+                      uint64_t seed) {
+  if (name == "cnn") return MakeCnnMnistTask(scale, seed);
+  if (name == "alexnet") return MakeAlexNetCifarTask(scale, seed);
+  if (name == "vgg") return MakeVggEmnistTask(scale, seed);
+  if (name == "resnet") return MakeResNetTinyImagenetTask(scale, seed);
+  if (name == "lstm") return MakeLstmPtbTask(scale, seed);
+  FEDMP_LOG(Fatal) << "unknown task name: " << name;
+  __builtin_unreachable();
+}
+
+const std::vector<std::string>& VisionTaskNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"cnn", "alexnet", "vgg", "resnet"};
+  return names;
+}
+
+}  // namespace fedmp::data

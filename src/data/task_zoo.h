@@ -1,0 +1,55 @@
+#ifndef FEDMP_DATA_TASK_ZOO_H_
+#define FEDMP_DATA_TASK_ZOO_H_
+
+#include <string>
+
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "nn/model_spec.h"
+
+namespace fedmp::data {
+
+// One of the paper's FL workloads: dataset + architecture + training
+// hyper-parameters + the evaluation targets used in §V.
+struct FlTask {
+  std::string name;
+  Dataset train;
+  Dataset test;
+  nn::ModelSpec model;
+  bool is_language_model = false;
+
+  // Training hyper-parameters (paper defaults adapted to the bench scale).
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  int64_t batch_size = 16;
+  int64_t local_iterations = 3;  // tau
+
+  // §V targets (accuracy for vision, perplexity for the LM).
+  double target_accuracy = 0.0;
+  double target_perplexity = 0.0;
+};
+
+// Scale knob: kBench keeps every experiment runnable on one CPU core while
+// preserving relative model sizes; kTiny is for unit tests.
+enum class TaskScale { kTiny, kBench };
+
+// The paper's four vision tasks (§V-A) on synthetic stand-in data.
+FlTask MakeCnnMnistTask(TaskScale scale, uint64_t seed);          // CNN/MNIST
+FlTask MakeAlexNetCifarTask(TaskScale scale, uint64_t seed);      // AlexNet/CIFAR-10
+FlTask MakeVggEmnistTask(TaskScale scale, uint64_t seed);         // VGG-19/EMNIST
+FlTask MakeResNetTinyImagenetTask(TaskScale scale, uint64_t seed);// ResNet-50/Tiny-ImageNet
+
+// The §VI RNN extension: 2-layer LSTM LM on a synthetic PTB stand-in.
+FlTask MakeLstmPtbTask(TaskScale scale, uint64_t seed);
+
+// Task by paper name: "cnn", "alexnet", "vgg", "resnet", "lstm".
+FlTask MakeTaskByName(const std::string& name, TaskScale scale,
+                      uint64_t seed);
+
+// All four vision task names in paper order.
+const std::vector<std::string>& VisionTaskNames();
+
+}  // namespace fedmp::data
+
+#endif  // FEDMP_DATA_TASK_ZOO_H_

@@ -1,0 +1,96 @@
+#include "edge/cluster.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fedmp::edge {
+
+const char* ClusterName(ClusterId id) {
+  switch (id) {
+    case ClusterId::kA: return "A";
+    case ClusterId::kB: return "B";
+    case ClusterId::kC: return "C";
+  }
+  return "?";
+}
+
+const char* HeterogeneityName(HeterogeneityLevel level) {
+  switch (level) {
+    case HeterogeneityLevel::kLow: return "Low";
+    case HeterogeneityLevel::kMedium: return "Medium";
+    case HeterogeneityLevel::kHigh: return "High";
+  }
+  return "?";
+}
+
+std::vector<DeviceProfile> MakeCluster(ClusterId id, int count,
+                                       uint64_t seed) {
+  FEDMP_CHECK_GE(count, 0);
+  Rng rng(seed ^ (static_cast<uint64_t>(id) + 1) * 0x9E3779B9ULL);
+  WirelessLinkConfig link;
+
+  // Fig. 3: X-axis computing modes, Y-axis distance band per cluster.
+  int mode_lo = 0, mode_hi = 0;
+  double dist_lo = 0.0, dist_hi = 0.0;
+  switch (id) {
+    case ClusterId::kA:
+      mode_lo = 0; mode_hi = 1;
+      dist_lo = 5.0; dist_hi = 15.0;
+      break;
+    case ClusterId::kB:
+      mode_lo = 1; mode_hi = 2;
+      dist_lo = 15.0; dist_hi = 30.0;
+      break;
+    case ClusterId::kC:
+      mode_lo = 2; mode_hi = 3;
+      dist_lo = 25.0; dist_hi = 45.0;
+      break;
+  }
+
+  std::vector<DeviceProfile> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int mode = mode_lo + static_cast<int>(rng.NextIndex(
+                                   static_cast<uint64_t>(mode_hi - mode_lo + 1)));
+    DeviceProfile p = JetsonTx2Mode(mode);
+    const double distance = rng.Uniform(dist_lo, dist_hi);
+    AssignLinkByDistance(distance, link, &p);
+    p.name = StrFormat("%s%d-%s", ClusterName(id), i, p.name.c_str());
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<DeviceProfile> MakeHeterogeneousWorkers(HeterogeneityLevel level,
+                                                    uint64_t seed) {
+  std::vector<DeviceProfile> out;
+  auto append = [&](ClusterId id, int count) {
+    auto cluster = MakeCluster(id, count, seed);
+    out.insert(out.end(), cluster.begin(), cluster.end());
+  };
+  switch (level) {
+    case HeterogeneityLevel::kLow:
+      append(ClusterId::kA, 10);
+      break;
+    case HeterogeneityLevel::kMedium:
+      append(ClusterId::kA, 5);
+      append(ClusterId::kB, 5);
+      break;
+    case HeterogeneityLevel::kHigh:
+      append(ClusterId::kA, 3);
+      append(ClusterId::kB, 3);
+      append(ClusterId::kC, 4);
+      break;
+  }
+  return out;
+}
+
+std::vector<DeviceProfile> MakeHalfAHalfB(int count, uint64_t seed) {
+  FEDMP_CHECK_GT(count, 0);
+  std::vector<DeviceProfile> out = MakeCluster(ClusterId::kA, count / 2, seed);
+  auto b = MakeCluster(ClusterId::kB, count - count / 2, seed);
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace fedmp::edge

@@ -1,0 +1,39 @@
+#ifndef FEDMP_EDGE_CLUSTER_H_
+#define FEDMP_EDGE_CLUSTER_H_
+
+#include <vector>
+
+#include "edge/device.h"
+#include "edge/network.h"
+
+namespace fedmp::edge {
+
+// Fig. 3's device clusters: A (fast modes, near the PS), B (mid), C (slow
+// modes, far). Selecting workers from these clusters creates the paper's
+// Low / Medium / High heterogeneity scenarios (§V-E).
+enum class ClusterId { kA, kB, kC };
+
+const char* ClusterName(ClusterId id);
+
+// `count` devices drawn from the cluster's computing modes and distance
+// band. Deterministic in (id, count, seed).
+std::vector<DeviceProfile> MakeCluster(ClusterId id, int count,
+                                       uint64_t seed);
+
+// The paper's three heterogeneity scenarios over 10 workers:
+//   Low    = 10 x A
+//   Medium = 5 x A + 5 x B       (also the experiments' default)
+//   High   = 3 x A + 3 x B + 4 x C
+enum class HeterogeneityLevel { kLow, kMedium, kHigh };
+
+const char* HeterogeneityName(HeterogeneityLevel level);
+
+std::vector<DeviceProfile> MakeHeterogeneousWorkers(HeterogeneityLevel level,
+                                                    uint64_t seed);
+
+// §V-G scalability scenario: `count` workers, half from A and half from B.
+std::vector<DeviceProfile> MakeHalfAHalfB(int count, uint64_t seed);
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_CLUSTER_H_

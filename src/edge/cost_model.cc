@@ -1,0 +1,53 @@
+#include "edge/cost_model.h"
+
+#include "common/logging.h"
+
+namespace fedmp::edge {
+
+double CompSeconds(const nn::ModelSpec& model, int64_t tau,
+                   int64_t batch_size, const DeviceRoundSample& device,
+                   const CostModelOptions& options) {
+  FEDMP_CHECK_GT(tau, 0);
+  FEDMP_CHECK_GT(batch_size, 0);
+  FEDMP_CHECK_GT(device.flops_per_sec, 0.0);
+  const double fwd = static_cast<double>(model.ForwardFlopsPerSample());
+  const double train_flops = static_cast<double>(tau) *
+                             static_cast<double>(batch_size) * fwd *
+                             (1.0 + options.backward_flops_factor);
+  return train_flops / device.flops_per_sec;
+}
+
+double CommSeconds(double down_bytes, double up_bytes,
+                   const DeviceRoundSample& device,
+                   const CostModelOptions& options) {
+  FEDMP_CHECK_GT(device.uplink_bytes_per_sec, 0.0);
+  FEDMP_CHECK_GT(device.downlink_bytes_per_sec, 0.0);
+  return down_bytes / device.downlink_bytes_per_sec +
+         up_bytes / device.uplink_bytes_per_sec +
+         options.round_overhead_seconds;
+}
+
+RoundCost EstimateRoundCost(const nn::ModelSpec& model, int64_t tau,
+                            int64_t batch_size,
+                            const DeviceRoundSample& device,
+                            const CostModelOptions& options) {
+  const double bytes =
+      static_cast<double>(model.NumParams()) * options.bytes_per_param;
+  RoundCost cost;
+  cost.comp_seconds = CompSeconds(model, tau, batch_size, device, options);
+  cost.comm_seconds = CommSeconds(bytes, bytes, device, options);
+  return cost;
+}
+
+RoundCost EstimateRoundCostNominal(const nn::ModelSpec& model, int64_t tau,
+                                   int64_t batch_size,
+                                   const DeviceProfile& device,
+                                   const CostModelOptions& options) {
+  DeviceRoundSample sample;
+  sample.flops_per_sec = device.flops_per_sec;
+  sample.uplink_bytes_per_sec = device.uplink_bytes_per_sec;
+  sample.downlink_bytes_per_sec = device.downlink_bytes_per_sec;
+  return EstimateRoundCost(model, tau, batch_size, sample, options);
+}
+
+}  // namespace fedmp::edge

@@ -1,0 +1,54 @@
+#ifndef FEDMP_EDGE_COST_MODEL_H_
+#define FEDMP_EDGE_COST_MODEL_H_
+
+#include "edge/device.h"
+#include "nn/model_spec.h"
+
+namespace fedmp::edge {
+
+// Maps (model architecture, training configuration, device capability) to
+// the simulated wall-clock cost of one FL round on one worker — the
+// T_n = T_comp + T_comm decomposition of Eq. (5). Computation scales with
+// per-sample FLOPs (so structured pruning directly shrinks it), and
+// communication with parameter bytes in both directions.
+struct CostModelOptions {
+  // Backward pass costs ~2x the forward FLOPs (weight + input gradients).
+  double backward_flops_factor = 2.0;
+  double bytes_per_param = 4.0;  // float32
+  // Fixed per-round protocol overhead (connection setup, serialization).
+  double round_overhead_seconds = 0.2;
+};
+
+struct RoundCost {
+  double comp_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double total() const { return comp_seconds + comm_seconds; }
+};
+
+// Cost of tau local iterations at the given batch size plus a full
+// down+up model transfer, under one round's sampled device capability.
+RoundCost EstimateRoundCost(const nn::ModelSpec& model, int64_t tau,
+                            int64_t batch_size,
+                            const DeviceRoundSample& device,
+                            const CostModelOptions& options = {});
+
+// Same, from the nominal (un-jittered) profile.
+RoundCost EstimateRoundCostNominal(const nn::ModelSpec& model, int64_t tau,
+                                   int64_t batch_size,
+                                   const DeviceProfile& device,
+                                   const CostModelOptions& options = {});
+
+// Computation component only: tau iterations of batch_size samples.
+double CompSeconds(const nn::ModelSpec& model, int64_t tau,
+                   int64_t batch_size, const DeviceRoundSample& device,
+                   const CostModelOptions& options = {});
+
+// Communication component only, from explicit byte counts (lets callers
+// account for upload compression separately from the download).
+double CommSeconds(double down_bytes, double up_bytes,
+                   const DeviceRoundSample& device,
+                   const CostModelOptions& options = {});
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_COST_MODEL_H_

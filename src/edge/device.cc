@@ -1,0 +1,45 @@
+#include "edge/device.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fedmp::edge {
+
+DeviceProfile JetsonTx2Mode(int mode) {
+  // Relative compute capability of Table II's four DVFS modes; absolute
+  // scale chosen so that bench-scale models train in tens of simulated
+  // seconds per round, matching the paper's hundreds of seconds for the
+  // full-size models.
+  DeviceProfile p;
+  p.name = StrFormat("tx2-mode%d", mode);
+  switch (mode) {
+    case 0:
+      p.flops_per_sec = 5.4e7;  // 2.0GHz Denver2 x2 + 2.0GHz A57 x4 + 1.30GHz GPU
+      break;
+    case 1:
+      p.flops_per_sec = 3.8e7;  // A57-only + 1.12GHz GPU
+      break;
+    case 2:
+      p.flops_per_sec = 2.7e7;  // 1.4GHz clusters + 1.12GHz GPU
+      break;
+    case 3:
+      p.flops_per_sec = 1.6e7;  // 1.2GHz A57-only + 0.85GHz GPU
+      break;
+    default:
+      FEDMP_LOG(Fatal) << "Jetson TX2 mode must be 0..3, got " << mode;
+  }
+  return p;
+}
+
+DeviceRoundSample SampleRound(const DeviceProfile& profile, Rng& rng) {
+  DeviceRoundSample s;
+  s.flops_per_sec =
+      profile.flops_per_sec * rng.LognormalJitter(profile.jitter_sigma);
+  s.uplink_bytes_per_sec = profile.uplink_bytes_per_sec *
+                           rng.LognormalJitter(profile.jitter_sigma);
+  s.downlink_bytes_per_sec = profile.downlink_bytes_per_sec *
+                             rng.LognormalJitter(profile.jitter_sigma);
+  return s;
+}
+
+}  // namespace fedmp::edge

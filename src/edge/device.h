@@ -1,0 +1,42 @@
+#ifndef FEDMP_EDGE_DEVICE_H_
+#define FEDMP_EDGE_DEVICE_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace fedmp::edge {
+
+// Simulated edge-device capability. Stands in for the paper's Jetson TX2
+// boards (Table II computing modes) plus their wireless links (Fig. 3
+// locations): the FL algorithms under study see capability only through
+// per-round completion times, which this profile generates.
+struct DeviceProfile {
+  std::string name;
+  // Effective training throughput (useful FLOP/s the device sustains on
+  // conv/GEMM workloads).
+  double flops_per_sec = 1e9;
+  // Link throughput to/from the PS in bytes/s.
+  double uplink_bytes_per_sec = 1e6;
+  double downlink_bytes_per_sec = 2e6;
+  // Per-round multiplicative lognormal jitter applied to compute speed and
+  // link bandwidth (dynamic capability variation, §I).
+  double jitter_sigma = 0.10;
+};
+
+// Table II computing modes 0..3 (capability decreasing with mode), scaled
+// to this simulator's unit system. Mode 0 ~ full Denver2+A57+1.30GHz GPU.
+DeviceProfile JetsonTx2Mode(int mode);
+
+// One sampled round realization of a device: jittered speed and bandwidth.
+struct DeviceRoundSample {
+  double flops_per_sec = 0.0;
+  double uplink_bytes_per_sec = 0.0;
+  double downlink_bytes_per_sec = 0.0;
+};
+
+DeviceRoundSample SampleRound(const DeviceProfile& profile, Rng& rng);
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_DEVICE_H_

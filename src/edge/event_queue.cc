@@ -1,0 +1,35 @@
+#include "edge/event_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fedmp::edge {
+
+namespace {
+// std::push_heap builds a max-heap; invert to get earliest-first.
+bool Later(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.sequence > b.sequence;
+}
+}  // namespace
+
+void EventQueue::Push(double time, int worker) {
+  heap_.push_back(Event{time, worker, next_sequence_++});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+Event EventQueue::Pop() {
+  FEDMP_CHECK(!heap_.empty()) << "Pop on empty EventQueue";
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+const Event& EventQueue::Peek() const {
+  FEDMP_CHECK(!heap_.empty()) << "Peek on empty EventQueue";
+  return heap_.front();
+}
+
+}  // namespace fedmp::edge

@@ -1,0 +1,37 @@
+#ifndef FEDMP_EDGE_EVENT_QUEUE_H_
+#define FEDMP_EDGE_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedmp::edge {
+
+// A timestamped worker-completion event in the asynchronous trainer.
+struct Event {
+  double time = 0.0;
+  int worker = 0;
+  // Monotonic tiebreaker: events at equal times pop in push order, making
+  // the async schedule fully deterministic.
+  uint64_t sequence = 0;
+};
+
+// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+ public:
+  void Push(double time, int worker);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Earliest event (FEDMP_CHECKs non-empty).
+  Event Pop();
+  const Event& Peek() const;
+
+ private:
+  std::vector<Event> heap_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_EVENT_QUEUE_H_

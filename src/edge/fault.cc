@@ -1,0 +1,69 @@
+#include "edge/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fedmp::edge {
+
+DeadlineOutcome ApplyDeadline(const std::vector<double>& completion_times,
+                              const DeadlinePolicy& policy) {
+  FEDMP_CHECK(!completion_times.empty());
+  DeadlineOutcome out;
+  // Crashed workers (+inf) never arrive, regardless of the deadline.
+  std::vector<double> finite;
+  for (double t : completion_times) {
+    if (std::isfinite(t)) finite.push_back(t);
+  }
+  FEDMP_CHECK(!finite.empty()) << "every worker crashed this round";
+
+  if (!policy.enabled) {
+    out.deadline = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < completion_times.size(); ++i) {
+      if (!std::isfinite(completion_times[i])) continue;
+      out.survivors.push_back(static_cast<int>(i));
+      out.round_time = std::max(out.round_time, completion_times[i]);
+    }
+    return out;
+  }
+  FEDMP_CHECK(policy.quantile > 0.0 && policy.quantile <= 1.0);
+  FEDMP_CHECK_GE(policy.slack, 1.0);
+
+  // d = arrival time of the ceil(q*N)-th fastest worker; workers that never
+  // arrive are assessed against the quantile of those that do.
+  std::sort(finite.begin(), finite.end());
+  const size_t n = completion_times.size();
+  size_t idx = static_cast<size_t>(
+      std::ceil(policy.quantile * static_cast<double>(n)));
+  idx = std::min(std::max<size_t>(idx, 1), finite.size()) - 1;
+  const double d = finite[idx];
+  out.deadline = policy.slack * d;
+
+  for (size_t i = 0; i < completion_times.size(); ++i) {
+    if (std::isfinite(completion_times[i]) &&
+        completion_times[i] <= out.deadline) {
+      out.survivors.push_back(static_cast<int>(i));
+      out.round_time = std::max(out.round_time, completion_times[i]);
+    }
+  }
+  // If stragglers were dropped, the PS waits until the deadline expires.
+  if (out.survivors.size() < completion_times.size()) {
+    out.round_time = out.deadline;
+  }
+  FEDMP_CHECK(!out.survivors.empty());
+  return out;
+}
+
+void InjectCrashes(double crash_prob, Rng& rng,
+                   std::vector<double>* completion_times) {
+  FEDMP_CHECK(crash_prob >= 0.0 && crash_prob < 1.0);
+  for (double& t : *completion_times) {
+    if (rng.NextDouble() < crash_prob) {
+      t = std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+}  // namespace fedmp::edge

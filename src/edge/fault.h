@@ -1,0 +1,40 @@
+#ifndef FEDMP_EDGE_FAULT_H_
+#define FEDMP_EDGE_FAULT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fedmp::edge {
+
+// §V-A fault tolerance: the PS records the time d at which a fraction
+// (default 85%) of the local models have arrived and sets the round deadline
+// to slack*d (default 1.5d). Workers missing the deadline are discarded for
+// the round.
+struct DeadlinePolicy {
+  double quantile = 0.85;
+  double slack = 1.5;
+  bool enabled = true;
+};
+
+struct DeadlineOutcome {
+  // Workers (indices into the input vector) whose updates arrive in time.
+  std::vector<int> survivors;
+  double deadline = 0.0;
+  // The time the PS waits this round: max survivor time, capped by the
+  // deadline when stragglers are dropped.
+  double round_time = 0.0;
+};
+
+DeadlineOutcome ApplyDeadline(const std::vector<double>& completion_times,
+                              const DeadlinePolicy& policy);
+
+// Failure injection for robustness tests: each worker independently crashes
+// this round with probability `crash_prob` (its completion time becomes
+// +infinity, so the deadline policy drops it).
+void InjectCrashes(double crash_prob, Rng& rng,
+                   std::vector<double>* completion_times);
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_FAULT_H_

@@ -1,0 +1,26 @@
+#include "edge/network.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::edge {
+
+double PathLossFactor(double distance_m, const WirelessLinkConfig& config) {
+  FEDMP_CHECK_GT(distance_m, 0.0);
+  FEDMP_CHECK_GT(config.reference_distance_m, 0.0);
+  const double ratio = distance_m / config.reference_distance_m;
+  if (ratio <= 1.0) return 1.0;  // throughput saturates near the PS
+  return std::pow(ratio, -config.path_loss_exponent);
+}
+
+void AssignLinkByDistance(double distance_m, const WirelessLinkConfig& config,
+                          DeviceProfile* profile) {
+  const double factor = PathLossFactor(distance_m, config);
+  profile->uplink_bytes_per_sec =
+      config.base_uplink_bytes_per_sec * factor;
+  profile->downlink_bytes_per_sec =
+      config.base_downlink_bytes_per_sec * factor;
+}
+
+}  // namespace fedmp::edge

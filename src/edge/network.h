@@ -1,0 +1,30 @@
+#ifndef FEDMP_EDGE_NETWORK_H_
+#define FEDMP_EDGE_NETWORK_H_
+
+#include "edge/device.h"
+
+namespace fedmp::edge {
+
+// Wireless-link model for the paper's location-based communication
+// heterogeneity (§V-A: devices placed at different distances from the PS).
+// Throughput decays with distance following a simple log-distance path-loss
+// inspired rule; the absolute constants put bench-scale model transfers in
+// the same per-round ballpark as local computation, as in the paper's
+// testbed (WAN ~15x slower than LAN [7]).
+struct WirelessLinkConfig {
+  double base_uplink_bytes_per_sec = 2.0e5;    // at reference distance
+  double base_downlink_bytes_per_sec = 4.0e5;  // PS tx power is higher
+  double reference_distance_m = 10.0;
+  double path_loss_exponent = 1.5;
+};
+
+// Applies the distance-dependent throughput to a device profile.
+void AssignLinkByDistance(double distance_m, const WirelessLinkConfig& config,
+                          DeviceProfile* profile);
+
+// Throughput multiplier at `distance_m` relative to the reference distance.
+double PathLossFactor(double distance_m, const WirelessLinkConfig& config);
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_NETWORK_H_

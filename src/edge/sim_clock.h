@@ -1,0 +1,31 @@
+#ifndef FEDMP_EDGE_SIM_CLOCK_H_
+#define FEDMP_EDGE_SIM_CLOCK_H_
+
+#include "common/logging.h"
+
+namespace fedmp::edge {
+
+// Simulated wall clock. All experiment timelines (accuracy-vs-time curves,
+// time budgets, speedups) run on this clock, driven by the cost model —
+// never by host time.
+class SimClock {
+ public:
+  double now() const { return now_; }
+
+  void Advance(double seconds) {
+    FEDMP_CHECK_GE(seconds, 0.0) << "clock cannot go backwards";
+    now_ += seconds;
+  }
+
+  void AdvanceTo(double t) {
+    FEDMP_CHECK_GE(t, now_) << "clock cannot go backwards";
+    now_ = t;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace fedmp::edge
+
+#endif  // FEDMP_EDGE_SIM_CLOCK_H_

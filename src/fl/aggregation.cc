@@ -1,0 +1,98 @@
+#include "fl/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fl/quantize.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::fl {
+
+const char* SyncSchemeName(SyncScheme scheme) {
+  switch (scheme) {
+    case SyncScheme::kR2SP: return "R2SP";
+    case SyncScheme::kBSP: return "BSP";
+  }
+  return "?";
+}
+
+StatusOr<nn::TensorList> AggregateSubModels(
+    const nn::ModelSpec& global_spec, const nn::TensorList& global_weights,
+    const std::vector<SubModelUpdate>& updates, SyncScheme scheme,
+    bool quantize_residuals) {
+  if (updates.empty()) {
+    return InvalidArgumentError("aggregation with no participants");
+  }
+  nn::TensorList sum;
+  for (const SubModelUpdate& update : updates) {
+    FEDMP_CHECK(update.mask != nullptr && update.weights != nullptr);
+    FEDMP_ASSIGN_OR_RETURN(
+        nn::TensorList recovered,
+        pruning::RecoverToFull(global_spec, *update.weights, *update.mask));
+    if (scheme == SyncScheme::kR2SP) {
+      FEDMP_ASSIGN_OR_RETURN(
+          nn::TensorList residual,
+          pruning::ResidualModel(global_spec, global_weights, *update.mask));
+      if (quantize_residuals) {
+        residual = DequantizeList(Quantize8List(residual));
+      }
+      nn::AxpyLists(recovered, 1.0f, residual);
+    }
+    if (sum.empty()) {
+      sum = std::move(recovered);
+    } else {
+      nn::AxpyLists(sum, 1.0f, recovered);
+    }
+  }
+  nn::ScaleLists(sum, 1.0f / static_cast<float>(updates.size()));
+  return sum;
+}
+
+nn::TensorList FedAvg(const std::vector<const nn::TensorList*>& weights) {
+  FEDMP_CHECK(!weights.empty());
+  nn::TensorList sum = *weights[0];
+  for (size_t i = 1; i < weights.size(); ++i) {
+    nn::AxpyLists(sum, 1.0f, *weights[i]);
+  }
+  nn::ScaleLists(sum, 1.0f / static_cast<float>(weights.size()));
+  return sum;
+}
+
+nn::TensorList SparsifyUpdate(const nn::TensorList& reference,
+                              const nn::TensorList& trained,
+                              double compress_ratio) {
+  FEDMP_CHECK(compress_ratio >= 0.0 && compress_ratio < 1.0);
+  if (compress_ratio == 0.0) return trained;
+  nn::TensorList update = nn::SubLists(trained, reference);
+
+  // Global top-k by |delta| across all tensors.
+  std::vector<float> magnitudes;
+  magnitudes.reserve(static_cast<size_t>(nn::TotalNumel(update)));
+  for (const nn::Tensor& t : update) {
+    const float* p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      magnitudes.push_back(std::fabs(p[i]));
+    }
+  }
+  const size_t keep = static_cast<size_t>(
+      std::llround((1.0 - compress_ratio) *
+                   static_cast<double>(magnitudes.size())));
+  if (keep == 0) return reference;
+  if (keep >= magnitudes.size()) return trained;
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + (magnitudes.size() - keep),
+                   magnitudes.end());
+  const float threshold = magnitudes[magnitudes.size() - keep];
+
+  nn::TensorList out = reference;
+  for (size_t t = 0; t < update.size(); ++t) {
+    const float* pu = update[t].data();
+    float* po = out[t].data();
+    for (int64_t i = 0; i < update[t].numel(); ++i) {
+      if (std::fabs(pu[i]) >= threshold) po[i] += pu[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace fedmp::fl

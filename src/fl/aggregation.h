@@ -1,0 +1,56 @@
+#ifndef FEDMP_FL_AGGREGATION_H_
+#define FEDMP_FL_AGGREGATION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pruning/mask.h"
+#include "pruning/recovery.h"
+#include "pruning/sparsify.h"
+
+namespace fedmp::fl {
+
+// Parameter synchronization schemes for sub-models with diverse structures
+// (§III-C / §V-D).
+enum class SyncScheme {
+  // Residual Recovery Synchronous Parallel: each sub-model is recovered to
+  // full shape and its residual model (global - sparse(global)) is added
+  // back, so pruned units keep their weights across rounds:
+  //   global' = (1/|S|) sum_n (recover(sub_n) + residual_n)
+  kR2SP,
+  // Plain BSP over recovered sub-models: pruned coordinates contribute
+  // zero and decay — the baseline R2SP is compared against in Fig. 7.
+  kBSP,
+};
+
+const char* SyncSchemeName(SyncScheme scheme);
+
+// One worker's contribution to a round of aggregation.
+struct SubModelUpdate {
+  const pruning::PruneMask* mask = nullptr;     // mask it was pruned with
+  const nn::TensorList* weights = nullptr;      // trained sub-model weights
+};
+
+// Aggregates the participants' sub-models against the dispatch-time global
+// model `global_weights` under `scheme`. All masks must validate against
+// `global_spec`. With `quantize_residuals`, residual models pass through
+// 8-bit quantization (§III-C's PS memory optimization; see fl/quantize.h) —
+// the aggregate then carries the small reconstruction error.
+StatusOr<nn::TensorList> AggregateSubModels(
+    const nn::ModelSpec& global_spec, const nn::TensorList& global_weights,
+    const std::vector<SubModelUpdate>& updates, SyncScheme scheme,
+    bool quantize_residuals = false);
+
+// Plain FedAvg over full (unpruned) models.
+nn::TensorList FedAvg(const std::vector<const nn::TensorList*>& weights);
+
+// FlexCom-style update sparsification: keeps the largest-magnitude fraction
+// (1 - compress_ratio) of the update (trained - reference) entries and
+// returns reference + sparsified update. compress_ratio in [0, 1).
+nn::TensorList SparsifyUpdate(const nn::TensorList& reference,
+                              const nn::TensorList& trained,
+                              double compress_ratio);
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_AGGREGATION_H_

@@ -1,0 +1,217 @@
+#include "fl/async_trainer.h"
+
+#include <cmath>
+
+#include "edge/event_queue.h"
+#include "edge/sim_clock.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+
+namespace {
+
+// Everything the PS must remember about an in-flight worker dispatch.
+struct InFlight {
+  pruning::PruneMask mask;
+  nn::TensorList trained_weights;  // eager-trained at dispatch (equivalent:
+                                   // the worker sees no global change
+                                   // between dispatch and arrival)
+  nn::TensorList residual;         // dispatch-time residual model (R2SP)
+  double dispatch_time = 0.0;
+  double delta_loss = 0.0;
+  double final_loss = 0.0;
+  double ratio = 0.0;
+};
+
+}  // namespace
+
+AsyncTrainer::AsyncTrainer(const data::FlTask* task,
+                           std::vector<edge::DeviceProfile> devices,
+                           data::Partition partition,
+                           std::unique_ptr<Strategy> strategy,
+                           const AsyncTrainerOptions& options)
+    : task_(task),
+      devices_(std::move(devices)),
+      strategy_(std::move(strategy)),
+      options_(options),
+      rng_(options.base.seed) {
+  FEDMP_CHECK(task != nullptr);
+  FEDMP_CHECK(!devices_.empty());
+  FEDMP_CHECK_EQ(devices_.size(), partition.size());
+  FEDMP_CHECK(options_.m >= 1 &&
+              options_.m <= static_cast<int>(devices_.size()));
+  FEDMP_CHECK(strategy_->SupportsAsync())
+      << strategy_->Name() << " cannot run asynchronously";
+  server_ = std::make_unique<ParameterServer>(task_->model,
+                                              options_.base.seed ^ 0x5EEDULL);
+  strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
+  for (size_t n = 0; n < devices_.size(); ++n) {
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<int>(n), &task_->train, partition[n], devices_[n],
+        rng_.NextU64()));
+  }
+}
+
+RoundLog AsyncTrainer::Run() {
+  RoundLog log;
+  edge::SimClock clock;
+  edge::EventQueue queue;
+  const int num_workers = static_cast<int>(workers_.size());
+  const nn::ModelSpec& global_spec = server_->spec();
+  const double mixing = options_.mixing > 0.0
+                            ? options_.mixing
+                            : static_cast<double>(options_.m) /
+                                  static_cast<double>(num_workers);
+  std::vector<InFlight> inflight(static_cast<size_t>(num_workers));
+
+  // Dispatches a freshly planned sub-model to `worker` at the current
+  // clock, trains it eagerly, and schedules its arrival.
+  auto dispatch = [&](int worker, int64_t round) {
+    const size_t i = static_cast<size_t>(worker);
+    const WorkerRoundPlan plan = strategy_->PlanWorker(round, worker);
+    pruning::SubModel sub;
+    if (plan.pruning_ratio > 0.0) {
+      auto pruned = pruning::PruneByRatio(global_spec, server_->weights(),
+                                          plan.pruning_ratio);
+      FEDMP_CHECK(pruned.ok()) << pruned.status();
+      sub = std::move(pruned).value();
+    } else {
+      sub.spec = global_spec;
+      sub.weights = server_->weights();
+      sub.mask = pruning::FullMask(global_spec);
+    }
+
+    LocalTrainOptions local;
+    local.tau = plan.tau > 0 ? plan.tau : task_->local_iterations;
+    local.batch_size = task_->batch_size;
+    local.learning_rate = task_->learning_rate;
+    local.momentum = task_->momentum;
+    local.weight_decay = task_->weight_decay;
+    local.proximal_mu = plan.proximal_mu;
+    local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+    local.is_language_model = task_->is_language_model;
+    LocalResult result = workers_[i]->LocalTrain(sub.spec, sub.weights, local);
+
+    const edge::DeviceRoundSample sample =
+        edge::SampleRound(devices_[i], workers_[i]->rng());
+    const double comp = edge::CompSeconds(sub.spec, local.tau,
+                                          local.batch_size, sample,
+                                          options_.base.cost);
+    const double bytes = static_cast<double>(sub.spec.NumParams()) *
+                         options_.base.cost.bytes_per_param;
+    const double comm =
+        edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
+
+    auto residual = pruning::ResidualModel(global_spec, server_->weights(),
+                                           sub.mask);
+    FEDMP_CHECK(residual.ok()) << residual.status();
+    inflight[i] = InFlight{std::move(sub.mask), std::move(result.weights),
+                           std::move(residual).value(), clock.now(),
+                           result.initial_loss - result.final_loss,
+                           result.final_loss, plan.pruning_ratio};
+    queue.Push(clock.now() + comp + comm, worker);
+  };
+
+  for (int n = 0; n < num_workers; ++n) dispatch(n, /*round=*/0);
+
+  for (int64_t round = 0; round < options_.base.max_rounds; ++round) {
+    // Collect the first m arrivals (Algorithm 2 lines 4-7).
+    std::vector<int> arrived;
+    std::vector<double> arrival_durations;
+    double last_arrival = clock.now();
+    for (int j = 0; j < options_.m; ++j) {
+      const edge::Event event = queue.Pop();
+      arrived.push_back(event.worker);
+      last_arrival = event.time;
+      arrival_durations.push_back(
+          event.time -
+          inflight[static_cast<size_t>(event.worker)].dispatch_time);
+    }
+    clock.AdvanceTo(last_arrival);
+
+    // Update the global model from the m recovered models (+ residuals).
+    nn::TensorList sum;
+    double final_loss_sum = 0.0, ratio_sum = 0.0;
+    for (int worker : arrived) {
+      const InFlight& f = inflight[static_cast<size_t>(worker)];
+      auto recovered =
+          pruning::RecoverToFull(global_spec, f.trained_weights, f.mask);
+      FEDMP_CHECK(recovered.ok()) << recovered.status();
+      nn::TensorList contribution = std::move(recovered).value();
+      nn::AxpyLists(contribution, 1.0f, f.residual);
+      if (sum.empty()) {
+        sum = std::move(contribution);
+      } else {
+        nn::AxpyLists(sum, 1.0f, contribution);
+      }
+      final_loss_sum += f.final_loss;
+      ratio_sum += f.ratio;
+    }
+    nn::ScaleLists(sum, 1.0f / static_cast<float>(arrived.size()));
+    nn::TensorList mixed = server_->weights();
+    nn::ScaleLists(mixed, static_cast<float>(1.0 - mixing));
+    nn::AxpyLists(mixed, static_cast<float>(mixing), sum);
+    server_->SetWeights(std::move(mixed));
+
+    // Rewards for the m arrivals, then re-dispatch them (lines 8-10).
+    double mean_time = 0.0;
+    for (double d : arrival_durations) mean_time += d;
+    mean_time /= static_cast<double>(arrival_durations.size());
+    for (size_t j = 0; j < arrived.size(); ++j) {
+      strategy_->ObserveWorker(
+          round, arrived[j], arrival_durations[j], mean_time,
+          inflight[static_cast<size_t>(arrived[j])].delta_loss);
+    }
+    for (int worker : arrived) dispatch(worker, round + 1);
+
+    RoundRecord record;
+    record.round = round;
+    record.sim_time = clock.now();
+    record.round_seconds =
+        log.empty() ? clock.now()
+                    : clock.now() - log.records().back().sim_time;
+    record.train_loss =
+        final_loss_sum / static_cast<double>(arrived.size());
+    record.mean_ratio = ratio_sum / static_cast<double>(arrived.size());
+    record.participants = static_cast<int64_t>(arrived.size());
+
+    bool stop = round + 1 >= options_.base.max_rounds ||
+                clock.now() >= options_.base.time_budget_seconds;
+    if (round % options_.base.eval_every == 0 || stop) {
+      const auto eval = server_->Evaluate(
+          task_->test, options_.base.eval_batch_size,
+          task_->is_language_model, options_.base.eval_max_batches);
+      record.test_accuracy = eval.accuracy;
+      record.test_loss = eval.loss;
+      if (task_->is_language_model) {
+        record.test_perplexity = eval.perplexity;
+      }
+      if (options_.base.stop_at_accuracy > 0.0 &&
+          eval.accuracy >= options_.base.stop_at_accuracy) {
+        stop = true;
+      }
+      if (options_.base.verbose) {
+        FEDMP_LOG(Info) << "Asyn-" << strategy_->Name() << " round "
+                        << round << " t=" << record.sim_time
+                        << " acc=" << eval.accuracy;
+      }
+    }
+    log.Add(record);
+    if (stop) break;
+  }
+  return log;
+}
+
+RoundLog RunFederatedAsync(const data::FlTask& task,
+                           const std::vector<edge::DeviceProfile>& devices,
+                           std::unique_ptr<Strategy> strategy,
+                           const AsyncTrainerOptions& options) {
+  Rng rng(options.base.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(devices.size()), rng);
+  AsyncTrainer trainer(&task, devices, std::move(partition),
+                       std::move(strategy), options);
+  return trainer.Run();
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,56 @@
+#ifndef FEDMP_FL_ASYNC_TRAINER_H_
+#define FEDMP_FL_ASYNC_TRAINER_H_
+
+#include <memory>
+
+#include "fl/trainer.h"
+
+namespace fedmp::fl {
+
+struct AsyncTrainerOptions {
+  TrainerOptions base;
+  // Algorithm 2: the PS aggregates the first m arrivals per round.
+  int m = 5;
+  // Staleness mixing: new_global = (1-mix)*global + mix*aggregate(m).
+  // <=0 selects the default m/N. Mixing is needed because the aggregate of
+  // m workers carries residuals from their (possibly stale) dispatch-time
+  // globals; with mix = 1 and m << N old snapshots would overwrite fresh
+  // progress.
+  double mixing = -1.0;
+};
+
+// Asynchronous FedMP engine (Algorithm 2). Workers run continuously; when a
+// worker's update arrives the PS may fold it into the global model. Every
+// aggregation of m arrivals counts as one "round" for logging/evaluation.
+// The strategy must SupportsAsync() (FedMpStrategy -> Asyn-FedMP,
+// SynFlStrategy -> Asyn-FL [43]).
+class AsyncTrainer {
+ public:
+  AsyncTrainer(const data::FlTask* task,
+               std::vector<edge::DeviceProfile> devices,
+               data::Partition partition, std::unique_ptr<Strategy> strategy,
+               const AsyncTrainerOptions& options);
+
+  RoundLog Run();
+
+  const ParameterServer& server() const { return *server_; }
+
+ private:
+  const data::FlTask* task_;
+  std::vector<edge::DeviceProfile> devices_;
+  std::unique_ptr<Strategy> strategy_;
+  AsyncTrainerOptions options_;
+  std::unique_ptr<ParameterServer> server_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Rng rng_;
+};
+
+// Convenience wrapper with an IID partition.
+RoundLog RunFederatedAsync(const data::FlTask& task,
+                           const std::vector<edge::DeviceProfile>& devices,
+                           std::unique_ptr<Strategy> strategy,
+                           const AsyncTrainerOptions& options);
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_ASYNC_TRAINER_H_

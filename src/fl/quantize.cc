@@ -1,0 +1,72 @@
+#include "fl/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedmp::fl {
+
+QuantizedTensor Quantize8(const nn::Tensor& tensor) {
+  QuantizedTensor q;
+  q.shape = tensor.shape();
+  q.data.resize(static_cast<size_t>(tensor.numel()));
+  if (tensor.numel() == 0) return q;
+  const float* p = tensor.data();
+  float lo = p[0], hi = p[0];
+  for (int64_t i = 1; i < tensor.numel(); ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  q.min_value = lo;
+  q.scale = (hi - lo) / 255.0f;
+  if (q.scale == 0.0f) {
+    std::fill(q.data.begin(), q.data.end(), uint8_t{0});
+    return q;
+  }
+  for (int64_t i = 0; i < tensor.numel(); ++i) {
+    const float level = (p[i] - lo) / q.scale;
+    q.data[static_cast<size_t>(i)] = static_cast<uint8_t>(
+        std::min(255.0f, std::max(0.0f, std::round(level))));
+  }
+  return q;
+}
+
+nn::Tensor Dequantize(const QuantizedTensor& quantized) {
+  nn::Tensor out(quantized.shape);
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    p[i] = quantized.min_value +
+           quantized.scale *
+               static_cast<float>(quantized.data[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+QuantizedList Quantize8List(const nn::TensorList& tensors) {
+  QuantizedList out;
+  out.reserve(tensors.size());
+  for (const nn::Tensor& t : tensors) out.push_back(Quantize8(t));
+  return out;
+}
+
+nn::TensorList DequantizeList(const QuantizedList& quantized) {
+  nn::TensorList out;
+  out.reserve(quantized.size());
+  for (const QuantizedTensor& q : quantized) out.push_back(Dequantize(q));
+  return out;
+}
+
+double QuantizationErrorBound(const QuantizedTensor& quantized) {
+  return 0.5 * static_cast<double>(quantized.scale);
+}
+
+int64_t QuantizedByteSize(const QuantizedList& quantized) {
+  int64_t total = 0;
+  for (const QuantizedTensor& q : quantized) total += q.ByteSize();
+  return total;
+}
+
+int64_t Float32ByteSize(const nn::TensorList& tensors) {
+  return nn::TotalNumel(tensors) * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace fedmp::fl

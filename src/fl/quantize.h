@@ -1,0 +1,49 @@
+#ifndef FEDMP_FL_QUANTIZE_H_
+#define FEDMP_FL_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor_ops.h"
+
+namespace fedmp::fl {
+
+// §III-C: "we can quantize each parameter in residual models with fewer
+// bits to further reduce the memory overhead ... the memory occupied by the
+// residual model is only 10-20% of that by the original model."
+//
+// Affine per-tensor uint8 quantization: q = round((v - min) / scale),
+// v' = min + q * scale. A quantized tensor occupies ~25% of the float32
+// original (plus two floats of metadata).
+
+struct QuantizedTensor {
+  std::vector<int64_t> shape;
+  std::vector<uint8_t> data;
+  float min_value = 0.0f;
+  float scale = 0.0f;  // 0 for constant tensors
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(data.size() + sizeof(float) * 2 +
+                                shape.size() * sizeof(int64_t));
+  }
+};
+
+using QuantizedList = std::vector<QuantizedTensor>;
+
+QuantizedTensor Quantize8(const nn::Tensor& tensor);
+nn::Tensor Dequantize(const QuantizedTensor& quantized);
+
+QuantizedList Quantize8List(const nn::TensorList& tensors);
+nn::TensorList DequantizeList(const QuantizedList& quantized);
+
+// Worst-case absolute reconstruction error of a quantized tensor:
+// half a quantization step.
+double QuantizationErrorBound(const QuantizedTensor& quantized);
+
+// Total bytes of a quantized list vs its float32 original.
+int64_t QuantizedByteSize(const QuantizedList& quantized);
+int64_t Float32ByteSize(const nn::TensorList& tensors);
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_QUANTIZE_H_

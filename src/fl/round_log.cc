@@ -1,0 +1,83 @@
+#include "fl/round_log.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fedmp::fl {
+
+double RoundLog::TimeToAccuracy(double target) const {
+  for (const RoundRecord& r : records_) {
+    if (r.test_accuracy >= target) return r.sim_time;
+  }
+  return -1.0;
+}
+
+double RoundLog::TimeToPerplexity(double target) const {
+  for (const RoundRecord& r : records_) {
+    if (r.test_perplexity >= 0.0 && r.test_perplexity <= target) {
+      return r.sim_time;
+    }
+  }
+  return -1.0;
+}
+
+double RoundLog::BestAccuracyWithin(double time_budget) const {
+  double best = -1.0;
+  for (const RoundRecord& r : records_) {
+    if (r.sim_time > time_budget) break;
+    if (r.test_accuracy > best) best = r.test_accuracy;
+  }
+  return best;
+}
+
+double RoundLog::BestPerplexityWithin(double time_budget) const {
+  double best = -1.0;
+  for (const RoundRecord& r : records_) {
+    if (r.sim_time > time_budget) break;
+    if (r.test_perplexity < 0.0) continue;
+    if (best < 0.0 || r.test_perplexity < best) best = r.test_perplexity;
+  }
+  return best;
+}
+
+double RoundLog::FinalAccuracy() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->test_accuracy >= 0.0) return it->test_accuracy;
+  }
+  return -1.0;
+}
+
+double RoundLog::MeanDecisionOverheadMs() const {
+  if (records_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const RoundRecord& r : records_) acc += r.decision_overhead_ms;
+  return acc / static_cast<double>(records_.size());
+}
+
+double RoundLog::TotalSimTime() const {
+  return records_.empty() ? 0.0 : records_.back().sim_time;
+}
+
+CsvTable RoundLog::ToTable() const {
+  CsvTable table({"round", "sim_time", "round_seconds", "train_loss",
+                  "mean_ratio", "test_accuracy", "test_loss",
+                  "test_perplexity", "decision_overhead_ms",
+                  "participants"});
+  for (const RoundRecord& r : records_) {
+    Status s = table.AddRow(std::vector<std::string>{
+        StrFormat("%lld", (long long)r.round),
+        StrFormat("%.2f", r.sim_time),
+        StrFormat("%.2f", r.round_seconds),
+        StrFormat("%.4f", r.train_loss),
+        StrFormat("%.3f", r.mean_ratio),
+        StrFormat("%.4f", r.test_accuracy),
+        StrFormat("%.4f", r.test_loss),
+        StrFormat("%.3f", r.test_perplexity),
+        StrFormat("%.3f", r.decision_overhead_ms),
+        StrFormat("%lld", (long long)r.participants)});
+    FEDMP_CHECK(s.ok());
+  }
+  return table;
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,58 @@
+#ifndef FEDMP_FL_ROUND_LOG_H_
+#define FEDMP_FL_ROUND_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace fedmp::fl {
+
+// Everything an experiment records about one FL round. sim_time is the
+// simulated clock at the END of the round; metrics columns are NaN on
+// rounds without evaluation.
+struct RoundRecord {
+  int64_t round = 0;
+  double sim_time = 0.0;
+  double round_seconds = 0.0;
+  double train_loss = 0.0;       // mean final local loss of participants
+  double mean_ratio = 0.0;       // mean pruning ratio this round
+  double test_accuracy = -1.0;   // -1 when not evaluated
+  double test_loss = -1.0;
+  double test_perplexity = -1.0;
+  double decision_overhead_ms = 0.0;  // PS-side: ratio decision + pruning
+  int64_t participants = 0;
+};
+
+// Per-run record sequence plus the derived summary statistics the paper's
+// tables and figures report.
+class RoundLog {
+ public:
+  void Add(const RoundRecord& record) { records_.push_back(record); }
+  const std::vector<RoundRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+  // Simulated time at which test accuracy first reached `target`;
+  // -1 if never (time-to-accuracy, Figs. 8-10, 12).
+  double TimeToAccuracy(double target) const;
+  // Simulated time at which perplexity first dropped to `target`; -1 never.
+  double TimeToPerplexity(double target) const;
+  // Best accuracy among evaluations with sim_time <= budget (Table III).
+  double BestAccuracyWithin(double time_budget) const;
+  // Best (lowest) perplexity within the budget (Table IV); -1 if none.
+  double BestPerplexityWithin(double time_budget) const;
+  // Accuracy of the last evaluated round.
+  double FinalAccuracy() const;
+  // Mean decision overhead across rounds (Fig. 11).
+  double MeanDecisionOverheadMs() const;
+  double TotalSimTime() const;
+
+  CsvTable ToTable() const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_ROUND_LOG_H_

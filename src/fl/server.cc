@@ -1,0 +1,74 @@
+#include "fl/server.h"
+
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "data/synthetic_text.h"
+#include "nn/layers/softmax_xent.h"
+#include "nn/metrics.h"
+
+namespace fedmp::fl {
+
+ParameterServer::ParameterServer(nn::ModelSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  std::unique_ptr<nn::Model> model = nn::BuildModelOrDie(spec_, seed_);
+  weights_ = model->GetWeights();
+}
+
+void ParameterServer::SetWeights(nn::TensorList weights) {
+  FEDMP_CHECK(nn::SameShapes(weights, weights_))
+      << "SetWeights with mismatched shapes";
+  weights_ = std::move(weights);
+}
+
+ParameterServer::EvalResult ParameterServer::Evaluate(
+    const data::Dataset& test, int64_t batch_size, bool is_language_model,
+    int64_t max_batches) const {
+  std::unique_ptr<nn::Model> model = nn::BuildModelOrDie(spec_, seed_);
+  model->SetWeights(weights_);
+
+  data::DataLoader loader(&test, batch_size, /*shuffle=*/false,
+                          /*seed=*/1);
+  const int64_t batches_per_epoch =
+      (test.size() + batch_size - 1) / batch_size;
+  const int64_t batches = max_batches > 0
+                              ? std::min(max_batches, batches_per_epoch)
+                              : batches_per_epoch;
+
+  double loss_sum = 0.0;
+  double correct_weighted = 0.0;
+  int64_t total = 0;
+  for (int64_t b = 0; b < batches; ++b) {
+    nn::Tensor batch;
+    std::vector<int64_t> labels;
+    loader.NextBatch(&batch, &labels);
+    double loss = 0.0;
+    double acc = 0.0;
+    int64_t count = 0;
+    if (is_language_model) {
+      nn::Tensor inputs;
+      std::vector<int64_t> targets;
+      data::SplitLmBatch(batch, &inputs, &targets);
+      nn::Tensor logits = model->Forward(inputs, /*training=*/false);
+      loss = nn::SoftmaxCrossEntropy(logits, targets, nullptr);
+      acc = nn::Accuracy(logits, targets);
+      count = static_cast<int64_t>(targets.size());
+    } else {
+      nn::Tensor logits = model->Forward(batch, /*training=*/false);
+      loss = nn::SoftmaxCrossEntropy(logits, labels, nullptr);
+      acc = nn::Accuracy(logits, labels);
+      count = static_cast<int64_t>(labels.size());
+    }
+    loss_sum += loss * static_cast<double>(count);
+    correct_weighted += acc * static_cast<double>(count);
+    total += count;
+  }
+  EvalResult result;
+  FEDMP_CHECK_GT(total, 0);
+  result.loss = loss_sum / static_cast<double>(total);
+  result.accuracy = correct_weighted / static_cast<double>(total);
+  result.perplexity = nn::PerplexityFromLoss(result.loss);
+  return result;
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,44 @@
+#ifndef FEDMP_FL_SERVER_H_
+#define FEDMP_FL_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/model_builder.h"
+
+namespace fedmp::fl {
+
+// The parameter server: owns the global model (spec + weights) and the
+// central evaluation loop.
+class ParameterServer {
+ public:
+  // Builds the initial global model deterministically from `seed`.
+  ParameterServer(nn::ModelSpec spec, uint64_t seed);
+
+  const nn::ModelSpec& spec() const { return spec_; }
+  const nn::TensorList& weights() const { return weights_; }
+  void SetWeights(nn::TensorList weights);
+
+  struct EvalResult {
+    double accuracy = 0.0;
+    double loss = 0.0;
+    double perplexity = 0.0;
+  };
+
+  // Evaluates the current global model. For language models accuracy is
+  // next-token accuracy and perplexity = exp(loss). `max_batches` < 0 means
+  // the whole set.
+  EvalResult Evaluate(const data::Dataset& test, int64_t batch_size,
+                      bool is_language_model,
+                      int64_t max_batches = -1) const;
+
+ private:
+  nn::ModelSpec spec_;
+  nn::TensorList weights_;
+  uint64_t seed_;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_SERVER_H_

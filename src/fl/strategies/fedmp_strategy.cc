@@ -1,0 +1,123 @@
+#include "fl/strategies/fedmp_strategy.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace fedmp::fl {
+
+namespace {
+// Eq. (8)'s reward is a ratio of a loss decrease to a time gap and is
+// unbounded in both directions; UCB's padding term assumes rewards of unit
+// scale. Squash monotonically into (-1, 1) — ordering (what arm selection
+// uses) is preserved.
+double SquashReward(double r) { return r / (1.0 + std::fabs(r)); }
+}  // namespace
+
+FedMpStrategy::FedMpStrategy(const FedMpOptions& options)
+    : options_(options) {}
+
+std::string FedMpStrategy::Name() const {
+  if (options_.sync == SyncScheme::kBSP) return "FedMP-BSP";
+  if (options_.time_only_reward) return "FedMP-timeReward";
+  return "FedMP";
+}
+
+void FedMpStrategy::Initialize(int num_workers, uint64_t seed) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  agents_.clear();
+  Rng seeder(seed);
+  for (int n = 0; n < num_workers; ++n) {
+    agents_.push_back(
+        std::make_unique<bandit::EucbAgent>(options_.eucb, seeder.NextU64()));
+  }
+  last_ratios_.assign(static_cast<size_t>(num_workers), 0.0);
+}
+
+void FedMpStrategy::PlanRound(int64_t /*round*/,
+                              std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(plans->size(), agents_.size());
+  for (size_t n = 0; n < agents_.size(); ++n) {
+    const double ratio = agents_[n]->SelectRatio();
+    last_ratios_[n] = ratio;
+    (*plans)[n] = WorkerRoundPlan{};
+    (*plans)[n].pruning_ratio = ratio;
+  }
+}
+
+void FedMpStrategy::ObserveRound(int64_t /*round*/,
+                                 const RoundObservation& observation) {
+  FEDMP_CHECK_EQ(observation.completion_times.size(), agents_.size());
+  // Mean completion time over workers that finished (Eq. 8's denominator).
+  std::vector<double> finite;
+  for (size_t n = 0; n < agents_.size(); ++n) {
+    if (std::isfinite(observation.completion_times[n])) {
+      finite.push_back(observation.completion_times[n]);
+    }
+  }
+  const double mean_time = finite.empty() ? 1.0 : Mean(finite);
+  for (size_t n = 0; n < agents_.size(); ++n) {
+    double reward = 0.0;
+    if (std::isfinite(observation.completion_times[n])) {
+      if (options_.time_only_reward) {
+        reward = bandit::TimeOnlyReward(observation.completion_times[n]);
+      } else {
+        reward = bandit::FedMpReward(observation.delta_losses[n],
+                                     observation.completion_times[n],
+                                     mean_time, options_.reward);
+      }
+    }
+    // Crashed workers observe zero reward for the pulled arm.
+    agents_[n]->ObserveReward(SquashReward(reward));
+  }
+}
+
+WorkerRoundPlan FedMpStrategy::PlanWorker(int64_t /*round*/, int worker) {
+  FEDMP_CHECK(worker >= 0 &&
+              worker < static_cast<int>(agents_.size()));
+  WorkerRoundPlan plan;
+  plan.pruning_ratio =
+      agents_[static_cast<size_t>(worker)]->SelectRatio();
+  last_ratios_[static_cast<size_t>(worker)] = plan.pruning_ratio;
+  return plan;
+}
+
+void FedMpStrategy::ObserveWorker(int64_t /*round*/, int worker,
+                                  double completion_time, double mean_time,
+                                  double delta_loss) {
+  FEDMP_CHECK(worker >= 0 &&
+              worker < static_cast<int>(agents_.size()));
+  double reward = 0.0;
+  if (std::isfinite(completion_time)) {
+    reward = options_.time_only_reward
+                 ? bandit::TimeOnlyReward(completion_time)
+                 : bandit::FedMpReward(delta_loss, completion_time,
+                                       mean_time, options_.reward);
+  }
+  agents_[static_cast<size_t>(worker)]->ObserveReward(SquashReward(reward));
+}
+
+FixedRatioStrategy::FixedRatioStrategy(double ratio, SyncScheme sync)
+    : ratio_(ratio), sync_(sync) {
+  FEDMP_CHECK(ratio >= 0.0 && ratio < 1.0);
+}
+
+std::string FixedRatioStrategy::Name() const {
+  return StrFormat("Fixed(%.2f)", ratio_);
+}
+
+void FixedRatioStrategy::Initialize(int num_workers, uint64_t /*seed*/) {
+  num_workers_ = num_workers;
+}
+
+void FixedRatioStrategy::PlanRound(int64_t /*round*/,
+                                   std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(static_cast<int>(plans->size()), num_workers_);
+  for (auto& plan : *plans) {
+    plan = WorkerRoundPlan{};
+    plan.pruning_ratio = ratio_;
+  }
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,80 @@
+#ifndef FEDMP_FL_STRATEGIES_FEDMP_STRATEGY_H_
+#define FEDMP_FL_STRATEGIES_FEDMP_STRATEGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/eucb.h"
+#include "bandit/reward.h"
+#include "fl/strategy.h"
+
+namespace fedmp::fl {
+
+// The paper's method: one E-UCB agent per worker adaptively chooses that
+// worker's pruning ratio from completion-time feedback (Algorithm 1 +
+// Eq. 8), aggregated with R2SP.
+struct FedMpOptions {
+  bandit::EucbOptions eucb;
+  bandit::RewardOptions reward;
+  // Fig. 7 ablation: switch the aggregation scheme.
+  SyncScheme sync = SyncScheme::kR2SP;
+  // Ablation: replace the Eq. 8 reward with the naive 1/T reward.
+  bool time_only_reward = false;
+  // §III-C memory optimization: store residual models 8-bit quantized.
+  bool quantize_residuals = false;
+};
+
+class FedMpStrategy : public Strategy {
+ public:
+  explicit FedMpStrategy(const FedMpOptions& options = {});
+
+  std::string Name() const override;
+  SyncScheme sync_scheme() const override { return options_.sync; }
+  bool quantize_residuals() const override {
+    return options_.quantize_residuals;
+  }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t round,
+                    const RoundObservation& observation) override;
+
+  // Asynchronous FedMP (Algorithm 2): each arriving worker's agent is
+  // consulted/updated individually.
+  bool SupportsAsync() const override { return true; }
+  WorkerRoundPlan PlanWorker(int64_t round, int worker) override;
+  void ObserveWorker(int64_t round, int worker, double completion_time,
+                     double mean_time, double delta_loss) override;
+
+  // Introspection for tests and the overhead bench.
+  const bandit::EucbAgent& agent(int worker) const {
+    return *agents_[static_cast<size_t>(worker)];
+  }
+
+ private:
+  FedMpOptions options_;
+  std::vector<std::unique_ptr<bandit::EucbAgent>> agents_;
+  std::vector<double> last_ratios_;
+};
+
+// Ships every worker the same fixed-ratio pruned model every round. Used by
+// the Fig. 2 (accuracy vs ratio) and Fig. 5 (round time vs ratio) benches.
+class FixedRatioStrategy : public Strategy {
+ public:
+  explicit FixedRatioStrategy(double ratio,
+                              SyncScheme sync = SyncScheme::kR2SP);
+
+  std::string Name() const override;
+  SyncScheme sync_scheme() const override { return sync_; }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t round, const RoundObservation&) override {}
+
+ private:
+  double ratio_;
+  SyncScheme sync_;
+  int num_workers_ = 0;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGIES_FEDMP_STRATEGY_H_

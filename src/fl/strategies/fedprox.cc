@@ -1,0 +1,72 @@
+#include "fl/strategies/fedprox.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fedmp::fl {
+
+FedProxStrategy::FedProxStrategy(const FedProxOptions& options)
+    : options_(options) {
+  FEDMP_CHECK_GE(options.mu, 0.0);
+  FEDMP_CHECK_GE(options.min_tau, 1);
+  FEDMP_CHECK_GE(options.max_tau, options.min_tau);
+}
+
+void FedProxStrategy::Initialize(int num_workers, uint64_t /*seed*/) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  num_workers_ = num_workers;
+  per_iter_seconds_.assign(static_cast<size_t>(num_workers), 0.0);
+  taus_.assign(static_cast<size_t>(num_workers), options_.base_tau);
+}
+
+void FedProxStrategy::PlanRound(int64_t /*round*/,
+                                std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(static_cast<int>(plans->size()), num_workers_);
+  for (int n = 0; n < num_workers_; ++n) {
+    WorkerRoundPlan& plan = (*plans)[static_cast<size_t>(n)];
+    plan = WorkerRoundPlan{};
+    plan.tau = taus_[static_cast<size_t>(n)];
+    plan.proximal_mu = options_.mu;
+  }
+}
+
+void FedProxStrategy::ObserveRound(int64_t /*round*/,
+                                   const RoundObservation& observation) {
+  FEDMP_CHECK_EQ(static_cast<int>(observation.comp_times.size()),
+                 num_workers_);
+  // Update the per-iteration compute estimate from this round's compute
+  // time and the iteration count each worker actually ran.
+  std::vector<double> estimates;
+  for (int n = 0; n < num_workers_; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    if (!std::isfinite(observation.comp_times[i])) continue;
+    const double per_iter =
+        observation.comp_times[i] / static_cast<double>(taus_[i]);
+    per_iter_seconds_[i] =
+        per_iter_seconds_[i] <= 0.0
+            ? per_iter
+            : options_.ema * per_iter +
+                  (1.0 - options_.ema) * per_iter_seconds_[i];
+    estimates.push_back(per_iter_seconds_[i]);
+  }
+  if (estimates.empty()) return;
+  // Give every worker the compute budget the MEDIAN worker spends on
+  // base_tau iterations: slow workers do fewer iterations, fast ones more.
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + estimates.size() / 2,
+                   estimates.end());
+  const double budget = estimates[estimates.size() / 2] *
+                        static_cast<double>(options_.base_tau);
+  for (int n = 0; n < num_workers_; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    if (per_iter_seconds_[i] <= 0.0) continue;
+    const int64_t tau =
+        static_cast<int64_t>(std::llround(budget / per_iter_seconds_[i]));
+    taus_[i] = std::clamp(tau, options_.min_tau, options_.max_tau);
+  }
+}
+
+}  // namespace fedmp::fl

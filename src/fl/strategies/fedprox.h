@@ -1,0 +1,50 @@
+#ifndef FEDMP_FL_STRATEGIES_FEDPROX_H_
+#define FEDMP_FL_STRATEGIES_FEDPROX_H_
+
+#include <vector>
+
+#include "fl/strategy.h"
+
+namespace fedmp::fl {
+
+// FedProx baseline [19]: no pruning or compression; heterogeneous workers
+// run DIFFERENT numbers of local iterations (slow workers do less work) and
+// every local objective carries the proximal term mu/2 ||w - w_global||^2.
+// Iteration counts adapt online from observed completion times (the PS has
+// no prior capability knowledge, matching FedMP's setting).
+struct FedProxOptions {
+  double mu = 0.01;
+  int64_t base_tau = 3;
+  int64_t min_tau = 1;
+  // Capped at base_tau: FedProx lets SLOW workers do partial work; it does
+  // not grant fast workers extra iterations beyond the common tau.
+  int64_t max_tau = 3;
+  // EMA smoothing of per-worker completion-time estimates.
+  double ema = 0.5;
+};
+
+class FedProxStrategy : public Strategy {
+ public:
+  explicit FedProxStrategy(const FedProxOptions& options = {});
+
+  std::string Name() const override { return "FedProx"; }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t round,
+                    const RoundObservation& observation) override;
+
+  int64_t tau_for(int worker) const {
+    return taus_[static_cast<size_t>(worker)];
+  }
+
+ private:
+  FedProxOptions options_;
+  int num_workers_ = 0;
+  // Per-worker estimated seconds per local iteration (compute only).
+  std::vector<double> per_iter_seconds_;
+  std::vector<int64_t> taus_;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGIES_FEDPROX_H_

@@ -1,0 +1,67 @@
+#include "fl/strategies/flexcom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fedmp::fl {
+
+FlexComStrategy::FlexComStrategy(const FlexComOptions& options)
+    : options_(options) {
+  FEDMP_CHECK(options.max_compress >= 0.0 && options.max_compress < 1.0);
+}
+
+void FlexComStrategy::Initialize(int num_workers, uint64_t /*seed*/) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  num_workers_ = num_workers;
+  full_comm_seconds_.assign(static_cast<size_t>(num_workers), 0.0);
+  compress_.assign(static_cast<size_t>(num_workers), 0.0);
+}
+
+void FlexComStrategy::PlanRound(int64_t /*round*/,
+                                std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(static_cast<int>(plans->size()), num_workers_);
+  for (int n = 0; n < num_workers_; ++n) {
+    WorkerRoundPlan& plan = (*plans)[static_cast<size_t>(n)];
+    plan = WorkerRoundPlan{};
+    plan.compress_ratio = compress_[static_cast<size_t>(n)];
+  }
+}
+
+void FlexComStrategy::ObserveRound(int64_t /*round*/,
+                                   const RoundObservation& observation) {
+  FEDMP_CHECK_EQ(static_cast<int>(observation.comm_times.size()),
+                 num_workers_);
+  // Back out what each worker's comm time would have been uncompressed
+  // (uploads scale with 1 - compress; downloads are never compressed, so
+  // this slightly overestimates — a safe direction for the adaptation).
+  double fastest = 0.0;
+  bool have_any = false;
+  for (int n = 0; n < num_workers_; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    if (!std::isfinite(observation.comm_times[i])) continue;
+    const double scale = 1.0 - compress_[i];
+    const double full = observation.comm_times[i] / std::max(scale, 0.1);
+    full_comm_seconds_[i] =
+        full_comm_seconds_[i] <= 0.0
+            ? full
+            : options_.ema * full + (1.0 - options_.ema) *
+                                        full_comm_seconds_[i];
+    if (!have_any || full_comm_seconds_[i] < fastest) {
+      fastest = full_comm_seconds_[i];
+      have_any = true;
+    }
+  }
+  if (!have_any) return;
+  // Compress each worker so its comm time approaches the fastest worker's.
+  for (int n = 0; n < num_workers_; ++n) {
+    const size_t i = static_cast<size_t>(n);
+    if (full_comm_seconds_[i] <= 0.0) continue;
+    const double target = 1.0 - fastest / full_comm_seconds_[i];
+    compress_[i] = Clamp(target, 0.0, options_.max_compress);
+  }
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,45 @@
+#ifndef FEDMP_FL_STRATEGIES_FLEXCOM_H_
+#define FEDMP_FL_STRATEGIES_FLEXCOM_H_
+
+#include <vector>
+
+#include "fl/strategy.h"
+
+namespace fedmp::fl {
+
+// FlexCom baseline [13]: heterogeneous workers compress their UPLOADED
+// updates to different levels (top-k sparsification) so communication time
+// equalizes; the full model is still trained locally, so computation
+// heterogeneity remains. Compression levels adapt online from observed
+// communication times.
+struct FlexComOptions {
+  double max_compress = 0.9;
+  // EMA smoothing of per-worker uncompressed comm-time estimates.
+  double ema = 0.5;
+};
+
+class FlexComStrategy : public Strategy {
+ public:
+  explicit FlexComStrategy(const FlexComOptions& options = {});
+
+  std::string Name() const override { return "FlexCom"; }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t round,
+                    const RoundObservation& observation) override;
+
+  double compress_for(int worker) const {
+    return compress_[static_cast<size_t>(worker)];
+  }
+
+ private:
+  FlexComOptions options_;
+  int num_workers_ = 0;
+  // Per-worker estimated comm seconds at compression 0.
+  std::vector<double> full_comm_seconds_;
+  std::vector<double> compress_;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGIES_FLEXCOM_H_

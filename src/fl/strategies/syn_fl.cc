@@ -1,0 +1,18 @@
+#include "fl/strategies/syn_fl.h"
+
+#include "common/logging.h"
+
+namespace fedmp::fl {
+
+void SynFlStrategy::Initialize(int num_workers, uint64_t /*seed*/) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  num_workers_ = num_workers;
+}
+
+void SynFlStrategy::PlanRound(int64_t /*round*/,
+                              std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(static_cast<int>(plans->size()), num_workers_);
+  for (auto& plan : *plans) plan = WorkerRoundPlan{};
+}
+
+}  // namespace fedmp::fl

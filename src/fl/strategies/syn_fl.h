@@ -1,0 +1,32 @@
+#ifndef FEDMP_FL_STRATEGIES_SYN_FL_H_
+#define FEDMP_FL_STRATEGIES_SYN_FL_H_
+
+#include "fl/strategy.h"
+
+namespace fedmp::fl {
+
+// Syn-FL baseline [5] (FedAvg): the full model is transmitted and trained
+// by every worker; the PS aggregates after all workers finish.
+class SynFlStrategy : public Strategy {
+ public:
+  SynFlStrategy() = default;
+
+  std::string Name() const override { return "Syn-FL"; }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t, const RoundObservation&) override {}
+
+  // Used as "Asyn-FL" [43] under the asynchronous trainer.
+  bool SupportsAsync() const override { return true; }
+  WorkerRoundPlan PlanWorker(int64_t, int) override {
+    return WorkerRoundPlan{};
+  }
+  void ObserveWorker(int64_t, int, double, double, double) override {}
+
+ private:
+  int num_workers_ = 0;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGIES_SYN_FL_H_

@@ -1,0 +1,37 @@
+#include "fl/strategies/up_fl.h"
+
+#include "common/logging.h"
+
+namespace fedmp::fl {
+
+UpFlStrategy::UpFlStrategy(const UpFlOptions& options) : options_(options) {
+  FEDMP_CHECK(!options_.ratio_grid.empty());
+}
+
+void UpFlStrategy::Initialize(int num_workers, uint64_t seed) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  num_workers_ = num_workers;
+  ucb_ = std::make_unique<bandit::DiscountedUcb>(
+      static_cast<int64_t>(options_.ratio_grid.size()), options_.lambda,
+      seed);
+}
+
+void UpFlStrategy::PlanRound(int64_t /*round*/,
+                             std::vector<WorkerRoundPlan>* plans) {
+  FEDMP_CHECK_EQ(static_cast<int>(plans->size()), num_workers_);
+  const int64_t arm = ucb_->SelectArm();
+  last_ratio_ = options_.ratio_grid[static_cast<size_t>(arm)];
+  for (auto& plan : *plans) {
+    plan = WorkerRoundPlan{};
+    plan.pruning_ratio = last_ratio_;  // identical for every worker
+  }
+}
+
+void UpFlStrategy::ObserveRound(int64_t /*round*/,
+                                const RoundObservation& observation) {
+  // Convergence progress per unit of (straggler-bound) round time.
+  FEDMP_CHECK_GT(observation.round_time, 0.0);
+  ucb_->Observe(observation.global_delta_loss / observation.round_time);
+}
+
+}  // namespace fedmp::fl

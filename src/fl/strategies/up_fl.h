@@ -1,0 +1,44 @@
+#ifndef FEDMP_FL_STRATEGIES_UP_FL_H_
+#define FEDMP_FL_STRATEGIES_UP_FL_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/discounted_ucb.h"
+#include "fl/strategy.h"
+
+namespace fedmp::fl {
+
+// UP-FL baseline (uniform pruning, Jiang et al. [15] style): one pruning
+// ratio for ALL workers per round. The ratio may vary across rounds; a
+// single discounted-UCB learner over a fixed ratio grid picks it from the
+// observed global progress per unit round time. Heterogeneity-oblivious:
+// weak workers still gate every round.
+struct UpFlOptions {
+  std::vector<double> ratio_grid = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                    0.5, 0.6, 0.7, 0.8};
+  double lambda = 0.95;
+};
+
+class UpFlStrategy : public Strategy {
+ public:
+  explicit UpFlStrategy(const UpFlOptions& options = {});
+
+  std::string Name() const override { return "UP-FL"; }
+  void Initialize(int num_workers, uint64_t seed) override;
+  void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
+  void ObserveRound(int64_t round,
+                    const RoundObservation& observation) override;
+
+  double last_ratio() const { return last_ratio_; }
+
+ private:
+  UpFlOptions options_;
+  std::unique_ptr<bandit::DiscountedUcb> ucb_;
+  int num_workers_ = 0;
+  double last_ratio_ = 0.0;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGIES_UP_FL_H_

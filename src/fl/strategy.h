@@ -1,0 +1,83 @@
+#ifndef FEDMP_FL_STRATEGY_H_
+#define FEDMP_FL_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "fl/aggregation.h"
+
+namespace fedmp::fl {
+
+// One worker's marching orders for a round.
+struct WorkerRoundPlan {
+  double pruning_ratio = 0.0;   // 0 = ship the full model
+  int64_t tau = 0;              // 0 = use the task default
+  double compress_ratio = 0.0;  // FlexCom upload sparsification
+  double proximal_mu = 0.0;     // FedProx
+};
+
+// What the PS observed about a finished round, fed back to the strategy.
+struct RoundObservation {
+  std::vector<double> completion_times;  // per worker, +inf if crashed
+  std::vector<double> comp_times;        // computation component
+  std::vector<double> comm_times;        // communication component
+  std::vector<double> delta_losses;      // initial - final local loss
+  std::vector<bool> participated;        // survived the deadline
+  double round_time = 0.0;
+  double global_delta_loss = 0.0;        // decrease of mean training loss
+};
+
+// A federated-learning method: per-round planning (pruning ratios, local
+// iteration counts, compression) plus the feedback loop. One Strategy
+// instance drives one training run.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Aggregation rule for sub-models (ignored when nothing is pruned).
+  virtual SyncScheme sync_scheme() const { return SyncScheme::kR2SP; }
+
+  // Whether the PS stores residual models 8-bit quantized (§III-C).
+  virtual bool quantize_residuals() const { return false; }
+
+  // Called once before round 0.
+  virtual void Initialize(int num_workers, uint64_t seed) = 0;
+
+  // Fills `plans` (pre-sized to the worker count) for round `round`.
+  virtual void PlanRound(int64_t round,
+                         std::vector<WorkerRoundPlan>* plans) = 0;
+
+  // Feedback after round `round` completes.
+  virtual void ObserveRound(int64_t round,
+                            const RoundObservation& observation) = 0;
+
+  // --- Per-worker interface used by the asynchronous trainer (Alg. 2),
+  // where only the m first-arriving workers are planned each round. Only
+  // strategies that support asynchronous operation override these.
+  virtual bool SupportsAsync() const { return false; }
+  virtual WorkerRoundPlan PlanWorker(int64_t round, int worker);
+  virtual void ObserveWorker(int64_t round, int worker,
+                             double completion_time, double mean_time,
+                             double delta_loss);
+};
+
+inline WorkerRoundPlan Strategy::PlanWorker(int64_t /*round*/,
+                                            int /*worker*/) {
+  FEDMP_CHECK(false) << Name() << " does not support asynchronous operation";
+  return WorkerRoundPlan{};
+}
+
+inline void Strategy::ObserveWorker(int64_t /*round*/, int /*worker*/,
+                                    double /*completion_time*/,
+                                    double /*mean_time*/,
+                                    double /*delta_loss*/) {
+  FEDMP_CHECK(false) << Name() << " does not support asynchronous operation";
+}
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_STRATEGY_H_

@@ -1,0 +1,217 @@
+#include "fl/trainer.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "edge/sim_clock.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+
+namespace {
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+Trainer::Trainer(const data::FlTask* task,
+                 std::vector<edge::DeviceProfile> devices,
+                 data::Partition partition,
+                 std::unique_ptr<Strategy> strategy,
+                 const TrainerOptions& options)
+    : task_(task),
+      devices_(std::move(devices)),
+      strategy_(std::move(strategy)),
+      options_(options),
+      rng_(options.seed) {
+  FEDMP_CHECK(task != nullptr);
+  FEDMP_CHECK(!devices_.empty());
+  FEDMP_CHECK_EQ(devices_.size(), partition.size())
+      << "one shard per device required";
+  server_ = std::make_unique<ParameterServer>(task_->model,
+                                              options_.seed ^ 0x5EEDULL);
+  strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
+  for (size_t n = 0; n < devices_.size(); ++n) {
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<int>(n), &task_->train, partition[n], devices_[n],
+        rng_.NextU64()));
+  }
+}
+
+RoundLog Trainer::Run() {
+  RoundLog log;
+  edge::SimClock clock;
+  const int num_workers = static_cast<int>(workers_.size());
+  const nn::ModelSpec& global_spec = server_->spec();
+
+  for (int64_t round = 0; round < options_.max_rounds; ++round) {
+    // --- (1) Pruning-ratio decision + distributed model pruning (PS). ---
+    const auto decision_start = std::chrono::steady_clock::now();
+    std::vector<WorkerRoundPlan> plans(static_cast<size_t>(num_workers));
+    strategy_->PlanRound(round, &plans);
+
+    std::vector<pruning::SubModel> subs(static_cast<size_t>(num_workers));
+    for (int n = 0; n < num_workers; ++n) {
+      const size_t i = static_cast<size_t>(n);
+      if (plans[i].pruning_ratio > 0.0) {
+        auto sub = pruning::PruneByRatio(global_spec, server_->weights(),
+                                         plans[i].pruning_ratio);
+        FEDMP_CHECK(sub.ok()) << sub.status();
+        subs[i] = std::move(sub).value();
+      } else {
+        subs[i].spec = global_spec;
+        subs[i].weights = server_->weights();
+        subs[i].mask = pruning::FullMask(global_spec);
+      }
+    }
+    const double decision_ms = ElapsedMs(decision_start);
+
+    // --- (2) Local training (real SGD) + per-worker cost accounting. ---
+    std::vector<double> comp_times(static_cast<size_t>(num_workers));
+    std::vector<double> comm_times(static_cast<size_t>(num_workers));
+    std::vector<double> completion_times(static_cast<size_t>(num_workers));
+    std::vector<double> delta_losses(static_cast<size_t>(num_workers), 0.0);
+    std::vector<nn::TensorList> uploads(static_cast<size_t>(num_workers));
+    double initial_loss_sum = 0.0, final_loss_sum = 0.0;
+
+    for (int n = 0; n < num_workers; ++n) {
+      const size_t i = static_cast<size_t>(n);
+      LocalTrainOptions local;
+      local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
+      local.batch_size = task_->batch_size;
+      local.learning_rate = task_->learning_rate;
+      local.momentum = task_->momentum;
+      local.weight_decay = task_->weight_decay;
+      local.proximal_mu = plans[i].proximal_mu;
+      local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+      local.is_language_model = task_->is_language_model;
+
+      LocalResult result =
+          workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
+      delta_losses[i] = result.initial_loss - result.final_loss;
+      initial_loss_sum += result.initial_loss;
+      final_loss_sum += result.final_loss;
+
+      uploads[i] = plans[i].compress_ratio > 0.0
+                       ? SparsifyUpdate(subs[i].weights, result.weights,
+                                        plans[i].compress_ratio)
+                       : std::move(result.weights);
+
+      // Simulated completion time (Eq. 5).
+      const edge::DeviceRoundSample sample =
+          edge::SampleRound(devices_[i], workers_[i]->rng());
+      comp_times[i] = edge::CompSeconds(subs[i].spec, local.tau,
+                                        local.batch_size, sample,
+                                        options_.cost);
+      const double param_bytes =
+          static_cast<double>(subs[i].spec.NumParams()) *
+          options_.cost.bytes_per_param;
+      // Compressed uploads carry a ~10% sparse-index overhead on the
+      // surviving entries.
+      const double up_bytes =
+          plans[i].compress_ratio > 0.0
+              ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
+              : param_bytes;
+      comm_times[i] =
+          edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
+      completion_times[i] = comp_times[i] + comm_times[i];
+    }
+
+    // --- (3) Failure injection + deadline policy. ---
+    if (options_.crash_prob > 0.0) {
+      edge::InjectCrashes(options_.crash_prob, rng_, &completion_times);
+    }
+    const edge::DeadlineOutcome outcome =
+        edge::ApplyDeadline(completion_times, options_.deadline);
+
+    // --- (4) Aggregation over survivors. ---
+    std::vector<SubModelUpdate> updates;
+    std::vector<bool> participated(static_cast<size_t>(num_workers), false);
+    for (int n : outcome.survivors) {
+      const size_t i = static_cast<size_t>(n);
+      participated[i] = true;
+      updates.push_back(SubModelUpdate{&subs[i].mask, &uploads[i]});
+    }
+    auto aggregated =
+        AggregateSubModels(global_spec, server_->weights(), updates,
+                           strategy_->sync_scheme(),
+                           strategy_->quantize_residuals());
+    FEDMP_CHECK(aggregated.ok()) << aggregated.status();
+    server_->SetWeights(std::move(aggregated).value());
+
+    clock.Advance(outcome.round_time);
+
+    // --- Feedback to the strategy. ---
+    RoundObservation observation;
+    observation.completion_times = completion_times;
+    observation.comp_times = comp_times;
+    observation.comm_times = comm_times;
+    observation.delta_losses = delta_losses;
+    observation.participated = participated;
+    observation.round_time = outcome.round_time;
+    observation.global_delta_loss =
+        (initial_loss_sum - final_loss_sum) /
+        static_cast<double>(num_workers);
+    strategy_->ObserveRound(round, observation);
+
+    // --- Logging + evaluation + stop conditions. ---
+    RoundRecord record;
+    record.round = round;
+    record.sim_time = clock.now();
+    record.round_seconds = outcome.round_time;
+    record.train_loss = final_loss_sum / static_cast<double>(num_workers);
+    double ratio_sum = 0.0;
+    for (const auto& plan : plans) ratio_sum += plan.pruning_ratio;
+    record.mean_ratio = ratio_sum / static_cast<double>(num_workers);
+    record.decision_overhead_ms = decision_ms;
+    record.participants = static_cast<int64_t>(outcome.survivors.size());
+
+    bool stop = round + 1 >= options_.max_rounds ||
+                clock.now() >= options_.time_budget_seconds;
+    const bool evaluate =
+        (round % options_.eval_every == 0) || stop;
+    if (evaluate) {
+      const ParameterServer::EvalResult eval = server_->Evaluate(
+          task_->test, options_.eval_batch_size, task_->is_language_model,
+          options_.eval_max_batches);
+      record.test_accuracy = eval.accuracy;
+      record.test_loss = eval.loss;
+      if (task_->is_language_model) record.test_perplexity = eval.perplexity;
+      if (options_.stop_at_accuracy > 0.0 &&
+          eval.accuracy >= options_.stop_at_accuracy) {
+        stop = true;
+      }
+      if (options_.stop_at_perplexity > 0.0 && task_->is_language_model &&
+          eval.perplexity <= options_.stop_at_perplexity) {
+        stop = true;
+      }
+      if (options_.verbose) {
+        FEDMP_LOG(Info) << strategy_->Name() << " round " << round
+                        << " t=" << record.sim_time
+                        << " acc=" << eval.accuracy
+                        << " loss=" << eval.loss
+                        << " ratio=" << record.mean_ratio;
+      }
+    }
+    log.Add(record);
+    if (stop) break;
+  }
+  return log;
+}
+
+RoundLog RunFederated(const data::FlTask& task,
+                      const std::vector<edge::DeviceProfile>& devices,
+                      std::unique_ptr<Strategy> strategy,
+                      const TrainerOptions& options) {
+  Rng rng(options.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(devices.size()), rng);
+  Trainer trainer(&task, devices, std::move(partition), std::move(strategy),
+                  options);
+  return trainer.Run();
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,75 @@
+#ifndef FEDMP_FL_TRAINER_H_
+#define FEDMP_FL_TRAINER_H_
+
+#include <limits>
+#include <memory>
+
+#include "data/partition.h"
+#include "data/task_zoo.h"
+#include "edge/cluster.h"
+#include "edge/cost_model.h"
+#include "edge/fault.h"
+#include "fl/round_log.h"
+#include "fl/server.h"
+#include "fl/strategy.h"
+#include "fl/worker.h"
+
+namespace fedmp::fl {
+
+struct TrainerOptions {
+  int64_t max_rounds = 200;
+  // Stop once the simulated clock passes this (Table III time budgets).
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+  // Stop early once the target metric is reached (time-to-accuracy runs);
+  // negative disables.
+  double stop_at_accuracy = -1.0;
+  double stop_at_perplexity = -1.0;
+  int64_t eval_every = 2;  // rounds between evaluations
+  int64_t eval_batch_size = 50;
+  int64_t eval_max_batches = -1;
+  edge::DeadlinePolicy deadline;
+  edge::CostModelOptions cost;
+  double crash_prob = 0.0;  // per-worker per-round failure injection
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+// The synchronous FedMP framework engine (Fig. 1): per round it runs
+//   (1) strategy planning + distributed model pruning on the PS,
+//   (2) real local SGD on every worker's shard,
+//   (3) deadline-based straggler handling,
+//   (4) R2SP/BSP aggregation,
+// while advancing the simulated clock by the straggler-bound round time
+// from the cost model. Learning is real; time is simulated (DESIGN.md §5).
+class Trainer {
+ public:
+  Trainer(const data::FlTask* task,
+          std::vector<edge::DeviceProfile> devices,
+          data::Partition partition, std::unique_ptr<Strategy> strategy,
+          const TrainerOptions& options);
+
+  // Runs to completion and returns the per-round log.
+  RoundLog Run();
+
+  const ParameterServer& server() const { return *server_; }
+  Strategy& strategy() { return *strategy_; }
+
+ private:
+  const data::FlTask* task_;
+  std::vector<edge::DeviceProfile> devices_;
+  std::unique_ptr<Strategy> strategy_;
+  TrainerOptions options_;
+  std::unique_ptr<ParameterServer> server_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Rng rng_;
+};
+
+// Convenience: builds workers over an IID partition and runs.
+RoundLog RunFederated(const data::FlTask& task,
+                      const std::vector<edge::DeviceProfile>& devices,
+                      std::unique_ptr<Strategy> strategy,
+                      const TrainerOptions& options);
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_TRAINER_H_

@@ -1,0 +1,83 @@
+#include "fl/worker.h"
+
+#include "data/synthetic_text.h"
+#include "nn/layers/softmax_xent.h"
+
+namespace fedmp::fl {
+
+Worker::Worker(int id, const data::Dataset* train,
+               std::vector<int64_t> shard, edge::DeviceProfile profile,
+               uint64_t seed)
+    : id_(id),
+      train_(train),
+      shard_(std::move(shard)),
+      profile_(std::move(profile)),
+      rng_(seed) {
+  FEDMP_CHECK(train != nullptr);
+  FEDMP_CHECK(!shard_.empty()) << "worker " << id << " has an empty shard";
+  loader_indices_size_ = static_cast<int64_t>(shard_.size());
+}
+
+LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
+                               const nn::TensorList& weights,
+                               const LocalTrainOptions& options) {
+  if (loader_ == nullptr || loader_batch_ != options.batch_size) {
+    loader_ = std::make_unique<data::DataLoader>(
+        train_, shard_, options.batch_size, /*shuffle=*/true,
+        rng_.NextU64());
+    loader_batch_ = options.batch_size;
+  }
+
+  std::unique_ptr<nn::Model> model =
+      nn::BuildModelOrDie(spec, /*seed=*/rng_.NextU64());
+  model->SetWeights(weights);
+
+  nn::SgdOptions sgd_options;
+  sgd_options.learning_rate = options.learning_rate;
+  sgd_options.momentum = options.momentum;
+  sgd_options.weight_decay = options.weight_decay;
+  sgd_options.proximal_mu = options.proximal_mu;
+  sgd_options.clip_norm = options.clip_norm;
+  nn::Sgd sgd(sgd_options);
+  if (options.proximal_mu > 0.0) sgd.SetProximalAnchor(weights);
+
+  LocalResult result;
+  result.iterations = options.tau;
+  double loss_tail_sum = 0.0;
+  int64_t loss_tail_count = 0;
+  const int64_t tail_start = options.tau - (options.tau + 1) / 2;
+
+  for (int64_t it = 0; it < options.tau; ++it) {
+    nn::Tensor batch;
+    std::vector<int64_t> labels;
+    loader_->NextBatch(&batch, &labels);
+
+    double loss = 0.0;
+    nn::Tensor grad;
+    model->ZeroGrad();
+    if (options.is_language_model) {
+      nn::Tensor inputs;
+      std::vector<int64_t> targets;
+      data::SplitLmBatch(batch, &inputs, &targets);
+      nn::Tensor logits = model->Forward(inputs, /*training=*/true);
+      loss = nn::SoftmaxCrossEntropy(logits, targets, &grad);
+    } else {
+      nn::Tensor logits = model->Forward(batch, /*training=*/true);
+      loss = nn::SoftmaxCrossEntropy(logits, labels, &grad);
+    }
+    model->Backward(grad);
+    sgd.Step(model->Params());
+
+    if (it == 0) result.initial_loss = loss;
+    if (it >= tail_start) {
+      loss_tail_sum += loss;
+      ++loss_tail_count;
+    }
+  }
+  result.final_loss =
+      loss_tail_count > 0 ? loss_tail_sum / loss_tail_count : 0.0;
+  result.weights = model->GetWeights();
+  return result;
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,68 @@
+#ifndef FEDMP_FL_WORKER_H_
+#define FEDMP_FL_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "data/task_zoo.h"
+#include "edge/device.h"
+#include "nn/model_builder.h"
+#include "nn/sgd.h"
+
+namespace fedmp::fl {
+
+// Local-update configuration for one round on one worker.
+struct LocalTrainOptions {
+  int64_t tau = 5;  // local SGD iterations per round
+  int64_t batch_size = 16;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  double proximal_mu = 0.0;  // FedProx term (0 disables)
+  double clip_norm = 0.0;
+  bool is_language_model = false;
+};
+
+// What a worker sends back to the PS after local training.
+struct LocalResult {
+  nn::TensorList weights;
+  double initial_loss = 0.0;  // loss of the received model on the 1st batch
+  double final_loss = 0.0;    // mean loss over the last tau/2 iterations
+  int64_t iterations = 0;
+};
+
+// A simulated edge worker: a data shard, a device profile, and the local
+// SGD loop. Real learning happens here; time is accounted by the trainer
+// through the cost model.
+class Worker {
+ public:
+  Worker(int id, const data::Dataset* train, std::vector<int64_t> shard,
+         edge::DeviceProfile profile, uint64_t seed);
+
+  int id() const { return id_; }
+  const edge::DeviceProfile& profile() const { return profile_; }
+  Rng& rng() { return rng_; }
+  int64_t shard_size() const { return loader_indices_size_; }
+
+  // Builds a model from (spec, weights), runs options.tau SGD iterations on
+  // the local shard, returns the trained weights and losses.
+  LocalResult LocalTrain(const nn::ModelSpec& spec,
+                         const nn::TensorList& weights,
+                         const LocalTrainOptions& options);
+
+ private:
+  int id_;
+  const data::Dataset* train_;
+  std::vector<int64_t> shard_;
+  edge::DeviceProfile profile_;
+  Rng rng_;
+  std::unique_ptr<data::DataLoader> loader_;
+  int64_t loader_batch_ = -1;
+  int64_t loader_indices_size_ = 0;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_WORKER_H_

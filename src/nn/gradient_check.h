@@ -1,0 +1,29 @@
+#ifndef FEDMP_NN_GRADIENT_CHECK_H_
+#define FEDMP_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+struct GradCheckResult {
+  bool passed = true;
+  double max_rel_error = 0.0;
+  std::string detail;  // first failing coordinate, for test messages
+};
+
+// Central-difference gradient checker for a single layer against a scalar
+// loss L = sum(w ⊙ y) with fixed random weights w. Verifies both the input
+// gradient and every parameter gradient. `training` should be false for
+// layers with stochastic behaviour (dropout).
+GradCheckResult CheckLayerGradients(Layer& layer, const Tensor& input,
+                                    bool training = true,
+                                    double epsilon = 1e-3,
+                                    double tolerance = 5e-2,
+                                    uint64_t seed = 1234);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_GRADIENT_CHECK_H_

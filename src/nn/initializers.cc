@@ -1,0 +1,33 @@
+#include "nn/initializers.h"
+
+#include <cmath>
+
+namespace fedmp::nn {
+
+void KaimingUniform(Tensor& t, int64_t fan_in, Rng& rng) {
+  FEDMP_CHECK_GT(fan_in, 0);
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+  UniformInit(t, -bound, bound, rng);
+}
+
+void XavierUniform(Tensor& t, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  FEDMP_CHECK_GT(fan_in + fan_out, 0);
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  UniformInit(t, -bound, bound, rng);
+}
+
+void GaussianInit(Tensor& t, double stddev, Rng& rng) {
+  float* x = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    x[i] = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+}
+
+void UniformInit(Tensor& t, double lo, double hi, Rng& rng) {
+  float* x = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    x[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+}
+
+}  // namespace fedmp::nn

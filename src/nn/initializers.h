@@ -1,0 +1,29 @@
+#ifndef FEDMP_NN_INITIALIZERS_H_
+#define FEDMP_NN_INITIALIZERS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// Weight initializers. All take the Rng explicitly for reproducibility.
+
+// He/Kaiming uniform: U(-b, b) with b = sqrt(6 / fan_in). Default for layers
+// followed by ReLU (convs, hidden linears).
+void KaimingUniform(Tensor& t, int64_t fan_in, Rng& rng);
+
+// Glorot/Xavier uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+// Used for LSTM and embedding weights.
+void XavierUniform(Tensor& t, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// N(0, stddev).
+void GaussianInit(Tensor& t, double stddev, Rng& rng);
+
+// U(lo, hi).
+void UniformInit(Tensor& t, double lo, double hi, Rng& rng);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_INITIALIZERS_H_

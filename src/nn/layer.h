@@ -1,0 +1,49 @@
+#ifndef FEDMP_NN_LAYER_H_
+#define FEDMP_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// Base class for all neural-network layers.
+//
+// The library uses layer-local backward passes instead of a tape autograd:
+// Forward() caches whatever activations Backward() needs, Backward() returns
+// the gradient w.r.t. the layer input and *accumulates* into each
+// Parameter::grad. This keeps the parameter <-> pruning-mask correspondence
+// explicit, which is what FedMP's sub-model/sparse/residual algebra needs.
+//
+// Contract: calls alternate Forward(x) then Backward(dy) on the same batch.
+// Layers are not reentrant and not thread-safe; one model per worker.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  // Human-readable layer kind plus key dims, e.g. "Conv2d(3->16,k5)".
+  virtual std::string Name() const = 0;
+
+  // Computes the layer output. `training` toggles dropout-style behaviour.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  // Given dLoss/dOutput, accumulates parameter gradients and returns
+  // dLoss/dInput. Must be preceded by a Forward() on the same batch.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  // Trainable parameters in canonical order (stable across instances built
+  // from the same LayerSpec). Default: none.
+  virtual std::vector<Parameter*> Params() { return {}; }
+
+ protected:
+  Layer() = default;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYER_H_

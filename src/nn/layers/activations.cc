@@ -1,0 +1,54 @@
+#include "nn/layers/activations.h"
+
+#include <cmath>
+
+namespace fedmp::nn {
+
+Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* pm = cached_mask_.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = px[i] > 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+    py[i] = pos ? px[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK(grad_out.SameShape(cached_mask_))
+      << "ReLU Backward without matching Forward";
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pm = cached_mask_.data();
+  float* pd = dx.data();
+  for (int64_t i = 0; i < dx.numel(); ++i) pd[i] = pg[i] * pm[i];
+  return dx;
+}
+
+Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) py[i] = std::tanh(px[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK(grad_out.SameShape(cached_output_))
+      << "Tanh Backward without matching Forward";
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* po = cached_output_.data();
+  float* pd = dx.data();
+  for (int64_t i = 0; i < dx.numel(); ++i) {
+    pd[i] = pg[i] * (1.0f - po[i] * po[i]);
+  }
+  return dx;
+}
+
+}  // namespace fedmp::nn

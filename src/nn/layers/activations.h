@@ -1,0 +1,36 @@
+#ifndef FEDMP_NN_LAYERS_ACTIVATIONS_H_
+#define FEDMP_NN_LAYERS_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  ReLU() = default;
+  std::string Name() const override { return "ReLU"; }
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_mask_;  // 1 where x > 0
+};
+
+// Elementwise tanh(x).
+class Tanh : public Layer {
+ public:
+  Tanh() = default;
+  std::string Name() const override { return "Tanh"; }
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_ACTIVATIONS_H_

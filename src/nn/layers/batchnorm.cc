@@ -1,0 +1,114 @@
+#include "nn/layers/batchnorm.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fedmp::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, double eps)
+    : channels_(channels), eps_(eps) {
+  FEDMP_CHECK_GT(channels, 0);
+  gamma_ = Parameter("gamma", Tensor::Full({channels}, 1.0f));
+  beta_ = Parameter("beta", Tensor({channels}));
+}
+
+std::string BatchNorm2d::Name() const {
+  return StrFormat("BatchNorm2d(%lld)", (long long)channels_);
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  FEDMP_CHECK_EQ(x.dim(1), channels_);
+  cached_batch_ = x.dim(0);
+  cached_h_ = x.dim(2);
+  cached_w_ = x.dim(3);
+  const int64_t plane = cached_h_ * cached_w_;
+  const int64_t count = cached_batch_ * plane;
+  FEDMP_CHECK_GT(count, 0);
+
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0);
+  Tensor y(x.shape());
+
+  const float* px = x.data();
+  float* pxh = cached_xhat_.data();
+  float* py = y.data();
+  for (int64_t c = 0; c < channels_; ++c) {
+    double mean = 0.0;
+    for (int64_t b = 0; b < cached_batch_; ++b) {
+      const float* src = px + (b * channels_ + c) * plane;
+      for (int64_t s = 0; s < plane; ++s) mean += src[s];
+    }
+    mean /= static_cast<double>(count);
+    double var = 0.0;
+    for (int64_t b = 0; b < cached_batch_; ++b) {
+      const float* src = px + (b * channels_ + c) * plane;
+      for (int64_t s = 0; s < plane; ++s) {
+        const double d = src[s] - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(count);
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    cached_inv_std_[static_cast<size_t>(c)] = inv_std;
+    const float g = gamma_.value.at(c);
+    const float bta = beta_.value.at(c);
+    for (int64_t b = 0; b < cached_batch_; ++b) {
+      const float* src = px + (b * channels_ + c) * plane;
+      float* xh = pxh + (b * channels_ + c) * plane;
+      float* dst = py + (b * channels_ + c) * plane;
+      for (int64_t s = 0; s < plane; ++s) {
+        const float xhat = static_cast<float>((src[s] - mean) * inv_std);
+        xh[s] = xhat;
+        dst[s] = g * xhat + bta;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK(grad_out.SameShape(cached_xhat_))
+      << "BatchNorm2d Backward without matching Forward";
+  const int64_t plane = cached_h_ * cached_w_;
+  const int64_t count = cached_batch_ * plane;
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pxh = cached_xhat_.data();
+  float* pdx = dx.data();
+  for (int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta and the two reduction terms of the BN
+    // gradient in one pass.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t b = 0; b < cached_batch_; ++b) {
+      const float* gy = pg + (b * channels_ + c) * plane;
+      const float* xh = pxh + (b * channels_ + c) * plane;
+      for (int64_t s = 0; s < plane; ++s) {
+        sum_dy += gy[s];
+        sum_dy_xhat += static_cast<double>(gy[s]) * xh[s];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_dy);
+    const double g = gamma_.value.at(c);
+    const double inv_std = cached_inv_std_[static_cast<size_t>(c)];
+    const double inv_count = 1.0 / static_cast<double>(count);
+    for (int64_t b = 0; b < cached_batch_; ++b) {
+      const float* gy = pg + (b * channels_ + c) * plane;
+      const float* xh = pxh + (b * channels_ + c) * plane;
+      float* dst = pdx + (b * channels_ + c) * plane;
+      for (int64_t s = 0; s < plane; ++s) {
+        // dx = gamma*inv_std * (dy - mean(dy) - xhat*mean(dy*xhat)).
+        const double term = gy[s] - sum_dy * inv_count -
+                            xh[s] * sum_dy_xhat * inv_count;
+        dst[s] = static_cast<float>(g * inv_std * term);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Parameter*> BatchNorm2d::Params() { return {&gamma_, &beta_}; }
+
+}  // namespace fedmp::nn

@@ -1,0 +1,42 @@
+#ifndef FEDMP_NN_LAYERS_BATCHNORM_H_
+#define FEDMP_NN_LAYERS_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Per-channel batch normalization over NCHW input.
+//
+// Simplification vs. framework BN: statistics are always computed from the
+// current batch (train and eval). This removes the running-mean/var buffers,
+// which would otherwise need their own pruning masks, residuals, and
+// aggregation rules in FedMP; evaluation always uses batches large enough for
+// stable statistics. Parameter order: {gamma, beta}.
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels, double eps = 1e-5);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t channels() const { return channels_; }
+
+ private:
+  int64_t channels_;
+  double eps_;
+  Parameter gamma_;  // [C], init 1
+  Parameter beta_;   // [C], init 0
+  // Cached from Forward.
+  Tensor cached_xhat_;            // normalized input
+  std::vector<double> cached_inv_std_;  // per channel
+  int64_t cached_batch_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_BATCHNORM_H_

@@ -1,0 +1,182 @@
+#include "nn/layers/conv2d.h"
+
+#include "common/string_util.h"
+#include "nn/initializers.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+int64_t Conv2d::OutSize(int64_t in, int64_t kernel, int64_t stride,
+                        int64_t padding) {
+  FEDMP_CHECK_GT(stride, 0);
+  const int64_t numer = in + 2 * padding - kernel;
+  FEDMP_CHECK_GE(numer, 0) << "kernel larger than padded input";
+  return numer / stride + 1;
+}
+
+Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
+              int64_t padding) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = Conv2d::OutSize(h, kernel, stride, padding);
+  const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
+  const int64_t patch = c * kernel * kernel;
+  Tensor cols({batch * oh * ow, patch});
+  const float* px = x.data();
+  float* pc = cols.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* img = px + b * c * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float* dst = pc + ((b * oh + oy) * ow + ox) * patch;
+        const int64_t iy0 = oy * stride - padding;
+        const int64_t ix0 = ox * stride - padding;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = img + ch * h * w;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            const int64_t iy = iy0 + ky;
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              const int64_t ix = ix0 + kx;
+              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+              *dst++ = inside ? plane[iy * w + ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
+              int64_t w, int64_t kernel, int64_t stride, int64_t padding) {
+  const int64_t oh = Conv2d::OutSize(h, kernel, stride, padding);
+  const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
+  const int64_t patch = channels * kernel * kernel;
+  FEDMP_CHECK_EQ(cols.ndim(), 2);
+  FEDMP_CHECK_EQ(cols.dim(0), batch * oh * ow);
+  FEDMP_CHECK_EQ(cols.dim(1), patch);
+  Tensor img({batch, channels, h, w});
+  const float* pc = cols.data();
+  float* px = img.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    float* out = px + b * channels * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float* src = pc + ((b * oh + oy) * ow + ox) * patch;
+        const int64_t iy0 = oy * stride - padding;
+        const int64_t ix0 = ox * stride - padding;
+        for (int64_t ch = 0; ch < channels; ++ch) {
+          float* plane = out + ch * h * w;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            const int64_t iy = iy0 + ky;
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[iy * w + ix] += *src;
+              }
+              ++src;
+            }
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, bool has_bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(has_bias) {
+  FEDMP_CHECK_GT(in_channels, 0);
+  FEDMP_CHECK_GT(out_channels, 0);
+  FEDMP_CHECK_GT(kernel, 0);
+  Tensor w({out_channels, in_channels, kernel, kernel});
+  KaimingUniform(w, in_channels * kernel * kernel, rng);
+  weight_ = Parameter("weight", std::move(w));
+  if (has_bias_) bias_ = Parameter("bias", Tensor({out_channels}));
+}
+
+std::string Conv2d::Name() const {
+  return StrFormat("Conv2d(%lld->%lld,k%lld,s%lld,p%lld)",
+                   (long long)in_channels_, (long long)out_channels_,
+                   (long long)kernel_, (long long)stride_,
+                   (long long)padding_);
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  FEDMP_CHECK_EQ(x.dim(1), in_channels_)
+      << "Conv2d input channels mismatch: " << x.ShapeString();
+  cached_batch_ = x.dim(0);
+  cached_h_ = x.dim(2);
+  cached_w_ = x.dim(3);
+  const int64_t oh = OutSize(cached_h_, kernel_, stride_, padding_);
+  const int64_t ow = OutSize(cached_w_, kernel_, stride_, padding_);
+  cached_cols_ = Im2Col(x, kernel_, stride_, padding_);
+  // [B*OH*OW, patch] @ [out_c, patch]^T = [B*OH*OW, out_c].
+  const Tensor wmat =
+      weight_.value.Reshape({out_channels_, in_channels_ * kernel_ * kernel_});
+  Tensor flat = MatmulTransB(cached_cols_, wmat);
+  // Rearrange [B*OH*OW, out_c] -> [B, out_c, OH, OW], adding bias.
+  Tensor y({cached_batch_, out_channels_, oh, ow});
+  const float* pf = flat.data();
+  float* py = y.data();
+  const float* pb = has_bias_ ? bias_.value.data() : nullptr;
+  for (int64_t b = 0; b < cached_batch_; ++b) {
+    for (int64_t s = 0; s < oh * ow; ++s) {
+      const float* row = pf + (b * oh * ow + s) * out_channels_;
+      for (int64_t o = 0; o < out_channels_; ++o) {
+        float v = row[o];
+        if (pb != nullptr) v += pb[o];
+        py[((b * out_channels_ + o) * oh * ow) + s] = v;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.ndim(), 4);
+  FEDMP_CHECK_EQ(grad_out.dim(0), cached_batch_);
+  FEDMP_CHECK_EQ(grad_out.dim(1), out_channels_);
+  const int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  // Rearrange dY [B, out_c, OH, OW] -> [B*OH*OW, out_c].
+  Tensor dflat({cached_batch_ * oh * ow, out_channels_});
+  const float* pg = grad_out.data();
+  float* pd = dflat.data();
+  for (int64_t b = 0; b < cached_batch_; ++b) {
+    for (int64_t o = 0; o < out_channels_; ++o) {
+      const float* src = pg + (b * out_channels_ + o) * oh * ow;
+      for (int64_t s = 0; s < oh * ow; ++s) {
+        pd[(b * oh * ow + s) * out_channels_ + o] = src[s];
+      }
+    }
+  }
+  // dW = dflat^T @ cols, [out_c, patch].
+  Tensor dw = MatmulTransA(dflat, cached_cols_);
+  AddInPlace(weight_.grad, dw.Reshape(weight_.value.shape()));
+  if (has_bias_) {
+    Tensor db = ColumnSum(dflat);
+    AddInPlace(bias_.grad, db);
+  }
+  // dCols = dflat @ Wmat, [B*OH*OW, patch].
+  const Tensor wmat =
+      weight_.value.Reshape({out_channels_, in_channels_ * kernel_ * kernel_});
+  Tensor dcols = Matmul(dflat, wmat);
+  return Col2Im(dcols, cached_batch_, in_channels_, cached_h_, cached_w_,
+                kernel_, stride_, padding_);
+}
+
+std::vector<Parameter*> Conv2d::Params() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace fedmp::nn

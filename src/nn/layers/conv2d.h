@@ -1,0 +1,57 @@
+#ifndef FEDMP_NN_LAYERS_CONV2D_H_
+#define FEDMP_NN_LAYERS_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// 2-D convolution over NCHW input, implemented as im2col + GEMM.
+// weight [out_c, in_c, k, k], optional bias [out_c].
+// Parameter order: {weight, bias?}.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, bool has_bias, Rng& rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t padding() const { return padding_; }
+  bool has_bias() const { return has_bias_; }
+
+  // Spatial output size for a given input size.
+  static int64_t OutSize(int64_t in, int64_t kernel, int64_t stride,
+                         int64_t padding);
+
+ private:
+  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Parameter weight_;  // [out_c, in_c, k, k]
+  Parameter bias_;    // [out_c]
+  // Cached from Forward for Backward.
+  Tensor cached_cols_;  // [B*OH*OW, in_c*k*k]
+  int64_t cached_batch_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+// Unfolds x [B,C,H,W] into columns [B*OH*OW, C*k*k].
+Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
+              int64_t padding);
+
+// Folds columns [B*OH*OW, C*k*k] back into an image gradient [B,C,H,W]
+// (adds overlapping contributions).
+Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
+              int64_t w, int64_t kernel, int64_t stride, int64_t padding);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_CONV2D_H_

@@ -1,0 +1,43 @@
+#include "nn/layers/dropout.h"
+
+#include "common/string_util.h"
+
+namespace fedmp::nn {
+
+Dropout::Dropout(double p, Rng* rng) : p_(p), rng_(rng) {
+  FEDMP_CHECK(p >= 0.0 && p < 1.0) << "dropout p must be in [0,1)";
+  FEDMP_CHECK(rng != nullptr);
+}
+
+std::string Dropout::Name() const { return StrFormat("Dropout(%.2f)", p_); }
+
+Tensor Dropout::Forward(const Tensor& x, bool training) {
+  last_forward_training_ = training;
+  if (!training || p_ == 0.0) return x;
+  cached_mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  const float* px = x.data();
+  float* pm = cached_mask_.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const bool keep = rng_->NextDouble() >= p_;
+    pm[i] = keep ? keep_scale : 0.0f;
+    py[i] = px[i] * pm[i];
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (!last_forward_training_ || p_ == 0.0) return grad_out;
+  FEDMP_CHECK(grad_out.SameShape(cached_mask_))
+      << "Dropout Backward without matching Forward";
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pm = cached_mask_.data();
+  float* pd = dx.data();
+  for (int64_t i = 0; i < dx.numel(); ++i) pd[i] = pg[i] * pm[i];
+  return dx;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,31 @@
+#ifndef FEDMP_NN_LAYERS_DROPOUT_H_
+#define FEDMP_NN_LAYERS_DROPOUT_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Inverted dropout: at training time each unit is zeroed with probability p
+// and survivors scaled by 1/(1-p); identity at evaluation time.
+class Dropout : public Layer {
+ public:
+  // `rng` must outlive the layer (the model builder passes its own stream).
+  Dropout(double p, Rng* rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  double p_;
+  Rng* rng_;
+  Tensor cached_mask_;
+  bool last_forward_training_ = false;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_DROPOUT_H_

@@ -1,0 +1,65 @@
+#include "nn/layers/embedding.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "nn/initializers.h"
+
+namespace fedmp::nn {
+
+Embedding::Embedding(int64_t vocab_size, int64_t embed_dim, Rng& rng)
+    : vocab_size_(vocab_size), embed_dim_(embed_dim) {
+  FEDMP_CHECK_GT(vocab_size, 0);
+  FEDMP_CHECK_GT(embed_dim, 0);
+  Tensor table({vocab_size, embed_dim});
+  UniformInit(table, -0.1, 0.1, rng);
+  table_ = Parameter("table", std::move(table));
+}
+
+std::string Embedding::Name() const {
+  return StrFormat("Embedding(%lld,%lld)", (long long)vocab_size_,
+                   (long long)embed_dim_);
+}
+
+Tensor Embedding::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 2);
+  cached_batch_ = x.dim(0);
+  cached_steps_ = x.dim(1);
+  const int64_t n = x.numel();
+  cached_ids_.resize(static_cast<size_t>(n));
+  Tensor y({cached_batch_, cached_steps_, embed_dim_});
+  const float* px = x.data();
+  float* py = y.data();
+  const float* pt = table_.value.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = static_cast<int64_t>(std::lround(px[i]));
+    FEDMP_CHECK(id >= 0 && id < vocab_size_)
+        << "token id " << id << " out of vocab " << vocab_size_;
+    cached_ids_[static_cast<size_t>(i)] = id;
+    const float* row = pt + id * embed_dim_;
+    float* dst = py + i * embed_dim_;
+    for (int64_t e = 0; e < embed_dim_; ++e) dst[e] = row[e];
+  }
+  return y;
+}
+
+Tensor Embedding::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.ndim(), 3);
+  FEDMP_CHECK_EQ(grad_out.dim(0), cached_batch_);
+  FEDMP_CHECK_EQ(grad_out.dim(1), cached_steps_);
+  FEDMP_CHECK_EQ(grad_out.dim(2), embed_dim_);
+  const float* pg = grad_out.data();
+  float* pt = table_.grad.data();
+  const int64_t n = static_cast<int64_t>(cached_ids_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = pt + cached_ids_[static_cast<size_t>(i)] * embed_dim_;
+    const float* src = pg + i * embed_dim_;
+    for (int64_t e = 0; e < embed_dim_; ++e) row[e] += src[e];
+  }
+  // Input is integer ids; there is no meaningful input gradient.
+  return Tensor({cached_batch_, cached_steps_});
+}
+
+std::vector<Parameter*> Embedding::Params() { return {&table_}; }
+
+}  // namespace fedmp::nn

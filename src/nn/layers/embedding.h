@@ -1,0 +1,37 @@
+#ifndef FEDMP_NN_LAYERS_EMBEDDING_H_
+#define FEDMP_NN_LAYERS_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Token-id lookup table: input [B, T] of ids stored as floats (the library's
+// single tensor dtype) -> output [B, T, E]. Must be the first layer of a
+// model; Backward returns a zero gradient for the (integer) input.
+// Parameter order: {table}.
+class Embedding : public Layer {
+ public:
+  Embedding(int64_t vocab_size, int64_t embed_dim, Rng& rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  int64_t vocab_size_, embed_dim_;
+  Parameter table_;  // [vocab, E]
+  std::vector<int64_t> cached_ids_;
+  int64_t cached_batch_ = 0, cached_steps_ = 0;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_EMBEDDING_H_

@@ -1,0 +1,29 @@
+#include "nn/layers/flatten.h"
+
+namespace fedmp::nn {
+
+Tensor Flatten::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_GE(x.ndim(), 2);
+  cached_in_shape_ = x.shape();
+  return x.Reshape({x.dim(0), -1});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK(!cached_in_shape_.empty())
+      << "Flatten Backward without Forward";
+  return grad_out.Reshape(cached_in_shape_);
+}
+
+Tensor TimeFlatten::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 3);
+  cached_in_shape_ = x.shape();
+  return x.Reshape({x.dim(0) * x.dim(1), x.dim(2)});
+}
+
+Tensor TimeFlatten::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK(!cached_in_shape_.empty())
+      << "TimeFlatten Backward without Forward";
+  return grad_out.Reshape(cached_in_shape_);
+}
+
+}  // namespace fedmp::nn

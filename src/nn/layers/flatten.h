@@ -1,0 +1,38 @@
+#ifndef FEDMP_NN_LAYERS_FLATTEN_H_
+#define FEDMP_NN_LAYERS_FLATTEN_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Collapses all non-batch dimensions: [B, ...] -> [B, prod(...)].
+class Flatten : public Layer {
+ public:
+  Flatten() = default;
+  std::string Name() const override { return "Flatten"; }
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int64_t> cached_in_shape_;
+};
+
+// Merges batch and time: [B, T, F] -> [B*T, F]. Used to apply a Linear
+// classifier per timestep in the language model.
+class TimeFlatten : public Layer {
+ public:
+  TimeFlatten() = default;
+  std::string Name() const override { return "TimeFlatten"; }
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int64_t> cached_in_shape_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_FLATTEN_H_

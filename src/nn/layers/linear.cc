@@ -1,0 +1,68 @@
+#include "nn/layers/linear.h"
+
+#include "common/string_util.h"
+#include "nn/initializers.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool has_bias,
+               Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(has_bias) {
+  FEDMP_CHECK_GT(in_features, 0);
+  FEDMP_CHECK_GT(out_features, 0);
+  Tensor w({out_features, in_features});
+  KaimingUniform(w, in_features, rng);
+  weight_ = Parameter("weight", std::move(w));
+  if (has_bias_) bias_ = Parameter("bias", Tensor({out_features}));
+}
+
+std::string Linear::Name() const {
+  return StrFormat("Linear(%lld->%lld)", (long long)in_features_,
+                   (long long)out_features_);
+}
+
+Tensor Linear::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 2);
+  FEDMP_CHECK_EQ(x.dim(1), in_features_)
+      << "Linear input features mismatch: " << x.ShapeString();
+  cached_input_ = x;
+  Tensor y = MatmulTransB(x, weight_.value);  // [B, out]
+  if (has_bias_) {
+    const int64_t b = y.dim(0);
+    float* py = y.data();
+    const float* pb = bias_.value.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        py[i * out_features_ + j] += pb[j];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.ndim(), 2);
+  FEDMP_CHECK_EQ(grad_out.dim(1), out_features_);
+  FEDMP_CHECK_EQ(grad_out.dim(0), cached_input_.dim(0))
+      << "Backward batch does not match last Forward";
+  // dW = dY^T @ X, [out, in].
+  Tensor dw = MatmulTransA(grad_out, cached_input_);
+  AddInPlace(weight_.grad, dw);
+  if (has_bias_) {
+    Tensor db = ColumnSum(grad_out);
+    AddInPlace(bias_.grad, db);
+  }
+  // dX = dY @ W, [B, in].
+  return Matmul(grad_out, weight_.value);
+}
+
+std::vector<Parameter*> Linear::Params() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace fedmp::nn

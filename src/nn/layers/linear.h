@@ -1,0 +1,39 @@
+#ifndef FEDMP_NN_LAYERS_LINEAR_H_
+#define FEDMP_NN_LAYERS_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Fully-connected layer: y = x @ W^T + b with x [B, in], W [out, in],
+// b [out]. Parameter order: {weight, bias?}.
+class Linear : public Layer {
+ public:
+  // Weights Kaiming-initialized from `rng`; bias zero.
+  Linear(int64_t in_features, int64_t out_features, bool has_bias, Rng& rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_LINEAR_H_

@@ -1,0 +1,202 @@
+#include "nn/layers/lstm.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "nn/initializers.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+namespace {
+inline float Sigmoid(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+}  // namespace
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  FEDMP_CHECK_GT(input_size, 0);
+  FEDMP_CHECK_GT(hidden_size, 0);
+  Tensor wx({4 * hidden_size, input_size});
+  XavierUniform(wx, input_size, hidden_size, rng);
+  wx_ = Parameter("wx", std::move(wx));
+  Tensor wh({4 * hidden_size, hidden_size});
+  XavierUniform(wh, hidden_size, hidden_size, rng);
+  wh_ = Parameter("wh", std::move(wh));
+  Tensor b({4 * hidden_size});
+  // Forget-gate bias = 1 eases gradient flow early in training.
+  for (int64_t j = hidden_size; j < 2 * hidden_size; ++j) b.at(j) = 1.0f;
+  b_ = Parameter("b", std::move(b));
+}
+
+std::string Lstm::Name() const {
+  return StrFormat("Lstm(%lld->%lld)", (long long)input_size_,
+                   (long long)hidden_size_);
+}
+
+Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 3);
+  FEDMP_CHECK_EQ(x.dim(2), input_size_)
+      << "Lstm input size mismatch: " << x.ShapeString();
+  const int64_t batch = x.dim(0), steps = x.dim(1);
+  cached_batch_ = batch;
+  cached_steps_ = steps;
+  cached_x_.assign(static_cast<size_t>(steps), Tensor());
+  cached_gates_.assign(static_cast<size_t>(steps), Tensor());
+  cached_c_.assign(static_cast<size_t>(steps), Tensor());
+  cached_h_.assign(static_cast<size_t>(steps), Tensor());
+  cached_tanh_c_.assign(static_cast<size_t>(steps), Tensor());
+
+  const int64_t h4 = 4 * hidden_size_;
+  Tensor h_prev({batch, hidden_size_});
+  Tensor c_prev({batch, hidden_size_});
+  Tensor out({batch, steps, hidden_size_});
+  float* pout = out.data();
+
+  for (int64_t t = 0; t < steps; ++t) {
+    // Slice x_t [B, In] out of [B, T, In].
+    Tensor xt({batch, input_size_});
+    const float* px = x.data();
+    float* pxt = xt.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* src = px + (bi * steps + t) * input_size_;
+      float* dst = pxt + bi * input_size_;
+      for (int64_t f = 0; f < input_size_; ++f) dst[f] = src[f];
+    }
+    // Pre-activations z = xt @ Wx^T + h_prev @ Wh^T + b.
+    Tensor z = MatmulTransB(xt, wx_.value);
+    Tensor zh = MatmulTransB(h_prev, wh_.value);
+    AddInPlace(z, zh);
+    {
+      float* pz = z.data();
+      const float* pb = b_.value.data();
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        for (int64_t j = 0; j < h4; ++j) pz[bi * h4 + j] += pb[j];
+      }
+    }
+    // Activate gates and advance state.
+    Tensor gates({batch, h4});
+    Tensor c_t({batch, hidden_size_});
+    Tensor h_t({batch, hidden_size_});
+    Tensor tanh_c({batch, hidden_size_});
+    const float* pz = z.data();
+    float* pg = gates.data();
+    const float* pcp = c_prev.data();
+    float* pc = c_t.data();
+    float* ph = h_t.data();
+    float* ptc = tanh_c.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* zr = pz + bi * h4;
+      float* gr = pg + bi * h4;
+      for (int64_t j = 0; j < hidden_size_; ++j) {
+        const float ig = Sigmoid(zr[j]);
+        const float fg = Sigmoid(zr[hidden_size_ + j]);
+        const float gg = std::tanh(zr[2 * hidden_size_ + j]);
+        const float og = Sigmoid(zr[3 * hidden_size_ + j]);
+        gr[j] = ig;
+        gr[hidden_size_ + j] = fg;
+        gr[2 * hidden_size_ + j] = gg;
+        gr[3 * hidden_size_ + j] = og;
+        const float c = fg * pcp[bi * hidden_size_ + j] + ig * gg;
+        pc[bi * hidden_size_ + j] = c;
+        const float tc = std::tanh(c);
+        ptc[bi * hidden_size_ + j] = tc;
+        ph[bi * hidden_size_ + j] = og * tc;
+      }
+    }
+    // Write h_t into the output sequence.
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      float* dst = pout + (bi * steps + t) * hidden_size_;
+      const float* src = ph + bi * hidden_size_;
+      for (int64_t j = 0; j < hidden_size_; ++j) dst[j] = src[j];
+    }
+    cached_x_[static_cast<size_t>(t)] = std::move(xt);
+    cached_gates_[static_cast<size_t>(t)] = std::move(gates);
+    cached_c_[static_cast<size_t>(t)] = c_t;
+    cached_h_[static_cast<size_t>(t)] = h_t;
+    cached_tanh_c_[static_cast<size_t>(t)] = std::move(tanh_c);
+    h_prev = std::move(h_t);
+    c_prev = std::move(c_t);
+  }
+  return out;
+}
+
+Tensor Lstm::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.ndim(), 3);
+  FEDMP_CHECK_EQ(grad_out.dim(0), cached_batch_);
+  FEDMP_CHECK_EQ(grad_out.dim(1), cached_steps_);
+  FEDMP_CHECK_EQ(grad_out.dim(2), hidden_size_);
+  const int64_t batch = cached_batch_, steps = cached_steps_;
+  const int64_t h4 = 4 * hidden_size_;
+
+  Tensor dx({batch, steps, input_size_});
+  Tensor dh_next({batch, hidden_size_});
+  Tensor dc_next({batch, hidden_size_});
+  const float* pgo = grad_out.data();
+  float* pdx = dx.data();
+
+  for (int64_t t = steps - 1; t >= 0; --t) {
+    const Tensor& gates = cached_gates_[static_cast<size_t>(t)];
+    const Tensor& tanh_c = cached_tanh_c_[static_cast<size_t>(t)];
+    const Tensor* c_prev =
+        t > 0 ? &cached_c_[static_cast<size_t>(t - 1)] : nullptr;
+    const Tensor* h_prev =
+        t > 0 ? &cached_h_[static_cast<size_t>(t - 1)] : nullptr;
+
+    Tensor dz({batch, h4});
+    float* pdz = dz.data();
+    const float* pg = gates.data();
+    const float* ptc = tanh_c.data();
+    float* pdh_next = dh_next.data();
+    float* pdc_next = dc_next.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* gr = pg + bi * h4;
+      float* dzr = pdz + bi * h4;
+      for (int64_t j = 0; j < hidden_size_; ++j) {
+        const float ig = gr[j];
+        const float fg = gr[hidden_size_ + j];
+        const float gg = gr[2 * hidden_size_ + j];
+        const float og = gr[3 * hidden_size_ + j];
+        const float tc = ptc[bi * hidden_size_ + j];
+        const float dh =
+            pgo[(bi * steps + t) * hidden_size_ + j] +
+            pdh_next[bi * hidden_size_ + j];
+        const float dc = dh * og * (1.0f - tc * tc) +
+                         pdc_next[bi * hidden_size_ + j];
+        const float cp =
+            c_prev != nullptr ? c_prev->data()[bi * hidden_size_ + j] : 0.0f;
+        const float d_i = dc * gg;
+        const float d_f = dc * cp;
+        const float d_g = dc * ig;
+        const float d_o = dh * tc;
+        dzr[j] = d_i * ig * (1.0f - ig);
+        dzr[hidden_size_ + j] = d_f * fg * (1.0f - fg);
+        dzr[2 * hidden_size_ + j] = d_g * (1.0f - gg * gg);
+        dzr[3 * hidden_size_ + j] = d_o * og * (1.0f - og);
+        // Carry cell gradient to t-1.
+        pdc_next[bi * hidden_size_ + j] = dc * fg;
+      }
+    }
+    // Parameter gradients.
+    AddInPlace(wx_.grad,
+               MatmulTransA(dz, cached_x_[static_cast<size_t>(t)]));
+    if (h_prev != nullptr) {
+      AddInPlace(wh_.grad, MatmulTransA(dz, *h_prev));
+    }
+    AddInPlace(b_.grad, ColumnSum(dz));
+    // Input gradient for this step.
+    Tensor dxt = Matmul(dz, wx_.value);  // [B, In]
+    const float* pdxt = dxt.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      float* dst = pdx + (bi * steps + t) * input_size_;
+      const float* src = pdxt + bi * input_size_;
+      for (int64_t f = 0; f < input_size_; ++f) dst[f] = src[f];
+    }
+    // Hidden gradient carried to t-1.
+    dh_next = Matmul(dz, wh_.value);  // [B, H]
+  }
+  return dx;
+}
+
+std::vector<Parameter*> Lstm::Params() { return {&wx_, &wh_, &b_}; }
+
+}  // namespace fedmp::nn

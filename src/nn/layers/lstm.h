@@ -1,0 +1,46 @@
+#ifndef FEDMP_NN_LAYERS_LSTM_H_
+#define FEDMP_NN_LAYERS_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Single-layer LSTM over [B, T, In] -> [B, T, H] with zero initial state and
+// full backpropagation-through-time inside the layer.
+//
+// Gate order in the stacked weights is (i, f, g, o):
+//   Wx [4H, In], Wh [4H, H], b [4H].
+// Parameter order: {Wx, Wh, b}. The forget-gate bias is initialized to 1.
+class Lstm : public Layer {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_, hidden_size_;
+  Parameter wx_;  // [4H, In]
+  Parameter wh_;  // [4H, H]
+  Parameter b_;   // [4H]
+  // Per-timestep caches from Forward (index t in [0, T)).
+  std::vector<Tensor> cached_x_;      // [B, In]
+  std::vector<Tensor> cached_gates_;  // [B, 4H], post-activation (i,f,g,o)
+  std::vector<Tensor> cached_c_;      // [B, H] cell state after step t
+  std::vector<Tensor> cached_h_;      // [B, H] hidden after step t
+  std::vector<Tensor> cached_tanh_c_;
+  int64_t cached_batch_ = 0, cached_steps_ = 0;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_LSTM_H_

@@ -1,0 +1,118 @@
+#include "nn/layers/pool.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+#include "nn/layers/conv2d.h"
+
+namespace fedmp::nn {
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  FEDMP_CHECK_GT(kernel, 0);
+  FEDMP_CHECK_GT(stride, 0);
+}
+
+std::string MaxPool2d::Name() const {
+  return StrFormat("MaxPool2d(k%lld,s%lld)", (long long)kernel_,
+                   (long long)stride_);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = Conv2d::OutSize(h, kernel_, stride_, /*padding=*/0);
+  const int64_t ow = Conv2d::OutSize(w, kernel_, stride_, /*padding=*/0);
+  cached_in_shape_ = x.shape();
+  cached_argmax_.assign(static_cast<size_t>(batch * c * oh * ow), 0);
+  Tensor y({batch, c, oh, ow});
+  const float* px = x.data();
+  float* py = y.data();
+  int64_t out_idx = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * h * w;
+      const int64_t plane_base = (b * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t iy = oy * stride_ + ky;
+            if (iy >= h) break;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t ix = ox * stride_ + kx;
+              if (ix >= w) break;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          FEDMP_CHECK_GE(best_idx, 0);
+          py[out_idx] = best;
+          cached_argmax_[static_cast<size_t>(out_idx)] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.numel(),
+                 static_cast<int64_t>(cached_argmax_.size()))
+      << "MaxPool2d Backward without matching Forward";
+  Tensor dx(cached_in_shape_);
+  float* pd = dx.data();
+  const float* pg = grad_out.data();
+  for (int64_t i = 0; i < grad_out.numel(); ++i) {
+    pd[cached_argmax_[static_cast<size_t>(i)]] += pg[i];
+  }
+  return dx;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& x, bool /*training*/) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  FEDMP_CHECK_GT(plane, 0);
+  cached_in_shape_ = x.shape();
+  Tensor y({batch, c});
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = px + (b * c + ch) * plane;
+      double acc = 0.0;
+      for (int64_t s = 0; s < plane; ++s) acc += src[s];
+      py[b * c + ch] = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
+  FEDMP_CHECK_EQ(grad_out.ndim(), 2);
+  FEDMP_CHECK_EQ(cached_in_shape_.size(), 4u)
+      << "GlobalAvgPool Backward without matching Forward";
+  const int64_t batch = cached_in_shape_[0], c = cached_in_shape_[1];
+  const int64_t plane = cached_in_shape_[2] * cached_in_shape_[3];
+  FEDMP_CHECK_EQ(grad_out.dim(0), batch);
+  FEDMP_CHECK_EQ(grad_out.dim(1), c);
+  Tensor dx(cached_in_shape_);
+  float* pd = dx.data();
+  const float* pg = grad_out.data();
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = pg[b * c + ch] * inv;
+      float* dst = pd + (b * c + ch) * plane;
+      for (int64_t s = 0; s < plane; ++s) dst[s] = g;
+    }
+  }
+  return dx;
+}
+
+}  // namespace fedmp::nn

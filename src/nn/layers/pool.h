@@ -1,0 +1,40 @@
+#ifndef FEDMP_NN_LAYERS_POOL_H_
+#define FEDMP_NN_LAYERS_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedmp::nn {
+
+// Max pooling over non-overlapping-or-strided windows on NCHW input.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  int64_t kernel_, stride_;
+  std::vector<int64_t> cached_argmax_;  // flat input index per output element
+  std::vector<int64_t> cached_in_shape_;
+};
+
+// Global average pooling: [B,C,H,W] -> [B,C].
+class GlobalAvgPool : public Layer {
+ public:
+  GlobalAvgPool() = default;
+  std::string Name() const override { return "GlobalAvgPool"; }
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int64_t> cached_in_shape_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_POOL_H_

@@ -1,0 +1,54 @@
+#include "nn/layers/residual_block.h"
+
+#include "common/string_util.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+ResidualBlock::ResidualBlock(int64_t channels, int64_t mid_channels, Rng& rng)
+    : channels_(channels),
+      mid_channels_(mid_channels),
+      conv1_(channels, mid_channels, /*kernel=*/3, /*stride=*/1,
+             /*padding=*/1, /*has_bias=*/false, rng),
+      bn1_(mid_channels),
+      conv2_(mid_channels, channels, /*kernel=*/3, /*stride=*/1,
+             /*padding=*/1, /*has_bias=*/false, rng),
+      bn2_(channels) {}
+
+std::string ResidualBlock::Name() const {
+  return StrFormat("ResidualBlock(%lld,mid=%lld)", (long long)channels_,
+                   (long long)mid_channels_);
+}
+
+Tensor ResidualBlock::Forward(const Tensor& x, bool training) {
+  Tensor h = conv1_.Forward(x, training);
+  h = bn1_.Forward(h, training);
+  h = relu1_.Forward(h, training);
+  h = conv2_.Forward(h, training);
+  h = bn2_.Forward(h, training);
+  AddInPlace(h, x);  // identity skip
+  return relu_out_.Forward(h, training);
+}
+
+Tensor ResidualBlock::Backward(const Tensor& grad_out) {
+  Tensor g = relu_out_.Backward(grad_out);
+  // g flows both through the residual branch and the skip.
+  Tensor gb = bn2_.Backward(g);
+  gb = conv2_.Backward(gb);
+  gb = relu1_.Backward(gb);
+  gb = bn1_.Backward(gb);
+  gb = conv1_.Backward(gb);
+  AddInPlace(gb, g);
+  return gb;
+}
+
+std::vector<Parameter*> ResidualBlock::Params() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : conv1_.Params()) out.push_back(p);
+  for (Parameter* p : bn1_.Params()) out.push_back(p);
+  for (Parameter* p : conv2_.Params()) out.push_back(p);
+  for (Parameter* p : bn2_.Params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,46 @@
+#ifndef FEDMP_NN_LAYERS_RESIDUAL_BLOCK_H_
+#define FEDMP_NN_LAYERS_RESIDUAL_BLOCK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/layers/activations.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+
+namespace fedmp::nn {
+
+// Basic pre-ResNet block with an identity skip:
+//   y = ReLU(x + BN2(Conv2(ReLU(BN1(Conv1(x))))))
+// Conv1: 3x3 channels->mid (the FedMP-prunable width), Conv2: 3x3
+// mid->channels. Convs have no bias (the following BN absorbs it).
+// Parameter order: conv1.w, bn1.gamma, bn1.beta, conv2.w, bn2.gamma,
+// bn2.beta.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int64_t channels, int64_t mid_channels, Rng& rng);
+
+  std::string Name() const override;
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Params() override;
+
+  int64_t channels() const { return channels_; }
+  int64_t mid_channels() const { return mid_channels_; }
+
+ private:
+  int64_t channels_, mid_channels_;
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  ReLU relu_out_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_RESIDUAL_BLOCK_H_

@@ -1,0 +1,81 @@
+#include "nn/layers/softmax_xent.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::nn {
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  FEDMP_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  Tensor probs(logits.shape());
+  const float* pl = logits.data();
+  float* pp = probs.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* row = pl + i * c;
+    float* out = pp + i * c;
+    float max_v = row[0];
+    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - max_v));
+      out[j] = static_cast<float>(e);
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int64_t>& labels,
+                           Tensor* grad_logits) {
+  FEDMP_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  FEDMP_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  Tensor probs = SoftmaxRows(logits);
+  double loss = 0.0;
+  const float* pp = probs.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    FEDMP_CHECK(y >= 0 && y < c) << "label " << y << " out of range " << c;
+    const double p = std::max(static_cast<double>(pp[i * c + y]), 1e-12);
+    loss -= std::log(p);
+  }
+  loss /= static_cast<double>(b);
+  if (grad_logits != nullptr) {
+    *grad_logits = probs;
+    float* pg = grad_logits->data();
+    const float inv_b = 1.0f / static_cast<float>(b);
+    for (int64_t i = 0; i < b; ++i) {
+      pg[i * c + labels[static_cast<size_t>(i)]] -= 1.0f;
+      for (int64_t j = 0; j < c; ++j) pg[i * c + j] *= inv_b;
+    }
+  }
+  return loss;
+}
+
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad_pred) {
+  FEDMP_CHECK(pred.SameShape(target)) << "MseLoss shape mismatch";
+  const int64_t n = pred.numel();
+  FEDMP_CHECK_GT(n, 0);
+  double loss = 0.0;
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    loss += 0.5 * d * d;
+  }
+  loss /= static_cast<double>(n);
+  if (grad_pred != nullptr) {
+    *grad_pred = Tensor(pred.shape());
+    float* pg = grad_pred->data();
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) pg[i] = (pp[i] - pt[i]) * inv_n;
+  }
+  return loss;
+}
+
+}  // namespace fedmp::nn

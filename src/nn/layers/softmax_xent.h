@@ -1,0 +1,29 @@
+#ifndef FEDMP_NN_LAYERS_SOFTMAX_XENT_H_
+#define FEDMP_NN_LAYERS_SOFTMAX_XENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// Loss heads. These are not Layers: they terminate the backward chain by
+// producing the gradient w.r.t. the network output directly.
+
+// Numerically-stable softmax + cross-entropy over logits [B, C] and integer
+// labels of size B. Returns the mean loss; if `grad_logits` is non-null it
+// receives d(mean loss)/d(logits).
+double SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int64_t>& labels,
+                           Tensor* grad_logits);
+
+// Mean squared error 0.5*mean((pred-target)^2); gradient optional.
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad_pred);
+
+// Row-wise softmax probabilities of logits [B, C].
+Tensor SoftmaxRows(const Tensor& logits);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_LAYERS_SOFTMAX_XENT_H_

@@ -1,0 +1,41 @@
+#include "nn/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  FEDMP_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  const std::vector<int64_t> preds = ArgmaxRows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+double PerplexityFromLoss(double mean_cross_entropy) {
+  return std::exp(mean_cross_entropy);
+}
+
+std::vector<int64_t> ConfusionMatrix(const Tensor& logits,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes) {
+  FEDMP_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  std::vector<int64_t> mat(
+      static_cast<size_t>(num_classes * num_classes), 0);
+  const std::vector<int64_t> preds = ArgmaxRows(logits);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    FEDMP_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    FEDMP_CHECK(preds[i] >= 0 && preds[i] < num_classes);
+    ++mat[static_cast<size_t>(preds[i] * num_classes + labels[i])];
+  }
+  return mat;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,24 @@
+#ifndef FEDMP_NN_METRICS_H_
+#define FEDMP_NN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// Fraction of rows of `logits` whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+// Perplexity = exp(cross-entropy); the paper's LM metric (Table IV).
+double PerplexityFromLoss(double mean_cross_entropy);
+
+// Count of (predicted, actual) pairs as a num_classes^2 row-major matrix.
+std::vector<int64_t> ConfusionMatrix(const Tensor& logits,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_METRICS_H_

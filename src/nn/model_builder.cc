@@ -1,0 +1,85 @@
+#include "nn/model_builder.h"
+
+#include "nn/layers/activations.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dropout.h"
+#include "nn/layers/embedding.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/linear.h"
+#include "nn/layers/lstm.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/residual_block.h"
+
+namespace fedmp::nn {
+
+StatusOr<std::unique_ptr<Model>> BuildModel(const ModelSpec& spec,
+                                            uint64_t seed) {
+  ModelAnalysis analysis;
+  FEDMP_RETURN_IF_ERROR(spec.Analyze(&analysis));
+
+  Rng init_rng(seed);
+  auto dropout_rng = std::make_unique<Rng>(seed ^ 0xD40F00D5EEDULL);
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.reserve(spec.layers.size());
+  for (const LayerSpec& ls : spec.layers) {
+    switch (ls.type) {
+      case LayerType::kConv2d:
+        layers.push_back(std::make_unique<Conv2d>(
+            ls.in_channels, ls.out_channels, ls.kernel, ls.stride,
+            ls.padding, ls.bias, init_rng));
+        break;
+      case LayerType::kBatchNorm2d:
+        layers.push_back(std::make_unique<BatchNorm2d>(ls.out_channels));
+        break;
+      case LayerType::kReLU:
+        layers.push_back(std::make_unique<ReLU>());
+        break;
+      case LayerType::kTanh:
+        layers.push_back(std::make_unique<Tanh>());
+        break;
+      case LayerType::kMaxPool2d:
+        layers.push_back(std::make_unique<MaxPool2d>(ls.kernel, ls.stride));
+        break;
+      case LayerType::kGlobalAvgPool:
+        layers.push_back(std::make_unique<GlobalAvgPool>());
+        break;
+      case LayerType::kFlatten:
+        layers.push_back(std::make_unique<Flatten>());
+        break;
+      case LayerType::kTimeFlatten:
+        layers.push_back(std::make_unique<TimeFlatten>());
+        break;
+      case LayerType::kLinear:
+        layers.push_back(std::make_unique<Linear>(
+            ls.in_channels, ls.out_channels, ls.bias, init_rng));
+        break;
+      case LayerType::kDropout:
+        layers.push_back(
+            std::make_unique<Dropout>(ls.dropout_p, dropout_rng.get()));
+        break;
+      case LayerType::kResidualBlock:
+        layers.push_back(std::make_unique<ResidualBlock>(
+            ls.in_channels, ls.mid_channels, init_rng));
+        break;
+      case LayerType::kLstm:
+        layers.push_back(std::make_unique<Lstm>(ls.in_channels,
+                                                ls.out_channels, init_rng));
+        break;
+      case LayerType::kEmbedding:
+        layers.push_back(
+            std::make_unique<Embedding>(ls.vocab, ls.out_channels, init_rng));
+        break;
+    }
+  }
+  return std::make_unique<Model>(spec, std::move(layers),
+                                 std::move(dropout_rng));
+}
+
+std::unique_ptr<Model> BuildModelOrDie(const ModelSpec& spec, uint64_t seed) {
+  auto model = BuildModel(spec, seed);
+  FEDMP_CHECK(model.ok()) << "BuildModel failed: " << model.status();
+  return std::move(model).value();
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,24 @@
+#ifndef FEDMP_NN_MODEL_BUILDER_H_
+#define FEDMP_NN_MODEL_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/statusor.h"
+#include "nn/sequential.h"
+
+namespace fedmp::nn {
+
+// Instantiates a Model from a spec. Parameters are initialized from an Rng
+// seeded with `seed`, so the same (spec, seed) always yields identical
+// initial weights — the PS and all workers can reconstruct models
+// deterministically.
+StatusOr<std::unique_ptr<Model>> BuildModel(const ModelSpec& spec,
+                                            uint64_t seed);
+
+// FEDMP_CHECK-ing wrapper for contexts where the spec is known-valid.
+std::unique_ptr<Model> BuildModelOrDie(const ModelSpec& spec, uint64_t seed);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_MODEL_BUILDER_H_

@@ -1,0 +1,345 @@
+#include "nn/model_spec.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "nn/layers/conv2d.h"
+
+namespace fedmp::nn {
+
+const char* LayerTypeName(LayerType type) {
+  switch (type) {
+    case LayerType::kConv2d: return "Conv2d";
+    case LayerType::kBatchNorm2d: return "BatchNorm2d";
+    case LayerType::kReLU: return "ReLU";
+    case LayerType::kTanh: return "Tanh";
+    case LayerType::kMaxPool2d: return "MaxPool2d";
+    case LayerType::kGlobalAvgPool: return "GlobalAvgPool";
+    case LayerType::kFlatten: return "Flatten";
+    case LayerType::kTimeFlatten: return "TimeFlatten";
+    case LayerType::kLinear: return "Linear";
+    case LayerType::kDropout: return "Dropout";
+    case LayerType::kResidualBlock: return "ResidualBlock";
+    case LayerType::kLstm: return "Lstm";
+    case LayerType::kEmbedding: return "Embedding";
+  }
+  return "Unknown";
+}
+
+LayerSpec LayerSpec::Conv(int64_t in_c, int64_t out_c, int64_t kernel,
+                          int64_t stride, int64_t padding, bool bias) {
+  LayerSpec s;
+  s.type = LayerType::kConv2d;
+  s.in_channels = in_c;
+  s.out_channels = out_c;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.padding = padding;
+  s.bias = bias;
+  return s;
+}
+
+LayerSpec LayerSpec::BatchNorm(int64_t channels) {
+  LayerSpec s;
+  s.type = LayerType::kBatchNorm2d;
+  s.out_channels = channels;
+  return s;
+}
+
+LayerSpec LayerSpec::Relu() {
+  LayerSpec s;
+  s.type = LayerType::kReLU;
+  return s;
+}
+
+LayerSpec LayerSpec::TanhAct() {
+  LayerSpec s;
+  s.type = LayerType::kTanh;
+  return s;
+}
+
+LayerSpec LayerSpec::MaxPool(int64_t kernel, int64_t stride) {
+  LayerSpec s;
+  s.type = LayerType::kMaxPool2d;
+  s.kernel = kernel;
+  s.stride = stride;
+  return s;
+}
+
+LayerSpec LayerSpec::GlobalPool() {
+  LayerSpec s;
+  s.type = LayerType::kGlobalAvgPool;
+  return s;
+}
+
+LayerSpec LayerSpec::Flat() {
+  LayerSpec s;
+  s.type = LayerType::kFlatten;
+  return s;
+}
+
+LayerSpec LayerSpec::TimeFlat() {
+  LayerSpec s;
+  s.type = LayerType::kTimeFlatten;
+  return s;
+}
+
+LayerSpec LayerSpec::Dense(int64_t in_f, int64_t out_f, bool bias) {
+  LayerSpec s;
+  s.type = LayerType::kLinear;
+  s.in_channels = in_f;
+  s.out_channels = out_f;
+  s.bias = bias;
+  return s;
+}
+
+LayerSpec LayerSpec::Drop(double p) {
+  LayerSpec s;
+  s.type = LayerType::kDropout;
+  s.dropout_p = p;
+  return s;
+}
+
+LayerSpec LayerSpec::Residual(int64_t channels, int64_t mid_channels) {
+  LayerSpec s;
+  s.type = LayerType::kResidualBlock;
+  s.in_channels = channels;
+  s.out_channels = channels;
+  s.mid_channels = mid_channels;
+  return s;
+}
+
+LayerSpec LayerSpec::LstmLayer(int64_t input_size, int64_t hidden_size) {
+  LayerSpec s;
+  s.type = LayerType::kLstm;
+  s.in_channels = input_size;
+  s.out_channels = hidden_size;
+  return s;
+}
+
+LayerSpec LayerSpec::Embed(int64_t vocab, int64_t dim) {
+  LayerSpec s;
+  s.type = LayerType::kEmbedding;
+  s.vocab = vocab;
+  s.out_channels = dim;
+  return s;
+}
+
+bool LayerSpec::operator==(const LayerSpec& other) const {
+  return type == other.type && in_channels == other.in_channels &&
+         out_channels == other.out_channels && kernel == other.kernel &&
+         stride == other.stride && padding == other.padding &&
+         bias == other.bias && dropout_p == other.dropout_p &&
+         mid_channels == other.mid_channels && vocab == other.vocab;
+}
+
+std::string ValueShape::ToString() const {
+  switch (kind) {
+    case ShapeKind::kImage:
+      return StrFormat("image[%lld,%lld,%lld]", (long long)c, (long long)h,
+                       (long long)w);
+    case ShapeKind::kFeatures:
+      return StrFormat("features[%lld]", (long long)f);
+    case ShapeKind::kTokens:
+      return StrFormat("tokens[%lld]", (long long)t);
+    case ShapeKind::kSequence:
+      return StrFormat("sequence[%lld,%lld]", (long long)t, (long long)f);
+  }
+  return "?";
+}
+
+namespace {
+
+Status AnalyzeLayer(const LayerSpec& layer, const ValueShape& in,
+                    LayerAnalysis* out) {
+  out->input = in;
+  ValueShape& o = out->output;
+  o = in;
+  out->params = 0;
+  out->forward_flops = 0;
+  switch (layer.type) {
+    case LayerType::kConv2d: {
+      if (in.kind != ShapeKind::kImage) {
+        return InvalidArgumentError("Conv2d expects image input, got " +
+                                    in.ToString());
+      }
+      if (in.c != layer.in_channels) {
+        return InvalidArgumentError(StrFormat(
+            "Conv2d in_channels %lld != incoming %lld",
+            (long long)layer.in_channels, (long long)in.c));
+      }
+      const int64_t oh =
+          Conv2d::OutSize(in.h, layer.kernel, layer.stride, layer.padding);
+      const int64_t ow =
+          Conv2d::OutSize(in.w, layer.kernel, layer.stride, layer.padding);
+      o.c = layer.out_channels;
+      o.h = oh;
+      o.w = ow;
+      const int64_t patch = layer.in_channels * layer.kernel * layer.kernel;
+      out->params = layer.out_channels * patch +
+                    (layer.bias ? layer.out_channels : 0);
+      out->forward_flops =
+          2 * patch * layer.out_channels * oh * ow +
+          (layer.bias ? layer.out_channels * oh * ow : 0);
+      return Status::Ok();
+    }
+    case LayerType::kBatchNorm2d: {
+      if (in.kind != ShapeKind::kImage || in.c != layer.out_channels) {
+        return InvalidArgumentError(
+            "BatchNorm2d channel mismatch with incoming " + in.ToString());
+      }
+      out->params = 2 * layer.out_channels;
+      out->forward_flops = 4 * in.c * in.h * in.w;
+      return Status::Ok();
+    }
+    case LayerType::kReLU:
+    case LayerType::kTanh: {
+      int64_t n = 0;
+      switch (in.kind) {
+        case ShapeKind::kImage: n = in.c * in.h * in.w; break;
+        case ShapeKind::kFeatures: n = in.f; break;
+        case ShapeKind::kSequence: n = in.t * in.f; break;
+        case ShapeKind::kTokens:
+          return InvalidArgumentError("activation on raw tokens");
+      }
+      out->forward_flops = n;
+      return Status::Ok();
+    }
+    case LayerType::kMaxPool2d: {
+      if (in.kind != ShapeKind::kImage) {
+        return InvalidArgumentError("MaxPool2d expects image input");
+      }
+      o.h = Conv2d::OutSize(in.h, layer.kernel, layer.stride, 0);
+      o.w = Conv2d::OutSize(in.w, layer.kernel, layer.stride, 0);
+      out->forward_flops = o.c * o.h * o.w * layer.kernel * layer.kernel;
+      return Status::Ok();
+    }
+    case LayerType::kGlobalAvgPool: {
+      if (in.kind != ShapeKind::kImage) {
+        return InvalidArgumentError("GlobalAvgPool expects image input");
+      }
+      o.kind = ShapeKind::kFeatures;
+      o.f = in.c;
+      out->forward_flops = in.c * in.h * in.w;
+      return Status::Ok();
+    }
+    case LayerType::kFlatten: {
+      if (in.kind != ShapeKind::kImage) {
+        return InvalidArgumentError("Flatten expects image input");
+      }
+      o.kind = ShapeKind::kFeatures;
+      o.f = in.c * in.h * in.w;
+      return Status::Ok();
+    }
+    case LayerType::kTimeFlatten: {
+      if (in.kind != ShapeKind::kSequence) {
+        return InvalidArgumentError("TimeFlatten expects sequence input");
+      }
+      o.kind = ShapeKind::kFeatures;
+      o.f = in.f;  // batch dimension absorbs T
+      return Status::Ok();
+    }
+    case LayerType::kLinear: {
+      if (in.kind != ShapeKind::kFeatures || in.f != layer.in_channels) {
+        return InvalidArgumentError(StrFormat(
+            "Linear in_features %lld incompatible with incoming %s",
+            (long long)layer.in_channels, in.ToString().c_str()));
+      }
+      o.f = layer.out_channels;
+      out->params = layer.in_channels * layer.out_channels +
+                    (layer.bias ? layer.out_channels : 0);
+      out->forward_flops = 2 * layer.in_channels * layer.out_channels +
+                           (layer.bias ? layer.out_channels : 0);
+      return Status::Ok();
+    }
+    case LayerType::kDropout:
+      return Status::Ok();
+    case LayerType::kResidualBlock: {
+      if (in.kind != ShapeKind::kImage || in.c != layer.in_channels) {
+        return InvalidArgumentError(
+            "ResidualBlock channel mismatch with incoming " + in.ToString());
+      }
+      const int64_t c = layer.in_channels, m = layer.mid_channels;
+      const int64_t plane = in.h * in.w;
+      out->params = (c * m * 9) + 2 * m + (m * c * 9) + 2 * c;
+      out->forward_flops = 2 * 9 * c * m * plane * 2  // two convs
+                           + 4 * (m + c) * plane      // two BNs
+                           + 3 * c * plane;           // add + ReLUs
+      return Status::Ok();
+    }
+    case LayerType::kLstm: {
+      if (in.kind != ShapeKind::kSequence || in.f != layer.in_channels) {
+        return InvalidArgumentError(
+            "Lstm input mismatch with incoming " + in.ToString());
+      }
+      const int64_t hs = layer.out_channels, is = layer.in_channels;
+      o.f = hs;
+      out->params = 4 * hs * (is + hs) + 4 * hs;
+      out->forward_flops = in.t * (2 * 4 * hs * (is + hs) + 10 * hs);
+      return Status::Ok();
+    }
+    case LayerType::kEmbedding: {
+      if (in.kind != ShapeKind::kTokens) {
+        return InvalidArgumentError("Embedding expects token input");
+      }
+      o.kind = ShapeKind::kSequence;
+      o.t = in.t;
+      o.f = layer.out_channels;
+      out->params = layer.vocab * layer.out_channels;
+      out->forward_flops = in.t * layer.out_channels;
+      return Status::Ok();
+    }
+  }
+  return InternalError("unhandled layer type");
+}
+
+}  // namespace
+
+Status ModelSpec::Analyze(ModelAnalysis* out) const {
+  out->layers.clear();
+  out->total_params = 0;
+  out->total_forward_flops = 0;
+  ValueShape shape = input;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    LayerAnalysis la;
+    Status s = AnalyzeLayer(layers[i], shape, &la);
+    if (!s.ok()) {
+      return Status(s.code(), StrFormat("layer %zu (%s): %s", i,
+                                        LayerTypeName(layers[i].type),
+                                        s.message().c_str()));
+    }
+    shape = la.output;
+    out->total_params += la.params;
+    out->total_forward_flops += la.forward_flops;
+    out->layers.push_back(la);
+  }
+  if (shape.kind != ShapeKind::kFeatures || shape.f != num_classes) {
+    return InvalidArgumentError(StrFormat(
+        "model output %s does not match num_classes %lld",
+        shape.ToString().c_str(), (long long)num_classes));
+  }
+  return Status::Ok();
+}
+
+int64_t ModelSpec::NumParams() const {
+  ModelAnalysis a;
+  Status s = Analyze(&a);
+  FEDMP_CHECK(s.ok()) << "NumParams on malformed spec: " << s;
+  return a.total_params;
+}
+
+int64_t ModelSpec::ForwardFlopsPerSample() const {
+  ModelAnalysis a;
+  Status s = Analyze(&a);
+  FEDMP_CHECK(s.ok()) << "ForwardFlopsPerSample on malformed spec: " << s;
+  return a.total_forward_flops;
+}
+
+bool ModelSpec::operator==(const ModelSpec& other) const {
+  return name == other.name && input.kind == other.input.kind &&
+         input.c == other.input.c && input.h == other.input.h &&
+         input.w == other.input.w && input.f == other.input.f &&
+         input.t == other.input.t && num_classes == other.num_classes &&
+         layers == other.layers;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,118 @@
+#ifndef FEDMP_NN_MODEL_SPEC_H_
+#define FEDMP_NN_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fedmp::nn {
+
+// Architecture description. A ModelSpec is the unit FedMP's structured
+// pruner transforms: pruning maps (spec, weights, ratio) to a smaller spec
+// plus copied surviving weights, and recovery inverts the map. Models are
+// built from specs by ModelBuilder.
+enum class LayerType {
+  kConv2d,
+  kBatchNorm2d,
+  kReLU,
+  kTanh,
+  kMaxPool2d,
+  kGlobalAvgPool,
+  kFlatten,
+  kTimeFlatten,
+  kLinear,
+  kDropout,
+  kResidualBlock,
+  kLstm,
+  kEmbedding,
+};
+
+const char* LayerTypeName(LayerType type);
+
+// One layer's hyper-parameters. Only the fields relevant to `type` are
+// meaningful; factory functions below set them.
+struct LayerSpec {
+  LayerType type = LayerType::kReLU;
+  int64_t in_channels = 0;   // conv/linear/lstm input width
+  int64_t out_channels = 0;  // conv/linear/lstm output width; BN channels
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+  bool bias = true;
+  double dropout_p = 0.5;
+  int64_t mid_channels = 0;  // residual block inner width
+  int64_t vocab = 0;         // embedding vocabulary
+
+  static LayerSpec Conv(int64_t in_c, int64_t out_c, int64_t kernel,
+                        int64_t stride = 1, int64_t padding = 0,
+                        bool bias = true);
+  static LayerSpec BatchNorm(int64_t channels);
+  static LayerSpec Relu();
+  static LayerSpec TanhAct();
+  static LayerSpec MaxPool(int64_t kernel, int64_t stride);
+  static LayerSpec GlobalPool();
+  static LayerSpec Flat();
+  static LayerSpec TimeFlat();
+  static LayerSpec Dense(int64_t in_f, int64_t out_f, bool bias = true);
+  static LayerSpec Drop(double p);
+  static LayerSpec Residual(int64_t channels, int64_t mid_channels);
+  static LayerSpec LstmLayer(int64_t input_size, int64_t hidden_size);
+  static LayerSpec Embed(int64_t vocab, int64_t dim);
+
+  bool operator==(const LayerSpec& other) const;
+};
+
+// Shape of a value flowing between layers. Image activations are {C, H, W};
+// flat features {F}; token ids {T}; sequences {T, F}.
+enum class ShapeKind { kImage, kFeatures, kTokens, kSequence };
+
+struct ValueShape {
+  ShapeKind kind = ShapeKind::kFeatures;
+  int64_t c = 0, h = 0, w = 0;  // image
+  int64_t f = 0;                // features / sequence feature width
+  int64_t t = 0;                // tokens / sequence length
+
+  std::string ToString() const;
+};
+
+// Per-layer shape/cost info computed by ModelSpec::Analyze().
+struct LayerAnalysis {
+  ValueShape input;
+  ValueShape output;
+  int64_t params = 0;            // trainable scalars
+  int64_t forward_flops = 0;     // per sample
+};
+
+struct ModelAnalysis {
+  std::vector<LayerAnalysis> layers;
+  int64_t total_params = 0;
+  int64_t total_forward_flops = 0;
+  // Bytes to transmit the model (float32 parameters).
+  int64_t ParamBytes() const { return total_params * 4; }
+};
+
+struct ModelSpec {
+  std::string name;
+  ValueShape input;       // per-sample input shape
+  int64_t num_classes = 0;  // output width (classes or vocab)
+  std::vector<LayerSpec> layers;
+
+  // Checks layer-to-layer compatibility (channel chaining, shape kinds) and
+  // returns per-layer shapes, parameter counts and FLOPs. The analysis for a
+  // fixed sequence length uses input.t; vision uses input.{c,h,w}.
+  // Returns an error Status (via analysis==nullopt semantics) on a malformed
+  // spec.
+  Status Analyze(ModelAnalysis* out) const;
+
+  // Convenience wrappers over Analyze (FEDMP_CHECK on malformed specs).
+  int64_t NumParams() const;
+  int64_t ForwardFlopsPerSample() const;
+
+  bool operator==(const ModelSpec& other) const;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_MODEL_SPEC_H_

@@ -1,0 +1,30 @@
+#ifndef FEDMP_NN_PARAMETER_H_
+#define FEDMP_NN_PARAMETER_H_
+
+#include <string>
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// A trainable tensor together with its gradient accumulator. Layers own their
+// Parameters; optimizers and the FL aggregation logic reference them through
+// Layer::Params() in a stable, documented order.
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(value.shape()) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void ZeroGrad() { grad.SetZero(); }
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_PARAMETER_H_

@@ -1,0 +1,86 @@
+#include "nn/sequential.h"
+
+#include "common/string_util.h"
+
+namespace fedmp::nn {
+
+Model::Model(ModelSpec spec, std::vector<std::unique_ptr<Layer>> layers,
+             std::unique_ptr<Rng> dropout_rng)
+    : spec_(std::move(spec)),
+      layers_(std::move(layers)),
+      dropout_rng_(std::move(dropout_rng)) {}
+
+Tensor Model::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->Forward(h, training);
+  return h;
+}
+
+Tensor Model::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Model::Params() {
+  if (params_cache_.empty()) {
+    for (auto& layer : layers_) {
+      for (Parameter* p : layer->Params()) params_cache_.push_back(p);
+    }
+  }
+  return params_cache_;
+}
+
+void Model::ZeroGrad() {
+  for (Parameter* p : Params()) p->ZeroGrad();
+}
+
+TensorList Model::GetWeights() const {
+  TensorList out;
+  for (Parameter* p : const_cast<Model*>(this)->Params()) {
+    out.push_back(p->value);
+  }
+  return out;
+}
+
+void Model::SetWeights(const TensorList& weights) {
+  std::vector<Parameter*> params = Params();
+  FEDMP_CHECK_EQ(params.size(), weights.size())
+      << "SetWeights: tensor count mismatch";
+  for (size_t i = 0; i < params.size(); ++i) {
+    FEDMP_CHECK(params[i]->value.SameShape(weights[i]))
+        << "SetWeights: shape mismatch at tensor " << i << " ("
+        << params[i]->name << "): " << params[i]->value.ShapeString()
+        << " vs " << weights[i].ShapeString();
+    params[i]->value = weights[i];
+  }
+}
+
+TensorList Model::GetGrads() const {
+  TensorList out;
+  for (Parameter* p : const_cast<Model*>(this)->Params()) {
+    out.push_back(p->grad);
+  }
+  return out;
+}
+
+int64_t Model::NumParams() const {
+  int64_t n = 0;
+  for (Parameter* p : const_cast<Model*>(this)->Params()) {
+    n += p->value.numel();
+  }
+  return n;
+}
+
+std::string Model::Summary() const {
+  std::string out = spec_.name + ":\n";
+  for (const auto& layer : layers_) {
+    out += "  " + layer->Name() + "\n";
+  }
+  out += StrFormat("  total params: %lld\n", (long long)NumParams());
+  return out;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,59 @@
+#ifndef FEDMP_NN_SEQUENTIAL_H_
+#define FEDMP_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/model_spec.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+// A trained model: the ordered layers built from a ModelSpec plus the spec
+// itself (needed by the pruner and the cost model). Move-only.
+class Model {
+ public:
+  Model(ModelSpec spec, std::vector<std::unique_ptr<Layer>> layers,
+        std::unique_ptr<Rng> dropout_rng);
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const ModelSpec& spec() const { return spec_; }
+
+  // Runs the full forward pass.
+  Tensor Forward(const Tensor& x, bool training);
+
+  // Backpropagates dLoss/dOutput through all layers, accumulating parameter
+  // gradients; returns dLoss/dInput.
+  Tensor Backward(const Tensor& grad_out);
+
+  // All trainable parameters in canonical (layer, within-layer) order.
+  std::vector<Parameter*> Params();
+
+  void ZeroGrad();
+
+  // Copies of all parameter values / assignment from a same-shaped list.
+  TensorList GetWeights() const;
+  void SetWeights(const TensorList& weights);
+  // Copies of all parameter gradients.
+  TensorList GetGrads() const;
+
+  int64_t NumParams() const;
+
+  // Multi-line human-readable architecture summary.
+  std::string Summary() const;
+
+ private:
+  ModelSpec spec_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::unique_ptr<Rng> dropout_rng_;  // owned stream used by Dropout layers
+  mutable std::vector<Parameter*> params_cache_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_SEQUENTIAL_H_

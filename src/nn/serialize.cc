@@ -1,0 +1,198 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace fedmp::nn {
+
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x464D5054;  // "FMPT"
+constexpr uint32_t kSpecMagic = 0x464D5053;    // "FMPS"
+constexpr uint32_t kCkptMagic = 0x464D5043;    // "FMPC"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint64_t n = 0;
+  if (!ReadPod(is, &n)) return false;
+  if (n > (1ULL << 30)) return false;  // sanity bound
+  s->resize(static_cast<size_t>(n));
+  is.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& os, const Tensor& t) {
+  WritePod(os, kTensorMagic);
+  WritePod(os, kVersion);
+  WritePod<uint32_t>(os, static_cast<uint32_t>(t.ndim()));
+  for (int64_t d : t.shape()) WritePod<int64_t>(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!os) return InternalError("tensor write failed");
+  return Status::Ok();
+}
+
+StatusOr<Tensor> ReadTensor(std::istream& is) {
+  uint32_t magic = 0, version = 0, rank = 0;
+  if (!ReadPod(is, &magic) || magic != kTensorMagic) {
+    return InvalidArgumentError("bad tensor magic");
+  }
+  if (!ReadPod(is, &version) || version != kVersion) {
+    return InvalidArgumentError("unsupported tensor version");
+  }
+  if (!ReadPod(is, &rank) || rank > 8) {
+    return InvalidArgumentError("bad tensor rank");
+  }
+  std::vector<int64_t> shape(rank);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    if (!ReadPod(is, &shape[i]) || shape[i] < 0 || shape[i] > (1LL << 32)) {
+      return InvalidArgumentError("bad tensor dimension");
+    }
+    numel *= shape[i];
+  }
+  if (numel > (1LL << 31)) return InvalidArgumentError("tensor too large");
+  std::vector<float> data(static_cast<size_t>(numel));
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!is) return InvalidArgumentError("truncated tensor data");
+  return Tensor::FromData(std::move(shape), std::move(data));
+}
+
+Status WriteTensorList(std::ostream& os, const TensorList& list) {
+  WritePod<uint64_t>(os, list.size());
+  for (const Tensor& t : list) FEDMP_RETURN_IF_ERROR(WriteTensor(os, t));
+  return Status::Ok();
+}
+
+StatusOr<TensorList> ReadTensorList(std::istream& is) {
+  uint64_t n = 0;
+  if (!ReadPod(is, &n) || n > (1ULL << 20)) {
+    return InvalidArgumentError("bad tensor list length");
+  }
+  TensorList out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    FEDMP_ASSIGN_OR_RETURN(Tensor t, ReadTensor(is));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Status WriteModelSpec(std::ostream& os, const ModelSpec& spec) {
+  WritePod(os, kSpecMagic);
+  WritePod(os, kVersion);
+  WriteString(os, spec.name);
+  WritePod<int32_t>(os, static_cast<int32_t>(spec.input.kind));
+  WritePod<int64_t>(os, spec.input.c);
+  WritePod<int64_t>(os, spec.input.h);
+  WritePod<int64_t>(os, spec.input.w);
+  WritePod<int64_t>(os, spec.input.f);
+  WritePod<int64_t>(os, spec.input.t);
+  WritePod<int64_t>(os, spec.num_classes);
+  WritePod<uint64_t>(os, spec.layers.size());
+  for (const LayerSpec& ls : spec.layers) {
+    WritePod<int32_t>(os, static_cast<int32_t>(ls.type));
+    WritePod<int64_t>(os, ls.in_channels);
+    WritePod<int64_t>(os, ls.out_channels);
+    WritePod<int64_t>(os, ls.kernel);
+    WritePod<int64_t>(os, ls.stride);
+    WritePod<int64_t>(os, ls.padding);
+    WritePod<uint8_t>(os, ls.bias ? 1 : 0);
+    WritePod<double>(os, ls.dropout_p);
+    WritePod<int64_t>(os, ls.mid_channels);
+    WritePod<int64_t>(os, ls.vocab);
+  }
+  if (!os) return InternalError("spec write failed");
+  return Status::Ok();
+}
+
+StatusOr<ModelSpec> ReadModelSpec(std::istream& is) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(is, &magic) || magic != kSpecMagic) {
+    return InvalidArgumentError("bad spec magic");
+  }
+  if (!ReadPod(is, &version) || version != kVersion) {
+    return InvalidArgumentError("unsupported spec version");
+  }
+  ModelSpec spec;
+  if (!ReadString(is, &spec.name)) {
+    return InvalidArgumentError("bad spec name");
+  }
+  int32_t kind = 0;
+  if (!ReadPod(is, &kind) || kind < 0 || kind > 3) {
+    return InvalidArgumentError("bad input shape kind");
+  }
+  spec.input.kind = static_cast<ShapeKind>(kind);
+  bool ok = ReadPod(is, &spec.input.c) && ReadPod(is, &spec.input.h) &&
+            ReadPod(is, &spec.input.w) && ReadPod(is, &spec.input.f) &&
+            ReadPod(is, &spec.input.t) && ReadPod(is, &spec.num_classes);
+  if (!ok) return InvalidArgumentError("truncated spec header");
+  uint64_t n = 0;
+  if (!ReadPod(is, &n) || n > 4096) {
+    return InvalidArgumentError("bad layer count");
+  }
+  spec.layers.resize(static_cast<size_t>(n));
+  for (auto& ls : spec.layers) {
+    int32_t type = 0;
+    uint8_t bias = 0;
+    ok = ReadPod(is, &type) && ReadPod(is, &ls.in_channels) &&
+         ReadPod(is, &ls.out_channels) && ReadPod(is, &ls.kernel) &&
+         ReadPod(is, &ls.stride) && ReadPod(is, &ls.padding) &&
+         ReadPod(is, &bias) && ReadPod(is, &ls.dropout_p) &&
+         ReadPod(is, &ls.mid_channels) && ReadPod(is, &ls.vocab);
+    if (!ok || type < 0 || type > static_cast<int32_t>(LayerType::kEmbedding)) {
+      return InvalidArgumentError("truncated or invalid layer spec");
+    }
+    ls.type = static_cast<LayerType>(type);
+    ls.bias = bias != 0;
+  }
+  return spec;
+}
+
+Status SaveCheckpoint(const std::string& path, const ModelSpec& spec,
+                      const TensorList& weights) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return InternalError("cannot open " + path + " for writing");
+  WritePod(os, kCkptMagic);
+  WritePod(os, kVersion);
+  FEDMP_RETURN_IF_ERROR(WriteModelSpec(os, spec));
+  FEDMP_RETURN_IF_ERROR(WriteTensorList(os, weights));
+  return Status::Ok();
+}
+
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return NotFoundError("cannot open " + path);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(is, &magic) || magic != kCkptMagic) {
+    return InvalidArgumentError("bad checkpoint magic");
+  }
+  if (!ReadPod(is, &version) || version != kVersion) {
+    return InvalidArgumentError("unsupported checkpoint version");
+  }
+  Checkpoint ckpt;
+  FEDMP_ASSIGN_OR_RETURN(ckpt.spec, ReadModelSpec(is));
+  FEDMP_ASSIGN_OR_RETURN(ckpt.weights, ReadTensorList(is));
+  return ckpt;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,38 @@
+#ifndef FEDMP_NN_SERIALIZE_H_
+#define FEDMP_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/statusor.h"
+#include "nn/model_spec.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+// Binary (de)serialization of tensors, tensor lists and model specs —
+// the wire format a real PS<->worker deployment would ship, and the on-disk
+// checkpoint format. Little-endian, versioned with a magic header.
+
+Status WriteTensor(std::ostream& os, const Tensor& t);
+StatusOr<Tensor> ReadTensor(std::istream& is);
+
+Status WriteTensorList(std::ostream& os, const TensorList& list);
+StatusOr<TensorList> ReadTensorList(std::istream& is);
+
+Status WriteModelSpec(std::ostream& os, const ModelSpec& spec);
+StatusOr<ModelSpec> ReadModelSpec(std::istream& is);
+
+// Checkpoint = spec + weights, to a file.
+Status SaveCheckpoint(const std::string& path, const ModelSpec& spec,
+                      const TensorList& weights);
+struct Checkpoint {
+  ModelSpec spec;
+  TensorList weights;
+};
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_SERIALIZE_H_

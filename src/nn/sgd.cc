@@ -1,0 +1,68 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::nn {
+
+Sgd::Sgd(SgdOptions options) : options_(options) {
+  FEDMP_CHECK_GT(options_.learning_rate, 0.0);
+  FEDMP_CHECK_GE(options_.momentum, 0.0);
+  FEDMP_CHECK_LT(options_.momentum, 1.0);
+}
+
+void Sgd::SetProximalAnchor(TensorList anchor) {
+  proximal_anchor_ = std::move(anchor);
+  has_anchor_ = true;
+}
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  if (options_.momentum > 0.0 && velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (Parameter* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  if (options_.momentum > 0.0) {
+    FEDMP_CHECK_EQ(velocity_.size(), params.size())
+        << "parameter list changed between Step() calls";
+  }
+  if (has_anchor_) {
+    FEDMP_CHECK_EQ(proximal_anchor_.size(), params.size())
+        << "proximal anchor does not match parameter list";
+  }
+
+  // Optional global-norm clipping (computed over raw gradients).
+  double clip_scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (Parameter* p : params) sq += SquaredNorm(p->grad);
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) clip_scale = options_.clip_norm / norm;
+  }
+
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float mu = static_cast<float>(options_.proximal_mu);
+  const float mom = static_cast<float>(options_.momentum);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const float* anchor =
+        has_anchor_ ? proximal_anchor_[i].data() : nullptr;
+    float* v = options_.momentum > 0.0 ? velocity_[i].data() : nullptr;
+    const int64_t n = p->value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = static_cast<float>(g[j] * clip_scale);
+      if (wd != 0.0f) grad += wd * w[j];
+      if (anchor != nullptr && mu != 0.0f) grad += mu * (w[j] - anchor[j]);
+      if (v != nullptr) {
+        v[j] = mom * v[j] + grad;
+        grad = v[j];
+      }
+      w[j] -= lr * grad;
+    }
+  }
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,49 @@
+#ifndef FEDMP_NN_SGD_H_
+#define FEDMP_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  // FedProx proximal coefficient mu: adds mu*(w - w_anchor) to the gradient.
+  // Active only when a proximal anchor has been set.
+  double proximal_mu = 0.0;
+  // Gradient clipping by global L2 norm; <= 0 disables. Used by the LSTM LM.
+  double clip_norm = 0.0;
+};
+
+// Plain SGD with optional momentum, weight decay, gradient clipping and a
+// FedProx proximal term. Velocity buffers are lazily sized to the parameter
+// list of the first Step(); a new Sgd is created per (sub-)model, matching
+// how FedMP re-builds pruned models each round.
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options);
+
+  const SgdOptions& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+  // Sets the FedProx anchor weights (a copy of the round's initial model).
+  void SetProximalAnchor(TensorList anchor);
+
+  // Applies one update to `params` from their accumulated gradients and
+  // clears nothing (callers ZeroGrad between batches).
+  void Step(const std::vector<Parameter*>& params);
+
+ private:
+  SgdOptions options_;
+  TensorList velocity_;
+  TensorList proximal_anchor_;
+  bool has_anchor_ = false;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_SGD_H_

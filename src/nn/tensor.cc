@@ -1,0 +1,80 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace fedmp::nn {
+
+namespace {
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    FEDMP_CHECK_GE(d, 0) << "negative dimension in shape";
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
+  FEDMP_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(data.size()))
+      << "data size does not match shape";
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  FEDMP_CHECK(i >= 0 && i < ndim())
+      << "dim " << i << " out of rank " << ndim();
+  return shape_[static_cast<size_t>(i)];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  int64_t known = 1;
+  int infer_pos = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      FEDMP_CHECK_EQ(infer_pos, -1) << "at most one -1 in reshape";
+      infer_pos = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_pos >= 0) {
+    FEDMP_CHECK(known > 0 && numel() % known == 0)
+        << "cannot infer dimension for reshape of " << ShapeString();
+    new_shape[static_cast<size_t>(infer_pos)] = numel() / known;
+  }
+  FEDMP_CHECK_EQ(ShapeNumel(new_shape), numel())
+      << "reshape " << ShapeString() << " size mismatch";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::ShapeString() const {
+  std::vector<std::string> parts;
+  parts.reserve(shape_.size());
+  for (int64_t d : shape_) parts.push_back(StrFormat("%lld", (long long)d));
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace fedmp::nn

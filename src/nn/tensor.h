@@ -1,0 +1,105 @@
+#ifndef FEDMP_NN_TENSOR_H_
+#define FEDMP_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fedmp::nn {
+
+// A dense row-major float32 tensor. This is the single value type the whole
+// library trains on: layer parameters, activations, and gradients.
+//
+// Design notes: contiguous std::vector<float> storage, no views/strides —
+// structured pruning copies surviving slices into freshly-shaped tensors, so
+// aliasing semantics would add complexity without saving work.
+class Tensor {
+ public:
+  // An empty 0-d tensor with no elements.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(shape); }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data);
+
+  // Copyable and movable: tensors are values.
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  // Flat element access.
+  float& at(int64_t i) {
+    FEDMP_CHECK_GE(i, 0);
+    FEDMP_CHECK_LT(i, numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    FEDMP_CHECK_GE(i, 0);
+    FEDMP_CHECK_LT(i, numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Multi-dimensional access (bounds-checked in debug-ish fashion; these are
+  // convenience accessors, hot loops index data() directly).
+  float& operator()(int64_t i, int64_t j) { return data_[Index2(i, j)]; }
+  float operator()(int64_t i, int64_t j) const { return data_[Index2(i, j)]; }
+  float& operator()(int64_t i, int64_t j, int64_t k, int64_t l) {
+    return data_[Index4(i, j, k, l)];
+  }
+  float operator()(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    return data_[Index4(i, j, k, l)];
+  }
+
+  // Returns a tensor sharing no storage with this one but reinterpreting the
+  // same data in a new shape (numel must match). -1 in at most one slot
+  // infers that dimension.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // "[2, 3]"-style shape string for error messages.
+  std::string ShapeString() const;
+
+ private:
+  size_t Index2(int64_t i, int64_t j) const {
+    FEDMP_CHECK_EQ(ndim(), 2);
+    FEDMP_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1])
+        << "index (" << i << "," << j << ") out of " << ShapeString();
+    return static_cast<size_t>(i * shape_[1] + j);
+  }
+  size_t Index4(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    FEDMP_CHECK_EQ(ndim(), 4);
+    FEDMP_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                k < shape_[2] && l >= 0 && l < shape_[3])
+        << "index out of " << ShapeString();
+    return static_cast<size_t>(((i * shape_[1] + j) * shape_[2] + k) *
+                                   shape_[3] + l);
+  }
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_TENSOR_H_

@@ -1,0 +1,251 @@
+#include "nn/tensor_ops.h"
+
+#include <cmath>
+
+namespace fedmp::nn {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  FEDMP_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
+                              << " vs " << b.ShapeString();
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a;
+  AddInPlace(out, b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a;
+  AxpyInPlace(out, -1.0f, b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a;
+  float* o = out.data();
+  const float* y = b.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) o[i] *= y[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  ScaleInPlace(out, s);
+  return out;
+}
+
+void AxpyInPlace(Tensor& a, float alpha, const Tensor& b) {
+  CheckSameShape(a, b, "Axpy");
+  float* x = a.data();
+  const float* y = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) x[i] += alpha * y[i];
+}
+
+void ScaleInPlace(Tensor& a, float s) {
+  float* x = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) { AxpyInPlace(a, 1.0f, b); }
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  FEDMP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDMP_CHECK_EQ(k, b.dim(0)) << "Matmul inner dimension mismatch";
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through B and C rows for cache friendliness.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  FEDMP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FEDMP_CHECK_EQ(k, b.dim(1)) << "MatmulTransB inner dimension mismatch";
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  FEDMP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDMP_CHECK_EQ(m, b.dim(0)) << "MatmulTransA outer dimension mismatch";
+  Tensor c({k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+double Sum(const Tensor& a) {
+  double acc = 0.0;
+  const float* x = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += x[i];
+  return acc;
+}
+
+double MeanValue(const Tensor& a) {
+  if (a.numel() == 0) return 0.0;
+  return Sum(a) / static_cast<double>(a.numel());
+}
+
+Tensor ColumnSum(const Tensor& a) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+double SquaredNorm(const Tensor& a) {
+  double acc = 0.0;
+  const float* x = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(x[i]) * x[i];
+  }
+  return acc;
+}
+
+double L1Norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* x = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(x[i]);
+  return acc;
+}
+
+std::vector<int64_t> ArgmaxRows(const Tensor& a) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  FEDMP_CHECK_GT(n, 0);
+  std::vector<int64_t> out(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t best = 0;
+    float best_v = a(i, 0);
+    for (int64_t j = 1; j < n; ++j) {
+      if (a(i, j) > best_v) {
+        best_v = a(i, j);
+        best = j;
+      }
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "MaxAbsDiff");
+  double worst = 0.0;
+  const float* x = a.data();
+  const float* y = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, static_cast<double>(std::fabs(x[i] - y[i])));
+  }
+  return worst;
+}
+
+bool SameShapes(const TensorList& a, const TensorList& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].SameShape(b[i])) return false;
+  }
+  return true;
+}
+
+TensorList AddLists(const TensorList& a, const TensorList& b) {
+  FEDMP_CHECK(SameShapes(a, b)) << "AddLists shape mismatch";
+  TensorList out = a;
+  for (size_t i = 0; i < out.size(); ++i) AddInPlace(out[i], b[i]);
+  return out;
+}
+
+TensorList SubLists(const TensorList& a, const TensorList& b) {
+  FEDMP_CHECK(SameShapes(a, b)) << "SubLists shape mismatch";
+  TensorList out = a;
+  for (size_t i = 0; i < out.size(); ++i) AxpyInPlace(out[i], -1.0f, b[i]);
+  return out;
+}
+
+void AxpyLists(TensorList& a, float alpha, const TensorList& b) {
+  FEDMP_CHECK(SameShapes(a, b)) << "AxpyLists shape mismatch";
+  for (size_t i = 0; i < a.size(); ++i) AxpyInPlace(a[i], alpha, b[i]);
+}
+
+void ScaleLists(TensorList& a, float s) {
+  for (auto& t : a) ScaleInPlace(t, s);
+}
+
+int64_t TotalNumel(const TensorList& a) {
+  int64_t n = 0;
+  for (const auto& t : a) n += t.numel();
+  return n;
+}
+
+double SquaredNormList(const TensorList& a) {
+  double acc = 0.0;
+  for (const auto& t : a) acc += SquaredNorm(t);
+  return acc;
+}
+
+}  // namespace fedmp::nn

@@ -1,0 +1,78 @@
+#ifndef FEDMP_NN_TENSOR_OPS_H_
+#define FEDMP_NN_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmp::nn {
+
+// Elementwise and linear-algebra kernels used by layers and by the FL
+// parameter algebra (aggregation, residuals). All functions check shape
+// compatibility with FEDMP_CHECK.
+
+// out = a + b (elementwise, same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+// out = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+// out = a * b (Hadamard).
+Tensor Mul(const Tensor& a, const Tensor& b);
+// out = a * s.
+Tensor Scale(const Tensor& a, float s);
+
+// a += alpha * b  (BLAS axpy).
+void AxpyInPlace(Tensor& a, float alpha, const Tensor& b);
+// a *= s.
+void ScaleInPlace(Tensor& a, float s);
+// a += b.
+void AddInPlace(Tensor& a, const Tensor& b);
+
+// C[m,n] = A[m,k] @ B[k,n].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+// C[m,n] = A[m,k] @ B[n,k]^T — avoids materializing the transpose.
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+// C[k,n] = A[m,k]^T @ B[m,n].
+Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+// 2-D transpose.
+Tensor Transpose2D(const Tensor& a);
+
+// Sum of all elements.
+double Sum(const Tensor& a);
+// Mean of all elements.
+double MeanValue(const Tensor& a);
+// Sum over rows: [m,n] -> [n].
+Tensor ColumnSum(const Tensor& a);
+// L2 norm squared of all elements.
+double SquaredNorm(const Tensor& a);
+// L1 norm of all elements.
+double L1Norm(const Tensor& a);
+
+// Row-wise argmax of a [m,n] matrix.
+std::vector<int64_t> ArgmaxRows(const Tensor& a);
+
+// max |a_i - b_i| over all elements.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+// ---- Parameter-set algebra (models as flat lists of tensors). ----
+
+using TensorList = std::vector<Tensor>;
+
+// Shapes of all tensors equal?
+bool SameShapes(const TensorList& a, const TensorList& b);
+// c = a + b per tensor.
+TensorList AddLists(const TensorList& a, const TensorList& b);
+// c = a - b per tensor.
+TensorList SubLists(const TensorList& a, const TensorList& b);
+// a += alpha*b per tensor.
+void AxpyLists(TensorList& a, float alpha, const TensorList& b);
+// a *= s per tensor.
+void ScaleLists(TensorList& a, float s);
+// Total number of scalar parameters in the list.
+int64_t TotalNumel(const TensorList& a);
+// sum over tensors of squared L2 norm.
+double SquaredNormList(const TensorList& a);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_TENSOR_OPS_H_

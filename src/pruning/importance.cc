@@ -1,0 +1,88 @@
+#include "pruning/importance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "pruning/lstm_iss_pruner.h"
+#include "pruning/mask.h"
+
+namespace fedmp::pruning {
+
+using nn::LayerSpec;
+using nn::LayerType;
+using nn::ModelSpec;
+using nn::Tensor;
+using nn::TensorList;
+
+int64_t ParamTensorCount(const LayerSpec& layer) {
+  switch (layer.type) {
+    case LayerType::kConv2d:
+    case LayerType::kLinear:
+      return layer.bias ? 2 : 1;
+    case LayerType::kBatchNorm2d:
+      return 2;
+    case LayerType::kResidualBlock:
+      return 6;  // conv1.w, bn1.gamma, bn1.beta, conv2.w, bn2.gamma, bn2.beta
+    case LayerType::kLstm:
+      return 3;  // wx, wh, b
+    case LayerType::kEmbedding:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+std::vector<int64_t> ParamTensorOffsets(const ModelSpec& spec) {
+  std::vector<int64_t> offsets(spec.layers.size(), 0);
+  int64_t cursor = 0;
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    offsets[i] = cursor;
+    cursor += ParamTensorCount(spec.layers[i]);
+  }
+  return offsets;
+}
+
+namespace {
+
+// Per-row sum of |w| for a tensor whose dim 0 is the unit axis.
+std::vector<float> RowL1(const Tensor& w) {
+  const int64_t rows = w.dim(0);
+  const int64_t cols = w.numel() / rows;
+  std::vector<float> scores(static_cast<size_t>(rows), 0.0f);
+  const float* p = w.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* row = p + r * cols;
+    for (int64_t c = 0; c < cols; ++c) acc += std::fabs(row[c]);
+    scores[static_cast<size_t>(r)] = static_cast<float>(acc);
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<float> UnitImportance(const ModelSpec& spec,
+                                  const TensorList& weights,
+                                  size_t layer_index) {
+  FEDMP_CHECK_LT(layer_index, spec.layers.size());
+  if (!IsPrunableLayer(spec, layer_index)) return {};
+  const std::vector<int64_t> offsets = ParamTensorOffsets(spec);
+  const int64_t base = offsets[layer_index];
+  const LayerSpec& ls = spec.layers[layer_index];
+  switch (ls.type) {
+    case LayerType::kConv2d:
+    case LayerType::kLinear:
+      return RowL1(weights[static_cast<size_t>(base)]);
+    case LayerType::kResidualBlock:
+      // Mid-channel importance from the first conv's filters.
+      return RowL1(weights[static_cast<size_t>(base)]);
+    case LayerType::kLstm:
+      return LstmIssScores(weights[static_cast<size_t>(base)],
+                           weights[static_cast<size_t>(base + 1)],
+                           ls.out_channels);
+    default:
+      return {};
+  }
+}
+
+}  // namespace fedmp::pruning

@@ -1,0 +1,34 @@
+#ifndef FEDMP_PRUNING_IMPORTANCE_H_
+#define FEDMP_PRUNING_IMPORTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model_spec.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::pruning {
+
+// Number of parameter tensors a layer of this spec contributes to the
+// model's canonical parameter list (see each Layer's header).
+int64_t ParamTensorCount(const nn::LayerSpec& layer);
+
+// Index of the first parameter tensor of each layer within the model's
+// canonical parameter list.
+std::vector<int64_t> ParamTensorOffsets(const nn::ModelSpec& spec);
+
+// l1-norm importance scores (§III-B) for the prunable units of layer
+// `layer_index`, given the full model weights:
+//  - Conv2d: per-filter sum of absolute kernel weights.
+//  - Linear: per-neuron sum of absolute incoming weights.
+//  - ResidualBlock: per-mid-channel score of the first conv's filters.
+//  - Lstm: ISS score per hidden unit (sum over its four gate rows in Wx and
+//    Wh plus its recurrent input column in Wh), following [44].
+// Returns an empty vector for non-prunable layers.
+std::vector<float> UnitImportance(const nn::ModelSpec& spec,
+                                  const nn::TensorList& weights,
+                                  size_t layer_index);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_IMPORTANCE_H_

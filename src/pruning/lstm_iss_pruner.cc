@@ -1,0 +1,60 @@
+#include "pruning/lstm_iss_pruner.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fedmp::pruning {
+
+std::vector<int64_t> IssGateRows(int64_t hidden_size, int64_t unit) {
+  FEDMP_CHECK(unit >= 0 && unit < hidden_size);
+  std::vector<int64_t> rows(4);
+  for (int64_t g = 0; g < 4; ++g) rows[static_cast<size_t>(g)] =
+      g * hidden_size + unit;
+  return rows;
+}
+
+std::vector<float> LstmIssScores(const nn::Tensor& wx, const nn::Tensor& wh,
+                                 int64_t hidden_size) {
+  FEDMP_CHECK_EQ(wx.ndim(), 2);
+  FEDMP_CHECK_EQ(wh.ndim(), 2);
+  FEDMP_CHECK_EQ(wx.dim(0), 4 * hidden_size);
+  FEDMP_CHECK_EQ(wh.dim(0), 4 * hidden_size);
+  FEDMP_CHECK_EQ(wh.dim(1), hidden_size);
+  const int64_t in_size = wx.dim(1);
+  std::vector<float> scores(static_cast<size_t>(hidden_size), 0.0f);
+  const float* px = wx.data();
+  const float* ph = wh.data();
+  for (int64_t h = 0; h < hidden_size; ++h) {
+    double acc = 0.0;
+    // The unit's four gate rows in Wx and Wh.
+    for (int64_t g = 0; g < 4; ++g) {
+      const int64_t row = g * hidden_size + h;
+      const float* xrow = px + row * in_size;
+      for (int64_t c = 0; c < in_size; ++c) acc += std::fabs(xrow[c]);
+      const float* hrow = ph + row * hidden_size;
+      for (int64_t c = 0; c < hidden_size; ++c) acc += std::fabs(hrow[c]);
+    }
+    // The unit's recurrent input column in Wh (its outgoing connections).
+    for (int64_t r = 0; r < 4 * hidden_size; ++r) {
+      acc += std::fabs(ph[r * hidden_size + h]);
+    }
+    scores[static_cast<size_t>(h)] = static_cast<float>(acc);
+  }
+  return scores;
+}
+
+std::vector<int64_t> IssRowGather(int64_t hidden_size,
+                                  const std::vector<int64_t>& kept) {
+  std::vector<int64_t> rows;
+  rows.reserve(4 * kept.size());
+  for (int64_t g = 0; g < 4; ++g) {
+    for (int64_t h : kept) {
+      FEDMP_CHECK(h >= 0 && h < hidden_size);
+      rows.push_back(g * hidden_size + h);
+    }
+  }
+  return rows;
+}
+
+}  // namespace fedmp::pruning

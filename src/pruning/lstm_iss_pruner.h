@@ -1,0 +1,31 @@
+#ifndef FEDMP_PRUNING_LSTM_ISS_PRUNER_H_
+#define FEDMP_PRUNING_LSTM_ISS_PRUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmp::pruning {
+
+// Intrinsic Sparse Structure pruning for LSTMs (§VI, following Wen et al.
+// [44]): a hidden unit h forms one ISS component consisting of its four gate
+// rows in Wx [4H, In] and Wh [4H, H] plus its recurrent input column
+// Wh[:, h]. Removing the whole component shrinks the hidden size by one
+// while keeping the LSTM densely connected.
+
+// The flat row indices {g*H + h : g in 0..3} of unit h's gate rows.
+std::vector<int64_t> IssGateRows(int64_t hidden_size, int64_t unit);
+
+// l1 importance score of every hidden unit's ISS component.
+std::vector<float> LstmIssScores(const nn::Tensor& wx, const nn::Tensor& wh,
+                                 int64_t hidden_size);
+
+// Gate-row gather list for a kept-unit set: for g in 0..3, for h in kept,
+// emit g*H + h. Used when slicing Wx/Wh/b along the 4H axis.
+std::vector<int64_t> IssRowGather(int64_t hidden_size,
+                                  const std::vector<int64_t>& kept);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_LSTM_ISS_PRUNER_H_

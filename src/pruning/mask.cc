@@ -1,0 +1,138 @@
+#include "pruning/mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fedmp::pruning {
+
+using nn::LayerType;
+using nn::ModelSpec;
+
+namespace {
+// True if some later layer consumes (and therefore can adapt to) this
+// layer's output width. The final parametric layer emits the class logits
+// and must keep its width.
+bool HasDownstreamConsumer(const ModelSpec& spec, size_t layer_index) {
+  for (size_t j = layer_index + 1; j < spec.layers.size(); ++j) {
+    switch (spec.layers[j].type) {
+      case LayerType::kConv2d:
+      case LayerType::kLinear:
+      case LayerType::kResidualBlock:
+      case LayerType::kLstm:
+      case LayerType::kBatchNorm2d:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool IsPrunableLayer(const ModelSpec& spec, size_t layer_index) {
+  FEDMP_CHECK_LT(layer_index, spec.layers.size());
+  const nn::LayerSpec& ls = spec.layers[layer_index];
+  switch (ls.type) {
+    case LayerType::kResidualBlock:
+      // The block's mid width is internal; pruning it never changes the
+      // block's interface.
+      return true;
+    case LayerType::kConv2d:
+    case LayerType::kLinear:
+    case LayerType::kLstm:
+      return HasDownstreamConsumer(spec, layer_index);
+    default:
+      return false;
+  }
+}
+
+int64_t KeptCount(int64_t width, double ratio) {
+  FEDMP_CHECK_GT(width, 0);
+  FEDMP_CHECK(ratio >= 0.0 && ratio < 1.0) << "pruning ratio " << ratio;
+  const int64_t kept = static_cast<int64_t>(
+      std::llround(static_cast<double>(width) * (1.0 - ratio)));
+  return std::max<int64_t>(1, std::min(width, kept));
+}
+
+namespace {
+int64_t PrunableWidth(const nn::LayerSpec& ls) {
+  switch (ls.type) {
+    case LayerType::kConv2d:
+    case LayerType::kLinear:
+    case LayerType::kLstm:
+      return ls.out_channels;
+    case LayerType::kResidualBlock:
+      return ls.mid_channels;
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+Status PruneMask::Validate(const ModelSpec& spec) const {
+  if (layers.size() != spec.layers.size()) {
+    return InvalidArgumentError(
+        StrFormat("mask has %zu layers, spec has %zu", layers.size(),
+                  spec.layers.size()));
+  }
+  if (ratio < 0.0 || ratio >= 1.0) {
+    return InvalidArgumentError(StrFormat("mask ratio %f out of [0,1)",
+                                          ratio));
+  }
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const LayerMask& lm = layers[i];
+    const bool should_be_prunable = IsPrunableLayer(spec, i);
+    if (lm.prunable != should_be_prunable) {
+      return InvalidArgumentError(
+          StrFormat("layer %zu prunable flag mismatch", i));
+    }
+    if (!lm.prunable) {
+      if (!lm.kept.empty()) {
+        return InvalidArgumentError(
+            StrFormat("non-prunable layer %zu has a kept list", i));
+      }
+      continue;
+    }
+    const int64_t width = PrunableWidth(spec.layers[i]);
+    if (lm.original_width != width) {
+      return InvalidArgumentError(
+          StrFormat("layer %zu width %lld != spec width %lld", i,
+                    (long long)lm.original_width, (long long)width));
+    }
+    if (lm.kept.empty()) {
+      return InvalidArgumentError(
+          StrFormat("prunable layer %zu keeps no units", i));
+    }
+    int64_t prev = -1;
+    for (int64_t k : lm.kept) {
+      if (k <= prev || k < 0 || k >= width) {
+        return InvalidArgumentError(StrFormat(
+            "layer %zu kept list not sorted/unique/in-range", i));
+      }
+      prev = k;
+    }
+  }
+  return Status::Ok();
+}
+
+PruneMask FullMask(const ModelSpec& spec) {
+  PruneMask mask;
+  mask.ratio = 0.0;
+  mask.layers.resize(spec.layers.size());
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    if (!IsPrunableLayer(spec, i)) continue;
+    LayerMask& lm = mask.layers[i];
+    lm.prunable = true;
+    lm.original_width = PrunableWidth(spec.layers[i]);
+    lm.kept.resize(static_cast<size_t>(lm.original_width));
+    for (size_t k = 0; k < lm.kept.size(); ++k) {
+      lm.kept[k] = static_cast<int64_t>(k);
+    }
+  }
+  return mask;
+}
+
+}  // namespace fedmp::pruning

@@ -1,0 +1,49 @@
+#ifndef FEDMP_PRUNING_MASK_H_
+#define FEDMP_PRUNING_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/model_spec.h"
+
+namespace fedmp::pruning {
+
+// Which output units (conv filters, FC neurons, residual mid-channels, LSTM
+// hidden units) of one layer survive pruning. Non-prunable layers (and
+// layers whose widths merely follow an upstream mask, like BatchNorm) have
+// prunable == false and an empty kept list.
+struct LayerMask {
+  bool prunable = false;
+  int64_t original_width = 0;
+  std::vector<int64_t> kept;  // sorted ascending, unique, within width
+
+  int64_t kept_count() const { return static_cast<int64_t>(kept.size()); }
+};
+
+// Per-model mask, aligned 1:1 with ModelSpec::layers. This is the "binary
+// vector of remaining-parameter indexes" the PS records for each worker in
+// R2SP (§III-C).
+struct PruneMask {
+  double ratio = 0.0;
+  std::vector<LayerMask> layers;
+
+  // Structural sanity: sorted/unique/in-range kept lists, alignment with
+  // the spec, and at least one unit kept per prunable layer.
+  Status Validate(const nn::ModelSpec& spec) const;
+};
+
+// True if `spec.layers[layer_index]` is a pruning decision point:
+// Conv2d / Linear / ResidualBlock / Lstm — except the final classifier
+// layer, whose output width is the class count and must stay intact.
+bool IsPrunableLayer(const nn::ModelSpec& spec, size_t layer_index);
+
+// How many units survive at `ratio` from `width`: max(1, round(width*(1-r))).
+int64_t KeptCount(int64_t width, double ratio);
+
+// The identity mask (nothing pruned) for a spec.
+PruneMask FullMask(const nn::ModelSpec& spec);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_MASK_H_

@@ -1,0 +1,19 @@
+#ifndef FEDMP_PRUNING_RECOVERY_H_
+#define FEDMP_PRUNING_RECOVERY_H_
+
+#include "common/statusor.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::pruning {
+
+// R2SP model recovery (§III-C): scatters a worker's trained sub-model back
+// into full-model-shaped tensors, zero everywhere the mask pruned. The
+// invariant tested in tests/pruning: for any weights w and mask m,
+//   RecoverToFull(full, Extract(full, w, m).weights, m) == Sparsify(w, m).
+StatusOr<nn::TensorList> RecoverToFull(const nn::ModelSpec& full_spec,
+                                       const nn::TensorList& sub_weights,
+                                       const PruneMask& mask);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_RECOVERY_H_

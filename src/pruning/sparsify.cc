@@ -1,0 +1,67 @@
+#include "pruning/sparsify.h"
+
+#include "nn/tensor_ops.h"
+
+namespace fedmp::pruning {
+
+namespace {
+
+// keep[i] == 1 iff index i survives; empty gather list means all survive.
+std::vector<char> KeepBitmap(const std::vector<int64_t>& gather, int64_t n) {
+  std::vector<char> keep(static_cast<size_t>(n), gather.empty() ? 1 : 0);
+  for (int64_t idx : gather) keep[static_cast<size_t>(idx)] = 1;
+  return keep;
+}
+
+}  // namespace
+
+StatusOr<nn::TensorList> Sparsify(const nn::ModelSpec& full_spec,
+                                  const nn::TensorList& full_weights,
+                                  const PruneMask& mask) {
+  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
+  if (full_weights.size() != plan.slices.size()) {
+    return InvalidArgumentError("weight count does not match plan");
+  }
+  nn::TensorList out;
+  out.reserve(full_weights.size());
+  for (size_t i = 0; i < full_weights.size(); ++i) {
+    const TensorSlice& slice = plan.slices[i];
+    const nn::Tensor& w = full_weights[i];
+    if (w.shape() != slice.full_shape) {
+      return InvalidArgumentError("tensor shape does not match plan");
+    }
+    const int64_t d0 = slice.full_shape[0];
+    const int64_t d1 =
+        slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
+    int64_t inner = 1;
+    for (size_t k = 2; k < slice.full_shape.size(); ++k) {
+      inner *= slice.full_shape[k];
+    }
+    const std::vector<char> keep0 = KeepBitmap(slice.dim0, d0);
+    const std::vector<char> keep1 = KeepBitmap(slice.dim1, d1);
+    nn::Tensor sparse = w;
+    float* p = sparse.data();
+    for (int64_t i0 = 0; i0 < d0; ++i0) {
+      for (int64_t i1 = 0; i1 < d1; ++i1) {
+        if (keep0[static_cast<size_t>(i0)] &&
+            keep1[static_cast<size_t>(i1)]) {
+          continue;
+        }
+        float* cell = p + (i0 * d1 + i1) * inner;
+        for (int64_t k = 0; k < inner; ++k) cell[k] = 0.0f;
+      }
+    }
+    out.push_back(std::move(sparse));
+  }
+  return out;
+}
+
+StatusOr<nn::TensorList> ResidualModel(const nn::ModelSpec& full_spec,
+                                       const nn::TensorList& full_weights,
+                                       const PruneMask& mask) {
+  FEDMP_ASSIGN_OR_RETURN(nn::TensorList sparse,
+                         Sparsify(full_spec, full_weights, mask));
+  return nn::SubLists(full_weights, sparse);
+}
+
+}  // namespace fedmp::pruning

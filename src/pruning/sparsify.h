@@ -1,0 +1,26 @@
+#ifndef FEDMP_PRUNING_SPARSIFY_H_
+#define FEDMP_PRUNING_SPARSIFY_H_
+
+#include "common/statusor.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::pruning {
+
+// The "sparse model" of §III-C: same shapes as the global model with the
+// logically-pruned coordinates set to zero. Implemented independently of
+// Gather/Scatter (coordinate membership test) so it doubles as a test oracle
+// for the recovery path.
+StatusOr<nn::TensorList> Sparsify(const nn::ModelSpec& full_spec,
+                                  const nn::TensorList& full_weights,
+                                  const PruneMask& mask);
+
+// The "residual model" of §III-C: global minus sparse. Everything the
+// sub-model did NOT carry; added back at aggregation so pruned units keep
+// their weights across rounds.
+StatusOr<nn::TensorList> ResidualModel(const nn::ModelSpec& full_spec,
+                                       const nn::TensorList& full_weights,
+                                       const PruneMask& mask);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_SPARSIFY_H_

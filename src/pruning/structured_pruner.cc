@@ -1,0 +1,306 @@
+#include "pruning/structured_pruner.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "pruning/importance.h"
+#include "pruning/lstm_iss_pruner.h"
+
+namespace fedmp::pruning {
+
+using nn::LayerSpec;
+using nn::LayerType;
+using nn::ModelAnalysis;
+using nn::ModelSpec;
+using nn::Tensor;
+using nn::TensorList;
+
+namespace {
+
+// Resolves an "empty means all" gather list to its effective size.
+int64_t GatherSize(const std::vector<int64_t>& gather, int64_t full) {
+  return gather.empty() ? full : static_cast<int64_t>(gather.size());
+}
+
+// The index list [0, n) when `gather` is empty, else `gather` itself.
+std::vector<int64_t> Materialize(const std::vector<int64_t>& gather,
+                                 int64_t n) {
+  if (!gather.empty()) return gather;
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  return all;
+}
+
+TensorSlice MakeSlice(std::vector<int64_t> full_shape,
+                      std::vector<int64_t> dim0, std::vector<int64_t> dim1) {
+  TensorSlice s;
+  s.full_shape = std::move(full_shape);
+  s.dim0 = std::move(dim0);
+  s.dim1 = std::move(dim1);
+  s.sub_shape = s.full_shape;
+  if (!s.sub_shape.empty()) {
+    s.sub_shape[0] = GatherSize(s.dim0, s.full_shape[0]);
+  }
+  if (s.sub_shape.size() >= 2) {
+    s.sub_shape[1] = GatherSize(s.dim1, s.full_shape[1]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Tensor GatherSlice(const Tensor& full, const TensorSlice& slice) {
+  FEDMP_CHECK(full.shape() == slice.full_shape)
+      << "GatherSlice: tensor " << full.ShapeString()
+      << " does not match slice full shape";
+  const int64_t d0 = slice.full_shape[0];
+  const int64_t d1 = slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
+  int64_t inner = 1;
+  for (size_t i = 2; i < slice.full_shape.size(); ++i) {
+    inner *= slice.full_shape[i];
+  }
+  const std::vector<int64_t> g0 = Materialize(slice.dim0, d0);
+  const std::vector<int64_t> g1 = Materialize(slice.dim1, d1);
+  Tensor sub(slice.sub_shape);
+  const float* pf = full.data();
+  float* ps = sub.data();
+  for (size_t i0 = 0; i0 < g0.size(); ++i0) {
+    for (size_t i1 = 0; i1 < g1.size(); ++i1) {
+      const float* src = pf + (g0[i0] * d1 + g1[i1]) * inner;
+      float* dst =
+          ps + (static_cast<int64_t>(i0) * static_cast<int64_t>(g1.size()) +
+                static_cast<int64_t>(i1)) *
+                   inner;
+      std::copy(src, src + inner, dst);
+    }
+  }
+  return sub;
+}
+
+Tensor ScatterSlice(const Tensor& sub, const TensorSlice& slice) {
+  FEDMP_CHECK(sub.shape() == slice.sub_shape)
+      << "ScatterSlice: tensor " << sub.ShapeString()
+      << " does not match slice sub shape";
+  const int64_t d0 = slice.full_shape[0];
+  const int64_t d1 = slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
+  int64_t inner = 1;
+  for (size_t i = 2; i < slice.full_shape.size(); ++i) {
+    inner *= slice.full_shape[i];
+  }
+  const std::vector<int64_t> g0 = Materialize(slice.dim0, d0);
+  const std::vector<int64_t> g1 = Materialize(slice.dim1, d1);
+  Tensor full(slice.full_shape);
+  const float* ps = sub.data();
+  float* pf = full.data();
+  for (size_t i0 = 0; i0 < g0.size(); ++i0) {
+    for (size_t i1 = 0; i1 < g1.size(); ++i1) {
+      const float* src =
+          ps + (static_cast<int64_t>(i0) * static_cast<int64_t>(g1.size()) +
+                static_cast<int64_t>(i1)) *
+                   inner;
+      float* dst = pf + (g0[i0] * d1 + g1[i1]) * inner;
+      std::copy(src, src + inner, dst);
+    }
+  }
+  return full;
+}
+
+StatusOr<PrunePlan> BuildPrunePlan(const ModelSpec& full_spec,
+                                   const PruneMask& mask) {
+  FEDMP_RETURN_IF_ERROR(mask.Validate(full_spec));
+  ModelAnalysis analysis;
+  FEDMP_RETURN_IF_ERROR(full_spec.Analyze(&analysis));
+
+  PrunePlan plan;
+  plan.sub_spec.name = full_spec.name + "-sub";
+  plan.sub_spec.input = full_spec.input;
+  plan.sub_spec.num_classes = full_spec.num_classes;
+
+  // kept_in: surviving input-unit indices flowing into the current layer;
+  // empty means "all of in_width".
+  std::vector<int64_t> kept_in;
+  int64_t in_width = 0;
+  switch (full_spec.input.kind) {
+    case nn::ShapeKind::kImage: in_width = full_spec.input.c; break;
+    case nn::ShapeKind::kFeatures: in_width = full_spec.input.f; break;
+    case nn::ShapeKind::kTokens: in_width = 0; break;
+    case nn::ShapeKind::kSequence: in_width = full_spec.input.f; break;
+  }
+
+  for (size_t i = 0; i < full_spec.layers.size(); ++i) {
+    const LayerSpec& ls = full_spec.layers[i];
+    const LayerMask& lm = mask.layers[i];
+    LayerSpec sub = ls;
+    const int64_t in_kept_count = GatherSize(kept_in, in_width);
+    switch (ls.type) {
+      case LayerType::kConv2d: {
+        const std::vector<int64_t>& out_kept =
+            lm.prunable ? lm.kept : std::vector<int64_t>{};
+        const std::vector<int64_t> dim0 =
+            (lm.prunable && lm.kept_count() < ls.out_channels)
+                ? lm.kept
+                : std::vector<int64_t>{};
+        plan.slices.push_back(MakeSlice(
+            {ls.out_channels, ls.in_channels, ls.kernel, ls.kernel}, dim0,
+            kept_in));
+        if (ls.bias) {
+          plan.slices.push_back(MakeSlice({ls.out_channels}, dim0, {}));
+        }
+        sub.in_channels = in_kept_count;
+        sub.out_channels = GatherSize(dim0, ls.out_channels);
+        kept_in = dim0;
+        in_width = ls.out_channels;
+        (void)out_kept;
+        break;
+      }
+      case LayerType::kBatchNorm2d: {
+        plan.slices.push_back(MakeSlice({ls.out_channels}, kept_in, {}));
+        plan.slices.push_back(MakeSlice({ls.out_channels}, kept_in, {}));
+        sub.out_channels = in_kept_count;
+        break;
+      }
+      case LayerType::kReLU:
+      case LayerType::kTanh:
+      case LayerType::kMaxPool2d:
+      case LayerType::kDropout:
+      case LayerType::kTimeFlatten:
+      case LayerType::kGlobalAvgPool:
+        break;  // shape-preserving w.r.t. unit indices, no parameters
+      case LayerType::kFlatten: {
+        // Channel indices expand to per-pixel feature indices.
+        const int64_t plane =
+            analysis.layers[i].input.h * analysis.layers[i].input.w;
+        if (!kept_in.empty()) {
+          std::vector<int64_t> expanded;
+          expanded.reserve(kept_in.size() * static_cast<size_t>(plane));
+          for (int64_t c : kept_in) {
+            for (int64_t s = 0; s < plane; ++s) {
+              expanded.push_back(c * plane + s);
+            }
+          }
+          kept_in = std::move(expanded);
+        }
+        in_width *= plane;
+        break;
+      }
+      case LayerType::kLinear: {
+        const std::vector<int64_t> dim0 =
+            (lm.prunable && lm.kept_count() < ls.out_channels)
+                ? lm.kept
+                : std::vector<int64_t>{};
+        plan.slices.push_back(
+            MakeSlice({ls.out_channels, ls.in_channels}, dim0, kept_in));
+        if (ls.bias) {
+          plan.slices.push_back(MakeSlice({ls.out_channels}, dim0, {}));
+        }
+        sub.in_channels = in_kept_count;
+        sub.out_channels = GatherSize(dim0, ls.out_channels);
+        kept_in = dim0;
+        in_width = ls.out_channels;
+        break;
+      }
+      case LayerType::kResidualBlock: {
+        const std::vector<int64_t> mid =
+            (lm.prunable && lm.kept_count() < ls.mid_channels)
+                ? lm.kept
+                : std::vector<int64_t>{};
+        const int64_t c = ls.in_channels, m = ls.mid_channels;
+        plan.slices.push_back(MakeSlice({m, c, 3, 3}, mid, kept_in));
+        plan.slices.push_back(MakeSlice({m}, mid, {}));  // bn1 gamma
+        plan.slices.push_back(MakeSlice({m}, mid, {}));  // bn1 beta
+        plan.slices.push_back(MakeSlice({c, m, 3, 3}, kept_in, mid));
+        plan.slices.push_back(MakeSlice({c}, kept_in, {}));  // bn2 gamma
+        plan.slices.push_back(MakeSlice({c}, kept_in, {}));  // bn2 beta
+        sub.in_channels = sub.out_channels = in_kept_count;
+        sub.mid_channels = GatherSize(mid, m);
+        break;  // kept_in and in_width unchanged: block keeps its interface
+      }
+      case LayerType::kLstm: {
+        const int64_t h = ls.out_channels;
+        const bool cut = lm.prunable && lm.kept_count() < h;
+        const std::vector<int64_t> kept =
+            cut ? lm.kept : std::vector<int64_t>{};
+        const std::vector<int64_t> rows =
+            cut ? IssRowGather(h, lm.kept) : std::vector<int64_t>{};
+        plan.slices.push_back(
+            MakeSlice({4 * h, ls.in_channels}, rows, kept_in));
+        plan.slices.push_back(MakeSlice({4 * h, h}, rows, kept));
+        plan.slices.push_back(MakeSlice({4 * h}, rows, {}));
+        sub.in_channels = in_kept_count;
+        sub.out_channels = GatherSize(kept, h);
+        kept_in = kept;
+        in_width = h;
+        break;
+      }
+      case LayerType::kEmbedding: {
+        plan.slices.push_back(MakeSlice({ls.vocab, ls.out_channels}, {}, {}));
+        kept_in.clear();
+        in_width = ls.out_channels;
+        break;
+      }
+    }
+    plan.sub_spec.layers.push_back(sub);
+  }
+
+  // The sub-spec must itself be a valid model.
+  ModelAnalysis sub_analysis;
+  Status s = plan.sub_spec.Analyze(&sub_analysis);
+  if (!s.ok()) {
+    return InternalError("pruned spec malformed: " + s.ToString());
+  }
+  return plan;
+}
+
+PruneMask ComputeL1Mask(const ModelSpec& spec, const TensorList& weights,
+                        double ratio) {
+  PruneMask mask = FullMask(spec);
+  mask.ratio = ratio;
+  if (ratio <= 0.0) return mask;
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    LayerMask& lm = mask.layers[i];
+    if (!lm.prunable) continue;
+    const std::vector<float> scores = UnitImportance(spec, weights, i);
+    FEDMP_CHECK_EQ(static_cast<int64_t>(scores.size()), lm.original_width);
+    const int64_t keep = KeptCount(lm.original_width, ratio);
+    // Keep the `keep` highest-scoring units (§III-B removes the lowest).
+    std::vector<size_t> order = ArgsortAscending(scores);
+    std::vector<int64_t> kept;
+    kept.reserve(static_cast<size_t>(keep));
+    for (size_t j = order.size() - static_cast<size_t>(keep);
+         j < order.size(); ++j) {
+      kept.push_back(static_cast<int64_t>(order[j]));
+    }
+    std::sort(kept.begin(), kept.end());
+    lm.kept = std::move(kept);
+  }
+  return mask;
+}
+
+StatusOr<SubModel> ExtractSubModel(const ModelSpec& full_spec,
+                                   const TensorList& full_weights,
+                                   const PruneMask& mask) {
+  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
+  if (full_weights.size() != plan.slices.size()) {
+    return InvalidArgumentError(StrFormat(
+        "model has %zu parameter tensors, plan expects %zu",
+        full_weights.size(), plan.slices.size()));
+  }
+  SubModel sub;
+  sub.spec = plan.sub_spec;
+  sub.mask = mask;
+  sub.weights.reserve(full_weights.size());
+  for (size_t i = 0; i < full_weights.size(); ++i) {
+    sub.weights.push_back(GatherSlice(full_weights[i], plan.slices[i]));
+  }
+  return sub;
+}
+
+StatusOr<SubModel> PruneByRatio(const ModelSpec& full_spec,
+                                const TensorList& full_weights,
+                                double ratio) {
+  PruneMask mask = ComputeL1Mask(full_spec, full_weights, ratio);
+  return ExtractSubModel(full_spec, full_weights, mask);
+}
+
+}  // namespace fedmp::pruning

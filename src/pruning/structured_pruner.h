@@ -1,0 +1,64 @@
+#ifndef FEDMP_PRUNING_STRUCTURED_PRUNER_H_
+#define FEDMP_PRUNING_STRUCTURED_PRUNER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "nn/tensor_ops.h"
+#include "pruning/mask.h"
+
+namespace fedmp::pruning {
+
+// Gather lists describing how one sub-model parameter tensor is cut out of
+// its full-model counterpart. An empty list means "all indices along that
+// axis". dim0 is the output-unit axis, dim1 the input-unit axis; trailing
+// axes (conv kernels) are copied whole.
+struct TensorSlice {
+  std::vector<int64_t> dim0;
+  std::vector<int64_t> dim1;
+  std::vector<int64_t> full_shape;
+  std::vector<int64_t> sub_shape;
+};
+
+// The complete, invertible description of one pruning operation: the
+// sub-model architecture plus per-parameter slices. Built purely from
+// (full spec, mask), so the PS can re-derive it whenever a worker's
+// sub-model comes back for recovery.
+struct PrunePlan {
+  nn::ModelSpec sub_spec;
+  std::vector<TensorSlice> slices;  // canonical parameter-tensor order
+};
+
+StatusOr<PrunePlan> BuildPrunePlan(const nn::ModelSpec& full_spec,
+                                   const PruneMask& mask);
+
+// §III-B: per-layer l1 ranking with the same ratio in every layer; the
+// lowest-scoring units are dropped, keeping max(1, round(width*(1-ratio))).
+PruneMask ComputeL1Mask(const nn::ModelSpec& spec,
+                        const nn::TensorList& weights, double ratio);
+
+// A pruned model ready to ship to a worker.
+struct SubModel {
+  nn::ModelSpec spec;
+  nn::TensorList weights;
+  PruneMask mask;
+};
+
+// Cuts the sub-model weights out of the full model per `mask`.
+StatusOr<SubModel> ExtractSubModel(const nn::ModelSpec& full_spec,
+                                   const nn::TensorList& full_weights,
+                                   const PruneMask& mask);
+
+// ComputeL1Mask + ExtractSubModel in one step ("distributed model pruning"
+// as the PS performs it each round).
+StatusOr<SubModel> PruneByRatio(const nn::ModelSpec& full_spec,
+                                const nn::TensorList& full_weights,
+                                double ratio);
+
+// Low-level slice ops (exposed for recovery/sparsify and tests).
+nn::Tensor GatherSlice(const nn::Tensor& full, const TensorSlice& slice);
+nn::Tensor ScatterSlice(const nn::Tensor& sub, const TensorSlice& slice);
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_STRUCTURED_PRUNER_H_

@@ -1,0 +1,76 @@
+#include "bandit/discounted_ucb.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedmp::bandit {
+namespace {
+
+TEST(DiscountedUcbTest, ExploresEveryArmFirst) {
+  DiscountedUcb ucb(5, 0.95, 1);
+  std::vector<bool> seen(5, false);
+  for (int k = 0; k < 5; ++k) {
+    const int64_t arm = ucb.SelectArm();
+    EXPECT_FALSE(seen[static_cast<size_t>(arm)])
+        << "unpulled arms must come first";
+    seen[static_cast<size_t>(arm)] = true;
+    ucb.Observe(0.1);
+  }
+}
+
+TEST(DiscountedUcbTest, ConvergesToBestArm) {
+  DiscountedUcb ucb(4, 0.98, 2);
+  Rng rng(3);
+  const double means[] = {0.1, 0.7, 0.3, 0.2};
+  int best_count = 0;
+  for (int k = 0; k < 400; ++k) {
+    const int64_t arm = ucb.SelectArm();
+    ucb.Observe(means[arm] + rng.Gaussian(0.0, 0.05));
+    if (k >= 300 && arm == 1) ++best_count;
+  }
+  // Discounted UCB keeps exploring (non-stationarity guard); the best arm
+  // must still dominate the 25% a uniform policy would give it.
+  EXPECT_GT(best_count, 40);
+}
+
+TEST(DiscountedUcbTest, TracksDriftingBestArm) {
+  DiscountedUcb ucb(2, 0.95, 5);
+  Rng rng(6);
+  // Arm 0 best for 150 rounds, then arm 1.
+  int late_best = 0;
+  for (int k = 0; k < 400; ++k) {
+    const int64_t arm = ucb.SelectArm();
+    const double mean = (k < 150) == (arm == 0) ? 0.8 : 0.2;
+    ucb.Observe(mean + rng.Gaussian(0.0, 0.05));
+    if (k >= 320 && arm == 1) ++late_best;
+  }
+  EXPECT_GT(late_best, 50);
+}
+
+TEST(DiscountedUcbTest, StatsMatchHandComputation) {
+  DiscountedUcb ucb(2, 0.5, 7);
+  // Force pulls via Select/Observe in whatever order; track by hand.
+  const int64_t a0 = ucb.SelectArm();
+  ucb.Observe(1.0);
+  const int64_t a1 = ucb.SelectArm();
+  ucb.Observe(0.0);
+  // History: [a0: 1.0, a1: 0.0], k = 2.
+  // DiscountedCount(a0) = 0.5^2 = 0.25; (a1) = 0.5^1 = 0.5.
+  EXPECT_NEAR(ucb.DiscountedCount(a0), 0.25, 1e-12);
+  EXPECT_NEAR(ucb.DiscountedCount(a1), 0.5, 1e-12);
+  EXPECT_NEAR(ucb.DiscountedMean(a0), 1.0, 1e-12);
+  EXPECT_NEAR(ucb.DiscountedMean(a1), 0.0, 1e-12);
+}
+
+TEST(DiscountedUcbDeathTest, ProtocolViolationsAbort) {
+  DiscountedUcb ucb(2, 0.9, 1);
+  EXPECT_DEATH(ucb.Observe(1.0), "without SelectArm");
+  ucb.SelectArm();
+  EXPECT_DEATH(ucb.SelectArm(), "without Observe");
+}
+
+}  // namespace
+}  // namespace fedmp::bandit

@@ -1,0 +1,86 @@
+#include "bandit/partition_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedmp::bandit {
+namespace {
+
+TEST(PartitionTreeTest, StartsAsSingleLeaf) {
+  PartitionTree tree(0.0, 1.0, 0.1);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_TRUE(tree.CoversDomain());
+  EXPECT_EQ(tree.LeafIndex(0.5), 0u);
+}
+
+TEST(PartitionTreeTest, SplitCreatesTwoHalves) {
+  PartitionTree tree(0.0, 1.0, 0.1);
+  ASSERT_TRUE(tree.SplitAt(0, 0.4));
+  ASSERT_EQ(tree.num_leaves(), 2u);
+  EXPECT_TRUE(tree.CoversDomain());
+  EXPECT_EQ(tree.LeafIndex(0.39), 0u);
+  EXPECT_EQ(tree.LeafIndex(0.4), 1u);
+  EXPECT_DOUBLE_EQ(tree.leaves()[0].hi, 0.4);
+  EXPECT_DOUBLE_EQ(tree.leaves()[1].lo, 0.4);
+}
+
+TEST(PartitionTreeTest, RefusesSplitBelowTheta) {
+  PartitionTree tree(0.0, 1.0, 0.5);
+  ASSERT_TRUE(tree.SplitAt(0, 0.5));  // diameter 1.0 > 0.5
+  // Both halves now have diameter 0.5 <= theta.
+  EXPECT_FALSE(tree.SplitAt(0, 0.25));
+  EXPECT_FALSE(tree.SplitAt(1, 0.75));
+  EXPECT_EQ(tree.num_leaves(), 2u);
+}
+
+TEST(PartitionTreeTest, RefusesDegenerateSplitPoints) {
+  PartitionTree tree(0.0, 1.0, 0.01);
+  EXPECT_FALSE(tree.SplitAt(0, 0.0));
+  EXPECT_FALSE(tree.SplitAt(0, 1.0));
+  EXPECT_FALSE(tree.SplitAt(0, -0.5));
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(PartitionTreeTest, RandomSplitSequencePreservesInvariants) {
+  // Property sweep: any sequence of splits keeps the leaves a disjoint
+  // sorted cover of the domain, with every leaf locatable by LeafIndex.
+  Rng rng(21);
+  PartitionTree tree(0.0, 0.9, 0.02);
+  for (int step = 0; step < 200; ++step) {
+    const double at = rng.Uniform(0.0, 0.9);
+    const size_t leaf = tree.LeafIndex(at);
+    tree.SplitAt(leaf, at);
+    ASSERT_TRUE(tree.CoversDomain()) << "step " << step;
+  }
+  for (int probe = 0; probe < 100; ++probe) {
+    const double v = rng.Uniform(0.0, 0.9);
+    const size_t leaf = tree.LeafIndex(v);
+    EXPECT_TRUE(tree.leaves()[leaf].Contains(v));
+  }
+  // Every leaf respects the theta floor after saturation... leaves can be
+  // smaller than theta only if they were created by a split of a leaf just
+  // above theta; they can never be smaller than theta/2... in fact splits
+  // only apply to leaves with diameter > theta, so children can be
+  // arbitrarily small but the PARENT had diameter > theta.
+  for (const Interval& leaf : tree.leaves()) {
+    EXPECT_GT(leaf.diameter(), 0.0);
+  }
+}
+
+TEST(PartitionTreeDeathTest, LeafIndexOutsideDomainAborts) {
+  PartitionTree tree(0.0, 0.9, 0.1);
+  EXPECT_DEATH(tree.LeafIndex(0.95), "outside domain");
+  EXPECT_DEATH(tree.LeafIndex(-0.1), "outside domain");
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  const Interval iv{0.2, 0.5};
+  EXPECT_TRUE(iv.Contains(0.2));
+  EXPECT_TRUE(iv.Contains(0.49));
+  EXPECT_FALSE(iv.Contains(0.5));
+  EXPECT_DOUBLE_EQ(iv.diameter(), 0.3);
+}
+
+}  // namespace
+}  // namespace fedmp::bandit

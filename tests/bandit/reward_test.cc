@@ -1,0 +1,56 @@
+#include "bandit/reward.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp::bandit {
+namespace {
+
+TEST(FedMpRewardTest, HigherWhenCloserToMean) {
+  RewardOptions opt;
+  const double near = FedMpReward(0.5, 10.5, 10.0, opt);
+  const double far = FedMpReward(0.5, 20.0, 10.0, opt);
+  EXPECT_GT(near, far);
+}
+
+TEST(FedMpRewardTest, ScalesWithLossDecrease) {
+  RewardOptions opt;
+  EXPECT_GT(FedMpReward(1.0, 12.0, 10.0, opt),
+            FedMpReward(0.1, 12.0, 10.0, opt));
+}
+
+TEST(FedMpRewardTest, DenominatorClampedNearMean) {
+  RewardOptions opt;
+  opt.epsilon_frac = 0.05;
+  // Exactly at the mean: relative gap 0, clamped at 0.05.
+  EXPECT_NEAR(FedMpReward(1.0, 10.0, 10.0, opt), 1.0 / 0.05, 1e-9);
+}
+
+TEST(FedMpRewardTest, NegativeProgressEarnsNothing) {
+  RewardOptions opt;
+  EXPECT_EQ(FedMpReward(-0.3, 10.0, 10.0, opt), 0.0);
+}
+
+TEST(FedMpRewardTest, AbsoluteGapVariant) {
+  RewardOptions opt;
+  opt.relative_gap = false;
+  opt.epsilon_frac = 0.05;
+  // |T - mean| = 2, floor = 0.5; reward = 1 / 2.
+  EXPECT_NEAR(FedMpReward(1.0, 12.0, 10.0, opt), 0.5, 1e-9);
+  // Clamp engages inside the floor.
+  EXPECT_NEAR(FedMpReward(1.0, 10.1, 10.0, opt), 2.0, 1e-9);
+}
+
+TEST(FedMpRewardTest, RelativeGapIsScaleFree) {
+  RewardOptions opt;
+  // Same relative situation at 10x the time scale gives the same reward.
+  EXPECT_NEAR(FedMpReward(0.4, 12.0, 10.0, opt),
+              FedMpReward(0.4, 120.0, 100.0, opt), 1e-12);
+}
+
+TEST(TimeOnlyRewardTest, InverseTime) {
+  EXPECT_DOUBLE_EQ(TimeOnlyReward(4.0), 0.25);
+  EXPECT_GT(TimeOnlyReward(1.0), TimeOnlyReward(2.0));
+}
+
+}  // namespace
+}  // namespace fedmp::bandit

@@ -1,0 +1,53 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fedmp {
+namespace {
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  CsvTable t({"a", "b"});
+  ASSERT_TRUE(t.AddRow({std::string("1"), std::string("2")}).ok());
+  ASSERT_TRUE(t.AddRow(std::vector<double>{3.5, 4.25}).ok());
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3.5000,4.2500\n");
+}
+
+TEST(CsvTest, RejectsWrongWidth) {
+  CsvTable t({"a", "b"});
+  EXPECT_FALSE(t.AddRow({std::string("only one")}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvTable t({"x"});
+  ASSERT_TRUE(t.AddRow({std::string("a,b")}).ok());
+  ASSERT_TRUE(t.AddRow({std::string("he said \"hi\"")}).ok());
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "x\n\"a,b\"\n\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, PrettyAlignsColumns) {
+  CsvTable t({"name", "v"});
+  ASSERT_TRUE(t.AddRow({std::string("long-name"), std::string("1")}).ok());
+  std::ostringstream os;
+  t.WritePretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name      | v |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 1 |"), std::string::npos);
+}
+
+TEST(CsvTest, RowAccessors) {
+  CsvTable t({"a"});
+  ASSERT_TRUE(t.AddRow({std::string("7")}).ok());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "7");
+  EXPECT_EQ(t.header()[0], "a");
+}
+
+}  // namespace
+}  // namespace fedmp

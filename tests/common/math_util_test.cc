@@ -1,0 +1,40 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp {
+namespace {
+
+TEST(ClampTest, ClampsBothSides) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MeanVarianceTest, MatchesHandComputation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(Variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MeanVarianceTest, DegenerateInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Variance({3.0}), 0.0);
+}
+
+TEST(AlmostEqualTest, Tolerances) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-7));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(1000.0, 1000.005));
+}
+
+TEST(ArgsortTest, AscendingAndStable) {
+  const std::vector<float> v{3.0f, 1.0f, 2.0f, 1.0f};
+  const std::vector<size_t> order = ArgsortAscending(v);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 2, 0}));
+}
+
+}  // namespace
+}  // namespace fedmp

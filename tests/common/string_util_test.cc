@@ -1,0 +1,38 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp {
+namespace {
+
+TEST(SplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithDelimiter) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(HumanCountTest, PicksUnits) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1500), "1.5K");
+  EXPECT_EQ(HumanCount(2300000), "2.3M");
+  EXPECT_EQ(HumanCount(4000000000LL), "4.0G");
+}
+
+TEST(FixedCellTest, PadsToWidth) {
+  EXPECT_EQ(FixedCell(1.5, 8, 2), "    1.50");
+}
+
+}  // namespace
+}  // namespace fedmp

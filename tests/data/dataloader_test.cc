@@ -1,0 +1,90 @@
+#include "data/dataloader.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_image.h"
+
+namespace fedmp::data {
+namespace {
+
+Dataset MakeData(int64_t n) {
+  SyntheticImageConfig cfg;
+  cfg.channels = 1;
+  cfg.height = cfg.width = 4;
+  cfg.num_classes = 2;
+  cfg.train_per_class = n / 2;
+  cfg.test_per_class = 1;
+  cfg.seed = 6;
+  return GenerateSyntheticImages(cfg).train;
+}
+
+TEST(DataLoaderTest, BatchShapesAndEpochBoundary) {
+  const Dataset ds = MakeData(10);
+  DataLoader loader(&ds, /*batch_size=*/4, /*shuffle=*/false, 1);
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  loader.NextBatch(&batch, &labels);
+  EXPECT_EQ(batch.dim(0), 4);
+  loader.NextBatch(&batch, &labels);
+  EXPECT_EQ(batch.dim(0), 4);
+  loader.NextBatch(&batch, &labels);  // final short batch of the epoch
+  EXPECT_EQ(batch.dim(0), 2);
+  EXPECT_EQ(loader.epochs_completed(), 1);
+}
+
+TEST(DataLoaderTest, UnshuffledEpochVisitsEveryExampleOnce) {
+  const Dataset ds = MakeData(12);
+  DataLoader loader(&ds, 5, /*shuffle=*/false, 1);
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  std::vector<int64_t> all_labels;
+  while (loader.epochs_completed() == 0) {
+    loader.NextBatch(&batch, &labels);
+    all_labels.insert(all_labels.end(), labels.begin(), labels.end());
+  }
+  EXPECT_EQ(all_labels, ds.labels);
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderButNotMultiset) {
+  const Dataset ds = MakeData(20);
+  DataLoader loader(&ds, 20, /*shuffle=*/true, 42);
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  loader.NextBatch(&batch, &labels);
+  std::vector<int64_t> sorted_loaded = labels;
+  std::sort(sorted_loaded.begin(), sorted_loaded.end());
+  std::vector<int64_t> sorted_truth = ds.labels;
+  std::sort(sorted_truth.begin(), sorted_truth.end());
+  EXPECT_EQ(sorted_loaded, sorted_truth);
+}
+
+TEST(DataLoaderTest, ShardRestriction) {
+  const Dataset ds = MakeData(10);
+  DataLoader loader(&ds, {1, 3, 5}, 2, /*shuffle=*/false, 1);
+  EXPECT_EQ(loader.size(), 3);
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  loader.NextBatch(&batch, &labels);
+  EXPECT_EQ(labels[0], ds.labels[1]);
+  EXPECT_EQ(labels[1], ds.labels[3]);
+}
+
+TEST(DataLoaderTest, WrapsAcrossEpochs) {
+  const Dataset ds = MakeData(4);
+  DataLoader loader(&ds, 3, /*shuffle=*/false, 1);
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 10; ++i) loader.NextBatch(&batch, &labels);
+  EXPECT_GE(loader.epochs_completed(), 5);
+}
+
+TEST(DataLoaderDeathTest, EmptyShardAborts) {
+  const Dataset ds = MakeData(4);
+  EXPECT_DEATH(DataLoader(&ds, std::vector<int64_t>{}, 2, false, 1),
+               "empty shard");
+}
+
+}  // namespace
+}  // namespace fedmp::data

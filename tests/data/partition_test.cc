@@ -1,0 +1,119 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_image.h"
+
+namespace fedmp::data {
+namespace {
+
+Dataset MakeLabeled(int64_t per_class, int64_t classes) {
+  SyntheticImageConfig cfg;
+  cfg.channels = 1;
+  cfg.height = cfg.width = 4;
+  cfg.num_classes = classes;
+  cfg.train_per_class = per_class;
+  cfg.test_per_class = 1;
+  cfg.seed = 3;
+  return GenerateSyntheticImages(cfg).train;
+}
+
+TEST(PartitionIidTest, DisjointCoverOfAllIndices) {
+  Rng rng(1);
+  const Partition p = PartitionIid(100, 7, rng);
+  ASSERT_EQ(p.size(), 7u);
+  std::set<int64_t> seen;
+  for (const auto& shard : p) {
+    for (int64_t idx : shard) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  // Balanced within one element.
+  for (const auto& shard : p) {
+    EXPECT_GE(shard.size(), 100u / 7);
+    EXPECT_LE(shard.size(), 100u / 7 + 1);
+  }
+}
+
+TEST(PartitionIidTest, DeterministicGivenRngSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(PartitionIid(50, 5, a), PartitionIid(50, 5, b));
+}
+
+TEST(LabelSkewTest, ZeroSkewIsIid) {
+  const Dataset ds = MakeLabeled(10, 4);
+  Rng rng(2);
+  const Partition p = PartitionLabelSkew(ds, 4, 0.0, rng);
+  std::set<int64_t> seen;
+  for (const auto& shard : p) seen.insert(shard.begin(), shard.end());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.size());
+}
+
+class LabelSkewLevelTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LabelSkewLevelTest, DominantLabelShareMatchesLevel) {
+  const double y = GetParam();
+  const Dataset ds = MakeLabeled(50, 5);
+  Rng rng(3);
+  const int64_t workers = 5;
+  const Partition p = PartitionLabelSkew(ds, workers, y, rng);
+  for (int64_t w = 0; w < workers; ++w) {
+    const auto hist = ShardLabelHistogram(ds, p[static_cast<size_t>(w)]);
+    const int64_t dominant = w % 5;
+    const int64_t total = static_cast<int64_t>(p[(size_t)w].size());
+    ASSERT_GT(total, 0);
+    const double share =
+        static_cast<double>(hist[static_cast<size_t>(dominant)]) /
+        static_cast<double>(total);
+    // Dominant share >= y% (the uniform remainder can add a little more).
+    EXPECT_GE(share, y / 100.0 - 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LabelSkewLevelTest,
+                         ::testing::Values(20.0, 40.0, 60.0, 80.0));
+
+class MissingClassesTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MissingClassesTest, EachWorkerLacksExactlyYClasses) {
+  const int64_t y = GetParam();
+  const Dataset ds = MakeLabeled(20, 6);
+  Rng rng(4);
+  const Partition p = PartitionMissingClasses(ds, 4, y, rng);
+  for (const auto& shard : p) {
+    const auto hist = ShardLabelHistogram(ds, shard);
+    int64_t missing = 0;
+    for (int64_t count : hist) {
+      if (count == 0) ++missing;
+    }
+    EXPECT_EQ(missing, y);
+  }
+  // All examples assigned exactly once.
+  std::set<int64_t> seen;
+  for (const auto& shard : p) {
+    for (int64_t idx : shard) EXPECT_TRUE(seen.insert(idx).second);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MissingClassesTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(MissingClassesDeathTest, RejectsAllClassesMissing) {
+  const Dataset ds = MakeLabeled(5, 3);
+  Rng rng(5);
+  EXPECT_DEATH(PartitionMissingClasses(ds, 2, 3, rng), "Check failed");
+}
+
+TEST(ShardHistogramTest, CountsLabels) {
+  const Dataset ds = MakeLabeled(2, 2);
+  const auto hist = ShardLabelHistogram(ds, {0, 1, 2, 3});
+  EXPECT_EQ(hist[0] + hist[1], 4);
+}
+
+}  // namespace
+}  // namespace fedmp::data

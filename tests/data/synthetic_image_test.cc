@@ -1,0 +1,109 @@
+#include "data/synthetic_image.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp::data {
+namespace {
+
+SyntheticImageConfig SmallConfig() {
+  SyntheticImageConfig cfg;
+  cfg.channels = 2;
+  cfg.height = 10;
+  cfg.width = 8;
+  cfg.num_classes = 3;
+  cfg.train_per_class = 5;
+  cfg.test_per_class = 2;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(SyntheticImageTest, SizesAndShapes) {
+  const TrainTestSplit split = GenerateSyntheticImages(SmallConfig());
+  EXPECT_EQ(split.train.size(), 15);
+  EXPECT_EQ(split.test.size(), 6);
+  EXPECT_EQ(split.train.example_shape, (std::vector<int64_t>{2, 10, 8}));
+  EXPECT_EQ(split.train.num_classes, 3);
+  EXPECT_EQ(split.train.ExampleNumel(), 160);
+  for (const auto& ex : split.train.examples) {
+    EXPECT_EQ(static_cast<int64_t>(ex.size()), 160);
+  }
+}
+
+TEST(SyntheticImageTest, AllClassesPresent) {
+  const TrainTestSplit split = GenerateSyntheticImages(SmallConfig());
+  std::vector<int> counts(3, 0);
+  for (int64_t y : split.train.labels) ++counts[static_cast<size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(SyntheticImageTest, DeterministicBySeed) {
+  const TrainTestSplit a = GenerateSyntheticImages(SmallConfig());
+  const TrainTestSplit b = GenerateSyntheticImages(SmallConfig());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_EQ(a.train.examples[0], b.train.examples[0]);
+}
+
+TEST(SyntheticImageTest, DifferentSeedsDiffer) {
+  SyntheticImageConfig cfg = SmallConfig();
+  const TrainTestSplit a = GenerateSyntheticImages(cfg);
+  cfg.seed = 78;
+  const TrainTestSplit b = GenerateSyntheticImages(cfg);
+  EXPECT_NE(a.train.examples[0], b.train.examples[0]);
+}
+
+TEST(SyntheticImageTest, ClassesAreSeparatedBeyondNoise) {
+  // Mean same-class distance must be well below mean cross-class distance
+  // of the underlying prototypes (here proxied through low-noise samples).
+  SyntheticImageConfig cfg = SmallConfig();
+  cfg.noise_stddev = 0.05;
+  cfg.max_shift = 0;
+  cfg.train_per_class = 8;
+  const TrainTestSplit split = GenerateSyntheticImages(cfg);
+  auto dist = [&](int64_t i, int64_t j) {
+    const auto& a = split.train.examples[static_cast<size_t>(i)];
+    const auto& b = split.train.examples[static_cast<size_t>(j)];
+    double acc = 0.0;
+    for (size_t k = 0; k < a.size(); ++k) {
+      acc += (a[k] - b[k]) * (a[k] - b[k]);
+    }
+    return acc;
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int64_t i = 0; i < split.train.size(); ++i) {
+    for (int64_t j = i + 1; j < split.train.size(); ++j) {
+      if (split.train.labels[(size_t)i] == split.train.labels[(size_t)j]) {
+        same += dist(i, j);
+        ++same_n;
+      } else {
+        cross += dist(i, j);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, 0.5 * cross / cross_n);
+}
+
+TEST(DatasetTest, GatherBuildsBatch) {
+  const TrainTestSplit split = GenerateSyntheticImages(SmallConfig());
+  nn::Tensor batch;
+  std::vector<int64_t> labels;
+  split.train.Gather({0, 3, 7}, &batch, &labels);
+  EXPECT_EQ(batch.shape(), (std::vector<int64_t>{3, 2, 10, 8}));
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[1], split.train.labels[3]);
+  EXPECT_EQ(batch.at(160), split.train.examples[3][0]);
+}
+
+TEST(DatasetTest, SubsetCopiesSelected) {
+  const TrainTestSplit split = GenerateSyntheticImages(SmallConfig());
+  const Dataset sub = split.train.Subset({2, 4});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels[0], split.train.labels[2]);
+  EXPECT_EQ(sub.examples[1], split.train.examples[4]);
+  EXPECT_EQ(sub.num_classes, split.train.num_classes);
+}
+
+}  // namespace
+}  // namespace fedmp::data

@@ -1,0 +1,86 @@
+#include "data/synthetic_text.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace fedmp::data {
+namespace {
+
+SyntheticTextConfig SmallConfig() {
+  SyntheticTextConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.seq_len = 6;
+  cfg.train_windows = 100;
+  cfg.test_windows = 20;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(SyntheticTextTest, WindowShapes) {
+  const TrainTestSplit split = GenerateSyntheticText(SmallConfig());
+  EXPECT_EQ(split.train.size(), 100);
+  EXPECT_EQ(split.test.size(), 20);
+  EXPECT_EQ(split.train.example_shape, (std::vector<int64_t>{7}));
+  EXPECT_EQ(split.train.num_classes, 12);
+}
+
+TEST(SyntheticTextTest, TokensInVocab) {
+  const TrainTestSplit split = GenerateSyntheticText(SmallConfig());
+  for (const auto& window : split.train.examples) {
+    for (float tok : window) {
+      EXPECT_GE(tok, 0.0f);
+      EXPECT_LT(tok, 12.0f);
+      EXPECT_EQ(tok, std::floor(tok));  // integer-valued
+    }
+  }
+}
+
+TEST(SyntheticTextTest, DeterministicBySeed) {
+  const TrainTestSplit a = GenerateSyntheticText(SmallConfig());
+  const TrainTestSplit b = GenerateSyntheticText(SmallConfig());
+  EXPECT_EQ(a.train.examples[3], b.train.examples[3]);
+}
+
+TEST(SyntheticTextTest, MarkovStructureIsPredictable) {
+  // Successors of a given token must be concentrated: the most frequent
+  // successor should carry far more than the uniform 1/V share.
+  SyntheticTextConfig cfg = SmallConfig();
+  cfg.train_windows = 400;
+  const TrainTestSplit split = GenerateSyntheticText(cfg);
+  std::map<int, std::map<int, int>> successor_counts;
+  for (const auto& window : split.train.examples) {
+    for (size_t t = 0; t + 1 < window.size(); ++t) {
+      ++successor_counts[(int)window[t]][(int)window[t + 1]];
+    }
+  }
+  int peaked_states = 0, states = 0;
+  for (const auto& [state, succ] : successor_counts) {
+    int total = 0, best = 0;
+    for (const auto& [next, count] : succ) {
+      total += count;
+      best = std::max(best, count);
+    }
+    if (total < 30) continue;
+    ++states;
+    if (static_cast<double>(best) / total > 2.0 / 12.0) ++peaked_states;
+  }
+  ASSERT_GT(states, 0);
+  EXPECT_GT(static_cast<double>(peaked_states) / states, 0.7);
+}
+
+TEST(SplitLmBatchTest, SplitsInputsAndShiftedTargets) {
+  nn::Tensor windows = nn::Tensor::FromData(
+      {2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  nn::Tensor inputs;
+  std::vector<int64_t> targets;
+  SplitLmBatch(windows, &inputs, &targets);
+  EXPECT_EQ(inputs.shape(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(inputs(0, 0), 1.0f);
+  EXPECT_EQ(inputs(1, 2), 7.0f);
+  EXPECT_EQ(targets, (std::vector<int64_t>{2, 3, 4, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace fedmp::data

@@ -1,0 +1,66 @@
+#include "data/task_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp::data {
+namespace {
+
+TEST(TaskZooTest, VisionTaskNamesInPaperOrder) {
+  EXPECT_EQ(VisionTaskNames(),
+            (std::vector<std::string>{"cnn", "alexnet", "vgg", "resnet"}));
+}
+
+TEST(TaskZooTest, NamesResolve) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    const FlTask task = MakeTaskByName(name, TaskScale::kTiny, 1);
+    EXPECT_EQ(task.name, name);
+    EXPECT_GT(task.train.size(), 0);
+    EXPECT_GT(task.test.size(), 0);
+  }
+}
+
+TEST(TaskZooDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeTaskByName("bogus", TaskScale::kTiny, 1),
+               "unknown task");
+}
+
+TEST(TaskZooTest, LmTaskFlagged) {
+  EXPECT_TRUE(MakeLstmPtbTask(TaskScale::kTiny, 1).is_language_model);
+  EXPECT_FALSE(MakeCnnMnistTask(TaskScale::kTiny, 1).is_language_model);
+}
+
+TEST(TaskZooTest, DatasetMatchesModelInput) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet"}) {
+    const FlTask task = MakeTaskByName(name, TaskScale::kBench, 1);
+    EXPECT_EQ(task.train.example_shape[0], task.model.input.c) << name;
+    EXPECT_EQ(task.train.example_shape[1], task.model.input.h) << name;
+    EXPECT_EQ(task.train.example_shape[2], task.model.input.w) << name;
+    EXPECT_EQ(task.train.num_classes, task.model.num_classes) << name;
+  }
+}
+
+TEST(TaskZooTest, TargetsSet) {
+  EXPECT_GT(MakeCnnMnistTask(TaskScale::kBench, 1).target_accuracy, 0.0);
+  EXPECT_GT(MakeLstmPtbTask(TaskScale::kBench, 1).target_perplexity, 0.0);
+}
+
+TEST(TaskZooTest, RelativeModelSizesMatchPaperOrdering) {
+  // VGG > AlexNet > CNN in parameter count, mirroring the real models.
+  const int64_t cnn =
+      MakeCnnMnistTask(TaskScale::kBench, 1).model.NumParams();
+  const int64_t alexnet =
+      MakeAlexNetCifarTask(TaskScale::kBench, 1).model.NumParams();
+  const int64_t vgg =
+      MakeVggEmnistTask(TaskScale::kBench, 1).model.NumParams();
+  EXPECT_GT(vgg, alexnet);
+  EXPECT_GT(alexnet, cnn * 2 / 3);  // same ballpark or larger
+}
+
+TEST(TaskZooTest, DataSeedChangesData) {
+  const FlTask a = MakeCnnMnistTask(TaskScale::kTiny, 1);
+  const FlTask b = MakeCnnMnistTask(TaskScale::kTiny, 2);
+  EXPECT_NE(a.train.examples[0], b.train.examples[0]);
+}
+
+}  // namespace
+}  // namespace fedmp::data

@@ -1,0 +1,87 @@
+#include "edge/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace fedmp::edge {
+namespace {
+
+double MeanFlops(const std::vector<DeviceProfile>& fleet) {
+  std::vector<double> flops;
+  for (const auto& d : fleet) flops.push_back(d.flops_per_sec);
+  return Mean(flops);
+}
+
+double MeanUplink(const std::vector<DeviceProfile>& fleet) {
+  std::vector<double> bw;
+  for (const auto& d : fleet) bw.push_back(d.uplink_bytes_per_sec);
+  return Mean(bw);
+}
+
+TEST(ClusterTest, SizesMatch) {
+  EXPECT_EQ(MakeCluster(ClusterId::kA, 7, 1).size(), 7u);
+  EXPECT_EQ(MakeCluster(ClusterId::kB, 0, 1).size(), 0u);
+}
+
+TEST(ClusterTest, CapabilityOrderingAOverBOverC) {
+  const auto a = MakeCluster(ClusterId::kA, 20, 1);
+  const auto b = MakeCluster(ClusterId::kB, 20, 1);
+  const auto c = MakeCluster(ClusterId::kC, 20, 1);
+  EXPECT_GT(MeanFlops(a), MeanFlops(b));
+  EXPECT_GT(MeanFlops(b), MeanFlops(c));
+  EXPECT_GT(MeanUplink(a), MeanUplink(b));
+  EXPECT_GT(MeanUplink(b), MeanUplink(c));
+}
+
+TEST(ClusterTest, DeterministicBySeed) {
+  const auto a = MakeCluster(ClusterId::kA, 5, 9);
+  const auto b = MakeCluster(ClusterId::kA, 5, 9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flops_per_sec, b[i].flops_per_sec);
+    EXPECT_EQ(a[i].uplink_bytes_per_sec, b[i].uplink_bytes_per_sec);
+  }
+}
+
+TEST(HeterogeneityTest, ScenarioCompositions) {
+  EXPECT_EQ(MakeHeterogeneousWorkers(HeterogeneityLevel::kLow, 1).size(),
+            10u);
+  EXPECT_EQ(
+      MakeHeterogeneousWorkers(HeterogeneityLevel::kMedium, 1).size(), 10u);
+  EXPECT_EQ(MakeHeterogeneousWorkers(HeterogeneityLevel::kHigh, 1).size(),
+            10u);
+}
+
+TEST(HeterogeneityTest, SpreadGrowsWithLevel) {
+  auto spread = [](const std::vector<DeviceProfile>& fleet) {
+    double lo = 1e18, hi = 0.0;
+    for (const auto& d : fleet) {
+      lo = std::min(lo, d.flops_per_sec);
+      hi = std::max(hi, d.flops_per_sec);
+    }
+    return hi / lo;
+  };
+  const double low =
+      spread(MakeHeterogeneousWorkers(HeterogeneityLevel::kLow, 1));
+  const double high =
+      spread(MakeHeterogeneousWorkers(HeterogeneityLevel::kHigh, 1));
+  EXPECT_GE(high, low);
+}
+
+TEST(HalfAHalfBTest, SizesAndComposition) {
+  const auto fleet = MakeHalfAHalfB(11, 3);
+  EXPECT_EQ(fleet.size(), 11u);
+  int a_count = 0;
+  for (const auto& d : fleet) {
+    if (d.name[0] == 'A') ++a_count;
+  }
+  EXPECT_EQ(a_count, 5);
+}
+
+TEST(ClusterNameTest, Names) {
+  EXPECT_STREQ(ClusterName(ClusterId::kA), "A");
+  EXPECT_STREQ(HeterogeneityName(HeterogeneityLevel::kHigh), "High");
+}
+
+}  // namespace
+}  // namespace fedmp::edge

@@ -1,0 +1,106 @@
+#include "edge/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "edge/network.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::edge {
+namespace {
+
+DeviceRoundSample NominalSample(const DeviceProfile& p) {
+  return DeviceRoundSample{p.flops_per_sec, p.uplink_bytes_per_sec,
+                           p.downlink_bytes_per_sec};
+}
+
+TEST(CostModelTest, CompScalesLinearlyWithIterationsAndBatch) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  const DeviceRoundSample dev = NominalSample(JetsonTx2Mode(0));
+  const double t1 = CompSeconds(task.model, 2, 8, dev);
+  EXPECT_NEAR(CompSeconds(task.model, 4, 8, dev), 2 * t1, 1e-9);
+  EXPECT_NEAR(CompSeconds(task.model, 2, 16, dev), 2 * t1, 1e-9);
+}
+
+TEST(CostModelTest, FasterDeviceFinishesSooner) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  const double fast = CompSeconds(task.model, 3, 8,
+                                  NominalSample(JetsonTx2Mode(0)));
+  const double slow = CompSeconds(task.model, 3, 8,
+                                  NominalSample(JetsonTx2Mode(3)));
+  EXPECT_LT(fast, slow);
+}
+
+TEST(CostModelTest, CommCountsBothDirectionsPlusOverhead) {
+  CostModelOptions opt;
+  opt.round_overhead_seconds = 0.25;
+  DeviceRoundSample dev{1e9, 100.0, 200.0};
+  // 1000 bytes down at 200 B/s = 5s; 500 bytes up at 100 B/s = 5s.
+  EXPECT_NEAR(CommSeconds(1000.0, 500.0, dev, opt), 5.0 + 5.0 + 0.25,
+              1e-9);
+}
+
+TEST(CostModelTest, RoundCostSplitsCompAndComm) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  const DeviceRoundSample dev = NominalSample(JetsonTx2Mode(1));
+  const RoundCost cost = EstimateRoundCost(task.model, 3, 8, dev);
+  EXPECT_GT(cost.comp_seconds, 0.0);
+  EXPECT_GT(cost.comm_seconds, 0.0);
+  EXPECT_NEAR(cost.total(), cost.comp_seconds + cost.comm_seconds, 1e-12);
+}
+
+TEST(CostModelTest, NominalWrapperMatchesManualSample) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  const DeviceProfile p = JetsonTx2Mode(2);
+  const RoundCost a = EstimateRoundCostNominal(task.model, 3, 8, p);
+  const RoundCost b = EstimateRoundCost(task.model, 3, 8, NominalSample(p));
+  EXPECT_DOUBLE_EQ(a.comp_seconds, b.comp_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+}
+
+TEST(CostModelTest, PruningMonotonicallyReducesRoundCost) {
+  // The Fig. 5 mechanism: larger pruning ratios -> less computation AND
+  // less communication per round.
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 1);
+  auto model = nn::BuildModelOrDie(task.model, 2);
+  const DeviceRoundSample dev = NominalSample(JetsonTx2Mode(1));
+  double prev_total = 1e18;
+  for (double ratio : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    auto sub =
+        pruning::PruneByRatio(task.model, model->GetWeights(), ratio);
+    ASSERT_TRUE(sub.ok());
+    const RoundCost cost = EstimateRoundCost(sub->spec, 3, 8, dev);
+    EXPECT_LT(cost.total(), prev_total) << "ratio " << ratio;
+    prev_total = cost.total();
+  }
+}
+
+TEST(PathLossTest, MonotoneDecayBeyondReference) {
+  WirelessLinkConfig cfg;
+  EXPECT_DOUBLE_EQ(PathLossFactor(5.0, cfg), 1.0);  // saturates near PS
+  EXPECT_DOUBLE_EQ(PathLossFactor(10.0, cfg), 1.0);
+  const double at20 = PathLossFactor(20.0, cfg);
+  const double at40 = PathLossFactor(40.0, cfg);
+  EXPECT_LT(at20, 1.0);
+  EXPECT_LT(at40, at20);
+}
+
+TEST(PathLossTest, AssignLinkAppliesFactor) {
+  WirelessLinkConfig cfg;
+  DeviceProfile p = JetsonTx2Mode(0);
+  AssignLinkByDistance(20.0, cfg, &p);
+  const double factor = PathLossFactor(20.0, cfg);
+  EXPECT_DOUBLE_EQ(p.uplink_bytes_per_sec,
+                   cfg.base_uplink_bytes_per_sec * factor);
+  EXPECT_DOUBLE_EQ(p.downlink_bytes_per_sec,
+                   cfg.base_downlink_bytes_per_sec * factor);
+}
+
+}  // namespace
+}  // namespace fedmp::edge

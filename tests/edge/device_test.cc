@@ -1,0 +1,46 @@
+#include "edge/device.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp::edge {
+namespace {
+
+TEST(JetsonModeTest, CapabilityDecreasesWithMode) {
+  double prev = 1e18;
+  for (int mode = 0; mode <= 3; ++mode) {
+    const DeviceProfile p = JetsonTx2Mode(mode);
+    EXPECT_LT(p.flops_per_sec, prev) << "mode " << mode;
+    prev = p.flops_per_sec;
+  }
+}
+
+TEST(JetsonModeDeathTest, InvalidModeAborts) {
+  EXPECT_DEATH(JetsonTx2Mode(4), "mode must be");
+  EXPECT_DEATH(JetsonTx2Mode(-1), "mode must be");
+}
+
+TEST(SampleRoundTest, JitterStaysNearNominal) {
+  const DeviceProfile p = JetsonTx2Mode(1);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const DeviceRoundSample s = SampleRound(p, rng);
+    EXPECT_GT(s.flops_per_sec, 0.0);
+    EXPECT_GT(s.uplink_bytes_per_sec, 0.0);
+    sum += s.flops_per_sec;
+  }
+  EXPECT_NEAR(sum / n / p.flops_per_sec, 1.0, 0.03);
+}
+
+TEST(SampleRoundTest, ZeroSigmaIsDeterministic) {
+  DeviceProfile p = JetsonTx2Mode(0);
+  p.jitter_sigma = 0.0;
+  Rng rng(4);
+  const DeviceRoundSample s = SampleRound(p, rng);
+  EXPECT_DOUBLE_EQ(s.flops_per_sec, p.flops_per_sec);
+  EXPECT_DOUBLE_EQ(s.uplink_bytes_per_sec, p.uplink_bytes_per_sec);
+}
+
+}  // namespace
+}  // namespace fedmp::edge

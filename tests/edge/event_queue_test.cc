@@ -1,0 +1,73 @@
+#include "edge/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "edge/sim_clock.h"
+
+namespace fedmp::edge {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Push(3.0, 0);
+  q.Push(1.0, 1);
+  q.Push(2.0, 2);
+  EXPECT_EQ(q.Pop().worker, 1);
+  EXPECT_EQ(q.Pop().worker, 2);
+  EXPECT_EQ(q.Pop().worker, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TiesBreakInPushOrder) {
+  EventQueue q;
+  q.Push(1.0, 5);
+  q.Push(1.0, 6);
+  q.Push(1.0, 7);
+  EXPECT_EQ(q.Pop().worker, 5);
+  EXPECT_EQ(q.Pop().worker, 6);
+  EXPECT_EQ(q.Pop().worker, 7);
+}
+
+TEST(EventQueueTest, PeekDoesNotRemove) {
+  EventQueue q;
+  q.Push(2.0, 1);
+  EXPECT_EQ(q.Peek().worker, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RandomSequenceIsSorted) {
+  EventQueue q;
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) q.Push(rng.NextDouble(), i);
+  double prev = -1.0;
+  while (!q.empty()) {
+    const Event e = q.Pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(EventQueueDeathTest, PopEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.Pop(), "empty");
+  EXPECT_DEATH(q.Peek(), "empty");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.Advance(2.5);
+  clock.AdvanceTo(5.0);
+  EXPECT_EQ(clock.now(), 5.0);
+}
+
+TEST(SimClockDeathTest, BackwardsTimeAborts) {
+  SimClock clock;
+  clock.Advance(3.0);
+  EXPECT_DEATH(clock.Advance(-1.0), "backwards");
+  EXPECT_DEATH(clock.AdvanceTo(1.0), "backwards");
+}
+
+}  // namespace
+}  // namespace fedmp::edge

@@ -1,0 +1,83 @@
+#include "edge/fault.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace fedmp::edge {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(DeadlineTest, AllWorkersInTimeNothingDropped) {
+  DeadlinePolicy policy;
+  const DeadlineOutcome out = ApplyDeadline({1.0, 2.0, 3.0, 4.0}, policy);
+  // d = ceil(0.85*4)=4th fastest = 4.0; deadline 6.0; everyone makes it.
+  EXPECT_EQ(out.survivors.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.round_time, 4.0);
+  EXPECT_DOUBLE_EQ(out.deadline, 6.0);
+}
+
+TEST(DeadlineTest, ExtremeStragglerDropped) {
+  DeadlinePolicy policy;  // quantile 0.85, slack 1.5
+  std::vector<double> times{1.0, 1.1, 1.2, 1.3, 1.4,
+                            1.5, 1.6, 1.7, 1.8, 50.0};
+  const DeadlineOutcome out = ApplyDeadline(times, policy);
+  // d = 9th fastest = 1.8 -> deadline 2.7; worker 9 misses it.
+  EXPECT_EQ(out.survivors.size(), 9u);
+  EXPECT_DOUBLE_EQ(out.deadline, 2.7);
+  // The PS waits until the deadline expires.
+  EXPECT_DOUBLE_EQ(out.round_time, 2.7);
+}
+
+TEST(DeadlineTest, DisabledPolicyKeepsEveryFiniteWorker) {
+  DeadlinePolicy policy;
+  policy.enabled = false;
+  const DeadlineOutcome out = ApplyDeadline({1.0, 100.0}, policy);
+  EXPECT_EQ(out.survivors.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.round_time, 100.0);
+}
+
+TEST(DeadlineTest, CrashedWorkersNeverSurvive) {
+  DeadlinePolicy policy;
+  policy.enabled = false;
+  const DeadlineOutcome out = ApplyDeadline({1.0, kInf, 2.0}, policy);
+  EXPECT_EQ(out.survivors, (std::vector<int>{0, 2}));
+}
+
+TEST(DeadlineTest, CrashedWorkersExcludedFromQuantile) {
+  DeadlinePolicy policy;
+  const DeadlineOutcome out =
+      ApplyDeadline({1.0, 1.2, kInf, 1.1, kInf}, policy);
+  // Quantile computed over the three finite arrivals.
+  EXPECT_EQ(out.survivors.size(), 3u);
+  EXPECT_TRUE(std::isfinite(out.round_time));
+}
+
+TEST(DeadlineDeathTest, AllCrashedAborts) {
+  DeadlinePolicy policy;
+  EXPECT_DEATH(ApplyDeadline({kInf, kInf}, policy), "every worker crashed");
+}
+
+TEST(InjectCrashesTest, ZeroProbabilityIsNoop) {
+  Rng rng(1);
+  std::vector<double> times{1.0, 2.0};
+  InjectCrashes(0.0, rng, &times);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(InjectCrashesTest, RateApproximatelyHonored) {
+  Rng rng(2);
+  int crashed = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<double> times{1.0};
+    InjectCrashes(0.2, rng, &times);
+    if (!std::isfinite(times[0])) ++crashed;
+  }
+  EXPECT_NEAR(static_cast<double>(crashed) / trials, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace fedmp::edge

@@ -1,0 +1,161 @@
+#include "fl/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+struct Fixture {
+  data::FlTask task;
+  nn::TensorList global;
+  explicit Fixture(const char* name = "cnn")
+      : task(data::MakeTaskByName(name, data::TaskScale::kTiny, 5)) {
+    auto model = nn::BuildModelOrDie(task.model, 9);
+    global = model->GetWeights();
+  }
+};
+
+// If every worker returns its sub-model unchanged, R2SP must reproduce the
+// global model EXACTLY — the central no-op invariant of §III-C.
+TEST(R2spTest, UnchangedSubModelsLeaveGlobalFixed) {
+  Fixture f;
+  std::vector<pruning::SubModel> subs;
+  for (double ratio : {0.2, 0.5, 0.7}) {
+    auto sub = pruning::PruneByRatio(f.task.model, f.global, ratio);
+    ASSERT_TRUE(sub.ok());
+    subs.push_back(std::move(sub).value());
+  }
+  std::vector<SubModelUpdate> updates;
+  for (const auto& sub : subs) {
+    updates.push_back(SubModelUpdate{&sub.mask, &sub.weights});
+  }
+  auto result = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < f.global.size(); ++i) {
+    EXPECT_LT(nn::MaxAbsDiff((*result)[i], f.global[i]), 1e-6)
+        << "tensor " << i;
+  }
+}
+
+// The same no-op under BSP SHRINKS the pruned coordinates — the Fig. 7
+// failure mode R2SP exists to prevent.
+TEST(BspTest, UnchangedSubModelsDecayPrunedWeights) {
+  Fixture f;
+  auto sub = pruning::PruneByRatio(f.task.model, f.global, 0.5);
+  ASSERT_TRUE(sub.ok());
+  std::vector<SubModelUpdate> updates{
+      SubModelUpdate{&sub->mask, &sub->weights}};
+  auto result = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kBSP);
+  ASSERT_TRUE(result.ok());
+  // Kept coordinates intact, pruned coordinates zeroed => result equals
+  // sparsify(global).
+  auto sparse = pruning::Sparsify(f.task.model, f.global, sub->mask);
+  ASSERT_TRUE(sparse.ok());
+  double norm_result = 0.0, norm_global = 0.0;
+  for (size_t i = 0; i < f.global.size(); ++i) {
+    EXPECT_LT(nn::MaxAbsDiff((*result)[i], (*sparse)[i]), 1e-6);
+    norm_result += nn::SquaredNorm((*result)[i]);
+    norm_global += nn::SquaredNorm(f.global[i]);
+  }
+  EXPECT_LT(norm_result, norm_global);  // mass was lost
+}
+
+TEST(R2spTest, TrainedDeltaFlowsThroughAverage) {
+  Fixture f;
+  auto sub = pruning::PruneByRatio(f.task.model, f.global, 0.4);
+  ASSERT_TRUE(sub.ok());
+  // Worker adds +1 to every surviving weight.
+  nn::TensorList trained = sub->weights;
+  for (auto& t : trained) {
+    for (int64_t i = 0; i < t.numel(); ++i) t.at(i) += 1.0f;
+  }
+  // Second worker: full model, unchanged.
+  const pruning::PruneMask full_mask = pruning::FullMask(f.task.model);
+  std::vector<SubModelUpdate> updates{
+      SubModelUpdate{&sub->mask, &trained},
+      SubModelUpdate{&full_mask, &f.global}};
+  auto result = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(result.ok());
+  // Coordinates kept by worker 0 moved by +0.5; pruned ones unchanged.
+  // Keep-membership oracle: sparsify an all-ones model — kept coordinates
+  // stay 1, pruned ones become 0.
+  nn::TensorList ones = f.global;
+  for (auto& t : ones) t.Fill(1.0f);
+  auto keep_map = pruning::Sparsify(f.task.model, ones, sub->mask);
+  ASSERT_TRUE(keep_map.ok());
+  for (size_t t = 0; t < f.global.size(); ++t) {
+    for (int64_t i = 0; i < f.global[t].numel(); ++i) {
+      const bool kept = (*keep_map)[t].at(i) == 1.0f;
+      const float expected =
+          kept ? f.global[t].at(i) + 0.5f : f.global[t].at(i);
+      EXPECT_NEAR((*result)[t].at(i), expected, 1e-5)
+          << "tensor " << t << " index " << i;
+    }
+  }
+}
+
+TEST(AggregationTest, EmptyParticipantsRejected) {
+  Fixture f;
+  EXPECT_FALSE(
+      AggregateSubModels(f.task.model, f.global, {}, SyncScheme::kR2SP)
+          .ok());
+}
+
+TEST(FedAvgTest, AveragesTensorwise) {
+  nn::TensorList a{nn::Tensor::Full({2}, 1.0f)};
+  nn::TensorList b{nn::Tensor::Full({2}, 3.0f)};
+  const nn::TensorList avg = FedAvg({&a, &b});
+  EXPECT_EQ(avg[0].at(0), 2.0f);
+}
+
+TEST(SparsifyUpdateTest, KeepsLargestEntries) {
+  nn::TensorList ref{nn::Tensor::Full({4}, 0.0f)};
+  nn::TensorList trained{
+      nn::Tensor::FromData({4}, {0.1f, -2.0f, 0.2f, 1.0f})};
+  const nn::TensorList out = SparsifyUpdate(ref, trained, 0.5);
+  // Top-2 by |delta|: indices 1 and 3 survive.
+  EXPECT_EQ(out[0].at(0), 0.0f);
+  EXPECT_EQ(out[0].at(1), -2.0f);
+  EXPECT_EQ(out[0].at(2), 0.0f);
+  EXPECT_EQ(out[0].at(3), 1.0f);
+}
+
+TEST(SparsifyUpdateTest, ZeroCompressionIsIdentity) {
+  nn::TensorList ref{nn::Tensor::Full({3}, 1.0f)};
+  nn::TensorList trained{nn::Tensor::FromData({3}, {2.0f, 3.0f, 4.0f})};
+  const nn::TensorList out = SparsifyUpdate(ref, trained, 0.0);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[0].at(i), trained[0].at(i));
+  }
+}
+
+TEST(SparsifyUpdateTest, ExtremeCompressionKeepsAlmostNothing) {
+  nn::TensorList ref{nn::Tensor({100})};
+  nn::TensorList trained{nn::Tensor({100})};
+  // Distinct magnitudes so the top-k threshold is unambiguous.
+  for (int64_t i = 0; i < 100; ++i) {
+    trained[0].at(i) = static_cast<float>(i + 1);
+  }
+  const nn::TensorList out = SparsifyUpdate(ref, trained, 0.99);
+  int changed = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    if (out[0].at(i) != 0.0f) ++changed;
+  }
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(out[0].at(99), 100.0f);  // the largest delta survives
+}
+
+TEST(SyncSchemeNameTest, Names) {
+  EXPECT_STREQ(SyncSchemeName(SyncScheme::kR2SP), "R2SP");
+  EXPECT_STREQ(SyncSchemeName(SyncScheme::kBSP), "BSP");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -1,0 +1,129 @@
+#include "fl/async_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/strategies/syn_fl.h"
+#include "fl/strategies/up_fl.h"
+
+namespace fedmp::fl {
+namespace {
+
+AsyncTrainerOptions FastOptions(int m) {
+  AsyncTrainerOptions opt;
+  opt.base.max_rounds = 10;
+  opt.base.eval_every = 2;
+  opt.base.eval_batch_size = 16;
+  opt.base.seed = 3;
+  opt.m = m;
+  return opt;
+}
+
+std::vector<edge::DeviceProfile> SmallFleet() {
+  return edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium,
+                                        5);
+}
+
+data::FlTask TinyTask() {
+  return data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+}
+
+TEST(AsyncTrainerTest, AggregatesMFirstArrivals) {
+  const data::FlTask task = TinyTask();
+  const RoundLog log = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<SynFlStrategy>(),
+      FastOptions(5));
+  EXPECT_EQ(log.records().size(), 10u);
+  for (const auto& r : log.records()) {
+    EXPECT_EQ(r.participants, 5);
+  }
+}
+
+TEST(AsyncTrainerTest, ClockAdvancesMonotonically) {
+  const data::FlTask task = TinyTask();
+  const RoundLog log = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<SynFlStrategy>(),
+      FastOptions(3));
+  double prev = 0.0;
+  for (const auto& r : log.records()) {
+    EXPECT_GE(r.sim_time, prev);
+    prev = r.sim_time;
+  }
+}
+
+TEST(AsyncTrainerTest, AsynFedMpRunsAndPrunes) {
+  const data::FlTask task = TinyTask();
+  AsyncTrainerOptions opt = FastOptions(5);
+  opt.base.max_rounds = 20;
+  const RoundLog log = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<FedMpStrategy>(), opt);
+  double mean_ratio = 0.0;
+  for (const auto& r : log.records()) mean_ratio += r.mean_ratio;
+  mean_ratio /= static_cast<double>(log.records().size());
+  EXPECT_GT(mean_ratio, 0.0);
+  EXPECT_GE(log.FinalAccuracy(), 0.0);
+}
+
+TEST(AsyncTrainerTest, LearningProgresses) {
+  const data::FlTask task = TinyTask();
+  AsyncTrainerOptions opt = FastOptions(5);
+  opt.base.max_rounds = 40;
+  const RoundLog log = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<SynFlStrategy>(), opt);
+  const double first = log.records().front().test_accuracy;
+  EXPECT_GT(log.FinalAccuracy(), first);
+}
+
+TEST(AsyncTrainerTest, SmallerMMeansShorterRounds) {
+  const data::FlTask task = TinyTask();
+  const RoundLog m2 = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<SynFlStrategy>(),
+      FastOptions(2));
+  const RoundLog m8 = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<SynFlStrategy>(),
+      FastOptions(8));
+  // Waiting for 2 arrivals is never slower (per aggregation) than 8.
+  EXPECT_LT(m2.records().front().sim_time,
+            m8.records().front().sim_time);
+}
+
+TEST(AsyncTrainerTest, DeterministicGivenSeed) {
+  const data::FlTask task = TinyTask();
+  const RoundLog a = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<FedMpStrategy>(),
+      FastOptions(4));
+  const RoundLog b = RunFederatedAsync(
+      task, SmallFleet(), std::make_unique<FedMpStrategy>(),
+      FastOptions(4));
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].sim_time, b.records()[i].sim_time);
+  }
+}
+
+TEST(AsyncTrainerDeathTest, NonAsyncStrategyRejected) {
+  const data::FlTask task = TinyTask();
+  auto fleet = SmallFleet();
+  Rng rng(1);
+  auto partition =
+      data::PartitionIid(task.train.size(), (int64_t)fleet.size(), rng);
+  EXPECT_DEATH(AsyncTrainer(&task, fleet, partition,
+                            std::make_unique<UpFlStrategy>(),
+                            FastOptions(5)),
+               "cannot run asynchronously");
+}
+
+TEST(AsyncTrainerDeathTest, BadMRejected) {
+  const data::FlTask task = TinyTask();
+  auto fleet = SmallFleet();
+  Rng rng(1);
+  auto partition =
+      data::PartitionIid(task.train.size(), (int64_t)fleet.size(), rng);
+  EXPECT_DEATH(AsyncTrainer(&task, fleet, partition,
+                            std::make_unique<SynFlStrategy>(),
+                            FastOptions(11)),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

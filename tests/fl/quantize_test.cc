@@ -1,0 +1,87 @@
+#include "fl/quantize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/task_zoo.h"
+#include "fl/aggregation.h"
+#include "nn/initializers.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+TEST(QuantizeTest, RoundTripWithinHalfStep) {
+  Rng rng(1);
+  nn::Tensor t({7, 5});
+  nn::UniformInit(t, -2.0, 3.0, rng);
+  const QuantizedTensor q = Quantize8(t);
+  const nn::Tensor back = Dequantize(q);
+  EXPECT_EQ(back.shape(), t.shape());
+  const double bound = QuantizationErrorBound(q) + 1e-6;
+  EXPECT_LE(nn::MaxAbsDiff(back, t), bound);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(QuantizeTest, ConstantTensorExact) {
+  nn::Tensor t = nn::Tensor::Full({10}, 3.25f);
+  const QuantizedTensor q = Quantize8(t);
+  EXPECT_EQ(q.scale, 0.0f);
+  EXPECT_EQ(nn::MaxAbsDiff(Dequantize(q), t), 0.0);
+}
+
+TEST(QuantizeTest, ExtremesPreservedExactly) {
+  nn::Tensor t = nn::Tensor::FromData({3}, {-1.0f, 0.4f, 2.0f});
+  const nn::Tensor back = Dequantize(Quantize8(t));
+  EXPECT_FLOAT_EQ(back.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(back.at(2), 2.0f);
+}
+
+TEST(QuantizeTest, ListRoundTrip) {
+  Rng rng(2);
+  nn::TensorList list{nn::Tensor({4, 4}), nn::Tensor({9})};
+  for (auto& t : list) nn::UniformInit(t, -1, 1, rng);
+  const nn::TensorList back = DequantizeList(Quantize8List(list));
+  ASSERT_TRUE(nn::SameShapes(back, list));
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_LT(nn::MaxAbsDiff(back[i], list[i]), 0.01);
+  }
+}
+
+TEST(QuantizeTest, MemoryIsAboutAQuarter) {
+  // §III-C claims 10-20% of the original for the residual model; plain
+  // 8-bit affine quantization gives ~25% plus metadata.
+  nn::TensorList list{nn::Tensor({100, 100})};
+  const int64_t full = Float32ByteSize(list);
+  const int64_t quant = QuantizedByteSize(Quantize8List(list));
+  EXPECT_LT(quant, full / 3);
+  EXPECT_GT(quant, full / 5);
+}
+
+TEST(QuantizeTest, R2spWithQuantizedResidualsStaysClose) {
+  // The §III-C no-op invariant holds approximately under quantization:
+  // unchanged sub-models + quantized residuals reproduce the global model
+  // within the quantization error.
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 9);
+  const nn::TensorList global = model->GetWeights();
+  auto sub = pruning::PruneByRatio(task.model, global, 0.5);
+  ASSERT_TRUE(sub.ok());
+  std::vector<SubModelUpdate> updates{
+      SubModelUpdate{&sub->mask, &sub->weights}};
+  auto result = AggregateSubModels(task.model, global, updates,
+                                   SyncScheme::kR2SP,
+                                   /*quantize_residuals=*/true);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < global.size(); ++i) {
+    EXPECT_LT(nn::MaxAbsDiff((*result)[i], global[i]), 0.02)
+        << "tensor " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::fl

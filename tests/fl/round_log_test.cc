@@ -1,0 +1,86 @@
+#include "fl/round_log.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fedmp::fl {
+namespace {
+
+RoundLog MakeLog() {
+  RoundLog log;
+  for (int64_t k = 0; k < 5; ++k) {
+    RoundRecord r;
+    r.round = k;
+    r.sim_time = 10.0 * static_cast<double>(k + 1);
+    r.round_seconds = 10.0;
+    r.train_loss = 1.0 / static_cast<double>(k + 1);
+    r.decision_overhead_ms = 2.0;
+    if (k % 2 == 0) {
+      r.test_accuracy = 0.2 * static_cast<double>(k + 1);
+      r.test_loss = r.train_loss;
+    }
+    log.Add(r);
+  }
+  return log;
+}
+
+TEST(RoundLogTest, TimeToAccuracyFindsFirstCrossing) {
+  const RoundLog log = MakeLog();
+  // Evals: t=10 acc 0.2; t=30 acc 0.6; t=50 acc 1.0.
+  EXPECT_DOUBLE_EQ(log.TimeToAccuracy(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(log.TimeToAccuracy(0.1), 10.0);
+  EXPECT_DOUBLE_EQ(log.TimeToAccuracy(1.1), -1.0);
+}
+
+TEST(RoundLogTest, BestAccuracyWithinBudget) {
+  const RoundLog log = MakeLog();
+  EXPECT_DOUBLE_EQ(log.BestAccuracyWithin(35.0), 0.6);
+  EXPECT_DOUBLE_EQ(log.BestAccuracyWithin(9.0), -1.0);
+  EXPECT_DOUBLE_EQ(log.BestAccuracyWithin(1000.0), 1.0);
+}
+
+TEST(RoundLogTest, FinalAccuracySkipsUnevaluatedRounds) {
+  const RoundLog log = MakeLog();
+  EXPECT_DOUBLE_EQ(log.FinalAccuracy(), 1.0);  // round 4 eval
+}
+
+TEST(RoundLogTest, PerplexityQueries) {
+  RoundLog log;
+  for (int64_t k = 0; k < 3; ++k) {
+    RoundRecord r;
+    r.round = k;
+    r.sim_time = static_cast<double>(k + 1);
+    r.test_perplexity = 100.0 / static_cast<double>(k + 1);
+    log.Add(r);
+  }
+  EXPECT_DOUBLE_EQ(log.TimeToPerplexity(60.0), 2.0);
+  EXPECT_DOUBLE_EQ(log.TimeToPerplexity(10.0), -1.0);
+  EXPECT_DOUBLE_EQ(log.BestPerplexityWithin(2.5), 50.0);
+}
+
+TEST(RoundLogTest, OverheadAndTotals) {
+  const RoundLog log = MakeLog();
+  EXPECT_DOUBLE_EQ(log.MeanDecisionOverheadMs(), 2.0);
+  EXPECT_DOUBLE_EQ(log.TotalSimTime(), 50.0);
+}
+
+TEST(RoundLogTest, EmptyLogDefaults) {
+  const RoundLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_DOUBLE_EQ(log.TimeToAccuracy(0.5), -1.0);
+  EXPECT_DOUBLE_EQ(log.FinalAccuracy(), -1.0);
+  EXPECT_DOUBLE_EQ(log.TotalSimTime(), 0.0);
+}
+
+TEST(RoundLogTest, ToTableHasOneRowPerRound) {
+  const RoundLog log = MakeLog();
+  const CsvTable table = log.ToTable();
+  EXPECT_EQ(table.num_rows(), 5u);
+  std::ostringstream os;
+  table.WriteCsv(os);
+  EXPECT_NE(os.str().find("sim_time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -1,0 +1,78 @@
+#include "fl/server.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::fl {
+namespace {
+
+TEST(ServerTest, InitialWeightsDeterministic) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  ParameterServer a(task.model, 9), b(task.model, 9);
+  const nn::TensorList& wa = a.weights();
+  const nn::TensorList& wb = b.weights();
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff(wa[i], wb[i]), 0.0);
+  }
+}
+
+TEST(ServerTest, SetWeightsReplaces) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  ParameterServer ps(task.model, 9);
+  nn::TensorList zeros = ps.weights();
+  for (auto& t : zeros) t.SetZero();
+  ps.SetWeights(zeros);
+  EXPECT_EQ(nn::SquaredNormList(ps.weights()), 0.0);
+}
+
+TEST(ServerTest, EvaluateReturnsChanceForRandomModel) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  ParameterServer ps(task.model, 9);
+  const auto eval = ps.Evaluate(task.test, 8, false);
+  // Untrained: near-chance accuracy (4 classes -> far from 1.0), finite
+  // loss around ln(4).
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 0.8);
+  EXPECT_GT(eval.loss, 0.5);
+  EXPECT_LT(eval.loss, 5.0);
+}
+
+TEST(ServerTest, MaxBatchesLimitsWork) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  ParameterServer ps(task.model, 9);
+  const auto full = ps.Evaluate(task.test, 4, false);
+  const auto capped = ps.Evaluate(task.test, 4, false, /*max_batches=*/1);
+  // Both are valid numbers; the capped one uses a subset.
+  EXPECT_GE(capped.accuracy, 0.0);
+  EXPECT_LE(capped.accuracy, 1.0);
+  (void)full;
+}
+
+TEST(ServerTest, LanguageModelEvalReportsPerplexity) {
+  const data::FlTask task =
+      data::MakeLstmPtbTask(data::TaskScale::kTiny, 5);
+  ParameterServer ps(task.model, 9);
+  const auto eval = ps.Evaluate(task.test, 8, true);
+  EXPECT_NEAR(eval.perplexity, std::exp(eval.loss), 1e-6);
+  // Untrained LM is near uniform: perplexity close to vocab size.
+  EXPECT_GT(eval.perplexity, task.model.num_classes * 0.5);
+}
+
+TEST(ServerDeathTest, SetWeightsShapeMismatchAborts) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  ParameterServer ps(task.model, 9);
+  nn::TensorList wrong{nn::Tensor({3})};
+  EXPECT_DEATH(ps.SetWeights(wrong), "mismatched");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

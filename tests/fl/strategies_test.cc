@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/strategies/fedprox.h"
+#include "fl/strategies/flexcom.h"
+#include "fl/strategies/syn_fl.h"
+#include "fl/strategies/up_fl.h"
+
+namespace fedmp::fl {
+namespace {
+
+RoundObservation MakeObservation(std::vector<double> times,
+                                 std::vector<double> deltas) {
+  RoundObservation obs;
+  obs.completion_times = times;
+  obs.comp_times = times;
+  obs.comm_times = std::vector<double>(times.size(), 0.1);
+  obs.delta_losses = std::move(deltas);
+  obs.participated = std::vector<bool>(times.size(), true);
+  obs.round_time =
+      *std::max_element(times.begin(), times.end());
+  obs.global_delta_loss = 0.1;
+  return obs;
+}
+
+TEST(SynFlTest, NeverPrunes) {
+  SynFlStrategy strategy;
+  strategy.Initialize(4, 1);
+  std::vector<WorkerRoundPlan> plans(4);
+  for (int round = 0; round < 10; ++round) {
+    strategy.PlanRound(round, &plans);
+    for (const auto& plan : plans) {
+      EXPECT_EQ(plan.pruning_ratio, 0.0);
+      EXPECT_EQ(plan.compress_ratio, 0.0);
+      EXPECT_EQ(plan.tau, 0);
+    }
+    strategy.ObserveRound(round, MakeObservation({1, 2, 3, 4}, {1, 1, 1, 1}));
+  }
+}
+
+TEST(UpFlTest, UniformRatioAcrossWorkers) {
+  UpFlStrategy strategy;
+  strategy.Initialize(5, 1);
+  std::vector<WorkerRoundPlan> plans(5);
+  for (int round = 0; round < 15; ++round) {
+    strategy.PlanRound(round, &plans);
+    for (const auto& plan : plans) {
+      EXPECT_EQ(plan.pruning_ratio, plans[0].pruning_ratio);
+    }
+    strategy.ObserveRound(round,
+                          MakeObservation({1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}));
+  }
+}
+
+TEST(UpFlTest, RatiosComeFromGrid) {
+  UpFlOptions options;
+  options.ratio_grid = {0.0, 0.3, 0.6};
+  UpFlStrategy strategy(options);
+  strategy.Initialize(2, 1);
+  std::vector<WorkerRoundPlan> plans(2);
+  for (int round = 0; round < 10; ++round) {
+    strategy.PlanRound(round, &plans);
+    const double r = plans[0].pruning_ratio;
+    EXPECT_TRUE(r == 0.0 || r == 0.3 || r == 0.6) << r;
+    strategy.ObserveRound(round, MakeObservation({1, 1}, {1, 1}));
+  }
+}
+
+TEST(FedProxTest, SlowWorkersGetFewerIterations) {
+  FedProxOptions options;
+  options.base_tau = 4;
+  options.max_tau = 4;
+  FedProxStrategy strategy(options);
+  strategy.Initialize(3, 1);
+  std::vector<WorkerRoundPlan> plans(3);
+  strategy.PlanRound(0, &plans);
+  for (const auto& plan : plans) {
+    EXPECT_EQ(plan.tau, 4);  // no knowledge yet
+    EXPECT_GT(plan.proximal_mu, 0.0);
+  }
+  // Worker 2 is 4x slower in compute.
+  for (int round = 0; round < 6; ++round) {
+    RoundObservation obs = MakeObservation({1.0, 1.0, 4.0}, {1, 1, 1});
+    // comp_times drive the adaptation; scale by current taus.
+    for (int n = 0; n < 3; ++n) {
+      obs.comp_times[static_cast<size_t>(n)] =
+          (n == 2 ? 4.0 : 1.0) *
+          static_cast<double>(plans[static_cast<size_t>(n)].tau) / 4.0;
+    }
+    strategy.ObserveRound(round, obs);
+    strategy.PlanRound(round + 1, &plans);
+  }
+  EXPECT_LT(plans[2].tau, plans[0].tau);
+  EXPECT_GE(plans[2].tau, 1);
+  EXPECT_LE(plans[0].tau, 4);  // fast workers never exceed base
+}
+
+TEST(FlexComTest, SlowLinksGetMoreCompression) {
+  FlexComStrategy strategy;
+  strategy.Initialize(3, 1);
+  std::vector<WorkerRoundPlan> plans(3);
+  strategy.PlanRound(0, &plans);
+  for (const auto& plan : plans) EXPECT_EQ(plan.compress_ratio, 0.0);
+  // Full (uncompressed) comm times 1 / 2 / 8; the observed times shrink
+  // as compression is applied, exactly as the simulator would report.
+  const double full_comm[3] = {1.0, 2.0, 8.0};
+  for (int round = 0; round < 6; ++round) {
+    RoundObservation obs = MakeObservation({1, 1, 1}, {1, 1, 1});
+    for (int n = 0; n < 3; ++n) {
+      obs.comm_times[static_cast<size_t>(n)] =
+          full_comm[n] *
+          (1.0 - plans[static_cast<size_t>(n)].compress_ratio);
+    }
+    strategy.ObserveRound(round, obs);
+    strategy.PlanRound(round + 1, &plans);
+  }
+  EXPECT_GT(plans[2].compress_ratio, plans[1].compress_ratio);
+  EXPECT_GT(plans[1].compress_ratio, plans[0].compress_ratio - 1e-9);
+  EXPECT_LE(plans[2].compress_ratio, 0.9);
+}
+
+TEST(FedMpTest, PerWorkerRatiosIndependent) {
+  FedMpStrategy strategy;
+  strategy.Initialize(3, 1);
+  std::vector<WorkerRoundPlan> plans(3);
+  bool saw_difference = false;
+  for (int round = 0; round < 10; ++round) {
+    strategy.PlanRound(round, &plans);
+    if (plans[0].pruning_ratio != plans[1].pruning_ratio) {
+      saw_difference = true;
+    }
+    strategy.ObserveRound(round, MakeObservation({1, 2, 3}, {1, 1, 1}));
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(FedMpTest, CrashedWorkerGetsZeroRewardNotACrash) {
+  FedMpStrategy strategy;
+  strategy.Initialize(2, 1);
+  std::vector<WorkerRoundPlan> plans(2);
+  strategy.PlanRound(0, &plans);
+  RoundObservation obs = MakeObservation({1.0, 1.0}, {1, 1});
+  obs.completion_times[1] = std::numeric_limits<double>::infinity();
+  strategy.ObserveRound(0, obs);  // must not abort
+  strategy.PlanRound(1, &plans);  // agents stay in sync
+}
+
+TEST(FedMpTest, AsyncInterfaceSupported) {
+  FedMpStrategy strategy;
+  strategy.Initialize(2, 1);
+  EXPECT_TRUE(strategy.SupportsAsync());
+  const WorkerRoundPlan plan = strategy.PlanWorker(0, 1);
+  EXPECT_GE(plan.pruning_ratio, 0.0);
+  strategy.ObserveWorker(0, 1, 2.0, 2.5, 0.1);
+}
+
+TEST(FedMpTest, SyncSchemeConfigurable) {
+  FedMpOptions options;
+  options.sync = SyncScheme::kBSP;
+  FedMpStrategy strategy(options);
+  EXPECT_EQ(strategy.sync_scheme(), SyncScheme::kBSP);
+  EXPECT_EQ(strategy.Name(), "FedMP-BSP");
+}
+
+TEST(FixedRatioTest, ConstantPlans) {
+  FixedRatioStrategy strategy(0.35);
+  strategy.Initialize(2, 1);
+  std::vector<WorkerRoundPlan> plans(2);
+  strategy.PlanRound(0, &plans);
+  EXPECT_EQ(plans[0].pruning_ratio, 0.35);
+  EXPECT_EQ(plans[1].pruning_ratio, 0.35);
+}
+
+TEST(StrategyDeathTest, SyncOnlyStrategiesRejectAsyncUse) {
+  UpFlStrategy strategy;
+  strategy.Initialize(2, 1);
+  EXPECT_FALSE(strategy.SupportsAsync());
+  EXPECT_DEATH(strategy.PlanWorker(0, 0), "asynchronous");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -1,0 +1,150 @@
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/strategies/syn_fl.h"
+
+namespace fedmp::fl {
+namespace {
+
+TrainerOptions FastOptions() {
+  TrainerOptions opt;
+  opt.max_rounds = 8;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  return opt;
+}
+
+std::vector<edge::DeviceProfile> SmallFleet() {
+  return edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium,
+                                        5);
+}
+
+data::FlTask TinyTask() {
+  return data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+}
+
+TEST(TrainerTest, RunsAndLogsEveryRound) {
+  const data::FlTask task = TinyTask();
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(),
+                                    FastOptions());
+  EXPECT_EQ(log.records().size(), 8u);
+  double prev = 0.0;
+  for (const auto& r : log.records()) {
+    EXPECT_GT(r.sim_time, prev);  // clock strictly advances
+    prev = r.sim_time;
+    EXPECT_GE(r.participants, 1);
+    EXPECT_LE(r.participants, 10);
+  }
+  // Evaluations on the configured cadence plus the final round.
+  EXPECT_GE(log.FinalAccuracy(), 0.0);
+}
+
+TEST(TrainerTest, SynFlAccuracyImprovesOverTraining) {
+  const data::FlTask task = TinyTask();
+  TrainerOptions opt = FastOptions();
+  opt.max_rounds = 25;
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(), opt);
+  const double first = log.records().front().test_accuracy;
+  EXPECT_GT(log.FinalAccuracy(), first + 0.1);
+}
+
+TEST(TrainerTest, FedMpPrunesAndStillLearns) {
+  const data::FlTask task = TinyTask();
+  TrainerOptions opt = FastOptions();
+  opt.max_rounds = 25;
+  const RoundLog log = RunFederated(
+      task, SmallFleet(), std::make_unique<FedMpStrategy>(), opt);
+  double mean_ratio = 0.0;
+  for (const auto& r : log.records()) mean_ratio += r.mean_ratio;
+  mean_ratio /= static_cast<double>(log.records().size());
+  EXPECT_GT(mean_ratio, 0.0) << "FedMP must actually prune";
+  EXPECT_GT(log.FinalAccuracy(), 0.4);
+  // PS-side decision overhead is measured and small but nonzero.
+  EXPECT_GT(log.MeanDecisionOverheadMs(), 0.0);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  const data::FlTask task = TinyTask();
+  const RoundLog a = RunFederated(task, SmallFleet(),
+                                  std::make_unique<FedMpStrategy>(),
+                                  FastOptions());
+  const RoundLog b = RunFederated(task, SmallFleet(),
+                                  std::make_unique<FedMpStrategy>(),
+                                  FastOptions());
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].sim_time, b.records()[i].sim_time);
+    EXPECT_DOUBLE_EQ(a.records()[i].test_accuracy,
+                     b.records()[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(a.records()[i].mean_ratio, b.records()[i].mean_ratio);
+  }
+}
+
+TEST(TrainerTest, TimeBudgetStopsEarly) {
+  const data::FlTask task = TinyTask();
+  TrainerOptions opt = FastOptions();
+  opt.max_rounds = 1000;
+  opt.time_budget_seconds = 10.0;
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(), opt);
+  EXPECT_LT(log.records().size(), 1000u);
+  // Last round may overshoot the budget, but not by more than one round.
+  EXPECT_LT(log.records()[log.records().size() - 2].sim_time, 10.0);
+}
+
+TEST(TrainerTest, TargetAccuracyStopsEarly) {
+  const data::FlTask task = TinyTask();
+  TrainerOptions opt = FastOptions();
+  opt.max_rounds = 200;
+  opt.stop_at_accuracy = 0.5;
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(), opt);
+  EXPECT_LT(log.records().size(), 200u);
+  EXPECT_GE(log.FinalAccuracy(), 0.5);
+}
+
+TEST(TrainerTest, SurvivesCrashInjection) {
+  const data::FlTask task = TinyTask();
+  TrainerOptions opt = FastOptions();
+  opt.crash_prob = 0.1;
+  opt.max_rounds = 10;
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(), opt);
+  EXPECT_EQ(log.records().size(), 10u);
+  int64_t min_participants = 10;
+  for (const auto& r : log.records()) {
+    min_participants = std::min(min_participants, r.participants);
+  }
+  EXPECT_LT(min_participants, 10) << "some round should have seen a crash";
+}
+
+TEST(TrainerTest, LanguageModelTaskTrains) {
+  const data::FlTask task = data::MakeLstmPtbTask(data::TaskScale::kTiny, 5);
+  TrainerOptions opt = FastOptions();
+  opt.max_rounds = 15;
+  const RoundLog log = RunFederated(task, SmallFleet(),
+                                    std::make_unique<SynFlStrategy>(), opt);
+  // Perplexity must drop below the uniform baseline (== vocab size).
+  double best = 1e18;
+  for (const auto& r : log.records()) {
+    if (r.test_perplexity > 0) best = std::min(best, r.test_perplexity);
+  }
+  EXPECT_LT(best, static_cast<double>(task.model.num_classes));
+}
+
+TEST(TrainerDeathTest, MismatchedPartitionAborts) {
+  const data::FlTask task = TinyTask();
+  auto fleet = SmallFleet();
+  data::Partition partition(3);  // 3 shards for 10 devices
+  EXPECT_DEATH(Trainer(&task, fleet, partition,
+                       std::make_unique<SynFlStrategy>(), FastOptions()),
+               "one shard per device");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -1,0 +1,115 @@
+#include "fl/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor_ops.h"
+
+namespace fedmp::fl {
+namespace {
+
+class WorkerTest : public ::testing::Test {
+ protected:
+  WorkerTest()
+      : task_(data::MakeCnnMnistTask(data::TaskScale::kTiny, 5)) {}
+
+  std::vector<int64_t> FullShard() const {
+    std::vector<int64_t> shard(static_cast<size_t>(task_.train.size()));
+    for (size_t i = 0; i < shard.size(); ++i) shard[i] = (int64_t)i;
+    return shard;
+  }
+
+  LocalTrainOptions Options() const {
+    LocalTrainOptions opt;
+    opt.tau = 4;
+    opt.batch_size = 8;
+    opt.learning_rate = 0.05;
+    opt.momentum = 0.9;
+    return opt;
+  }
+
+  data::FlTask task_;
+};
+
+TEST_F(WorkerTest, LocalTrainReturnsTrainedWeights) {
+  Worker worker(0, &task_.train, FullShard(),
+                edge::JetsonTx2Mode(0), 7);
+  auto model = nn::BuildModelOrDie(task_.model, 3);
+  const nn::TensorList before = model->GetWeights();
+  const LocalResult result =
+      worker.LocalTrain(task_.model, before, Options());
+  EXPECT_EQ(result.iterations, 4);
+  ASSERT_TRUE(nn::SameShapes(result.weights, before));
+  double moved = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    moved += nn::MaxAbsDiff(result.weights[i], before[i]);
+  }
+  EXPECT_GT(moved, 0.0) << "SGD must change the weights";
+}
+
+TEST_F(WorkerTest, LossDecreasesOverManyRounds) {
+  Worker worker(0, &task_.train, FullShard(),
+                edge::JetsonTx2Mode(0), 7);
+  auto model = nn::BuildModelOrDie(task_.model, 3);
+  nn::TensorList weights = model->GetWeights();
+  double first = 0.0, last = 0.0;
+  for (int round = 0; round < 20; ++round) {
+    const LocalResult r = worker.LocalTrain(task_.model, weights, Options());
+    weights = r.weights;
+    if (round == 0) first = r.initial_loss;
+    last = r.final_loss;
+  }
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST_F(WorkerTest, ProximalTermLimitsDrift) {
+  Worker a(0, &task_.train, FullShard(), edge::JetsonTx2Mode(0), 7);
+  Worker b(1, &task_.train, FullShard(), edge::JetsonTx2Mode(0), 7);
+  auto model = nn::BuildModelOrDie(task_.model, 3);
+  const nn::TensorList anchor = model->GetWeights();
+  LocalTrainOptions opt = Options();
+  opt.tau = 10;
+  const LocalResult plain = a.LocalTrain(task_.model, anchor, opt);
+  opt.proximal_mu = 5.0;  // strong pull toward the anchor
+  const LocalResult prox = b.LocalTrain(task_.model, anchor, opt);
+  double drift_plain = 0.0, drift_prox = 0.0;
+  for (size_t i = 0; i < anchor.size(); ++i) {
+    drift_plain +=
+        nn::SquaredNorm(nn::Sub(plain.weights[i], anchor[i]));
+    drift_prox += nn::SquaredNorm(nn::Sub(prox.weights[i], anchor[i]));
+  }
+  EXPECT_LT(drift_prox, drift_plain);
+}
+
+TEST_F(WorkerTest, LanguageModelTraining) {
+  const data::FlTask lm = data::MakeLstmPtbTask(data::TaskScale::kTiny, 5);
+  std::vector<int64_t> shard(static_cast<size_t>(lm.train.size()));
+  for (size_t i = 0; i < shard.size(); ++i) shard[i] = (int64_t)i;
+  Worker worker(0, &lm.train, shard, edge::JetsonTx2Mode(0), 7);
+  auto model = nn::BuildModelOrDie(lm.model, 3);
+  LocalTrainOptions opt;
+  opt.tau = 3;
+  opt.batch_size = 8;
+  opt.learning_rate = 0.3;
+  opt.momentum = 0.0;
+  opt.clip_norm = 5.0;
+  opt.is_language_model = true;
+  const LocalResult r = worker.LocalTrain(lm.model, model->GetWeights(), opt);
+  EXPECT_GT(r.initial_loss, 0.0);
+  EXPECT_GT(r.final_loss, 0.0);
+}
+
+TEST_F(WorkerTest, ShardSizeReported) {
+  Worker worker(3, &task_.train, {0, 1, 2}, edge::JetsonTx2Mode(1), 7);
+  EXPECT_EQ(worker.shard_size(), 3);
+  EXPECT_EQ(worker.id(), 3);
+}
+
+TEST(WorkerDeathTest, EmptyShardAborts) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  EXPECT_DEATH(Worker(0, &task.train, {}, edge::JetsonTx2Mode(0), 7),
+               "empty shard");
+}
+
+}  // namespace
+}  // namespace fedmp::fl

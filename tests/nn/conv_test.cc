@@ -1,0 +1,109 @@
+#include "nn/layers/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/initializers.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(ConvOutSizeTest, MatchesFormula) {
+  EXPECT_EQ(Conv2d::OutSize(14, 5, 1, 2), 14);  // same-padding
+  EXPECT_EQ(Conv2d::OutSize(14, 2, 2, 0), 7);   // pool-style
+  EXPECT_EQ(Conv2d::OutSize(7, 3, 2, 0), 3);
+  EXPECT_EQ(Conv2d::OutSize(5, 5, 1, 0), 1);
+}
+
+TEST(Im2ColTest, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1: columns are exactly the pixels.
+  Rng rng(1);
+  Tensor x({2, 3, 4, 4});
+  UniformInit(x, -1, 1, rng);
+  Tensor cols = Im2Col(x, 1, 1, 0);
+  EXPECT_EQ(cols.dim(0), 2 * 4 * 4);
+  EXPECT_EQ(cols.dim(1), 3);
+  // Pixel (b=1, c=2, y=3, x=0) lands at row (1*4+3)*4+0, col 2.
+  EXPECT_EQ(cols(static_cast<int64_t>((1 * 4 + 3) * 4 + 0), 2),
+            x(1, 2, 3, 0));
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  Tensor x = Tensor::Full({1, 1, 2, 2}, 1.0f);
+  Tensor cols = Im2Col(x, 3, 1, 1);
+  // First output position (0,0) reads the top-left 3x3 patch whose first
+  // row/column is padding.
+  EXPECT_EQ(cols(0, 0), 0.0f);  // (-1,-1)
+  EXPECT_EQ(cols(0, 4), 1.0f);  // center (0,0)
+}
+
+TEST(Col2ImTest, AdjointOfIm2Col) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> for all x, y (adjoint identity) — the
+  // exact property conv backward relies on.
+  Rng rng(2);
+  const int64_t b = 2, c = 2, h = 5, w = 5, k = 3, s = 2, p = 1;
+  Tensor x({b, c, h, w});
+  UniformInit(x, -1, 1, rng);
+  Tensor cols = Im2Col(x, k, s, p);
+  Tensor y(cols.shape());
+  UniformInit(y, -1, 1, rng);
+  double lhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols.at(i)) * y.at(i);
+  }
+  Tensor back = Col2Im(y, b, c, h, w, k, s, p);
+  double rhs = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.at(i)) * back.at(i);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConvForwardTest, MatchesDirectConvolution) {
+  Rng rng(3);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  Tensor x({1, 2, 4, 4});
+  UniformInit(x, -1, 1, rng);
+  Tensor y = conv.Forward(x, true);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{1, 3, 4, 4}));
+
+  // Direct (naive) convolution at one output coordinate.
+  const Tensor& wt = conv.Params()[0]->value;
+  const Tensor& bias = conv.Params()[1]->value;
+  const int64_t oc = 1, oy = 2, ox = 1;
+  double acc = bias.at(oc);
+  for (int64_t ic = 0; ic < 2; ++ic) {
+    for (int64_t ky = 0; ky < 3; ++ky) {
+      for (int64_t kx = 0; kx < 3; ++kx) {
+        const int64_t iy = oy + ky - 1, ix = ox + kx - 1;
+        if (iy < 0 || iy >= 4 || ix < 0 || ix >= 4) continue;
+        acc += static_cast<double>(wt(oc, ic, ky, kx)) * x(0, ic, iy, ix);
+      }
+    }
+  }
+  EXPECT_NEAR(y(0, oc, oy, ox), acc, 1e-4);
+}
+
+TEST(ConvForwardTest, BiasBroadcastsPerChannel) {
+  Rng rng(4);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.Params()[0]->value.SetZero();
+  conv.Params()[1]->value.at(0) = 1.5f;
+  conv.Params()[1]->value.at(1) = -2.0f;
+  Tensor x({1, 1, 2, 2});
+  Tensor y = conv.Forward(x, true);
+  EXPECT_EQ(y(0, 0, 1, 1), 1.5f);
+  EXPECT_EQ(y(0, 1, 0, 0), -2.0f);
+}
+
+TEST(ConvTest, ParamCountMatchesSpecFormula) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 5, 1, 2, true, rng);
+  int64_t total = 0;
+  for (Parameter* p : conv.Params()) total += p->value.numel();
+  EXPECT_EQ(total, 8 * 3 * 5 * 5 + 8);
+}
+
+}  // namespace
+}  // namespace fedmp::nn

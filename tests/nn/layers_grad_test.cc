@@ -1,0 +1,186 @@
+// Finite-difference gradient checks for every layer type, as a
+// parameterized suite: each parameter describes a layer factory plus an
+// input shape; the shared test body verifies analytic vs numeric gradients
+// for the input and every parameter tensor.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/gradient_check.h"
+#include "nn/initializers.h"
+#include "nn/layers/activations.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/embedding.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/linear.h"
+#include "nn/layers/lstm.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/residual_block.h"
+#include "nn/layers/softmax_xent.h"
+
+namespace fedmp::nn {
+namespace {
+
+struct GradCase {
+  std::string name;
+  std::function<std::unique_ptr<Layer>(Rng&)> make_layer;
+  std::vector<int64_t> input_shape;
+  double tolerance = 5e-2;
+};
+
+class LayerGradTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(LayerGradTest, AnalyticMatchesNumeric) {
+  const GradCase& c = GetParam();
+  Rng rng(99);
+  std::unique_ptr<Layer> layer = c.make_layer(rng);
+  Tensor input(c.input_shape);
+  UniformInit(input, -1.0, 1.0, rng);
+  const GradCheckResult result =
+      CheckLayerGradients(*layer, input, /*training=*/true,
+                          /*epsilon=*/1e-3, c.tolerance);
+  EXPECT_TRUE(result.passed)
+      << c.name << ": " << result.detail
+      << " (max rel err " << result.max_rel_error << ")";
+}
+
+std::vector<GradCase> AllCases() {
+  std::vector<GradCase> cases;
+  cases.push_back({"linear",
+                   [](Rng& rng) {
+                     return std::make_unique<Linear>(5, 4, true, rng);
+                   },
+                   {3, 5}});
+  cases.push_back({"linear_no_bias",
+                   [](Rng& rng) {
+                     return std::make_unique<Linear>(4, 6, false, rng);
+                   },
+                   {2, 4}});
+  cases.push_back({"conv_basic",
+                   [](Rng& rng) {
+                     return std::make_unique<Conv2d>(2, 3, 3, 1, 1, true,
+                                                     rng);
+                   },
+                   {2, 2, 5, 5}});
+  cases.push_back({"conv_strided_no_pad",
+                   [](Rng& rng) {
+                     return std::make_unique<Conv2d>(1, 2, 3, 2, 0, false,
+                                                     rng);
+                   },
+                   {2, 1, 7, 7}});
+  cases.push_back({"conv_5x5_pad2",
+                   [](Rng& rng) {
+                     return std::make_unique<Conv2d>(1, 2, 5, 1, 2, true,
+                                                     rng);
+                   },
+                   {1, 1, 6, 6}});
+  cases.push_back({"batchnorm",
+                   [](Rng&) { return std::make_unique<BatchNorm2d>(3); },
+                   {4, 3, 3, 3},
+                   8e-2});
+  cases.push_back({"relu",
+                   [](Rng&) { return std::make_unique<ReLU>(); },
+                   {3, 7}});
+  cases.push_back({"tanh",
+                   [](Rng&) { return std::make_unique<Tanh>(); },
+                   {3, 7}});
+  cases.push_back({"maxpool",
+                   [](Rng&) { return std::make_unique<MaxPool2d>(2, 2); },
+                   {2, 2, 6, 6}});
+  cases.push_back({"global_avg_pool",
+                   [](Rng&) { return std::make_unique<GlobalAvgPool>(); },
+                   {2, 3, 4, 4}});
+  cases.push_back({"flatten",
+                   [](Rng&) { return std::make_unique<Flatten>(); },
+                   {2, 2, 3, 3}});
+  cases.push_back({"residual_block",
+                   [](Rng& rng) {
+                     return std::make_unique<ResidualBlock>(3, 2, rng);
+                   },
+                   {2, 3, 4, 4},
+                   1e-1});
+  cases.push_back({"lstm",
+                   [](Rng& rng) {
+                     return std::make_unique<Lstm>(3, 4, rng);
+                   },
+                   {2, 5, 3},
+                   1.2e-1});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerGradTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+// Loss heads are checked directly (they are not Layers).
+TEST(SoftmaxXentGradTest, AnalyticMatchesNumeric) {
+  Rng rng(5);
+  Tensor logits({4, 3});
+  UniformInit(logits, -2.0, 2.0, rng);
+  const std::vector<int64_t> labels{0, 2, 1, 2};
+  Tensor grad;
+  SoftmaxCrossEntropy(logits, labels, &grad);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + static_cast<float>(eps);
+    const double lp = SoftmaxCrossEntropy(logits, labels, nullptr);
+    logits.at(i) = saved - static_cast<float>(eps);
+    const double lm = SoftmaxCrossEntropy(logits, labels, nullptr);
+    logits.at(i) = saved;
+    EXPECT_NEAR(grad.at(i), (lp - lm) / (2 * eps), 2e-3);
+  }
+}
+
+TEST(MseGradTest, AnalyticMatchesNumeric) {
+  Rng rng(6);
+  Tensor pred({3, 2}), target({3, 2});
+  UniformInit(pred, -1, 1, rng);
+  UniformInit(target, -1, 1, rng);
+  Tensor grad;
+  MseLoss(pred, target, &grad);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const float saved = pred.at(i);
+    pred.at(i) = saved + static_cast<float>(eps);
+    const double lp = MseLoss(pred, target, nullptr);
+    pred.at(i) = saved - static_cast<float>(eps);
+    const double lm = MseLoss(pred, target, nullptr);
+    pred.at(i) = saved;
+    EXPECT_NEAR(grad.at(i), (lp - lm) / (2 * eps), 2e-3);
+  }
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(8);
+  Tensor logits({5, 7});
+  UniformInit(logits, -3, 3, rng);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(probs(i, j), 0.0f);
+      row += probs(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromData({1, 3}, {1000.0f, 999.0f, -1000.0f});
+  Tensor probs = SoftmaxRows(logits);
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+  EXPECT_NEAR(probs(0, 0) + probs(0, 1) + probs(0, 2), 1.0, 1e-5);
+  EXPECT_FALSE(std::isnan(probs(0, 0)));
+}
+
+}  // namespace
+}  // namespace fedmp::nn

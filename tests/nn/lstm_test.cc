@@ -1,0 +1,116 @@
+#include "nn/layers/lstm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/initializers.h"
+#include "nn/layers/embedding.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(LstmTest, OutputShape) {
+  Rng rng(1);
+  Lstm lstm(3, 5, rng);
+  Tensor x({2, 7, 3});
+  Tensor y = lstm.Forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 7, 5}));
+}
+
+TEST(LstmTest, ZeroInputGivesBoundedOutput) {
+  Rng rng(2);
+  Lstm lstm(2, 4, rng);
+  Tensor x({1, 6, 2});
+  Tensor y = lstm.Forward(x, true);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.at(i), -1.0f);  // |h| <= |tanh(c)| <= 1
+    EXPECT_LE(y.at(i), 1.0f);
+  }
+}
+
+TEST(LstmTest, DeterministicGivenSeed) {
+  Rng rng_a(7), rng_b(7), rng_x(9);
+  Lstm a(3, 4, rng_a), b(3, 4, rng_b);
+  Tensor x({2, 5, 3});
+  UniformInit(x, -1, 1, rng_x);
+  EXPECT_EQ(MaxAbsDiff(a.Forward(x, true), b.Forward(x, true)), 0.0);
+}
+
+TEST(LstmTest, StatePropagatesAcrossTime) {
+  // Changing the input at t=0 must change the output at the last step.
+  Rng rng(3);
+  Lstm lstm(2, 4, rng);
+  Tensor x({1, 6, 2});
+  UniformInit(x, -1, 1, rng);
+  Tensor y1 = lstm.Forward(x, true);
+  x.at(0) += 2.0f;
+  Tensor y2 = lstm.Forward(x, true);
+  // y is [1, 6, 4]; compare the final timestep via flat indexing.
+  double last_step_diff = 0.0;
+  for (int64_t j = 0; j < 4; ++j) {
+    last_step_diff +=
+        std::fabs(y1.at(5 * 4 + j) - y2.at(5 * 4 + j));
+  }
+  EXPECT_GT(last_step_diff, 1e-6);
+}
+
+TEST(LstmTest, ForgetGateBiasInitializedToOne) {
+  Rng rng(4);
+  Lstm lstm(2, 3, rng);
+  const Tensor& b = lstm.Params()[2]->value;
+  for (int64_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(b.at(h), 0.0f);          // input gate
+    EXPECT_EQ(b.at(3 + h), 1.0f);      // forget gate
+    EXPECT_EQ(b.at(2 * 3 + h), 0.0f);  // cell gate
+    EXPECT_EQ(b.at(3 * 3 + h), 0.0f);  // output gate
+  }
+}
+
+TEST(LstmTest, ParamShapes) {
+  Rng rng(5);
+  Lstm lstm(6, 8, rng);
+  auto params = lstm.Params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0]->value.shape(), (std::vector<int64_t>{32, 6}));
+  EXPECT_EQ(params[1]->value.shape(), (std::vector<int64_t>{32, 8}));
+  EXPECT_EQ(params[2]->value.shape(), (std::vector<int64_t>{32}));
+}
+
+TEST(EmbeddingTest, LooksUpRows) {
+  Rng rng(6);
+  Embedding embed(5, 3, rng);
+  Tensor ids = Tensor::FromData({1, 2}, {2.0f, 4.0f});
+  Tensor y = embed.Forward(ids, true);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{1, 2, 3}));
+  const Tensor& table = embed.Params()[0]->value;
+  for (int64_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(y.at(e), table(2, e));
+    EXPECT_EQ(y.at(3 + e), table(4, e));
+  }
+}
+
+TEST(EmbeddingTest, BackwardAccumulatesIntoUsedRowsOnly) {
+  Rng rng(7);
+  Embedding embed(4, 2, rng);
+  Tensor ids = Tensor::FromData({1, 2}, {1.0f, 1.0f});
+  embed.Forward(ids, true);
+  Tensor grad = Tensor::Full({1, 2, 2}, 1.0f);
+  embed.Backward(grad);
+  const Tensor& table_grad = embed.Params()[0]->grad;
+  EXPECT_EQ(table_grad(0, 0), 0.0f);
+  EXPECT_EQ(table_grad(1, 0), 2.0f);  // used twice
+  EXPECT_EQ(table_grad(3, 1), 0.0f);
+}
+
+TEST(EmbeddingDeathTest, OutOfVocabAborts) {
+  Rng rng(8);
+  Embedding embed(4, 2, rng);
+  Tensor ids = Tensor::FromData({1, 1}, {9.0f});
+  EXPECT_DEATH(embed.Forward(ids, true), "out of vocab");
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,36 @@
+#include "nn/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedmp::nn {
+namespace {
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits = Tensor::FromData(
+      {3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {1, 1, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {1, 0, 1}), 0.0);
+}
+
+TEST(PerplexityTest, ExpOfLoss) {
+  EXPECT_DOUBLE_EQ(PerplexityFromLoss(0.0), 1.0);
+  EXPECT_NEAR(PerplexityFromLoss(std::log(50.0)), 50.0, 1e-9);
+}
+
+TEST(ConfusionMatrixTest, TalliesPredictedByActual) {
+  Tensor logits = Tensor::FromData(
+      {3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.9f, 0.1f});
+  // preds = {0, 1, 0}; labels = {0, 0, 1}.
+  const std::vector<int64_t> mat = ConfusionMatrix(logits, {0, 0, 1}, 2);
+  // Row-major [pred][actual].
+  EXPECT_EQ(mat[0 * 2 + 0], 1);
+  EXPECT_EQ(mat[0 * 2 + 1], 1);
+  EXPECT_EQ(mat[1 * 2 + 0], 1);
+  EXPECT_EQ(mat[1 * 2 + 1], 0);
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,100 @@
+#include "nn/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/initializers.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(ModelBuilderTest, SameSeedSameWeights) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  auto a = BuildModelOrDie(task.model, 42);
+  auto b = BuildModelOrDie(task.model, 42);
+  const TensorList wa = a->GetWeights();
+  const TensorList wb = b->GetWeights();
+  ASSERT_TRUE(SameShapes(wa, wb));
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(wa[i], wb[i]), 0.0);
+  }
+}
+
+TEST(ModelBuilderTest, DifferentSeedDifferentWeights) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  auto a = BuildModelOrDie(task.model, 1);
+  auto b = BuildModelOrDie(task.model, 2);
+  EXPECT_GT(MaxAbsDiff(a->GetWeights()[0], b->GetWeights()[0]), 0.0);
+}
+
+TEST(ModelBuilderTest, ParamCountMatchesAnalysis) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 3);
+    auto model = BuildModelOrDie(task.model, 9);
+    EXPECT_EQ(model->NumParams(), task.model.NumParams()) << name;
+  }
+}
+
+TEST(ModelBuilderTest, RejectsMalformedSpec) {
+  ModelSpec bad;
+  bad.input.kind = ShapeKind::kFeatures;
+  bad.input.f = 4;
+  bad.num_classes = 2;
+  bad.layers = {LayerSpec::Dense(5, 2)};  // in_features mismatch
+  EXPECT_FALSE(BuildModel(bad, 1).ok());
+}
+
+TEST(ModelBuilderTest, ForwardShapesForAllZooModels) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 3);
+    auto model = BuildModelOrDie(task.model, 9);
+    Tensor x({4, task.model.input.c, task.model.input.h,
+              task.model.input.w});
+    Rng rng(1);
+    UniformInit(x, -1, 1, rng);
+    Tensor y = model->Forward(x, /*training=*/false);
+    EXPECT_EQ(y.shape(),
+              (std::vector<int64_t>{4, task.model.num_classes}))
+        << name;
+  }
+}
+
+TEST(ModelBuilderTest, LmForwardShape) {
+  const data::FlTask task =
+      data::MakeLstmPtbTask(data::TaskScale::kTiny, 3);
+  auto model = BuildModelOrDie(task.model, 9);
+  const int64_t t = task.model.input.t;
+  Tensor ids({2, t});  // token 0 everywhere
+  Tensor y = model->Forward(ids, false);
+  EXPECT_EQ(y.shape(),
+            (std::vector<int64_t>{2 * t, task.model.num_classes}));
+}
+
+TEST(ModelBuilderTest, SetWeightsRoundTrips) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  auto a = BuildModelOrDie(task.model, 1);
+  auto b = BuildModelOrDie(task.model, 2);
+  b->SetWeights(a->GetWeights());
+  const TensorList wa = a->GetWeights();
+  const TensorList wb = b->GetWeights();
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(wa[i], wb[i]), 0.0);
+  }
+}
+
+TEST(ModelBuilderTest, SummaryMentionsLayers) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  auto model = BuildModelOrDie(task.model, 1);
+  const std::string summary = model->Summary();
+  EXPECT_NE(summary.find("Conv2d"), std::string::npos);
+  EXPECT_NE(summary.find("total params"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,123 @@
+#include "nn/model_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+
+namespace fedmp::nn {
+namespace {
+
+ModelSpec SmallCnn() {
+  ModelSpec spec;
+  spec.name = "small";
+  spec.input.kind = ShapeKind::kImage;
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 8;
+  spec.num_classes = 4;
+  spec.layers = {
+      LayerSpec::Conv(1, 2, 3, 1, 1), LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),       LayerSpec::Flat(),
+      LayerSpec::Dense(2 * 4 * 4, 4),
+  };
+  return spec;
+}
+
+TEST(ModelSpecTest, AnalyzeComputesShapesParamsFlops) {
+  ModelAnalysis a;
+  ASSERT_TRUE(SmallCnn().Analyze(&a).ok());
+  ASSERT_EQ(a.layers.size(), 5u);
+  // Conv output 2x8x8.
+  EXPECT_EQ(a.layers[0].output.c, 2);
+  EXPECT_EQ(a.layers[0].output.h, 8);
+  // Pool halves spatial dims.
+  EXPECT_EQ(a.layers[2].output.h, 4);
+  // Flatten: 2*4*4 = 32 features.
+  EXPECT_EQ(a.layers[3].output.f, 32);
+  // Params: conv 2*1*9+2 = 20; dense 32*4+4 = 132.
+  EXPECT_EQ(a.total_params, 20 + 132);
+  // Conv flops: 2*9*2*64 + 2*64 = 2432.
+  EXPECT_EQ(a.layers[0].forward_flops, 2 * 9 * 2 * 64 + 2 * 64);
+  EXPECT_EQ(a.ParamBytes(), (20 + 132) * 4);
+}
+
+TEST(ModelSpecTest, RejectsChannelMismatch) {
+  ModelSpec spec = SmallCnn();
+  spec.layers[0] = LayerSpec::Conv(3, 2, 3, 1, 1);  // input has 1 channel
+  ModelAnalysis a;
+  EXPECT_FALSE(spec.Analyze(&a).ok());
+}
+
+TEST(ModelSpecTest, RejectsWrongOutputWidth) {
+  ModelSpec spec = SmallCnn();
+  spec.num_classes = 7;
+  ModelAnalysis a;
+  EXPECT_FALSE(spec.Analyze(&a).ok());
+}
+
+TEST(ModelSpecTest, RejectsLinearOnImage) {
+  ModelSpec spec = SmallCnn();
+  spec.layers.erase(spec.layers.begin() + 3);  // drop Flatten
+  ModelAnalysis a;
+  EXPECT_FALSE(spec.Analyze(&a).ok());
+}
+
+TEST(ModelSpecTest, EqualityIsStructural) {
+  EXPECT_EQ(SmallCnn(), SmallCnn());
+  ModelSpec other = SmallCnn();
+  other.layers[0].out_channels = 3;
+  EXPECT_FALSE(SmallCnn() == other);
+}
+
+TEST(ModelSpecTest, LayerTypeNamesUnique) {
+  EXPECT_STREQ(LayerTypeName(LayerType::kConv2d), "Conv2d");
+  EXPECT_STREQ(LayerTypeName(LayerType::kLstm), "Lstm");
+}
+
+// Every task-zoo spec must analyze successfully at both scales — this is
+// the guard that keeps the zoo's hand-computed Flatten dimensions honest.
+class TaskZooSpecTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TaskZooSpecTest, BenchScaleSpecValid) {
+  const data::FlTask task =
+      data::MakeTaskByName(GetParam(), data::TaskScale::kBench, 42);
+  ModelAnalysis a;
+  EXPECT_TRUE(task.model.Analyze(&a).ok());
+  EXPECT_GT(a.total_params, 0);
+  EXPECT_GT(a.total_forward_flops, 0);
+}
+
+TEST_P(TaskZooSpecTest, TinyScaleSpecValid) {
+  const data::FlTask task =
+      data::MakeTaskByName(GetParam(), data::TaskScale::kTiny, 42);
+  ModelAnalysis a;
+  EXPECT_TRUE(task.model.Analyze(&a).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, TaskZooSpecTest,
+    ::testing::Values("cnn", "alexnet", "vgg", "resnet", "lstm"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(ModelSpecTest, LstmSpecAnalyzes) {
+  ModelSpec spec;
+  spec.name = "lm";
+  spec.input.kind = ShapeKind::kTokens;
+  spec.input.t = 6;
+  spec.num_classes = 10;
+  spec.layers = {
+      LayerSpec::Embed(10, 4),
+      LayerSpec::LstmLayer(4, 5),
+      LayerSpec::TimeFlat(),
+      LayerSpec::Dense(5, 10),
+  };
+  ModelAnalysis a;
+  ASSERT_TRUE(spec.Analyze(&a).ok());
+  // Embedding 10*4=40; LSTM 4*5*(4+5)+4*5=200; Dense 5*10+10=60.
+  EXPECT_EQ(a.total_params, 40 + 200 + 60);
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,95 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/task_zoo.h"
+#include "nn/initializers.h"
+#include "nn/model_builder.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t({3, 4, 2});
+  UniformInit(t, -5, 5, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  auto back = ReadTensor(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), t.shape());
+  EXPECT_EQ(MaxAbsDiff(*back, t), 0.0);
+}
+
+TEST(SerializeTest, TensorListRoundTrip) {
+  Rng rng(2);
+  TensorList list{Tensor({2, 2}), Tensor({5}), Tensor({1, 3, 1})};
+  for (auto& t : list) UniformInit(t, -1, 1, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensorList(ss, list).ok());
+  auto back = ReadTensorList(ss);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(SameShapes(*back, list));
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff((*back)[i], list[i]), 0.0);
+  }
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a tensor at all";
+  EXPECT_FALSE(ReadTensor(ss).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedTensor) {
+  Tensor t({100});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_FALSE(ReadTensor(truncated).ok());
+}
+
+TEST(SerializeTest, ModelSpecRoundTripAllTasks) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 7);
+    std::stringstream ss;
+    ASSERT_TRUE(WriteModelSpec(ss, task.model).ok());
+    auto back = ReadModelSpec(ss);
+    ASSERT_TRUE(back.ok()) << name;
+    EXPECT_EQ(*back, task.model) << name;
+  }
+}
+
+TEST(SerializeTest, CheckpointRoundTripThroughFile) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 7);
+  auto model = BuildModelOrDie(task.model, 11);
+  const std::string path = ::testing::TempDir() + "/ckpt.bin";
+  ASSERT_TRUE(SaveCheckpoint(path, task.model, model->GetWeights()).ok());
+  auto ckpt = LoadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_EQ(ckpt->spec, task.model);
+  const TensorList original = model->GetWeights();
+  ASSERT_TRUE(SameShapes(ckpt->weights, original));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(ckpt->weights[i], original[i]), 0.0);
+  }
+  // A reloaded checkpoint can be used to rebuild a working model.
+  auto rebuilt = BuildModelOrDie(ckpt->spec, 0);
+  rebuilt->SetWeights(ckpt->weights);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadCheckpoint("/nonexistent/path/x.bin").ok());
+}
+
+}  // namespace
+}  // namespace fedmp::nn

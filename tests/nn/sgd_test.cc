@@ -1,0 +1,102 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedmp::nn {
+namespace {
+
+Parameter MakeParam(std::vector<float> w, std::vector<float> g) {
+  const int64_t n = static_cast<int64_t>(w.size());
+  Parameter p("w", Tensor::FromData({n}, std::move(w)));
+  p.grad = Tensor::FromData({n}, std::move(g));
+  return p;
+}
+
+TEST(SgdTest, PlainStep) {
+  Parameter p = MakeParam({1.0f, 2.0f}, {0.5f, -1.0f});
+  SgdOptions opt;
+  opt.learning_rate = 0.1;
+  Sgd sgd(opt);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value.at(1), 2.0f + 0.1f * 1.0f);
+}
+
+TEST(SgdTest, WeightDecayAddsL2Gradient) {
+  Parameter p = MakeParam({2.0f}, {0.0f});
+  SgdOptions opt;
+  opt.learning_rate = 0.5;
+  opt.weight_decay = 0.1;
+  Sgd sgd(opt);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0), 2.0f - 0.5f * 0.1f * 2.0f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Parameter p = MakeParam({0.0f}, {1.0f});
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.momentum = 0.5;
+  Sgd sgd(opt);
+  sgd.Step({&p});  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f);
+  sgd.Step({&p});  // v=0.5*1+1=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.5f);
+}
+
+TEST(SgdTest, ProximalTermPullsTowardAnchor) {
+  Parameter p = MakeParam({5.0f}, {0.0f});
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.proximal_mu = 0.1;
+  Sgd sgd(opt);
+  sgd.SetProximalAnchor({Tensor::FromData({1}, {1.0f})});
+  sgd.Step({&p});
+  // grad += mu*(w - anchor) = 0.1*4 = 0.4; w = 5 - 0.4 = 4.6.
+  EXPECT_FLOAT_EQ(p.value.at(0), 4.6f);
+}
+
+TEST(SgdTest, ProximalInactiveWithoutAnchor) {
+  Parameter p = MakeParam({5.0f}, {0.0f});
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.proximal_mu = 0.1;
+  Sgd sgd(opt);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0), 5.0f);
+}
+
+TEST(SgdTest, ClipNormScalesLargeGradients) {
+  Parameter p = MakeParam({0.0f, 0.0f}, {3.0f, 4.0f});  // norm 5
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.clip_norm = 1.0;
+  Sgd sgd(opt);
+  sgd.Step({&p});
+  EXPECT_NEAR(p.value.at(0), -3.0f / 5.0f, 1e-6);
+  EXPECT_NEAR(p.value.at(1), -4.0f / 5.0f, 1e-6);
+}
+
+TEST(SgdTest, ClipNormLeavesSmallGradients) {
+  Parameter p = MakeParam({0.0f}, {0.5f});
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.clip_norm = 10.0;
+  Sgd sgd(opt);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0), -0.5f);
+}
+
+TEST(SgdDeathTest, RejectsBadOptions) {
+  SgdOptions opt;
+  opt.learning_rate = 0.0;
+  EXPECT_DEATH(Sgd sgd(opt), "Check failed");
+  SgdOptions opt2;
+  opt2.momentum = 1.0;
+  EXPECT_DEATH(Sgd sgd2(opt2), "Check failed");
+}
+
+}  // namespace
+}  // namespace fedmp::nn

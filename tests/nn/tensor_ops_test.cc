@@ -1,0 +1,112 @@
+#include "nn/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/initializers.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(TensorOpsTest, ElementwiseAlgebra) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {4, 5, 6});
+  EXPECT_EQ(Add(a, b).at(1), 7.0f);
+  EXPECT_EQ(Sub(b, a).at(2), 3.0f);
+  EXPECT_EQ(Mul(a, b).at(0), 4.0f);
+  EXPECT_EQ(Scale(a, 2.0f).at(2), 6.0f);
+}
+
+TEST(TensorOpsTest, InPlaceOps) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor b = Tensor::FromData({2}, {10, 20});
+  AxpyInPlace(a, 0.5f, b);
+  EXPECT_EQ(a.at(0), 6.0f);
+  EXPECT_EQ(a.at(1), 12.0f);
+  ScaleInPlace(a, 2.0f);
+  EXPECT_EQ(a.at(0), 12.0f);
+}
+
+TEST(TensorOpsTest, MatmulSmall) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c(0, 0), 58.0f);
+  EXPECT_EQ(c(0, 1), 64.0f);
+  EXPECT_EQ(c(1, 0), 139.0f);
+  EXPECT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(TensorOpsTest, MatmulTransposedVariantsAgree) {
+  Rng rng(3);
+  Tensor a({4, 5}), b({5, 6});
+  UniformInit(a, -1, 1, rng);
+  UniformInit(b, -1, 1, rng);
+  Tensor c = Matmul(a, b);
+  // C = A @ B == MatmulTransB(A, B^T) == MatmulTransA(A^T, B).
+  EXPECT_LT(MaxAbsDiff(c, MatmulTransB(a, Transpose2D(b))), 1e-5);
+  EXPECT_LT(MaxAbsDiff(c, MatmulTransA(Transpose2D(a), b)), 1e-5);
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t(0, 1), 4.0f);
+  EXPECT_EQ(t(2, 0), 3.0f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = Tensor::FromData({2, 2}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(Sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(MeanValue(a), -0.5);
+  EXPECT_DOUBLE_EQ(L1Norm(a), 10.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 1 + 4 + 9 + 16);
+  Tensor cs = ColumnSum(a);
+  EXPECT_EQ(cs.at(0), 4.0f);
+  EXPECT_EQ(cs.at(1), -6.0f);
+}
+
+TEST(TensorOpsTest, ArgmaxRows) {
+  Tensor a = Tensor::FromData({2, 3}, {0.1f, 0.9f, 0.3f, 2.0f, 1.0f, 0.5f});
+  EXPECT_EQ(ArgmaxRows(a), (std::vector<int64_t>{1, 0}));
+}
+
+TEST(TensorOpsTest, MaxAbsDiff) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor b = Tensor::FromData({2}, {1.5f, 1.0f});
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+}
+
+TEST(TensorListOpsTest, ListAlgebra) {
+  TensorList a{Tensor::FromData({2}, {1, 2}), Tensor::FromData({1}, {3})};
+  TensorList b{Tensor::FromData({2}, {4, 5}), Tensor::FromData({1}, {6})};
+  EXPECT_TRUE(SameShapes(a, b));
+  TensorList sum = AddLists(a, b);
+  EXPECT_EQ(sum[0].at(1), 7.0f);
+  EXPECT_EQ(sum[1].at(0), 9.0f);
+  TensorList diff = SubLists(b, a);
+  EXPECT_EQ(diff[0].at(0), 3.0f);
+  AxpyLists(a, 2.0f, b);
+  EXPECT_EQ(a[1].at(0), 15.0f);
+  ScaleLists(a, 0.5f);
+  EXPECT_EQ(a[0].at(0), 4.5f);
+  EXPECT_EQ(TotalNumel(a), 3);
+  EXPECT_GT(SquaredNormList(a), 0.0);
+}
+
+TEST(TensorListOpsTest, ShapeMismatchDetected) {
+  TensorList a{Tensor({2})};
+  TensorList b{Tensor({3})};
+  EXPECT_FALSE(SameShapes(a, b));
+  TensorList c{Tensor({2}), Tensor({2})};
+  EXPECT_FALSE(SameShapes(a, c));
+}
+
+TEST(TensorOpsDeathTest, MismatchedAddAborts) {
+  Tensor a({2}), b({3});
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace fedmp::nn

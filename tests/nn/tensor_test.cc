@@ -1,0 +1,81 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmp::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+  t.Fill(-1.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), -1.0f);
+}
+
+TEST(TensorTest, FromDataRowMajorIndexing) {
+  Tensor t = Tensor::FromData({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t(0, 0), 0.0f);
+  EXPECT_EQ(t(0, 2), 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(TensorTest, FourDimIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 7.0f;
+  // Flat index of (1,2,3,4) in [2,3,4,5] row-major.
+  EXPECT_EQ(t.at(((1 * 3 + 2) * 4 + 3) * 5 + 4), 7.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromData({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r(0, 1), 1.0f);
+  EXPECT_EQ(r(2, 1), 5.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor t({4, 6});
+  EXPECT_EQ(t.Reshape({2, -1}).dim(1), 12);
+  EXPECT_EQ(t.Reshape({-1}).dim(0), 24);
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).SameShape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).SameShape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({2, 3}).SameShape(Tensor({6})));
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor().ShapeString(), "[]");
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorDeathTest, OutOfBoundsAccessAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.at(4), "Check failed");
+  EXPECT_DEATH(t(2, 0), "Check failed");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "Check failed");
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,106 @@
+#include "pruning/importance.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/model_builder.h"
+#include "pruning/mask.h"
+
+namespace fedmp::pruning {
+namespace {
+
+TEST(ParamTensorCountTest, MatchesLayerContracts) {
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Conv(1, 2, 3)), 2);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Conv(1, 2, 3, 1, 0, false)), 1);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::BatchNorm(4)), 2);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Dense(2, 3)), 2);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Residual(4, 2)), 6);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::LstmLayer(2, 3)), 3);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Embed(5, 2)), 1);
+  EXPECT_EQ(ParamTensorCount(nn::LayerSpec::Relu()), 0);
+}
+
+TEST(ParamTensorOffsetsTest, MatchModelParamsList) {
+  for (const char* name : {"cnn", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 1);
+    auto model = nn::BuildModelOrDie(task.model, 2);
+    const std::vector<int64_t> offsets = ParamTensorOffsets(task.model);
+    int64_t total = 0;
+    for (const auto& ls : task.model.layers) total += ParamTensorCount(ls);
+    EXPECT_EQ(total,
+              static_cast<int64_t>(model->Params().size())) << name;
+    EXPECT_EQ(offsets.front(), 0) << name;
+  }
+}
+
+TEST(UnitImportanceTest, ConvFilterL1) {
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kImage;
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 4;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Conv(1, 2, 3, 1, 1),
+                 nn::LayerSpec::Flat(),
+                 nn::LayerSpec::Dense(2 * 16, 2)};
+  auto model = nn::BuildModelOrDie(spec, 1);
+  nn::TensorList weights = model->GetWeights();
+  // Filter 0 weights -> 0.5 each, filter 1 -> 0.1 each.
+  for (int64_t i = 0; i < 9; ++i) weights[0].at(i) = 0.5f;
+  for (int64_t i = 9; i < 18; ++i) weights[0].at(i) = -0.1f;
+  const std::vector<float> scores = UnitImportance(spec, weights, 0);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 4.5f, 1e-5);
+  EXPECT_NEAR(scores[1], 0.9f, 1e-5);
+}
+
+TEST(UnitImportanceTest, LinearNeuronL1UsesIncomingWeights) {
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kFeatures;
+  spec.input.f = 3;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Dense(3, 2, /*bias=*/false),
+                 nn::LayerSpec::Dense(2, 2)};
+  auto model = nn::BuildModelOrDie(spec, 1);
+  nn::TensorList weights = model->GetWeights();
+  weights[0] = nn::Tensor::FromData({2, 3}, {1, -1, 1, 0.1f, 0.1f, 0.1f});
+  const std::vector<float> scores = UnitImportance(spec, weights, 0);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 3.0f, 1e-5);
+  EXPECT_NEAR(scores[1], 0.3f, 1e-5);
+}
+
+TEST(UnitImportanceTest, NonPrunableLayersEmpty) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 1);
+  auto model = nn::BuildModelOrDie(task.model, 2);
+  const nn::TensorList weights = model->GetWeights();
+  EXPECT_TRUE(UnitImportance(task.model, weights, 1).empty());  // relu
+  EXPECT_TRUE(
+      UnitImportance(task.model, weights, task.model.layers.size() - 1)
+          .empty());  // final dense
+}
+
+TEST(UnitImportanceTest, SizesMatchWidths) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 1);
+    auto model = nn::BuildModelOrDie(task.model, 2);
+    const nn::TensorList weights = model->GetWeights();
+    for (size_t i = 0; i < task.model.layers.size(); ++i) {
+      if (!IsPrunableLayer(task.model, i)) continue;
+      const auto scores = UnitImportance(task.model, weights, i);
+      const auto& ls = task.model.layers[i];
+      const int64_t width = ls.type == nn::LayerType::kResidualBlock
+                                ? ls.mid_channels
+                                : ls.out_channels;
+      EXPECT_EQ(static_cast<int64_t>(scores.size()), width)
+          << name << " layer " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::pruning

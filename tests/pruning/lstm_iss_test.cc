@@ -1,0 +1,111 @@
+#include "pruning/lstm_iss_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::pruning {
+namespace {
+
+TEST(IssGateRowsTest, FourRowsPerUnit) {
+  const auto rows = IssGateRows(5, 2);
+  EXPECT_EQ(rows, (std::vector<int64_t>{2, 7, 12, 17}));
+}
+
+TEST(IssRowGatherTest, GateMajorOrdering) {
+  const auto rows = IssRowGather(4, {1, 3});
+  // For each gate g: g*4 + {1, 3}.
+  EXPECT_EQ(rows,
+            (std::vector<int64_t>{1, 3, 5, 7, 9, 11, 13, 15}));
+}
+
+TEST(LstmIssScoresTest, ScoresReflectComponentMagnitude) {
+  const int64_t h = 3, in = 2;
+  nn::Tensor wx({4 * h, in});
+  nn::Tensor wh({4 * h, h});
+  // Make unit 1's component heavy: its gate rows in Wx.
+  for (int64_t g = 0; g < 4; ++g) {
+    for (int64_t c = 0; c < in; ++c) wx(g * h + 1, c) = 5.0f;
+  }
+  const auto scores = LstmIssScores(wx, wh, h);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(LstmIssScoresTest, OutgoingColumnCounts) {
+  const int64_t h = 2, in = 1;
+  nn::Tensor wx({4 * h, in});
+  nn::Tensor wh({4 * h, h});
+  // Only unit 0's recurrent OUTPUT column is nonzero.
+  for (int64_t r = 0; r < 4 * h; ++r) wh(r, 0) = 1.0f;
+  const auto scores = LstmIssScores(wx, wh, h);
+  // Unit 0: column sum 8 plus its four gate rows each containing wh(r,0)
+  // for r in its rows -> 8 + 4. Unit 1: its gate rows contain wh(r,0)=1
+  // each -> 4.
+  EXPECT_NEAR(scores[0], 12.0f, 1e-6);
+  EXPECT_NEAR(scores[1], 4.0f, 1e-6);
+}
+
+TEST(LstmIssPruneTest, PrunedLstmKeepsGateStructure) {
+  const data::FlTask task =
+      data::MakeLstmPtbTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  auto sub = PruneByRatio(task.model, model->GetWeights(), 0.5);
+  ASSERT_TRUE(sub.ok());
+  // Find the LSTM layer in the sub spec and check 4H consistency.
+  for (const auto& ls : sub->spec.layers) {
+    if (ls.type != nn::LayerType::kLstm) continue;
+    EXPECT_LT(ls.out_channels, 12);  // tiny LSTM hidden = 12 before pruning
+    EXPECT_GE(ls.out_channels, 1);
+  }
+  auto sub_model = nn::BuildModel(sub->spec, 1);
+  ASSERT_TRUE(sub_model.ok());
+  (*sub_model)->SetWeights(sub->weights);
+  nn::Tensor ids({2, task.model.input.t});
+  nn::Tensor y = (*sub_model)->Forward(ids, false);
+  EXPECT_EQ(y.dim(1), task.model.num_classes);
+}
+
+TEST(LstmIssPruneTest, KeptUnitsCarryTheirGateWeights) {
+  const int64_t h = 4, in = 3;
+  nn::ModelSpec spec;
+  spec.name = "lm";
+  spec.input.kind = nn::ShapeKind::kTokens;
+  spec.input.t = 5;
+  spec.num_classes = 6;
+  spec.layers = {
+      nn::LayerSpec::Embed(6, in),
+      nn::LayerSpec::LstmLayer(in, h),
+      nn::LayerSpec::TimeFlat(),
+      nn::LayerSpec::Dense(h, 6),
+  };
+  auto model = nn::BuildModelOrDie(spec, 3);
+  nn::TensorList weights = model->GetWeights();
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 0.5;
+  mask.layers[1].kept = {0, 3};
+  auto sub = ExtractSubModel(spec, weights, mask);
+  ASSERT_TRUE(sub.ok());
+  // Wx rows: gate-major gather of units {0, 3}.
+  const nn::Tensor& wx_full = weights[1];
+  const nn::Tensor& wx_sub = sub->weights[1];
+  ASSERT_EQ(wx_sub.shape(), (std::vector<int64_t>{8, in}));
+  for (int64_t g = 0; g < 4; ++g) {
+    for (int64_t c = 0; c < in; ++c) {
+      EXPECT_EQ(wx_sub(g * 2 + 0, c), wx_full(g * h + 0, c));
+      EXPECT_EQ(wx_sub(g * 2 + 1, c), wx_full(g * h + 3, c));
+    }
+  }
+  // Wh gathers both rows (gate-major) and columns (kept units).
+  const nn::Tensor& wh_full = weights[2];
+  const nn::Tensor& wh_sub = sub->weights[2];
+  ASSERT_EQ(wh_sub.shape(), (std::vector<int64_t>{8, 2}));
+  EXPECT_EQ(wh_sub(0, 1), wh_full(0, 3));
+  EXPECT_EQ(wh_sub(3, 0), wh_full(h + 3, 0));  // gate 1, unit 3 row
+}
+
+}  // namespace
+}  // namespace fedmp::pruning

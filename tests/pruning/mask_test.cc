@@ -1,0 +1,99 @@
+#include "pruning/mask.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+
+namespace fedmp::pruning {
+namespace {
+
+nn::ModelSpec CnnSpec() {
+  return data::MakeCnnMnistTask(data::TaskScale::kTiny, 1).model;
+}
+
+TEST(KeptCountTest, RoundsAndClamps) {
+  EXPECT_EQ(KeptCount(10, 0.0), 10);
+  EXPECT_EQ(KeptCount(10, 0.5), 5);
+  EXPECT_EQ(KeptCount(10, 0.55), 5);  // round(4.5) banker-free llround = 5
+  EXPECT_EQ(KeptCount(10, 0.99), 1);  // never below one unit
+  EXPECT_EQ(KeptCount(1, 0.9), 1);
+}
+
+TEST(IsPrunableTest, FinalClassifierNotPrunable) {
+  const nn::ModelSpec spec = CnnSpec();
+  // Tiny CNN: Conv ReLU MaxPool Flat Dense(final).
+  EXPECT_TRUE(IsPrunableLayer(spec, 0));   // conv
+  EXPECT_FALSE(IsPrunableLayer(spec, 1));  // relu
+  EXPECT_FALSE(IsPrunableLayer(spec, 4));  // final dense
+}
+
+TEST(IsPrunableTest, HiddenLinearPrunable) {
+  const nn::ModelSpec spec =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 1).model;
+  // Bench CNN ends ... Flat Dense(216,96) ReLU Dense(96,10).
+  const size_t hidden = spec.layers.size() - 3;
+  const size_t final_layer = spec.layers.size() - 1;
+  EXPECT_EQ(spec.layers[hidden].type, nn::LayerType::kLinear);
+  EXPECT_TRUE(IsPrunableLayer(spec, hidden));
+  EXPECT_FALSE(IsPrunableLayer(spec, final_layer));
+}
+
+TEST(IsPrunableTest, ResidualAlwaysPrunable) {
+  const nn::ModelSpec spec =
+      data::MakeResNetTinyImagenetTask(data::TaskScale::kTiny, 1).model;
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    if (spec.layers[i].type == nn::LayerType::kResidualBlock) {
+      EXPECT_TRUE(IsPrunableLayer(spec, i));
+    }
+  }
+}
+
+TEST(FullMaskTest, ValidatesAndKeepsEverything) {
+  const nn::ModelSpec spec = CnnSpec();
+  const PruneMask mask = FullMask(spec);
+  EXPECT_TRUE(mask.Validate(spec).ok());
+  for (size_t i = 0; i < mask.layers.size(); ++i) {
+    if (mask.layers[i].prunable) {
+      EXPECT_EQ(mask.layers[i].kept_count(),
+                mask.layers[i].original_width);
+    }
+  }
+}
+
+TEST(MaskValidateTest, RejectsWrongLayerCount) {
+  const nn::ModelSpec spec = CnnSpec();
+  PruneMask mask = FullMask(spec);
+  mask.layers.pop_back();
+  EXPECT_FALSE(mask.Validate(spec).ok());
+}
+
+TEST(MaskValidateTest, RejectsUnsortedKept) {
+  const nn::ModelSpec spec = CnnSpec();
+  PruneMask mask = FullMask(spec);
+  std::swap(mask.layers[0].kept[0], mask.layers[0].kept[1]);
+  EXPECT_FALSE(mask.Validate(spec).ok());
+}
+
+TEST(MaskValidateTest, RejectsOutOfRangeKept) {
+  const nn::ModelSpec spec = CnnSpec();
+  PruneMask mask = FullMask(spec);
+  mask.layers[0].kept.back() = mask.layers[0].original_width;
+  EXPECT_FALSE(mask.Validate(spec).ok());
+}
+
+TEST(MaskValidateTest, RejectsEmptyPrunableKept) {
+  const nn::ModelSpec spec = CnnSpec();
+  PruneMask mask = FullMask(spec);
+  mask.layers[0].kept.clear();
+  EXPECT_FALSE(mask.Validate(spec).ok());
+}
+
+TEST(MaskValidateTest, RejectsBadRatio) {
+  const nn::ModelSpec spec = CnnSpec();
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 1.0;
+  EXPECT_FALSE(mask.Validate(spec).ok());
+}
+
+}  // namespace
+}  // namespace fedmp::pruning

@@ -1,0 +1,205 @@
+// Structured-pruner correctness across every zoo architecture and a ratio
+// sweep: the extracted sub-model must be a VALID model of the right size
+// that runs forward/backward, and kept weights must be copied exactly.
+
+#include "pruning/structured_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/initializers.h"
+#include "nn/model_builder.h"
+
+namespace fedmp::pruning {
+namespace {
+
+struct PruneCase {
+  std::string task;
+  double ratio;
+};
+
+class PrunerSweepTest : public ::testing::TestWithParam<PruneCase> {};
+
+TEST_P(PrunerSweepTest, SubModelValidAndTrainable) {
+  const PruneCase& c = GetParam();
+  const data::FlTask task =
+      data::MakeTaskByName(c.task, data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const nn::TensorList weights = model->GetWeights();
+
+  auto sub = PruneByRatio(task.model, weights, c.ratio);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_TRUE(sub->mask.Validate(task.model).ok());
+
+  // The sub-spec is itself buildable and its weights fit it.
+  auto sub_model = nn::BuildModel(sub->spec, 1);
+  ASSERT_TRUE(sub_model.ok()) << sub_model.status();
+  (*sub_model)->SetWeights(sub->weights);
+
+  // Parameter count shrinks monotonically (strictly for ratio > 0 unless
+  // everything is already at the 1-unit floor).
+  if (c.ratio == 0.0) {
+    EXPECT_EQ((*sub_model)->NumParams(), model->NumParams());
+  } else {
+    EXPECT_LT((*sub_model)->NumParams(), model->NumParams());
+  }
+
+  // Forward + backward run on real input shapes.
+  Rng rng(3);
+  nn::Tensor x;
+  if (task.is_language_model) {
+    x = nn::Tensor({2, task.model.input.t});
+  } else {
+    x = nn::Tensor({2, task.model.input.c, task.model.input.h,
+                    task.model.input.w});
+    nn::UniformInit(x, -1, 1, rng);
+  }
+  nn::Tensor y = (*sub_model)->Forward(x, true);
+  EXPECT_EQ(y.dim(y.ndim() - 1), task.model.num_classes);
+  nn::Tensor grad(y.shape());
+  nn::UniformInit(grad, -0.1, 0.1, rng);
+  (*sub_model)->Backward(grad);
+}
+
+std::vector<PruneCase> SweepCases() {
+  std::vector<PruneCase> cases;
+  for (const char* task : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    for (double ratio : {0.0, 0.25, 0.5, 0.75}) {
+      cases.push_back({task, ratio});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasksAndRatios, PrunerSweepTest, ::testing::ValuesIn(SweepCases()),
+    [](const ::testing::TestParamInfo<PruneCase>& info) {
+      return info.param.task + "_r" +
+             std::to_string(static_cast<int>(info.param.ratio * 100));
+    });
+
+TEST(ComputeL1MaskTest, DropsLowestScoringUnits) {
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kFeatures;
+  spec.input.f = 2;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Dense(2, 4, false),
+                 nn::LayerSpec::Dense(4, 2)};
+  auto model = nn::BuildModelOrDie(spec, 1);
+  nn::TensorList weights = model->GetWeights();
+  // Neuron scores: 0 -> 0.2, 1 -> 2.0, 2 -> 0.1, 3 -> 1.0.
+  weights[0] = nn::Tensor::FromData(
+      {4, 2}, {0.1f, 0.1f, 1.0f, 1.0f, 0.05f, 0.05f, 0.5f, 0.5f});
+  const PruneMask mask = ComputeL1Mask(spec, weights, 0.5);
+  ASSERT_TRUE(mask.layers[0].prunable);
+  EXPECT_EQ(mask.layers[0].kept, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(ComputeL1MaskTest, RatioZeroKeepsAll) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const PruneMask mask =
+      ComputeL1Mask(task.model, model->GetWeights(), 0.0);
+  for (const auto& lm : mask.layers) {
+    if (lm.prunable) EXPECT_EQ(lm.kept_count(), lm.original_width);
+  }
+}
+
+TEST(ExtractTest, KeptWeightsCopiedExactly) {
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kFeatures;
+  spec.input.f = 3;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Dense(3, 4, true),
+                 nn::LayerSpec::Dense(4, 2)};
+  auto model = nn::BuildModelOrDie(spec, 1);
+  nn::TensorList weights = model->GetWeights();
+
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 0.5;
+  mask.layers[0].kept = {1, 3};
+  auto sub = ExtractSubModel(spec, weights, mask);
+  ASSERT_TRUE(sub.ok());
+  // Hidden weight rows 1 and 3 copied.
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(sub->weights[0](0, c), weights[0](1, c));
+    EXPECT_EQ(sub->weights[0](1, c), weights[0](3, c));
+  }
+  // Hidden bias entries 1, 3.
+  EXPECT_EQ(sub->weights[1].at(0), weights[1].at(1));
+  EXPECT_EQ(sub->weights[1].at(1), weights[1].at(3));
+  // Output layer columns 1 and 3 (its rows are classes, untouched).
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(sub->weights[2](r, 0), weights[2](r, 1));
+    EXPECT_EQ(sub->weights[2](r, 1), weights[2](r, 3));
+  }
+}
+
+TEST(ExtractTest, ConvChannelChainPropagatesThroughFlatten) {
+  // Conv(1->4) -> Flatten -> Dense: pruning conv filters must gather the
+  // dense layer's input features per surviving channel plane.
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kImage;
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 2;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Conv(1, 4, 3, 1, 1),
+                 nn::LayerSpec::Flat(),
+                 nn::LayerSpec::Dense(16, 2)};
+  auto model = nn::BuildModelOrDie(spec, 1);
+  nn::TensorList weights = model->GetWeights();
+
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 0.5;
+  mask.layers[0].kept = {0, 2};
+  auto sub = ExtractSubModel(spec, weights, mask);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->spec.layers[2].in_channels, 8);
+  // Dense input features of channel 2 (plane size 4) land at columns 4..7.
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(sub->weights[2](r, 4 + s), weights[2](r, 2 * 4 + s));
+    }
+  }
+}
+
+TEST(GatherScatterTest, RoundTripThroughZeros) {
+  TensorSlice slice;
+  slice.full_shape = {4, 3};
+  slice.dim0 = {1, 3};
+  slice.dim1 = {0, 2};
+  slice.sub_shape = {2, 2};
+  nn::Tensor full = nn::Tensor::FromData(
+      {4, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  nn::Tensor sub = GatherSlice(full, slice);
+  EXPECT_EQ(sub(0, 0), 3.0f);
+  EXPECT_EQ(sub(0, 1), 5.0f);
+  EXPECT_EQ(sub(1, 0), 9.0f);
+  EXPECT_EQ(sub(1, 1), 11.0f);
+  nn::Tensor back = ScatterSlice(sub, slice);
+  EXPECT_EQ(back(1, 0), 3.0f);
+  EXPECT_EQ(back(0, 0), 0.0f);  // not in the slice -> zero
+  EXPECT_EQ(back(3, 2), 11.0f);
+}
+
+TEST(PruneByRatioTest, ParamReductionGrowsWithRatio) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const nn::TensorList weights = model->GetWeights();
+  int64_t prev = task.model.NumParams() + 1;
+  for (double ratio : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    auto sub = PruneByRatio(task.model, weights, ratio);
+    ASSERT_TRUE(sub.ok());
+    const int64_t params = sub->spec.NumParams();
+    EXPECT_LT(params, prev) << "ratio " << ratio;
+    prev = params;
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::pruning

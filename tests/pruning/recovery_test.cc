@@ -1,0 +1,134 @@
+// The R2SP algebra (§III-C) as exact identities, checked over every zoo
+// architecture and a ratio sweep:
+//   (1) recover(extract(w, m)) == sparsify(w, m)
+//   (2) sparsify(w, m) + residual(w, m) == w
+//   (3) extract(recover(sub)) == sub       (recovery is a right inverse)
+
+#include "pruning/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/model_builder.h"
+#include "pruning/sparsify.h"
+
+namespace fedmp::pruning {
+namespace {
+
+struct RecoveryCase {
+  std::string task;
+  double ratio;
+};
+
+class RecoveryIdentityTest
+    : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(RecoveryIdentityTest, AllThreeIdentitiesHold) {
+  const RecoveryCase& c = GetParam();
+  const data::FlTask task =
+      data::MakeTaskByName(c.task, data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 13);
+  const nn::TensorList weights = model->GetWeights();
+  const PruneMask mask = ComputeL1Mask(task.model, weights, c.ratio);
+
+  auto sub = ExtractSubModel(task.model, weights, mask);
+  ASSERT_TRUE(sub.ok());
+  auto recovered = RecoverToFull(task.model, sub->weights, mask);
+  ASSERT_TRUE(recovered.ok());
+  auto sparse = Sparsify(task.model, weights, mask);
+  ASSERT_TRUE(sparse.ok());
+
+  // (1) recover(extract(w)) == sparsify(w) — exactly.
+  ASSERT_TRUE(nn::SameShapes(*recovered, *sparse));
+  for (size_t i = 0; i < sparse->size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff((*recovered)[i], (*sparse)[i]), 0.0)
+        << "tensor " << i;
+  }
+
+  // (2) sparse + residual == w — exactly.
+  auto residual = ResidualModel(task.model, weights, mask);
+  ASSERT_TRUE(residual.ok());
+  nn::TensorList reconstructed = nn::AddLists(*sparse, *residual);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff(reconstructed[i], weights[i]), 0.0)
+        << "tensor " << i;
+  }
+
+  // (3) extract(recover(sub)) == sub.
+  auto re_extracted = ExtractSubModel(task.model, *recovered, mask);
+  ASSERT_TRUE(re_extracted.ok());
+  for (size_t i = 0; i < sub->weights.size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff(re_extracted->weights[i], sub->weights[i]),
+              0.0)
+        << "tensor " << i;
+  }
+}
+
+std::vector<RecoveryCase> Cases() {
+  std::vector<RecoveryCase> cases;
+  for (const char* task : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    for (double ratio : {0.0, 0.3, 0.6}) {
+      cases.push_back({task, ratio});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasksAndRatios, RecoveryIdentityTest, ::testing::ValuesIn(Cases()),
+    [](const ::testing::TestParamInfo<RecoveryCase>& info) {
+      return info.param.task + "_r" +
+             std::to_string(static_cast<int>(info.param.ratio * 100));
+    });
+
+TEST(RecoveryTest, RejectsWrongTensorCount) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 13);
+  const PruneMask mask =
+      ComputeL1Mask(task.model, model->GetWeights(), 0.5);
+  nn::TensorList too_few;
+  EXPECT_FALSE(RecoverToFull(task.model, too_few, mask).ok());
+}
+
+TEST(RecoveryTest, RejectsWrongShapes) {
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 13);
+  const nn::TensorList weights = model->GetWeights();
+  const PruneMask mask = ComputeL1Mask(task.model, weights, 0.5);
+  // Full-size weights are NOT valid sub-model weights at ratio 0.5.
+  EXPECT_FALSE(RecoverToFull(task.model, weights, mask).ok());
+}
+
+TEST(SparsifyTest, ZeroesExactlyTheComplement) {
+  nn::ModelSpec spec;
+  spec.name = "t";
+  spec.input.kind = nn::ShapeKind::kFeatures;
+  spec.input.f = 2;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Dense(2, 3, false),
+                 nn::LayerSpec::Dense(3, 2, false)};
+  nn::TensorList weights{
+      nn::Tensor::Full({3, 2}, 1.0f),
+      nn::Tensor::Full({2, 3}, 1.0f),
+  };
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 0.33;
+  mask.layers[0].kept = {0, 2};
+  auto sparse = Sparsify(spec, weights, mask);
+  ASSERT_TRUE(sparse.ok());
+  // Hidden layer: row 1 zeroed.
+  EXPECT_EQ((*sparse)[0](0, 0), 1.0f);
+  EXPECT_EQ((*sparse)[0](1, 0), 0.0f);
+  EXPECT_EQ((*sparse)[0](1, 1), 0.0f);
+  EXPECT_EQ((*sparse)[0](2, 1), 1.0f);
+  // Output layer: column 1 zeroed.
+  EXPECT_EQ((*sparse)[1](0, 1), 0.0f);
+  EXPECT_EQ((*sparse)[1](1, 1), 0.0f);
+  EXPECT_EQ((*sparse)[1](0, 0), 1.0f);
+  EXPECT_EQ((*sparse)[1](1, 2), 1.0f);
+}
+
+}  // namespace
+}  // namespace fedmp::pruning
