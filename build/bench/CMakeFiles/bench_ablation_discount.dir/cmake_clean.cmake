@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_discount.dir/bench_ablation_discount.cpp.o"
+  "CMakeFiles/bench_ablation_discount.dir/bench_ablation_discount.cpp.o.d"
+  "bench_ablation_discount"
+  "bench_ablation_discount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

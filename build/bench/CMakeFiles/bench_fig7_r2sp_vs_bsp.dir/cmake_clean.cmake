@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_r2sp_vs_bsp.dir/bench_fig7_r2sp_vs_bsp.cpp.o"
+  "CMakeFiles/bench_fig7_r2sp_vs_bsp.dir/bench_fig7_r2sp_vs_bsp.cpp.o.d"
+  "bench_fig7_r2sp_vs_bsp"
+  "bench_fig7_r2sp_vs_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_r2sp_vs_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

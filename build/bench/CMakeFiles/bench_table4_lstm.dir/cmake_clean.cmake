@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lstm.dir/bench_table4_lstm.cpp.o"
+  "CMakeFiles/bench_table4_lstm.dir/bench_table4_lstm.cpp.o.d"
+  "bench_table4_lstm"
+  "bench_table4_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/fedmp_bench_util.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/fedmp_bench_util.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

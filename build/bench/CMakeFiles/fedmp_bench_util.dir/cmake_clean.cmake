@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fedmp_bench_util.dir/bench_util.cc.o.d"
+  "libfedmp_bench_util.a"
+  "libfedmp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

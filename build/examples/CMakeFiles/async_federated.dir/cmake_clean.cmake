@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_federated.dir/async_federated.cpp.o"
+  "CMakeFiles/async_federated.dir/async_federated.cpp.o.d"
+  "async_federated"
+  "async_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/discounted_ucb.cc" "src/CMakeFiles/fedmp_bandit.dir/bandit/discounted_ucb.cc.o" "gcc" "src/CMakeFiles/fedmp_bandit.dir/bandit/discounted_ucb.cc.o.d"
+  "/root/repo/src/bandit/eucb.cc" "src/CMakeFiles/fedmp_bandit.dir/bandit/eucb.cc.o" "gcc" "src/CMakeFiles/fedmp_bandit.dir/bandit/eucb.cc.o.d"
+  "/root/repo/src/bandit/partition_tree.cc" "src/CMakeFiles/fedmp_bandit.dir/bandit/partition_tree.cc.o" "gcc" "src/CMakeFiles/fedmp_bandit.dir/bandit/partition_tree.cc.o.d"
+  "/root/repo/src/bandit/reward.cc" "src/CMakeFiles/fedmp_bandit.dir/bandit/reward.cc.o" "gcc" "src/CMakeFiles/fedmp_bandit.dir/bandit/reward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_bandit.dir/bandit/discounted_ucb.cc.o"
+  "CMakeFiles/fedmp_bandit.dir/bandit/discounted_ucb.cc.o.d"
+  "CMakeFiles/fedmp_bandit.dir/bandit/eucb.cc.o"
+  "CMakeFiles/fedmp_bandit.dir/bandit/eucb.cc.o.d"
+  "CMakeFiles/fedmp_bandit.dir/bandit/partition_tree.cc.o"
+  "CMakeFiles/fedmp_bandit.dir/bandit/partition_tree.cc.o.d"
+  "CMakeFiles/fedmp_bandit.dir/bandit/reward.cc.o"
+  "CMakeFiles/fedmp_bandit.dir/bandit/reward.cc.o.d"
+  "libfedmp_bandit.a"
+  "libfedmp_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_common.dir/common/csv.cc.o"
+  "CMakeFiles/fedmp_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/fedmp_common.dir/common/logging.cc.o"
+  "CMakeFiles/fedmp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/fedmp_common.dir/common/rng.cc.o"
+  "CMakeFiles/fedmp_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/fedmp_common.dir/common/status.cc.o"
+  "CMakeFiles/fedmp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/fedmp_common.dir/common/string_util.cc.o"
+  "CMakeFiles/fedmp_common.dir/common/string_util.cc.o.d"
+  "libfedmp_common.a"
+  "libfedmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

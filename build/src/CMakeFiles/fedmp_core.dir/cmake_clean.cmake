@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_core.dir/core/fedmp.cc.o"
+  "CMakeFiles/fedmp_core.dir/core/fedmp.cc.o.d"
+  "libfedmp_core.a"
+  "libfedmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

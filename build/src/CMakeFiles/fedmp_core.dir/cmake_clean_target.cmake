@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedmp_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/fedmp_data.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/fedmp_data.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/fedmp_data.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/fedmp_data.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic_image.cc" "src/CMakeFiles/fedmp_data.dir/data/synthetic_image.cc.o" "gcc" "src/CMakeFiles/fedmp_data.dir/data/synthetic_image.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/fedmp_data.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/fedmp_data.dir/data/synthetic_text.cc.o.d"
+  "/root/repo/src/data/task_zoo.cc" "src/CMakeFiles/fedmp_data.dir/data/task_zoo.cc.o" "gcc" "src/CMakeFiles/fedmp_data.dir/data/task_zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

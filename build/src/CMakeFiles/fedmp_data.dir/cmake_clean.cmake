@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_data.dir/data/dataloader.cc.o"
+  "CMakeFiles/fedmp_data.dir/data/dataloader.cc.o.d"
+  "CMakeFiles/fedmp_data.dir/data/partition.cc.o"
+  "CMakeFiles/fedmp_data.dir/data/partition.cc.o.d"
+  "CMakeFiles/fedmp_data.dir/data/synthetic_image.cc.o"
+  "CMakeFiles/fedmp_data.dir/data/synthetic_image.cc.o.d"
+  "CMakeFiles/fedmp_data.dir/data/synthetic_text.cc.o"
+  "CMakeFiles/fedmp_data.dir/data/synthetic_text.cc.o.d"
+  "CMakeFiles/fedmp_data.dir/data/task_zoo.cc.o"
+  "CMakeFiles/fedmp_data.dir/data/task_zoo.cc.o.d"
+  "libfedmp_data.a"
+  "libfedmp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/cluster.cc" "src/CMakeFiles/fedmp_edge.dir/edge/cluster.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/cluster.cc.o.d"
+  "/root/repo/src/edge/cost_model.cc" "src/CMakeFiles/fedmp_edge.dir/edge/cost_model.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/cost_model.cc.o.d"
+  "/root/repo/src/edge/device.cc" "src/CMakeFiles/fedmp_edge.dir/edge/device.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/device.cc.o.d"
+  "/root/repo/src/edge/event_queue.cc" "src/CMakeFiles/fedmp_edge.dir/edge/event_queue.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/event_queue.cc.o.d"
+  "/root/repo/src/edge/fault.cc" "src/CMakeFiles/fedmp_edge.dir/edge/fault.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/fault.cc.o.d"
+  "/root/repo/src/edge/network.cc" "src/CMakeFiles/fedmp_edge.dir/edge/network.cc.o" "gcc" "src/CMakeFiles/fedmp_edge.dir/edge/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

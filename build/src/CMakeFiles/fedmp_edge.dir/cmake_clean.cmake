@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_edge.dir/edge/cluster.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/cluster.cc.o.d"
+  "CMakeFiles/fedmp_edge.dir/edge/cost_model.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/cost_model.cc.o.d"
+  "CMakeFiles/fedmp_edge.dir/edge/device.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/device.cc.o.d"
+  "CMakeFiles/fedmp_edge.dir/edge/event_queue.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/event_queue.cc.o.d"
+  "CMakeFiles/fedmp_edge.dir/edge/fault.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/fault.cc.o.d"
+  "CMakeFiles/fedmp_edge.dir/edge/network.cc.o"
+  "CMakeFiles/fedmp_edge.dir/edge/network.cc.o.d"
+  "libfedmp_edge.a"
+  "libfedmp_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregation.cc" "src/CMakeFiles/fedmp_fl.dir/fl/aggregation.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/aggregation.cc.o.d"
+  "/root/repo/src/fl/async_trainer.cc" "src/CMakeFiles/fedmp_fl.dir/fl/async_trainer.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/async_trainer.cc.o.d"
+  "/root/repo/src/fl/quantize.cc" "src/CMakeFiles/fedmp_fl.dir/fl/quantize.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/quantize.cc.o.d"
+  "/root/repo/src/fl/round_log.cc" "src/CMakeFiles/fedmp_fl.dir/fl/round_log.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/round_log.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/CMakeFiles/fedmp_fl.dir/fl/server.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/server.cc.o.d"
+  "/root/repo/src/fl/strategies/fedmp_strategy.cc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/fedmp_strategy.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/fedmp_strategy.cc.o.d"
+  "/root/repo/src/fl/strategies/fedprox.cc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/fedprox.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/fedprox.cc.o.d"
+  "/root/repo/src/fl/strategies/flexcom.cc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/flexcom.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/flexcom.cc.o.d"
+  "/root/repo/src/fl/strategies/syn_fl.cc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/syn_fl.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/syn_fl.cc.o.d"
+  "/root/repo/src/fl/strategies/up_fl.cc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/up_fl.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/strategies/up_fl.cc.o.d"
+  "/root/repo/src/fl/trainer.cc" "src/CMakeFiles/fedmp_fl.dir/fl/trainer.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/trainer.cc.o.d"
+  "/root/repo/src/fl/worker.cc" "src/CMakeFiles/fedmp_fl.dir/fl/worker.cc.o" "gcc" "src/CMakeFiles/fedmp_fl.dir/fl/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

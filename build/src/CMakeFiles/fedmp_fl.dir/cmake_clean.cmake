@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_fl.dir/fl/aggregation.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/aggregation.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/async_trainer.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/async_trainer.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/quantize.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/quantize.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/round_log.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/round_log.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/server.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/server.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/fedmp_strategy.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/fedmp_strategy.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/fedprox.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/fedprox.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/flexcom.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/flexcom.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/syn_fl.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/syn_fl.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/up_fl.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/strategies/up_fl.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/trainer.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/trainer.cc.o.d"
+  "CMakeFiles/fedmp_fl.dir/fl/worker.cc.o"
+  "CMakeFiles/fedmp_fl.dir/fl/worker.cc.o.d"
+  "libfedmp_fl.a"
+  "libfedmp_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/fedmp_nn.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/initializers.cc" "src/CMakeFiles/fedmp_nn.dir/nn/initializers.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/initializers.cc.o.d"
+  "/root/repo/src/nn/layers/activations.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/activations.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/activations.cc.o.d"
+  "/root/repo/src/nn/layers/batchnorm.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/batchnorm.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/batchnorm.cc.o.d"
+  "/root/repo/src/nn/layers/conv2d.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/conv2d.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/conv2d.cc.o.d"
+  "/root/repo/src/nn/layers/dropout.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/dropout.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/dropout.cc.o.d"
+  "/root/repo/src/nn/layers/embedding.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/embedding.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/embedding.cc.o.d"
+  "/root/repo/src/nn/layers/flatten.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/flatten.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/flatten.cc.o.d"
+  "/root/repo/src/nn/layers/linear.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/linear.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/linear.cc.o.d"
+  "/root/repo/src/nn/layers/lstm.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/lstm.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/lstm.cc.o.d"
+  "/root/repo/src/nn/layers/pool.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/pool.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/pool.cc.o.d"
+  "/root/repo/src/nn/layers/residual_block.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/residual_block.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/residual_block.cc.o.d"
+  "/root/repo/src/nn/layers/softmax_xent.cc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/softmax_xent.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/layers/softmax_xent.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/CMakeFiles/fedmp_nn.dir/nn/metrics.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/metrics.cc.o.d"
+  "/root/repo/src/nn/model_builder.cc" "src/CMakeFiles/fedmp_nn.dir/nn/model_builder.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/model_builder.cc.o.d"
+  "/root/repo/src/nn/model_spec.cc" "src/CMakeFiles/fedmp_nn.dir/nn/model_spec.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/model_spec.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/fedmp_nn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/fedmp_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/sgd.cc" "src/CMakeFiles/fedmp_nn.dir/nn/sgd.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/sgd.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/fedmp_nn.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/tensor_ops.cc" "src/CMakeFiles/fedmp_nn.dir/nn/tensor_ops.cc.o" "gcc" "src/CMakeFiles/fedmp_nn.dir/nn/tensor_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

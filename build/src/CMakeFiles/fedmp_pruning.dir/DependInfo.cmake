@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pruning/importance.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/importance.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/importance.cc.o.d"
+  "/root/repo/src/pruning/lstm_iss_pruner.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/lstm_iss_pruner.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/lstm_iss_pruner.cc.o.d"
+  "/root/repo/src/pruning/mask.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/mask.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/mask.cc.o.d"
+  "/root/repo/src/pruning/recovery.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/recovery.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/recovery.cc.o.d"
+  "/root/repo/src/pruning/sparsify.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/sparsify.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/sparsify.cc.o.d"
+  "/root/repo/src/pruning/structured_pruner.cc" "src/CMakeFiles/fedmp_pruning.dir/pruning/structured_pruner.cc.o" "gcc" "src/CMakeFiles/fedmp_pruning.dir/pruning/structured_pruner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmp_pruning.dir/pruning/importance.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/importance.cc.o.d"
+  "CMakeFiles/fedmp_pruning.dir/pruning/lstm_iss_pruner.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/lstm_iss_pruner.cc.o.d"
+  "CMakeFiles/fedmp_pruning.dir/pruning/mask.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/mask.cc.o.d"
+  "CMakeFiles/fedmp_pruning.dir/pruning/recovery.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/recovery.cc.o.d"
+  "CMakeFiles/fedmp_pruning.dir/pruning/sparsify.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/sparsify.cc.o.d"
+  "CMakeFiles/fedmp_pruning.dir/pruning/structured_pruner.cc.o"
+  "CMakeFiles/fedmp_pruning.dir/pruning/structured_pruner.cc.o.d"
+  "libfedmp_pruning.a"
+  "libfedmp_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmp_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

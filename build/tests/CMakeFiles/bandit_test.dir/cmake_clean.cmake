@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandit_test.dir/bandit/discounted_ucb_test.cc.o"
+  "CMakeFiles/bandit_test.dir/bandit/discounted_ucb_test.cc.o.d"
+  "CMakeFiles/bandit_test.dir/bandit/eucb_test.cc.o"
+  "CMakeFiles/bandit_test.dir/bandit/eucb_test.cc.o.d"
+  "CMakeFiles/bandit_test.dir/bandit/partition_tree_test.cc.o"
+  "CMakeFiles/bandit_test.dir/bandit/partition_tree_test.cc.o.d"
+  "CMakeFiles/bandit_test.dir/bandit/reward_test.cc.o"
+  "CMakeFiles/bandit_test.dir/bandit/reward_test.cc.o.d"
+  "bandit_test"
+  "bandit_test.pdb"
+  "bandit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_test.dir/edge/cluster_test.cc.o"
+  "CMakeFiles/edge_test.dir/edge/cluster_test.cc.o.d"
+  "CMakeFiles/edge_test.dir/edge/cost_model_test.cc.o"
+  "CMakeFiles/edge_test.dir/edge/cost_model_test.cc.o.d"
+  "CMakeFiles/edge_test.dir/edge/device_test.cc.o"
+  "CMakeFiles/edge_test.dir/edge/device_test.cc.o.d"
+  "CMakeFiles/edge_test.dir/edge/event_queue_test.cc.o"
+  "CMakeFiles/edge_test.dir/edge/event_queue_test.cc.o.d"
+  "CMakeFiles/edge_test.dir/edge/fault_test.cc.o"
+  "CMakeFiles/edge_test.dir/edge/fault_test.cc.o.d"
+  "edge_test"
+  "edge_test.pdb"
+  "edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/aggregation_test.cc" "tests/CMakeFiles/fl_test.dir/fl/aggregation_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/aggregation_test.cc.o.d"
+  "/root/repo/tests/fl/quantize_test.cc" "tests/CMakeFiles/fl_test.dir/fl/quantize_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/quantize_test.cc.o.d"
+  "/root/repo/tests/fl/round_log_test.cc" "tests/CMakeFiles/fl_test.dir/fl/round_log_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/round_log_test.cc.o.d"
+  "/root/repo/tests/fl/server_test.cc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  "/root/repo/tests/fl/strategies_test.cc" "tests/CMakeFiles/fl_test.dir/fl/strategies_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/strategies_test.cc.o.d"
+  "/root/repo/tests/fl/worker_test.cc" "tests/CMakeFiles/fl_test.dir/fl/worker_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/worker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

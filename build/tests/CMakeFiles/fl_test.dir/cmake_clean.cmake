@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl/aggregation_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/aggregation_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/quantize_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/quantize_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/round_log_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/round_log_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/strategies_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/strategies_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/worker_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/worker_test.cc.o.d"
+  "fl_test"
+  "fl_test.pdb"
+  "fl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_trainer_test.dir/fl/async_trainer_test.cc.o"
+  "CMakeFiles/fl_trainer_test.dir/fl/async_trainer_test.cc.o.d"
+  "CMakeFiles/fl_trainer_test.dir/fl/trainer_test.cc.o"
+  "CMakeFiles/fl_trainer_test.dir/fl/trainer_test.cc.o.d"
+  "fl_trainer_test"
+  "fl_trainer_test.pdb"
+  "fl_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

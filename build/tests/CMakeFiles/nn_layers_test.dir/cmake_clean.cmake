@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_layers_test.dir/nn/conv_test.cc.o"
+  "CMakeFiles/nn_layers_test.dir/nn/conv_test.cc.o.d"
+  "CMakeFiles/nn_layers_test.dir/nn/layers_grad_test.cc.o"
+  "CMakeFiles/nn_layers_test.dir/nn/layers_grad_test.cc.o.d"
+  "CMakeFiles/nn_layers_test.dir/nn/lstm_test.cc.o"
+  "CMakeFiles/nn_layers_test.dir/nn/lstm_test.cc.o.d"
+  "nn_layers_test"
+  "nn_layers_test.pdb"
+  "nn_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pruning/importance_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning/importance_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning/importance_test.cc.o.d"
+  "/root/repo/tests/pruning/lstm_iss_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning/lstm_iss_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning/lstm_iss_test.cc.o.d"
+  "/root/repo/tests/pruning/mask_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning/mask_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning/mask_test.cc.o.d"
+  "/root/repo/tests/pruning/pruner_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning/pruner_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning/pruner_test.cc.o.d"
+  "/root/repo/tests/pruning/recovery_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning/recovery_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning/recovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

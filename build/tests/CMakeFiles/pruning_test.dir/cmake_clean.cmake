@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_test.dir/pruning/importance_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning/importance_test.cc.o.d"
+  "CMakeFiles/pruning_test.dir/pruning/lstm_iss_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning/lstm_iss_test.cc.o.d"
+  "CMakeFiles/pruning_test.dir/pruning/mask_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning/mask_test.cc.o.d"
+  "CMakeFiles/pruning_test.dir/pruning/pruner_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning/pruner_test.cc.o.d"
+  "CMakeFiles/pruning_test.dir/pruning/recovery_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning/recovery_test.cc.o.d"
+  "pruning_test"
+  "pruning_test.pdb"
+  "pruning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_model_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/bandit_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
