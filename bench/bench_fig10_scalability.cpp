@@ -1,15 +1,35 @@
 // Fig. 10: completion time to the target accuracy as the worker count grows
 // 10 -> 30 (half cluster A, half B, as §V-G). Paper shape: mild growth for
 // every method; FedMP keeps a constant-factor lead.
+//
+// Additionally measures the real (host) wall-clock of the FedMP engine at
+// num_threads=1 vs num_threads=N per fleet size and emits the speedups to
+// fig10_threads.json — the scalability of the simulation itself, not of
+// the simulated round time.
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 using namespace fedmp;
+
+namespace {
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   bench::PrintHeader("Fig. 10", "completion time vs number of workers");
@@ -41,5 +61,40 @@ int main() {
     }
   }
   table.WritePretty(std::cout);
+
+  // --- Engine wall-clock: serial vs parallel worker rounds. ---
+  const int par_threads = ThreadPool::ResolveThreads(0) > 1
+                              ? ThreadPool::ResolveThreads(0)
+                              : 4;
+  std::printf("\nEngine wall-clock (host time, fedmp, %d rounds):\n",
+              static_cast<int>(bench::ScaledRounds(8)));
+  std::vector<bench::SpeedupRecord> speedups;
+  for (int workers : {10, 30}) {
+    ExperimentConfig config;
+    config.task = "alexnet";
+    config.method = "fedmp";
+    config.num_workers = workers;
+    config.trainer = bench::BenchTrainerOptions(8);
+    auto run_with = [&](int threads) {
+      config.trainer.num_threads = threads;
+      return WallSeconds([&] { bench::MustRun(config, task); });
+    };
+    bench::SpeedupRecord rec;
+    rec.name = StrFormat("fedmp_round_n%d", workers);
+    rec.threads = par_threads;
+    rec.serial_seconds = run_with(1);
+    rec.parallel_seconds = run_with(par_threads);
+    std::printf("  N=%-2d serial=%.2fs parallel(%d)=%.2fs speedup=%.2fx\n",
+                workers, rec.serial_seconds, par_threads,
+                rec.parallel_seconds,
+                rec.serial_seconds / rec.parallel_seconds);
+    std::fflush(stdout);
+    speedups.push_back(rec);
+  }
+  if (!bench::WriteSpeedupJson("fig10_threads.json", speedups)) {
+    std::fprintf(stderr, "warning: could not write fig10_threads.json\n");
+  } else {
+    std::printf("  wrote fig10_threads.json\n");
+  }
   return 0;
 }

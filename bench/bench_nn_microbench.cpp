@@ -1,10 +1,19 @@
 // google-benchmark microbenchmarks of the NN substrate's hot kernels:
 // layer forward/backward and the pruning/recovery pipeline. These set the
 // wall-clock budget every FL experiment pays per round.
+//
+// The *Speedup benchmarks time each kernel serially (1-lane pool) and on
+// the requested thread count, and report the ratio as the
+// "speedup_vs_serial" counter so it lands in the JSON output
+// (--benchmark_format=json / --benchmark_out=...).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/task_zoo.h"
 #include "nn/initializers.h"
 #include "nn/layers/conv2d.h"
@@ -18,8 +27,27 @@
 namespace fedmp {
 namespace {
 
+// Best-of-`reps` wall-clock seconds of `fn` on a pool of `threads` lanes.
+double TimeWithThreads(int threads, int reps,
+                       const std::function<void()>& fn) {
+  ThreadPool::SetGlobalThreads(threads);
+  fn();  // warm-up (and pool spin-up)
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
 void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  ThreadPool::SetGlobalThreads(threads);
   Rng rng(1);
   nn::Tensor a({n, n}), b({n, n});
   nn::UniformInit(a, -1, 1, rng);
@@ -28,8 +56,72 @@ void BM_Matmul(benchmark::State& state) {
     benchmark::DoNotOptimize(nn::Matmul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  ThreadPool::SetGlobalThreads(1);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)
+    ->ArgsProduct({{32, 64, 128, 256}, {1, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_MatmulSparseA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a({n, n}), b({n, n});
+  nn::UniformInit(a, -1, 1, rng);
+  nn::UniformInit(b, -1, 1, rng);
+  // ~80% structural zeros in A, like a sparsified/masked operand.
+  float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (rng.NextDouble() < 0.8) pa[i] = 0.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatmulSparseA(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSparseA)->Arg(128)->Arg(256);
+
+// Serial-vs-parallel wall clock for the large dense cases (the acceptance
+// metric for the parallel engine).
+void BM_MatmulSpeedup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(1);
+  nn::Tensor a({n, n}), b({n, n});
+  nn::UniformInit(a, -1, 1, rng);
+  nn::UniformInit(b, -1, 1, rng);
+  auto run = [&] { benchmark::DoNotOptimize(nn::Matmul(a, b)); };
+  const double serial_s = TimeWithThreads(1, 3, run);
+  const double parallel_s = TimeWithThreads(threads, 3, run);
+  ThreadPool::SetGlobalThreads(threads);
+  for (auto _ : state) run();
+  state.counters["speedup_vs_serial"] = serial_s / parallel_s;
+  state.counters["serial_ms"] = serial_s * 1e3;
+  state.counters["parallel_ms"] = parallel_s * 1e3;
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_MatmulSpeedup)
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 4})
+    ->ArgNames({"n", "threads"});
+
+void BM_Conv2dSpeedup(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Conv2d conv(16, 32, 3, 1, 1, true, rng);
+  nn::Tensor x({16, 16, 32, 32});
+  nn::UniformInit(x, -1, 1, rng);
+  auto run = [&] { benchmark::DoNotOptimize(conv.Forward(x, true)); };
+  const double serial_s = TimeWithThreads(1, 3, run);
+  const double parallel_s = TimeWithThreads(threads, 3, run);
+  ThreadPool::SetGlobalThreads(threads);
+  for (auto _ : state) run();
+  state.counters["speedup_vs_serial"] = serial_s / parallel_s;
+  state.counters["serial_ms"] = serial_s * 1e3;
+  state.counters["parallel_ms"] = parallel_s * 1e3;
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_Conv2dSpeedup)->Arg(2)->Arg(4)->ArgNames({"threads"});
 
 void BM_ConvForward(benchmark::State& state) {
   Rng rng(1);

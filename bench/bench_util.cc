@@ -44,6 +44,29 @@ std::string FormatSpeedup(double base_time, double other_time) {
   return StrFormat("%.1fx", base_time / other_time);
 }
 
+bool WriteSpeedupJson(const std::string& path,
+                      const std::vector<SpeedupRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpeedupRecord& r = records[i];
+    const double speedup =
+        r.parallel_seconds > 0.0 ? r.serial_seconds / r.parallel_seconds
+                                 : 0.0;
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"threads\": %d, "
+                 "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.threads, r.serial_seconds,
+                 r.parallel_seconds, speedup,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 void PrintHeader(const std::string& artifact, const std::string& caption) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), caption.c_str());

@@ -2,6 +2,7 @@
 #define FEDMP_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <vector>
 
 #include "core/fedmp.h"
 
@@ -27,6 +28,20 @@ std::string FormatSpeedup(double base_time, double other_time);
 
 // Prints the standard bench header with the paper artifact it reproduces.
 void PrintHeader(const std::string& artifact, const std::string& caption);
+
+// One serial-vs-parallel wall-clock measurement of the execution engine.
+struct SpeedupRecord {
+  std::string name;
+  int threads = 1;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+};
+
+// Writes the records as a JSON array to `path` (the bench JSON consumed by
+// plotting/CI): [{"name":..., "threads":..., "serial_seconds":...,
+// "parallel_seconds":..., "speedup":...}, ...].
+bool WriteSpeedupJson(const std::string& path,
+                      const std::vector<SpeedupRecord>& records);
 
 }  // namespace fedmp::bench
 

@@ -1,0 +1,138 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace fedmp {
+
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+// Guards creation/replacement of the global pool instance.
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int spawn = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int t = 0; t < spawn; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  // Serial fallback: tiny range, no workers, or nested inside a pool task.
+  if (workers_.empty() || n <= grain || t_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t nchunks =
+      std::min<int64_t>(static_cast<int64_t>(num_threads()), max_chunks);
+  const int64_t chunk = (n + nchunks - 1) / nchunks;
+
+  struct Join {
+    std::mutex m;
+    std::condition_variable done;
+    int64_t remaining;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = nchunks - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t c = 1; c < nchunks; ++c) {
+      const int64_t b = begin + c * chunk;
+      const int64_t e = std::min(end, b + chunk);
+      queue_.push([join, &fn, b, e] {
+        fn(b, e);
+        std::lock_guard<std::mutex> jl(join->m);
+        if (--join->remaining == 0) join->done.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread is lane 0. It is flagged as a pool lane for the
+  // duration of its chunk so nested ParallelFors run inline there too.
+  t_in_pool_worker = true;
+  fn(begin, std::min(end, begin + chunk));
+  t_in_pool_worker = false;
+
+  std::unique_lock<std::mutex> jl(join->m);
+  join->done.wait(jl, [&join] { return join->remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = GlobalSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(ResolveThreads(0));
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  FEDMP_CHECK_GT(num_threads, 0);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = GlobalSlot();
+  if (slot != nullptr && slot->num_threads() == num_threads) return;
+  slot = std::make_unique<ThreadPool>(num_threads);
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (const char* env = std::getenv("FEDMP_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace fedmp

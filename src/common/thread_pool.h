@@ -1,0 +1,79 @@
+#ifndef FEDMP_COMMON_THREAD_POOL_H_
+#define FEDMP_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedmp {
+
+// A fixed-size worker pool with a shared work queue, built for the
+// deterministic data-parallel loops in the kernels (tensor_ops, Im2Col)
+// and the FL engine (per-worker rounds). Determinism contract: ParallelFor
+// splits [begin, end) into contiguous chunks and every index is executed by
+// exactly one chunk, so as long as `fn` writes only to locations owned by
+// its indices, results are bit-identical at any thread count — including
+// the serial fallback (DESIGN.md "Threading model").
+//
+// The pool owns num_threads-1 OS threads; the caller of ParallelFor is the
+// remaining lane. A ParallelFor issued from inside a pool task runs inline
+// serially (no nested parallelism, no deadlock), which is what makes it
+// safe for the trainer to parallelize over workers while each worker's SGD
+// hits the parallel kernels underneath.
+class ThreadPool {
+ public:
+  // Spawns max(0, num_threads - 1) workers; num_threads <= 1 means every
+  // ParallelFor runs inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution lanes (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(chunk_begin, chunk_end) over a static contiguous partition of
+  // [begin, end). `grain` is the minimum iterations per chunk; at most
+  // num_threads() chunks are created. Blocks until every chunk finished.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // True when called from inside a pool task (nested region).
+  static bool InPoolWorker();
+
+  // Process-wide pool used by the free ParallelFor and the kernels. Created
+  // on first use with ResolveThreads(0) lanes.
+  static ThreadPool& Global();
+
+  // Recreates the global pool with `num_threads` lanes (no-op if it already
+  // has that size). Not safe while another thread is inside ParallelFor on
+  // the global pool; the single-driver trainers call it from their
+  // constructors only.
+  static void SetGlobalThreads(int num_threads);
+
+  // Effective lane count: FEDMP_THREADS env var (if > 0) wins, then
+  // `requested` (if > 0), then std::thread::hardware_concurrency().
+  static int ResolveThreads(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+// ParallelFor on the global pool (the form the kernels use).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_THREAD_POOL_H_

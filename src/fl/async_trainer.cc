@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
 #include "pruning/structured_pruner.h"
@@ -42,6 +43,8 @@ AsyncTrainer::AsyncTrainer(const data::FlTask* task,
               options_.m <= static_cast<int>(devices_.size()));
   FEDMP_CHECK(strategy_->SupportsAsync())
       << strategy_->Name() << " cannot run asynchronously";
+  ThreadPool::SetGlobalThreads(
+      ThreadPool::ResolveThreads(options_.base.num_threads));
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.base.seed ^ 0x5EEDULL);
   strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
@@ -64,55 +67,88 @@ RoundLog AsyncTrainer::Run() {
                                   static_cast<double>(num_workers);
   std::vector<InFlight> inflight(static_cast<size_t>(num_workers));
 
-  // Dispatches a freshly planned sub-model to `worker` at the current
-  // clock, trains it eagerly, and schedules its arrival.
-  auto dispatch = [&](int worker, int64_t round) {
-    const size_t i = static_cast<size_t>(worker);
-    const WorkerRoundPlan plan = strategy_->PlanWorker(round, worker);
-    pruning::SubModel sub;
-    if (plan.pruning_ratio > 0.0) {
-      auto pruned = pruning::PruneByRatio(global_spec, server_->weights(),
-                                          plan.pruning_ratio);
-      FEDMP_CHECK(pruned.ok()) << pruned.status();
-      sub = std::move(pruned).value();
-    } else {
-      sub.spec = global_spec;
-      sub.weights = server_->weights();
-      sub.mask = pruning::FullMask(global_spec);
+  // Dispatches freshly planned sub-models to `ids` at the current clock,
+  // trains them eagerly, and schedules their arrivals. Three phases keep
+  // the result bit-identical to dispatching serially in `ids` order:
+  //   1. serial planning — PlanWorker mutates strategy state (incl. its
+  //      RNG), so it runs in today's order;
+  //   2. parallel work — prune + local SGD + cost sampling + residual
+  //      touch only worker-owned state and read-only globals;
+  //   3. serial commit — inflight slots and queue pushes in `ids` order,
+  //      so event-queue tie-breaking is unchanged.
+  auto dispatch_all = [&](const std::vector<int>& ids, int64_t round) {
+    const int64_t count = static_cast<int64_t>(ids.size());
+    std::vector<WorkerRoundPlan> plans(static_cast<size_t>(count));
+    for (int64_t j = 0; j < count; ++j) {
+      plans[static_cast<size_t>(j)] =
+          strategy_->PlanWorker(round, ids[static_cast<size_t>(j)]);
     }
 
-    LocalTrainOptions local;
-    local.tau = plan.tau > 0 ? plan.tau : task_->local_iterations;
-    local.batch_size = task_->batch_size;
-    local.learning_rate = task_->learning_rate;
-    local.momentum = task_->momentum;
-    local.weight_decay = task_->weight_decay;
-    local.proximal_mu = plan.proximal_mu;
-    local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
-    local.is_language_model = task_->is_language_model;
-    LocalResult result = workers_[i]->LocalTrain(sub.spec, sub.weights, local);
+    std::vector<InFlight> prepared(static_cast<size_t>(count));
+    std::vector<double> durations(static_cast<size_t>(count));
+    ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        const size_t jj = static_cast<size_t>(j);
+        const size_t i = static_cast<size_t>(ids[jj]);
+        const WorkerRoundPlan& plan = plans[jj];
+        pruning::SubModel sub;
+        if (plan.pruning_ratio > 0.0) {
+          auto pruned = pruning::PruneByRatio(
+              global_spec, server_->weights(), plan.pruning_ratio);
+          FEDMP_CHECK(pruned.ok()) << pruned.status();
+          sub = std::move(pruned).value();
+        } else {
+          sub.spec = global_spec;
+          sub.weights = server_->weights();
+          sub.mask = pruning::FullMask(global_spec);
+        }
 
-    const edge::DeviceRoundSample sample =
-        edge::SampleRound(devices_[i], workers_[i]->rng());
-    const double comp = edge::CompSeconds(sub.spec, local.tau,
-                                          local.batch_size, sample,
-                                          options_.base.cost);
-    const double bytes = static_cast<double>(sub.spec.NumParams()) *
-                         options_.base.cost.bytes_per_param;
-    const double comm =
-        edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
+        LocalTrainOptions local;
+        local.tau = plan.tau > 0 ? plan.tau : task_->local_iterations;
+        local.batch_size = task_->batch_size;
+        local.learning_rate = task_->learning_rate;
+        local.momentum = task_->momentum;
+        local.weight_decay = task_->weight_decay;
+        local.proximal_mu = plan.proximal_mu;
+        local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+        local.is_language_model = task_->is_language_model;
+        LocalResult result =
+            workers_[i]->LocalTrain(sub.spec, sub.weights, local);
 
-    auto residual = pruning::ResidualModel(global_spec, server_->weights(),
-                                           sub.mask);
-    FEDMP_CHECK(residual.ok()) << residual.status();
-    inflight[i] = InFlight{std::move(sub.mask), std::move(result.weights),
-                           std::move(residual).value(), clock.now(),
-                           result.initial_loss - result.final_loss,
-                           result.final_loss, plan.pruning_ratio};
-    queue.Push(clock.now() + comp + comm, worker);
+        const edge::DeviceRoundSample sample =
+            edge::SampleRound(devices_[i], workers_[i]->rng());
+        const double comp = edge::CompSeconds(sub.spec, local.tau,
+                                              local.batch_size, sample,
+                                              options_.base.cost);
+        const double bytes = static_cast<double>(sub.spec.NumParams()) *
+                             options_.base.cost.bytes_per_param;
+        const double comm =
+            edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
+
+        auto residual = pruning::ResidualModel(
+            global_spec, server_->weights(), sub.mask);
+        FEDMP_CHECK(residual.ok()) << residual.status();
+        prepared[jj] =
+            InFlight{std::move(sub.mask), std::move(result.weights),
+                     std::move(residual).value(), clock.now(),
+                     result.initial_loss - result.final_loss,
+                     result.final_loss, plan.pruning_ratio};
+        durations[jj] = comp + comm;
+      }
+    });
+
+    for (int64_t j = 0; j < count; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      inflight[static_cast<size_t>(ids[jj])] = std::move(prepared[jj]);
+      queue.Push(clock.now() + durations[jj], ids[jj]);
+    }
   };
 
-  for (int n = 0; n < num_workers; ++n) dispatch(n, /*round=*/0);
+  {
+    std::vector<int> everyone(static_cast<size_t>(num_workers));
+    for (int n = 0; n < num_workers; ++n) everyone[static_cast<size_t>(n)] = n;
+    dispatch_all(everyone, /*round=*/0);
+  }
 
   for (int64_t round = 0; round < options_.base.max_rounds; ++round) {
     // Collect the first m arrivals (Algorithm 2 lines 4-7).
@@ -162,7 +198,7 @@ RoundLog AsyncTrainer::Run() {
           round, arrived[j], arrival_durations[j], mean_time,
           inflight[static_cast<size_t>(arrived[j])].delta_loss);
     }
-    for (int worker : arrived) dispatch(worker, round + 1);
+    dispatch_all(arrived, round + 1);
 
     RoundRecord record;
     record.round = round;

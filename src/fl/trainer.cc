@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "edge/sim_clock.h"
 #include "pruning/structured_pruner.h"
 
@@ -31,6 +32,8 @@ Trainer::Trainer(const data::FlTask* task,
   FEDMP_CHECK(!devices_.empty());
   FEDMP_CHECK_EQ(devices_.size(), partition.size())
       << "one shard per device required";
+  ThreadPool::SetGlobalThreads(
+      ThreadPool::ResolveThreads(options_.num_threads));
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.seed ^ 0x5EEDULL);
   strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
@@ -53,20 +56,25 @@ RoundLog Trainer::Run() {
     std::vector<WorkerRoundPlan> plans(static_cast<size_t>(num_workers));
     strategy_->PlanRound(round, &plans);
 
+    // Sub-model construction is a pure function of (spec, weights, ratio),
+    // so the per-worker prunes run concurrently; each lane writes only its
+    // own subs[i] slot.
     std::vector<pruning::SubModel> subs(static_cast<size_t>(num_workers));
-    for (int n = 0; n < num_workers; ++n) {
-      const size_t i = static_cast<size_t>(n);
-      if (plans[i].pruning_ratio > 0.0) {
-        auto sub = pruning::PruneByRatio(global_spec, server_->weights(),
-                                         plans[i].pruning_ratio);
-        FEDMP_CHECK(sub.ok()) << sub.status();
-        subs[i] = std::move(sub).value();
-      } else {
-        subs[i].spec = global_spec;
-        subs[i].weights = server_->weights();
-        subs[i].mask = pruning::FullMask(global_spec);
+    ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t n = lo; n < hi; ++n) {
+        const size_t i = static_cast<size_t>(n);
+        if (plans[i].pruning_ratio > 0.0) {
+          auto sub = pruning::PruneByRatio(global_spec, server_->weights(),
+                                           plans[i].pruning_ratio);
+          FEDMP_CHECK(sub.ok()) << sub.status();
+          subs[i] = std::move(sub).value();
+        } else {
+          subs[i].spec = global_spec;
+          subs[i].weights = server_->weights();
+          subs[i].mask = pruning::FullMask(global_spec);
+        }
       }
-    }
+    });
     const double decision_ms = ElapsedMs(decision_start);
 
     // --- (2) Local training (real SGD) + per-worker cost accounting. ---
@@ -74,50 +82,63 @@ RoundLog Trainer::Run() {
     std::vector<double> comm_times(static_cast<size_t>(num_workers));
     std::vector<double> completion_times(static_cast<size_t>(num_workers));
     std::vector<double> delta_losses(static_cast<size_t>(num_workers), 0.0);
+    std::vector<double> initial_losses(static_cast<size_t>(num_workers));
+    std::vector<double> final_losses(static_cast<size_t>(num_workers));
     std::vector<nn::TensorList> uploads(static_cast<size_t>(num_workers));
+
+    // Workers are independent: each owns its model, data shard, and RNG
+    // stream, and writes only its own slots of the pre-sized vectors above.
+    // The loss sums are reduced serially afterwards in worker order, so the
+    // aggregate — like the global model — is bit-identical to the serial
+    // engine at any thread count.
+    ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t n = lo; n < hi; ++n) {
+        const size_t i = static_cast<size_t>(n);
+        LocalTrainOptions local;
+        local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
+        local.batch_size = task_->batch_size;
+        local.learning_rate = task_->learning_rate;
+        local.momentum = task_->momentum;
+        local.weight_decay = task_->weight_decay;
+        local.proximal_mu = plans[i].proximal_mu;
+        local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+        local.is_language_model = task_->is_language_model;
+
+        LocalResult result =
+            workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
+        delta_losses[i] = result.initial_loss - result.final_loss;
+        initial_losses[i] = result.initial_loss;
+        final_losses[i] = result.final_loss;
+
+        uploads[i] = plans[i].compress_ratio > 0.0
+                         ? SparsifyUpdate(subs[i].weights, result.weights,
+                                          plans[i].compress_ratio)
+                         : std::move(result.weights);
+
+        // Simulated completion time (Eq. 5).
+        const edge::DeviceRoundSample sample =
+            edge::SampleRound(devices_[i], workers_[i]->rng());
+        comp_times[i] = edge::CompSeconds(subs[i].spec, local.tau,
+                                          local.batch_size, sample,
+                                          options_.cost);
+        const double param_bytes =
+            static_cast<double>(subs[i].spec.NumParams()) *
+            options_.cost.bytes_per_param;
+        // Compressed uploads carry a ~10% sparse-index overhead on the
+        // surviving entries.
+        const double up_bytes =
+            plans[i].compress_ratio > 0.0
+                ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
+                : param_bytes;
+        comm_times[i] =
+            edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
+        completion_times[i] = comp_times[i] + comm_times[i];
+      }
+    });
     double initial_loss_sum = 0.0, final_loss_sum = 0.0;
-
     for (int n = 0; n < num_workers; ++n) {
-      const size_t i = static_cast<size_t>(n);
-      LocalTrainOptions local;
-      local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
-      local.batch_size = task_->batch_size;
-      local.learning_rate = task_->learning_rate;
-      local.momentum = task_->momentum;
-      local.weight_decay = task_->weight_decay;
-      local.proximal_mu = plans[i].proximal_mu;
-      local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
-      local.is_language_model = task_->is_language_model;
-
-      LocalResult result =
-          workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
-      delta_losses[i] = result.initial_loss - result.final_loss;
-      initial_loss_sum += result.initial_loss;
-      final_loss_sum += result.final_loss;
-
-      uploads[i] = plans[i].compress_ratio > 0.0
-                       ? SparsifyUpdate(subs[i].weights, result.weights,
-                                        plans[i].compress_ratio)
-                       : std::move(result.weights);
-
-      // Simulated completion time (Eq. 5).
-      const edge::DeviceRoundSample sample =
-          edge::SampleRound(devices_[i], workers_[i]->rng());
-      comp_times[i] = edge::CompSeconds(subs[i].spec, local.tau,
-                                        local.batch_size, sample,
-                                        options_.cost);
-      const double param_bytes =
-          static_cast<double>(subs[i].spec.NumParams()) *
-          options_.cost.bytes_per_param;
-      // Compressed uploads carry a ~10% sparse-index overhead on the
-      // surviving entries.
-      const double up_bytes =
-          plans[i].compress_ratio > 0.0
-              ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
-              : param_bytes;
-      comm_times[i] =
-          edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
-      completion_times[i] = comp_times[i] + comm_times[i];
+      initial_loss_sum += initial_losses[static_cast<size_t>(n)];
+      final_loss_sum += final_losses[static_cast<size_t>(n)];
     }
 
     // --- (3) Failure injection + deadline policy. ---

@@ -32,6 +32,11 @@ struct TrainerOptions {
   double crash_prob = 0.0;  // per-worker per-round failure injection
   uint64_t seed = 1;
   bool verbose = false;
+  // Execution lanes for the parallel engine (per-worker rounds + kernels).
+  // 0 = auto (FEDMP_THREADS env var, else hardware_concurrency); 1 runs the
+  // exact serial path. The global model is bit-identical at any value —
+  // see DESIGN.md "Threading model".
+  int num_threads = 0;
 };
 
 // The synchronous FedMP framework engine (Fig. 1): per round it runs

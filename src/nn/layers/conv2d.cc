@@ -1,6 +1,7 @@
 #include "nn/layers/conv2d.h"
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "nn/initializers.h"
 #include "nn/tensor_ops.h"
 
@@ -14,17 +15,15 @@ int64_t Conv2d::OutSize(int64_t in, int64_t kernel, int64_t stride,
   return numer / stride + 1;
 }
 
-Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
-              int64_t padding) {
-  FEDMP_CHECK_EQ(x.ndim(), 4);
-  const int64_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  const int64_t oh = Conv2d::OutSize(h, kernel, stride, padding);
-  const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
+namespace {
+// Expands images [b0, b1) into their rows of `cols`. Each image owns a
+// disjoint slice of the output, so batch-parallel expansion is race-free
+// and bit-identical to the serial loop.
+void Im2ColRange(const float* px, float* pc, int64_t b0, int64_t b1,
+                 int64_t c, int64_t h, int64_t w, int64_t oh, int64_t ow,
+                 int64_t kernel, int64_t stride, int64_t padding) {
   const int64_t patch = c * kernel * kernel;
-  Tensor cols({batch * oh * ow, patch});
-  const float* px = x.data();
-  float* pc = cols.data();
-  for (int64_t b = 0; b < batch; ++b) {
+  for (int64_t b = b0; b < b1; ++b) {
     const float* img = px + b * c * h * w;
     for (int64_t oy = 0; oy < oh; ++oy) {
       for (int64_t ox = 0; ox < ow; ++ox) {
@@ -45,6 +44,21 @@ Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
       }
     }
   }
+}
+}  // namespace
+
+Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
+              int64_t padding) {
+  FEDMP_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = Conv2d::OutSize(h, kernel, stride, padding);
+  const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
+  const int64_t patch = c * kernel * kernel;
+  Tensor cols({batch * oh * ow, patch});
+  ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    Im2ColRange(x.data(), cols.data(), b0, b1, c, h, w, oh, ow, kernel,
+                stride, padding);
+  });
   return cols;
 }
 
@@ -59,7 +73,9 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
   Tensor img({batch, channels, h, w});
   const float* pc = cols.data();
   float* px = img.data();
-  for (int64_t b = 0; b < batch; ++b) {
+  // Scatter-adds stay within image b's plane, so batch-parallel is safe.
+  ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+  for (int64_t b = b0; b < b1; ++b) {
     float* out = px + b * channels * h * w;
     for (int64_t oy = 0; oy < oh; ++oy) {
       for (int64_t ox = 0; ox < ow; ++ox) {
@@ -82,6 +98,7 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
       }
     }
   }
+  });
   return img;
 }
 

@@ -1,6 +1,9 @@
 #include "nn/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace fedmp::nn {
 
@@ -8,6 +11,73 @@ namespace {
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   FEDMP_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
                               << " vs " << b.ShapeString();
+}
+
+// Cache tiles for the blocked matmuls. The k/j blocks keep one A panel, one
+// B panel, and one C panel resident in L1/L2; the row grain is the minimum
+// panel handed to a pool lane. Per output element the kk loop still runs
+// 0..k-1 in ascending order across k-blocks, so blocking never changes the
+// accumulation order relative to the scalar loop.
+constexpr int64_t kKBlock = 64;
+constexpr int64_t kJBlock = 256;
+constexpr int64_t kRowGrain = 8;
+// Below this many multiply-adds the scalar loop wins; also the cutoff for
+// spawning pool work.
+constexpr int64_t kMinParallelFlops = 1 << 15;
+
+// C[i0:i1, :] += A[i0:i1, :] @ B for the ikj kernel, cache-blocked.
+void MatmulPanel(const float* pa, const float* pb, float* pc, int64_t i0,
+                 int64_t i1, int64_t k, int64_t n) {
+  for (int64_t kb = 0; kb < k; kb += kKBlock) {
+    const int64_t kend = std::min(k, kb + kKBlock);
+    for (int64_t jb = 0; jb < n; jb += kJBlock) {
+      const int64_t jend = std::min(n, jb + kJBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const float av = arow[kk];
+          const float* brow = pb + kk * n;
+          for (int64_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// C[i0:i1, :] = A[i0:i1, :] @ B^T (dot-product kernel); the scalar
+// accumulator keeps the kk order identical to the serial loop.
+void MatmulTransBPanel(const float* pa, const float* pb, float* pc,
+                       int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t jb = 0; jb < n; jb += kJBlock) {
+    const int64_t jend = std::min(n, jb + kJBlock);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = jb; j < jend; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+// C[k0:k1, :] += A[:, k0:k1]^T @ B; each lane owns a disjoint output-row
+// range [k0, k1) and accumulates over i in ascending order.
+void MatmulTransAPanel(const float* pa, const float* pb, float* pc,
+                       int64_t k0, int64_t k1, int64_t m, int64_t k,
+                       int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (int64_t kk = k0; kk < k1; ++kk) {
+      const float av = arow[kk];
+      float* crow = pc + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
 }
 }  // namespace
 
@@ -66,17 +136,47 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // ikj loop order: streams through B and C rows for cache friendliness.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (m * k * n < kMinParallelFlops) {
+    // ikj loop order: streams through B and C rows for cache friendliness.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+    return c;
   }
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    MatmulPanel(pa, pb, pc, i0, i1, k, n);
+  });
+  return c;
+}
+
+Tensor MatmulSparseA(const Tensor& a, const Tensor& b) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  FEDMP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDMP_CHECK_EQ(k, b.dim(0)) << "MatmulSparseA inner dimension mismatch";
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const int64_t grain = m * k * n < kMinParallelFlops ? m : kRowGrain;
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
   return c;
 }
 
@@ -89,16 +189,22 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
+  if (m * k * n < kMinParallelFlops) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
     }
+    return c;
   }
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    MatmulTransBPanel(pa, pb, pc, i0, i1, k, n);
+  });
   return c;
 }
 
@@ -111,16 +217,21 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = pc + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (m * k * n < kMinParallelFlops) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        float* crow = pc + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+    return c;
   }
+  ParallelFor(0, k, kRowGrain, [&](int64_t k0, int64_t k1) {
+    MatmulTransAPanel(pa, pb, pc, k0, k1, m, k, n);
+  });
   return c;
 }
 

@@ -28,11 +28,24 @@ void ScaleInPlace(Tensor& a, float s);
 void AddInPlace(Tensor& a, const Tensor& b);
 
 // C[m,n] = A[m,k] @ B[k,n].
+//
+// The three matmuls below are cache-blocked and, above a size threshold,
+// parallelized over disjoint output-row panels on the global thread pool.
+// Per output element the floating-point accumulation order is the same as
+// the scalar triple loop at every thread count, so results are
+// bit-identical whether run serially or on N threads.
 Tensor Matmul(const Tensor& a, const Tensor& b);
 // C[m,n] = A[m,k] @ B[n,k]^T — avoids materializing the transpose.
 Tensor MatmulTransB(const Tensor& a, const Tensor& b);
 // C[k,n] = A[m,k]^T @ B[m,n].
 Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+// C[m,n] = A[m,k] @ B[k,n] where A is expected to be mostly zeros (masked
+// or sparsified operands from the pruning paths). Skips the inner update
+// when A's element is exactly 0.0f — a win on sparse A, a per-element
+// branch penalty on dense A, which is why the dense kernels above do not
+// do it. Matches Matmul bit-for-bit on finite inputs.
+Tensor MatmulSparseA(const Tensor& a, const Tensor& b);
 
 // 2-D transpose.
 Tensor Transpose2D(const Tensor& a);

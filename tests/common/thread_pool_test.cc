@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+namespace fedmp {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const auto& [begin, end, grain] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {0, 1, 1}, {0, 7, 1}, {0, 100, 1}, {0, 100, 33}, {5, 98, 7},
+           {0, 3, 100}, {0, 1000, 1}}) {
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(end));
+    for (auto& h : hits) h = 0;
+    pool.ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (int64_t i = begin; i < end; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " in [" << begin << "," << end << ") grain "
+          << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(3, 3, 1, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(5, 2, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t covered = 0;
+  pool.ParallelFor(0, 50, 1, [&](int64_t lo, int64_t hi) {
+    covered += hi - lo;  // safe: inline on the caller
+  });
+  EXPECT_EQ(covered, 50);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // The nested call must run inline (InPoolWorker() on pool lanes).
+      int64_t inner = 0;
+      pool.ParallelFor(0, 10, 1, [&](int64_t a, int64_t b) {
+        inner += b - a;
+      });
+      total.fetch_add(inner);
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.ParallelFor(0, 100, 60, [&](int64_t, int64_t) { chunks.fetch_add(1); });
+  // 100 iterations at grain 60 permit at most ceil(100/60) = 2 chunks.
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPrecedence) {
+  unsetenv("FEDMP_THREADS");
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);  // hardware fallback
+  setenv("FEDMP_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 5);
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 5);  // env wins over the knob
+  setenv("FEDMP_THREADS", "not-a-number", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(2), 2);  // bad env is ignored
+  unsetenv("FEDMP_THREADS");
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+  std::atomic<int64_t> n{0};
+  ParallelFor(0, 17, 1, [&](int64_t lo, int64_t hi) { n.fetch_add(hi - lo); });
+  EXPECT_EQ(n.load(), 17);
+}
+
+}  // namespace
+}  // namespace fedmp

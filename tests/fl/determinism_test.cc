@@ -1,0 +1,98 @@
+// Regression test for the determinism contract of the parallel execution
+// engine (DESIGN.md "Threading model"): the same seed must produce
+// bit-identical global weights and round logs at any thread count.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "fl/async_trainer.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::fl {
+namespace {
+
+struct RunResult {
+  nn::TensorList weights;
+  RoundLog log;
+};
+
+RunResult RunSyncWithThreads(int num_threads) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+RunResult RunAsyncWithThreads(int num_threads) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  AsyncTrainerOptions opt;
+  opt.base.max_rounds = 4;
+  opt.base.eval_every = 2;
+  opt.base.eval_batch_size = 16;
+  opt.base.seed = 3;
+  opt.base.num_threads = num_threads;
+  opt.m = 2;
+  Rng rng(opt.base.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  AsyncTrainer trainer(&task, fleet, std::move(partition),
+                       std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+void ExpectIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_TRUE(a.weights[i].SameShape(b.weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(a.weights[i], b.weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(a.log.records().size(), b.log.records().size());
+  for (size_t i = 0; i < a.log.records().size(); ++i) {
+    const auto& ra = a.log.records()[i];
+    const auto& rb = b.log.records()[i];
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_loss, rb.test_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_accuracy, rb.test_accuracy) << "round " << ra.round;
+    EXPECT_EQ(ra.mean_ratio, rb.mean_ratio) << "round " << ra.round;
+    EXPECT_EQ(ra.sim_time, rb.sim_time) << "round " << ra.round;
+  }
+}
+
+TEST(DeterminismTest, SyncTrainerBitIdenticalAtOneAndFourThreads) {
+  const RunResult serial = RunSyncWithThreads(1);
+  const RunResult parallel = RunSyncWithThreads(4);
+  ExpectIdentical(serial, parallel);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(DeterminismTest, AsyncTrainerBitIdenticalAtOneAndFourThreads) {
+  const RunResult serial = RunAsyncWithThreads(1);
+  const RunResult parallel = RunAsyncWithThreads(4);
+  ExpectIdentical(serial, parallel);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

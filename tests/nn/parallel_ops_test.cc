@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/initializers.h"
+#include "nn/layers/conv2d.h"
+#include "nn/tensor_ops.h"
+
+namespace fedmp::nn {
+namespace {
+
+// Naive double-accumulator references, independent of the production
+// kernels' loop order and blocking.
+Tensor RefMatmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a(i, kk)) * b(kk, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor RefMatmulTransB(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a(i, kk)) * b(j, kk);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor RefMatmulTransA(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({k, n});
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < m; ++i) {
+        acc += static_cast<double>(a(i, kk)) * b(i, j);
+      }
+      c(kk, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+// Odd shapes on purpose: 1x1, tall-skinny, wide, sizes that do not divide
+// the kernels' k/j blocks or the row grain, and sizes straddling the
+// parallel threshold.
+struct Shape {
+  int64_t m, k, n;
+};
+const std::vector<Shape> kShapes = {
+    {1, 1, 1},   {1, 7, 1},    {3, 1, 5},     {8, 8, 8},    {33, 17, 65},
+    {300, 2, 3}, {2, 300, 4},  {5, 257, 129}, {64, 64, 64}, {129, 65, 257},
+    {1, 500, 1}, {100, 1, 100}};
+
+void ExpectNear(const Tensor& got, const Tensor& want, const char* what,
+                const Shape& s) {
+  ASSERT_TRUE(got.SameShape(want));
+  const double worst = MaxAbsDiff(got, want);
+  EXPECT_LT(worst, 1e-3) << what << " m=" << s.m << " k=" << s.k
+                         << " n=" << s.n;
+}
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const char* what, const Shape& s) {
+  ASSERT_TRUE(got.SameShape(want));
+  const float* x = got.data();
+  const float* y = want.data();
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(x[i], y[i]) << what << " element " << i << " m=" << s.m
+                          << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+class MatmulEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulEquivalenceTest, AllVariantsMatchReferenceAcrossShapes) {
+  ThreadPool::SetGlobalThreads(GetParam());
+  Rng rng(7);
+  for (const Shape& s : kShapes) {
+    Tensor a({s.m, s.k}), b({s.k, s.n}), bt({s.n, s.k}), ta({s.m, s.n});
+    UniformInit(a, -1, 1, rng);
+    UniformInit(b, -1, 1, rng);
+    UniformInit(bt, -1, 1, rng);
+    UniformInit(ta, -1, 1, rng);
+    ExpectNear(Matmul(a, b), RefMatmul(a, b), "Matmul", s);
+    ExpectNear(MatmulTransB(a, bt), RefMatmulTransB(a, bt), "MatmulTransB",
+               s);
+    ExpectNear(MatmulTransA(a, ta), RefMatmulTransA(a, ta), "MatmulTransA",
+               s);
+  }
+}
+
+TEST_P(MatmulEquivalenceTest, SparseAMatchesDenseOnMaskedInput) {
+  ThreadPool::SetGlobalThreads(GetParam());
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    Tensor a({s.m, s.k}), b({s.k, s.n});
+    UniformInit(a, -1, 1, rng);
+    UniformInit(b, -1, 1, rng);
+    // Mask ~70% of A to zero, like a sparsified upload.
+    float* pa = a.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      if (rng.NextDouble() < 0.7) pa[i] = 0.0f;
+    }
+    ExpectBitIdentical(MatmulSparseA(a, b), Matmul(a, b), "MatmulSparseA",
+                       s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MatmulEquivalenceTest,
+                         ::testing::Values(1, 4));
+
+TEST(ParallelKernelDeterminismTest, MatmulBitIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    Tensor a({s.m, s.k}), b({s.k, s.n}), bt({s.n, s.k}), ta({s.m, s.n});
+    UniformInit(a, -1, 1, rng);
+    UniformInit(b, -1, 1, rng);
+    UniformInit(bt, -1, 1, rng);
+    UniformInit(ta, -1, 1, rng);
+    ThreadPool::SetGlobalThreads(1);
+    const Tensor c1 = Matmul(a, b);
+    const Tensor tb1 = MatmulTransB(a, bt);
+    const Tensor ta1 = MatmulTransA(a, ta);
+    ThreadPool::SetGlobalThreads(4);
+    ExpectBitIdentical(Matmul(a, b), c1, "Matmul", s);
+    ExpectBitIdentical(MatmulTransB(a, bt), tb1, "MatmulTransB", s);
+    ExpectBitIdentical(MatmulTransA(a, ta), ta1, "MatmulTransA", s);
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ParallelKernelDeterminismTest, ConvForwardBackwardAcrossThreadCounts) {
+  Rng rng(17);
+  Tensor x({5, 3, 13, 11});  // odd batch/spatial sizes
+  UniformInit(x, -1, 1, rng);
+
+  ThreadPool::SetGlobalThreads(1);
+  Rng wrng1(23);
+  Conv2d conv1(3, 6, 3, 1, 1, true, wrng1);
+  const Tensor y1 = conv1.Forward(x, true);
+  Tensor grad(y1.shape());
+  UniformInit(grad, -1, 1, rng);
+  const Tensor dx1 = conv1.Backward(grad);
+
+  ThreadPool::SetGlobalThreads(4);
+  Rng wrng2(23);
+  Conv2d conv2(3, 6, 3, 1, 1, true, wrng2);
+  const Tensor y2 = conv2.Forward(x, true);
+  const Tensor dx2 = conv2.Backward(grad);
+
+  EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(dx1, dx2), 0.0);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace fedmp::nn
