@@ -14,8 +14,8 @@ bool Later(const Event& a, const Event& b) {
 }
 }  // namespace
 
-void EventQueue::Push(double time, int worker) {
-  heap_.push_back(Event{time, worker, next_sequence_++});
+void EventQueue::Push(double time, int worker, int64_t tag) {
+  heap_.push_back(Event{time, worker, tag, next_sequence_++});
   std::push_heap(heap_.begin(), heap_.end(), Later);
 }
 

@@ -11,6 +11,9 @@ namespace fedmp::edge {
 struct Event {
   double time = 0.0;
   int worker = 0;
+  // Opaque payload; the async trainer stores the dispatch generation so
+  // stale duplicate deliveries can be recognized and discarded.
+  int64_t tag = 0;
   // Monotonic tiebreaker: events at equal times pop in push order, making
   // the async schedule fully deterministic.
   uint64_t sequence = 0;
@@ -19,7 +22,7 @@ struct Event {
 // Min-heap of events ordered by (time, sequence).
 class EventQueue {
  public:
-  void Push(double time, int worker);
+  void Push(double time, int worker, int64_t tag = 0);
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 

@@ -17,7 +17,13 @@ DeadlineOutcome ApplyDeadline(const std::vector<double>& completion_times,
   for (double t : completion_times) {
     if (std::isfinite(t)) finite.push_back(t);
   }
-  FEDMP_CHECK(!finite.empty()) << "every worker crashed this round";
+  if (finite.empty()) {
+    // Every worker crashed: the PS waits out its timeout and the round
+    // degrades gracefully — no survivors, no aggregation.
+    out.deadline = std::numeric_limits<double>::infinity();
+    out.round_time = policy.empty_round_wait;
+    return out;
+  }
 
   if (!policy.enabled) {
     out.deadline = std::numeric_limits<double>::infinity();
@@ -52,6 +58,7 @@ DeadlineOutcome ApplyDeadline(const std::vector<double>& completion_times,
   if (out.survivors.size() < completion_times.size()) {
     out.round_time = out.deadline;
   }
+  // The quantile worker itself always makes the deadline (slack >= 1).
   FEDMP_CHECK(!out.survivors.empty());
   return out;
 }
@@ -64,6 +71,74 @@ void InjectCrashes(double crash_prob, Rng& rng,
       t = std::numeric_limits<double>::infinity();
     }
   }
+}
+
+FaultPlan::FaultPlan(int num_workers, const FaultPlanOptions& options)
+    : num_workers_(num_workers), options_(options) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  FEDMP_CHECK(options.crash_prob >= 0.0 && options.crash_prob <= 1.0);
+  FEDMP_CHECK(options.straggle_prob >= 0.0 && options.straggle_prob <= 1.0);
+  FEDMP_CHECK(options.corrupt_prob >= 0.0 && options.corrupt_prob <= 1.0);
+  FEDMP_CHECK_GE(options.straggle_factor, 1.0);
+  FEDMP_CHECK_GE(options.rejoin_after, 1);
+  active_ = options.any();
+}
+
+Rng FaultPlan::StreamFor(int64_t round, int worker) const {
+  // One independent stream per (round, worker); the Rng constructor feeds
+  // the mix through splitmix64, decorrelating nearby pairs.
+  return Rng(options_.seed ^
+             (static_cast<uint64_t>(round + 1) * 0xD6E8FEB86659FD93ULL) ^
+             (static_cast<uint64_t>(worker + 1) * 0x8CB92BA72F3D8DD7ULL));
+}
+
+bool FaultPlan::CrashesAt(int64_t round, int worker) const {
+  if (options_.crash_prob <= 0.0) return false;
+  Rng rng = StreamFor(round, worker);
+  // The crash decision is always the FIRST draw of a stream, so IsDown can
+  // probe past rounds without replaying their full fault vectors.
+  return rng.NextDouble() < options_.crash_prob;
+}
+
+bool FaultPlan::IsDown(int64_t round, int worker) const {
+  if (!active_ || options_.crash_prob <= 0.0) return false;
+  const int64_t window = options_.rejoin_after;
+  const int64_t first = std::max<int64_t>(0, round - window + 1);
+  for (int64_t r = first; r <= round; ++r) {
+    if (CrashesAt(r, worker)) return true;
+  }
+  return false;
+}
+
+int FaultPlan::CountAlive(int64_t round) const {
+  if (!active_) return num_workers_;
+  int alive = 0;
+  for (int n = 0; n < num_workers_; ++n) {
+    if (!IsDown(round, n)) ++alive;
+  }
+  return alive;
+}
+
+WorkerRoundFaults FaultPlan::FaultsFor(int64_t round, int worker) const {
+  WorkerRoundFaults out;
+  if (!active_) return out;
+  FEDMP_CHECK(worker >= 0 && worker < num_workers_);
+  FEDMP_CHECK_GE(round, 0);
+  Rng rng = StreamFor(round, worker);
+  rng.NextDouble();  // the crash draw, consumed so later draws line up
+  out.crashed = IsDown(round, worker);
+  const double straggle_draw = rng.NextDouble();
+  const double corrupt_draw = rng.NextDouble();
+  if (straggle_draw < options_.straggle_prob) {
+    out.slowdown = options_.straggle_factor;
+  }
+  out.update_corrupted = corrupt_draw < options_.corrupt_prob;
+  const MessageFate fate = TransmitUpdate(
+      options_.channel, options_.seed ^ 0xC0FFEEULL, round, worker);
+  out.update_dropped = !fate.delivered;
+  out.update_duplicated = fate.copies > 1;
+  out.extra_delay = fate.delay_seconds;
+  return out;
 }
 
 }  // namespace fedmp::edge

@@ -1,9 +1,11 @@
 #ifndef FEDMP_EDGE_FAULT_H_
 #define FEDMP_EDGE_FAULT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "edge/network.h"
 
 namespace fedmp::edge {
 
@@ -15,14 +17,20 @@ struct DeadlinePolicy {
   double quantile = 0.85;
   double slack = 1.5;
   bool enabled = true;
+  // How long the PS waits before declaring a round lost when NO update
+  // arrives (every worker crashed or every upload was dropped). The round
+  // then degrades gracefully: empty survivor set, previous global kept.
+  double empty_round_wait = 1.0;
 };
 
 struct DeadlineOutcome {
   // Workers (indices into the input vector) whose updates arrive in time.
+  // Empty when every worker crashed — the caller must skip aggregation.
   std::vector<int> survivors;
   double deadline = 0.0;
   // The time the PS waits this round: max survivor time, capped by the
-  // deadline when stragglers are dropped.
+  // deadline when stragglers are dropped; `empty_round_wait` when nobody
+  // arrives at all.
   double round_time = 0.0;
 };
 
@@ -34,6 +42,81 @@ DeadlineOutcome ApplyDeadline(const std::vector<double>& completion_times,
 // +infinity, so the deadline policy drops it).
 void InjectCrashes(double crash_prob, Rng& rng,
                    std::vector<double>* completion_times);
+
+// ---- Deterministic fault-injection plan ----------------------------------
+//
+// A seeded schedule of per-worker, per-round fault events for chaos testing
+// the whole FL stack. Every fate is a pure function of
+// (seed, round, worker): query order and query count never change the trace,
+// so the same seed replays the same failure sequence bit-for-bit in the
+// sync engine, the async engine, and at any thread count.
+struct FaultPlanOptions {
+  // Worker crashes this round; it stays down for `rejoin_after` rounds
+  // (its update is lost and it receives no dispatch until it rejoins).
+  double crash_prob = 0.0;
+  int64_t rejoin_after = 1;  // rounds a crashed worker stays down (>= 1)
+  // Worker straggles: completion time multiplied by `straggle_factor`.
+  double straggle_prob = 0.0;
+  double straggle_factor = 4.0;
+  // Payload corruption: the upload arrives but carries NaN/garbage values
+  // (the PS must screen and reject it).
+  double corrupt_prob = 0.0;
+  // Message-level faults on the worker->PS uplink (loss, duplication,
+  // delay) — see edge/network.h.
+  ChannelFaultConfig channel;
+  // 0 = derive from the trainer seed; any other value fixes the trace
+  // independently of the learning seed.
+  uint64_t seed = 0;
+
+  bool any() const {
+    return crash_prob > 0.0 || straggle_prob > 0.0 || corrupt_prob > 0.0 ||
+           channel.any();
+  }
+};
+
+// Everything that happens to one worker in one round.
+struct WorkerRoundFaults {
+  bool crashed = false;          // down this round (crash or rejoin window)
+  double slowdown = 1.0;         // completion-time multiplier (>= 1)
+  bool update_dropped = false;   // upload lost on the wire
+  bool update_duplicated = false;  // upload delivered twice
+  bool update_corrupted = false;   // upload payload is garbage
+  double extra_delay = 0.0;        // channel delay seconds
+
+  // The update reaches the PS at all (it may still be corrupt).
+  bool Arrives() const { return !crashed && !update_dropped; }
+};
+
+class FaultPlan {
+ public:
+  // Inactive plan: FaultsFor always reports a clean round.
+  FaultPlan() = default;
+  FaultPlan(int num_workers, const FaultPlanOptions& options);
+
+  bool active() const { return active_; }
+  int num_workers() const { return num_workers_; }
+  const FaultPlanOptions& options() const { return options_; }
+
+  // The fate of `worker` in `round`. Pure function of the seed.
+  WorkerRoundFaults FaultsFor(int64_t round, int worker) const;
+
+  // True when the worker is down in `round` — either it crashed in `round`
+  // or a crash within the previous `rejoin_after - 1` rounds has not healed
+  // yet.
+  bool IsDown(int64_t round, int worker) const;
+
+  // Number of workers not down in `round` (all of them when inactive).
+  int CountAlive(int64_t round) const;
+
+ private:
+  // The raw crash draw for (round, worker), ignoring the rejoin window.
+  bool CrashesAt(int64_t round, int worker) const;
+  Rng StreamFor(int64_t round, int worker) const;
+
+  int num_workers_ = 0;
+  FaultPlanOptions options_;
+  bool active_ = false;
+};
 
 }  // namespace fedmp::edge
 

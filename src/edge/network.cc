@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace fedmp::edge {
 
@@ -21,6 +22,31 @@ void AssignLinkByDistance(double distance_m, const WirelessLinkConfig& config,
       config.base_uplink_bytes_per_sec * factor;
   profile->downlink_bytes_per_sec =
       config.base_downlink_bytes_per_sec * factor;
+}
+
+MessageFate TransmitUpdate(const ChannelFaultConfig& config, uint64_t seed,
+                           int64_t round, int worker) {
+  FEDMP_CHECK(config.loss_prob >= 0.0 && config.loss_prob <= 1.0);
+  FEDMP_CHECK(config.duplicate_prob >= 0.0 && config.duplicate_prob <= 1.0);
+  FEDMP_CHECK_GE(config.max_delay_seconds, 0.0);
+  MessageFate fate;
+  if (!config.any()) return fate;
+  // One independent stream per (round, worker); the Rng constructor runs the
+  // mix through splitmix64, decorrelating nearby (round, worker) pairs.
+  Rng rng(seed ^
+          (static_cast<uint64_t>(round + 1) * 0xA24BAED4963EE407ULL) ^
+          (static_cast<uint64_t>(worker + 1) * 0x9FB21C651E98DF25ULL));
+  // Fixed draw order keeps traces stable when individual knobs are toggled.
+  const double loss_draw = rng.NextDouble();
+  const double dup_draw = rng.NextDouble();
+  const double delay_draw = rng.NextDouble();
+  if (loss_draw < config.loss_prob) {
+    fate.delivered = false;
+    return fate;
+  }
+  if (dup_draw < config.duplicate_prob) fate.copies = 2;
+  fate.delay_seconds = delay_draw * config.max_delay_seconds;
+  return fate;
 }
 
 }  // namespace fedmp::edge

@@ -1,6 +1,8 @@
 #ifndef FEDMP_EDGE_NETWORK_H_
 #define FEDMP_EDGE_NETWORK_H_
 
+#include <cstdint>
+
 #include "edge/device.h"
 
 namespace fedmp::edge {
@@ -24,6 +26,35 @@ void AssignLinkByDistance(double distance_m, const WirelessLinkConfig& config,
 
 // Throughput multiplier at `distance_m` relative to the reference distance.
 double PathLossFactor(double distance_m, const WirelessLinkConfig& config);
+
+// ---- Lossy channel model -------------------------------------------------
+//
+// Message-level fault behaviour of the worker->PS uplink: an update can be
+// lost, delivered twice (retransmission races), or delayed. Fates are a pure
+// function of (seed, round, worker), so the same seed replays the same
+// channel trace no matter in what order — or how many times — fates are
+// queried. FaultPlan (edge/fault.h) composes this with worker-level faults.
+struct ChannelFaultConfig {
+  double loss_prob = 0.0;       // update never reaches the PS
+  double duplicate_prob = 0.0;  // update delivered twice
+  double max_delay_seconds = 0.0;  // uniform extra in-flight delay in [0, max]
+
+  bool any() const {
+    return loss_prob > 0.0 || duplicate_prob > 0.0 ||
+           max_delay_seconds > 0.0;
+  }
+};
+
+// What happened to one worker's uploaded update on the wire this round.
+struct MessageFate {
+  bool delivered = true;
+  int copies = 1;              // 2 when the channel duplicated the message
+  double delay_seconds = 0.0;  // extra latency on top of the cost model
+};
+
+// Deterministic fate of the update `worker` uploads in `round`.
+MessageFate TransmitUpdate(const ChannelFaultConfig& config, uint64_t seed,
+                           int64_t round, int worker);
 
 }  // namespace fedmp::edge
 

@@ -1,6 +1,8 @@
 #include "fl/async_trainer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
@@ -22,7 +24,15 @@ struct InFlight {
   double delta_loss = 0.0;
   double final_loss = 0.0;
   double ratio = 0.0;
+  // Fault bookkeeping. `generation` stamps the dispatch; queue events carry
+  // it as their tag so deliveries of superseded dispatches are discarded.
+  int64_t generation = 0;
+  bool failed = false;    // crash / lost upload / timeout: nothing arrives,
+                          // the PS only detects the failure at event time
+  bool consumed = false;  // first delivery processed (dedups duplicates)
 };
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
@@ -41,12 +51,16 @@ AsyncTrainer::AsyncTrainer(const data::FlTask* task,
   FEDMP_CHECK_EQ(devices_.size(), partition.size());
   FEDMP_CHECK(options_.m >= 1 &&
               options_.m <= static_cast<int>(devices_.size()));
+  FEDMP_CHECK(options_.max_redispatch_per_round >= 0);
   FEDMP_CHECK(strategy_->SupportsAsync())
       << strategy_->Name() << " cannot run asynchronously";
   ThreadPool::SetGlobalThreads(
       ThreadPool::ResolveThreads(options_.base.num_threads));
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.base.seed ^ 0x5EEDULL);
+  fault_plan_ = internal::ResolveFaultPlan(options_.base,
+                                           static_cast<int>(devices_.size()));
+  coverage_ = ParameterCoverage(task_->model);
   strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
   for (size_t n = 0; n < devices_.size(); ++n) {
     workers_.push_back(std::make_unique<Worker>(
@@ -66,16 +80,22 @@ RoundLog AsyncTrainer::Run() {
                             : static_cast<double>(options_.m) /
                                   static_cast<double>(num_workers);
   std::vector<InFlight> inflight(static_cast<size_t>(num_workers));
+  int64_t next_generation = 1;
+  // Running mean of successful arrival durations, for the opt-in timeout.
+  double duration_sum = 0.0;
+  int64_t duration_count = 0;
 
   // Dispatches freshly planned sub-models to `ids` at the current clock,
-  // trains them eagerly, and schedules their arrivals. Three phases keep
-  // the result bit-identical to dispatching serially in `ids` order:
+  // trains them eagerly, applies this round's fault plan, and schedules
+  // their arrivals (or failure detections). Three phases keep the result
+  // bit-identical to dispatching serially in `ids` order:
   //   1. serial planning — PlanWorker mutates strategy state (incl. its
   //      RNG), so it runs in today's order;
   //   2. parallel work — prune + local SGD + cost sampling + residual
   //      touch only worker-owned state and read-only globals;
-  //   3. serial commit — inflight slots and queue pushes in `ids` order,
-  //      so event-queue tie-breaking is unchanged.
+  //   3. serial commit — fault draws (pure per (round, worker)), inflight
+  //      slots and queue pushes in `ids` order, so event-queue
+  //      tie-breaking is unchanged.
   auto dispatch_all = [&](const std::vector<int>& ids, int64_t round) {
     const int64_t count = static_cast<int64_t>(ids.size());
     std::vector<WorkerRoundPlan> plans(static_cast<size_t>(count));
@@ -139,8 +159,40 @@ RoundLog AsyncTrainer::Run() {
 
     for (int64_t j = 0; j < count; ++j) {
       const size_t jj = static_cast<size_t>(j);
-      inflight[static_cast<size_t>(ids[jj])] = std::move(prepared[jj]);
-      queue.Push(clock.now() + durations[jj], ids[jj]);
+      const int id = ids[jj];
+      InFlight slot = std::move(prepared[jj]);
+      double duration = durations[jj];
+      slot.generation = next_generation++;
+
+      bool duplicated = false;
+      if (fault_plan_.active()) {
+        const edge::WorkerRoundFaults faults = fault_plan_.FaultsFor(round, id);
+        duration = duration * faults.slowdown + faults.extra_delay;
+        slot.failed = !faults.Arrives();
+        if (!slot.failed) {
+          if (faults.update_corrupted) {
+            internal::CorruptPayload(&slot.trained_weights);
+          }
+          duplicated = faults.update_duplicated;
+        }
+      }
+      // Opt-in straggler timeout: once a full cohort of arrivals has been
+      // observed, the PS stops waiting for any dispatch at
+      // slack * mean-arrival-duration and treats it as failed.
+      if (options_.apply_deadline_timeout && !slot.failed &&
+          duration_count >= num_workers) {
+        const double limit = options_.base.deadline.slack *
+                             (duration_sum / static_cast<double>(duration_count));
+        if (duration > limit) {
+          duration = limit;
+          slot.failed = true;
+        }
+      }
+
+      const double arrival = clock.now() + duration;
+      queue.Push(arrival, id, slot.generation);
+      if (duplicated) queue.Push(arrival, id, slot.generation);
+      inflight[static_cast<size_t>(id)] = std::move(slot);
     }
   };
 
@@ -151,65 +203,132 @@ RoundLog AsyncTrainer::Run() {
   }
 
   for (int64_t round = 0; round < options_.base.max_rounds; ++round) {
-    // Collect the first m arrivals (Algorithm 2 lines 4-7).
+    // m-fallback: when the fault plan leaves fewer than m workers alive this
+    // round, the PS settles for every valid arrival it can still collect.
+    const int target_m = fault_plan_.active()
+                             ? std::min(options_.m, std::max(
+                                   fault_plan_.CountAlive(round), 1))
+                             : options_.m;
+
+    // Collect the first target_m valid arrivals (Algorithm 2 lines 4-7).
+    // Failure detections (crash, lost upload, timeout) and rejected corrupt
+    // payloads trigger a bounded re-dispatch; past the budget the worker is
+    // parked until the next round.
     std::vector<int> arrived;
     std::vector<double> arrival_durations;
-    double last_arrival = clock.now();
-    for (int j = 0; j < options_.m; ++j) {
-      const edge::Event event = queue.Pop();
-      arrived.push_back(event.worker);
-      last_arrival = event.time;
-      arrival_durations.push_back(
-          event.time -
-          inflight[static_cast<size_t>(event.worker)].dispatch_time);
-    }
-    clock.AdvanceTo(last_arrival);
-
-    // Update the global model from the m recovered models (+ residuals).
-    nn::TensorList sum;
-    double final_loss_sum = 0.0, ratio_sum = 0.0;
-    for (int worker : arrived) {
-      const InFlight& f = inflight[static_cast<size_t>(worker)];
-      auto recovered =
-          pruning::RecoverToFull(global_spec, f.trained_weights, f.mask);
-      FEDMP_CHECK(recovered.ok()) << recovered.status();
-      nn::TensorList contribution = std::move(recovered).value();
-      nn::AxpyLists(contribution, 1.0f, f.residual);
-      if (sum.empty()) {
-        sum = std::move(contribution);
+    std::vector<int> parked;
+    std::vector<int> redispatches(static_cast<size_t>(num_workers), 0);
+    int64_t rejected = 0;
+    int64_t duplicates = 0;
+    auto retire = [&](int worker) {
+      strategy_->ObserveWorker(round, worker, kInf, 1.0, 0.0);
+      if (redispatches[static_cast<size_t>(worker)] <
+          options_.max_redispatch_per_round) {
+        ++redispatches[static_cast<size_t>(worker)];
+        dispatch_all({worker}, round);
       } else {
-        nn::AxpyLists(sum, 1.0f, contribution);
+        parked.push_back(worker);
       }
-      final_loss_sum += f.final_loss;
-      ratio_sum += f.ratio;
+    };
+    while (static_cast<int>(arrived.size()) < target_m && !queue.empty()) {
+      const edge::Event event = queue.Pop();
+      InFlight& f = inflight[static_cast<size_t>(event.worker)];
+      if (event.tag != f.generation) continue;  // superseded dispatch
+      if (f.consumed) {
+        // Second delivery of a duplicated upload: already folded in (or
+        // already handled), must not double-weight the worker.
+        server_->NoteDuplicateDropped();
+        ++duplicates;
+        continue;
+      }
+      // Events pushed before an empty-round wait can sit slightly in the
+      // past of the advanced clock; the PS processes them "now".
+      if (event.time > clock.now()) clock.AdvanceTo(event.time);
+      f.consumed = true;
+      if (f.failed) {
+        retire(event.worker);
+        continue;
+      }
+      if (!server_->AcceptPayload(f.trained_weights)) {
+        ++rejected;
+        retire(event.worker);
+        continue;
+      }
+      arrived.push_back(event.worker);
+      const double duration = event.time - f.dispatch_time;
+      arrival_durations.push_back(duration);
+      duration_sum += duration;
+      ++duration_count;
     }
-    nn::ScaleLists(sum, 1.0f / static_cast<float>(arrived.size()));
-    nn::TensorList mixed = server_->weights();
-    nn::ScaleLists(mixed, static_cast<float>(1.0 - mixing));
-    nn::AxpyLists(mixed, static_cast<float>(mixing), sum);
-    server_->SetWeights(std::move(mixed));
-
-    // Rewards for the m arrivals, then re-dispatch them (lines 8-10).
-    double mean_time = 0.0;
-    for (double d : arrival_durations) mean_time += d;
-    mean_time /= static_cast<double>(arrival_durations.size());
-    for (size_t j = 0; j < arrived.size(); ++j) {
-      strategy_->ObserveWorker(
-          round, arrived[j], arrival_durations[j], mean_time,
-          inflight[static_cast<size_t>(arrived[j])].delta_loss);
-    }
-    dispatch_all(arrived, round + 1);
 
     RoundRecord record;
     record.round = round;
+    record.rejected_updates = rejected;
+    record.duplicate_updates = duplicates;
+
+    if (arrived.empty()) {
+      // Every candidate failed this round. Keep the previous global, let
+      // the clock breathe, and bring the parked workers back next round.
+      clock.Advance(options_.base.deadline.empty_round_wait);
+      coverage_.ObserveRound({});
+    } else {
+      // Update the global model from the recovered models (+ residuals).
+      nn::TensorList sum;
+      double final_loss_sum = 0.0, ratio_sum = 0.0;
+      for (int worker : arrived) {
+        const InFlight& f = inflight[static_cast<size_t>(worker)];
+        auto recovered =
+            pruning::RecoverToFull(global_spec, f.trained_weights, f.mask);
+        FEDMP_CHECK(recovered.ok()) << recovered.status();
+        nn::TensorList contribution = std::move(recovered).value();
+        nn::AxpyLists(contribution, 1.0f, f.residual);
+        if (sum.empty()) {
+          sum = std::move(contribution);
+        } else {
+          nn::AxpyLists(sum, 1.0f, contribution);
+        }
+        final_loss_sum += f.final_loss;
+        ratio_sum += f.ratio;
+      }
+      nn::ScaleLists(sum, 1.0f / static_cast<float>(arrived.size()));
+      nn::TensorList mixed = server_->weights();
+      nn::ScaleLists(mixed, static_cast<float>(1.0 - mixing));
+      nn::AxpyLists(mixed, static_cast<float>(mixing), sum);
+      server_->SetWeights(std::move(mixed));
+
+      // Rewards for the arrivals (lines 8-10).
+      double mean_time = 0.0;
+      for (double d : arrival_durations) mean_time += d;
+      mean_time /= static_cast<double>(arrival_durations.size());
+      for (size_t j = 0; j < arrived.size(); ++j) {
+        strategy_->ObserveWorker(
+            round, arrived[j], arrival_durations[j], mean_time,
+            inflight[static_cast<size_t>(arrived[j])].delta_loss);
+      }
+
+      std::vector<const pruning::PruneMask*> accepted_masks;
+      for (int worker : arrived) {
+        accepted_masks.push_back(&inflight[static_cast<size_t>(worker)].mask);
+      }
+      coverage_.ObserveRound(accepted_masks);
+
+      record.train_loss =
+          final_loss_sum / static_cast<double>(arrived.size());
+      record.mean_ratio = ratio_sum / static_cast<double>(arrived.size());
+    }
+
     record.sim_time = clock.now();
     record.round_seconds =
         log.empty() ? clock.now()
                     : clock.now() - log.records().back().sim_time;
-    record.train_loss =
-        final_loss_sum / static_cast<double>(arrived.size());
-    record.mean_ratio = ratio_sum / static_cast<double>(arrived.size());
     record.participants = static_cast<int64_t>(arrived.size());
+    record.max_param_staleness = coverage_.max_staleness();
+
+    // Re-dispatch this round's arrivals plus the parked workers. Coverage
+    // and aggregation read the inflight slots, so this must come after.
+    std::vector<int> next = arrived;
+    next.insert(next.end(), parked.begin(), parked.end());
+    if (!next.empty()) dispatch_all(next, round + 1);
 
     bool stop = round + 1 >= options_.base.max_rounds ||
                 clock.now() >= options_.base.time_budget_seconds;

@@ -9,7 +9,10 @@ namespace fedmp::fl {
 
 struct AsyncTrainerOptions {
   TrainerOptions base;
-  // Algorithm 2: the PS aggregates the first m arrivals per round.
+  // Algorithm 2: the PS aggregates the first m arrivals per round. When
+  // fault injection leaves fewer than m workers alive, the PS falls back to
+  // aggregating every valid arrival it can still collect (and skips the
+  // round entirely when there are none).
   int m = 5;
   // Staleness mixing: new_global = (1-mix)*global + mix*aggregate(m).
   // <=0 selects the default m/N. Mixing is needed because the aggregate of
@@ -17,6 +20,17 @@ struct AsyncTrainerOptions {
   // globals; with mix = 1 and m << N old snapshots would overwrite fresh
   // progress.
   double mixing = -1.0;
+  // Async analogue of the sync deadline policy (base.deadline): once a full
+  // cohort of arrivals has been observed, a dispatch whose simulated
+  // duration exceeds slack * mean-arrival-duration is timed out — the PS
+  // stops waiting at the limit, discards the update, and re-dispatches the
+  // worker. Off by default because Algorithm 2 itself never drops
+  // stragglers (they are simply aggregated in a later round).
+  bool apply_deadline_timeout = false;
+  // How many times per round the PS re-dispatches a worker whose arrival
+  // failed (crash, lost/corrupt upload, timeout) before parking it until
+  // the next round. Bounds the work a permanently-failing worker can burn.
+  int max_redispatch_per_round = 3;
 };
 
 // Asynchronous FedMP engine (Algorithm 2). Workers run continuously; when a
@@ -24,6 +38,14 @@ struct AsyncTrainerOptions {
 // aggregation of m arrivals counts as one "round" for logging/evaluation.
 // The strategy must SupportsAsync() (FedMpStrategy -> Asyn-FedMP,
 // SynFlStrategy -> Asyn-FL [43]).
+//
+// Fault handling (base.faults / base.crash_prob): faults are drawn at
+// dispatch time from the same deterministic FaultPlan as the sync engine.
+// A crashed worker or lost upload surfaces as a failure detection at the
+// would-be arrival time; corrupt payloads arrive but are screened out by
+// the PS; duplicated deliveries are deduplicated by dispatch generation.
+// Failed workers are re-dispatched (bounded per round), so the engine
+// degrades gracefully instead of stalling.
 class AsyncTrainer {
  public:
   AsyncTrainer(const data::FlTask* task,
@@ -43,6 +65,8 @@ class AsyncTrainer {
   std::unique_ptr<ParameterServer> server_;
   std::vector<std::unique_ptr<Worker>> workers_;
   Rng rng_;
+  edge::FaultPlan fault_plan_;
+  ParameterCoverage coverage_;
 };
 
 // Convenience wrapper with an IID partition.

@@ -62,7 +62,8 @@ CsvTable RoundLog::ToTable() const {
   CsvTable table({"round", "sim_time", "round_seconds", "train_loss",
                   "mean_ratio", "test_accuracy", "test_loss",
                   "test_perplexity", "decision_overhead_ms",
-                  "participants"});
+                  "participants", "rejected_updates", "duplicate_updates",
+                  "max_param_staleness"});
   for (const RoundRecord& r : records_) {
     Status s = table.AddRow(std::vector<std::string>{
         StrFormat("%lld", (long long)r.round),
@@ -74,7 +75,10 @@ CsvTable RoundLog::ToTable() const {
         StrFormat("%.4f", r.test_loss),
         StrFormat("%.3f", r.test_perplexity),
         StrFormat("%.3f", r.decision_overhead_ms),
-        StrFormat("%lld", (long long)r.participants)});
+        StrFormat("%lld", (long long)r.participants),
+        StrFormat("%lld", (long long)r.rejected_updates),
+        StrFormat("%lld", (long long)r.duplicate_updates),
+        StrFormat("%lld", (long long)r.max_param_staleness)});
     FEDMP_CHECK(s.ok());
   }
   return table;

@@ -22,6 +22,13 @@ struct RoundRecord {
   double test_perplexity = -1.0;
   double decision_overhead_ms = 0.0;  // PS-side: ratio decision + pruning
   int64_t participants = 0;
+  // Fault observability (0 on clean rounds): updates the PS refused as
+  // corrupt, duplicate deliveries it dropped, and the worst
+  // rounds-since-trained staleness over prunable units (see
+  // fl::ParameterCoverage).
+  int64_t rejected_updates = 0;
+  int64_t duplicate_updates = 0;
+  int64_t max_param_staleness = 0;
 };
 
 // Per-run record sequence plus the derived summary statistics the paper's

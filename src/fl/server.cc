@@ -1,5 +1,6 @@
 #include "fl/server.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "data/dataloader.h"
@@ -8,6 +9,48 @@
 #include "nn/metrics.h"
 
 namespace fedmp::fl {
+
+ParameterCoverage::ParameterCoverage(const nn::ModelSpec& spec) {
+  const pruning::PruneMask full = pruning::FullMask(spec);
+  for (size_t l = 0; l < full.layers.size(); ++l) {
+    if (!full.layers[l].prunable) continue;
+    staleness_.emplace_back(
+        static_cast<size_t>(full.layers[l].original_width), 0);
+    layer_index_.push_back(l);
+  }
+}
+
+void ParameterCoverage::ObserveRound(
+    const std::vector<const pruning::PruneMask*>& masks) {
+  ++rounds_observed_;
+  for (size_t t = 0; t < staleness_.size(); ++t) {
+    const size_t l = layer_index_[t];
+    std::vector<int64_t>& units = staleness_[t];
+    std::vector<bool> covered(units.size(), false);
+    for (const pruning::PruneMask* mask : masks) {
+      FEDMP_CHECK(mask != nullptr);
+      FEDMP_CHECK_LT(l, mask->layers.size());
+      const pruning::LayerMask& lm = mask->layers[l];
+      if (!lm.prunable) {
+        // A full-model participant covers the whole layer.
+        std::fill(covered.begin(), covered.end(), true);
+        break;
+      }
+      for (int64_t u : lm.kept) covered[static_cast<size_t>(u)] = true;
+    }
+    for (size_t u = 0; u < units.size(); ++u) {
+      units[u] = covered[u] ? 0 : units[u] + 1;
+    }
+  }
+}
+
+int64_t ParameterCoverage::max_staleness() const {
+  int64_t worst = 0;
+  for (const auto& units : staleness_) {
+    for (int64_t s : units) worst = std::max(worst, s);
+  }
+  return worst;
+}
 
 ParameterServer::ParameterServer(nn::ModelSpec spec, uint64_t seed)
     : spec_(std::move(spec)), seed_(seed) {
@@ -19,6 +62,12 @@ void ParameterServer::SetWeights(nn::TensorList weights) {
   FEDMP_CHECK(nn::SameShapes(weights, weights_))
       << "SetWeights with mismatched shapes";
   weights_ = std::move(weights);
+}
+
+bool ParameterServer::AcceptPayload(const nn::TensorList& payload) {
+  if (nn::AllFiniteList(payload)) return true;
+  ++corrupt_rejected_;
+  return false;
 }
 
 ParameterServer::EvalResult ParameterServer::Evaluate(

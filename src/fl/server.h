@@ -3,13 +3,45 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "data/dataset.h"
 #include "nn/model_builder.h"
+#include "pruning/mask.h"
 
 namespace fedmp::fl {
 
-// The parameter server: owns the global model (spec + weights) and the
+// Tracks, per prunable unit of the global model, how many consecutive
+// rounds it was NOT covered by any accepted participant's sub-model. Under
+// R2SP an uncovered unit is value-preserved through residuals but makes no
+// training progress, so unbounded staleness means a parameter has silently
+// stopped training — the invariant the chaos suite asserts on.
+class ParameterCoverage {
+ public:
+  // Tracks nothing until constructed from a spec.
+  ParameterCoverage() = default;
+  explicit ParameterCoverage(const nn::ModelSpec& spec);
+
+  // Feeds one round's accepted participants' masks. An empty list (all
+  // workers crashed / all updates rejected) stales every unit.
+  void ObserveRound(const std::vector<const pruning::PruneMask*>& masks);
+
+  // Largest rounds-since-covered over all prunable units (0 right after a
+  // full-coverage round).
+  int64_t max_staleness() const;
+  int64_t rounds_observed() const { return rounds_observed_; }
+
+ private:
+  // staleness_[l][u]: rounds since unit u of prunable layer l was last part
+  // of an accepted update. Non-prunable layers (always shipped whole) are
+  // not tracked — any surviving participant covers them.
+  std::vector<std::vector<int64_t>> staleness_;
+  std::vector<size_t> layer_index_;  // spec layer index of staleness_[l]
+  int64_t rounds_observed_ = 0;
+};
+
+// The parameter server: owns the global model (spec + weights), screens
+// incoming updates (corrupt payloads, duplicate deliveries), and runs the
 // central evaluation loop.
 class ParameterServer {
  public:
@@ -19,6 +51,18 @@ class ParameterServer {
   const nn::ModelSpec& spec() const { return spec_; }
   const nn::TensorList& weights() const { return weights_; }
   void SetWeights(nn::TensorList weights);
+
+  // Update screening: the PS refuses payloads containing non-finite values
+  // (NaN/Inf from corrupted uploads) — aggregating even one would poison
+  // the global model. Returns whether the payload was accepted; rejections
+  // accumulate in corrupt_rejected().
+  bool AcceptPayload(const nn::TensorList& payload);
+  // Records that a repeated delivery of the same worker's update was
+  // dropped (duplication must not double-weight a worker in the average).
+  void NoteDuplicateDropped() { ++duplicates_dropped_; }
+
+  int64_t corrupt_rejected() const { return corrupt_rejected_; }
+  int64_t duplicates_dropped() const { return duplicates_dropped_; }
 
   struct EvalResult {
     double accuracy = 0.0;
@@ -37,6 +81,8 @@ class ParameterServer {
   nn::ModelSpec spec_;
   nn::TensorList weights_;
   uint64_t seed_;
+  int64_t corrupt_rejected_ = 0;
+  int64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace fedmp::fl

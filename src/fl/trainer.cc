@@ -1,7 +1,9 @@
 #include "fl/trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/math_util.h"
 #include "common/thread_pool.h"
@@ -17,6 +19,28 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 }  // namespace
+
+namespace internal {
+// Resolves the effective fault plan for a trainer: the legacy crash_prob
+// knob folds into the plan, and an unset plan seed derives from the run
+// seed so same-seed runs replay the same failure trace.
+edge::FaultPlan ResolveFaultPlan(const TrainerOptions& options,
+                                 int num_workers) {
+  edge::FaultPlanOptions fo = options.faults;
+  fo.crash_prob = std::max(fo.crash_prob, options.crash_prob);
+  if (fo.seed == 0) fo.seed = options.seed ^ 0xFA017EEDULL;
+  return edge::FaultPlan(num_workers, fo);
+}
+
+// Deterministically corrupts an upload in place (what a bit-flipped or
+// truncated payload looks like to the PS after deserialization).
+void CorruptPayload(nn::TensorList* payload) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (nn::Tensor& t : *payload) {
+    if (t.numel() > 0) t.at(0) = nan;
+  }
+}
+}  // namespace internal
 
 Trainer::Trainer(const data::FlTask* task,
                  std::vector<edge::DeviceProfile> devices,
@@ -42,6 +66,9 @@ Trainer::Trainer(const data::FlTask* task,
         static_cast<int>(n), &task_->train, partition[n], devices_[n],
         rng_.NextU64()));
   }
+  fault_plan_ = internal::ResolveFaultPlan(
+      options_, static_cast<int>(devices_.size()));
+  coverage_ = ParameterCoverage(task_->model);
 }
 
 RoundLog Trainer::Run() {
@@ -55,6 +82,13 @@ RoundLog Trainer::Run() {
     const auto decision_start = std::chrono::steady_clock::now();
     std::vector<WorkerRoundPlan> plans(static_cast<size_t>(num_workers));
     strategy_->PlanRound(round, &plans);
+    if (force_full_refresh_) {
+      // Some prunable unit exceeded the staleness bound: ship the full
+      // model to everyone so any single surviving update re-covers every
+      // parameter (see TrainerOptions::max_param_staleness).
+      for (auto& plan : plans) plan.pruning_ratio = 0.0;
+      force_full_refresh_ = false;
+    }
 
     // Sub-model construction is a pure function of (spec, weights, ratio),
     // so the per-worker prunes run concurrently; each lane writes only its
@@ -141,27 +175,66 @@ RoundLog Trainer::Run() {
       final_loss_sum += final_losses[static_cast<size_t>(n)];
     }
 
-    // --- (3) Failure injection + deadline policy. ---
-    if (options_.crash_prob > 0.0) {
-      edge::InjectCrashes(options_.crash_prob, rng_, &completion_times);
+    // --- (3) Fault injection + deadline policy. ---
+    std::vector<edge::WorkerRoundFaults> faults(
+        static_cast<size_t>(num_workers));
+    if (fault_plan_.active()) {
+      for (int n = 0; n < num_workers; ++n) {
+        const size_t i = static_cast<size_t>(n);
+        faults[i] = fault_plan_.FaultsFor(round, n);
+        if (!faults[i].Arrives()) {
+          // Crashed worker or lost upload: the PS never hears back.
+          completion_times[i] = std::numeric_limits<double>::infinity();
+          continue;
+        }
+        completion_times[i] =
+            completion_times[i] * faults[i].slowdown + faults[i].extra_delay;
+        if (faults[i].update_corrupted) {
+          internal::CorruptPayload(&uploads[i]);
+        }
+      }
     }
     const edge::DeadlineOutcome outcome =
         edge::ApplyDeadline(completion_times, options_.deadline);
 
-    // --- (4) Aggregation over survivors. ---
+    // --- (4) Screening + aggregation over accepted survivors. ---
     std::vector<SubModelUpdate> updates;
+    std::vector<const pruning::PruneMask*> accepted_masks;
     std::vector<bool> participated(static_cast<size_t>(num_workers), false);
+    int64_t rejected = 0, duplicates = 0;
     for (int n : outcome.survivors) {
       const size_t i = static_cast<size_t>(n);
+      if (!server_->AcceptPayload(uploads[i])) {
+        ++rejected;  // corrupt payload refused by the PS
+        continue;
+      }
+      if (fault_plan_.active() && faults[i].update_duplicated) {
+        // The channel delivered this update twice; the PS keeps one copy
+        // so the worker is not double-weighted in the average.
+        server_->NoteDuplicateDropped();
+        ++duplicates;
+      }
       participated[i] = true;
       updates.push_back(SubModelUpdate{&subs[i].mask, &uploads[i]});
+      accepted_masks.push_back(&subs[i].mask);
     }
-    auto aggregated =
-        AggregateSubModels(global_spec, server_->weights(), updates,
-                           strategy_->sync_scheme(),
-                           strategy_->quantize_residuals());
-    FEDMP_CHECK(aggregated.ok()) << aggregated.status();
-    server_->SetWeights(std::move(aggregated).value());
+    if (!updates.empty()) {
+      auto aggregated =
+          AggregateSubModels(global_spec, server_->weights(), updates,
+                             strategy_->sync_scheme(),
+                             strategy_->quantize_residuals());
+      FEDMP_CHECK(aggregated.ok()) << aggregated.status();
+      server_->SetWeights(std::move(aggregated).value());
+    }
+    // else: every worker crashed or every update was refused — keep the
+    // previous global model and let the round degrade gracefully.
+
+    coverage_.ObserveRound(accepted_masks);
+    const int64_t staleness = coverage_.max_staleness();
+    if (options_.max_param_staleness > 0 &&
+        staleness >= options_.max_param_staleness) {
+      force_full_refresh_ = true;
+    }
 
     clock.Advance(outcome.round_time);
 
@@ -188,7 +261,10 @@ RoundLog Trainer::Run() {
     for (const auto& plan : plans) ratio_sum += plan.pruning_ratio;
     record.mean_ratio = ratio_sum / static_cast<double>(num_workers);
     record.decision_overhead_ms = decision_ms;
-    record.participants = static_cast<int64_t>(outcome.survivors.size());
+    record.participants = static_cast<int64_t>(updates.size());
+    record.rejected_updates = rejected;
+    record.duplicate_updates = duplicates;
+    record.max_param_staleness = staleness;
 
     bool stop = round + 1 >= options_.max_rounds ||
                 clock.now() >= options_.time_budget_seconds;

@@ -29,7 +29,19 @@ struct TrainerOptions {
   int64_t eval_max_batches = -1;
   edge::DeadlinePolicy deadline;
   edge::CostModelOptions cost;
-  double crash_prob = 0.0;  // per-worker per-round failure injection
+  // Legacy knob: per-worker per-round crash probability. Routed through the
+  // deterministic FaultPlan below (equivalent to faults.crash_prob).
+  double crash_prob = 0.0;
+  // Deterministic fault injection (crash/rejoin, straggle, update
+  // loss/duplication/corruption — see edge/fault.h). faults.seed == 0
+  // derives the failure trace from `seed`, so same-seed runs replay the
+  // same faults.
+  edge::FaultPlanOptions faults;
+  // > 0: whenever some prunable unit has not been part of any accepted
+  // update for this many rounds, the next round ships the FULL model to
+  // every worker, bounding per-parameter staleness under R2SP (no parameter
+  // silently stops training). 0 disables.
+  int64_t max_param_staleness = 0;
   uint64_t seed = 1;
   bool verbose = false;
   // Execution lanes for the parallel engine (per-worker rounds + kernels).
@@ -67,6 +79,9 @@ class Trainer {
   std::unique_ptr<ParameterServer> server_;
   std::vector<std::unique_ptr<Worker>> workers_;
   Rng rng_;
+  edge::FaultPlan fault_plan_;
+  ParameterCoverage coverage_;
+  bool force_full_refresh_ = false;
 };
 
 // Convenience: builds workers over an IID partition and runs.
@@ -74,6 +89,13 @@ RoundLog RunFederated(const data::FlTask& task,
                       const std::vector<edge::DeviceProfile>& devices,
                       std::unique_ptr<Strategy> strategy,
                       const TrainerOptions& options);
+
+namespace internal {
+// Shared between the sync and async engines (and their tests).
+edge::FaultPlan ResolveFaultPlan(const TrainerOptions& options,
+                                 int num_workers);
+void CorruptPayload(nn::TensorList* payload);
+}  // namespace internal
 
 }  // namespace fedmp::fl
 

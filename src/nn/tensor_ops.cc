@@ -359,4 +359,19 @@ double SquaredNormList(const TensorList& a) {
   return acc;
 }
 
+bool AllFinite(const Tensor& a) {
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool AllFiniteList(const TensorList& a) {
+  for (const auto& t : a) {
+    if (!AllFinite(t)) return false;
+  }
+  return true;
+}
+
 }  // namespace fedmp::nn

@@ -67,6 +67,9 @@ std::vector<int64_t> ArgmaxRows(const Tensor& a);
 // max |a_i - b_i| over all elements.
 double MaxAbsDiff(const Tensor& a, const Tensor& b);
 
+// True when every element is finite (no NaN / infinity).
+bool AllFinite(const Tensor& a);
+
 // ---- Parameter-set algebra (models as flat lists of tensors). ----
 
 using TensorList = std::vector<Tensor>;
@@ -85,6 +88,8 @@ void ScaleLists(TensorList& a, float s);
 int64_t TotalNumel(const TensorList& a);
 // sum over tensors of squared L2 norm.
 double SquaredNormList(const TensorList& a);
+// Every element of every tensor finite?
+bool AllFiniteList(const TensorList& a);
 
 }  // namespace fedmp::nn
 

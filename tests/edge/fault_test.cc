@@ -55,9 +55,168 @@ TEST(DeadlineTest, CrashedWorkersExcludedFromQuantile) {
   EXPECT_TRUE(std::isfinite(out.round_time));
 }
 
-TEST(DeadlineDeathTest, AllCrashedAborts) {
+// Regression (chaos hardening): when every worker crashes the round must
+// degrade gracefully — empty survivor set, strictly positive wait — instead
+// of aborting the process.
+TEST(DeadlineTest, AllCrashedDegradesGracefully) {
   DeadlinePolicy policy;
-  EXPECT_DEATH(ApplyDeadline({kInf, kInf}, policy), "every worker crashed");
+  policy.empty_round_wait = 2.5;
+  const DeadlineOutcome out = ApplyDeadline({kInf, kInf}, policy);
+  EXPECT_TRUE(out.survivors.empty());
+  EXPECT_DOUBLE_EQ(out.round_time, 2.5);
+  EXPECT_TRUE(std::isinf(out.deadline));
+}
+
+TEST(FaultPlanTest, InactivePlanIsClean) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  const WorkerRoundFaults f = plan.FaultsFor(3, 1);
+  EXPECT_FALSE(f.crashed);
+  EXPECT_FALSE(f.update_dropped);
+  EXPECT_FALSE(f.update_duplicated);
+  EXPECT_FALSE(f.update_corrupted);
+  EXPECT_DOUBLE_EQ(f.slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(f.extra_delay, 0.0);
+}
+
+TEST(FaultPlanTest, PureFunctionOfSeedRoundWorker) {
+  FaultPlanOptions opts;
+  opts.crash_prob = 0.3;
+  opts.straggle_prob = 0.3;
+  opts.corrupt_prob = 0.2;
+  opts.channel.loss_prob = 0.1;
+  opts.channel.duplicate_prob = 0.1;
+  opts.channel.max_delay_seconds = 2.0;
+  opts.seed = 42;
+  FaultPlan a(4, opts), b(4, opts);
+  // Query b in a scrambled order and with extra redundant queries: fates
+  // must still match a's, draw for draw.
+  for (int worker = 3; worker >= 0; --worker) b.FaultsFor(7, worker);
+  for (int64_t round = 0; round < 20; ++round) {
+    for (int worker = 0; worker < 4; ++worker) {
+      const WorkerRoundFaults fa = a.FaultsFor(round, worker);
+      const WorkerRoundFaults fb = b.FaultsFor(round, worker);
+      EXPECT_EQ(fa.crashed, fb.crashed);
+      EXPECT_EQ(fa.update_dropped, fb.update_dropped);
+      EXPECT_EQ(fa.update_duplicated, fb.update_duplicated);
+      EXPECT_EQ(fa.update_corrupted, fb.update_corrupted);
+      EXPECT_DOUBLE_EQ(fa.slowdown, fb.slowdown);
+      EXPECT_DOUBLE_EQ(fa.extra_delay, fb.extra_delay);
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsGiveDifferentTraces) {
+  FaultPlanOptions opts;
+  opts.crash_prob = 0.5;
+  opts.seed = 1;
+  FaultPlan a(8, opts);
+  opts.seed = 2;
+  FaultPlan b(8, opts);
+  int diff = 0;
+  for (int64_t round = 0; round < 32; ++round) {
+    for (int worker = 0; worker < 8; ++worker) {
+      if (a.FaultsFor(round, worker).crashed !=
+          b.FaultsFor(round, worker).crashed) {
+        ++diff;
+      }
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultPlanTest, RejoinWindowKeepsWorkerDown) {
+  FaultPlanOptions opts;
+  opts.crash_prob = 0.25;
+  opts.rejoin_after = 3;
+  opts.seed = 7;
+  FaultPlan plan(6, opts);
+  // An up->down transition at round r means a fresh crash at exactly r, so
+  // the worker must stay down for the full rejoin window.
+  bool saw_crash = false;
+  for (int64_t round = 1; round < 40; ++round) {
+    for (int worker = 0; worker < 6; ++worker) {
+      if (!plan.IsDown(round, worker) || plan.IsDown(round - 1, worker)) {
+        continue;
+      }
+      saw_crash = true;
+      EXPECT_TRUE(plan.FaultsFor(round, worker).crashed);
+      for (int64_t r = round; r < round + opts.rejoin_after; ++r) {
+        EXPECT_TRUE(plan.IsDown(r, worker))
+            << "worker " << worker << " crashed at " << round
+            << " but was up at " << r;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+}
+
+TEST(FaultPlanTest, CountAliveMatchesIsDown) {
+  FaultPlanOptions opts;
+  opts.crash_prob = 0.4;
+  opts.rejoin_after = 2;
+  opts.seed = 11;
+  FaultPlan plan(5, opts);
+  for (int64_t round = 0; round < 25; ++round) {
+    int alive = 0;
+    for (int worker = 0; worker < 5; ++worker) {
+      if (!plan.IsDown(round, worker)) ++alive;
+    }
+    EXPECT_EQ(plan.CountAlive(round), alive);
+  }
+}
+
+TEST(FaultPlanTest, CrashRateApproximatelyHonored) {
+  FaultPlanOptions opts;
+  opts.crash_prob = 0.2;
+  opts.seed = 3;
+  FaultPlan plan(10, opts);
+  int crashed = 0;
+  const int64_t rounds = 2000;
+  for (int64_t round = 0; round < rounds; ++round) {
+    for (int worker = 0; worker < 10; ++worker) {
+      if (plan.FaultsFor(round, worker).crashed) ++crashed;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crashed) / (rounds * 10), 0.2, 0.02);
+}
+
+TEST(FaultPlanTest, StraggleScalesCompletionTime) {
+  FaultPlanOptions opts;
+  opts.straggle_prob = 1.0;
+  opts.straggle_factor = 4.0;
+  opts.seed = 5;
+  FaultPlan plan(3, opts);
+  const WorkerRoundFaults f = plan.FaultsFor(0, 0);
+  EXPECT_FALSE(f.crashed);
+  EXPECT_DOUBLE_EQ(f.slowdown, 4.0);
+}
+
+TEST(TransmitUpdateTest, DeterministicPerSeedRoundWorker) {
+  ChannelFaultConfig config;
+  config.loss_prob = 0.3;
+  config.duplicate_prob = 0.3;
+  config.max_delay_seconds = 1.5;
+  for (int64_t round = 0; round < 10; ++round) {
+    for (int worker = 0; worker < 4; ++worker) {
+      const MessageFate a = TransmitUpdate(config, 99, round, worker);
+      const MessageFate b = TransmitUpdate(config, 99, round, worker);
+      EXPECT_EQ(a.delivered, b.delivered);
+      EXPECT_EQ(a.copies, b.copies);
+      EXPECT_DOUBLE_EQ(a.delay_seconds, b.delay_seconds);
+      EXPECT_GE(a.delay_seconds, 0.0);
+      EXPECT_LE(a.delay_seconds, 1.5);
+    }
+  }
+}
+
+TEST(TransmitUpdateTest, CleanChannelAlwaysDeliversOnce) {
+  ChannelFaultConfig config;  // all zeros
+  EXPECT_FALSE(config.any());
+  const MessageFate fate = TransmitUpdate(config, 1, 0, 0);
+  EXPECT_TRUE(fate.delivered);
+  EXPECT_EQ(fate.copies, 1);
+  EXPECT_DOUBLE_EQ(fate.delay_seconds, 0.0);
 }
 
 TEST(InjectCrashesTest, ZeroProbabilityIsNoop) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "data/dataloader.h"
 #include "data/task_zoo.h"
 #include "nn/initializers.h"
 #include "nn/model_builder.h"
@@ -90,6 +91,59 @@ TEST(SerializeTest, CheckpointRoundTripThroughFile) {
 TEST(SerializeTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadCheckpoint("/nonexistent/path/x.bin").ok());
 }
+
+// Round-trip property over the whole task zoo: a checkpoint must reload to
+// bitwise-equal weights AND a model that is behaviorally identical —
+// bit-identical logits on a fixed test batch (the checkpoint carries
+// everything the forward pass depends on).
+class CheckpointZooTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointZooTest, RoundTripPreservesWeightsAndForward) {
+  const data::FlTask task =
+      data::MakeTaskByName(GetParam(), data::TaskScale::kTiny, 7);
+  auto model = BuildModelOrDie(task.model, 11);
+  const TensorList original = model->GetWeights();
+
+  const std::string path =
+      ::testing::TempDir() + "/zoo_" + std::string(GetParam()) + ".bin";
+  ASSERT_TRUE(SaveCheckpoint(path, task.model, original).ok());
+  auto ckpt = LoadCheckpoint(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(ckpt.ok());
+
+  EXPECT_EQ(ckpt->spec, task.model);
+  ASSERT_TRUE(SameShapes(ckpt->weights, original));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(ckpt->weights[i], original[i]), 0.0)
+        << "weight tensor " << i;
+  }
+
+  // Same fixed batch through both models.
+  data::DataLoader loader(&task.test, /*batch_size=*/8, /*shuffle=*/false,
+                          /*seed=*/1);
+  Tensor batch;
+  std::vector<int64_t> labels;
+  loader.NextBatch(&batch, &labels);
+  Tensor input = batch;
+  if (task.is_language_model) {
+    std::vector<int64_t> targets;
+    data::SplitLmBatch(batch, &input, &targets);
+  }
+  auto rebuilt = BuildModelOrDie(ckpt->spec, 0);  // different init seed
+  rebuilt->SetWeights(ckpt->weights);
+  const Tensor logits = model->Forward(input, /*training=*/false);
+  const Tensor relogits = rebuilt->Forward(input, /*training=*/false);
+  ASSERT_EQ(logits.shape(), relogits.shape());
+  EXPECT_EQ(MaxAbsDiff(logits, relogits), 0.0)
+      << "reloaded model computes a different function";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooTasks, CheckpointZooTest,
+                         ::testing::Values("cnn", "alexnet", "vgg", "resnet",
+                                           "lstm"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
 
 }  // namespace
 }  // namespace fedmp::nn

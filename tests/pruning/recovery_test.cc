@@ -6,9 +6,12 @@
 
 #include "pruning/recovery.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "data/task_zoo.h"
+#include "fl/aggregation.h"
 #include "nn/model_builder.h"
 #include "pruning/sparsify.h"
 
@@ -128,6 +131,96 @@ TEST(SparsifyTest, ZeroesExactlyTheComplement) {
   EXPECT_EQ((*sparse)[1](1, 1), 0.0f);
   EXPECT_EQ((*sparse)[1](0, 0), 1.0f);
   EXPECT_EQ((*sparse)[1](1, 2), 1.0f);
+}
+
+// ---- R2SP under worker loss (chaos satellite) -----------------------------
+//
+// A two-worker split where each worker owns half the hidden units. When one
+// worker drops out for a round, R2SP must carry its units' values through
+// the residual model (no decay, no NaN), and once it rejoins those units
+// must resume training — the "no parameter silently stops training"
+// invariant at the aggregation level. BSP, by contrast, decays the lost
+// units toward zero.
+
+nn::ModelSpec TwoLayerSpec() {
+  nn::ModelSpec spec;
+  spec.name = "loss_test";
+  spec.input.kind = nn::ShapeKind::kFeatures;
+  spec.input.f = 2;
+  spec.num_classes = 2;
+  spec.layers = {nn::LayerSpec::Dense(2, 4, false),
+                 nn::LayerSpec::Dense(4, 2, false)};
+  return spec;
+}
+
+PruneMask HalfMask(const nn::ModelSpec& spec, std::vector<int64_t> kept) {
+  PruneMask mask = FullMask(spec);
+  mask.ratio = 0.5;
+  mask.layers[0].kept = std::move(kept);
+  return mask;
+}
+
+// "Local training": every sub-model weight moves by +0.1.
+nn::TensorList TrainSub(const nn::ModelSpec& spec,
+                        const nn::TensorList& global,
+                        const PruneMask& mask) {
+  auto sub = ExtractSubModel(spec, global, mask);
+  EXPECT_TRUE(sub.ok());
+  for (auto& t : sub->weights) {
+    for (int64_t i = 0; i < t.numel(); ++i) t.at(i) += 0.1f;
+  }
+  return sub->weights;
+}
+
+TEST(RecoveryWorkerLossTest, ResidualsPreserveAndResumeDroppedUnits) {
+  const nn::ModelSpec spec = TwoLayerSpec();
+  const PruneMask mask_a = HalfMask(spec, {0, 1});
+  const PruneMask mask_b = HalfMask(spec, {2, 3});
+  nn::TensorList global{nn::Tensor::Full({4, 2}, 1.0f),
+                        nn::Tensor::Full({2, 4}, 1.0f)};
+
+  // Round 1: both workers participate; every hidden unit is trained.
+  nn::TensorList a1 = TrainSub(spec, global, mask_a);
+  nn::TensorList b1 = TrainSub(spec, global, mask_b);
+  auto w1 = fl::AggregateSubModels(
+      spec, global,
+      {{&mask_a, &a1}, {&mask_b, &b1}}, fl::SyncScheme::kR2SP);
+  ASSERT_TRUE(w1.ok());
+
+  // Round 2: worker B is lost (crash / dropped upload); only A arrives.
+  nn::TensorList a2 = TrainSub(spec, *w1, mask_a);
+  auto w2 = fl::AggregateSubModels(spec, *w1, {{&mask_a, &a2}},
+                                   fl::SyncScheme::kR2SP);
+  ASSERT_TRUE(w2.ok());
+
+  // B's units (hidden rows 2,3 and output columns 2,3) ride the residual:
+  // bit-identical to their round-1 values.
+  for (int64_t u : {2, 3}) {
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_EQ((*w2)[0](u, c), (*w1)[0](u, c)) << "hidden unit " << u;
+      EXPECT_EQ((*w2)[1](c, u), (*w1)[1](c, u)) << "output column " << u;
+    }
+    // While A's units kept training.
+    EXPECT_NE((*w2)[0](u == 2 ? 0 : 1, 0), (*w1)[0](u == 2 ? 0 : 1, 0));
+  }
+
+  // Under BSP the same lost round decays B's units instead.
+  auto w2_bsp = fl::AggregateSubModels(spec, *w1, {{&mask_a, &a2}},
+                                       fl::SyncScheme::kBSP);
+  ASSERT_TRUE(w2_bsp.ok());
+  EXPECT_LT(std::abs((*w2_bsp)[0](2, 0)), std::abs((*w1)[0](2, 0)))
+      << "BSP should decay the dropped worker's units";
+
+  // Round 3: B rejoins and its units resume training from where they
+  // stopped — strictly moved from the preserved round-1 values.
+  nn::TensorList b3 = TrainSub(spec, *w2, mask_b);
+  auto w3 = fl::AggregateSubModels(spec, *w2, {{&mask_b, &b3}},
+                                   fl::SyncScheme::kR2SP);
+  ASSERT_TRUE(w3.ok());
+  for (int64_t u : {2, 3}) {
+    EXPECT_NE((*w3)[0](u, 0), (*w1)[0](u, 0))
+        << "rejoined worker's unit " << u << " never resumed training";
+  }
 }
 
 }  // namespace
