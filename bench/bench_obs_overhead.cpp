@@ -1,0 +1,75 @@
+// Telemetry overhead budget check: the same FL workload runs with the
+// telemetry subsystem disabled and enabled (in-memory recording, no file
+// export), min-of-N wall clock each way. The run exits non-zero when the
+// enabled/disabled ratio exceeds the 3% budget documented in DESIGN.md
+// "Observability", so run_benches.sh can surface a regression.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "obs/trace.h"
+
+namespace fedmp::bench {
+namespace {
+
+double RunOnceSeconds(const data::FlTask& task) {
+  ExperimentConfig config;
+  config.task = "cnn";
+  config.method = "fedmp";
+  config.scale = data::TaskScale::kBench;
+  config.trainer = BenchTrainerOptions(6);
+  const auto start = std::chrono::steady_clock::now();
+  MustRun(config, task);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double MinOfN(const data::FlTask& task, int n) {
+  double best = RunOnceSeconds(task);
+  for (int i = 1; i < n; ++i) {
+    const double t = RunOnceSeconds(task);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+int Main() {
+  PrintHeader("telemetry overhead",
+              "enabled-vs-disabled runtime of a traced FL workload");
+  constexpr int kReps = 3;
+  constexpr double kBudget = 0.03;  // 3%
+
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 10);
+
+  obs::Disable();
+  obs::ResetForTest();
+  MinOfN(task, 1);  // warm-up: page in the binary, build the task caches
+  const double off = MinOfN(task, kReps);
+
+  obs::ResetForTest();
+  obs::Enable(obs::TraceOptions{});  // record in memory, no file export
+  const double on = MinOfN(task, kReps);
+  obs::Disable();
+  obs::ResetForTest();
+
+  const double overhead = on / off - 1.0;
+  std::printf("telemetry off: %.3fs   on: %.3fs   overhead: %+.2f%%  "
+              "(budget %.0f%%)\n",
+              off, on, overhead * 100.0, kBudget * 100.0);
+  if (overhead > kBudget) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead %.2f%% exceeds the %.0f%% budget\n",
+                 overhead * 100.0, kBudget * 100.0);
+    return 1;
+  }
+  std::printf("PASS: within budget\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedmp::bench
+
+int main() { return fedmp::bench::Main(); }

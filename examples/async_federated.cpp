@@ -40,5 +40,10 @@ int main() {
       asyn_fedmp.TotalSimTime() / asyn_fedmp.records().size();
   std::printf("  mean aggregation interval: Asyn-FL %.2fs, "
               "Asyn-FedMP %.2fs\n", fl_round, mp_round);
+
+  if (asyn_fedmp.ToTable().WriteCsvFile("async_rounds.csv").ok() &&
+      asyn_fedmp.WriteJsonlFile("async_rounds.jsonl").ok()) {
+    std::printf("  round log -> async_rounds.csv / .jsonl\n");
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Set FEDMP_TRACE=trace.json (and/or FEDMP_TRACE_JSONL=events.jsonl) to
+// additionally record a Perfetto-loadable trace of the run — no rebuild
+// needed; see DESIGN.md "Observability".
 
 #include <cstdio>
 
@@ -40,5 +44,11 @@ int main() {
               fedmp_log->TimeToAccuracy(0.85));
   std::printf("Syn-FL   %.4f     %.1fs\n", synfl_log->FinalAccuracy(),
               synfl_log->TimeToAccuracy(0.85));
+
+  // Per-round metrics in both formats (same columns; see fl/round_log.h).
+  if (fedmp_log->ToTable().WriteCsvFile("quickstart_rounds.csv").ok() &&
+      fedmp_log->WriteJsonlFile("quickstart_rounds.jsonl").ok()) {
+    std::printf("round log -> quickstart_rounds.csv / .jsonl\n");
+  }
   return 0;
 }

@@ -1,6 +1,18 @@
 #!/bin/bash
 # Runs every bench binary in sequence, teeing the combined output.
 cd /root/repo/build
+
+# Telemetry overhead gate: enabled-vs-disabled runtime on the microbench
+# workload must stay within the 3% budget (DESIGN.md "Observability").
+# The binary exits non-zero past the budget; surface that loudly.
+echo "### bench/bench_obs_overhead ###"
+./bench/bench_obs_overhead 2>&1
+obs_exit=$?
+echo "### exit=$obs_exit ###"
+if [ $obs_exit -ne 0 ]; then
+  echo "TELEMETRY OVERHEAD BUDGET EXCEEDED (bench_obs_overhead exit=$obs_exit)" >&2
+fi
+
 for b in bench/bench_fig5_round_time bench/bench_fig11_overhead \
          bench/bench_fig2_ratio_accuracy bench/bench_ablation_reward \
          bench/bench_ablation_discount bench/bench_table4_lstm \

@@ -41,6 +41,19 @@ bool PartitionTree::SplitAt(size_t index, double at) {
   return true;
 }
 
+int PartitionTree::MaxDepth() const {
+  const double domain = hi_ - lo_;
+  int depth = 0;
+  for (const Interval& leaf : leaves_) {
+    if (leaf.diameter() <= 0.0) continue;
+    // Tolerance absorbs the off-midpoint splits Algorithm 1 makes.
+    const int d = static_cast<int>(
+        std::ceil(std::log2(domain / leaf.diameter()) - 1e-9));
+    depth = std::max(depth, d);
+  }
+  return depth;
+}
+
 bool PartitionTree::CoversDomain() const {
   double cursor = lo_;
   for (const Interval& leaf : leaves_) {

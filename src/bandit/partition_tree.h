@@ -40,6 +40,12 @@ class PartitionTree {
   // Invariant check: leaves sorted, disjoint, covering [lo, hi).
   bool CoversDomain() const;
 
+  // Implied depth of the deepest leaf: ceil(log2(domain diameter / leaf
+  // diameter)); 0 for the unsplit root. Telemetry/diagnostics only —
+  // interior nodes are not materialized, so this is reconstructed from
+  // leaf diameters.
+  int MaxDepth() const;
+
  private:
   double lo_, hi_, theta_;
   std::vector<Interval> leaves_;  // sorted by lo

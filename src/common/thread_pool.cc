@@ -5,12 +5,39 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedmp {
 
 namespace {
 
 thread_local bool t_in_pool_worker = false;
+// Stable lane id for telemetry: caller of ParallelFor is lane 0, pool
+// workers are 1..N-1.
+thread_local int t_pool_lane = 0;
+
+// Runs one ParallelFor chunk, recording a pool-track event and the lane's
+// busy time when telemetry is on. Only reached on the dispatching path —
+// the serial fallback (small kernels) stays un-instrumented.
+void RunChunkInstrumented(const std::function<void(int64_t, int64_t)>& fn,
+                          int64_t b, int64_t e) {
+  if (!obs::Enabled()) {
+    fn(b, e);
+    return;
+  }
+  const double t0 = obs::WallNowUs();
+  fn(b, e);
+  const double t1 = obs::WallNowUs();
+  obs::RecordPoolChunk(t_pool_lane, t0, t1, e - b);
+  thread_local obs::Counter* busy = obs::GetCounter(
+      "pool.lane" + std::to_string(t_pool_lane) + ".busy_us");
+  busy->Add(t1 - t0);
+  thread_local obs::Histogram* chunk_us = obs::GetHistogram(
+      "pool.chunk_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+                        50000, 100000});
+  chunk_us->Observe(t1 - t0);
+}
 
 // Guards creation/replacement of the global pool instance.
 std::mutex g_global_mu;
@@ -25,7 +52,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int spawn = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(static_cast<size_t>(spawn));
   for (int t = 0; t < spawn; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] { WorkerLoop(t + 1); });
   }
 }
 
@@ -38,8 +65,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int lane) {
   t_in_pool_worker = true;
+  t_pool_lane = lane;
   for (;;) {
     std::function<void()> task;
     {
@@ -79,24 +107,35 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   auto join = std::make_shared<Join>();
   join->remaining = nchunks - 1;
 
+  const bool telemetry = obs::Enabled();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t c = 1; c < nchunks; ++c) {
       const int64_t b = begin + c * chunk;
       const int64_t e = std::min(end, b + chunk);
       queue_.push([join, &fn, b, e] {
-        fn(b, e);
+        RunChunkInstrumented(fn, b, e);
         std::lock_guard<std::mutex> jl(join->m);
         if (--join->remaining == 0) join->done.notify_one();
       });
     }
+    if (telemetry) {
+      static obs::Gauge* depth = obs::GetGauge("pool.queue_depth");
+      depth->Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_all();
+  if (telemetry) {
+    static obs::Counter* dispatches = obs::GetCounter("pool.parallel_fors");
+    static obs::Counter* chunks = obs::GetCounter("pool.chunks");
+    dispatches->Add(1.0);
+    chunks->Add(static_cast<double>(nchunks));
+  }
 
   // The calling thread is lane 0. It is flagged as a pool lane for the
   // duration of its chunk so nested ParallelFors run inline there too.
   t_in_pool_worker = true;
-  fn(begin, std::min(end, begin + chunk));
+  RunChunkInstrumented(fn, begin, std::min(end, begin + chunk));
   t_in_pool_worker = false;
 
   std::unique_lock<std::mutex> jl(join->m);

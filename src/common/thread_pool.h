@@ -61,7 +61,9 @@ class ThreadPool {
   static int ResolveThreads(int requested);
 
  private:
-  void WorkerLoop();
+  // `lane` is this thread's stable execution-lane id (callers are lane 0,
+  // pool workers 1..N-1) — used to label pool tracks in telemetry.
+  void WorkerLoop(int lane);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fedmp::edge {
 
@@ -138,6 +139,21 @@ WorkerRoundFaults FaultPlan::FaultsFor(int64_t round, int worker) const {
   out.update_dropped = !fate.delivered;
   out.update_duplicated = fate.copies > 1;
   out.extra_delay = fate.delay_seconds;
+  if (obs::Enabled()) {
+    // Injected-event tallies (observability only; no effect on the draws).
+    static obs::Counter* crash = obs::GetCounter("faults.crash");
+    static obs::Counter* straggle = obs::GetCounter("faults.straggle");
+    static obs::Counter* corrupt = obs::GetCounter("faults.corrupt");
+    static obs::Counter* drop = obs::GetCounter("faults.drop");
+    static obs::Counter* duplicate = obs::GetCounter("faults.duplicate");
+    static obs::Counter* delay = obs::GetCounter("faults.delay");
+    if (out.crashed) crash->Add(1.0);
+    if (out.slowdown > 1.0) straggle->Add(1.0);
+    if (out.update_corrupted) corrupt->Add(1.0);
+    if (out.update_dropped) drop->Add(1.0);
+    if (out.update_duplicated) duplicate->Add(1.0);
+    if (out.extra_delay > 0.0) delay->Add(1.0);
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "fl/quantize.h"
 #include "nn/tensor_ops.h"
+#include "obs/trace.h"
 
 namespace fedmp::fl {
 
@@ -22,6 +23,15 @@ StatusOr<nn::TensorList> AggregateSubModels(
     bool quantize_residuals) {
   if (updates.empty()) {
     return InvalidArgumentError("aggregation with no participants");
+  }
+  OBS_SPAN("r2sp_aggregate",
+           {{"scheme", SyncSchemeName(scheme)},
+            {"updates", static_cast<int>(updates.size())}});
+  if (obs::Enabled()) {
+    static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
+    static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
+    aggs->Add(1.0);
+    upd->Add(static_cast<double>(updates.size()));
   }
   nn::TensorList sum;
   for (const SubModelUpdate& update : updates) {

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
+#include "obs/trace.h"
 #include "pruning/structured_pruner.h"
 
 namespace fedmp::fl {
@@ -56,6 +57,7 @@ AsyncTrainer::AsyncTrainer(const data::FlTask* task,
       << strategy_->Name() << " cannot run asynchronously";
   ThreadPool::SetGlobalThreads(
       ThreadPool::ResolveThreads(options_.base.num_threads));
+  obs::MaybeEnableFromEnv();
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.base.seed ^ 0x5EEDULL);
   fault_plan_ = internal::ResolveFaultPlan(options_.base,
@@ -73,6 +75,9 @@ RoundLog AsyncTrainer::Run() {
   RoundLog log;
   edge::SimClock clock;
   edge::EventQueue queue;
+  // PS track for everything the event loop emits; dispatch lanes override.
+  obs::TrackScope ps_scope(obs::PsTrack());
+  obs::SetLogicalTime(clock.now());
   const int num_workers = static_cast<int>(workers_.size());
   const nn::ModelSpec& global_spec = server_->spec();
   const double mixing = options_.mixing > 0.0
@@ -111,6 +116,11 @@ RoundLog AsyncTrainer::Run() {
         const size_t jj = static_cast<size_t>(j);
         const size_t i = static_cast<size_t>(ids[jj]);
         const WorkerRoundPlan& plan = plans[jj];
+        obs::TrackScope lane(obs::WorkerTrack(ids[jj]));
+        OBS_SPAN("worker_dispatch",
+                 {{"worker", ids[jj]},
+                  {"round", round},
+                  {"ratio", plan.pruning_ratio}});
         pruning::SubModel sub;
         if (plan.pruning_ratio > 0.0) {
           auto pruned = pruning::PruneByRatio(
@@ -190,6 +200,11 @@ RoundLog AsyncTrainer::Run() {
       }
 
       const double arrival = clock.now() + duration;
+      obs::InstantEvent("dispatch",
+                        {{"worker", id},
+                         {"round", round},
+                         {"generation", slot.generation},
+                         {"eta", arrival}});
       queue.Push(arrival, id, slot.generation);
       if (duplicated) queue.Push(arrival, id, slot.generation);
       inflight[static_cast<size_t>(id)] = std::move(slot);
@@ -225,8 +240,10 @@ RoundLog AsyncTrainer::Run() {
       if (redispatches[static_cast<size_t>(worker)] <
           options_.max_redispatch_per_round) {
         ++redispatches[static_cast<size_t>(worker)];
+        obs::InstantEvent("redispatch", {{"worker", worker}, {"round", round}});
         dispatch_all({worker}, round);
       } else {
+        obs::InstantEvent("park", {{"worker", worker}, {"round", round}});
         parked.push_back(worker);
       }
     };
@@ -244,16 +261,23 @@ RoundLog AsyncTrainer::Run() {
       // Events pushed before an empty-round wait can sit slightly in the
       // past of the advanced clock; the PS processes them "now".
       if (event.time > clock.now()) clock.AdvanceTo(event.time);
+      obs::SetLogicalTime(clock.now());
       f.consumed = true;
       if (f.failed) {
+        obs::InstantEvent("failure_detect",
+                          {{"worker", event.worker}, {"round", round}});
         retire(event.worker);
         continue;
       }
       if (!server_->AcceptPayload(f.trained_weights)) {
         ++rejected;
+        obs::InstantEvent("reject_corrupt",
+                          {{"worker", event.worker}, {"round", round}});
         retire(event.worker);
         continue;
       }
+      obs::InstantEvent("arrival",
+                        {{"worker", event.worker}, {"round", round}});
       arrived.push_back(event.worker);
       const double duration = event.time - f.dispatch_time;
       arrival_durations.push_back(duration);
@@ -270,9 +294,13 @@ RoundLog AsyncTrainer::Run() {
       // Every candidate failed this round. Keep the previous global, let
       // the clock breathe, and bring the parked workers back next round.
       clock.Advance(options_.base.deadline.empty_round_wait);
+      obs::SetLogicalTime(clock.now());
       coverage_.ObserveRound({});
     } else {
       // Update the global model from the recovered models (+ residuals).
+      OBS_SPAN("aggregate",
+               {{"round", round},
+                {"updates", static_cast<int>(arrived.size())}});
       nn::TensorList sum;
       double final_loss_sum = 0.0, ratio_sum = 0.0;
       for (int worker : arrived) {
@@ -333,6 +361,7 @@ RoundLog AsyncTrainer::Run() {
     bool stop = round + 1 >= options_.base.max_rounds ||
                 clock.now() >= options_.base.time_budget_seconds;
     if (round % options_.base.eval_every == 0 || stop) {
+      OBS_SPAN("evaluate", {{"round", round}});
       const auto eval = server_->Evaluate(
           task_->test, options_.base.eval_batch_size,
           task_->is_language_model, options_.base.eval_max_batches);
@@ -351,9 +380,20 @@ RoundLog AsyncTrainer::Run() {
                         << " acc=" << eval.accuracy;
       }
     }
+    obs::InstantEvent("round",
+                      {{"round", record.round},
+                       {"sim_time", record.sim_time},
+                       {"round_seconds", record.round_seconds},
+                       {"train_loss", record.train_loss},
+                       {"mean_ratio", record.mean_ratio},
+                       {"participants", record.participants},
+                       {"rejected", record.rejected_updates},
+                       {"duplicates", record.duplicate_updates},
+                       {"staleness", record.max_param_staleness}});
     log.Add(record);
     if (stop) break;
   }
+  obs::Flush();
   return log;
 }
 

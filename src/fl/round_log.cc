@@ -1,9 +1,54 @@
 #include "fl/round_log.h"
 
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/json_util.h"
 
 namespace fedmp::fl {
+
+namespace {
+
+// The single source of truth for the per-round schema: ToTable() and
+// ToJsonl() both walk this list, so the header, the CSV rows, and the JSONL
+// keys cannot drift apart when a field is added.
+struct Column {
+  const char* name;
+  bool is_int;
+  int precision;  // fixed decimals (doubles only)
+  int64_t (*get_int)(const RoundRecord&);
+  double (*get_double)(const RoundRecord&);
+};
+
+#define FEDMP_INT_COLUMN(field) \
+  {#field, true, 0, [](const RoundRecord& r) { return r.field; }, nullptr}
+#define FEDMP_DBL_COLUMN(field, precision)  \
+  {#field, false, precision, nullptr,       \
+   [](const RoundRecord& r) { return r.field; }}
+
+const Column kColumns[] = {
+    FEDMP_INT_COLUMN(round),
+    FEDMP_DBL_COLUMN(sim_time, 2),
+    FEDMP_DBL_COLUMN(round_seconds, 2),
+    FEDMP_DBL_COLUMN(train_loss, 4),
+    FEDMP_DBL_COLUMN(mean_ratio, 3),
+    FEDMP_DBL_COLUMN(test_accuracy, 4),
+    FEDMP_DBL_COLUMN(test_loss, 4),
+    FEDMP_DBL_COLUMN(test_perplexity, 3),
+    FEDMP_DBL_COLUMN(decision_overhead_ms, 3),
+    FEDMP_INT_COLUMN(participants),
+    FEDMP_INT_COLUMN(rejected_updates),
+    FEDMP_INT_COLUMN(duplicate_updates),
+    FEDMP_INT_COLUMN(max_param_staleness),
+};
+
+#undef FEDMP_INT_COLUMN
+#undef FEDMP_DBL_COLUMN
+
+}  // namespace
 
 double RoundLog::TimeToAccuracy(double target) const {
   for (const RoundRecord& r : records_) {
@@ -59,29 +104,52 @@ double RoundLog::TotalSimTime() const {
 }
 
 CsvTable RoundLog::ToTable() const {
-  CsvTable table({"round", "sim_time", "round_seconds", "train_loss",
-                  "mean_ratio", "test_accuracy", "test_loss",
-                  "test_perplexity", "decision_overhead_ms",
-                  "participants", "rejected_updates", "duplicate_updates",
-                  "max_param_staleness"});
+  std::vector<std::string> header;
+  for (const Column& c : kColumns) header.push_back(c.name);
+  CsvTable table(std::move(header));
   for (const RoundRecord& r : records_) {
-    Status s = table.AddRow(std::vector<std::string>{
-        StrFormat("%lld", (long long)r.round),
-        StrFormat("%.2f", r.sim_time),
-        StrFormat("%.2f", r.round_seconds),
-        StrFormat("%.4f", r.train_loss),
-        StrFormat("%.3f", r.mean_ratio),
-        StrFormat("%.4f", r.test_accuracy),
-        StrFormat("%.4f", r.test_loss),
-        StrFormat("%.3f", r.test_perplexity),
-        StrFormat("%.3f", r.decision_overhead_ms),
-        StrFormat("%lld", (long long)r.participants),
-        StrFormat("%lld", (long long)r.rejected_updates),
-        StrFormat("%lld", (long long)r.duplicate_updates),
-        StrFormat("%lld", (long long)r.max_param_staleness)});
+    std::vector<std::string> cells;
+    cells.reserve(std::size(kColumns));
+    for (const Column& c : kColumns) {
+      cells.push_back(c.is_int
+                          ? StrFormat("%lld", (long long)c.get_int(r))
+                          : StrFormat("%.*f", c.precision, c.get_double(r)));
+    }
+    Status s = table.AddRow(std::move(cells));
     FEDMP_CHECK(s.ok());
   }
   return table;
+}
+
+void RoundLog::ToJsonl(std::ostream& os) const {
+  for (const RoundRecord& r : records_) {
+    os << '{';
+    bool first = true;
+    for (const Column& c : kColumns) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << c.name << "\":";
+      if (c.is_int) {
+        os << (long long)c.get_int(r);
+      } else {
+        os << obs::JsonNumber(c.get_double(r), c.precision);
+      }
+    }
+    os << "}\n";
+  }
+}
+
+std::string RoundLog::ToJsonlString() const {
+  std::ostringstream os;
+  ToJsonl(os);
+  return os.str();
+}
+
+Status RoundLog::WriteJsonlFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open " + path + " for writing");
+  ToJsonl(out);
+  return Status::Ok();
 }
 
 }  // namespace fedmp::fl

@@ -2,6 +2,8 @@
 #define FEDMP_FL_ROUND_LOG_H_
 
 #include <cstdint>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "common/csv.h"
@@ -54,7 +56,16 @@ class RoundLog {
   double MeanDecisionOverheadMs() const;
   double TotalSimTime() const;
 
+  // CSV view. Columns come from the single column table in round_log.cc,
+  // so ToTable() and ToJsonl() can never drift apart.
   CsvTable ToTable() const;
+
+  // Structured view: one JSON object per round, same columns and numeric
+  // formatting as the CSV (ints as JSON ints, doubles fixed-precision).
+  // Schema documented in DESIGN.md ("Observability").
+  void ToJsonl(std::ostream& os) const;
+  std::string ToJsonlString() const;
+  Status WriteJsonlFile(const std::string& path) const;
 
  private:
   std::vector<RoundRecord> records_;

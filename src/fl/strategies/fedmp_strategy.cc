@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace fedmp::fl {
 
@@ -13,6 +14,23 @@ namespace {
 // scale. Squash monotonically into (-1, 1) — ordering (what arm selection
 // uses) is preserved.
 double SquashReward(double r) { return r / (1.0 + std::fabs(r)); }
+
+// Telemetry hooks for the bandit loop. Both are emitted from serial driver
+// code, so the worker-track event order is thread-count-invariant.
+void NoteSelect(int worker, const bandit::EucbAgent& agent, double ratio) {
+  if (!obs::Enabled()) return;
+  obs::InstantEvent("eucb_select", obs::WorkerTrack(worker),
+                    {{"worker", worker},
+                     {"ratio", ratio},
+                     {"leaves", static_cast<int>(agent.tree().num_leaves())},
+                     {"depth", agent.tree().MaxDepth()}});
+}
+
+void NoteReward(int worker, double reward) {
+  if (!obs::Enabled()) return;
+  obs::InstantEvent("eucb_reward", obs::WorkerTrack(worker),
+                    {{"worker", worker}, {"reward", reward}});
+}
 }  // namespace
 
 FedMpStrategy::FedMpStrategy(const FedMpOptions& options)
@@ -40,6 +58,7 @@ void FedMpStrategy::PlanRound(int64_t /*round*/,
   FEDMP_CHECK_EQ(plans->size(), agents_.size());
   for (size_t n = 0; n < agents_.size(); ++n) {
     const double ratio = agents_[n]->SelectRatio();
+    NoteSelect(static_cast<int>(n), *agents_[n], ratio);
     last_ratios_[n] = ratio;
     (*plans)[n] = WorkerRoundPlan{};
     (*plans)[n].pruning_ratio = ratio;
@@ -69,7 +88,9 @@ void FedMpStrategy::ObserveRound(int64_t /*round*/,
       }
     }
     // Crashed workers observe zero reward for the pulled arm.
-    agents_[n]->ObserveReward(SquashReward(reward));
+    const double squashed = SquashReward(reward);
+    NoteReward(static_cast<int>(n), squashed);
+    agents_[n]->ObserveReward(squashed);
   }
 }
 
@@ -79,6 +100,8 @@ WorkerRoundPlan FedMpStrategy::PlanWorker(int64_t /*round*/, int worker) {
   WorkerRoundPlan plan;
   plan.pruning_ratio =
       agents_[static_cast<size_t>(worker)]->SelectRatio();
+  NoteSelect(worker, *agents_[static_cast<size_t>(worker)],
+             plan.pruning_ratio);
   last_ratios_[static_cast<size_t>(worker)] = plan.pruning_ratio;
   return plan;
 }
@@ -95,7 +118,9 @@ void FedMpStrategy::ObserveWorker(int64_t /*round*/, int worker,
                  : bandit::FedMpReward(delta_loss, completion_time,
                                        mean_time, options_.reward);
   }
-  agents_[static_cast<size_t>(worker)]->ObserveReward(SquashReward(reward));
+  const double squashed = SquashReward(reward);
+  NoteReward(worker, squashed);
+  agents_[static_cast<size_t>(worker)]->ObserveReward(squashed);
 }
 
 FixedRatioStrategy::FixedRatioStrategy(double ratio, SyncScheme sync)

@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "edge/sim_clock.h"
+#include "obs/trace.h"
 #include "pruning/structured_pruner.h"
 
 namespace fedmp::fl {
@@ -58,6 +59,7 @@ Trainer::Trainer(const data::FlTask* task,
       << "one shard per device required";
   ThreadPool::SetGlobalThreads(
       ThreadPool::ResolveThreads(options_.num_threads));
+  obs::MaybeEnableFromEnv();
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.seed ^ 0x5EEDULL);
   strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
@@ -76,12 +78,19 @@ RoundLog Trainer::Run() {
   edge::SimClock clock;
   const int num_workers = static_cast<int>(workers_.size());
   const nn::ModelSpec& global_spec = server_->spec();
+  // Everything the driver thread emits lands on the PS track; per-worker
+  // lanes override this inside the parallel regions below.
+  obs::TrackScope ps_scope(obs::PsTrack());
+  obs::SetLogicalTime(clock.now());
 
   for (int64_t round = 0; round < options_.max_rounds; ++round) {
     // --- (1) Pruning-ratio decision + distributed model pruning (PS). ---
     const auto decision_start = std::chrono::steady_clock::now();
     std::vector<WorkerRoundPlan> plans(static_cast<size_t>(num_workers));
-    strategy_->PlanRound(round, &plans);
+    {
+      OBS_SPAN("plan_round", {{"round", round}});
+      strategy_->PlanRound(round, &plans);
+    }
     if (force_full_refresh_) {
       // Some prunable unit exceeded the staleness bound: ship the full
       // model to everyone so any single surviving update re-covers every
@@ -97,6 +106,8 @@ RoundLog Trainer::Run() {
     ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t n = lo; n < hi; ++n) {
         const size_t i = static_cast<size_t>(n);
+        // The pruner's spans belong to the worker the sub-model is for.
+        obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
         if (plans[i].pruning_ratio > 0.0) {
           auto sub = pruning::PruneByRatio(global_spec, server_->weights(),
                                            plans[i].pruning_ratio);
@@ -128,6 +139,7 @@ RoundLog Trainer::Run() {
     ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t n = lo; n < hi; ++n) {
         const size_t i = static_cast<size_t>(n);
+        obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
         LocalTrainOptions local;
         local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
         local.batch_size = task_->batch_size;
@@ -138,6 +150,11 @@ RoundLog Trainer::Run() {
         local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
         local.is_language_model = task_->is_language_model;
 
+        OBS_SPAN("worker_train",
+                 {{"worker", static_cast<int>(n)},
+                  {"round", round},
+                  {"ratio", plans[i].pruning_ratio},
+                  {"tau", local.tau}});
         LocalResult result =
             workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
         delta_losses[i] = result.initial_loss - result.final_loss;
@@ -196,6 +213,11 @@ RoundLog Trainer::Run() {
     }
     const edge::DeadlineOutcome outcome =
         edge::ApplyDeadline(completion_times, options_.deadline);
+    obs::InstantEvent(
+        "deadline",
+        {{"round", round},
+         {"survivors", static_cast<int>(outcome.survivors.size())},
+         {"round_time", outcome.round_time}});
 
     // --- (4) Screening + aggregation over accepted survivors. ---
     std::vector<SubModelUpdate> updates;
@@ -219,6 +241,9 @@ RoundLog Trainer::Run() {
       accepted_masks.push_back(&subs[i].mask);
     }
     if (!updates.empty()) {
+      OBS_SPAN("aggregate",
+               {{"round", round},
+                {"updates", static_cast<int>(updates.size())}});
       auto aggregated =
           AggregateSubModels(global_spec, server_->weights(), updates,
                              strategy_->sync_scheme(),
@@ -237,6 +262,7 @@ RoundLog Trainer::Run() {
     }
 
     clock.Advance(outcome.round_time);
+    obs::SetLogicalTime(clock.now());
 
     // --- Feedback to the strategy. ---
     RoundObservation observation;
@@ -271,6 +297,7 @@ RoundLog Trainer::Run() {
     const bool evaluate =
         (round % options_.eval_every == 0) || stop;
     if (evaluate) {
+      OBS_SPAN("evaluate", {{"round", round}});
       const ParameterServer::EvalResult eval = server_->Evaluate(
           task_->test, options_.eval_batch_size, task_->is_language_model,
           options_.eval_max_batches);
@@ -293,9 +320,20 @@ RoundLog Trainer::Run() {
                         << " ratio=" << record.mean_ratio;
       }
     }
+    obs::InstantEvent("round",
+                      {{"round", record.round},
+                       {"sim_time", record.sim_time},
+                       {"round_seconds", record.round_seconds},
+                       {"train_loss", record.train_loss},
+                       {"mean_ratio", record.mean_ratio},
+                       {"participants", record.participants},
+                       {"rejected", record.rejected_updates},
+                       {"duplicates", record.duplicate_updates},
+                       {"staleness", record.max_param_staleness}});
     log.Add(record);
     if (stop) break;
   }
+  obs::Flush();
   return log;
 }
 

@@ -1,0 +1,213 @@
+#include "obs/json_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace fedmp::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v, int precision) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+namespace {
+
+// Cursor over the text being validated.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " at byte %zu", pos);
+    error = what + buf;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Peek(char* c) {
+    if (pos >= text.size()) return false;
+    *c = text[pos];
+    return true;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') {
+      if (pos + n >= text.size() || text[pos + n] != lit[n]) {
+        return Fail(std::string("expected '") + lit + "'");
+      }
+      ++n;
+    }
+    pos += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected '\"'");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) break;
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos + static_cast<size_t>(k) >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text[pos + static_cast<size_t>(k)]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return Fail("expected number");
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > 128) return Fail("nesting too deep");
+    SkipWs();
+    char c;
+    if (!Peek(&c)) return Fail("expected value");
+    switch (c) {
+      case '{': return Object(depth);
+      case '[': return Array(depth);
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object(int depth) {
+    ++pos;  // '{'
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Literal(":")) return false;
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated object");
+      ++pos;
+      if (c == '}') return true;
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos;  // '['
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated array");
+      ++pos;
+      if (c == ']') return true;
+      if (c != ',') return Fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonSyntaxValid(const std::string& text, std::string* error) {
+  Parser p{text, /*pos=*/0, /*error=*/{}};
+  if (!p.Value(0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    if (error != nullptr) *error = "trailing garbage";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fedmp::obs

@@ -1,0 +1,23 @@
+#ifndef FEDMP_OBS_JSON_UTIL_H_
+#define FEDMP_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace fedmp::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not added).
+std::string JsonEscape(const std::string& s);
+
+// Renders a double as a JSON value: fixed formatting for determinism,
+// "null" for non-finite values (JSON has no NaN/Inf).
+std::string JsonNumber(double v, int precision);
+
+// Minimal recursive-descent JSON syntax checker (no DOM). Used by the tests
+// and the CI trace-validation step to assert exporter output parses. On
+// failure returns false and, when `error` is non-null, a position-tagged
+// message.
+bool JsonSyntaxValid(const std::string& text, std::string* error = nullptr);
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_JSON_UTIL_H_

@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+void Counter::Add(double delta) {
+  if (!Enabled()) return;
+  Registry::Get().AddToSlot(id_, delta, /*bucket=*/-1);
+}
+
+void Gauge::Set(double value) {
+  if (!Enabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  size_t bucket = bounds_.size();  // overflow bucket
+  for (size_t b = 0; b < bounds_.size(); ++b) {
+    if (value <= bounds_[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  Registry::Get().AddToSlot(id_, value, static_cast<int>(bucket));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // leaky: outlives thread exit
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, idx] : by_name_) {
+    if (n == name) {
+      MetricInfo& info = metrics_[static_cast<size_t>(idx)];
+      return info.kind == MetricSnapshot::Kind::kCounter
+                 ? static_cast<Counter*>(info.handle)
+                 : nullptr;
+    }
+  }
+  const int id = RegisterMetric(name, MetricSnapshot::Kind::kCounter, {});
+  counters_.push_back(Counter(id));
+  metrics_[static_cast<size_t>(id)].handle = &counters_.back();
+  return &counters_.back();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, idx] : by_name_) {
+    if (n == name) {
+      MetricInfo& info = metrics_[static_cast<size_t>(idx)];
+      return info.kind == MetricSnapshot::Kind::kGauge
+                 ? static_cast<Gauge*>(info.handle)
+                 : nullptr;
+    }
+  }
+  const int id = RegisterMetric(name, MetricSnapshot::Kind::kGauge, {});
+  gauges_.emplace_back();
+  metrics_[static_cast<size_t>(id)].handle = &gauges_.back();
+  return &gauges_.back();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, idx] : by_name_) {
+    if (n == name) {
+      MetricInfo& info = metrics_[static_cast<size_t>(idx)];
+      return info.kind == MetricSnapshot::Kind::kHistogram
+                 ? static_cast<Histogram*>(info.handle)
+                 : nullptr;
+    }
+  }
+  const int id =
+      RegisterMetric(name, MetricSnapshot::Kind::kHistogram, bounds);
+  histograms_.push_back(Histogram(id, std::move(bounds)));
+  metrics_[static_cast<size_t>(id)].handle = &histograms_.back();
+  return &histograms_.back();
+}
+
+int Registry::RegisterMetric(const std::string& name,
+                             MetricSnapshot::Kind kind,
+                             std::vector<double> bounds) {
+  const int id = static_cast<int>(metrics_.size());
+  metrics_.push_back(MetricInfo{name, kind, nullptr, std::move(bounds)});
+  by_name_.emplace_back(name, id);
+  return id;
+}
+
+Registry::Shard* Registry::LocalShard() {
+  struct Owner {
+    Shard* shard = nullptr;
+    ~Owner() {
+      if (shard != nullptr) Registry::Get().RetireShard(shard);
+    }
+  };
+  thread_local Owner owner;
+  if (owner.shard == nullptr) {
+    owner.shard = new Shard();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(owner.shard);
+  }
+  return owner.shard;
+}
+
+void Registry::AddToSlot(int id, double value, int bucket) {
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (shard->slots.size() <= static_cast<size_t>(id)) {
+    shard->slots.resize(static_cast<size_t>(id) + 1);
+  }
+  Slot& slot = shard->slots[static_cast<size_t>(id)];
+  slot.sum += value;
+  slot.count += 1;
+  if (bucket >= 0) {
+    if (slot.buckets.size() <= static_cast<size_t>(bucket)) {
+      slot.buckets.resize(static_cast<size_t>(bucket) + 1, 0);
+    }
+    slot.buckets[static_cast<size_t>(bucket)] += 1;
+  }
+}
+
+void Registry::MergeSlots(std::vector<Slot>* into,
+                          const std::vector<Slot>& from) {
+  if (into->size() < from.size()) into->resize(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    Slot& dst = (*into)[i];
+    const Slot& src = from[i];
+    dst.sum += src.sum;
+    dst.count += src.count;
+    if (dst.buckets.size() < src.buckets.size()) {
+      dst.buckets.resize(src.buckets.size(), 0);
+    }
+    for (size_t b = 0; b < src.buckets.size(); ++b) {
+      dst.buckets[b] += src.buckets[b];
+    }
+  }
+}
+
+void Registry::RetireShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MergeSlots(&retired_, shard->slots);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+  delete shard;
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Slot> totals = retired_;
+  totals.resize(metrics_.size());
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MergeSlots(&totals, shard->slots);
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics_.size());
+  for (size_t id = 0; id < metrics_.size(); ++id) {
+    const MetricInfo& info = metrics_[id];
+    MetricSnapshot snap;
+    snap.name = info.name;
+    snap.kind = info.kind;
+    switch (info.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        snap.value = totals[id].sum;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        snap.value = static_cast<Gauge*>(info.handle)
+                         ->value_.load(std::memory_order_relaxed);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        snap.count = totals[id].count;
+        snap.sum = totals[id].sum;
+        snap.bounds = info.bounds;
+        snap.bucket_counts = totals[id].buckets;
+        snap.bucket_counts.resize(info.bounds.size() + 1, 0);
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Registry::ToText() {
+  std::string out;
+  char buf[160];
+  for (const MetricSnapshot& m : Snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%s %.6g\n", m.name.c_str(), m.value);
+        out += buf;
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf), "%s count=%lld sum=%.6g\n",
+                      m.name.c_str(), static_cast<long long>(m.count), m.sum);
+        out += buf;
+        for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          if (b < m.bounds.size()) {
+            std::snprintf(buf, sizeof(buf), "%s{le=%.6g} %lld\n",
+                          m.name.c_str(), m.bounds[b],
+                          static_cast<long long>(m.bucket_counts[b]));
+          } else {
+            std::snprintf(buf, sizeof(buf), "%s{le=+inf} %lld\n",
+                          m.name.c_str(),
+                          static_cast<long long>(m.bucket_counts[b]));
+          }
+          out += buf;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Registry::ToJson() {
+  std::string out = "{";
+  bool first = true;
+  char buf[96];
+  for (const MetricSnapshot& m : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(m.name) + "\":";
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        out += JsonNumber(m.value, 6);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf), "{\"count\":%lld,\"sum\":%s",
+                      static_cast<long long>(m.count),
+                      JsonNumber(m.sum, 6).c_str());
+        out += buf;
+        out += ",\"buckets\":[";
+        for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          if (b > 0) out += ",";
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(m.bucket_counts[b]));
+          out += buf;
+        }
+        out += "]}";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->slots.clear();
+  }
+  for (Gauge& g : gauges_) g.value_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* GetCounter(const std::string& name) {
+  return Registry::Get().GetCounter(name);
+}
+Gauge* GetGauge(const std::string& name) {
+  return Registry::Get().GetGauge(name);
+}
+Histogram* GetHistogram(const std::string& name,
+                        std::vector<double> bounds) {
+  return Registry::Get().GetHistogram(name, std::move(bounds));
+}
+
+}  // namespace fedmp::obs

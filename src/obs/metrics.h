@@ -1,0 +1,154 @@
+#ifndef FEDMP_OBS_METRICS_H_
+#define FEDMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Lock-cheap metrics for the FL engines, kernels, and pool: counters,
+// gauges, and fixed-bucket histograms. Handles are resolved once by name
+// (`GetCounter("pool.tasks")`) and are stable for the process lifetime;
+// counter/histogram writes land in a per-thread shard guarded by that
+// shard's own mutex (uncontended except while a scrape is merging), so the
+// hot path is one relaxed atomic load (the enabled flag) plus an
+// uncontended lock. Shards are merged at scrape time; threads that exit
+// fold their residue into a retired pool first, so no sample is lost when
+// the thread pool is resized.
+//
+// This module is deliberately dependency-free (std only) so the lowest
+// layers (common/thread_pool) can use it without a library cycle.
+namespace fedmp::obs {
+
+// Global telemetry switch. Off by default: every recording hook reduces to
+// a relaxed atomic load and a branch. Enabled by obs::Enable (trace.h) or
+// the FEDMP_TRACE environment variable.
+bool Enabled();
+void SetEnabled(bool on);
+
+class Registry;
+
+class Counter {
+ public:
+  // Adds `delta` (default 1). No-op while telemetry is disabled.
+  void Add(double delta = 1.0);
+
+ private:
+  friend class Registry;
+  explicit Counter(int id) : id_(id) {}
+  int id_;
+};
+
+class Gauge {
+ public:
+  Gauge() : value_(0.0) {}  // public: deque::emplace_back needs it
+
+  // Last-write-wins. No-op while telemetry is disabled.
+  void Set(double value);
+
+ private:
+  friend class Registry;
+  std::atomic<double> value_;
+};
+
+class Histogram {
+ public:
+  // Records `value` into the first bucket whose upper bound is >= value
+  // (the last bucket is the +inf overflow). No-op while disabled.
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class Registry;
+  Histogram(int id, std::vector<double> bounds)
+      : id_(id), bounds_(std::move(bounds)) {}
+  int id_;
+  std::vector<double> bounds_;
+};
+
+// One metric's merged state at scrape time.
+struct MetricSnapshot {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  double value = 0.0;                  // counter total or gauge value
+  int64_t count = 0;                   // histogram: number of observations
+  double sum = 0.0;                    // histogram: sum of observations
+  std::vector<double> bounds;          // histogram upper bounds
+  std::vector<int64_t> bucket_counts;  // size bounds.size() + 1 (overflow)
+};
+
+class Registry {
+ public:
+  // Process-wide registry (leaky singleton: safe from thread exit hooks).
+  static Registry& Get();
+
+  // Resolve-once handles. Same name -> same handle; a histogram re-resolved
+  // with different bounds keeps the bounds of the first registration.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  // Merges every live thread shard plus retired residue. Sorted by name.
+  std::vector<MetricSnapshot> Snapshot();
+
+  // "name value" lines (histograms: one line per bucket) for consoles.
+  std::string ToText();
+  // One JSON object keyed by metric name.
+  std::string ToJson();
+
+  // Zeroes every value (handles stay valid). Tests only.
+  void Reset();
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  struct MetricInfo {
+    std::string name;
+    MetricSnapshot::Kind kind;
+    void* handle = nullptr;          // Counter* / Gauge* / Histogram*
+    std::vector<double> bounds;      // kHistogram only
+  };
+
+  // Per-thread accumulation slots, indexed by metric id.
+  struct Slot {
+    double sum = 0.0;
+    int64_t count = 0;
+    std::vector<int64_t> buckets;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::vector<Slot> slots;
+  };
+
+  Registry() = default;
+  int RegisterMetric(const std::string& name, MetricSnapshot::Kind kind,
+                     std::vector<double> bounds);
+  Shard* LocalShard();
+  void RetireShard(Shard* shard);
+  void AddToSlot(int id, double value, int bucket);
+  static void MergeSlots(std::vector<Slot>* into,
+                         const std::vector<Slot>& from);
+
+  std::mutex mu_;  // guards metrics_, by_name_, shards_, retired_
+  std::deque<MetricInfo> metrics_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::pair<std::string, int>> by_name_;  // name -> handle index
+  std::vector<Shard*> shards_;
+  std::vector<Slot> retired_;
+};
+
+// Shorthands for the resolve-once pattern at call sites.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_METRICS_H_

@@ -1,0 +1,371 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs {
+
+namespace {
+
+// Stable integer key / chrome tid / display name per track.
+int TrackKey(Track t) {
+  return static_cast<int>(t.kind) * 1000000 + t.index;
+}
+int TrackTid(Track t) {
+  switch (t.kind) {
+    case Track::Kind::kMain: return 0;
+    case Track::Kind::kPs: return 1;
+    case Track::Kind::kWorker: return 100 + t.index;
+    case Track::Kind::kPool: return 10000 + t.index;
+  }
+  return 0;
+}
+std::string TrackName(Track t) {
+  char buf[32];
+  switch (t.kind) {
+    case Track::Kind::kMain: return "main";
+    case Track::Kind::kPs: return "ps";
+    case Track::Kind::kWorker:
+      std::snprintf(buf, sizeof(buf), "worker %d", t.index);
+      return buf;
+    case Track::Kind::kPool:
+      std::snprintf(buf, sizeof(buf), "pool lane %d", t.index);
+      return buf;
+  }
+  return "main";
+}
+
+struct TraceEvent {
+  std::string name;
+  Track track;
+  double wall_begin_us = 0.0;
+  double wall_end_us = 0.0;
+  double logical_begin = 0.0;
+  double logical_end = 0.0;
+  int depth = 0;
+  uint64_t track_seq = 0;  // logical events only
+  bool instant = false;
+  bool logical = true;  // include in the deterministic export
+  Args args;
+};
+
+struct Recorder {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::map<int, uint64_t> next_seq;  // track key -> next sequence number
+  TraceOptions options;
+  int64_t dropped = 0;
+};
+
+Recorder& Rec() {
+  static Recorder* recorder = new Recorder();  // leaky: thread-exit safe
+  return *recorder;
+}
+
+std::atomic<double> g_logical_time{0.0};
+std::atomic<double> g_pool_min_us{200.0};  // mirror of options (hot path)
+thread_local Track t_default_track = MainTrack();
+thread_local int t_span_depth = 0;
+
+void PushEvent(TraceEvent event) {
+  Recorder& rec = Rec();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  if (static_cast<int64_t>(rec.events.size()) >= rec.options.max_events) {
+    ++rec.dropped;
+    return;
+  }
+  if (event.logical) {
+    event.track_seq = rec.next_seq[TrackKey(event.track)]++;
+  }
+  rec.events.push_back(std::move(event));
+}
+
+std::string ArgsToJson(const Args& args) {
+  std::string out = "{";
+  for (size_t a = 0; a < args.size(); ++a) {
+    if (a > 0) out += ",";
+    out += "\"" + JsonEscape(args[a].first) + "\":" + args[a].second.ToJson();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string ArgValue::ToJson() const {
+  char buf[48];
+  switch (kind) {
+    case Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i));
+      return buf;
+    case Kind::kDouble:
+      if (!std::isfinite(d)) return "null";  // JSON has no NaN/Inf
+      std::snprintf(buf, sizeof(buf), "%.9g", d);
+      return buf;
+    case Kind::kString:
+      return "\"" + JsonEscape(s) + "\"";
+  }
+  return "null";
+}
+
+void Enable(const TraceOptions& options) {
+  Recorder& rec = Rec();
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    rec.options = options;
+  }
+  g_pool_min_us.store(options.pool_event_min_us, std::memory_order_relaxed);
+  SetEnabled(true);
+}
+
+void Disable() { SetEnabled(false); }
+
+bool MaybeEnableFromEnv() {
+  if (Enabled()) return true;
+  const char* chrome = std::getenv("FEDMP_TRACE");
+  const char* jsonl = std::getenv("FEDMP_TRACE_JSONL");
+  const char* metrics = std::getenv("FEDMP_TRACE_METRICS");
+  if (chrome == nullptr && jsonl == nullptr && metrics == nullptr) {
+    return false;
+  }
+  TraceOptions options;
+  if (chrome != nullptr) options.chrome_trace_path = chrome;
+  if (jsonl != nullptr) options.events_jsonl_path = jsonl;
+  if (metrics != nullptr) options.metrics_json_path = metrics;
+  Enable(options);
+  return true;
+}
+
+namespace {
+void WriteFileOrWarn(const std::string& path, const std::string& content) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content;
+}
+}  // namespace
+
+void Flush() {
+  if (!Enabled()) return;
+  TraceOptions options;
+  {
+    Recorder& rec = Rec();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    options = rec.options;
+  }
+  WriteFileOrWarn(options.chrome_trace_path, ChromeTraceJson());
+  WriteFileOrWarn(options.events_jsonl_path, EventsJsonl());
+  if (!options.metrics_json_path.empty()) {
+    WriteFileOrWarn(options.metrics_json_path, Registry::Get().ToJson());
+  }
+}
+
+void SetLogicalTime(double sim_seconds) {
+  g_logical_time.store(sim_seconds, std::memory_order_relaxed);
+}
+double LogicalTime() {
+  return g_logical_time.load(std::memory_order_relaxed);
+}
+
+double WallNowUs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+TrackScope::TrackScope(Track track) : previous_(t_default_track) {
+  t_default_track = track;
+}
+TrackScope::~TrackScope() { t_default_track = previous_; }
+
+ScopedSpan::ScopedSpan(const char* name, Args args)
+    : ScopedSpan(name, t_default_track, std::move(args)) {}
+
+ScopedSpan::ScopedSpan(const char* name, Track track, Args args)
+    : name_(name), track_(track) {
+  if (!Enabled()) return;
+  active_ = true;
+  wall_begin_us_ = WallNowUs();
+  logical_begin_ = LogicalTime();
+  depth_ = t_span_depth++;
+  args_ = std::move(args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  if (t_span_depth > 0) --t_span_depth;  // tolerate unbalanced closes
+  if (!Enabled()) return;  // disabled mid-span: drop the event
+  TraceEvent event;
+  event.name = name_;
+  event.track = track_;
+  event.wall_begin_us = wall_begin_us_;
+  event.wall_end_us = WallNowUs();
+  event.logical_begin = logical_begin_;
+  event.logical_end = LogicalTime();
+  event.depth = depth_;
+  event.logical = track_.kind != Track::Kind::kPool;
+  event.args = std::move(args_);
+  PushEvent(std::move(event));
+}
+
+void InstantEvent(const char* name, Args args) {
+  InstantEvent(name, t_default_track, std::move(args));
+}
+
+void InstantEvent(const char* name, Track track, Args args) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.track = track;
+  event.wall_begin_us = event.wall_end_us = WallNowUs();
+  event.logical_begin = event.logical_end = LogicalTime();
+  event.depth = t_span_depth;
+  event.instant = true;
+  event.logical = track.kind != Track::Kind::kPool;
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
+
+void RecordPoolChunk(int lane, double wall_begin_us, double wall_end_us,
+                     int64_t iterations) {
+  if (!Enabled()) return;
+  if (wall_end_us - wall_begin_us <
+      g_pool_min_us.load(std::memory_order_relaxed)) {
+    return;
+  }
+  TraceEvent event;
+  event.name = "pool_chunk";
+  event.track = PoolTrack(lane);
+  event.wall_begin_us = wall_begin_us;
+  event.wall_end_us = wall_end_us;
+  event.logical_begin = event.logical_end = LogicalTime();
+  event.logical = false;  // pool placement is scheduling-dependent
+  event.args = {{"iters", iterations}};
+  PushEvent(std::move(event));
+}
+
+std::string ChromeTraceJson() {
+  std::vector<TraceEvent> events;
+  {
+    Recorder& rec = Rec();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    events = rec.events;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.wall_begin_us != b.wall_begin_us) {
+                return a.wall_begin_us < b.wall_begin_us;
+              }
+              return TrackTid(a.track) < TrackTid(b.track);
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"fedmp\"}}";
+
+  // One named thread track per distinct (worker / PS / pool lane) track.
+  std::map<int, Track> tracks;
+  for (const TraceEvent& e : events) tracks[TrackTid(e.track)] = e.track;
+  char buf[160];
+  for (const auto& [tid, track] : tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  tid, TrackName(track).c_str());
+    out += buf;
+  }
+
+  for (const TraceEvent& e : events) {
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"s\":\"t\",\"name\":\"%s\",\"args\":",
+                    TrackTid(e.track), e.wall_begin_us,
+                    JsonEscape(e.name).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"name\":\"%s\",\"args\":",
+                    TrackTid(e.track), e.wall_begin_us,
+                    e.wall_end_us - e.wall_begin_us,
+                    JsonEscape(e.name).c_str());
+    }
+    out += buf;
+    // Fold the deterministic clock into args so both clocks are visible.
+    Args args = e.args;
+    args.emplace_back("t_sim", e.logical_begin);
+    if (!e.instant) args.emplace_back("t_sim_end", e.logical_end);
+    out += ArgsToJson(args);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EventsJsonl() {
+  std::vector<TraceEvent> events;
+  {
+    Recorder& rec = Rec();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    events = rec.events;
+  }
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const TraceEvent& e) { return !e.logical; }),
+               events.end());
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              const int ka = TrackKey(a.track), kb = TrackKey(b.track);
+              if (ka != kb) return ka < kb;
+              return a.track_seq < b.track_seq;
+            });
+  std::string out;
+  char buf[192];
+  for (const TraceEvent& e : events) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"track\":\"%s\",\"seq\":%llu,\"kind\":\"%s\",\"event\":\"%s\","
+        "\"t_sim\":%.9g,\"t_sim_end\":%.9g,\"depth\":%d,\"args\":",
+        TrackName(e.track).c_str(),
+        static_cast<unsigned long long>(e.track_seq),
+        e.instant ? "instant" : "span", JsonEscape(e.name).c_str(),
+        e.logical_begin, e.logical_end, e.depth);
+    out += buf;
+    out += ArgsToJson(e.args);
+    out += "}\n";
+  }
+  return out;
+}
+
+int64_t BufferedEventCount() {
+  Recorder& rec = Rec();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  return static_cast<int64_t>(rec.events.size());
+}
+
+void ResetForTest() {
+  Recorder& rec = Rec();
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    rec.events.clear();
+    rec.next_seq.clear();
+    rec.dropped = 0;
+  }
+  SetLogicalTime(0.0);
+  Registry::Get().Reset();
+}
+
+}  // namespace fedmp::obs

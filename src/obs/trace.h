@@ -1,0 +1,180 @@
+#ifndef FEDMP_OBS_TRACE_H_
+#define FEDMP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Scoped spans + exporters. A span records BOTH clocks:
+//   * wall time (steady_clock microseconds) — what Perfetto/chrome://tracing
+//     draws and what overhead analysis needs;
+//   * the deterministic simulated time (edge::SimClock seconds, mirrored in
+//     via SetLogicalTime) — a pure function of the run seed, so the logical
+//     view of a trace is bit-identical across runs and thread counts.
+// Every event lives on a track (PS, one per FL worker, one per pool lane).
+// Worker/PS events additionally get a per-track sequence number assigned in
+// emission order; since each of those tracks is only ever written by one
+// thread at a time, the sequence — and hence EventsJsonl() — is identical
+// at any FEDMP_THREADS. Pool-lane events depend on OS scheduling, so they
+// appear in the Chrome trace only, never in the logical export.
+//
+// All hooks are near-no-ops while telemetry is disabled (one relaxed atomic
+// load); see obs/metrics.h for the enable flag.
+namespace fedmp::obs {
+
+struct TraceOptions {
+  // Chrome trace-event JSON written by Flush(); empty = skip.
+  std::string chrome_trace_path;
+  // Deterministic structured event log (one JSON object per line); empty =
+  // skip.
+  std::string events_jsonl_path;
+  // Metrics snapshot JSON; empty = skip.
+  std::string metrics_json_path;
+  // Pool-lane chunk events shorter than this never reach the buffer (they
+  // would swamp the trace: kernels issue thousands of tiny chunks).
+  double pool_event_min_us = 200.0;
+  // Hard cap on buffered events; past it new events are dropped and counted
+  // in the obs.events_dropped counter.
+  int64_t max_events = 1000000;
+};
+
+// Turns telemetry on (idempotent; replaces the options).
+void Enable(const TraceOptions& options = {});
+// Turns telemetry off. Buffered events stay until ResetForTest/re-Enable.
+void Disable();
+// Enables from the environment: FEDMP_TRACE=<chrome.json> and/or
+// FEDMP_TRACE_JSONL=<events.jsonl> (FEDMP_TRACE_METRICS=<metrics.json>).
+// Returns whether telemetry ended up enabled. Called by the trainers, so
+// `FEDMP_TRACE=trace.json ./examples/quickstart` needs no code changes.
+bool MaybeEnableFromEnv();
+// Writes the configured export files from the current buffers (no-op when
+// disabled or no path is configured). Keeps recording.
+void Flush();
+
+// Mirrors the engines' simulated clock into the recorder (atomic).
+void SetLogicalTime(double sim_seconds);
+double LogicalTime();
+
+// Wall microseconds since the process-wide trace epoch.
+double WallNowUs();
+
+// ---------------------------------------------------------------------------
+// Tracks
+// ---------------------------------------------------------------------------
+
+struct Track {
+  enum class Kind : uint8_t { kMain = 0, kPs, kWorker, kPool };
+  Kind kind = Kind::kMain;
+  int index = 0;
+};
+
+inline Track MainTrack() { return Track{Track::Kind::kMain, 0}; }
+inline Track PsTrack() { return Track{Track::Kind::kPs, 0}; }
+inline Track WorkerTrack(int worker) {
+  return Track{Track::Kind::kWorker, worker};
+}
+inline Track PoolTrack(int lane) { return Track{Track::Kind::kPool, lane}; }
+
+// The thread's default track for spans that don't pass one explicitly
+// (e.g. the pruner emitting from inside a worker's lane).
+class TrackScope {
+ public:
+  explicit TrackScope(Track track);
+  ~TrackScope();
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+
+ private:
+  Track previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+// A span/event argument value (int, double, or string).
+struct ArgValue {
+  enum class Kind : uint8_t { kInt, kDouble, kString } kind;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  ArgValue(int v) : kind(Kind::kInt), i(v) {}                   // NOLINT
+  ArgValue(long v) : kind(Kind::kInt), i(v) {}                  // NOLINT
+  ArgValue(long long v) : kind(Kind::kInt), i(v) {}             // NOLINT
+  ArgValue(unsigned v) : kind(Kind::kInt), i(v) {}              // NOLINT
+  ArgValue(double v) : kind(Kind::kDouble), d(v) {}             // NOLINT
+  ArgValue(const char* v) : kind(Kind::kString), s(v) {}        // NOLINT
+  ArgValue(std::string v) : kind(Kind::kString), s(std::move(v)) {}  // NOLINT
+
+  // Rendered as a JSON value (strings quoted+escaped, doubles %.9g).
+  std::string ToJson() const;
+};
+
+using Args = std::vector<std::pair<std::string, ArgValue>>;
+
+// RAII span: records a complete ("X") event over its lifetime. Cheap when
+// telemetry is disabled (a relaxed load, no clock reads). Nesting depth is
+// tracked per thread; closing out of creation order is tolerated (the depth
+// counter saturates at zero and the event is still recorded).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Args args = {});
+  ScopedSpan(const char* name, Track track, Args args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* name_;
+  Track track_;
+  double wall_begin_us_ = 0.0;
+  double logical_begin_ = 0.0;
+  int depth_ = 0;
+  Args args_;
+};
+
+#define OBS_SPAN_CONCAT_INNER(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT_INNER(a, b)
+// Usage: OBS_SPAN("worker_train", {{"worker", k}, {"round", r}});
+#define OBS_SPAN(...) \
+  ::fedmp::obs::ScopedSpan OBS_SPAN_CONCAT(obs_span_, __COUNTER__)(__VA_ARGS__)
+
+// A zero-duration event (async arrivals, fault detections, round markers).
+void InstantEvent(const char* name, Args args = {});
+void InstantEvent(const char* name, Track track, Args args = {});
+
+// Pool instrumentation hook (called by common/thread_pool.cc): records a
+// chunk execution on the lane's pool track; chunks shorter than
+// pool_event_min_us are dropped.
+void RecordPoolChunk(int lane, double wall_begin_us, double wall_end_us,
+                     int64_t iterations);
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+// Chrome trace-event JSON (load in Perfetto / chrome://tracing): one thread
+// track per worker, the PS, and each pool lane, with both clocks (wall as
+// ts/dur, simulated as args.t_sim).
+std::string ChromeTraceJson();
+
+// Deterministic structured log: one JSON object per line, worker/PS events
+// only, sorted by (track, per-track sequence) with wall time excluded —
+// bit-identical across runs of the same seed at any thread count.
+std::string EventsJsonl();
+
+// Number of events currently buffered (tests).
+int64_t BufferedEventCount();
+
+// Clears buffered events, sequence counters, logical time, and the metrics
+// registry. Tests only.
+void ResetForTest();
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "pruning/importance.h"
 #include "pruning/lstm_iss_pruner.h"
 
@@ -299,6 +300,14 @@ StatusOr<SubModel> ExtractSubModel(const ModelSpec& full_spec,
 StatusOr<SubModel> PruneByRatio(const ModelSpec& full_spec,
                                 const TensorList& full_weights,
                                 double ratio) {
+  OBS_SPAN("prune", {{"ratio", ratio}});
+  if (obs::Enabled()) {
+    static obs::Counter* prunes = obs::GetCounter("pruning.prunes");
+    static obs::Histogram* ratios = obs::GetHistogram(
+        "pruning.ratio", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+    prunes->Add(1.0);
+    ratios->Observe(ratio);
+  }
   PruneMask mask = ComputeL1Mask(full_spec, full_weights, ratio);
   return ExtractSubModel(full_spec, full_weights, mask);
 }

@@ -1,5 +1,6 @@
 #include "fl/round_log.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -80,6 +81,41 @@ TEST(RoundLogTest, ToTableHasOneRowPerRound) {
   std::ostringstream os;
   table.WriteCsv(os);
   EXPECT_NE(os.str().find("sim_time"), std::string::npos);
+}
+
+TEST(RoundLogTest, JsonlMirrorsTheCsvSchema) {
+  const RoundLog log = MakeLog();
+  const CsvTable table = log.ToTable();
+  const std::string jsonl = log.ToJsonlString();
+  // One line per round, and every CSV column appears as a JSON key — both
+  // views are generated from the same column table.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            table.num_rows());
+  for (const std::string& column : table.header()) {
+    EXPECT_NE(jsonl.find("\"" + column + "\":"), std::string::npos)
+        << "missing column " << column;
+  }
+}
+
+TEST(RoundLogTest, JsonlValuesMatchCsvFormatting) {
+  RoundLog log;
+  RoundRecord r;
+  r.round = 7;
+  r.sim_time = 12.345;       // CSV renders %.2f
+  r.train_loss = 0.98765;    // CSV renders %.4f
+  r.participants = 3;
+  log.Add(r);
+  const std::string jsonl = log.ToJsonlString();
+  EXPECT_NE(jsonl.find("\"round\":7"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"sim_time\":12.35"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"train_loss\":0.9877"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"participants\":3"), std::string::npos);
+}
+
+TEST(RoundLogTest, EmptyLogProducesEmptyJsonl) {
+  const RoundLog log;
+  EXPECT_TRUE(log.ToJsonlString().empty());
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_util.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+namespace {
+
+// Every test runs against the process-wide registry, so each starts from a
+// clean slate and leaves telemetry disabled for its neighbours.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetForTest();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    ResetForTest();
+  }
+
+  static double ValueOf(const std::string& name) {
+    for (const MetricSnapshot& m : Registry::Get().Snapshot()) {
+      if (m.name == name) return m.value;
+    }
+    return -1.0;
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAccumulates) {
+  Counter* c = GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  c->Add();
+  c->Add(2.5);
+  EXPECT_DOUBLE_EQ(ValueOf("test.counter"), 3.5);
+}
+
+TEST_F(ObsMetricsTest, DisabledWritesAreDropped) {
+  Counter* c = GetCounter("test.disabled");
+  SetEnabled(false);
+  c->Add(100.0);
+  SetEnabled(true);
+  EXPECT_DOUBLE_EQ(ValueOf("test.disabled"), 0.0);
+}
+
+TEST_F(ObsMetricsTest, SameNameResolvesToSameHandle) {
+  EXPECT_EQ(GetCounter("test.same"), GetCounter("test.same"));
+  EXPECT_EQ(GetGauge("test.same_gauge"), GetGauge("test.same_gauge"));
+}
+
+TEST_F(ObsMetricsTest, KindMismatchReturnsNull) {
+  ASSERT_NE(GetCounter("test.kind"), nullptr);
+  EXPECT_EQ(GetGauge("test.kind"), nullptr);
+  EXPECT_EQ(GetHistogram("test.kind", {1.0}), nullptr);
+}
+
+TEST_F(ObsMetricsTest, GaugeLastWriteWins) {
+  Gauge* g = GetGauge("test.gauge");
+  g->Set(1.0);
+  g->Set(7.0);
+  EXPECT_DOUBLE_EQ(ValueOf("test.gauge"), 7.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketEdges) {
+  Histogram* h = GetHistogram("test.hist", {1.0, 2.0, 4.0});
+  // Bucket rule: first bound with value <= bound; past the last bound the
+  // observation lands in the +inf overflow bucket.
+  h->Observe(0.5);  // <= 1
+  h->Observe(1.0);  // <= 1 (edge inclusive)
+  h->Observe(1.5);  // <= 2
+  h->Observe(4.0);  // <= 4 (edge inclusive)
+  h->Observe(9.0);  // overflow
+  for (const MetricSnapshot& m : Registry::Get().Snapshot()) {
+    if (m.name != "test.hist") continue;
+    EXPECT_EQ(m.count, 5);
+    EXPECT_DOUBLE_EQ(m.sum, 16.0);
+    ASSERT_EQ(m.bucket_counts.size(), 4u);
+    EXPECT_EQ(m.bucket_counts[0], 2);
+    EXPECT_EQ(m.bucket_counts[1], 1);
+    EXPECT_EQ(m.bucket_counts[2], 1);
+    EXPECT_EQ(m.bucket_counts[3], 1);
+    return;
+  }
+  FAIL() << "test.hist not in snapshot";
+}
+
+// The concurrency contract: writes from many threads, with scrapes racing
+// them, lose nothing (run under TSAN in CI via the Obs name filter).
+TEST_F(ObsMetricsTest, MergeUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  Counter* c = GetCounter("test.concurrent");
+  Histogram* h = GetHistogram("test.concurrent_hist", {0.5});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        c->Add(1.0);
+        h->Observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  // Scrapes race the writers; totals below are taken after the join.
+  for (int s = 0; s < 50; ++s) Registry::Get().Snapshot();
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(ValueOf("test.concurrent"),
+                   static_cast<double>(kThreads * kAddsPerThread));
+  for (const MetricSnapshot& m : Registry::Get().Snapshot()) {
+    if (m.name != "test.concurrent_hist") continue;
+    EXPECT_EQ(m.count, kThreads * kAddsPerThread);
+    EXPECT_EQ(m.bucket_counts[0] + m.bucket_counts[1],
+              kThreads * kAddsPerThread);
+  }
+}
+
+// Thread exit folds the shard into the retired pool — the count survives
+// the writer (the pool-resize scenario).
+TEST_F(ObsMetricsTest, RetiredShardResidueSurvivesThreadExit) {
+  Counter* c = GetCounter("test.retired");
+  std::thread writer([&] { c->Add(42.0); });
+  writer.join();
+  EXPECT_DOUBLE_EQ(ValueOf("test.retired"), 42.0);
+}
+
+TEST_F(ObsMetricsTest, ExportsAreWellFormed) {
+  GetCounter("test.export")->Add(3.0);
+  GetHistogram("test.export_hist", {1.0, 10.0})->Observe(5.0);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(Registry::Get().ToJson(), &error)) << error;
+  EXPECT_NE(Registry::Get().ToText().find("test.export 3"),
+            std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesButKeepsHandles) {
+  Counter* c = GetCounter("test.reset");
+  c->Add(5.0);
+  Registry::Get().Reset();
+  EXPECT_DOUBLE_EQ(ValueOf("test.reset"), 0.0);
+  c->Add(1.0);
+  EXPECT_DOUBLE_EQ(ValueOf("test.reset"), 1.0);
+}
+
+}  // namespace
+}  // namespace fedmp::obs

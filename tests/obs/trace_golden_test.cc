@@ -1,0 +1,112 @@
+// The telemetry determinism contract (DESIGN.md "Observability"): the
+// logical-time event log of a traced run is a pure function of the seed —
+// bit-identical across thread counts — and the Chrome trace is always
+// syntactically valid with the expected per-entity tracks.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "obs/json_util.h"
+#include "obs/trace.h"
+
+namespace fedmp::fl {
+namespace {
+
+struct TracedRun {
+  std::string events_jsonl;
+  std::string chrome_json;
+  std::string round_jsonl;
+};
+
+TracedRun RunTracedSync(int num_threads) {
+  obs::ResetForTest();
+  obs::Enable(obs::TraceOptions{});  // in-memory only
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 4);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 4);
+  TrainerOptions opt;
+  opt.max_rounds = 3;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 11;
+  opt.num_threads = num_threads;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  const RoundLog log = trainer.Run();
+  TracedRun out;
+  out.events_jsonl = obs::EventsJsonl();
+  out.chrome_json = obs::ChromeTraceJson();
+  out.round_jsonl = log.ToJsonlString();
+  obs::Disable();
+  obs::ResetForTest();
+  return out;
+}
+
+// decision_overhead_ms is wall-clock by definition; every other round-log
+// column is simulated and must match bit-for-bit.
+std::string StripWallColumns(std::string jsonl) {
+  size_t pos;
+  while ((pos = jsonl.find("\"decision_overhead_ms\":")) !=
+         std::string::npos) {
+    jsonl.erase(pos, jsonl.find(',', pos) - pos + 1);
+  }
+  return jsonl;
+}
+
+TEST(ObsGoldenTest, LogicalTraceIdenticalAcrossThreadCounts) {
+  const TracedRun serial = RunTracedSync(1);
+  const TracedRun parallel = RunTracedSync(4);
+  ASSERT_FALSE(serial.events_jsonl.empty());
+  EXPECT_EQ(serial.events_jsonl, parallel.events_jsonl)
+      << "logical trace diverged between 1 and 4 threads";
+  EXPECT_EQ(StripWallColumns(serial.round_jsonl),
+            StripWallColumns(parallel.round_jsonl));
+}
+
+TEST(ObsGoldenTest, ChromeTraceIsSchemaValidWithAllTracks) {
+  const TracedRun run = RunTracedSync(2);
+  std::string error;
+  ASSERT_TRUE(obs::JsonSyntaxValid(run.chrome_json, &error)) << error;
+  // Perfetto essentials: a traceEvents array, named process, one named
+  // thread track per entity, complete + instant events.
+  EXPECT_NE(run.chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"fedmp\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"ps\""), std::string::npos);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_NE(run.chrome_json.find("\"worker " + std::to_string(w) + "\""),
+              std::string::npos)
+        << "missing worker track " << w;
+  }
+  EXPECT_NE(run.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ObsGoldenTest, LogicalTraceCarriesTheRoundStructure) {
+  const TracedRun run = RunTracedSync(2);
+  // Three rounds -> three PS "round" markers and per-worker train spans.
+  size_t rounds = 0, pos = 0;
+  while ((pos = run.events_jsonl.find("\"event\":\"round\"", pos)) !=
+         std::string::npos) {
+    ++rounds;
+    pos += 1;
+  }
+  EXPECT_EQ(rounds, 3u);
+  EXPECT_NE(run.events_jsonl.find("\"event\":\"worker_train\""),
+            std::string::npos);
+  EXPECT_NE(run.events_jsonl.find("\"event\":\"eucb_select\""),
+            std::string::npos);
+  EXPECT_NE(run.events_jsonl.find("\"event\":\"r2sp_aggregate\""),
+            std::string::npos);
+  // Round-log JSONL mirrors the CSV schema.
+  EXPECT_NE(run.round_jsonl.find("\"sim_time\":"), std::string::npos);
+  EXPECT_NE(run.round_jsonl.find("\"participants\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

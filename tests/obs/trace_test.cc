@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetForTest();
+    Enable(TraceOptions{});  // record in memory, no files
+  }
+  void TearDown() override {
+    Disable();
+    ResetForTest();
+  }
+};
+
+TEST_F(ObsTraceTest, SpanRecordsBothClocks) {
+  SetLogicalTime(12.5);
+  { OBS_SPAN("unit_span", {{"k", 1}}); }
+  ASSERT_EQ(BufferedEventCount(), 1);
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"unit_span\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t_sim\":12.5"), std::string::npos);
+  // Wall time must never leak into the deterministic export.
+  EXPECT_EQ(jsonl.find("wall"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"ts\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, NestedSpansTrackDepth) {
+  {
+    OBS_SPAN("outer");
+    { OBS_SPAN("inner"); }
+  }
+  const std::string jsonl = EventsJsonl();
+  // inner closes first, depth 1; outer closes second, depth 0.
+  EXPECT_NE(jsonl.find("\"event\":\"inner\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"depth\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"depth\":0"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, UnbalancedScopesAreTolerated) {
+  // Destroy out of creation order (a scope "closed twice" by odd control
+  // flow). The depth counter saturates instead of going negative, and both
+  // events are still recorded.
+  auto a = std::make_unique<ScopedSpan>("first");
+  auto b = std::make_unique<ScopedSpan>("second");
+  a.reset();
+  b.reset();
+  EXPECT_EQ(BufferedEventCount(), 2);
+  { OBS_SPAN("after"); }
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"after\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  Disable();
+  { OBS_SPAN("invisible"); }
+  InstantEvent("also_invisible");
+  EXPECT_EQ(BufferedEventCount(), 0);
+}
+
+TEST_F(ObsTraceTest, TrackScopeRoutesEvents) {
+  {
+    TrackScope scope(WorkerTrack(3));
+    InstantEvent("on_worker");
+  }
+  InstantEvent("on_main");
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"track\":\"worker 3\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"track\":\"main\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, PerTrackSequencesAreDense) {
+  TrackScope scope(PsTrack());
+  InstantEvent("a");
+  InstantEvent("b");
+  InstantEvent("c");
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\":2"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, PoolChunksStayOutOfLogicalExport) {
+  // A chunk well past the min-duration threshold is buffered for the Chrome
+  // trace but excluded from the deterministic JSONL.
+  RecordPoolChunk(/*lane=*/1, 0.0, 100000.0, /*iterations=*/64);
+  EXPECT_EQ(BufferedEventCount(), 1);
+  EXPECT_EQ(EventsJsonl().find("pool"), std::string::npos);
+  EXPECT_NE(ChromeTraceJson().find("pool lane 1"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ShortPoolChunksAreDropped) {
+  RecordPoolChunk(/*lane=*/0, 0.0, 1.0, /*iterations=*/4);  // 1us < 200us
+  EXPECT_EQ(BufferedEventCount(), 0);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceIsValidJsonWithTrackNames) {
+  SetLogicalTime(3.0);
+  {
+    TrackScope scope(WorkerTrack(0));
+    OBS_SPAN("worker_train", {{"worker", 0}, {"ratio", 0.25}});
+  }
+  {
+    TrackScope scope(PsTrack());
+    InstantEvent("round", {{"round", 0}});
+  }
+  const std::string chrome = ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(chrome, &error)) << error;
+  EXPECT_NE(chrome.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ps\""), std::string::npos);
+  EXPECT_NE(chrome.find("thread_name"), std::string::npos);
+  EXPECT_NE(chrome.find("\"t_sim\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, EventsJsonlLinesEachParse) {
+  { OBS_SPAN("line_one", {{"s", "a\"b"}, {"d", 1.5}}); }
+  InstantEvent("line_two");
+  const std::string jsonl = EventsJsonl();
+  size_t start = 0;
+  int lines = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    if (!line.empty()) {
+      std::string error;
+      EXPECT_TRUE(JsonSyntaxValid(line, &error)) << error << ": " << line;
+      ++lines;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(ObsJsonTest, EscapeAndValidate) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_TRUE(JsonSyntaxValid("{\"a\":[1,2.5,\"x\",null,true]}"));
+  EXPECT_TRUE(JsonSyntaxValid("[]"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\":}"));
+  EXPECT_FALSE(JsonSyntaxValid("{} trailing"));
+  EXPECT_FALSE(JsonSyntaxValid("[1,2"));
+  EXPECT_EQ(JsonNumber(1.25, 2), "1.25");
+  EXPECT_EQ(JsonNumber(-1.0 / 0.0, 2), "null");
+}
+
+}  // namespace
+}  // namespace fedmp::obs
