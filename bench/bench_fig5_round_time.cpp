@@ -1,17 +1,48 @@
 // Fig. 5: average per-round computation and communication time versus
 // pruning ratio, from the cost model over the medium-heterogeneity fleet.
 // Paper shape: both components decrease monotonically with the ratio.
+//
+// Additionally measures the real (host) wall-clock of one FedMP round with
+// the hot-path optimizations (workspace pool, prune-plan cache, worker
+// model reuse, fast matmul kernels) disabled vs enabled at num_threads=1
+// and emits the speedup to fig5_hotpath.json. Run with FEDMP_TRACE_METRICS=<file> to also dump
+// the pool / plan-cache / model-cache counters.
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "fl/worker.h"
 #include "nn/model_builder.h"
+#include "nn/workspace.h"
+#include "pruning/prune_cache.h"
 #include "pruning/structured_pruner.h"
 
 using namespace fedmp;
+
+namespace {
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void SetHotPathEnabled(bool on) {
+  nn::ws::SetEnabled(on);
+  nn::SetFastKernelsEnabled(on);
+  pruning::SetPlanCacheEnabled(on);
+  fl::SetModelReuseEnabled(on);
+  pruning::ClearPlanCache();
+}
+
+}  // namespace
 
 int main() {
   bench::PrintHeader("Fig. 5", "per-round comp/comm time vs pruning ratio");
@@ -44,5 +75,42 @@ int main() {
     }
   }
   table.WritePretty(std::cout);
+
+  // --- Hot-path wall-clock: baseline vs optimized round time. ---
+  const int64_t rounds = bench::ScaledRounds(6);
+  const data::FlTask bench_task =
+      data::MakeCnnMnistTask(data::TaskScale::kBench, 42);
+  ExperimentConfig config;
+  config.task = "cnn";
+  config.method = "fedmp";
+  config.num_workers = 10;
+  config.trainer = bench::BenchTrainerOptions(rounds);
+  config.trainer.num_threads = 1;
+  auto run_with = [&](bool optimized) {
+    SetHotPathEnabled(optimized);
+    return WallSeconds([&] { bench::MustRun(config, bench_task); });
+  };
+  std::printf(
+      "\nHot-path wall-clock (host time, fedmp/cnn, %d rounds, 1 thread):\n",
+      static_cast<int>(rounds));
+  bench::SpeedupRecord rec;
+  rec.name = "fedmp_hotpath_t1";
+  rec.threads = 1;
+  rec.serial_seconds = run_with(false);   // baseline: pool/caches off
+  rec.parallel_seconds = run_with(true);  // optimized: pool/caches on
+  SetHotPathEnabled(true);
+  const double per_round = static_cast<double>(rounds);
+  std::printf(
+      "  baseline=%.2fs (%.3fs/round) optimized=%.2fs (%.3fs/round) "
+      "speedup=%.2fx\n",
+      rec.serial_seconds, rec.serial_seconds / per_round,
+      rec.parallel_seconds, rec.parallel_seconds / per_round,
+      rec.serial_seconds / rec.parallel_seconds);
+  std::fflush(stdout);
+  if (!bench::WriteSpeedupJson("fig5_hotpath.json", {rec})) {
+    std::fprintf(stderr, "warning: could not write fig5_hotpath.json\n");
+  } else {
+    std::printf("  wrote fig5_hotpath.json\n");
+  }
   return 0;
 }

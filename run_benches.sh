@@ -1,6 +1,44 @@
 #!/bin/bash
 # Runs every bench binary in sequence, teeing the combined output.
+#
+# --perf-compare: instead of the full suite, run only the hot-path
+# baseline-vs-optimized comparison in bench_fig5_round_time (with the
+# pool / plan-cache / model-cache counters enabled) and merge the speedup
+# record plus counters into BENCH_pr4.json at the repo root.
 cd /root/repo/build
+
+if [ "$1" = "--perf-compare" ]; then
+  echo "### perf-compare: bench/bench_fig5_round_time ###"
+  FEDMP_TRACE_METRICS=bench_pr4_metrics.json ./bench/bench_fig5_round_time 2>&1
+  exit_code=$?
+  echo "### exit=$exit_code ###"
+  if [ $exit_code -ne 0 ]; then
+    echo "perf-compare bench failed (exit=$exit_code)" >&2
+    exit $exit_code
+  fi
+  python3 - <<'EOF'
+import json
+
+with open("fig5_hotpath.json") as f:
+    speedup = json.load(f)
+with open("bench_pr4_metrics.json") as f:
+    metrics = json.load(f)
+
+# Keep only the hot-path cache/pool counters; drop unrelated telemetry.
+prefixes = ("nn.pool.", "pruning.plan_cache.", "fl.worker.model_cache.")
+counters = {k: v for k, v in sorted(metrics.items())
+            if k.startswith(prefixes)}
+
+out = {"bench": "fig5_round_time hot-path compare",
+       "speedup": speedup,
+       "counters": counters}
+with open("../BENCH_pr4.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_pr4.json")
+EOF
+  exit $?
+fi
 
 # Telemetry overhead gate: enabled-vs-disabled runtime on the microbench
 # workload must stay within the 3% budget (DESIGN.md "Observability").

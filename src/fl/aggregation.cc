@@ -34,22 +34,22 @@ StatusOr<nn::TensorList> AggregateSubModels(
     upd->Add(static_cast<double>(updates.size()));
   }
   nn::TensorList sum;
+  nn::TensorList recovered;  // scratch lists reused across updates
+  nn::TensorList residual;
   for (const SubModelUpdate& update : updates) {
     FEDMP_CHECK(update.mask != nullptr && update.weights != nullptr);
-    FEDMP_ASSIGN_OR_RETURN(
-        nn::TensorList recovered,
-        pruning::RecoverToFull(global_spec, *update.weights, *update.mask));
+    FEDMP_RETURN_IF_ERROR(pruning::RecoverToFullInto(
+        global_spec, *update.weights, *update.mask, &recovered));
     if (scheme == SyncScheme::kR2SP) {
-      FEDMP_ASSIGN_OR_RETURN(
-          nn::TensorList residual,
-          pruning::ResidualModel(global_spec, global_weights, *update.mask));
+      FEDMP_RETURN_IF_ERROR(pruning::ResidualModelInto(
+          global_spec, global_weights, *update.mask, &residual));
       if (quantize_residuals) {
         residual = DequantizeList(Quantize8List(residual));
       }
       nn::AxpyLists(recovered, 1.0f, residual);
     }
     if (sum.empty()) {
-      sum = std::move(recovered);
+      sum = std::move(recovered);  // first update seeds the sum
     } else {
       nn::AxpyLists(sum, 1.0f, recovered);
     }

@@ -8,6 +8,8 @@
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
 #include "obs/trace.h"
+#include "pruning/recovery.h"
+#include "pruning/sparsify.h"
 #include "pruning/structured_pruner.h"
 
 namespace fedmp::fl {
@@ -109,6 +111,16 @@ RoundLog AsyncTrainer::Run() {
           strategy_->PlanWorker(round, ids[static_cast<size_t>(j)]);
     }
 
+    // Global weights do not change between planning and dispatch, so the
+    // l1 importance ranking is shared across every lane of this batch.
+    pruning::ImportanceRanking ranking;
+    bool any_pruned = false;
+    for (const auto& plan : plans) any_pruned |= plan.pruning_ratio > 0.0;
+    if (any_pruned) {
+      OBS_SPAN("rank_units", {{"round", round}});
+      ranking = pruning::RankUnits(global_spec, server_->weights());
+    }
+
     std::vector<InFlight> prepared(static_cast<size_t>(count));
     std::vector<double> durations(static_cast<size_t>(count));
     ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
@@ -123,8 +135,8 @@ RoundLog AsyncTrainer::Run() {
                   {"ratio", plan.pruning_ratio}});
         pruning::SubModel sub;
         if (plan.pruning_ratio > 0.0) {
-          auto pruned = pruning::PruneByRatio(
-              global_spec, server_->weights(), plan.pruning_ratio);
+          auto pruned = pruning::PruneByRatioRanked(
+              global_spec, server_->weights(), ranking, plan.pruning_ratio);
           FEDMP_CHECK(pruned.ok()) << pruned.status();
           sub = std::move(pruned).value();
         } else {
@@ -302,18 +314,18 @@ RoundLog AsyncTrainer::Run() {
                {{"round", round},
                 {"updates", static_cast<int>(arrived.size())}});
       nn::TensorList sum;
+      nn::TensorList recovered;  // scratch reused across arrivals
       double final_loss_sum = 0.0, ratio_sum = 0.0;
       for (int worker : arrived) {
         const InFlight& f = inflight[static_cast<size_t>(worker)];
-        auto recovered =
-            pruning::RecoverToFull(global_spec, f.trained_weights, f.mask);
-        FEDMP_CHECK(recovered.ok()) << recovered.status();
-        nn::TensorList contribution = std::move(recovered).value();
-        nn::AxpyLists(contribution, 1.0f, f.residual);
+        const Status st = pruning::RecoverToFullInto(
+            global_spec, f.trained_weights, f.mask, &recovered);
+        FEDMP_CHECK(st.ok()) << st;
+        nn::AxpyLists(recovered, 1.0f, f.residual);
         if (sum.empty()) {
-          sum = std::move(contribution);
+          sum = std::move(recovered);  // first contribution seeds the sum
         } else {
-          nn::AxpyLists(sum, 1.0f, contribution);
+          nn::AxpyLists(sum, 1.0f, recovered);
         }
         final_loss_sum += f.final_loss;
         ratio_sum += f.ratio;

@@ -99,6 +99,18 @@ RoundLog Trainer::Run() {
       force_full_refresh_ = false;
     }
 
+    // The l1 importance ranking depends only on this round's global
+    // weights, so it is computed once and every worker's mask is derived
+    // from it (stable argsort makes the derived masks bit-identical to
+    // per-worker ranking).
+    pruning::ImportanceRanking ranking;
+    bool any_pruned = false;
+    for (const auto& plan : plans) any_pruned |= plan.pruning_ratio > 0.0;
+    if (any_pruned) {
+      OBS_SPAN("rank_units", {{"round", round}});
+      ranking = pruning::RankUnits(global_spec, server_->weights());
+    }
+
     // Sub-model construction is a pure function of (spec, weights, ratio),
     // so the per-worker prunes run concurrently; each lane writes only its
     // own subs[i] slot.
@@ -109,8 +121,9 @@ RoundLog Trainer::Run() {
         // The pruner's spans belong to the worker the sub-model is for.
         obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
         if (plans[i].pruning_ratio > 0.0) {
-          auto sub = pruning::PruneByRatio(global_spec, server_->weights(),
-                                           plans[i].pruning_ratio);
+          auto sub = pruning::PruneByRatioRanked(
+              global_spec, server_->weights(), ranking,
+              plans[i].pruning_ratio);
           FEDMP_CHECK(sub.ok()) << sub.status();
           subs[i] = std::move(sub).value();
         } else {

@@ -1,9 +1,53 @@
 #include "fl/worker.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "data/synthetic_text.h"
 #include "nn/layers/softmax_xent.h"
+#include "obs/metrics.h"
 
 namespace fedmp::fl {
+
+namespace {
+
+// Enough for the handful of pruned architectures a worker cycles through
+// (its bandit-chosen ratios); LRU eviction keeps memory bounded when a
+// strategy sweeps many distinct ratios.
+constexpr size_t kModelCacheCap = 4;
+
+std::atomic<bool> g_reuse_enabled{true};
+std::atomic<bool> g_reuse_env_checked{false};
+
+void MaybeReadReuseEnv() {
+  if (g_reuse_env_checked.exchange(true)) return;
+  const char* reuse = std::getenv("FEDMP_MODEL_REUSE");
+  const char* baseline = std::getenv("FEDMP_HOTPATH_BASELINE");
+  if ((reuse != nullptr && reuse[0] == '0') ||
+      (baseline != nullptr && baseline[0] == '1')) {
+    g_reuse_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void CountModelCache(bool hit) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* hits = obs::GetCounter("fl.worker.model_cache.hits");
+  static obs::Counter* misses =
+      obs::GetCounter("fl.worker.model_cache.misses");
+  (hit ? hits : misses)->Add(1.0);
+}
+
+}  // namespace
+
+bool ModelReuseEnabled() {
+  MaybeReadReuseEnv();
+  return g_reuse_enabled.load(std::memory_order_relaxed);
+}
+
+void SetModelReuseEnabled(bool on) {
+  g_reuse_env_checked.store(true);  // explicit choice overrides the env
+  g_reuse_enabled.store(on, std::memory_order_relaxed);
+}
 
 Worker::Worker(int id, const data::Dataset* train,
                std::vector<int64_t> shard, edge::DeviceProfile profile,
@@ -18,6 +62,35 @@ Worker::Worker(int id, const data::Dataset* train,
   loader_indices_size_ = static_cast<int64_t>(shard_.size());
 }
 
+Worker::ModelCacheEntry& Worker::CachedModel(
+    const nn::ModelSpec& spec, uint64_t seed,
+    const nn::SgdOptions& sgd_options) {
+  ++cache_clock_;
+  for (ModelCacheEntry& e : model_cache_) {
+    if (e.model->spec() == spec) {
+      e.last_used = cache_clock_;
+      e.model->ReseedDropout(seed);
+      e.sgd->Reset(sgd_options);
+      CountModelCache(/*hit=*/true);
+      return e;
+    }
+  }
+  CountModelCache(/*hit=*/false);
+  if (model_cache_.size() >= kModelCacheCap) {
+    size_t lru = 0;
+    for (size_t i = 1; i < model_cache_.size(); ++i) {
+      if (model_cache_[i].last_used < model_cache_[lru].last_used) lru = i;
+    }
+    model_cache_.erase(model_cache_.begin() + static_cast<ptrdiff_t>(lru));
+  }
+  ModelCacheEntry entry;
+  entry.model = nn::BuildModelOrDie(spec, seed);
+  entry.sgd = std::make_unique<nn::Sgd>(sgd_options);
+  entry.last_used = cache_clock_;
+  model_cache_.push_back(std::move(entry));
+  return model_cache_.back();
+}
+
 LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
                                const nn::TensorList& weights,
                                const LocalTrainOptions& options) {
@@ -28,18 +101,33 @@ LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
     loader_batch_ = options.batch_size;
   }
 
-  std::unique_ptr<nn::Model> model =
-      nn::BuildModelOrDie(spec, /*seed=*/rng_.NextU64());
-  model->SetWeights(weights);
-
   nn::SgdOptions sgd_options;
   sgd_options.learning_rate = options.learning_rate;
   sgd_options.momentum = options.momentum;
   sgd_options.weight_decay = options.weight_decay;
   sgd_options.proximal_mu = options.proximal_mu;
   sgd_options.clip_norm = options.clip_norm;
-  nn::Sgd sgd(sgd_options);
-  if (options.proximal_mu > 0.0) sgd.SetProximalAnchor(weights);
+
+  // The model seed is drawn unconditionally so the cached and fresh paths
+  // consume the same rng_ stream — everything downstream (future rounds'
+  // seeds) is unchanged by reuse.
+  const uint64_t model_seed = rng_.NextU64();
+  std::unique_ptr<nn::Model> fresh_model;
+  std::unique_ptr<nn::Sgd> fresh_sgd;
+  nn::Model* model;
+  nn::Sgd* sgd;
+  if (ModelReuseEnabled()) {
+    ModelCacheEntry& entry = CachedModel(spec, model_seed, sgd_options);
+    model = entry.model.get();
+    sgd = entry.sgd.get();
+  } else {
+    fresh_model = nn::BuildModelOrDie(spec, model_seed);
+    fresh_sgd = std::make_unique<nn::Sgd>(sgd_options);
+    model = fresh_model.get();
+    sgd = fresh_sgd.get();
+  }
+  model->SetWeights(weights);
+  if (options.proximal_mu > 0.0) sgd->SetProximalAnchor(weights);
 
   LocalResult result;
   result.iterations = options.tau;
@@ -66,7 +154,7 @@ LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
       loss = nn::SoftmaxCrossEntropy(logits, labels, &grad);
     }
     model->Backward(grad);
-    sgd.Step(model->Params());
+    sgd->Step(model->Params());
 
     if (it == 0) result.initial_loss = loss;
     if (it >= tail_start) {

@@ -13,6 +13,15 @@
 
 namespace fedmp::fl {
 
+// Global switch for per-worker model/optimizer reuse across rounds.
+// Defaults to on; FEDMP_MODEL_REUSE=0 or FEDMP_HOTPATH_BASELINE=1 in the
+// environment disables it at first use (tests use SetModelReuseEnabled).
+// With reuse on or off the trained weights are bit-identical: the cached
+// path draws the same rng_.NextU64() model seed a fresh build would and
+// replays the same dropout stream through Model::ReseedDropout.
+bool ModelReuseEnabled();
+void SetModelReuseEnabled(bool on);
+
 // Local-update configuration for one round on one worker.
 struct LocalTrainOptions {
   int64_t tau = 5;  // local SGD iterations per round
@@ -53,6 +62,22 @@ class Worker {
                          const LocalTrainOptions& options);
 
  private:
+  // One reusable (model, optimizer) pair per sub-model architecture this
+  // worker has trained. FedMP hands a worker the same handful of pruned
+  // specs round after round; rebuilding the model each time re-runs weight
+  // init that SetWeights immediately overwrites.
+  struct ModelCacheEntry {
+    std::unique_ptr<nn::Model> model;
+    std::unique_ptr<nn::Sgd> sgd;
+    uint64_t last_used = 0;
+  };
+
+  // Returns a cache entry for `spec` reset to fresh-build state (dropout
+  // stream reseeded with `seed`, optimizer Reset), building one on miss and
+  // evicting the least-recently-used entry past the cap.
+  ModelCacheEntry& CachedModel(const nn::ModelSpec& spec, uint64_t seed,
+                               const nn::SgdOptions& sgd_options);
+
   int id_;
   const data::Dataset* train_;
   std::vector<int64_t> shard_;
@@ -61,6 +86,8 @@ class Worker {
   std::unique_ptr<data::DataLoader> loader_;
   int64_t loader_batch_ = -1;
   int64_t loader_indices_size_ = 0;
+  std::vector<ModelCacheEntry> model_cache_;
+  uint64_t cache_clock_ = 0;
 };
 
 }  // namespace fedmp::fl

@@ -4,6 +4,7 @@
 #include "common/thread_pool.h"
 #include "nn/initializers.h"
 #include "nn/tensor_ops.h"
+#include "nn/workspace.h"
 
 namespace fedmp::nn {
 
@@ -54,7 +55,7 @@ Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
   const int64_t oh = Conv2d::OutSize(h, kernel, stride, padding);
   const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
   const int64_t patch = c * kernel * kernel;
-  Tensor cols({batch * oh * ow, patch});
+  Tensor cols = ws::AcquireUninit({batch * oh * ow, patch});
   ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
     Im2ColRange(x.data(), cols.data(), b0, b1, c, h, w, oh, ow, kernel,
                 stride, padding);
@@ -70,7 +71,7 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
   FEDMP_CHECK_EQ(cols.ndim(), 2);
   FEDMP_CHECK_EQ(cols.dim(0), batch * oh * ow);
   FEDMP_CHECK_EQ(cols.dim(1), patch);
-  Tensor img({batch, channels, h, w});
+  Tensor img = ws::AcquireZeroed({batch, channels, h, w});  // scatter-add
   const float* pc = cols.data();
   float* px = img.data();
   // Scatter-adds stay within image b's plane, so batch-parallel is safe.
@@ -135,13 +136,15 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
   cached_w_ = x.dim(3);
   const int64_t oh = OutSize(cached_h_, kernel_, stride_, padding_);
   const int64_t ow = OutSize(cached_w_, kernel_, stride_, padding_);
+  ws::Recycle(std::move(cached_cols_));  // last iteration's buffer
   cached_cols_ = Im2Col(x, kernel_, stride_, padding_);
-  // [B*OH*OW, patch] @ [out_c, patch]^T = [B*OH*OW, out_c].
-  const Tensor wmat =
-      weight_.value.Reshape({out_channels_, in_channels_ * kernel_ * kernel_});
-  Tensor flat = MatmulTransB(cached_cols_, wmat);
+  // [B*OH*OW, patch] @ [out_c, patch]^T = [B*OH*OW, out_c]. The weight
+  // tensor is already [out_c, patch] in row-major memory, so the raw-B
+  // matmul uses it directly (Reshape would copy the whole kernel).
+  Tensor flat =
+      MatmulTransBRaw(cached_cols_, weight_.value.data(), out_channels_);
   // Rearrange [B*OH*OW, out_c] -> [B, out_c, OH, OW], adding bias.
-  Tensor y({cached_batch_, out_channels_, oh, ow});
+  Tensor y = ws::AcquireUninit({cached_batch_, out_channels_, oh, ow});
   const float* pf = flat.data();
   float* py = y.data();
   const float* pb = has_bias_ ? bias_.value.data() : nullptr;
@@ -155,6 +158,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
       }
     }
   }
+  ws::Recycle(std::move(flat));
   return y;
 }
 
@@ -164,7 +168,7 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   FEDMP_CHECK_EQ(grad_out.dim(1), out_channels_);
   const int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   // Rearrange dY [B, out_c, OH, OW] -> [B*OH*OW, out_c].
-  Tensor dflat({cached_batch_ * oh * ow, out_channels_});
+  Tensor dflat = ws::AcquireUninit({cached_batch_ * oh * ow, out_channels_});
   const float* pg = grad_out.data();
   float* pd = dflat.data();
   for (int64_t b = 0; b < cached_batch_; ++b) {
@@ -175,19 +179,29 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
       }
     }
   }
-  // dW = dflat^T @ cols, [out_c, patch].
+  // dW = dflat^T @ cols, [out_c, patch] — same flat layout as weight_.grad,
+  // so accumulate through raw pointers instead of a Reshape copy.
   Tensor dw = MatmulTransA(dflat, cached_cols_);
-  AddInPlace(weight_.grad, dw.Reshape(weight_.value.shape()));
+  {
+    FEDMP_CHECK_EQ(dw.numel(), weight_.grad.numel());
+    float* g = weight_.grad.data();
+    const float* d = dw.data();
+    const int64_t numel = dw.numel();
+    for (int64_t i = 0; i < numel; ++i) g[i] += d[i];
+  }
+  ws::Recycle(std::move(dw));
   if (has_bias_) {
     Tensor db = ColumnSum(dflat);
     AddInPlace(bias_.grad, db);
   }
-  // dCols = dflat @ Wmat, [B*OH*OW, patch].
-  const Tensor wmat =
-      weight_.value.Reshape({out_channels_, in_channels_ * kernel_ * kernel_});
-  Tensor dcols = Matmul(dflat, wmat);
-  return Col2Im(dcols, cached_batch_, in_channels_, cached_h_, cached_w_,
-                kernel_, stride_, padding_);
+  // dCols = dflat @ Wmat, [B*OH*OW, patch]; W viewed raw as [out_c, patch].
+  const int64_t patch = in_channels_ * kernel_ * kernel_;
+  Tensor dcols = MatmulRaw(dflat, weight_.value.data(), patch);
+  ws::Recycle(std::move(dflat));
+  Tensor dx = Col2Im(dcols, cached_batch_, in_channels_, cached_h_,
+                     cached_w_, kernel_, stride_, padding_);
+  ws::Recycle(std::move(dcols));
+  return dx;
 }
 
 std::vector<Parameter*> Conv2d::Params() {

@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "nn/initializers.h"
 #include "nn/tensor_ops.h"
+#include "nn/workspace.h"
 
 namespace fedmp::nn {
 
@@ -51,6 +52,7 @@ Tensor Linear::Backward(const Tensor& grad_out) {
   // dW = dY^T @ X, [out, in].
   Tensor dw = MatmulTransA(grad_out, cached_input_);
   AddInPlace(weight_.grad, dw);
+  ws::Recycle(std::move(dw));
   if (has_bias_) {
     Tensor db = ColumnSum(grad_out);
     AddInPlace(bias_.grad, db);

@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "nn/initializers.h"
 #include "nn/tensor_ops.h"
+#include "nn/workspace.h"
 
 namespace fedmp::nn {
 
@@ -40,6 +41,12 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
   const int64_t batch = x.dim(0), steps = x.dim(1);
   cached_batch_ = batch;
   cached_steps_ = steps;
+  // Last iteration's step caches feed the pool before being rebuilt.
+  ws::RecycleAll(cached_x_);
+  ws::RecycleAll(cached_gates_);
+  ws::RecycleAll(cached_c_);
+  ws::RecycleAll(cached_h_);
+  ws::RecycleAll(cached_tanh_c_);
   cached_x_.assign(static_cast<size_t>(steps), Tensor());
   cached_gates_.assign(static_cast<size_t>(steps), Tensor());
   cached_c_.assign(static_cast<size_t>(steps), Tensor());
@@ -47,14 +54,17 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
   cached_tanh_c_.assign(static_cast<size_t>(steps), Tensor());
 
   const int64_t h4 = 4 * hidden_size_;
-  Tensor h_prev({batch, hidden_size_});
-  Tensor c_prev({batch, hidden_size_});
-  Tensor out({batch, steps, hidden_size_});
+  // Initial h and c are both all-zero [B, H]; the steps read the previous
+  // step's state straight out of the caches, so nothing is copied.
+  Tensor zero_state = ws::AcquireZeroed({batch, hidden_size_});
+  const Tensor* h_prev = &zero_state;
+  const Tensor* c_prev = &zero_state;
+  Tensor out = ws::AcquireUninit({batch, steps, hidden_size_});
   float* pout = out.data();
 
   for (int64_t t = 0; t < steps; ++t) {
     // Slice x_t [B, In] out of [B, T, In].
-    Tensor xt({batch, input_size_});
+    Tensor xt = ws::AcquireUninit({batch, input_size_});
     const float* px = x.data();
     float* pxt = xt.data();
     for (int64_t bi = 0; bi < batch; ++bi) {
@@ -64,8 +74,9 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
     }
     // Pre-activations z = xt @ Wx^T + h_prev @ Wh^T + b.
     Tensor z = MatmulTransB(xt, wx_.value);
-    Tensor zh = MatmulTransB(h_prev, wh_.value);
+    Tensor zh = MatmulTransB(*h_prev, wh_.value);
     AddInPlace(z, zh);
+    ws::Recycle(std::move(zh));
     {
       float* pz = z.data();
       const float* pb = b_.value.data();
@@ -74,13 +85,13 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
       }
     }
     // Activate gates and advance state.
-    Tensor gates({batch, h4});
-    Tensor c_t({batch, hidden_size_});
-    Tensor h_t({batch, hidden_size_});
-    Tensor tanh_c({batch, hidden_size_});
+    Tensor gates = ws::AcquireUninit({batch, h4});
+    Tensor c_t = ws::AcquireUninit({batch, hidden_size_});
+    Tensor h_t = ws::AcquireUninit({batch, hidden_size_});
+    Tensor tanh_c = ws::AcquireUninit({batch, hidden_size_});
     const float* pz = z.data();
     float* pg = gates.data();
-    const float* pcp = c_prev.data();
+    const float* pcp = c_prev->data();
     float* pc = c_t.data();
     float* ph = h_t.data();
     float* ptc = tanh_c.data();
@@ -109,14 +120,16 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
       const float* src = ph + bi * hidden_size_;
       for (int64_t j = 0; j < hidden_size_; ++j) dst[j] = src[j];
     }
+    ws::Recycle(std::move(z));
     cached_x_[static_cast<size_t>(t)] = std::move(xt);
     cached_gates_[static_cast<size_t>(t)] = std::move(gates);
-    cached_c_[static_cast<size_t>(t)] = c_t;
-    cached_h_[static_cast<size_t>(t)] = h_t;
+    cached_c_[static_cast<size_t>(t)] = std::move(c_t);
+    cached_h_[static_cast<size_t>(t)] = std::move(h_t);
     cached_tanh_c_[static_cast<size_t>(t)] = std::move(tanh_c);
-    h_prev = std::move(h_t);
-    c_prev = std::move(c_t);
+    h_prev = &cached_h_[static_cast<size_t>(t)];
+    c_prev = &cached_c_[static_cast<size_t>(t)];
   }
+  ws::Recycle(std::move(zero_state));
   return out;
 }
 
@@ -128,9 +141,9 @@ Tensor Lstm::Backward(const Tensor& grad_out) {
   const int64_t batch = cached_batch_, steps = cached_steps_;
   const int64_t h4 = 4 * hidden_size_;
 
-  Tensor dx({batch, steps, input_size_});
-  Tensor dh_next({batch, hidden_size_});
-  Tensor dc_next({batch, hidden_size_});
+  Tensor dx = ws::AcquireUninit({batch, steps, input_size_});
+  Tensor dh_next = ws::AcquireZeroed({batch, hidden_size_});
+  Tensor dc_next = ws::AcquireZeroed({batch, hidden_size_});
   const float* pgo = grad_out.data();
   float* pdx = dx.data();
 
@@ -142,7 +155,7 @@ Tensor Lstm::Backward(const Tensor& grad_out) {
     const Tensor* h_prev =
         t > 0 ? &cached_h_[static_cast<size_t>(t - 1)] : nullptr;
 
-    Tensor dz({batch, h4});
+    Tensor dz = ws::AcquireUninit({batch, h4});
     float* pdz = dz.data();
     const float* pg = gates.data();
     const float* ptc = tanh_c.data();
@@ -177,10 +190,15 @@ Tensor Lstm::Backward(const Tensor& grad_out) {
       }
     }
     // Parameter gradients.
-    AddInPlace(wx_.grad,
-               MatmulTransA(dz, cached_x_[static_cast<size_t>(t)]));
+    {
+      Tensor dwx = MatmulTransA(dz, cached_x_[static_cast<size_t>(t)]);
+      AddInPlace(wx_.grad, dwx);
+      ws::Recycle(std::move(dwx));
+    }
     if (h_prev != nullptr) {
-      AddInPlace(wh_.grad, MatmulTransA(dz, *h_prev));
+      Tensor dwh = MatmulTransA(dz, *h_prev);
+      AddInPlace(wh_.grad, dwh);
+      ws::Recycle(std::move(dwh));
     }
     AddInPlace(b_.grad, ColumnSum(dz));
     // Input gradient for this step.
@@ -191,9 +209,14 @@ Tensor Lstm::Backward(const Tensor& grad_out) {
       const float* src = pdxt + bi * input_size_;
       for (int64_t f = 0; f < input_size_; ++f) dst[f] = src[f];
     }
+    ws::Recycle(std::move(dxt));
     // Hidden gradient carried to t-1.
+    ws::Recycle(std::move(dh_next));
     dh_next = Matmul(dz, wh_.value);  // [B, H]
+    ws::Recycle(std::move(dz));
   }
+  ws::Recycle(std::move(dh_next));
+  ws::Recycle(std::move(dc_next));
   return dx;
 }
 

@@ -19,7 +19,7 @@ StatusOr<std::unique_ptr<Model>> BuildModel(const ModelSpec& spec,
   FEDMP_RETURN_IF_ERROR(spec.Analyze(&analysis));
 
   Rng init_rng(seed);
-  auto dropout_rng = std::make_unique<Rng>(seed ^ 0xD40F00D5EEDULL);
+  auto dropout_rng = std::make_unique<Rng>(seed ^ kDropoutSeedSalt);
   std::vector<std::unique_ptr<Layer>> layers;
   layers.reserve(spec.layers.size());
   for (const LayerSpec& ls : spec.layers) {

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include "common/string_util.h"
+#include "nn/workspace.h"
 
 namespace fedmp::nn {
 
@@ -10,16 +11,28 @@ Model::Model(ModelSpec spec, std::vector<std::unique_ptr<Layer>> layers,
       layers_(std::move(layers)),
       dropout_rng_(std::move(dropout_rng)) {}
 
+// The forward/backward chains recycle each intermediate as soon as the next
+// layer has produced its output. Safe because layers copy whatever they need
+// for Backward (tensors own their storage; there are no views), so no layer
+// holds a reference into a predecessor's output.
 Tensor Model::Forward(const Tensor& x, bool training) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->Forward(h, training);
+  if (layers_.empty()) return x;
+  Tensor h = layers_.front()->Forward(x, training);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    Tensor next = layers_[i]->Forward(h, training);
+    ws::Recycle(std::move(h));
+    h = std::move(next);
+  }
   return h;
 }
 
 Tensor Model::Backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+  if (layers_.empty()) return grad_out;
+  Tensor g = layers_.back()->Backward(grad_out);
+  for (size_t i = layers_.size() - 1; i-- > 0;) {
+    Tensor next = layers_[i]->Backward(g);
+    ws::Recycle(std::move(g));
+    g = std::move(next);
   }
   return g;
 }
@@ -55,6 +68,12 @@ void Model::SetWeights(const TensorList& weights) {
         << params[i]->name << "): " << params[i]->value.ShapeString()
         << " vs " << weights[i].ShapeString();
     params[i]->value = weights[i];
+  }
+}
+
+void Model::ReseedDropout(uint64_t seed) {
+  if (dropout_rng_ != nullptr) {
+    *dropout_rng_ = Rng(seed ^ kDropoutSeedSalt);
   }
 }
 

@@ -12,6 +12,12 @@
 
 namespace fedmp::nn {
 
+// Salt xor-ed into a model's build seed to derive its dropout stream (kept
+// separate from the init stream so pruning-induced init differences never
+// shift dropout draws). Shared by BuildModel and Model::ReseedDropout so a
+// reused model replays exactly the stream a fresh build would have.
+inline constexpr uint64_t kDropoutSeedSalt = 0xD40F00D5EEDULL;
+
 // A trained model: the ordered layers built from a ModelSpec plus the spec
 // itself (needed by the pruner and the cost model). Move-only.
 class Model {
@@ -41,6 +47,10 @@ class Model {
   void SetWeights(const TensorList& weights);
   // Copies of all parameter gradients.
   TensorList GetGrads() const;
+
+  // Resets the dropout stream to what BuildModel(spec, seed) would create,
+  // letting a cached model replay a fresh build's dropout draws exactly.
+  void ReseedDropout(uint64_t seed);
 
   int64_t NumParams() const;
 

@@ -12,6 +12,16 @@ Sgd::Sgd(SgdOptions options) : options_(options) {
   FEDMP_CHECK_LT(options_.momentum, 1.0);
 }
 
+void Sgd::Reset(const SgdOptions& options) {
+  options_ = options;
+  FEDMP_CHECK_GT(options_.learning_rate, 0.0);
+  FEDMP_CHECK_GE(options_.momentum, 0.0);
+  FEDMP_CHECK_LT(options_.momentum, 1.0);
+  for (Tensor& v : velocity_) v.SetZero();
+  proximal_anchor_.clear();
+  has_anchor_ = false;
+}
+
 void Sgd::SetProximalAnchor(TensorList anchor) {
   proximal_anchor_ = std::move(anchor);
   has_anchor_ = true;

@@ -21,14 +21,20 @@ struct SgdOptions {
 
 // Plain SGD with optional momentum, weight decay, gradient clipping and a
 // FedProx proximal term. Velocity buffers are lazily sized to the parameter
-// list of the first Step(); a new Sgd is created per (sub-)model, matching
-// how FedMP re-builds pruned models each round.
+// list of the first Step(); one Sgd accompanies each (sub-)model, and
+// workers that reuse a cached model call Reset() to return it to
+// freshly-constructed state between rounds.
 class Sgd {
  public:
   explicit Sgd(SgdOptions options);
 
   const SgdOptions& options() const { return options_; }
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+  // Returns the optimizer to the state a fresh Sgd(options) would be in,
+  // keeping the velocity buffers' storage (zero-filled, bit-identical to the
+  // lazily-allocated zeros of a fresh instance) and dropping any anchor.
+  void Reset(const SgdOptions& options);
 
   // Sets the FedProx anchor weights (a copy of the round's initial model).
   void SetProximalAnchor(TensorList anchor);

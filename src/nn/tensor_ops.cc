@@ -1,9 +1,12 @@
 #include "nn/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/thread_pool.h"
+#include "nn/workspace.h"
 
 namespace fedmp::nn {
 
@@ -11,6 +14,19 @@ namespace {
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   FEDMP_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
                               << " vs " << b.ShapeString();
+}
+
+std::atomic<bool> g_fast_kernels{true};
+std::atomic<bool> g_fast_env_checked{false};
+
+void MaybeReadFastKernelsEnv() {
+  if (g_fast_env_checked.exchange(true)) return;
+  const char* fast = std::getenv("FEDMP_FAST_KERNELS");
+  const char* baseline = std::getenv("FEDMP_HOTPATH_BASELINE");
+  if ((fast != nullptr && fast[0] == '0') ||
+      (baseline != nullptr && baseline[0] == '1')) {
+    g_fast_kernels.store(false, std::memory_order_relaxed);
+  }
 }
 
 // Cache tiles for the blocked matmuls. The k/j blocks keep one A panel, one
@@ -24,6 +40,63 @@ constexpr int64_t kRowGrain = 8;
 // Below this many multiply-adds the scalar loop wins; also the cutoff for
 // spawning pool work.
 constexpr int64_t kMinParallelFlops = 1 << 15;
+
+// Pre-optimization kernels, kept verbatim behind the fast-kernels switch so
+// FEDMP_HOTPATH_BASELINE=1 (and the perf-compare bench) can reproduce the
+// baseline hot path in-process. Per output element they accumulate in the
+// same order as the blocked/unrolled kernels, so toggling changes speed,
+// never bits. Pinned to -O2 (this file otherwise builds at -O3) so the
+// baseline also reproduces the pre-optimization codegen; optimization level
+// never alters strict-IEEE float results, only throughput.
+#if defined(__GNUC__) && !defined(__clang__)
+#define FEDMP_LEGACY_KERNEL __attribute__((optimize("O2")))
+#else
+#define FEDMP_LEGACY_KERNEL
+#endif
+
+FEDMP_LEGACY_KERNEL
+void MatmulPanelLegacy(const float* pa, const float* pb, float* pc,
+                       int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+FEDMP_LEGACY_KERNEL
+void MatmulTransBPanelLegacy(const float* pa, const float* pb, float* pc,
+                             int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+FEDMP_LEGACY_KERNEL
+void MatmulSparseAPanelLegacy(const float* pa, const float* pb, float* pc,
+                              int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
 
 // C[i0:i1, :] += A[i0:i1, :] @ B for the ikj kernel, cache-blocked.
 void MatmulPanel(const float* pa, const float* pb, float* pc, int64_t i0,
@@ -45,21 +118,91 @@ void MatmulPanel(const float* pa, const float* pb, float* pc, int64_t i0,
   }
 }
 
-// C[i0:i1, :] = A[i0:i1, :] @ B^T (dot-product kernel); the scalar
-// accumulator keeps the kk order identical to the serial loop.
+// C[i0:i1, :] = A[i0:i1, :] @ B^T. Dot-product kernel unrolled 2x4: the
+// eight accumulators belong to eight DIFFERENT output elements, so each
+// element still sums a[i, kk] * b[j, kk] over ascending kk from 0.0f —
+// bit-identical to the plain loop — while the independent chains hide the
+// FP-add latency a single running sum serializes on, and each loaded
+// a/b value is reused across the block.
 void MatmulTransBPanel(const float* pa, const float* pb, float* pc,
                        int64_t i0, int64_t i1, int64_t k, int64_t n) {
-  for (int64_t jb = 0; jb < n; jb += kJBlock) {
-    const int64_t jend = std::min(n, jb + kJBlock);
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (int64_t j = jb; j < jend; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
+  int64_t i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = pa + i * k;
+    const float* a1 = a0 + k;
+    float* c0 = pc + i * n;
+    float* c1 = c0 + n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
+      float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av0 = a0[kk];
+        const float av1 = a1[kk];
+        const float bv0 = b0[kk];
+        const float bv1 = b1[kk];
+        const float bv2 = b2[kk];
+        const float bv3 = b3[kk];
+        s00 += av0 * bv0;
+        s01 += av0 * bv1;
+        s02 += av0 * bv2;
+        s03 += av0 * bv3;
+        s10 += av1 * bv0;
+        s11 += av1 * bv1;
+        s12 += av1 * bv2;
+        s13 += av1 * bv3;
       }
+      c0[j] = s00;
+      c0[j + 1] = s01;
+      c0[j + 2] = s02;
+      c0[j + 3] = s03;
+      c1[j] = s10;
+      c1[j + 1] = s11;
+      c1[j + 2] = s12;
+      c1[j + 3] = s13;
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc0 = 0.0f, acc1 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc0 += a0[kk] * brow[kk];
+        acc1 += a1[kk] * brow[kk];
+      }
+      c0[j] = acc0;
+      c1[j] = acc1;
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+      crow[j + 2] = s2;
+      crow[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
     }
   }
 }
@@ -79,7 +222,91 @@ void MatmulTransAPanel(const float* pa, const float* pb, float* pc,
     }
   }
 }
+
+// MatmulPanel with the sparse-A exact-zero skip. Per output element the kk
+// loop still ascends across k-blocks, so the surviving (non-zero) updates
+// land in the same order as the scalar skip loop.
+void MatmulSparseAPanel(const float* pa, const float* pb, float* pc,
+                        int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t kb = 0; kb < k; kb += kKBlock) {
+    const int64_t kend = std::min(k, kb + kKBlock);
+    for (int64_t jb = 0; jb < n; jb += kJBlock) {
+      const int64_t jend = std::min(n, jb + kJBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (int64_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// Shared cores over a raw row-major B so the Tensor overloads and the *Raw
+// entry points (which let conv skip weight Reshape copies) are one kernel.
+Tensor MatmulCore(const Tensor& a, const float* pb, int64_t n) {
+  const int64_t m = a.dim(0), k = a.dim(1);
+  Tensor c = ws::AcquireZeroed({m, n});  // += accumulation needs zeros
+  const float* pa = a.data();
+  float* pc = c.data();
+  const bool fast = FastKernelsEnabled();
+  if (m * k * n < kMinParallelFlops) {
+    // ikj loop order: streams through B and C rows for cache friendliness.
+    if (fast) {
+      MatmulPanel(pa, pb, pc, 0, m, k, n);
+    } else {
+      MatmulPanelLegacy(pa, pb, pc, 0, m, k, n);
+    }
+    return c;
+  }
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    if (fast) {
+      MatmulPanel(pa, pb, pc, i0, i1, k, n);
+    } else {
+      MatmulPanelLegacy(pa, pb, pc, i0, i1, k, n);
+    }
+  });
+  return c;
+}
+
+Tensor MatmulTransBCore(const Tensor& a, const float* pb, int64_t n) {
+  const int64_t m = a.dim(0), k = a.dim(1);
+  const float* pa = a.data();
+  Tensor c = ws::AcquireUninit({m, n});  // every element assigned below
+  float* pc = c.data();
+  const bool fast = FastKernelsEnabled();
+  if (m * k * n < kMinParallelFlops) {
+    if (fast) {
+      MatmulTransBPanel(pa, pb, pc, 0, m, k, n);
+    } else {
+      MatmulTransBPanelLegacy(pa, pb, pc, 0, m, k, n);
+    }
+    return c;
+  }
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    if (fast) {
+      MatmulTransBPanel(pa, pb, pc, i0, i1, k, n);
+    } else {
+      MatmulTransBPanelLegacy(pa, pb, pc, i0, i1, k, n);
+    }
+  });
+  return c;
+}
 }  // namespace
+
+bool FastKernelsEnabled() {
+  MaybeReadFastKernelsEnv();
+  return g_fast_kernels.load(std::memory_order_relaxed);
+}
+
+void SetFastKernelsEnabled(bool on) {
+  g_fast_env_checked.store(true);  // programmatic choice overrides env
+  g_fast_kernels.store(on, std::memory_order_relaxed);
+}
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
@@ -130,29 +357,13 @@ void AddInPlace(Tensor& a, const Tensor& b) { AxpyInPlace(a, 1.0f, b); }
 Tensor Matmul(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(a.ndim(), 2);
   FEDMP_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  FEDMP_CHECK_EQ(k, b.dim(0)) << "Matmul inner dimension mismatch";
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  if (m * k * n < kMinParallelFlops) {
-    // ikj loop order: streams through B and C rows for cache friendliness.
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-    return c;
-  }
-  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-    MatmulPanel(pa, pb, pc, i0, i1, k, n);
-  });
-  return c;
+  FEDMP_CHECK_EQ(a.dim(1), b.dim(0)) << "Matmul inner dimension mismatch";
+  return MatmulCore(a, b.data(), b.dim(1));
+}
+
+Tensor MatmulRaw(const Tensor& a, const float* b, int64_t n) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  return MatmulCore(a, b, n);
 }
 
 Tensor MatmulSparseA(const Tensor& a, const Tensor& b) {
@@ -160,21 +371,24 @@ Tensor MatmulSparseA(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMP_CHECK_EQ(k, b.dim(0)) << "MatmulSparseA inner dimension mismatch";
-  Tensor c({m, n});
+  Tensor c = ws::AcquireZeroed({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  const int64_t grain = m * k * n < kMinParallelFlops ? m : kRowGrain;
-  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+  const bool fast = FastKernelsEnabled();
+  if (m * k * n < kMinParallelFlops) {
+    if (fast) {
+      MatmulSparseAPanel(pa, pb, pc, 0, m, k, n);
+    } else {
+      MatmulSparseAPanelLegacy(pa, pb, pc, 0, m, k, n);
+    }
+    return c;
+  }
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    if (fast) {
+      MatmulSparseAPanel(pa, pb, pc, i0, i1, k, n);
+    } else {
+      MatmulSparseAPanelLegacy(pa, pb, pc, i0, i1, k, n);
     }
   });
   return c;
@@ -183,29 +397,13 @@ Tensor MatmulSparseA(const Tensor& a, const Tensor& b) {
 Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(a.ndim(), 2);
   FEDMP_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  FEDMP_CHECK_EQ(k, b.dim(1)) << "MatmulTransB inner dimension mismatch";
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  if (m * k * n < kMinParallelFlops) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
-      }
-    }
-    return c;
-  }
-  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-    MatmulTransBPanel(pa, pb, pc, i0, i1, k, n);
-  });
-  return c;
+  FEDMP_CHECK_EQ(a.dim(1), b.dim(1)) << "MatmulTransB inner dimension mismatch";
+  return MatmulTransBCore(a, b.data(), b.dim(0));
+}
+
+Tensor MatmulTransBRaw(const Tensor& a, const float* b, int64_t n) {
+  FEDMP_CHECK_EQ(a.ndim(), 2);
+  return MatmulTransBCore(a, b, n);
 }
 
 Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
@@ -213,7 +411,7 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMP_CHECK_EQ(m, b.dim(0)) << "MatmulTransA outer dimension mismatch";
-  Tensor c({k, n});
+  Tensor c = ws::AcquireZeroed({k, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();

@@ -27,6 +27,16 @@ void ScaleInPlace(Tensor& a, float s);
 // a += b.
 void AddInPlace(Tensor& a, const Tensor& b);
 
+// Kernel selection for the matmul hot path. When disabled the matmuls fall
+// back to the pre-optimization scalar loops (kept verbatim) so benchmarks
+// can compare baseline vs optimized in one process. Both kernel families
+// accumulate each output element in the same order, so the toggle changes
+// speed, never bits. Defaults to enabled; FEDMP_FAST_KERNELS=0 or
+// FEDMP_HOTPATH_BASELINE=1 in the environment disables it until the first
+// SetFastKernelsEnabled call.
+bool FastKernelsEnabled();
+void SetFastKernelsEnabled(bool on);
+
 // C[m,n] = A[m,k] @ B[k,n].
 //
 // The three matmuls below are cache-blocked and, above a size threshold,
@@ -44,8 +54,18 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b);
 // or sparsified operands from the pruning paths). Skips the inner update
 // when A's element is exactly 0.0f — a win on sparse A, a per-element
 // branch penalty on dense A, which is why the dense kernels above do not
-// do it. Matches Matmul bit-for-bit on finite inputs.
+// do it. Matches Matmul bit-for-bit on finite inputs. Cache-blocked and
+// panel-parallel like the dense kernels (the zero skip and per-element
+// accumulation order are unchanged by the blocking).
 Tensor MatmulSparseA(const Tensor& a, const Tensor& b);
+
+// Raw-B variants of the matmuls above: B is a caller-owned row-major buffer
+// of n*k (TransB) or k*n floats with k = a.dim(1). They exist so conv can
+// view its [out_c, in_c, kh, kw] weight tensor as a matrix without the full
+// copy Tensor::Reshape performs. Results are bit-identical to the Tensor
+// overloads on the same bytes.
+Tensor MatmulTransBRaw(const Tensor& a, const float* b, int64_t n);
+Tensor MatmulRaw(const Tensor& a, const float* b, int64_t n);
 
 // 2-D transpose.
 Tensor Transpose2D(const Tensor& a);

@@ -1,0 +1,138 @@
+#include "nn/workspace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace fedmp::nn::ws {
+
+namespace {
+
+// Per-thread cap on parked bytes; recycling past it drops the buffer. Big
+// enough for the largest bench model's activations, small enough that a
+// 16-lane pool stays far from memory pressure.
+constexpr int64_t kMaxThreadPoolBytes = int64_t{64} << 20;
+// Free-list buffers below this size are not worth the bookkeeping.
+constexpr int64_t kMinPooledNumel = 64;
+
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_env_checked{false};
+
+void MaybeReadEnv() {
+  if (g_env_checked.exchange(true)) return;
+  const char* pool = std::getenv("FEDMP_POOL");
+  const char* baseline = std::getenv("FEDMP_HOTPATH_BASELINE");
+  if ((pool != nullptr && pool[0] == '0') ||
+      (baseline != nullptr && baseline[0] == '1')) {
+    g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+// Exact-size free lists: a tensor's buffer only ever serves the same
+// element count again, so acquisition is a hash lookup plus a pop and no
+// resize traffic.
+struct ThreadPoolState {
+  std::unordered_map<int64_t, std::vector<std::vector<float>>> free_lists;
+  int64_t bytes = 0;
+};
+
+ThreadPoolState& State() {
+  thread_local ThreadPoolState state;
+  return state;
+}
+
+void CountHit(int64_t numel) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* hits = obs::GetCounter("nn.pool.hits");
+  static obs::Counter* bytes = obs::GetCounter("nn.pool.reused_bytes");
+  hits->Add(1.0);
+  bytes->Add(static_cast<double>(numel) * static_cast<double>(sizeof(float)));
+}
+
+void CountMiss() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* misses = obs::GetCounter("nn.pool.misses");
+  misses->Add(1.0);
+}
+
+// Pops a recycled buffer of exactly `numel` floats, or an empty vector.
+std::vector<float> TryPop(int64_t numel) {
+  ThreadPoolState& state = State();
+  auto it = state.free_lists.find(numel);
+  if (it == state.free_lists.end() || it->second.empty()) return {};
+  std::vector<float> buf = std::move(it->second.back());
+  it->second.pop_back();
+  state.bytes -= numel * static_cast<int64_t>(sizeof(float));
+  return buf;
+}
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+Tensor Acquire(const std::vector<int64_t>& shape, bool zeroed) {
+  const int64_t numel = ShapeNumel(shape);
+  if (Enabled() && numel >= kMinPooledNumel) {
+    std::vector<float> buf = TryPop(numel);
+    if (!buf.empty()) {
+      CountHit(numel);
+      if (zeroed) std::memset(buf.data(), 0, buf.size() * sizeof(float));
+      return Tensor::FromData(shape, std::move(buf));
+    }
+    CountMiss();
+  }
+  // Fresh vectors are value-initialized, so the miss path is zeroed either
+  // way; the pool's win on this branch is only the future reuse.
+  return Tensor(shape);
+}
+
+}  // namespace
+
+bool Enabled() {
+  MaybeReadEnv();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) {
+  g_env_checked.store(true);  // explicit choice overrides the env
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Tensor AcquireZeroed(const std::vector<int64_t>& shape) {
+  return Acquire(shape, /*zeroed=*/true);
+}
+
+Tensor AcquireUninit(const std::vector<int64_t>& shape) {
+  return Acquire(shape, /*zeroed=*/false);
+}
+
+void Recycle(Tensor&& t) {
+  if (!Enabled()) return;
+  const int64_t numel = t.numel();
+  if (numel < kMinPooledNumel) return;
+  ThreadPoolState& state = State();
+  const int64_t add = numel * static_cast<int64_t>(sizeof(float));
+  if (state.bytes + add > kMaxThreadPoolBytes) return;  // drop: stay bounded
+  Tensor victim = std::move(t);
+  state.free_lists[numel].push_back(std::move(victim.vec()));
+  state.bytes += add;
+}
+
+void RecycleAll(std::vector<Tensor>& tensors) {
+  for (Tensor& t : tensors) Recycle(std::move(t));
+}
+
+void ClearThisThread() {
+  ThreadPoolState& state = State();
+  state.free_lists.clear();
+  state.bytes = 0;
+}
+
+int64_t ThisThreadBytes() { return State().bytes; }
+
+}  // namespace fedmp::nn::ws

@@ -1,0 +1,52 @@
+#ifndef FEDMP_NN_WORKSPACE_H_
+#define FEDMP_NN_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+// A per-thread tensor workspace pool. Forward/backward passes allocate and
+// drop the same activation, gradient, and im2col shapes every iteration;
+// the pool turns that churn into a free-list round-trip: kernels acquire
+// their outputs here and layers recycle buffers they are done with.
+//
+// Determinism contract: AcquireZeroed returns all-zero contents (bit-equal
+// to a fresh `Tensor(shape)`); AcquireUninit returns unspecified contents
+// and is only legal where the caller overwrites every element before any
+// read. Under that contract, pooled and fresh runs are bit-identical.
+//
+// Buffers live in thread-local free lists keyed by element count, so the
+// pool needs no locks and never changes results across thread counts (a
+// miss just falls back to a heap allocation). Per-thread footprint is
+// bounded; recycling past the cap drops the buffer.
+namespace fedmp::nn::ws {
+
+// Global switch. Defaults to on; FEDMP_POOL=0 or FEDMP_HOTPATH_BASELINE=1
+// in the environment disables it at first use (tests use SetEnabled).
+bool Enabled();
+void SetEnabled(bool on);
+
+// A tensor of `shape` with all-zero contents (pool hit or fresh).
+Tensor AcquireZeroed(const std::vector<int64_t>& shape);
+
+// A tensor of `shape` with unspecified contents. The caller MUST write
+// every element before reading any.
+Tensor AcquireUninit(const std::vector<int64_t>& shape);
+
+// Returns `t`'s storage to the calling thread's free list. Safe on empty
+// or moved-from tensors (no-op). `t` is left empty.
+void Recycle(Tensor&& t);
+
+// Recycles every tensor of a list (helper for layer caches).
+void RecycleAll(std::vector<Tensor>& tensors);
+
+// Drops every buffer held by the calling thread's pool. Tests only.
+void ClearThisThread();
+
+// Bytes currently parked in the calling thread's free lists. Tests only.
+int64_t ThisThreadBytes();
+
+}  // namespace fedmp::nn::ws
+
+#endif  // FEDMP_NN_WORKSPACE_H_

@@ -1,0 +1,167 @@
+#include "pruning/prune_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace fedmp::pruning {
+
+namespace {
+
+// Far above any realistic working set (one entry per distinct (spec, mask)
+// pair in flight); purely a leak backstop for long-lived processes that
+// sweep many ratios.
+constexpr size_t kMaxEntries = 512;
+
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_env_checked{false};
+
+void MaybeReadEnv() {
+  if (g_env_checked.exchange(true)) return;
+  const char* cache = std::getenv("FEDMP_PLAN_CACHE");
+  const char* baseline = std::getenv("FEDMP_HOTPATH_BASELINE");
+  if ((cache != nullptr && cache[0] == '0') ||
+      (baseline != nullptr && baseline[0] == '1')) {
+    g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+// Canonical byte encoding of everything BuildPrunePlan reads: the full spec
+// and the mask's structure. mask.ratio is deliberately excluded — the plan
+// depends only on which units survive, not on the ratio that chose them.
+std::string Fingerprint(const nn::ModelSpec& spec, const PruneMask& mask) {
+  std::string key;
+  key.reserve(256);
+  key += spec.name;
+  key.push_back('\0');
+  AppendI64(&key, static_cast<int64_t>(spec.input.kind));
+  AppendI64(&key, spec.input.c);
+  AppendI64(&key, spec.input.h);
+  AppendI64(&key, spec.input.w);
+  AppendI64(&key, spec.input.f);
+  AppendI64(&key, spec.input.t);
+  AppendI64(&key, spec.num_classes);
+  AppendI64(&key, static_cast<int64_t>(spec.layers.size()));
+  for (const nn::LayerSpec& ls : spec.layers) {
+    AppendI64(&key, static_cast<int64_t>(ls.type));
+    AppendI64(&key, ls.in_channels);
+    AppendI64(&key, ls.out_channels);
+    AppendI64(&key, ls.kernel);
+    AppendI64(&key, ls.stride);
+    AppendI64(&key, ls.padding);
+    AppendI64(&key, ls.bias ? 1 : 0);
+    AppendF64(&key, ls.dropout_p);
+    AppendI64(&key, ls.mid_channels);
+    AppendI64(&key, ls.vocab);
+  }
+  AppendI64(&key, static_cast<int64_t>(mask.layers.size()));
+  for (const LayerMask& lm : mask.layers) {
+    AppendI64(&key, lm.prunable ? 1 : 0);
+    AppendI64(&key, lm.original_width);
+    AppendI64(&key, static_cast<int64_t>(lm.kept.size()));
+    for (int64_t idx : lm.kept) AppendI64(&key, idx);
+  }
+  return key;
+}
+
+struct CacheState {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const PrunePlan>> plans;
+};
+
+CacheState& State() {
+  static CacheState* state = new CacheState();
+  return *state;
+}
+
+void Count(const char* name) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* hits = obs::GetCounter("pruning.plan_cache.hits");
+  static obs::Counter* misses = obs::GetCounter("pruning.plan_cache.misses");
+  static obs::Counter* evictions =
+      obs::GetCounter("pruning.plan_cache.evictions");
+  if (std::strcmp(name, "hit") == 0) {
+    hits->Add(1.0);
+  } else if (std::strcmp(name, "miss") == 0) {
+    misses->Add(1.0);
+  } else {
+    evictions->Add(1.0);
+  }
+}
+
+}  // namespace
+
+bool PlanCacheEnabled() {
+  MaybeReadEnv();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPlanCacheEnabled(bool on) {
+  g_env_checked.store(true);  // explicit choice overrides the env
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+StatusOr<std::shared_ptr<const PrunePlan>> CachedPrunePlan(
+    const nn::ModelSpec& full_spec, const PruneMask& mask) {
+  if (!PlanCacheEnabled()) {
+    FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
+    return std::make_shared<const PrunePlan>(std::move(plan));
+  }
+  const std::string key = Fingerprint(full_spec, mask);
+  CacheState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.plans.find(key);
+    if (it != state.plans.end()) {
+      Count("hit");
+      return it->second;
+    }
+  }
+  Count("miss");
+  // Build outside the lock: BuildPrunePlan is pure, so a concurrent miss at
+  // worst builds the same plan twice and the second insert is a no-op.
+  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
+  auto shared = std::make_shared<const PrunePlan>(std::move(plan));
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.plans.size() >= kMaxEntries) {
+      state.plans.clear();
+      Count("eviction");
+    }
+    auto [it, inserted] = state.plans.emplace(key, shared);
+    if (!inserted) return it->second;
+  }
+  return shared;
+}
+
+void ClearPlanCache() {
+  CacheState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.plans.clear();
+}
+
+size_t PlanCacheSize() {
+  CacheState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.plans.size();
+}
+
+}  // namespace fedmp::pruning

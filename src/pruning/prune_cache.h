@@ -1,0 +1,43 @@
+#ifndef FEDMP_PRUNING_PRUNE_CACHE_H_
+#define FEDMP_PRUNING_PRUNE_CACHE_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "pruning/structured_pruner.h"
+
+// Process-wide memoization of BuildPrunePlan. A PrunePlan is a pure function
+// of (spec, mask), and during one FL round the same plan is derived on the
+// send path (ExtractSubModel), the receive path (RecoverToFull) and the R2SP
+// residual path (Sparsify) — once per worker each. The cache keys plans by a
+// canonical byte fingerprint of the spec and the mask's kept lists, so all
+// of those call sites share a single derivation.
+//
+// Shared plans are immutable (shared_ptr<const PrunePlan>), so readers on
+// different pool lanes never observe a plan under construction; a concurrent
+// miss simply builds twice and keeps one copy. The cache is bounded: past
+// kMaxEntries it is wholesale-cleared (eviction is counted, correctness is
+// unaffected — a miss just rebuilds).
+namespace fedmp::pruning {
+
+// Global switch. Defaults to on; FEDMP_PLAN_CACHE=0 or
+// FEDMP_HOTPATH_BASELINE=1 in the environment disables it at first use
+// (tests and benches use SetPlanCacheEnabled).
+bool PlanCacheEnabled();
+void SetPlanCacheEnabled(bool on);
+
+// BuildPrunePlan through the memo table. With the cache disabled this is
+// exactly BuildPrunePlan (wrapped in a fresh shared_ptr). Errors are never
+// cached.
+StatusOr<std::shared_ptr<const PrunePlan>> CachedPrunePlan(
+    const nn::ModelSpec& full_spec, const PruneMask& mask);
+
+// Drops every cached plan. Tests only.
+void ClearPlanCache();
+
+// Number of plans currently cached. Tests only.
+size_t PlanCacheSize();
+
+}  // namespace fedmp::pruning
+
+#endif  // FEDMP_PRUNING_PRUNE_CACHE_H_

@@ -1,28 +1,38 @@
 #include "pruning/recovery.h"
 
 #include "common/string_util.h"
+#include "pruning/prune_cache.h"
 
 namespace fedmp::pruning {
 
-StatusOr<nn::TensorList> RecoverToFull(const nn::ModelSpec& full_spec,
-                                       const nn::TensorList& sub_weights,
-                                       const PruneMask& mask) {
-  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
-  if (sub_weights.size() != plan.slices.size()) {
+Status RecoverToFullInto(const nn::ModelSpec& full_spec,
+                         const nn::TensorList& sub_weights,
+                         const PruneMask& mask, nn::TensorList* full) {
+  FEDMP_ASSIGN_OR_RETURN(std::shared_ptr<const PrunePlan> plan,
+                         CachedPrunePlan(full_spec, mask));
+  if (sub_weights.size() != plan->slices.size()) {
     return InvalidArgumentError(StrFormat(
         "sub-model has %zu parameter tensors, plan expects %zu",
-        sub_weights.size(), plan.slices.size()));
+        sub_weights.size(), plan->slices.size()));
   }
-  nn::TensorList full;
-  full.reserve(sub_weights.size());
+  full->resize(sub_weights.size());
   for (size_t i = 0; i < sub_weights.size(); ++i) {
-    if (sub_weights[i].shape() != plan.slices[i].sub_shape) {
+    if (sub_weights[i].shape() != plan->slices[i].sub_shape) {
       return InvalidArgumentError(StrFormat(
           "sub tensor %zu shape %s does not match plan", i,
           sub_weights[i].ShapeString().c_str()));
     }
-    full.push_back(ScatterSlice(sub_weights[i], plan.slices[i]));
+    ScatterSliceInto(sub_weights[i], plan->slices[i], &(*full)[i]);
   }
+  return Status::Ok();
+}
+
+StatusOr<nn::TensorList> RecoverToFull(const nn::ModelSpec& full_spec,
+                                       const nn::TensorList& sub_weights,
+                                       const PruneMask& mask) {
+  nn::TensorList full;
+  FEDMP_RETURN_IF_ERROR(
+      RecoverToFullInto(full_spec, sub_weights, mask, &full));
   return full;
 }
 

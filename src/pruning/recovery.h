@@ -14,6 +14,14 @@ StatusOr<nn::TensorList> RecoverToFull(const nn::ModelSpec& full_spec,
                                        const nn::TensorList& sub_weights,
                                        const PruneMask& mask);
 
+// RecoverToFull into caller-owned storage: tensors of *full whose shapes
+// already match are zeroed and refilled in place, so aggregation loops that
+// recover one worker after another reuse a single full-model scratch list.
+// Bit-identical to RecoverToFull.
+Status RecoverToFullInto(const nn::ModelSpec& full_spec,
+                         const nn::TensorList& sub_weights,
+                         const PruneMask& mask, nn::TensorList* full);
+
 }  // namespace fedmp::pruning
 
 #endif  // FEDMP_PRUNING_RECOVERY_H_

@@ -1,6 +1,7 @@
 #include "pruning/sparsify.h"
 
 #include "nn/tensor_ops.h"
+#include "pruning/prune_cache.h"
 
 namespace fedmp::pruning {
 
@@ -13,55 +14,82 @@ std::vector<char> KeepBitmap(const std::vector<int64_t>& gather, int64_t n) {
   return keep;
 }
 
+// Copies `w` into *out (reusing its storage when shapes match) and zeroes
+// either the kept cells (`zero_kept`, residual construction) or the pruned
+// cells (sparsify).
+void CopyWithZeroedCells(const nn::Tensor& w, const TensorSlice& slice,
+                         bool zero_kept, nn::Tensor* out) {
+  *out = w;  // copy-assign reuses the destination's capacity
+  const int64_t d0 = slice.full_shape[0];
+  const int64_t d1 = slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
+  int64_t inner = 1;
+  for (size_t k = 2; k < slice.full_shape.size(); ++k) {
+    inner *= slice.full_shape[k];
+  }
+  const std::vector<char> keep0 = KeepBitmap(slice.dim0, d0);
+  const std::vector<char> keep1 = KeepBitmap(slice.dim1, d1);
+  float* p = out->data();
+  for (int64_t i0 = 0; i0 < d0; ++i0) {
+    for (int64_t i1 = 0; i1 < d1; ++i1) {
+      const bool kept = keep0[static_cast<size_t>(i0)] &&
+                        keep1[static_cast<size_t>(i1)];
+      if (kept != zero_kept) continue;
+      float* cell = p + (i0 * d1 + i1) * inner;
+      for (int64_t k = 0; k < inner; ++k) cell[k] = 0.0f;
+    }
+  }
+}
+
 }  // namespace
 
 StatusOr<nn::TensorList> Sparsify(const nn::ModelSpec& full_spec,
                                   const nn::TensorList& full_weights,
                                   const PruneMask& mask) {
-  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
-  if (full_weights.size() != plan.slices.size()) {
+  FEDMP_ASSIGN_OR_RETURN(std::shared_ptr<const PrunePlan> plan,
+                         CachedPrunePlan(full_spec, mask));
+  if (full_weights.size() != plan->slices.size()) {
     return InvalidArgumentError("weight count does not match plan");
   }
   nn::TensorList out;
   out.reserve(full_weights.size());
   for (size_t i = 0; i < full_weights.size(); ++i) {
-    const TensorSlice& slice = plan.slices[i];
-    const nn::Tensor& w = full_weights[i];
-    if (w.shape() != slice.full_shape) {
+    if (full_weights[i].shape() != plan->slices[i].full_shape) {
       return InvalidArgumentError("tensor shape does not match plan");
     }
-    const int64_t d0 = slice.full_shape[0];
-    const int64_t d1 =
-        slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
-    int64_t inner = 1;
-    for (size_t k = 2; k < slice.full_shape.size(); ++k) {
-      inner *= slice.full_shape[k];
-    }
-    const std::vector<char> keep0 = KeepBitmap(slice.dim0, d0);
-    const std::vector<char> keep1 = KeepBitmap(slice.dim1, d1);
-    nn::Tensor sparse = w;
-    float* p = sparse.data();
-    for (int64_t i0 = 0; i0 < d0; ++i0) {
-      for (int64_t i1 = 0; i1 < d1; ++i1) {
-        if (keep0[static_cast<size_t>(i0)] &&
-            keep1[static_cast<size_t>(i1)]) {
-          continue;
-        }
-        float* cell = p + (i0 * d1 + i1) * inner;
-        for (int64_t k = 0; k < inner; ++k) cell[k] = 0.0f;
-      }
-    }
+    nn::Tensor sparse;
+    CopyWithZeroedCells(full_weights[i], plan->slices[i],
+                        /*zero_kept=*/false, &sparse);
     out.push_back(std::move(sparse));
   }
   return out;
 }
 
+Status ResidualModelInto(const nn::ModelSpec& full_spec,
+                         const nn::TensorList& full_weights,
+                         const PruneMask& mask, nn::TensorList* out) {
+  FEDMP_ASSIGN_OR_RETURN(std::shared_ptr<const PrunePlan> plan,
+                         CachedPrunePlan(full_spec, mask));
+  if (full_weights.size() != plan->slices.size()) {
+    return InvalidArgumentError("weight count does not match plan");
+  }
+  out->resize(full_weights.size());
+  for (size_t i = 0; i < full_weights.size(); ++i) {
+    if (full_weights[i].shape() != plan->slices[i].full_shape) {
+      return InvalidArgumentError("tensor shape does not match plan");
+    }
+    CopyWithZeroedCells(full_weights[i], plan->slices[i], /*zero_kept=*/true,
+                        &(*out)[i]);
+  }
+  return Status::Ok();
+}
+
 StatusOr<nn::TensorList> ResidualModel(const nn::ModelSpec& full_spec,
                                        const nn::TensorList& full_weights,
                                        const PruneMask& mask) {
-  FEDMP_ASSIGN_OR_RETURN(nn::TensorList sparse,
-                         Sparsify(full_spec, full_weights, mask));
-  return nn::SubLists(full_weights, sparse);
+  nn::TensorList out;
+  FEDMP_RETURN_IF_ERROR(
+      ResidualModelInto(full_spec, full_weights, mask, &out));
+  return out;
 }
 
 }  // namespace fedmp::pruning

@@ -21,6 +21,15 @@ StatusOr<nn::TensorList> ResidualModel(const nn::ModelSpec& full_spec,
                                        const nn::TensorList& full_weights,
                                        const PruneMask& mask);
 
+// ResidualModel into caller-owned storage, built directly (copy the full
+// weights, zero the kept cells) instead of via Sparsify + SubLists. For the
+// finite weights the trainers guarantee (AcceptPayload screens non-finite
+// payloads), w - w == +0.0f exactly, so this is bit-identical to
+// ResidualModel while skipping one full-model temporary and subtraction.
+Status ResidualModelInto(const nn::ModelSpec& full_spec,
+                         const nn::TensorList& full_weights,
+                         const PruneMask& mask, nn::TensorList* out);
+
 }  // namespace fedmp::pruning
 
 #endif  // FEDMP_PRUNING_SPARSIFY_H_

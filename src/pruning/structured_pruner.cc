@@ -1,12 +1,14 @@
 #include "pruning/structured_pruner.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 #include "pruning/importance.h"
 #include "pruning/lstm_iss_pruner.h"
+#include "pruning/prune_cache.h"
 
 namespace fedmp::pruning {
 
@@ -24,13 +26,27 @@ int64_t GatherSize(const std::vector<int64_t>& gather, int64_t full) {
   return gather.empty() ? full : static_cast<int64_t>(gather.size());
 }
 
-// The index list [0, n) when `gather` is empty, else `gather` itself.
-std::vector<int64_t> Materialize(const std::vector<int64_t>& gather,
-                                 int64_t n) {
-  if (!gather.empty()) return gather;
-  std::vector<int64_t> all(static_cast<size_t>(n));
-  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
-  return all;
+// Invokes fn(sub_pos, full_idx, run_len) for each maximal run of consecutive
+// indices in `gather` (one run covering [0, n) when the list is empty). Runs
+// let Gather/Scatter move whole contiguous blocks with memcpy instead of one
+// inner-sized copy per (i0, i1) pair — kept lists are sorted, so unpruned
+// and lightly-pruned layers coalesce into a handful of large copies.
+template <typename Fn>
+void ForEachRun(const std::vector<int64_t>& gather, int64_t n, Fn&& fn) {
+  if (gather.empty()) {
+    if (n > 0) fn(int64_t{0}, int64_t{0}, n);
+    return;
+  }
+  size_t j = 0;
+  int64_t pos = 0;
+  while (j < gather.size()) {
+    size_t k = j + 1;
+    while (k < gather.size() && gather[k] == gather[k - 1] + 1) ++k;
+    const int64_t len = static_cast<int64_t>(k - j);
+    fn(pos, gather[j], len);
+    pos += len;
+    j = k;
+  }
 }
 
 TensorSlice MakeSlice(std::vector<int64_t> full_shape,
@@ -61,49 +77,70 @@ Tensor GatherSlice(const Tensor& full, const TensorSlice& slice) {
   for (size_t i = 2; i < slice.full_shape.size(); ++i) {
     inner *= slice.full_shape[i];
   }
-  const std::vector<int64_t> g0 = Materialize(slice.dim0, d0);
-  const std::vector<int64_t> g1 = Materialize(slice.dim1, d1);
+  const int64_t full_row = d1 * inner;
+  const int64_t sub_row = GatherSize(slice.dim1, d1) * inner;
   Tensor sub(slice.sub_shape);
   const float* pf = full.data();
   float* ps = sub.data();
-  for (size_t i0 = 0; i0 < g0.size(); ++i0) {
-    for (size_t i1 = 0; i1 < g1.size(); ++i1) {
-      const float* src = pf + (g0[i0] * d1 + g1[i1]) * inner;
-      float* dst =
-          ps + (static_cast<int64_t>(i0) * static_cast<int64_t>(g1.size()) +
-                static_cast<int64_t>(i1)) *
-                   inner;
-      std::copy(src, src + inner, dst);
+  ForEachRun(slice.dim0, d0, [&](int64_t s0, int64_t f0, int64_t rows) {
+    if (slice.dim1.empty()) {
+      // Whole rows are contiguous in both tensors: one copy per dim0 run.
+      std::memcpy(ps + s0 * sub_row, pf + f0 * full_row,
+                  sizeof(float) * static_cast<size_t>(rows * full_row));
+      return;
     }
-  }
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = pf + (f0 + r) * full_row;
+      float* dst = ps + (s0 + r) * sub_row;
+      ForEachRun(slice.dim1, d1, [&](int64_t s1, int64_t f1, int64_t cols) {
+        std::memcpy(dst + s1 * inner, src + f1 * inner,
+                    sizeof(float) * static_cast<size_t>(cols * inner));
+      });
+    }
+  });
   return sub;
 }
 
-Tensor ScatterSlice(const Tensor& sub, const TensorSlice& slice) {
+void ScatterSliceInto(const Tensor& sub, const TensorSlice& slice,
+                      Tensor* full) {
   FEDMP_CHECK(sub.shape() == slice.sub_shape)
       << "ScatterSlice: tensor " << sub.ShapeString()
       << " does not match slice sub shape";
+  if (full->shape() != slice.full_shape) {
+    *full = Tensor(slice.full_shape);
+  } else {
+    full->SetZero();  // same starting contents as a fresh tensor
+  }
   const int64_t d0 = slice.full_shape[0];
   const int64_t d1 = slice.full_shape.size() >= 2 ? slice.full_shape[1] : 1;
   int64_t inner = 1;
   for (size_t i = 2; i < slice.full_shape.size(); ++i) {
     inner *= slice.full_shape[i];
   }
-  const std::vector<int64_t> g0 = Materialize(slice.dim0, d0);
-  const std::vector<int64_t> g1 = Materialize(slice.dim1, d1);
-  Tensor full(slice.full_shape);
+  const int64_t full_row = d1 * inner;
+  const int64_t sub_row = GatherSize(slice.dim1, d1) * inner;
   const float* ps = sub.data();
-  float* pf = full.data();
-  for (size_t i0 = 0; i0 < g0.size(); ++i0) {
-    for (size_t i1 = 0; i1 < g1.size(); ++i1) {
-      const float* src =
-          ps + (static_cast<int64_t>(i0) * static_cast<int64_t>(g1.size()) +
-                static_cast<int64_t>(i1)) *
-                   inner;
-      float* dst = pf + (g0[i0] * d1 + g1[i1]) * inner;
-      std::copy(src, src + inner, dst);
+  float* pf = full->data();
+  ForEachRun(slice.dim0, d0, [&](int64_t s0, int64_t f0, int64_t rows) {
+    if (slice.dim1.empty()) {
+      std::memcpy(pf + f0 * full_row, ps + s0 * sub_row,
+                  sizeof(float) * static_cast<size_t>(rows * full_row));
+      return;
     }
-  }
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = ps + (s0 + r) * sub_row;
+      float* dst = pf + (f0 + r) * full_row;
+      ForEachRun(slice.dim1, d1, [&](int64_t s1, int64_t f1, int64_t cols) {
+        std::memcpy(dst + f1 * inner, src + s1 * inner,
+                    sizeof(float) * static_cast<size_t>(cols * inner));
+      });
+    }
+  });
+}
+
+Tensor ScatterSlice(const Tensor& sub, const TensorSlice& slice) {
+  Tensor full;
+  ScatterSliceInto(sub, slice, &full);
   return full;
 }
 
@@ -253,62 +290,100 @@ StatusOr<PrunePlan> BuildPrunePlan(const ModelSpec& full_spec,
   return plan;
 }
 
-PruneMask ComputeL1Mask(const ModelSpec& spec, const TensorList& weights,
-                        double ratio) {
+ImportanceRanking RankUnits(const ModelSpec& spec, const TensorList& weights) {
+  ImportanceRanking ranking;
+  ranking.order.resize(spec.layers.size());
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    if (!IsPrunableLayer(spec, i)) continue;
+    const std::vector<float> scores = UnitImportance(spec, weights, i);
+    const std::vector<size_t> order = ArgsortAscending(scores);
+    ranking.order[i].reserve(order.size());
+    for (size_t idx : order) {
+      ranking.order[i].push_back(static_cast<int64_t>(idx));
+    }
+  }
+  return ranking;
+}
+
+PruneMask MaskFromRanking(const ModelSpec& spec,
+                          const ImportanceRanking& ranking, double ratio) {
   PruneMask mask = FullMask(spec);
   mask.ratio = ratio;
   if (ratio <= 0.0) return mask;
+  FEDMP_CHECK_EQ(ranking.order.size(), spec.layers.size());
   for (size_t i = 0; i < spec.layers.size(); ++i) {
     LayerMask& lm = mask.layers[i];
     if (!lm.prunable) continue;
-    const std::vector<float> scores = UnitImportance(spec, weights, i);
-    FEDMP_CHECK_EQ(static_cast<int64_t>(scores.size()), lm.original_width);
+    const std::vector<int64_t>& order = ranking.order[i];
+    FEDMP_CHECK_EQ(static_cast<int64_t>(order.size()), lm.original_width);
     const int64_t keep = KeptCount(lm.original_width, ratio);
     // Keep the `keep` highest-scoring units (§III-B removes the lowest).
-    std::vector<size_t> order = ArgsortAscending(scores);
-    std::vector<int64_t> kept;
-    kept.reserve(static_cast<size_t>(keep));
-    for (size_t j = order.size() - static_cast<size_t>(keep);
-         j < order.size(); ++j) {
-      kept.push_back(static_cast<int64_t>(order[j]));
-    }
+    std::vector<int64_t> kept(order.end() - keep, order.end());
     std::sort(kept.begin(), kept.end());
     lm.kept = std::move(kept);
   }
   return mask;
 }
 
+PruneMask ComputeL1Mask(const ModelSpec& spec, const TensorList& weights,
+                        double ratio) {
+  if (ratio <= 0.0) {
+    PruneMask mask = FullMask(spec);
+    mask.ratio = ratio;
+    return mask;
+  }
+  return MaskFromRanking(spec, RankUnits(spec, weights), ratio);
+}
+
 StatusOr<SubModel> ExtractSubModel(const ModelSpec& full_spec,
                                    const TensorList& full_weights,
                                    const PruneMask& mask) {
-  FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
-  if (full_weights.size() != plan.slices.size()) {
+  FEDMP_ASSIGN_OR_RETURN(std::shared_ptr<const PrunePlan> plan,
+                         CachedPrunePlan(full_spec, mask));
+  if (full_weights.size() != plan->slices.size()) {
     return InvalidArgumentError(StrFormat(
         "model has %zu parameter tensors, plan expects %zu",
-        full_weights.size(), plan.slices.size()));
+        full_weights.size(), plan->slices.size()));
   }
   SubModel sub;
-  sub.spec = plan.sub_spec;
+  sub.spec = plan->sub_spec;
   sub.mask = mask;
   sub.weights.reserve(full_weights.size());
   for (size_t i = 0; i < full_weights.size(); ++i) {
-    sub.weights.push_back(GatherSlice(full_weights[i], plan.slices[i]));
+    sub.weights.push_back(GatherSlice(full_weights[i], plan->slices[i]));
   }
   return sub;
 }
+
+namespace {
+
+void CountPrune(double ratio) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* prunes = obs::GetCounter("pruning.prunes");
+  static obs::Histogram* ratios = obs::GetHistogram(
+      "pruning.ratio", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  prunes->Add(1.0);
+  ratios->Observe(ratio);
+}
+
+}  // namespace
 
 StatusOr<SubModel> PruneByRatio(const ModelSpec& full_spec,
                                 const TensorList& full_weights,
                                 double ratio) {
   OBS_SPAN("prune", {{"ratio", ratio}});
-  if (obs::Enabled()) {
-    static obs::Counter* prunes = obs::GetCounter("pruning.prunes");
-    static obs::Histogram* ratios = obs::GetHistogram(
-        "pruning.ratio", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
-    prunes->Add(1.0);
-    ratios->Observe(ratio);
-  }
+  CountPrune(ratio);
   PruneMask mask = ComputeL1Mask(full_spec, full_weights, ratio);
+  return ExtractSubModel(full_spec, full_weights, mask);
+}
+
+StatusOr<SubModel> PruneByRatioRanked(const ModelSpec& full_spec,
+                                      const TensorList& full_weights,
+                                      const ImportanceRanking& ranking,
+                                      double ratio) {
+  OBS_SPAN("prune", {{"ratio", ratio}});
+  CountPrune(ratio);
+  PruneMask mask = MaskFromRanking(full_spec, ranking, ratio);
   return ExtractSubModel(full_spec, full_weights, mask);
 }
 

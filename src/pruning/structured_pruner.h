@@ -32,6 +32,23 @@ struct PrunePlan {
 StatusOr<PrunePlan> BuildPrunePlan(const nn::ModelSpec& full_spec,
                                    const PruneMask& mask);
 
+// Per-layer unit-importance order, ascending by l1 score (the exact
+// ArgsortAscending ComputeL1Mask performs). The ranking depends only on the
+// global weights — not on any worker's ratio — so the PS computes it once
+// per round and derives every worker's mask from it; ArgsortAscending is
+// stable, so ranked-derived masks are bit-identical to per-worker ones.
+struct ImportanceRanking {
+  std::vector<std::vector<int64_t>> order;  // empty for non-prunable layers
+};
+
+ImportanceRanking RankUnits(const nn::ModelSpec& spec,
+                            const nn::TensorList& weights);
+
+// The mask ComputeL1Mask(spec, weights, ratio) would produce, derived from a
+// precomputed ranking instead of re-scoring the weights.
+PruneMask MaskFromRanking(const nn::ModelSpec& spec,
+                          const ImportanceRanking& ranking, double ratio);
+
 // §III-B: per-layer l1 ranking with the same ratio in every layer; the
 // lowest-scoring units are dropped, keeping max(1, round(width*(1-ratio))).
 PruneMask ComputeL1Mask(const nn::ModelSpec& spec,
@@ -55,9 +72,22 @@ StatusOr<SubModel> PruneByRatio(const nn::ModelSpec& full_spec,
                                 const nn::TensorList& full_weights,
                                 double ratio);
 
+// PruneByRatio from a round-scoped ranking: MaskFromRanking +
+// ExtractSubModel. Bit-identical to PruneByRatio when `ranking` was computed
+// from `full_weights`.
+StatusOr<SubModel> PruneByRatioRanked(const nn::ModelSpec& full_spec,
+                                      const nn::TensorList& full_weights,
+                                      const ImportanceRanking& ranking,
+                                      double ratio);
+
 // Low-level slice ops (exposed for recovery/sparsify and tests).
 nn::Tensor GatherSlice(const nn::Tensor& full, const TensorSlice& slice);
 nn::Tensor ScatterSlice(const nn::Tensor& sub, const TensorSlice& slice);
+// ScatterSlice into caller-owned storage: reuses *full's buffer when its
+// shape already matches (zeroing it first), so aggregation loops recover
+// worker after worker without reallocating full-model tensors.
+void ScatterSliceInto(const nn::Tensor& sub, const TensorSlice& slice,
+                      nn::Tensor* full);
 
 }  // namespace fedmp::pruning
 

@@ -1,0 +1,126 @@
+// The hot-path optimizations (workspace pool, prune-plan cache, worker
+// model reuse, fast matmul kernels) must be invisible in results: a full
+// federated run with all of them enabled must be bit-identical to the
+// baseline with all of them disabled, at any thread count, for both
+// trainers. The disabled run takes
+// the fresh-build path in Worker::LocalTrain, so equality here is also the
+// regression test that the cached path consumes the same rng_ draws.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "fl/async_trainer.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "nn/tensor_ops.h"
+#include "nn/workspace.h"
+#include "pruning/prune_cache.h"
+
+namespace fedmp::fl {
+namespace {
+
+struct RunResult {
+  nn::TensorList weights;
+  RoundLog log;
+};
+
+void SetHotPathEnabled(bool on) {
+  nn::ws::SetEnabled(on);
+  nn::SetFastKernelsEnabled(on);
+  pruning::SetPlanCacheEnabled(on);
+  SetModelReuseEnabled(on);
+  pruning::ClearPlanCache();
+}
+
+RunResult RunSync(int num_threads) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+RunResult RunAsync(int num_threads) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  AsyncTrainerOptions opt;
+  opt.base.max_rounds = 4;
+  opt.base.eval_every = 2;
+  opt.base.eval_batch_size = 16;
+  opt.base.seed = 3;
+  opt.base.num_threads = num_threads;
+  opt.m = 2;
+  Rng rng(opt.base.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  AsyncTrainer trainer(&task, fleet, std::move(partition),
+                       std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+void ExpectIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_TRUE(a.weights[i].SameShape(b.weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(a.weights[i], b.weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(a.log.records().size(), b.log.records().size());
+  for (size_t i = 0; i < a.log.records().size(); ++i) {
+    const auto& ra = a.log.records()[i];
+    const auto& rb = b.log.records()[i];
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_loss, rb.test_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_accuracy, rb.test_accuracy) << "round " << ra.round;
+    EXPECT_EQ(ra.mean_ratio, rb.mean_ratio) << "round " << ra.round;
+    EXPECT_EQ(ra.sim_time, rb.sim_time) << "round " << ra.round;
+  }
+}
+
+class HotPathCacheTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetHotPathEnabled(true);
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(HotPathCacheTest, SyncTrainerBitIdenticalWithAndWithoutCaches) {
+  SetHotPathEnabled(false);
+  const RunResult baseline = RunSync(1);
+  SetHotPathEnabled(true);
+  const RunResult optimized_serial = RunSync(1);
+  const RunResult optimized_parallel = RunSync(4);
+  ExpectIdentical(baseline, optimized_serial);
+  ExpectIdentical(baseline, optimized_parallel);
+}
+
+TEST_F(HotPathCacheTest, AsyncTrainerBitIdenticalWithAndWithoutCaches) {
+  SetHotPathEnabled(false);
+  const RunResult baseline = RunAsync(1);
+  SetHotPathEnabled(true);
+  const RunResult optimized_serial = RunAsync(1);
+  const RunResult optimized_parallel = RunAsync(4);
+  ExpectIdentical(baseline, optimized_serial);
+  ExpectIdentical(baseline, optimized_parallel);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

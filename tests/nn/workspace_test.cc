@@ -1,0 +1,125 @@
+// Workspace-pool semantics and the pooled-vs-fresh bit-identity contract:
+// recycled buffers must never change what a forward/backward pass computes.
+
+#include "nn/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/initializers.h"
+#include "nn/model_builder.h"
+
+namespace fedmp::nn {
+namespace {
+
+class WorkspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws::SetEnabled(true);
+    ws::ClearThisThread();
+  }
+  void TearDown() override {
+    ws::ClearThisThread();
+    ws::SetEnabled(true);
+  }
+};
+
+TEST_F(WorkspaceTest, AcquireZeroedIsZero) {
+  Tensor t = ws::AcquireZeroed({8, 16});
+  ASSERT_EQ(t.numel(), 128);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST_F(WorkspaceTest, RecycledBufferIsReusedAndRezeroed) {
+  Tensor t = ws::AcquireZeroed({8, 16});
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = 7.0f;  // dirty it
+  const float* storage = t.data();
+  ws::Recycle(std::move(t));
+  EXPECT_GT(ws::ThisThreadBytes(), 0);
+
+  Tensor again = ws::AcquireZeroed({16, 8});  // same numel, new shape
+  EXPECT_EQ(again.data(), storage) << "pool should hand back the buffer";
+  EXPECT_EQ(again.shape(), (std::vector<int64_t>{16, 8}));
+  for (int64_t i = 0; i < again.numel(); ++i) {
+    ASSERT_EQ(again.data()[i], 0.0f) << "recycled buffer not re-zeroed";
+  }
+  EXPECT_EQ(ws::ThisThreadBytes(), 0);
+}
+
+TEST_F(WorkspaceTest, TinyTensorsAreNotPooled) {
+  Tensor t = ws::AcquireZeroed({2, 3});  // below the pooling floor
+  ws::Recycle(std::move(t));
+  EXPECT_EQ(ws::ThisThreadBytes(), 0);
+}
+
+TEST_F(WorkspaceTest, DisabledPoolNeverParksBuffers) {
+  ws::SetEnabled(false);
+  Tensor t = ws::AcquireZeroed({32, 32});
+  ws::Recycle(std::move(t));
+  EXPECT_EQ(ws::ThisThreadBytes(), 0);
+}
+
+TEST_F(WorkspaceTest, RecycleOfMovedFromTensorIsSafe) {
+  Tensor t = ws::AcquireZeroed({8, 16});
+  Tensor moved = std::move(t);
+  ws::Recycle(std::move(t));  // no-op, must not crash
+  ws::Recycle(std::move(moved));
+  EXPECT_GT(ws::ThisThreadBytes(), 0);
+}
+
+// Runs three train iterations (forward, backward from a fixed upstream
+// gradient) and returns the last iteration's logits and parameter grads.
+// Multiple iterations matter: from the second one on, a pooled run acquires
+// buffers dirtied by the first, which is exactly the case the
+// zero/overwrite contract must survive.
+struct PassResult {
+  Tensor logits;
+  std::vector<Tensor> grads;
+};
+
+PassResult RunPasses(const data::FlTask& task, bool pooled) {
+  ws::SetEnabled(pooled);
+  ws::ClearThisThread();
+  const nn::ModelSpec& spec = task.model;
+  auto model = BuildModelOrDie(spec, 11);
+  Rng rng(5);
+  PassResult out;
+  for (int it = 0; it < 3; ++it) {
+    Tensor x;
+    if (task.is_language_model) {
+      x = Tensor({4, spec.input.t});  // all-zero token ids are valid
+    } else {
+      x = Tensor({4, spec.input.c, spec.input.h, spec.input.w});
+      UniformInit(x, -1, 1, rng);
+    }
+    model->ZeroGrad();
+    Tensor logits = model->Forward(x, /*training=*/true);
+    Tensor grad(logits.shape());
+    UniformInit(grad, -0.1, 0.1, rng);
+    model->Backward(grad);
+    if (it == 2) {
+      out.logits = logits;
+      for (Parameter* p : model->Params()) out.grads.push_back(p->grad);
+    }
+  }
+  return out;
+}
+
+TEST_F(WorkspaceTest, PooledForwardBackwardBitIdenticalToFresh) {
+  for (const char* name : {"cnn", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 5);
+    const PassResult fresh = RunPasses(task, /*pooled=*/false);
+    const PassResult pooled = RunPasses(task, /*pooled=*/true);
+    ASSERT_TRUE(fresh.logits.SameShape(pooled.logits)) << name;
+    EXPECT_EQ(MaxAbsDiff(fresh.logits, pooled.logits), 0.0) << name;
+    ASSERT_EQ(fresh.grads.size(), pooled.grads.size()) << name;
+    for (size_t i = 0; i < fresh.grads.size(); ++i) {
+      EXPECT_EQ(MaxAbsDiff(fresh.grads[i], pooled.grads[i]), 0.0)
+          << name << " grad " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::nn

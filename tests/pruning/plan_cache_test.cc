@@ -1,0 +1,124 @@
+// Plan-cache correctness: a memoized PrunePlan must be indistinguishable
+// from a freshly built one, and the round-scoped importance ranking must
+// reproduce ComputeL1Mask exactly.
+
+#include "pruning/prune_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_zoo.h"
+#include "nn/model_builder.h"
+
+namespace fedmp::pruning {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetPlanCacheEnabled(true);
+    ClearPlanCache();
+  }
+  void TearDown() override {
+    ClearPlanCache();
+    SetPlanCacheEnabled(true);
+  }
+};
+
+void ExpectSamePlan(const PrunePlan& a, const PrunePlan& b) {
+  EXPECT_TRUE(a.sub_spec == b.sub_spec);
+  ASSERT_EQ(a.slices.size(), b.slices.size());
+  for (size_t i = 0; i < a.slices.size(); ++i) {
+    EXPECT_EQ(a.slices[i].dim0, b.slices[i].dim0) << "slice " << i;
+    EXPECT_EQ(a.slices[i].dim1, b.slices[i].dim1) << "slice " << i;
+    EXPECT_EQ(a.slices[i].full_shape, b.slices[i].full_shape) << "slice " << i;
+    EXPECT_EQ(a.slices[i].sub_shape, b.slices[i].sub_shape) << "slice " << i;
+  }
+}
+
+TEST_F(PlanCacheTest, CachedPlanEqualsFreshBuildAcrossZoo) {
+  for (const char* name : {"cnn", "alexnet", "vgg", "resnet", "lstm"}) {
+    ClearPlanCache();
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 5);
+    auto model = nn::BuildModelOrDie(task.model, 7);
+    const PruneMask mask =
+        ComputeL1Mask(task.model, model->GetWeights(), 0.5);
+
+    auto fresh = BuildPrunePlan(task.model, mask);
+    ASSERT_TRUE(fresh.ok()) << name << ": " << fresh.status();
+    auto cached = CachedPrunePlan(task.model, mask);
+    ASSERT_TRUE(cached.ok()) << name << ": " << cached.status();
+    ExpectSamePlan(*fresh, **cached);
+  }
+}
+
+TEST_F(PlanCacheTest, SecondLookupReturnsTheSharedPlan) {
+  const data::FlTask task =
+      data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const PruneMask mask = ComputeL1Mask(task.model, model->GetWeights(), 0.4);
+
+  auto first = CachedPrunePlan(task.model, mask);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(PlanCacheSize(), 1u);
+  auto second = CachedPrunePlan(task.model, mask);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "expected the memoized plan";
+  EXPECT_EQ(PlanCacheSize(), 1u);
+}
+
+TEST_F(PlanCacheTest, DistinctMasksGetDistinctEntries) {
+  const data::FlTask task =
+      data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const nn::TensorList weights = model->GetWeights();
+
+  auto a = CachedPrunePlan(task.model, ComputeL1Mask(task.model, weights, 0.25));
+  auto b = CachedPrunePlan(task.model, ComputeL1Mask(task.model, weights, 0.75));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(PlanCacheSize(), 2u);
+}
+
+TEST_F(PlanCacheTest, DisabledCacheBuildsFreshAndStoresNothing) {
+  SetPlanCacheEnabled(false);
+  const data::FlTask task =
+      data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 7);
+  const PruneMask mask = ComputeL1Mask(task.model, model->GetWeights(), 0.5);
+
+  auto first = CachedPrunePlan(task.model, mask);
+  auto second = CachedPrunePlan(task.model, mask);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ(PlanCacheSize(), 0u);
+  ExpectSamePlan(**first, **second);
+}
+
+TEST_F(PlanCacheTest, RankedMaskMatchesComputeL1MaskAtEveryRatio) {
+  for (const char* name : {"cnn", "resnet", "lstm"}) {
+    const data::FlTask task =
+        data::MakeTaskByName(name, data::TaskScale::kTiny, 5);
+    auto model = nn::BuildModelOrDie(task.model, 9);
+    const nn::TensorList weights = model->GetWeights();
+    const ImportanceRanking ranking = RankUnits(task.model, weights);
+    for (double ratio : {0.0, 0.1, 0.25, 0.5, 0.75}) {
+      const PruneMask direct = ComputeL1Mask(task.model, weights, ratio);
+      const PruneMask ranked = MaskFromRanking(task.model, ranking, ratio);
+      EXPECT_EQ(direct.ratio, ranked.ratio);
+      ASSERT_EQ(direct.layers.size(), ranked.layers.size()) << name;
+      for (size_t i = 0; i < direct.layers.size(); ++i) {
+        EXPECT_EQ(direct.layers[i].prunable, ranked.layers[i].prunable)
+            << name << " layer " << i << " ratio " << ratio;
+        EXPECT_EQ(direct.layers[i].original_width,
+                  ranked.layers[i].original_width)
+            << name << " layer " << i << " ratio " << ratio;
+        EXPECT_EQ(direct.layers[i].kept, ranked.layers[i].kept)
+            << name << " layer " << i << " ratio " << ratio;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::pruning
