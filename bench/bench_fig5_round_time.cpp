@@ -4,9 +4,10 @@
 //
 // Additionally measures the real (host) wall-clock of one FedMP round with
 // the hot-path optimizations (workspace pool, prune-plan cache, worker
-// model reuse, fast matmul kernels) disabled vs enabled at num_threads=1
-// and emits the speedup to fig5_hotpath.json. Run with FEDMP_TRACE_METRICS=<file> to also dump
-// the pool / plan-cache / model-cache counters.
+// model reuse, fast matmul kernels) disabled vs enabled at num_threads
+// 1, 2, and 4, and emits the speedups to fig5_hotpath.json. Run with
+// FEDMP_TRACE_METRICS=<file> to also dump the pool / plan-cache /
+// model-cache counters.
 
 #include <chrono>
 #include <cstdio>
@@ -76,7 +77,9 @@ int main() {
   }
   table.WritePretty(std::cout);
 
-  // --- Hot-path wall-clock: baseline vs optimized round time. ---
+  // --- Hot-path wall-clock: baseline vs optimized round time, at 1/2/4
+  // execution lanes. Each thread count compares against its own baseline so
+  // the speedup isolates the hot-path optimizations from pool parallelism.
   const int64_t rounds = bench::ScaledRounds(6);
   const data::FlTask bench_task =
       data::MakeCnnMnistTask(data::TaskScale::kBench, 42);
@@ -85,29 +88,33 @@ int main() {
   config.method = "fedmp";
   config.num_workers = 10;
   config.trainer = bench::BenchTrainerOptions(rounds);
-  config.trainer.num_threads = 1;
   auto run_with = [&](bool optimized) {
     SetHotPathEnabled(optimized);
     return WallSeconds([&] { bench::MustRun(config, bench_task); });
   };
   std::printf(
-      "\nHot-path wall-clock (host time, fedmp/cnn, %d rounds, 1 thread):\n",
+      "\nHot-path wall-clock (host time, fedmp/cnn, %d rounds):\n",
       static_cast<int>(rounds));
-  bench::SpeedupRecord rec;
-  rec.name = "fedmp_hotpath_t1";
-  rec.threads = 1;
-  rec.serial_seconds = run_with(false);   // baseline: pool/caches off
-  rec.parallel_seconds = run_with(true);  // optimized: pool/caches on
-  SetHotPathEnabled(true);
   const double per_round = static_cast<double>(rounds);
-  std::printf(
-      "  baseline=%.2fs (%.3fs/round) optimized=%.2fs (%.3fs/round) "
-      "speedup=%.2fx\n",
-      rec.serial_seconds, rec.serial_seconds / per_round,
-      rec.parallel_seconds, rec.parallel_seconds / per_round,
-      rec.serial_seconds / rec.parallel_seconds);
-  std::fflush(stdout);
-  if (!bench::WriteSpeedupJson("fig5_hotpath.json", {rec})) {
+  std::vector<bench::SpeedupRecord> records;
+  for (int threads : {1, 2, 4}) {
+    config.trainer.num_threads = threads;
+    bench::SpeedupRecord rec;
+    rec.name = StrFormat("fedmp_hotpath_t%d", threads);
+    rec.threads = threads;
+    rec.serial_seconds = run_with(false);   // baseline: pool/caches off
+    rec.parallel_seconds = run_with(true);  // optimized: pool/caches on
+    std::printf(
+        "  t%d: baseline=%.2fs (%.3fs/round) optimized=%.2fs (%.3fs/round) "
+        "speedup=%.2fx\n",
+        threads, rec.serial_seconds, rec.serial_seconds / per_round,
+        rec.parallel_seconds, rec.parallel_seconds / per_round,
+        rec.serial_seconds / rec.parallel_seconds);
+    std::fflush(stdout);
+    records.push_back(rec);
+  }
+  SetHotPathEnabled(true);
+  if (!bench::WriteSpeedupJson("fig5_hotpath.json", records)) {
     std::fprintf(stderr, "warning: could not write fig5_hotpath.json\n");
   } else {
     std::printf("  wrote fig5_hotpath.json\n");

@@ -9,6 +9,11 @@
 //   sync_events.jsonl / async_events.jsonl deterministic logical event log
 //   sync_rounds.csv|jsonl / async_rounds.* per-round metrics, both formats
 //   sync_metrics.json / async_metrics.json merged counter/histogram snapshot
+//   sync_manifest.json / async_manifest.json run manifest (build sha, seed,
+//                                         thread count, toggle states)
+//
+// The artifact set is exactly what tools/fedmp_report consumes:
+//   ./build/tools/fedmp_report --prefix sync
 //
 // Build & run:
 //   cmake -B build && cmake --build build
@@ -50,6 +55,7 @@ int RunTraced(const char* label, bool async_mode) {
   trace.chrome_trace_path = prefix + "_trace.json";
   trace.events_jsonl_path = prefix + "_events.jsonl";
   trace.metrics_json_path = prefix + "_metrics.json";
+  trace.manifest_path = prefix + "_manifest.json";
   fedmp::obs::ResetForTest();
   fedmp::obs::Enable(trace);
 

@@ -2,26 +2,46 @@
 # Runs every bench binary in sequence, teeing the combined output.
 #
 # --perf-compare: instead of the full suite, run only the hot-path
-# baseline-vs-optimized comparison in bench_fig5_round_time (with the
-# pool / plan-cache / model-cache counters enabled) and merge the speedup
-# record plus counters into BENCH_pr4.json at the repo root.
-cd /root/repo/build
+# baseline-vs-optimized comparison in bench_fig5_round_time at 1/2/4
+# threads (with the pool / plan-cache / model-cache counters enabled) and
+# merge the speedup records plus counters into BENCH_pr5.json at the repo
+# root, stamped with the git sha, an ISO-8601 UTC date, and a host
+# fingerprint (hostname + core count).
+#
+# --gate: run a fresh perf-compare and check it against the committed
+# BENCH_baseline.json. Host-independent checks always run:
+#   * per-record hot-path speedup must stay within FEDMP_GATE_TOLERANCE
+#     (default 0.15, i.e. fresh >= baseline * 0.85);
+#   * plan-cache / model-cache hit rates must not drop more than 0.15
+#     absolute below the baseline.
+# Absolute per-round wall-clock is only compared when the baseline's host
+# fingerprint matches this machine. FEDMP_GATE_INJECT=<factor> multiplies
+# the fresh optimized wall-clock before comparison (CI uses it to prove the
+# gate actually fails on a regression).
+cd "$(dirname "$0")/build" || exit 1
 
-if [ "$1" = "--perf-compare" ]; then
+run_perf_compare() {
+  # $1: output JSON path (relative to build/).
   echo "### perf-compare: bench/bench_fig5_round_time ###"
-  FEDMP_TRACE_METRICS=bench_pr4_metrics.json ./bench/bench_fig5_round_time 2>&1
+  FEDMP_TRACE_METRICS=bench_pr5_metrics.json ./bench/bench_fig5_round_time 2>&1
   exit_code=$?
   echo "### exit=$exit_code ###"
   if [ $exit_code -ne 0 ]; then
     echo "perf-compare bench failed (exit=$exit_code)" >&2
-    exit $exit_code
+    return $exit_code
   fi
-  python3 - <<'EOF'
+  local sha date host
+  sha=$(git -C .. rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+  date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  host="$(hostname 2>/dev/null || echo unknown)-$(nproc 2>/dev/null || echo 0)c"
+  python3 - "$1" "$sha" "$date" "$host" <<'EOF'
 import json
+import sys
 
+out_path, sha, date, host = sys.argv[1:5]
 with open("fig5_hotpath.json") as f:
     speedup = json.load(f)
-with open("bench_pr4_metrics.json") as f:
+with open("bench_pr5_metrics.json") as f:
     metrics = json.load(f)
 
 # Keep only the hot-path cache/pool counters; drop unrelated telemetry.
@@ -30,12 +50,111 @@ counters = {k: v for k, v in sorted(metrics.items())
             if k.startswith(prefixes)}
 
 out = {"bench": "fig5_round_time hot-path compare",
+       "git_sha": sha,
+       "date": date,
+       "host": host,
        "speedup": speedup,
        "counters": counters}
-with open("../BENCH_pr4.json", "w") as f:
+with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
-print("wrote BENCH_pr4.json")
+print("wrote", out_path)
+EOF
+}
+
+if [ "$1" = "--perf-compare" ]; then
+  run_perf_compare ../BENCH_pr5.json
+  exit $?
+fi
+
+if [ "$1" = "--gate" ]; then
+  run_perf_compare gate_fresh.json || exit $?
+  echo "### gate: fresh vs BENCH_baseline.json ###"
+  python3 - <<'EOF'
+import json
+import os
+import sys
+
+TOL = float(os.environ.get("FEDMP_GATE_TOLERANCE", "0.15"))
+INJECT = float(os.environ.get("FEDMP_GATE_INJECT", "1.0"))
+
+with open("gate_fresh.json") as f:
+    fresh = json.load(f)
+with open("../BENCH_baseline.json") as f:
+    base = json.load(f)
+
+# The injection hook degrades the fresh optimized wall-clock, as a real
+# hot-path regression would.
+for rec in fresh["speedup"]:
+    rec["parallel_seconds"] *= INJECT
+    rec["speedup"] = rec["serial_seconds"] / rec["parallel_seconds"]
+if INJECT != 1.0:
+    print(f"gate: injected x{INJECT} slowdown into fresh optimized times")
+
+failures = []
+
+# 1) Host-independent: per-record hot-path speedup ratio.
+base_by_name = {r["name"]: r for r in base["speedup"]}
+for rec in fresh["speedup"]:
+    ref = base_by_name.get(rec["name"])
+    if ref is None:
+        print(f"gate: {rec['name']}: no baseline record, skipped")
+        continue
+    floor = ref["speedup"] * (1.0 - TOL)
+    status = "ok" if rec["speedup"] >= floor else "FAIL"
+    print(f"gate: {rec['name']}: speedup {rec['speedup']:.3f} "
+          f"vs baseline {ref['speedup']:.3f} (floor {floor:.3f}) {status}")
+    if rec["speedup"] < floor:
+        failures.append(f"{rec['name']} speedup {rec['speedup']:.3f} "
+                        f"< floor {floor:.3f}")
+
+# 2) Host-independent: cache hit rates (counters are deterministic for the
+# fixed bench workload, so the band only absorbs schema-level drift).
+def hit_rate(counters, stem):
+    hits = counters.get(stem + ".hits", 0.0)
+    misses = counters.get(stem + ".misses", 0.0)
+    total = hits + misses
+    return hits / total if total > 0 else None
+
+for stem in ("pruning.plan_cache", "fl.worker.model_cache"):
+    fr = hit_rate(fresh["counters"], stem)
+    br = hit_rate(base["counters"], stem)
+    if fr is None or br is None:
+        print(f"gate: {stem}: hit rate unavailable, skipped")
+        continue
+    floor = br - 0.15
+    status = "ok" if fr >= floor else "FAIL"
+    print(f"gate: {stem}: hit rate {fr:.3f} vs baseline {br:.3f} "
+          f"(floor {floor:.3f}) {status}")
+    if fr < floor:
+        failures.append(f"{stem} hit rate {fr:.3f} < floor {floor:.3f}")
+
+# 3) Host-dependent: absolute optimized wall-clock, only when the baseline
+# was recorded on a machine with the same fingerprint.
+if fresh.get("host") == base.get("host"):
+    for rec in fresh["speedup"]:
+        ref = base_by_name.get(rec["name"])
+        if ref is None:
+            continue
+        ceil = ref["parallel_seconds"] * (1.0 + TOL)
+        status = "ok" if rec["parallel_seconds"] <= ceil else "FAIL"
+        print(f"gate: {rec['name']}: optimized {rec['parallel_seconds']:.2f}s "
+              f"vs baseline {ref['parallel_seconds']:.2f}s "
+              f"(ceil {ceil:.2f}s) {status}")
+        if rec["parallel_seconds"] > ceil:
+            failures.append(f"{rec['name']} wall-clock "
+                            f"{rec['parallel_seconds']:.2f}s > ceil {ceil:.2f}s")
+else:
+    print(f"gate: host fingerprint differs "
+          f"(fresh={fresh.get('host')}, baseline={base.get('host')}); "
+          "absolute wall-clock checks skipped")
+
+if failures:
+    print("GATE FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+print("GATE PASSED")
 EOF
   exit $?
 fi

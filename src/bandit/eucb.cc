@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fedmp::bandit {
 
@@ -80,6 +81,30 @@ double EucbAgent::SelectRatio() {
   const Interval leaf = tree_.leaves()[chosen];
   // All arms inside the chosen region are treated alike: sample uniformly.
   const double ratio = rng_.Uniform(leaf.lo, leaf.hi);
+  // Decision-audit capture, before the split below mutates the tree. The
+  // O(history) re-derivation only runs on telemetry-enabled runs.
+  last_audit_.valid = obs::Enabled();
+  if (last_audit_.valid) {
+    last_audit_.ratio = ratio;
+    last_audit_.leaf_lo = leaf.lo;
+    last_audit_.leaf_hi = leaf.hi;
+    last_audit_.count = DiscountedCount(chosen);
+    last_audit_.mean = DiscountedMean(chosen);
+    last_audit_.ucb = best;
+    last_audit_.padding =
+        last_audit_.count > 0.0
+            ? best - last_audit_.mean
+            : std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    const size_t k = history_.size();
+    for (size_t s = 0; s < k; ++s) {
+      if (!history_[s].rewarded) continue;
+      total += std::pow(options_.lambda, static_cast<double>(k - s));
+    }
+    last_audit_.total = total;
+    last_audit_.depth = tree_.MaxDepth();
+    last_audit_.leaves = static_cast<int>(tree_.num_leaves());
+  }
   // Grow the tree at the chosen arm while diameters exceed theta, once the
   // leaf has accumulated enough pulls to justify refinement.
   pull_counts_.resize(tree_.num_leaves(), 0);

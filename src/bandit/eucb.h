@@ -31,6 +31,24 @@ struct EucbOptions {
   int min_pulls_to_split = 4;
 };
 
+// Decision context of the most recent SelectRatio(), captured at decision
+// time (before the tree splits) so telemetry can log exactly what the
+// agent saw. Populated only while obs telemetry is enabled; `valid` stays
+// false otherwise so the hot path pays nothing.
+struct SelectionAudit {
+  bool valid = false;
+  double ratio = 0.0;          // sampled arm
+  double leaf_lo = 0.0;        // chosen leaf interval
+  double leaf_hi = 0.0;
+  double count = 0.0;          // discounted N_k (0: never-pulled leaf)
+  double mean = 0.0;           // discounted empirical mean (Eq. 9)
+  double padding = 0.0;        // Eq. 10 padding (+inf on never-pulled)
+  double ucb = 0.0;            // Eq. 11 score (+inf on never-pulled)
+  double total = 0.0;          // total discounted pulls n(lambda)
+  int depth = 0;               // tree MaxDepth at decision time
+  int leaves = 0;              // leaf count at decision time
+};
+
 // Extended Upper Confidence Bound agent (Algorithm 1): one per worker.
 // Each round: SelectRatio() picks the leaf maximizing the discounted UCB,
 // samples an arm uniformly inside it, and grows the tree; after the FL round
@@ -58,6 +76,10 @@ class EucbAgent {
   int64_t num_pulls() const { return static_cast<int64_t>(history_.size()); }
   const EucbOptions& options() const { return options_; }
 
+  // Context of the most recent SelectRatio() (telemetry-enabled runs only;
+  // check .valid).
+  const SelectionAudit& last_audit() const { return last_audit_; }
+
  private:
   struct Pull {
     double ratio = 0.0;
@@ -71,6 +93,7 @@ class EucbAgent {
   std::vector<Pull> history_;
   std::vector<int> pull_counts_;  // raw pulls per current leaf (for splits)
   bool awaiting_reward_ = false;
+  SelectionAudit last_audit_;
 };
 
 }  // namespace fedmp::bandit

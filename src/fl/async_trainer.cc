@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
+#include "obs/analysis/round_health.h"
 #include "obs/trace.h"
 #include "pruning/recovery.h"
 #include "pruning/sparsify.h"
@@ -27,6 +28,8 @@ struct InFlight {
   double delta_loss = 0.0;
   double final_loss = 0.0;
   double ratio = 0.0;
+  double comp_s = 0.0;  // pre-fault compute / transfer split of the sampled
+  double comm_s = 0.0;  // duration, kept for round-health attribution
   // Fault bookkeeping. `generation` stamps the dispatch; queue events carry
   // it as their tag so deliveries of superseded dispatches are discarded.
   int64_t generation = 0;
@@ -71,6 +74,8 @@ AsyncTrainer::AsyncTrainer(const data::FlTask* task,
         static_cast<int>(n), &task_->train, partition[n], devices_[n],
         rng_.NextU64()));
   }
+  internal::PushRunManifest("async", strategy_->Name(), options_.base,
+                            static_cast<int>(devices_.size()));
 }
 
 RoundLog AsyncTrainer::Run() {
@@ -174,7 +179,7 @@ RoundLog AsyncTrainer::Run() {
             InFlight{std::move(sub.mask), std::move(result.weights),
                      std::move(residual).value(), clock.now(),
                      result.initial_loss - result.final_loss,
-                     result.final_loss, plan.pruning_ratio};
+                     result.final_loss, plan.pruning_ratio, comp, comm};
         durations[jj] = comp + comm;
       }
     });
@@ -247,6 +252,29 @@ RoundLog AsyncTrainer::Run() {
     std::vector<int> redispatches(static_cast<size_t>(num_workers), 0);
     int64_t rejected = 0;
     int64_t duplicates = 0;
+    // Round-health inputs, one entry per consumed event (a re-dispatched
+    // worker can contribute more than one). Emitted from this serial event
+    // loop, so worker_timing events are thread-count-invariant.
+    std::vector<obs::analysis::WorkerTiming> timings;
+    auto note_timing = [&](int worker, const InFlight& f, double completion,
+                           bool survived) {
+      obs::analysis::WorkerTiming t;
+      t.worker = worker;
+      t.comp_s = f.comp_s;
+      t.comm_s = f.comm_s;
+      t.completion_s = completion;
+      t.ratio = f.ratio;
+      t.survived = survived;
+      timings.push_back(t);
+      obs::InstantEvent("worker_timing", obs::WorkerTrack(worker),
+                        {{"worker", worker},
+                         {"round", round},
+                         {"comp_s", t.comp_s},
+                         {"comm_s", t.comm_s},
+                         {"completion_s", t.completion_s},
+                         {"ratio", t.ratio},
+                         {"survived", t.survived ? 1 : 0}});
+    };
     auto retire = [&](int worker) {
       strategy_->ObserveWorker(round, worker, kInf, 1.0, 0.0);
       if (redispatches[static_cast<size_t>(worker)] <
@@ -278,6 +306,7 @@ RoundLog AsyncTrainer::Run() {
       if (f.failed) {
         obs::InstantEvent("failure_detect",
                           {{"worker", event.worker}, {"round", round}});
+        note_timing(event.worker, f, /*completion=*/-1.0, /*survived=*/false);
         retire(event.worker);
         continue;
       }
@@ -285,6 +314,7 @@ RoundLog AsyncTrainer::Run() {
         ++rejected;
         obs::InstantEvent("reject_corrupt",
                           {{"worker", event.worker}, {"round", round}});
+        note_timing(event.worker, f, /*completion=*/-1.0, /*survived=*/false);
         retire(event.worker);
         continue;
       }
@@ -292,6 +322,7 @@ RoundLog AsyncTrainer::Run() {
                         {{"worker", event.worker}, {"round", round}});
       arrived.push_back(event.worker);
       const double duration = event.time - f.dispatch_time;
+      note_timing(event.worker, f, duration, /*survived=*/true);
       arrival_durations.push_back(duration);
       duration_sum += duration;
       ++duration_count;
@@ -363,6 +394,12 @@ RoundLog AsyncTrainer::Run() {
                     : clock.now() - log.records().back().sim_time;
     record.participants = static_cast<int64_t>(arrived.size());
     record.max_param_staleness = coverage_.max_staleness();
+    const obs::analysis::RoundHealth health =
+        obs::analysis::SummarizeRound(round, std::move(timings));
+    record.critical_worker = health.critical_worker;
+    record.critical_comp_s = health.critical_comp_s;
+    record.critical_comm_s = health.critical_comm_s;
+    record.straggler_gap_max = health.straggler_gap_max;
 
     // Re-dispatch this round's arrivals plus the parked workers. Coverage
     // and aggregation read the inflight slots, so this must come after.

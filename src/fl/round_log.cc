@@ -43,6 +43,10 @@ const Column kColumns[] = {
     FEDMP_INT_COLUMN(rejected_updates),
     FEDMP_INT_COLUMN(duplicate_updates),
     FEDMP_INT_COLUMN(max_param_staleness),
+    FEDMP_INT_COLUMN(critical_worker),
+    FEDMP_DBL_COLUMN(critical_comp_s, 4),
+    FEDMP_DBL_COLUMN(critical_comm_s, 4),
+    FEDMP_DBL_COLUMN(straggler_gap_max, 4),
 };
 
 #undef FEDMP_INT_COLUMN

@@ -31,6 +31,14 @@ struct RoundRecord {
   int64_t rejected_updates = 0;
   int64_t duplicate_updates = 0;
   int64_t max_param_staleness = 0;
+  // Round health (obs/analysis/round_health.h): the worker the simulated
+  // critical path runs through, its comp/comm split, and the largest
+  // |T_n - mean(T)| straggler gap (Eq. 8's denominator). -1 / 0 when no
+  // worker survived the round.
+  int64_t critical_worker = -1;
+  double critical_comp_s = 0.0;
+  double critical_comm_s = 0.0;
+  double straggler_gap_max = 0.0;
 };
 
 // Per-run record sequence plus the derived summary statistics the paper's

@@ -17,13 +17,36 @@ double SquashReward(double r) { return r / (1.0 + std::fabs(r)); }
 
 // Telemetry hooks for the bandit loop. Both are emitted from serial driver
 // code, so the worker-track event order is thread-count-invariant.
-void NoteSelect(int worker, const bandit::EucbAgent& agent, double ratio) {
+//
+// eucb_select carries the full decision context (chosen leaf, discounted
+// N_k / mean / padding / UCB, total discounted pulls, exploration
+// coefficient) so the decision audit (obs/analysis/decision_audit.h) can
+// re-derive every score from the logged fields alone. Non-finite values
+// (never-pulled leaves have infinite UCB) render as JSON null.
+void NoteSelect(int worker, const bandit::EucbAgent& agent,
+                double executed_ratio) {
   if (!obs::Enabled()) return;
+  const bandit::SelectionAudit& audit = agent.last_audit();
+  obs::Args args = {{"worker", worker}, {"ratio", executed_ratio}};
+  if (audit.valid) {
+    args.emplace_back("arm_ratio", audit.ratio);
+    args.emplace_back("leaf_lo", audit.leaf_lo);
+    args.emplace_back("leaf_hi", audit.leaf_hi);
+    args.emplace_back("count", audit.count);
+    args.emplace_back("mean", audit.mean);
+    args.emplace_back("padding", audit.padding);
+    args.emplace_back("ucb", audit.ucb);
+    args.emplace_back("total", audit.total);
+    args.emplace_back("coef", agent.options().exploration_coef);
+    args.emplace_back("leaves", audit.leaves);
+    args.emplace_back("depth", audit.depth);
+  } else {
+    args.emplace_back("leaves",
+                      static_cast<int>(agent.tree().num_leaves()));
+    args.emplace_back("depth", agent.tree().MaxDepth());
+  }
   obs::InstantEvent("eucb_select", obs::WorkerTrack(worker),
-                    {{"worker", worker},
-                     {"ratio", ratio},
-                     {"leaves", static_cast<int>(agent.tree().num_leaves())},
-                     {"depth", agent.tree().MaxDepth()}});
+                    std::move(args));
 }
 
 void NoteReward(int worker, double reward) {
@@ -53,11 +76,22 @@ void FedMpStrategy::Initialize(int num_workers, uint64_t seed) {
   last_ratios_.assign(static_cast<size_t>(num_workers), 0.0);
 }
 
+double FedMpStrategy::SnapRatio(double ratio) const {
+  const double quantum = options_.ratio_quantum < 0.0
+                             ? options_.eucb.theta
+                             : options_.ratio_quantum;
+  if (quantum <= 0.0) return ratio;
+  double snapped = std::round(ratio / quantum) * quantum;
+  // Keep the executed ratio inside the arm domain [lo, hi).
+  snapped = std::min(snapped, options_.eucb.ratio_hi - quantum);
+  return std::max(snapped, options_.eucb.ratio_lo);
+}
+
 void FedMpStrategy::PlanRound(int64_t /*round*/,
                               std::vector<WorkerRoundPlan>* plans) {
   FEDMP_CHECK_EQ(plans->size(), agents_.size());
   for (size_t n = 0; n < agents_.size(); ++n) {
-    const double ratio = agents_[n]->SelectRatio();
+    const double ratio = SnapRatio(agents_[n]->SelectRatio());
     NoteSelect(static_cast<int>(n), *agents_[n], ratio);
     last_ratios_[n] = ratio;
     (*plans)[n] = WorkerRoundPlan{};
@@ -99,7 +133,7 @@ WorkerRoundPlan FedMpStrategy::PlanWorker(int64_t /*round*/, int worker) {
               worker < static_cast<int>(agents_.size()));
   WorkerRoundPlan plan;
   plan.pruning_ratio =
-      agents_[static_cast<size_t>(worker)]->SelectRatio();
+      SnapRatio(agents_[static_cast<size_t>(worker)]->SelectRatio());
   NoteSelect(worker, *agents_[static_cast<size_t>(worker)],
              plan.pruning_ratio);
   last_ratios_[static_cast<size_t>(worker)] = plan.pruning_ratio;

@@ -22,6 +22,14 @@ struct FedMpOptions {
   bool time_only_reward = false;
   // §III-C memory optimization: store residual models 8-bit quantized.
   bool quantize_residuals = false;
+  // Executed-ratio grid. E-UCB samples a continuous arm, but every distinct
+  // ratio materializes a distinct sub-model spec, which defeats the
+  // workers' model-reuse cache (structured widths quantize at 1/W anyway).
+  // The executed ratio is snapped to this grid; the bandit's history keeps
+  // the raw arm, consistent with Algorithm 1 treating all arms inside the
+  // chosen region alike and with theta being the pruning granularity.
+  // < 0: snap to eucb.theta (default). 0 disables snapping.
+  double ratio_quantum = -1.0;
 };
 
 class FedMpStrategy : public Strategy {
@@ -49,6 +57,10 @@ class FedMpStrategy : public Strategy {
   const bandit::EucbAgent& agent(int worker) const {
     return *agents_[static_cast<size_t>(worker)];
   }
+
+  // The theta-grid snap applied to executed ratios (identity when
+  // ratio_quantum is 0). Exposed for the cache regression tests.
+  double SnapRatio(double ratio) const;
 
  private:
   FedMpOptions options_;

@@ -8,7 +8,11 @@
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "edge/sim_clock.h"
+#include "nn/tensor_ops.h"
+#include "nn/workspace.h"
+#include "obs/analysis/round_health.h"
 #include "obs/trace.h"
+#include "pruning/prune_cache.h"
 #include "pruning/structured_pruner.h"
 
 namespace fedmp::fl {
@@ -41,6 +45,28 @@ void CorruptPayload(nn::TensorList* payload) {
     if (t.numel() > 0) t.at(0) = nan;
   }
 }
+
+#ifndef FEDMP_BUILD_GIT_SHA
+#define FEDMP_BUILD_GIT_SHA "unknown"
+#endif
+
+void PushRunManifest(const char* engine, const std::string& strategy,
+                     const TrainerOptions& options, int num_workers) {
+  if (!obs::Enabled()) return;
+  obs::SetRunInfo("git_sha", FEDMP_BUILD_GIT_SHA);
+  obs::SetRunInfo("engine", engine);
+  obs::SetRunInfo("strategy", strategy);
+  obs::SetRunInfo("seed", static_cast<int64_t>(options.seed));
+  obs::SetRunInfo("num_workers", num_workers);
+  obs::SetRunInfo("max_rounds", options.max_rounds);
+  obs::SetRunInfo("num_threads", ThreadPool::ResolveThreads(options.num_threads));
+  obs::SetRunInfo("faults_active",
+                  options.faults.any() || options.crash_prob > 0.0 ? 1 : 0);
+  obs::SetRunInfo("toggle_pool", nn::ws::Enabled() ? 1 : 0);
+  obs::SetRunInfo("toggle_plan_cache", pruning::PlanCacheEnabled() ? 1 : 0);
+  obs::SetRunInfo("toggle_fast_kernels", nn::FastKernelsEnabled() ? 1 : 0);
+  obs::SetRunInfo("toggle_model_reuse", ModelReuseEnabled() ? 1 : 0);
+}
 }  // namespace internal
 
 Trainer::Trainer(const data::FlTask* task,
@@ -71,6 +97,8 @@ Trainer::Trainer(const data::FlTask* task,
   fault_plan_ = internal::ResolveFaultPlan(
       options_, static_cast<int>(devices_.size()));
   coverage_ = ParameterCoverage(task_->model);
+  internal::PushRunManifest("sync", strategy_->Name(), options_,
+                            static_cast<int>(devices_.size()));
 }
 
 RoundLog Trainer::Run() {
@@ -232,6 +260,40 @@ RoundLog Trainer::Run() {
          {"survivors", static_cast<int>(outcome.survivors.size())},
          {"round_time", outcome.round_time}});
 
+    // --- Round-health attribution over the simulated timings. ---
+    // The worker_timing events feed the post-hoc analyzer; the in-process
+    // summary lands in the RoundRecord. Both use simulated time only, and
+    // the events are emitted from this serial loop, so the analyzer output
+    // is bit-identical at any thread count.
+    std::vector<obs::analysis::WorkerTiming> timings(
+        static_cast<size_t>(num_workers));
+    for (int n = 0; n < num_workers; ++n) {
+      const size_t i = static_cast<size_t>(n);
+      obs::analysis::WorkerTiming& t = timings[i];
+      t.worker = n;
+      t.comp_s = comp_times[i];
+      t.comm_s = comm_times[i];
+      t.completion_s =
+          std::isfinite(completion_times[i]) ? completion_times[i] : -1.0;
+      t.ratio = plans[i].pruning_ratio;
+    }
+    for (int n : outcome.survivors) {
+      timings[static_cast<size_t>(n)].survived = true;
+    }
+    for (int n = 0; n < num_workers; ++n) {
+      const obs::analysis::WorkerTiming& t = timings[static_cast<size_t>(n)];
+      obs::InstantEvent("worker_timing", obs::WorkerTrack(n),
+                        {{"worker", n},
+                         {"round", round},
+                         {"comp_s", t.comp_s},
+                         {"comm_s", t.comm_s},
+                         {"completion_s", t.completion_s},
+                         {"ratio", t.ratio},
+                         {"survived", t.survived ? 1 : 0}});
+    }
+    const obs::analysis::RoundHealth health =
+        obs::analysis::SummarizeRound(round, std::move(timings));
+
     // --- (4) Screening + aggregation over accepted survivors. ---
     std::vector<SubModelUpdate> updates;
     std::vector<const pruning::PruneMask*> accepted_masks;
@@ -304,6 +366,10 @@ RoundLog Trainer::Run() {
     record.rejected_updates = rejected;
     record.duplicate_updates = duplicates;
     record.max_param_staleness = staleness;
+    record.critical_worker = health.critical_worker;
+    record.critical_comp_s = health.critical_comp_s;
+    record.critical_comm_s = health.critical_comm_s;
+    record.straggler_gap_max = health.straggler_gap_max;
 
     bool stop = round + 1 >= options_.max_rounds ||
                 clock.now() >= options_.time_budget_seconds;

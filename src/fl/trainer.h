@@ -95,6 +95,11 @@ namespace internal {
 edge::FaultPlan ResolveFaultPlan(const TrainerOptions& options,
                                  int num_workers);
 void CorruptPayload(nn::TensorList* payload);
+// Records the run manifest (build sha, engine, seed, thread count, hot-path
+// toggle states) into the telemetry run-info block, so every trace ships
+// with the context needed to reproduce it. No-op when telemetry is off.
+void PushRunManifest(const char* engine, const std::string& strategy,
+                     const TrainerOptions& options, int num_workers);
 }  // namespace internal
 
 }  // namespace fedmp::fl

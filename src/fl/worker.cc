@@ -34,7 +34,26 @@ void CountModelCache(bool hit) {
   static obs::Counter* hits = obs::GetCounter("fl.worker.model_cache.hits");
   static obs::Counter* misses =
       obs::GetCounter("fl.worker.model_cache.misses");
+  static obs::Gauge* rate = obs::GetGauge("fl.worker.model_cache.hit_rate");
+  static std::atomic<int64_t> hit_count{0};
+  static std::atomic<int64_t> total_count{0};
   (hit ? hits : misses)->Add(1.0);
+  const int64_t h =
+      hit_count.fetch_add(hit ? 1 : 0, std::memory_order_relaxed) +
+      (hit ? 1 : 0);
+  const int64_t t = total_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  rate->Set(static_cast<double>(h) / static_cast<double>(t));
+}
+
+// Cache keying ignores the spec's display name: pruning names sub-specs
+// "<task>-sub", so a ratio-0 round (full model) would otherwise never match
+// the cached full spec. Architecture identity is what determines whether a
+// built model can be reused.
+bool SameArchitecture(const nn::ModelSpec& a, const nn::ModelSpec& b) {
+  return a.input.kind == b.input.kind && a.input.c == b.input.c &&
+         a.input.h == b.input.h && a.input.w == b.input.w &&
+         a.input.f == b.input.f && a.input.t == b.input.t &&
+         a.num_classes == b.num_classes && a.layers == b.layers;
 }
 
 }  // namespace
@@ -67,7 +86,7 @@ Worker::ModelCacheEntry& Worker::CachedModel(
     const nn::SgdOptions& sgd_options) {
   ++cache_clock_;
   for (ModelCacheEntry& e : model_cache_) {
-    if (e.model->spec() == spec) {
+    if (SameArchitecture(e.model->spec(), spec)) {
       e.last_used = cache_clock_;
       e.model->ReseedDropout(seed);
       e.sgd->Reset(sgd_options);

@@ -1,0 +1,166 @@
+#include "obs/analysis/decision_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs::analysis {
+
+namespace {
+
+double NumArg(const JsonValue& args, const char* key, double fallback) {
+  const JsonValue* v = args.Find(key);
+  return v != nullptr ? v->NumberOr(fallback) : fallback;
+}
+
+}  // namespace
+
+std::vector<DecisionRecord> DecisionsFromEvents(
+    const std::vector<JsonValue>& events) {
+  // Selects and rewards are paired by per-worker order: the strategy always
+  // emits one eucb_reward for each eucb_select of the same worker (crashed
+  // workers observe a zero reward rather than none).
+  std::map<int, std::vector<size_t>> select_order;  // worker -> record index
+  std::map<int, size_t> rewards_seen;
+  std::vector<DecisionRecord> out;
+  for (const JsonValue& e : events) {
+    const JsonValue* name = e.Find("event");
+    const JsonValue* args = e.Find("args");
+    if (name == nullptr || args == nullptr || !args->is_object()) continue;
+    const std::string kind = name->StringOr("");
+    if (kind == "eucb_select") {
+      DecisionRecord rec;
+      rec.worker = static_cast<int>(NumArg(*args, "worker", -1));
+      if (rec.worker < 0) continue;
+      rec.pull = static_cast<int>(select_order[rec.worker].size());
+      rec.arm_ratio = NumArg(*args, "arm_ratio", NumArg(*args, "ratio", 0.0));
+      rec.executed_ratio = NumArg(*args, "ratio", rec.arm_ratio);
+      rec.leaf_lo = NumArg(*args, "leaf_lo", 0.0);
+      rec.leaf_hi = NumArg(*args, "leaf_hi", 0.0);
+      rec.count = NumArg(*args, "count", 0.0);
+      rec.mean = NumArg(*args, "mean", 0.0);
+      rec.total = NumArg(*args, "total", 0.0);
+      rec.exploration_coef = NumArg(*args, "coef", 0.0);
+      rec.depth = static_cast<int>(NumArg(*args, "depth", 0));
+      rec.leaves = static_cast<int>(NumArg(*args, "leaves", 0));
+      // A never-pulled leaf has infinite padding/UCB; the exporter renders
+      // non-finite doubles as null, which parses as kNull here.
+      const JsonValue* ucb = args->Find("ucb");
+      const JsonValue* padding = args->Find("padding");
+      rec.never_pulled = rec.count <= 0.0 || ucb == nullptr ||
+                         !ucb->is_number();
+      if (!rec.never_pulled) {
+        rec.ucb = ucb->NumberOr(0.0);
+        rec.padding = padding != nullptr ? padding->NumberOr(0.0) : 0.0;
+        // Eq. 10 padding re-derived from the logged inputs; the logger uses
+        // the identical expression, so any drift means the logged context
+        // no longer explains the decision.
+        const double recon_padding =
+            rec.exploration_coef *
+            std::sqrt(2.0 * std::log(std::max(rec.total, 1.000001)) /
+                      rec.count);
+        rec.ucb_reconstructed = rec.mean + recon_padding;
+        rec.reconstruction_error = std::fabs(rec.ucb - rec.ucb_reconstructed);
+      }
+      select_order[rec.worker].push_back(out.size());
+      out.push_back(rec);
+    } else if (kind == "eucb_reward") {
+      const int worker = static_cast<int>(NumArg(*args, "worker", -1));
+      if (worker < 0) continue;
+      const size_t k = rewards_seen[worker]++;
+      const auto& selects = select_order[worker];
+      if (k < selects.size()) {
+        out[selects[k]].has_reward = true;
+        out[selects[k]].reward = NumArg(*args, "reward", 0.0);
+      }
+    }
+  }
+  return out;
+}
+
+double MaxReconstructionError(const std::vector<DecisionRecord>& decisions) {
+  double worst = 0.0;
+  for (const DecisionRecord& d : decisions) {
+    if (d.never_pulled) continue;
+    worst = std::max(worst, d.reconstruction_error);
+  }
+  return worst;
+}
+
+std::string RenderDecisionTable(const std::vector<DecisionRecord>& decisions) {
+  std::string out;
+  char buf[224];
+  std::map<int, std::vector<const DecisionRecord*>> by_worker;
+  for (const DecisionRecord& d : decisions) {
+    by_worker[d.worker].push_back(&d);
+  }
+  out += "E-UCB decision audit (why this ratio)\n";
+  for (const auto& [worker, pulls] : by_worker) {
+    std::snprintf(buf, sizeof(buf), "  worker %d\n", worker);
+    out += buf;
+    out +=
+        "    pull  leaf            arm     ratio   N_k      mean     "
+        "padding  ucb      reward\n";
+    for (const DecisionRecord* d : pulls) {
+      if (d->never_pulled) {
+        std::snprintf(buf, sizeof(buf),
+                      "    %4d  [%.3f,%.3f)  %7.4f  %7.4f  unexplored leaf "
+                      "(ucb=+inf)          %7.4f\n",
+                      d->pull, d->leaf_lo, d->leaf_hi, d->arm_ratio,
+                      d->executed_ratio, d->has_reward ? d->reward : 0.0);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "    %4d  [%.3f,%.3f)  %7.4f  %7.4f  %6.3f  %8.5f  "
+                      "%7.5f  %7.5f  %7.4f\n",
+                      d->pull, d->leaf_lo, d->leaf_hi, d->arm_ratio,
+                      d->executed_ratio, d->count, d->mean, d->padding,
+                      d->ucb, d->has_reward ? d->reward : 0.0);
+      }
+      out += buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  max UCB reconstruction error: %.3g over %d audited pulls\n",
+                MaxReconstructionError(decisions),
+                static_cast<int>(decisions.size()));
+  out += buf;
+  return out;
+}
+
+std::string DecisionAuditJson(const std::vector<DecisionRecord>& decisions) {
+  std::string out = "{\"max_reconstruction_error\":";
+  out += JsonNumber(MaxReconstructionError(decisions), 12);
+  out += ",\"pulls\":[";
+  char buf[640];
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    const DecisionRecord& d = decisions[i];
+    if (i > 0) out += ",";
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"worker\":%d,\"pull\":%d,\"arm_ratio\":%s,\"executed_ratio\":%s,"
+        "\"leaf_lo\":%s,\"leaf_hi\":%s,\"count\":%s,\"mean\":%s,"
+        "\"padding\":%s,\"ucb\":%s,\"total\":%s,\"coef\":%s,\"depth\":%d,"
+        "\"leaves\":%d,\"never_pulled\":%s,\"reward\":%s,"
+        "\"reconstruction_error\":%s}",
+        d.worker, d.pull, JsonNumber(d.arm_ratio, 6).c_str(),
+        JsonNumber(d.executed_ratio, 6).c_str(),
+        JsonNumber(d.leaf_lo, 6).c_str(), JsonNumber(d.leaf_hi, 6).c_str(),
+        JsonNumber(d.count, 6).c_str(), JsonNumber(d.mean, 8).c_str(),
+        d.never_pulled ? "null" : JsonNumber(d.padding, 8).c_str(),
+        d.never_pulled ? "null" : JsonNumber(d.ucb, 8).c_str(),
+        JsonNumber(d.total, 6).c_str(),
+        JsonNumber(d.exploration_coef, 6).c_str(), d.depth, d.leaves,
+        d.never_pulled ? "true" : "false",
+        d.has_reward ? JsonNumber(d.reward, 8).c_str() : "null",
+        d.never_pulled ? "null"
+                       : JsonNumber(d.reconstruction_error, 12).c_str());
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fedmp::obs::analysis

@@ -1,0 +1,58 @@
+#ifndef FEDMP_OBS_ANALYSIS_DECISION_AUDIT_H_
+#define FEDMP_OBS_ANALYSIS_DECISION_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json_value.h"
+
+// Post-hoc audit of the E-UCB arm pulls. FedMpStrategy's `eucb_select`
+// events carry the full decision context (chosen leaf interval, discounted
+// count N_k, discounted mean, padding term, UCB score, total discounted
+// pulls, exploration coefficient, tree shape); `eucb_reward` events carry
+// the squashed Eq. 8 reward the arm later earned. The audit pairs the two
+// per worker, re-derives the UCB score from the logged inputs as an
+// integrity check, and renders a per-worker "why this ratio" table.
+namespace fedmp::obs::analysis {
+
+struct DecisionRecord {
+  int worker = -1;
+  int pull = 0;               // per-worker pull index (event order)
+  double arm_ratio = 0.0;     // raw arm the bandit sampled
+  double executed_ratio = 0.0;  // ratio after theta-grid snapping
+  double leaf_lo = 0.0, leaf_hi = 0.0;
+  double count = 0.0;         // discounted N_k of the chosen leaf
+  double mean = 0.0;          // discounted empirical mean (Eq. 9)
+  double padding = 0.0;       // exploration padding (Eq. 10)
+  double ucb = 0.0;           // logged U_k (Eq. 11)
+  double total = 0.0;         // total discounted pulls n(lambda)
+  double exploration_coef = 0.0;
+  int depth = 0;
+  int leaves = 0;
+  bool never_pulled = false;  // leaf had no rewarded pulls: UCB was +inf
+  bool has_reward = false;
+  double reward = 0.0;        // squashed Eq. 8 reward observed for the arm
+  // Integrity check: U_k recomputed from (mean, count, total, coef).
+  double ucb_reconstructed = 0.0;
+  double reconstruction_error = 0.0;
+};
+
+// Extracts decision records from parsed events-JSONL lines, pairing each
+// worker's k-th eucb_select with its k-th eucb_reward.
+std::vector<DecisionRecord> DecisionsFromEvents(
+    const std::vector<JsonValue>& events);
+
+// Largest |U_k - reconstructed U_k| over finite-UCB records (0 when none).
+double MaxReconstructionError(const std::vector<DecisionRecord>& decisions);
+
+// Per-worker "why this ratio" table: one row per pull showing the chosen
+// leaf, its discounted statistics, the resulting score, and the reward the
+// arm went on to earn.
+std::string RenderDecisionTable(const std::vector<DecisionRecord>& decisions);
+
+// The audit as a JSON object {"max_reconstruction_error":..,"pulls":[..]}.
+std::string DecisionAuditJson(const std::vector<DecisionRecord>& decisions);
+
+}  // namespace fedmp::obs::analysis
+
+#endif  // FEDMP_OBS_ANALYSIS_DECISION_AUDIT_H_

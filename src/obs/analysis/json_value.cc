@@ -1,0 +1,281 @@
+#include "obs/analysis/json_value.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedmp::obs::analysis {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(double fallback) const {
+  return kind == Kind::kNumber ? number : fallback;
+}
+
+int64_t JsonValue::IntOr(int64_t fallback) const {
+  return kind == Kind::kNumber ? static_cast<int64_t>(number) : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& fallback) const {
+  return kind == Kind::kString ? string : fallback;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " at byte %zu", pos);
+    error = what + buf;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') {
+      if (pos + n >= text.size() || text[pos + n] != lit[n]) {
+        return Fail(std::string("expected '") + lit + "'");
+      }
+      ++n;
+    }
+    pos += n;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected '\"'");
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) break;
+        const char e = text[pos];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              if (pos + static_cast<size_t>(k) >= text.size()) {
+                return Fail("bad \\u escape");
+              }
+              const char h = text[pos + static_cast<size_t>(k)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return Fail("bad \\u escape");
+              }
+              const unsigned digit =
+                  h <= '9' ? static_cast<unsigned>(h - '0')
+                           : static_cast<unsigned>(std::tolower(h) - 'a') + 10;
+              code = code * 16 + digit;
+            }
+            pos += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through as their individual units; the exporters never emit
+            // them — JsonEscape only \u-escapes control bytes).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Fail("bad escape");
+        }
+        ++pos;
+        continue;
+      }
+      out->push_back(c);
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number(double* out) {
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return Fail("expected number");
+    }
+    *out = std::strtod(text.substr(start, pos - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool Value(JsonValue* out, int depth) {
+    if (depth > 128) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("expected value");
+    switch (text[pos]) {
+      case '{': return Object(out, depth);
+      case '[': return Array(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        out->kind = JsonValue::Kind::kNumber;
+        return Number(&out->number);
+    }
+  }
+
+  bool Object(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos;  // '{'
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) return false;
+      SkipWs();
+      if (!Literal(":")) return false;
+      JsonValue value;
+      if (!Value(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos >= text.size()) return Fail("unterminated object");
+      const char c = text[pos++];
+      if (c == '}') return true;
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos;  // '['
+    SkipWs();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!Value(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos >= text.size()) return Fail("unterminated array");
+      const char c = text[pos++];
+      if (c == ']') return true;
+      if (c != ',') return Fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser p{text, /*pos=*/0, /*error=*/{}};
+  *out = JsonValue{};
+  if (!p.Value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    if (error != nullptr) *error = "trailing garbage";
+    return false;
+  }
+  return true;
+}
+
+bool ParseJsonLines(const std::string& text, std::vector<JsonValue>* out,
+                    std::string* error) {
+  out->clear();
+  size_t line_start = 0;
+  int line_number = 0;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    ++line_number;
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    JsonValue value;
+    std::string line_error;
+    if (!ParseJson(line, &value, &line_error)) {
+      if (error != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "line %d: ", line_number);
+        *error = buf + line_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace fedmp::obs::analysis

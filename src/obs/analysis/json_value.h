@@ -1,0 +1,49 @@
+#ifndef FEDMP_OBS_ANALYSIS_JSON_VALUE_H_
+#define FEDMP_OBS_ANALYSIS_JSON_VALUE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+// Minimal JSON DOM for the post-hoc analyzers. The exporters in obs/ only
+// needed a syntax checker (json_util.h); the analyzers need to read the
+// values back. Deliberately std-only so analysis stays inside the
+// dependency-free obs layer.
+namespace fedmp::obs::analysis {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered (duplicate keys keep the first occurrence on Find).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed accessors with defaults (also applied on kind mismatch).
+  double NumberOr(double fallback) const;
+  int64_t IntOr(int64_t fallback) const;
+  std::string StringOr(const std::string& fallback) const;
+};
+
+// Parses one JSON document. On failure returns false and sets `error` (when
+// non-null) to a position-tagged message.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+// Parses a JSONL stream: one JSON object per non-empty line. Stops at the
+// first malformed line (returns false, reports the line number).
+bool ParseJsonLines(const std::string& text, std::vector<JsonValue>* out,
+                    std::string* error = nullptr);
+
+}  // namespace fedmp::obs::analysis
+
+#endif  // FEDMP_OBS_ANALYSIS_JSON_VALUE_H_

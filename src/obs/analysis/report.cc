@@ -1,0 +1,255 @@
+#include "obs/analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/analysis/decision_audit.h"
+#include "obs/analysis/json_value.h"
+#include "obs/analysis/round_health.h"
+#include "obs/json_util.h"
+
+namespace fedmp::obs::analysis {
+
+namespace {
+
+// One wall-clock phase aggregated from the Chrome trace ("X" events).
+struct PhaseStat {
+  std::string name;
+  double total_ms = 0.0;
+  int64_t count = 0;
+};
+
+std::vector<PhaseStat> PhasesFromChromeTrace(const JsonValue& trace) {
+  std::map<std::string, PhaseStat> by_name;
+  const JsonValue* events = trace.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) return {};
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->StringOr("") != "X") continue;
+    const JsonValue* name = e.Find("name");
+    const JsonValue* dur = e.Find("dur");
+    if (name == nullptr || dur == nullptr) continue;
+    PhaseStat& stat = by_name[name->StringOr("?")];
+    stat.name = name->StringOr("?");
+    stat.total_ms += dur->NumberOr(0.0) / 1000.0;
+    ++stat.count;
+  }
+  std::vector<PhaseStat> out;
+  for (auto& [name, stat] : by_name) out.push_back(stat);
+  std::sort(out.begin(), out.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+// Counter values (flat numeric entries of the metrics snapshot).
+std::map<std::string, double> CountersFromMetrics(const JsonValue& metrics) {
+  std::map<std::string, double> out;
+  if (!metrics.is_object()) return out;
+  for (const auto& [name, value] : metrics.object) {
+    if (value.is_number()) out[name] = value.number;
+  }
+  return out;
+}
+
+struct HitRate {
+  std::string name;
+  double hits = 0.0, misses = 0.0;
+  double rate = 0.0;
+};
+
+std::vector<HitRate> HitRatesFromCounters(
+    const std::map<std::string, double>& counters) {
+  std::vector<HitRate> out;
+  for (const auto& [name, value] : counters) {
+    const std::string suffix = ".hits";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string base = name.substr(0, name.size() - suffix.size());
+    const auto misses = counters.find(base + ".misses");
+    if (misses == counters.end()) continue;
+    HitRate rate;
+    rate.name = base;
+    rate.hits = value;
+    rate.misses = misses->second;
+    const double total = rate.hits + rate.misses;
+    rate.rate = total > 0.0 ? rate.hits / total : 0.0;
+    out.push_back(rate);
+  }
+  return out;
+}
+
+}  // namespace
+
+Report BuildReport(const ReportInputs& inputs, const ReportOptions& options) {
+  Report report;
+  std::string human;
+  std::string json = "{\"schema\":\"fedmp_report/1\"";
+  json += ",\"deterministic_only\":";
+  json += options.deterministic_only ? "true" : "false";
+  char buf[192];
+
+  human += "== FedMP run report ==\n";
+
+  // --- Manifest (environment-dependent: sha, host, threads, toggles). ---
+  if (!options.deterministic_only) {
+    json += ",\"manifest\":";
+    JsonValue manifest;
+    std::string error;
+    if (!inputs.manifest_json.empty() &&
+        ParseJson(inputs.manifest_json, &manifest, &error)) {
+      human += "\nManifest\n";
+      const JsonValue* info = manifest.Find("run_info");
+      if (info != nullptr && info->is_object()) {
+        for (const auto& [key, value] : info->object) {
+          std::string rendered;
+          switch (value.kind) {
+            case JsonValue::Kind::kString: rendered = value.string; break;
+            case JsonValue::Kind::kNumber:
+              std::snprintf(buf, sizeof(buf), "%g", value.number);
+              rendered = buf;
+              break;
+            case JsonValue::Kind::kBool:
+              rendered = value.boolean ? "true" : "false";
+              break;
+            default: rendered = "null";
+          }
+          human += "  " + key + ": " + rendered + "\n";
+        }
+      }
+      // Re-serialize verbatim into the JSON report.
+      std::string trimmed = inputs.manifest_json;
+      while (!trimmed.empty() &&
+             (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+        trimmed.pop_back();
+      }
+      json += trimmed;
+    } else {
+      if (!inputs.manifest_json.empty()) {
+        report.warnings.push_back("manifest: " + error);
+      }
+      json += "null";
+    }
+  }
+
+  // --- Deterministic sections from the events JSONL. ---
+  std::vector<JsonValue> events;
+  if (!inputs.events_jsonl.empty()) {
+    std::string error;
+    if (!ParseJsonLines(inputs.events_jsonl, &events, &error)) {
+      report.warnings.push_back("events: " + error);
+      events.clear();
+    }
+  } else {
+    report.warnings.push_back("events: no events JSONL provided");
+  }
+
+  const std::vector<RoundHealth> health = HealthFromEvents(events);
+  human += "\n" + RenderRoundHealthTable(health);
+  json += ",\"round_health\":" + RoundHealthJson(health);
+
+  const std::vector<DecisionRecord> decisions = DecisionsFromEvents(events);
+  human += "\n" + RenderDecisionTable(decisions);
+  json += ",\"decision_audit\":" + DecisionAuditJson(decisions);
+
+  // --- Environment-dependent sections. ---
+  if (!options.deterministic_only) {
+    // Cache/pool counters and derived hit rates.
+    json += ",\"counters\":";
+    JsonValue metrics;
+    std::string error;
+    if (!inputs.metrics_json.empty() &&
+        ParseJson(inputs.metrics_json, &metrics, &error)) {
+      const auto counters = CountersFromMetrics(metrics);
+      const auto rates = HitRatesFromCounters(counters);
+      human += "\nCounters\n";
+      json += "{";
+      bool first = true;
+      for (const auto& [name, value] : counters) {
+        std::snprintf(buf, sizeof(buf), "  %-42s %14.6g\n", name.c_str(),
+                      value);
+        human += buf;
+        if (!first) json += ",";
+        first = false;
+        json += "\"" + JsonEscape(name) + "\":" + JsonNumber(value, 6);
+      }
+      json += "},\"hit_rates\":{";
+      human += "\nCache hit rates\n";
+      first = true;
+      for (const HitRate& rate : rates) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-32s %6.1f%%  (%g hits / %g misses)\n",
+                      rate.name.c_str(), rate.rate * 100.0, rate.hits,
+                      rate.misses);
+        human += buf;
+        if (!first) json += ",";
+        first = false;
+        json += "\"" + JsonEscape(rate.name) + "\":" + JsonNumber(rate.rate, 6);
+      }
+      json += "}";
+    } else {
+      if (!inputs.metrics_json.empty()) {
+        report.warnings.push_back("metrics: " + error);
+      }
+      json += "null,\"hit_rates\":null";
+    }
+
+    // Wall-clock phase breakdown from the Chrome trace.
+    json += ",\"phases\":";
+    JsonValue trace;
+    if (!inputs.chrome_trace_json.empty() &&
+        ParseJson(inputs.chrome_trace_json, &trace, &error)) {
+      const std::vector<PhaseStat> phases = PhasesFromChromeTrace(trace);
+      human += "\nWall-clock phase breakdown (host time, thread-dependent)\n";
+      human += "  phase            total_ms     count\n";
+      json += "[";
+      for (size_t p = 0; p < phases.size(); ++p) {
+        std::snprintf(buf, sizeof(buf), "  %-15s %9.3f  %8lld\n",
+                      phases[p].name.c_str(), phases[p].total_ms,
+                      static_cast<long long>(phases[p].count));
+        human += buf;
+        if (p > 0) json += ",";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"total_ms\":%s,\"count\":%lld}",
+                      JsonEscape(phases[p].name).c_str(),
+                      JsonNumber(phases[p].total_ms, 3).c_str(),
+                      static_cast<long long>(phases[p].count));
+        json += buf;
+      }
+      json += "]";
+    } else {
+      if (!inputs.chrome_trace_json.empty()) {
+        report.warnings.push_back("trace: " + error);
+      }
+      json += "null";
+    }
+
+    // Round log tail: the experiment-level metrics for quick inspection.
+    std::vector<JsonValue> rounds;
+    if (!inputs.rounds_jsonl.empty() &&
+        ParseJsonLines(inputs.rounds_jsonl, &rounds, &error)) {
+      human += "\nRound log (last round)\n";
+      if (!rounds.empty() && rounds.back().is_object()) {
+        for (const auto& [key, value] : rounds.back().object) {
+          if (!value.is_number()) continue;
+          std::snprintf(buf, sizeof(buf), "  %-24s %12.6g\n", key.c_str(),
+                        value.number);
+          human += buf;
+        }
+      }
+    } else if (!inputs.rounds_jsonl.empty()) {
+      report.warnings.push_back("rounds: " + error);
+    }
+  }
+
+  json += "}";
+  report.human = std::move(human);
+  report.json = std::move(json);
+  return report;
+}
+
+}  // namespace fedmp::obs::analysis

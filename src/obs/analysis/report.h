@@ -1,0 +1,45 @@
+#ifndef FEDMP_OBS_ANALYSIS_REPORT_H_
+#define FEDMP_OBS_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+// Folds a traced run's artifacts (manifest, deterministic events JSONL,
+// metrics snapshot, rounds JSONL, Chrome trace) into one human-readable and
+// one JSON report. The report separates:
+//   * deterministic sections — round health / critical path and the E-UCB
+//     decision audit, derived only from logical-time events, so they are
+//     byte-identical across thread counts for a fixed seed;
+//   * environment sections — manifest, cache/pool counters and hit rates,
+//     wall-clock phase breakdown — which depend on the host and thread
+//     count and are suppressed by ReportOptions::deterministic_only.
+namespace fedmp::obs::analysis {
+
+struct ReportInputs {
+  // File CONTENTS (not paths): the CLI reads the files, the library stays
+  // filesystem-free for tests. Empty inputs skip their sections.
+  std::string manifest_json;
+  std::string events_jsonl;
+  std::string metrics_json;
+  std::string rounds_jsonl;
+  std::string chrome_trace_json;
+};
+
+struct ReportOptions {
+  // Emit only the logical-time sections (used by the determinism tests to
+  // compare 1-thread vs N-thread reports byte for byte).
+  bool deterministic_only = false;
+};
+
+struct Report {
+  std::string human;  // aligned text report
+  std::string json;   // same content as one JSON document
+  std::vector<std::string> warnings;  // unparseable inputs, missing sections
+};
+
+Report BuildReport(const ReportInputs& inputs,
+                   const ReportOptions& options = {});
+
+}  // namespace fedmp::obs::analysis
+
+#endif  // FEDMP_OBS_ANALYSIS_REPORT_H_

@@ -1,0 +1,155 @@
+#include "obs/analysis/round_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs::analysis {
+
+RoundHealth SummarizeRound(int64_t round, std::vector<WorkerTiming> workers) {
+  std::sort(workers.begin(), workers.end(),
+            [](const WorkerTiming& a, const WorkerTiming& b) {
+              return a.worker < b.worker;
+            });
+  RoundHealth health;
+  health.round = round;
+  double sum = 0.0;
+  for (const WorkerTiming& w : workers) {
+    if (!w.survived || w.completion_s < 0.0) continue;
+    ++health.survivors;
+    sum += w.completion_s;
+    if (w.completion_s > health.critical_total_s) {
+      health.critical_worker = w.worker;
+      health.critical_comp_s = w.comp_s;
+      health.critical_comm_s = w.comm_s;
+      health.critical_total_s = w.completion_s;
+    }
+  }
+  if (health.survivors > 0) {
+    health.mean_completion_s = sum / static_cast<double>(health.survivors);
+    for (const WorkerTiming& w : workers) {
+      if (!w.survived || w.completion_s < 0.0) continue;
+      health.straggler_gap_max =
+          std::max(health.straggler_gap_max,
+                   std::fabs(w.completion_s - health.mean_completion_s));
+    }
+  }
+  health.workers = std::move(workers);
+  return health;
+}
+
+std::vector<RoundHealth> HealthFromEvents(
+    const std::vector<JsonValue>& events) {
+  std::map<int64_t, std::vector<WorkerTiming>> by_round;
+  for (const JsonValue& e : events) {
+    const JsonValue* name = e.Find("event");
+    if (name == nullptr || name->StringOr("") != "worker_timing") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    WorkerTiming timing;
+    timing.worker = static_cast<int>(
+        args->Find("worker") ? args->Find("worker")->IntOr(-1) : -1);
+    const int64_t round =
+        args->Find("round") ? args->Find("round")->IntOr(-1) : -1;
+    if (timing.worker < 0 || round < 0) continue;
+    if (const JsonValue* v = args->Find("comp_s")) timing.comp_s = v->NumberOr(0.0);
+    if (const JsonValue* v = args->Find("comm_s")) timing.comm_s = v->NumberOr(0.0);
+    if (const JsonValue* v = args->Find("completion_s")) {
+      timing.completion_s = v->NumberOr(-1.0);
+    }
+    if (const JsonValue* v = args->Find("ratio")) timing.ratio = v->NumberOr(0.0);
+    if (const JsonValue* v = args->Find("survived")) {
+      timing.survived = v->IntOr(0) != 0;
+    }
+    by_round[round].push_back(timing);
+  }
+  std::vector<RoundHealth> out;
+  out.reserve(by_round.size());
+  for (auto& [round, workers] : by_round) {
+    out.push_back(SummarizeRound(round, std::move(workers)));
+  }
+  return out;
+}
+
+std::string RenderRoundHealthTable(const std::vector<RoundHealth>& rounds) {
+  std::string out;
+  char buf[192];
+  out += "Round health (simulated time, critical path = slowest survivor)\n";
+  out +=
+      "  round  crit.worker  crit.comp_s  crit.comm_s  crit.total_s"
+      "  mean_s    gap_max  survivors\n";
+  for (const RoundHealth& h : rounds) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %5lld  %11d  %11.4f  %11.4f  %12.4f  %6.4f  %9.4f  %9d\n",
+                  static_cast<long long>(h.round), h.critical_worker,
+                  h.critical_comp_s, h.critical_comm_s, h.critical_total_s,
+                  h.mean_completion_s, h.straggler_gap_max, h.survivors);
+    out += buf;
+  }
+
+  // Straggler attribution: which workers keep landing on the critical path
+  // and how far each sits from the round mean on average.
+  std::map<int, int> critical_rounds;
+  std::map<int, double> gap_sum;
+  std::map<int, int> gap_count;
+  for (const RoundHealth& h : rounds) {
+    if (h.critical_worker >= 0) ++critical_rounds[h.critical_worker];
+    for (const WorkerTiming& w : h.workers) {
+      if (!w.survived || w.completion_s < 0.0) continue;
+      gap_sum[w.worker] += w.completion_s - h.mean_completion_s;
+      ++gap_count[w.worker];
+    }
+  }
+  out += "\nStraggler attribution (per worker)\n";
+  out += "  worker  critical_rounds  mean_gap_s\n";
+  for (const auto& [worker, count] : gap_count) {
+    std::snprintf(buf, sizeof(buf), "  %6d  %15d  %10.4f\n", worker,
+                  critical_rounds.count(worker) ? critical_rounds[worker] : 0,
+                  gap_sum[worker] / static_cast<double>(count));
+    out += buf;
+  }
+  return out;
+}
+
+std::string RoundHealthJson(const std::vector<RoundHealth>& rounds) {
+  std::string out = "[";
+  char buf[256];
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    const RoundHealth& h = rounds[r];
+    if (r > 0) out += ",";
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"round\":%lld,\"critical_worker\":%d,\"critical_comp_s\":%s,"
+        "\"critical_comm_s\":%s,\"critical_total_s\":%s,"
+        "\"mean_completion_s\":%s,\"straggler_gap_max\":%s,\"survivors\":%d,"
+        "\"workers\":[",
+        static_cast<long long>(h.round), h.critical_worker,
+        JsonNumber(h.critical_comp_s, 6).c_str(),
+        JsonNumber(h.critical_comm_s, 6).c_str(),
+        JsonNumber(h.critical_total_s, 6).c_str(),
+        JsonNumber(h.mean_completion_s, 6).c_str(),
+        JsonNumber(h.straggler_gap_max, 6).c_str(), h.survivors);
+    out += buf;
+    for (size_t w = 0; w < h.workers.size(); ++w) {
+      const WorkerTiming& t = h.workers[w];
+      if (w > 0) out += ",";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"worker\":%d,\"comp_s\":%s,\"comm_s\":%s,"
+                    "\"completion_s\":%s,\"ratio\":%s,\"survived\":%s}",
+                    t.worker, JsonNumber(t.comp_s, 6).c_str(),
+                    JsonNumber(t.comm_s, 6).c_str(),
+                    JsonNumber(t.completion_s, 6).c_str(),
+                    JsonNumber(t.ratio, 6).c_str(),
+                    t.survived ? "true" : "false");
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fedmp::obs::analysis

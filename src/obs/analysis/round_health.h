@@ -1,0 +1,66 @@
+#ifndef FEDMP_OBS_ANALYSIS_ROUND_HEALTH_H_
+#define FEDMP_OBS_ANALYSIS_ROUND_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json_value.h"
+
+// Per-round critical-path and straggler attribution over the simulated
+// per-worker timings. Two entry points share the same math:
+//   * in-process — the trainers call SummarizeRound() on the timing vectors
+//     they already computed and fold the result into the RoundRecord;
+//   * post-hoc — HealthFromEvents() rebuilds the same records from the
+//     `worker_timing` instant events in the deterministic events JSONL.
+// Both run on simulated (logical) time only, so the output is bit-identical
+// across thread counts.
+namespace fedmp::obs::analysis {
+
+// One worker's simulated timings within one round.
+struct WorkerTiming {
+  int worker = -1;
+  double comp_s = 0.0;        // local-training compute seconds (Eq. 5)
+  double comm_s = 0.0;        // down+uplink transmit seconds
+  double completion_s = 0.0;  // total incl. fault slowdown; < 0 when the
+                              // upload never reached the PS
+  double ratio = 0.0;         // pruning ratio the worker executed
+  bool survived = false;      // arrival accepted within the round's deadline
+};
+
+struct RoundHealth {
+  int64_t round = 0;
+  // The slowest surviving worker: the round's critical path runs through
+  // its prune -> train -> transmit chain.
+  int critical_worker = -1;
+  double critical_comp_s = 0.0;
+  double critical_comm_s = 0.0;
+  double critical_total_s = 0.0;
+  // Mean completion time over survivors (the Eq. 8 reward denominator's
+  // reference point) and the largest |T_n - mean(T)| straggler gap.
+  double mean_completion_s = 0.0;
+  double straggler_gap_max = 0.0;
+  int survivors = 0;
+  std::vector<WorkerTiming> workers;  // sorted by worker id
+};
+
+// Folds one round's worker timings into a health record.
+RoundHealth SummarizeRound(int64_t round, std::vector<WorkerTiming> workers);
+
+// Rebuilds per-round health from parsed events-JSONL lines (the
+// `worker_timing` instant events both trainers emit). Rounds are returned
+// in ascending order.
+std::vector<RoundHealth> HealthFromEvents(
+    const std::vector<JsonValue>& events);
+
+// Renders health records as an aligned text table (one row per round) plus
+// a per-worker straggler-attribution summary (rounds on the critical path,
+// mean gap to the round mean).
+std::string RenderRoundHealthTable(const std::vector<RoundHealth>& rounds);
+
+// The health records as a JSON array (deterministic: fixed formatting).
+std::string RoundHealthJson(const std::vector<RoundHealth>& rounds);
+
+}  // namespace fedmp::obs::analysis
+
+#endif  // FEDMP_OBS_ANALYSIS_ROUND_HEALTH_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "obs/json_util.h"
 
@@ -294,6 +295,39 @@ Gauge* GetGauge(const std::string& name) {
 Histogram* GetHistogram(const std::string& name,
                         std::vector<double> bounds) {
   return Registry::Get().GetHistogram(name, std::move(bounds));
+}
+
+double HistogramQuantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.kind != MetricSnapshot::Kind::kHistogram ||
+      snapshot.count <= 0 || snapshot.bucket_counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank among the `count` observations (1-based, Prometheus-style
+  // rank = q * count, at least 1 so q=0 maps to the first observation).
+  const double rank = std::max(1.0, q * static_cast<double>(snapshot.count));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < snapshot.bucket_counts.size(); ++b) {
+    const int64_t in_bucket = snapshot.bucket_counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= snapshot.bounds.size()) {
+        // Overflow bucket has no upper edge: clamp to the last finite bound
+        // (NaN when every observation overflowed an unbounded histogram).
+        return snapshot.bounds.empty()
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : snapshot.bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : snapshot.bounds[b - 1];
+      const double hi = snapshot.bounds[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * within;
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                 : snapshot.bounds.back();
 }
 
 }  // namespace fedmp::obs

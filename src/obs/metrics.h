@@ -149,6 +149,14 @@ Counter* GetCounter(const std::string& name);
 Gauge* GetGauge(const std::string& name);
 Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
 
+// Estimated value at quantile q in [0, 1] from a histogram snapshot, by
+// linear interpolation within the bucket that contains the target rank
+// (Prometheus histogram_quantile semantics: bucket lower edge is the
+// previous bound, 0 for the first). The overflow bucket clamps to the last
+// finite bound. Returns NaN for an empty histogram or a non-histogram
+// snapshot; q is clamped to [0, 1].
+double HistogramQuantile(const MetricSnapshot& snapshot, double q);
+
 }  // namespace fedmp::obs
 
 #endif  // FEDMP_OBS_METRICS_H_

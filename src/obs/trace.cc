@@ -64,6 +64,8 @@ struct Recorder {
   std::map<int, uint64_t> next_seq;  // track key -> next sequence number
   TraceOptions options;
   int64_t dropped = 0;
+  // Run manifest: insertion-ordered key/value metadata pushed by the engines.
+  std::vector<std::pair<std::string, ArgValue>> run_info;
 };
 
 Recorder& Rec() {
@@ -109,7 +111,9 @@ std::string ArgValue::ToJson() const {
       return buf;
     case Kind::kDouble:
       if (!std::isfinite(d)) return "null";  // JSON has no NaN/Inf
-      std::snprintf(buf, sizeof(buf), "%.9g", d);
+      // %.17g round-trips every double exactly: the decision audit
+      // reconstructs UCB scores from these fields to 1e-9.
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
       return buf;
     case Kind::kString:
       return "\"" + JsonEscape(s) + "\"";
@@ -134,13 +138,16 @@ bool MaybeEnableFromEnv() {
   const char* chrome = std::getenv("FEDMP_TRACE");
   const char* jsonl = std::getenv("FEDMP_TRACE_JSONL");
   const char* metrics = std::getenv("FEDMP_TRACE_METRICS");
-  if (chrome == nullptr && jsonl == nullptr && metrics == nullptr) {
+  const char* manifest = std::getenv("FEDMP_TRACE_MANIFEST");
+  if (chrome == nullptr && jsonl == nullptr && metrics == nullptr &&
+      manifest == nullptr) {
     return false;
   }
   TraceOptions options;
   if (chrome != nullptr) options.chrome_trace_path = chrome;
   if (jsonl != nullptr) options.events_jsonl_path = jsonl;
   if (metrics != nullptr) options.metrics_json_path = metrics;
+  if (manifest != nullptr) options.manifest_path = manifest;
   Enable(options);
   return true;
 }
@@ -170,6 +177,35 @@ void Flush() {
   if (!options.metrics_json_path.empty()) {
     WriteFileOrWarn(options.metrics_json_path, Registry::Get().ToJson());
   }
+  if (!options.manifest_path.empty()) {
+    WriteFileOrWarn(options.manifest_path, ManifestJson());
+  }
+}
+
+void SetRunInfo(const std::string& key, ArgValue value) {
+  if (!Enabled()) return;
+  Recorder& rec = Rec();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  for (auto& [k, v] : rec.run_info) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  rec.run_info.emplace_back(key, std::move(value));
+}
+
+std::string ManifestJson() {
+  std::vector<std::pair<std::string, ArgValue>> info;
+  {
+    Recorder& rec = Rec();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    info = rec.run_info;
+  }
+  std::string out = "{\"run_info\":";
+  out += ArgsToJson(info);
+  out += "}\n";
+  return out;
 }
 
 void SetLogicalTime(double sim_seconds) {
@@ -363,6 +399,7 @@ void ResetForTest() {
     rec.events.clear();
     rec.next_seq.clear();
     rec.dropped = 0;
+    rec.run_info.clear();
   }
   SetLogicalTime(0.0);
   Registry::Get().Reset();

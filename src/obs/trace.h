@@ -33,6 +33,9 @@ struct TraceOptions {
   std::string events_jsonl_path;
   // Metrics snapshot JSON; empty = skip.
   std::string metrics_json_path;
+  // Run-manifest JSON (git sha, config, seeds, thread count, toggles —
+  // whatever the engines push in via SetRunInfo); empty = skip.
+  std::string manifest_path;
   // Pool-lane chunk events shorter than this never reach the buffer (they
   // would swamp the trace: kernels issue thousands of tiny chunks).
   double pool_event_min_us = 200.0;
@@ -46,7 +49,8 @@ void Enable(const TraceOptions& options = {});
 // Turns telemetry off. Buffered events stay until ResetForTest/re-Enable.
 void Disable();
 // Enables from the environment: FEDMP_TRACE=<chrome.json> and/or
-// FEDMP_TRACE_JSONL=<events.jsonl> (FEDMP_TRACE_METRICS=<metrics.json>).
+// FEDMP_TRACE_JSONL=<events.jsonl> (FEDMP_TRACE_METRICS=<metrics.json>,
+// FEDMP_TRACE_MANIFEST=<manifest.json>).
 // Returns whether telemetry ended up enabled. Called by the trainers, so
 // `FEDMP_TRACE=trace.json ./examples/quickstart` needs no code changes.
 bool MaybeEnableFromEnv();
@@ -110,11 +114,22 @@ struct ArgValue {
   ArgValue(const char* v) : kind(Kind::kString), s(v) {}        // NOLINT
   ArgValue(std::string v) : kind(Kind::kString), s(std::move(v)) {}  // NOLINT
 
-  // Rendered as a JSON value (strings quoted+escaped, doubles %.9g).
+  // Rendered as a JSON value (strings quoted+escaped, doubles %.17g so
+  // audit tooling can reconstruct scores from logged fields exactly).
   std::string ToJson() const;
 };
 
 using Args = std::vector<std::pair<std::string, ArgValue>>;
+
+// Records one key/value pair of run metadata for the manifest. obs is the
+// lowest layer, so higher layers push identity (git sha, config, seeds,
+// toggle states) in rather than obs reading it. Re-setting a key replaces
+// its value; insertion order is preserved in the export. No-op while
+// telemetry is disabled.
+void SetRunInfo(const std::string& key, ArgValue value);
+
+// The manifest as a JSON object (run_info keys in insertion order).
+std::string ManifestJson();
 
 // RAII span: records a complete ("X") event over its lifetime. Cheap when
 // telemetry is disabled (a relaxed load, no clock reads). Nesting depth is

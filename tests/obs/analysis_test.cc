@@ -1,0 +1,397 @@
+// Tests for the post-hoc analysis layer: the JSON DOM, round-health /
+// critical-path math, the E-UCB decision audit, report assembly, and the
+// json_util / histogram-quantile helpers they build on. The end-to-end
+// determinism contract (N-thread traced run -> byte-identical deterministic
+// report) is exercised against the real sync trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "obs/analysis/decision_audit.h"
+#include "obs/analysis/json_value.h"
+#include "obs/analysis/report.h"
+#include "obs/analysis/round_health.h"
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs::analysis {
+namespace {
+
+// ---------------------------------------------------------------- JsonValue
+
+TEST(JsonValueTest, ParsesScalarsAndNesting) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x"}, "e": -3})",
+      &v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.Find("a")->NumberOr(0.0), 1.5);
+  EXPECT_EQ(v.Find("e")->IntOr(0), -3);
+  const JsonValue* b = v.Find("b");
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(v.Find("c")->Find("d")->StringOr(""), "x");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DecodesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"s": "a\"b\\c\nd\tAé"})", &v));
+  EXPECT_EQ(v.Find("s")->StringOr(""), "a\"b\\c\nd\tA\xc3\xa9");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &v));
+  EXPECT_FALSE(ParseJson("", &v));
+}
+
+TEST(JsonValueTest, ParsesJsonLinesAndReportsLineNumbers) {
+  std::vector<JsonValue> lines;
+  ASSERT_TRUE(ParseJsonLines("{\"a\":1}\n\n{\"a\":2}\n", &lines));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].Find("a")->IntOr(0), 2);
+
+  std::string error;
+  lines.clear();
+  EXPECT_FALSE(ParseJsonLines("{\"a\":1}\n{bad\n", &lines, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// -------------------------------------------------------------- RoundHealth
+
+std::vector<WorkerTiming> ThreeWorkerRound() {
+  // Worker 1 is the slowest survivor; worker 2's upload was lost.
+  WorkerTiming w0{/*worker=*/0, /*comp_s=*/1.0, /*comm_s=*/0.5,
+                  /*completion_s=*/1.5, /*ratio=*/0.2, /*survived=*/true};
+  WorkerTiming w1{1, 2.0, 1.5, 3.5, 0.0, true};
+  WorkerTiming w2{2, 1.0, 0.5, -1.0, 0.4, false};
+  return {w1, w2, w0};  // deliberately unsorted
+}
+
+TEST(RoundHealthTest, SummarizeRoundPicksSlowestSurvivor) {
+  const RoundHealth h = SummarizeRound(7, ThreeWorkerRound());
+  EXPECT_EQ(h.round, 7);
+  EXPECT_EQ(h.critical_worker, 1);
+  EXPECT_DOUBLE_EQ(h.critical_comp_s, 2.0);
+  EXPECT_DOUBLE_EQ(h.critical_comm_s, 1.5);
+  EXPECT_DOUBLE_EQ(h.critical_total_s, 3.5);
+  EXPECT_EQ(h.survivors, 2);
+  // mean over survivors = (1.5 + 3.5) / 2; gap_max = |3.5 - 2.5|.
+  EXPECT_DOUBLE_EQ(h.mean_completion_s, 2.5);
+  EXPECT_DOUBLE_EQ(h.straggler_gap_max, 1.0);
+  // Workers come back sorted by id.
+  ASSERT_EQ(h.workers.size(), 3u);
+  EXPECT_EQ(h.workers[0].worker, 0);
+  EXPECT_EQ(h.workers[2].worker, 2);
+}
+
+TEST(RoundHealthTest, EmptyRoundHasNoCriticalWorker) {
+  WorkerTiming lost{0, 1.0, 1.0, -1.0, 0.0, false};
+  const RoundHealth h = SummarizeRound(0, {lost});
+  EXPECT_EQ(h.critical_worker, -1);
+  EXPECT_EQ(h.survivors, 0);
+  EXPECT_DOUBLE_EQ(h.mean_completion_s, 0.0);
+  EXPECT_DOUBLE_EQ(h.straggler_gap_max, 0.0);
+}
+
+std::vector<JsonValue> EventsFromJsonl(const std::string& jsonl) {
+  std::vector<JsonValue> events;
+  std::string error;
+  EXPECT_TRUE(ParseJsonLines(jsonl, &events, &error)) << error;
+  return events;
+}
+
+TEST(RoundHealthTest, RebuildsRoundsFromWorkerTimingEvents) {
+  const std::string jsonl =
+      R"({"event":"round","args":{"round":0}})"
+      "\n"
+      R"({"event":"worker_timing","args":{"worker":0,"round":0,"comp_s":1.0,"comm_s":0.5,"completion_s":1.5,"ratio":0.2,"survived":1}})"
+      "\n"
+      R"({"event":"worker_timing","args":{"worker":1,"round":0,"comp_s":2.0,"comm_s":1.5,"completion_s":3.5,"ratio":0.0,"survived":1}})"
+      "\n"
+      R"({"event":"worker_timing","args":{"worker":0,"round":1,"comp_s":0.5,"comm_s":0.5,"completion_s":-1.0,"ratio":0.1,"survived":0}})"
+      "\n";
+  const std::vector<RoundHealth> rounds =
+      HealthFromEvents(EventsFromJsonl(jsonl));
+  ASSERT_EQ(rounds.size(), 2u);
+  EXPECT_EQ(rounds[0].round, 0);
+  EXPECT_EQ(rounds[0].critical_worker, 1);
+  EXPECT_DOUBLE_EQ(rounds[0].mean_completion_s, 2.5);
+  EXPECT_EQ(rounds[1].round, 1);
+  EXPECT_EQ(rounds[1].survivors, 0);
+}
+
+TEST(RoundHealthTest, RenderedOutputsAreWellFormed) {
+  const std::vector<RoundHealth> rounds = {
+      SummarizeRound(0, ThreeWorkerRound())};
+  const std::string table = RenderRoundHealthTable(rounds);
+  EXPECT_NE(table.find("critical path"), std::string::npos);
+  EXPECT_NE(table.find("Straggler attribution"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(RoundHealthJson(rounds), &error)) << error;
+}
+
+// ------------------------------------------------------------ DecisionAudit
+
+TEST(DecisionAuditTest, PairsSelectsWithRewardsPerWorker) {
+  const std::string jsonl =
+      R"({"event":"eucb_select","args":{"worker":0,"ratio":0.10,"arm_ratio":0.11,"leaf_lo":0.0,"leaf_hi":0.7,"count":0,"mean":0.0,"padding":null,"ucb":null,"total":0.0,"coef":1.0,"leaves":1,"depth":0}})"
+      "\n"
+      R"({"event":"eucb_select","args":{"worker":1,"ratio":0.30,"arm_ratio":0.29,"leaf_lo":0.0,"leaf_hi":0.7,"count":1.0,"mean":0.5,"padding":0.0,"ucb":0.5,"total":1.0,"coef":1.0,"leaves":1,"depth":0}})"
+      "\n"
+      R"({"event":"eucb_reward","args":{"worker":0,"reward":0.25}})"
+      "\n"
+      R"({"event":"eucb_reward","args":{"worker":1,"reward":-0.5}})"
+      "\n";
+  const auto decisions = DecisionsFromEvents(EventsFromJsonl(jsonl));
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].worker, 0);
+  EXPECT_EQ(decisions[0].pull, 0);
+  EXPECT_TRUE(decisions[0].never_pulled);
+  EXPECT_TRUE(decisions[0].has_reward);
+  EXPECT_DOUBLE_EQ(decisions[0].reward, 0.25);
+  EXPECT_DOUBLE_EQ(decisions[0].arm_ratio, 0.11);
+  EXPECT_DOUBLE_EQ(decisions[0].executed_ratio, 0.10);
+  EXPECT_FALSE(decisions[1].never_pulled);
+  EXPECT_DOUBLE_EQ(decisions[1].reward, -0.5);
+}
+
+TEST(DecisionAuditTest, ReconstructsUcbFromLoggedFields) {
+  // A consistent record: ucb == mean + coef * sqrt(2 ln(total) / count).
+  const double coef = 0.7, count = 3.0, mean = 0.4, total = 9.0;
+  const double padding = coef * std::sqrt(2.0 * std::log(total) / count);
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"event\":\"eucb_select\",\"args\":{\"worker\":0,\"ratio\":0.2,"
+      "\"arm_ratio\":0.2,\"leaf_lo\":0.0,\"leaf_hi\":0.7,\"count\":%.17g,"
+      "\"mean\":%.17g,\"padding\":%.17g,\"ucb\":%.17g,\"total\":%.17g,"
+      "\"coef\":%.17g,\"leaves\":1,\"depth\":0}}\n",
+      count, mean, padding, mean + padding, total, coef);
+  const auto decisions = DecisionsFromEvents(EventsFromJsonl(line));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_FALSE(decisions[0].never_pulled);
+  EXPECT_LT(decisions[0].reconstruction_error, 1e-9);
+  EXPECT_LT(MaxReconstructionError(decisions), 1e-9);
+
+  const std::string table = RenderDecisionTable(decisions);
+  EXPECT_NE(table.find("worker 0"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(DecisionAuditJson(decisions), &error)) << error;
+}
+
+// ------------------------------------------------------------------ Report
+
+ReportInputs SmallInputs() {
+  ReportInputs inputs;
+  inputs.manifest_json =
+      R"({"run_info":{"git_sha":"abc","num_threads":4}})"
+      "\n";
+  inputs.events_jsonl =
+      R"({"event":"worker_timing","args":{"worker":0,"round":0,"comp_s":1.0,"comm_s":0.5,"completion_s":1.5,"ratio":0.2,"survived":1}})"
+      "\n"
+      R"({"event":"eucb_select","args":{"worker":0,"ratio":0.2,"arm_ratio":0.2,"leaf_lo":0.0,"leaf_hi":0.7,"count":1.0,"mean":0.5,"padding":0.1,"ucb":0.6,"total":1.0,"coef":1.0,"leaves":1,"depth":0}})"
+      "\n";
+  inputs.metrics_json =
+      R"({"fl.worker.model_cache.hits": 3, "fl.worker.model_cache.misses": 1})";
+  inputs.rounds_jsonl = R"({"round":0,"sim_time":1.5})"
+                        "\n";
+  return inputs;
+}
+
+TEST(ReportTest, DeterministicOnlyOmitsEnvironmentSections) {
+  ReportOptions opt;
+  opt.deterministic_only = true;
+  const Report report = BuildReport(SmallInputs(), opt);
+  EXPECT_EQ(report.human.find("Manifest"), std::string::npos);
+  EXPECT_EQ(report.json.find("git_sha"), std::string::npos);
+  EXPECT_EQ(report.json.find("counters"), std::string::npos);
+  EXPECT_NE(report.json.find("\"round_health\""), std::string::npos);
+  EXPECT_NE(report.json.find("\"decision_audit\""), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(report.json, &error)) << error;
+}
+
+TEST(ReportTest, FullReportFoldsInManifestAndCounters) {
+  const Report report = BuildReport(SmallInputs());
+  EXPECT_NE(report.human.find("git_sha: abc"), std::string::npos)
+      << report.human;
+  EXPECT_NE(report.json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(report.json.find("\"counters\""), std::string::npos);
+  // hits/misses pairs become a derived hit rate: 3 / (3 + 1) = 75%.
+  EXPECT_NE(report.human.find("fl.worker.model_cache"), std::string::npos);
+  EXPECT_NE(report.human.find("75.0%"), std::string::npos) << report.human;
+  EXPECT_NE(report.json.find("\"fl.worker.model_cache\":0.750000"),
+            std::string::npos)
+      << report.json;
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(report.json, &error)) << error;
+}
+
+TEST(ReportTest, MalformedInputsBecomeWarningsNotCrashes) {
+  ReportInputs inputs = SmallInputs();
+  inputs.metrics_json = "{broken";
+  inputs.manifest_json = "also broken";
+  const Report report = BuildReport(inputs);
+  EXPECT_GE(report.warnings.size(), 2u);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(report.json, &error)) << error;
+}
+
+// ------------------------------------------------------ json_util escaping
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("\x00", 1)), "\\u0000");
+}
+
+TEST(JsonEscapeTest, PassesNonAsciiBytesThrough) {
+  // UTF-8 payloads are legal inside JSON strings and must survive verbatim.
+  const std::string utf8 = "caf\xc3\xa9 \xe6\x97\xa5";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid("{\"s\":\"" + JsonEscape(utf8) + "\"}", &error))
+      << error;
+}
+
+TEST(JsonEscapeTest, EscapedOutputRoundTripsThroughTheParser) {
+  const std::string nasty = "q\"b\\s\nn\tt\x01u caf\xc3\xa9";
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("{\"s\":\"" + JsonEscape(nasty) + "\"}", &v));
+  EXPECT_EQ(v.Find("s")->StringOr(""), nasty);
+}
+
+// ------------------------------------------------------- HistogramQuantile
+
+MetricSnapshot MakeHistogram(std::vector<double> bounds,
+                             std::vector<int64_t> buckets) {
+  MetricSnapshot snap;
+  snap.kind = MetricSnapshot::Kind::kHistogram;
+  snap.bounds = std::move(bounds);
+  snap.bucket_counts = std::move(buckets);
+  for (int64_t c : snap.bucket_counts) snap.count += c;
+  return snap;
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  // Buckets (0,1], (1,2], (2,4], overflow: counts 2, 2, 0, 1.
+  const MetricSnapshot snap = MakeHistogram({1.0, 2.0, 4.0}, {2, 2, 0, 1});
+  // q=0 -> rank 1 -> halfway through the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.0), 0.5);
+  // q=0.4 -> rank 2 -> exactly the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.4), 1.0);
+  // q=0.5 -> rank 2.5 -> a quarter into the second bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 1.25);
+  // q=0.8 -> rank 4 -> second bucket's upper edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.8), 2.0);
+  // q=1 -> rank 5 -> overflow clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 1.0), 4.0);
+  // Out-of-range q values clamp.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, -0.5), 0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 2.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, DegenerateInputsReturnNaN) {
+  EXPECT_TRUE(std::isnan(HistogramQuantile(MetricSnapshot{}, 0.5)));
+  EXPECT_TRUE(
+      std::isnan(HistogramQuantile(MakeHistogram({1.0}, {0, 0}), 0.5)));
+  // Every observation in the overflow of an unbounded histogram.
+  EXPECT_TRUE(std::isnan(HistogramQuantile(MakeHistogram({}, {3}), 0.5)));
+  MetricSnapshot gauge;
+  gauge.kind = MetricSnapshot::Kind::kGauge;
+  gauge.count = 1;
+  EXPECT_TRUE(std::isnan(HistogramQuantile(gauge, 0.5)));
+}
+
+// ------------------------------------------- end-to-end report determinism
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Runs a short traced sync experiment and returns the events JSONL.
+std::string TracedSyncEvents(int num_threads, const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "analysis_events_" + tag + ".jsonl";
+  TraceOptions trace;
+  trace.events_jsonl_path = path;
+  ResetForTest();
+  Enable(trace);
+
+  const data::FlTask task =
+      data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  fl::TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  fl::Trainer trainer(&task, fleet, std::move(partition),
+                      std::make_unique<fl::FedMpStrategy>(), opt);
+  trainer.Run();
+  Disable();
+  const std::string events = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  return events;
+}
+
+TEST(ReportDeterminismTest, DeterministicReportIdenticalAcrossThreadCounts) {
+  const std::string events_t1 = TracedSyncEvents(1, "t1");
+  const std::string events_t4 = TracedSyncEvents(4, "t4");
+  ASSERT_FALSE(events_t1.empty());
+  // The events stream itself is the determinism contract...
+  EXPECT_EQ(events_t1, events_t4);
+
+  // ...and the derived report must hold it: byte-identical round-health and
+  // decision-audit sections, with every UCB reconstructible to 1e-9.
+  ReportInputs in_t1, in_t4;
+  in_t1.events_jsonl = events_t1;
+  in_t4.events_jsonl = events_t4;
+  ReportOptions opt;
+  opt.deterministic_only = true;
+  const Report r1 = BuildReport(in_t1, opt);
+  const Report r4 = BuildReport(in_t4, opt);
+  EXPECT_EQ(r1.human, r4.human);
+  EXPECT_EQ(r1.json, r4.json);
+  EXPECT_NE(r1.json.find("\"round_health\""), std::string::npos);
+
+  std::vector<JsonValue> events;
+  std::string error;
+  ASSERT_TRUE(ParseJsonLines(events_t1, &events, &error)) << error;
+  const auto decisions = DecisionsFromEvents(events);
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_LT(MaxReconstructionError(decisions), 1e-9);
+  const auto rounds = HealthFromEvents(events);
+  ASSERT_EQ(rounds.size(), 4u);
+  for (const RoundHealth& h : rounds) {
+    EXPECT_GE(h.critical_total_s,
+              h.critical_worker >= 0 ? h.mean_completion_s : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::obs::analysis

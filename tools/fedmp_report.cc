@@ -1,0 +1,133 @@
+// fedmp_report: folds a traced run's artifacts into one report.
+//
+// Usage:
+//   fedmp_report --events sync_events.jsonl [--manifest sync_manifest.json]
+//                [--metrics sync_metrics.json] [--rounds sync_rounds.jsonl]
+//                [--trace sync_trace.json] [--out report.txt]
+//                [--json report.json] [--deterministic-only]
+//
+// With a common artifact prefix (what examples/traced_chaos writes), the
+// shorthand `fedmp_report --prefix sync` expands to the file names above.
+// The human-readable report goes to stdout (or --out); --json additionally
+// writes the machine-readable document run_benches.sh --gate consumes.
+// --deterministic-only restricts both outputs to the logical-time sections
+// (round health / critical path, E-UCB audit), which are byte-identical
+// across thread counts for a fixed seed.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis/report.h"
+
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path, bool* missing) {
+  if (path.empty()) return "";
+  std::ifstream in(path);
+  if (!in) {
+    *missing = true;
+    std::fprintf(stderr, "fedmp_report: cannot read %s\n", path.c_str());
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--prefix P | --events F] [--manifest F] [--metrics F]\n"
+      "          [--rounds F] [--trace F] [--out F] [--json F]\n"
+      "          [--deterministic-only]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string events_path, manifest_path, metrics_path, rounds_path;
+  std::string trace_path, out_path, json_path;
+  fedmp::obs::analysis::ReportOptions options;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      return a + 1 < argc ? argv[++a] : nullptr;
+    };
+    if (arg == "--deterministic-only") {
+      options.deterministic_only = true;
+    } else if (arg == "--prefix") {
+      const char* prefix = next();
+      if (prefix == nullptr) return Usage(argv[0]);
+      events_path = std::string(prefix) + "_events.jsonl";
+      manifest_path = std::string(prefix) + "_manifest.json";
+      metrics_path = std::string(prefix) + "_metrics.json";
+      rounds_path = std::string(prefix) + "_rounds.jsonl";
+      trace_path = std::string(prefix) + "_trace.json";
+    } else if (arg == "--events") {
+      if (const char* v = next()) events_path = v; else return Usage(argv[0]);
+    } else if (arg == "--manifest") {
+      if (const char* v = next()) manifest_path = v; else return Usage(argv[0]);
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) metrics_path = v; else return Usage(argv[0]);
+    } else if (arg == "--rounds") {
+      if (const char* v = next()) rounds_path = v; else return Usage(argv[0]);
+    } else if (arg == "--trace") {
+      if (const char* v = next()) trace_path = v; else return Usage(argv[0]);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v; else return Usage(argv[0]);
+    } else if (arg == "--json") {
+      if (const char* v = next()) json_path = v; else return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "fedmp_report: unknown argument %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (events_path.empty()) {
+    std::fprintf(stderr, "fedmp_report: --events (or --prefix) is required\n");
+    return Usage(argv[0]);
+  }
+
+  fedmp::obs::analysis::ReportInputs inputs;
+  bool events_missing = false;
+  bool optional_missing = false;  // informational only
+  inputs.events_jsonl = ReadFileOrEmpty(events_path, &events_missing);
+  if (events_missing) return 1;
+  inputs.manifest_json = ReadFileOrEmpty(manifest_path, &optional_missing);
+  inputs.metrics_json = ReadFileOrEmpty(metrics_path, &optional_missing);
+  inputs.rounds_jsonl = ReadFileOrEmpty(rounds_path, &optional_missing);
+  inputs.chrome_trace_json = ReadFileOrEmpty(trace_path, &optional_missing);
+
+  const fedmp::obs::analysis::Report report =
+      fedmp::obs::analysis::BuildReport(inputs, options);
+  for (const std::string& warning : report.warnings) {
+    std::fprintf(stderr, "fedmp_report: warning: %s\n", warning.c_str());
+  }
+
+  if (out_path.empty()) {
+    std::fputs(report.human.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "fedmp_report: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << report.human;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "fedmp_report: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << report.json << "\n";
+  }
+  return 0;
+}
