@@ -9,6 +9,7 @@
 // FEDMP_TRACE_METRICS=<file> to also dump the pool / plan-cache /
 // model-cache counters.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -17,6 +18,7 @@
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "fl/pipeline.h"
 #include "fl/worker.h"
 #include "nn/model_builder.h"
 #include "nn/workspace.h"
@@ -40,6 +42,7 @@ void SetHotPathEnabled(bool on) {
   nn::SetFastKernelsEnabled(on);
   pruning::SetPlanCacheEnabled(on);
   fl::SetModelReuseEnabled(on);
+  fl::SetPipelineEnabled(on);
   pruning::ClearPlanCache();
 }
 
@@ -88,9 +91,15 @@ int main() {
   config.method = "fedmp";
   config.num_workers = 10;
   config.trainer = bench::BenchTrainerOptions(rounds);
+  // Best-of-2: the min of repeated wall-clock runs is robust to scheduler
+  // noise and cold-start effects, which on small 6-round measurements can
+  // otherwise swing ratios enough to trip the regression gate.
   auto run_with = [&](bool optimized) {
     SetHotPathEnabled(optimized);
-    return WallSeconds([&] { bench::MustRun(config, bench_task); });
+    double best = WallSeconds([&] { bench::MustRun(config, bench_task); });
+    best = std::min(best,
+                    WallSeconds([&] { bench::MustRun(config, bench_task); }));
+    return best;
   };
   std::printf(
       "\nHot-path wall-clock (host time, fedmp/cnn, %d rounds):\n",
@@ -114,6 +123,13 @@ int main() {
     records.push_back(rec);
   }
   SetHotPathEnabled(true);
+  // Thread scaling of the optimized (pipelined) path: how much faster the
+  // same workload runs at 4 lanes than at 1. The gate compares this ratio
+  // against the baseline (and against an absolute floor on >=4-core hosts).
+  if (records.size() >= 3 && records[2].parallel_seconds > 0.0) {
+    std::printf("  t4-vs-t1 optimized scaling: %.2fx\n",
+                records[0].parallel_seconds / records[2].parallel_seconds);
+  }
   if (!bench::WriteSpeedupJson("fig5_hotpath.json", records)) {
     std::fprintf(stderr, "warning: could not write fig5_hotpath.json\n");
   } else {

@@ -14,6 +14,10 @@
 #     (default 0.15, i.e. fresh >= baseline * 0.85);
 #   * plan-cache / model-cache hit rates must not drop more than 0.15
 #     absolute below the baseline.
+# Thread-scaling check (t4-vs-t1 wall-clock of the optimized path) is
+# host-aware: on hosts with >= 4 cores the ratio must clear an absolute
+# 2.0x floor; on smaller hosts (where 4 lanes cannot physically beat 1) it
+# only must not regress relative to the committed baseline's ratio.
 # Absolute per-round wall-clock is only compared when the baseline's host
 # fingerprint matches this machine. FEDMP_GATE_INJECT=<factor> multiplies
 # the fresh optimized wall-clock before comparison (CI uses it to prove the
@@ -30,15 +34,16 @@ run_perf_compare() {
     echo "perf-compare bench failed (exit=$exit_code)" >&2
     return $exit_code
   fi
-  local sha date host
+  local sha date host cores
   sha=$(git -C .. rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
   date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-  host="$(hostname 2>/dev/null || echo unknown)-$(nproc 2>/dev/null || echo 0)c"
-  python3 - "$1" "$sha" "$date" "$host" <<'EOF'
+  cores=$(nproc 2>/dev/null || echo 0)
+  host="$(hostname 2>/dev/null || echo unknown)-${cores}c"
+  python3 - "$1" "$sha" "$date" "$host" "$cores" <<'EOF'
 import json
 import sys
 
-out_path, sha, date, host = sys.argv[1:5]
+out_path, sha, date, host, cores = sys.argv[1:6]
 with open("fig5_hotpath.json") as f:
     speedup = json.load(f)
 with open("bench_pr5_metrics.json") as f:
@@ -53,6 +58,7 @@ out = {"bench": "fig5_round_time hot-path compare",
        "git_sha": sha,
        "date": date,
        "host": host,
+       "cores": int(cores),
        "speedup": speedup,
        "counters": counters}
 with open(out_path, "w") as f:
@@ -129,7 +135,47 @@ for stem in ("pruning.plan_cache", "fl.worker.model_cache"):
     if fr < floor:
         failures.append(f"{stem} hit rate {fr:.3f} < floor {floor:.3f}")
 
-# 3) Host-dependent: absolute optimized wall-clock, only when the baseline
+# 3) Thread scaling of the optimized path: t1 wall-clock / t4 wall-clock.
+# Host-aware: a >= 4-core machine must clear an absolute 2.0x floor (the
+# pipelined executor's contract); a smaller host cannot physically scale,
+# so it only must not regress relative to the baseline's measured ratio.
+def scaling_ratio(doc):
+    by_name = {r["name"]: r for r in doc.get("speedup", [])}
+    t1 = by_name.get("fedmp_hotpath_t1")
+    t4 = by_name.get("fedmp_hotpath_t4")
+    if t1 is None or t4 is None or t4["parallel_seconds"] <= 0:
+        return None
+    return t1["parallel_seconds"] / t4["parallel_seconds"]
+
+fresh_scaling = scaling_ratio(fresh)
+if fresh_scaling is None:
+    print("gate: scaling: t1/t4 records unavailable, skipped")
+else:
+    fresh_cores = int(fresh.get("cores", 0))
+    if fresh_cores >= 4:
+        floor = 2.0
+        status = "ok" if fresh_scaling >= floor else "FAIL"
+        print(f"gate: scaling: t4-vs-t1 {fresh_scaling:.3f}x "
+              f"(absolute floor {floor:.1f}x, cores={fresh_cores}) {status}")
+        if fresh_scaling < floor:
+            failures.append(f"t4-vs-t1 scaling {fresh_scaling:.3f}x "
+                            f"< absolute floor {floor:.1f}x")
+    else:
+        base_scaling = scaling_ratio(base)
+        if base_scaling is None:
+            print(f"gate: scaling: {fresh_scaling:.3f}x on {fresh_cores}-core "
+                  "host, no baseline ratio, skipped")
+        else:
+            floor = base_scaling * (1.0 - TOL)
+            status = "ok" if fresh_scaling >= floor else "FAIL"
+            print(f"gate: scaling: t4-vs-t1 {fresh_scaling:.3f}x vs baseline "
+                  f"{base_scaling:.3f}x (floor {floor:.3f}x, "
+                  f"cores={fresh_cores}) {status}")
+            if fresh_scaling < floor:
+                failures.append(f"t4-vs-t1 scaling {fresh_scaling:.3f}x "
+                                f"< floor {floor:.3f}x")
+
+# 4) Host-dependent: absolute optimized wall-clock, only when the baseline
 # was recorded on a machine with the same fingerprint.
 if fresh.get("host") == base.get("host"):
     for rec in fresh["speedup"]:

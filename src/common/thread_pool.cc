@@ -83,6 +83,14 @@ void ThreadPool::WorkerLoop(int lane) {
 
 bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
 
+namespace {
+// Chunks per lane beyond which splitting finer buys nothing: enough that a
+// lane stuck on one slow chunk leaves (kChunksPerLane - 1) claimable chunks
+// per remaining lane, small enough that dispatch overhead stays invisible
+// next to the kernels.
+constexpr int64_t kChunksPerLane = 4;
+}  // namespace
+
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& fn) {
   const int64_t n = end - begin;
@@ -94,31 +102,44 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     return;
   }
 
+  // Chunk boundaries depend only on (n, grain, lane count) — WHICH lane runs
+  // a chunk is decided dynamically by the dispenser below, which never
+  // changes ownership of an index, only who executes it.
   const int64_t max_chunks = (n + grain - 1) / grain;
-  const int64_t nchunks =
-      std::min<int64_t>(static_cast<int64_t>(num_threads()), max_chunks);
-  const int64_t chunk = (n + nchunks - 1) / nchunks;
+  const int64_t lanes = static_cast<int64_t>(num_threads());
+  const int64_t target = std::min<int64_t>(lanes * kChunksPerLane, max_chunks);
+  const int64_t chunk = (n + target - 1) / target;
+  const int64_t nchunks = (n + chunk - 1) / chunk;
 
-  struct Join {
+  struct Work {
+    std::atomic<int64_t> next{0};    // chunk dispenser
     std::mutex m;
     std::condition_variable done;
-    int64_t remaining;
+    int64_t remaining;               // chunks not yet finished
   };
-  auto join = std::make_shared<Join>();
-  join->remaining = nchunks - 1;
+  auto work = std::make_shared<Work>();
+  work->remaining = nchunks;
+
+  // Runs dispenser chunks until they are exhausted. Runners queued but only
+  // popped after the dispenser drained exit without touching fn (whose
+  // lifetime ends when ParallelFor returns); the join below counts finished
+  // CHUNKS, so it never returns while any claimed chunk is still running.
+  auto runner = [work, &fn, begin, end, chunk, nchunks] {
+    for (;;) {
+      const int64_t c = work->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      const int64_t b = begin + c * chunk;
+      RunChunkInstrumented(fn, b, std::min(end, b + chunk));
+      std::lock_guard<std::mutex> wl(work->m);
+      if (--work->remaining == 0) work->done.notify_all();
+    }
+  };
 
   const bool telemetry = obs::Enabled();
+  const int64_t helpers = std::min<int64_t>(lanes - 1, nchunks - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (int64_t c = 1; c < nchunks; ++c) {
-      const int64_t b = begin + c * chunk;
-      const int64_t e = std::min(end, b + chunk);
-      queue_.push([join, &fn, b, e] {
-        RunChunkInstrumented(fn, b, e);
-        std::lock_guard<std::mutex> jl(join->m);
-        if (--join->remaining == 0) join->done.notify_one();
-      });
-    }
+    for (int64_t h = 0; h < helpers; ++h) queue_.push(runner);
     if (telemetry) {
       static obs::Gauge* depth = obs::GetGauge("pool.queue_depth");
       depth->Set(static_cast<double>(queue_.size()));
@@ -132,14 +153,98 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     chunks->Add(static_cast<double>(nchunks));
   }
 
-  // The calling thread is lane 0. It is flagged as a pool lane for the
-  // duration of its chunk so nested ParallelFors run inline there too.
+  // The calling thread is lane 0. It is flagged as a pool lane while it
+  // runs chunks so nested ParallelFors run inline there too.
   t_in_pool_worker = true;
-  RunChunkInstrumented(fn, begin, std::min(end, begin + chunk));
+  runner();
   t_in_pool_worker = false;
 
-  std::unique_lock<std::mutex> jl(join->m);
-  join->done.wait(jl, [&join] { return join->remaining == 0; });
+  std::unique_lock<std::mutex> wl(work->m);
+  work->done.wait(wl, [&work] { return work->remaining == 0; });
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // Serial pool: run inline so completion order equals submission order
+    // (the property that makes one-lane pipelines exactly serial).
+    const bool was_in_pool = t_in_pool_worker;
+    t_in_pool_worker = true;
+    fn();
+    t_in_pool_worker = was_in_pool;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  const bool was_in_pool = t_in_pool_worker;
+  t_in_pool_worker = true;
+  task();
+  t_in_pool_worker = was_in_pool;
+  return true;
+}
+
+TaskSet::TaskSet(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Global()) {}
+
+TaskSet::~TaskSet() { WaitAll(); }
+
+void TaskSet::Submit(int64_t tag, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, tag, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.push_back(tag);
+    --outstanding_;
+    cv_.notify_all();
+  });
+}
+
+bool TaskSet::DrainNext(int64_t* tag) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!done_.empty()) {
+        *tag = done_.front();
+        done_.pop_front();
+        return true;
+      }
+      if (outstanding_ == 0) return false;
+    }
+    // Work-share instead of idling: run queued pool tasks (possibly our
+    // own). When the queue is empty our tasks are all mid-flight on
+    // workers, so block until one completes.
+    if (pool_->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !done_.empty() || outstanding_ == 0; });
+  }
+}
+
+void TaskSet::WaitAll() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (outstanding_ == 0) return;
+    }
+    if (pool_->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return outstanding_ == 0; });
+    return;
+  }
 }
 
 ThreadPool& ThreadPool::Global() {

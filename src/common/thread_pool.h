@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -37,11 +38,27 @@ class ThreadPool {
   // Total execution lanes (workers + the calling thread).
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
-  // Runs fn(chunk_begin, chunk_end) over a static contiguous partition of
-  // [begin, end). `grain` is the minimum iterations per chunk; at most
-  // num_threads() chunks are created. Blocks until every chunk finished.
+  // Runs fn(chunk_begin, chunk_end) over a contiguous partition of
+  // [begin, end). `grain` caps the number of chunks at ceil(n / grain); up
+  // to kChunksPerLane chunks per lane are created beyond that so a slow
+  // chunk cannot idle the other lanes (chunks are claimed dynamically, but
+  // their boundaries depend only on (n, grain, num_threads()), so ownership
+  // — and therefore results — is schedule-independent). Blocks until every
+  // chunk finished; the caller executes chunks too.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
+
+  // Enqueues one task for any lane to pick up. With no spawned workers
+  // (num_threads() == 1) the task runs inline on the caller before Submit
+  // returns, preserving exact serial submission order. Used by TaskSet;
+  // prefer TaskSet over raw Submit so completion is observable.
+  void Submit(std::function<void()> fn);
+
+  // Pops and runs one queued task on the calling thread (flagged as a pool
+  // lane for the duration, so nested ParallelFors inline). Returns false
+  // when the queue was empty. Lets threads blocked on a TaskSet drain help
+  // instead of idling.
+  bool TryRunOne();
 
   // True when called from inside a pool task (nested region).
   static bool InPoolWorker();
@@ -75,6 +92,48 @@ class ThreadPool {
 // ParallelFor on the global pool (the form the kernels use).
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
+
+// A group of independent tasks with completion-ordered drain — the
+// primitive the pipelined FL round is built on. Submit tags a task and
+// hands it to the pool; DrainNext returns tags as their tasks finish, so
+// the caller can stream downstream work (e.g. fold a worker's update into
+// the aggregate) while slower tasks are still running. While waiting, the
+// draining thread executes queued pool tasks instead of idling
+// (work-sharing), so one slow lane never stalls the group.
+//
+// Determinism contract: tasks must write only state they own (their tag's
+// slot). Completion ORDER is scheduling-dependent — anything
+// order-sensitive must be sequenced by tag, not by drain order (see
+// StreamingAggregator / DESIGN.md "Execution pipeline"). With one lane,
+// Submit runs tasks inline, so drain order equals submit order and the
+// pipeline degenerates to the exact serial path.
+class TaskSet {
+ public:
+  // nullptr uses the global pool.
+  explicit TaskSet(ThreadPool* pool = nullptr);
+  // Blocks until every submitted task finished (drained or not).
+  ~TaskSet();
+
+  TaskSet(const TaskSet&) = delete;
+  TaskSet& operator=(const TaskSet&) = delete;
+
+  // Schedules fn; `tag` is returned by DrainNext once fn completed.
+  void Submit(int64_t tag, std::function<void()> fn);
+
+  // Blocks until some undrained task has completed and stores its tag;
+  // returns false when every submitted task has already been drained.
+  bool DrainNext(int64_t* tag);
+
+  // Blocks until every submitted task completed (tags stay drainable).
+  void WaitAll();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int64_t> done_;   // completed, not yet drained
+  int64_t outstanding_ = 0;    // submitted, not yet completed
+};
 
 }  // namespace fedmp
 

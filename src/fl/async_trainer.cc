@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
+#include "fl/pipeline.h"
 #include "obs/analysis/round_health.h"
 #include "obs/trace.h"
 #include "pruning/recovery.h"
@@ -128,63 +131,66 @@ RoundLog AsyncTrainer::Run() {
 
     std::vector<InFlight> prepared(static_cast<size_t>(count));
     std::vector<double> durations(static_cast<size_t>(count));
-    ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t j = lo; j < hi; ++j) {
-        const size_t jj = static_cast<size_t>(j);
-        const size_t i = static_cast<size_t>(ids[jj]);
-        const WorkerRoundPlan& plan = plans[jj];
-        obs::TrackScope lane(obs::WorkerTrack(ids[jj]));
-        OBS_SPAN("worker_dispatch",
-                 {{"worker", ids[jj]},
-                  {"round", round},
-                  {"ratio", plan.pruning_ratio}});
-        pruning::SubModel sub;
-        if (plan.pruning_ratio > 0.0) {
-          auto pruned = pruning::PruneByRatioRanked(
-              global_spec, server_->weights(), ranking, plan.pruning_ratio);
-          FEDMP_CHECK(pruned.ok()) << pruned.status();
-          sub = std::move(pruned).value();
-        } else {
-          sub.spec = global_spec;
-          sub.weights = server_->weights();
-          sub.mask = pruning::FullMask(global_spec);
-        }
-
-        LocalTrainOptions local;
-        local.tau = plan.tau > 0 ? plan.tau : task_->local_iterations;
-        local.batch_size = task_->batch_size;
-        local.learning_rate = task_->learning_rate;
-        local.momentum = task_->momentum;
-        local.weight_decay = task_->weight_decay;
-        local.proximal_mu = plan.proximal_mu;
-        local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
-        local.is_language_model = task_->is_language_model;
-        LocalResult result =
-            workers_[i]->LocalTrain(sub.spec, sub.weights, local);
-
-        const edge::DeviceRoundSample sample =
-            edge::SampleRound(devices_[i], workers_[i]->rng());
-        const double comp = edge::CompSeconds(sub.spec, local.tau,
-                                              local.batch_size, sample,
-                                              options_.base.cost);
-        const double bytes = static_cast<double>(sub.spec.NumParams()) *
-                             options_.base.cost.bytes_per_param;
-        const double comm =
-            edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
-
-        auto residual = pruning::ResidualModel(
-            global_spec, server_->weights(), sub.mask);
-        FEDMP_CHECK(residual.ok()) << residual.status();
-        prepared[jj] =
-            InFlight{std::move(sub.mask), std::move(result.weights),
-                     std::move(residual).value(), clock.now(),
-                     result.initial_loss - result.final_loss,
-                     result.final_loss, plan.pruning_ratio, comp, comm};
-        durations[jj] = comp + comm;
+    // Phase 2 body: prune + local SGD + cost sampling + residual for one
+    // dispatch. Touches only slot jj and worker ids[jj]'s own state, so it
+    // runs on any lane.
+    auto work_one = [&](int64_t j) {
+      const size_t jj = static_cast<size_t>(j);
+      const size_t i = static_cast<size_t>(ids[jj]);
+      const WorkerRoundPlan& plan = plans[jj];
+      obs::TrackScope lane(obs::WorkerTrack(ids[jj]));
+      OBS_SPAN("worker_dispatch",
+               {{"worker", ids[jj]},
+                {"round", round},
+                {"ratio", plan.pruning_ratio}});
+      pruning::SubModel sub;
+      if (plan.pruning_ratio > 0.0) {
+        auto pruned = pruning::PruneByRatioRanked(
+            global_spec, server_->weights(), ranking, plan.pruning_ratio);
+        FEDMP_CHECK(pruned.ok()) << pruned.status();
+        sub = std::move(pruned).value();
+      } else {
+        sub.spec = global_spec;
+        sub.weights = server_->weights();
+        sub.mask = pruning::FullMask(global_spec);
       }
-    });
 
-    for (int64_t j = 0; j < count; ++j) {
+      LocalTrainOptions local;
+      local.tau = plan.tau > 0 ? plan.tau : task_->local_iterations;
+      local.batch_size = task_->batch_size;
+      local.learning_rate = task_->learning_rate;
+      local.momentum = task_->momentum;
+      local.weight_decay = task_->weight_decay;
+      local.proximal_mu = plan.proximal_mu;
+      local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+      local.is_language_model = task_->is_language_model;
+      LocalResult result =
+          workers_[i]->LocalTrain(sub.spec, sub.weights, local);
+
+      const edge::DeviceRoundSample sample =
+          edge::SampleRound(devices_[i], workers_[i]->rng());
+      const double comp = edge::CompSeconds(sub.spec, local.tau,
+                                            local.batch_size, sample,
+                                            options_.base.cost);
+      const double bytes = static_cast<double>(sub.spec.NumParams()) *
+                           options_.base.cost.bytes_per_param;
+      const double comm =
+          edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
+
+      auto residual = pruning::ResidualModel(
+          global_spec, server_->weights(), sub.mask);
+      FEDMP_CHECK(residual.ok()) << residual.status();
+      prepared[jj] =
+          InFlight{std::move(sub.mask), std::move(result.weights),
+                   std::move(residual).value(), clock.now(),
+                   result.initial_loss - result.final_loss,
+                   result.final_loss, plan.pruning_ratio, comp, comm};
+      durations[jj] = comp + comm;
+    };
+    // Phase 3 body: the serial commit for one dispatch. Mutates shared PS
+    // state (generation counter, event queue, inflight slots), so it always
+    // runs on the driver thread, in `ids` order.
+    auto commit_one = [&](int64_t j) {
       const size_t jj = static_cast<size_t>(j);
       const int id = ids[jj];
       InFlight slot = std::move(prepared[jj]);
@@ -225,6 +231,33 @@ RoundLog AsyncTrainer::Run() {
       queue.Push(arrival, id, slot.generation);
       if (duplicated) queue.Push(arrival, id, slot.generation);
       inflight[static_cast<size_t>(id)] = std::move(slot);
+    };
+
+    if (PipelineEnabled()) {
+      // Pipelined: each dispatch is one task; commits stream on the driver
+      // as the in-order prefix completes, so a slow worker never stalls
+      // the queue behind a barrier. Commit order — and with it generation
+      // numbering and event-queue tie-breaking — stays `ids` order.
+      TaskSet tasks;
+      for (int64_t j = 0; j < count; ++j) {
+        tasks.Submit(j, [&work_one, j] { work_one(j); });
+      }
+      std::vector<uint8_t> ready(static_cast<size_t>(count), 0);
+      int64_t committed = 0;
+      int64_t tag = -1;
+      while (tasks.DrainNext(&tag)) {
+        ready[static_cast<size_t>(tag)] = 1;
+        while (committed < count && ready[static_cast<size_t>(committed)]) {
+          commit_one(committed);
+          ++committed;
+        }
+      }
+      FEDMP_CHECK_EQ(committed, count);
+    } else {
+      ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j) work_one(j);
+      });
+      for (int64_t j = 0; j < count; ++j) commit_one(j);
     }
   };
 
@@ -252,6 +285,18 @@ RoundLog AsyncTrainer::Run() {
     std::vector<int> redispatches(static_cast<size_t>(num_workers), 0);
     int64_t rejected = 0;
     int64_t duplicates = 0;
+    // Pipelined: each accepted arrival's recover + residual fold starts the
+    // moment the PS consumes its event, overlapping with the rest of the
+    // collection loop (and any re-dispatch training it triggers) instead of
+    // running serially after the cohort completes. Slots are arrival-order,
+    // which is exactly the serial fold order, so the sum is bit-identical.
+    std::unique_ptr<StreamingAggregator> agg;
+    TaskSet agg_tasks;
+    if (PipelineEnabled()) {
+      agg = std::make_unique<StreamingAggregator>(
+          global_spec, server_->weights(), target_m, SyncScheme::kR2SP,
+          /*quantize_residuals=*/false);
+    }
     // Round-health inputs, one entry per consumed event (a re-dispatched
     // worker can contribute more than one). Emitted from this serial event
     // loop, so worker_timing events are thread-count-invariant.
@@ -321,6 +366,18 @@ RoundLog AsyncTrainer::Run() {
       obs::InstantEvent("arrival",
                         {{"worker", event.worker}, {"round", round}});
       arrived.push_back(event.worker);
+      if (agg != nullptr) {
+        // The inflight slot of an arrived worker stays untouched until the
+        // post-aggregation re-dispatch, so the task reads it race-free.
+        const int slot = static_cast<int>(arrived.size()) - 1;
+        StreamingAggregator* a = agg.get();
+        const InFlight* fp = &f;
+        agg_tasks.Submit(slot, [a, fp, slot] {
+          a->AccumulateWithResidual(slot, fp->trained_weights, fp->mask,
+                                    fp->residual);
+        });
+        agg->Admit(slot);
+      }
       const double duration = event.time - f.dispatch_time;
       note_timing(event.worker, f, duration, /*survived=*/true);
       arrival_durations.push_back(duration);
@@ -344,22 +401,37 @@ RoundLog AsyncTrainer::Run() {
       OBS_SPAN("aggregate",
                {{"round", round},
                 {"updates", static_cast<int>(arrived.size())}});
-      nn::TensorList sum;
-      nn::TensorList recovered;  // scratch reused across arrivals
       double final_loss_sum = 0.0, ratio_sum = 0.0;
       for (int worker : arrived) {
         const InFlight& f = inflight[static_cast<size_t>(worker)];
-        const Status st = pruning::RecoverToFullInto(
-            global_spec, f.trained_weights, f.mask, &recovered);
-        FEDMP_CHECK(st.ok()) << st;
-        nn::AxpyLists(recovered, 1.0f, f.residual);
-        if (sum.empty()) {
-          sum = std::move(recovered);  // first contribution seeds the sum
-        } else {
-          nn::AxpyLists(sum, 1.0f, recovered);
-        }
         final_loss_sum += f.final_loss;
         ratio_sum += f.ratio;
+      }
+      nn::TensorList sum;
+      if (agg != nullptr) {
+        agg_tasks.WaitAll();
+        // Short rounds (m-fallback, drained queue) leave trailing slots
+        // unused; retire them so the fold can complete.
+        for (int j = static_cast<int>(arrived.size()); j < target_m; ++j) {
+          agg->MarkUnavailable(j);
+          agg->Reject(j);
+        }
+        StreamingAggregator::Result result = agg->Finish();
+        sum = std::move(result.sum);
+      } else {
+        nn::TensorList recovered;  // scratch reused across arrivals
+        for (int worker : arrived) {
+          const InFlight& f = inflight[static_cast<size_t>(worker)];
+          const Status st = pruning::RecoverToFullInto(
+              global_spec, f.trained_weights, f.mask, &recovered);
+          FEDMP_CHECK(st.ok()) << st;
+          nn::AxpyLists(recovered, 1.0f, f.residual);
+          if (sum.empty()) {
+            sum = std::move(recovered);  // first contribution seeds the sum
+          } else {
+            nn::AxpyLists(sum, 1.0f, recovered);
+          }
+        }
       }
       nn::ScaleLists(sum, 1.0f / static_cast<float>(arrived.size()));
       nn::TensorList mixed = server_->weights();

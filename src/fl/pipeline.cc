@@ -1,0 +1,164 @@
+#include "fl/pipeline.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "fl/quantize.h"
+#include "nn/tensor_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::fl {
+
+namespace {
+
+std::atomic<bool> g_pipeline_enabled{true};
+std::atomic<bool> g_pipeline_env_checked{false};
+
+void MaybeReadPipelineEnv() {
+  if (g_pipeline_env_checked.exchange(true)) return;
+  const char* pipeline = std::getenv("FEDMP_PIPELINE");
+  const char* baseline = std::getenv("FEDMP_HOTPATH_BASELINE");
+  if ((pipeline != nullptr && pipeline[0] == '0') ||
+      (baseline != nullptr && baseline[0] == '1')) {
+    g_pipeline_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+bool PipelineEnabled() {
+  MaybeReadPipelineEnv();
+  return g_pipeline_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPipelineEnabled(bool on) {
+  g_pipeline_env_checked.store(true);  // explicit choice overrides the env
+  g_pipeline_enabled.store(on, std::memory_order_relaxed);
+}
+
+StreamingAggregator::StreamingAggregator(const nn::ModelSpec& spec,
+                                         const nn::TensorList& global_weights,
+                                         int num_slots, SyncScheme scheme,
+                                         bool quantize_residuals)
+    : spec_(spec),
+      global_weights_(global_weights),
+      scheme_(scheme),
+      quantize_residuals_(quantize_residuals),
+      slots_(static_cast<size_t>(num_slots)) {
+  FEDMP_CHECK_GT(num_slots, 0);
+}
+
+void StreamingAggregator::Accumulate(int slot,
+                                     const nn::TensorList& sub_weights,
+                                     const pruning::PruneMask& mask) {
+  // The contribution is a pure function of (global, sub, mask): computed
+  // outside the lock so slots overlap, folded in slot order later.
+  nn::TensorList contribution;
+  Status st =
+      pruning::RecoverToFullInto(spec_, sub_weights, mask, &contribution);
+  FEDMP_CHECK(st.ok()) << st;
+  if (scheme_ == SyncScheme::kR2SP) {
+    nn::TensorList residual;
+    st = pruning::ResidualModelInto(spec_, global_weights_, mask, &residual);
+    FEDMP_CHECK(st.ok()) << st;
+    if (quantize_residuals_) {
+      residual = DequantizeList(Quantize8List(residual));
+    }
+    nn::AxpyLists(contribution, 1.0f, residual);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
+  s.contribution = std::move(contribution);
+  s.ready = true;
+  FoldReadyLocked();
+}
+
+void StreamingAggregator::AccumulateWithResidual(
+    int slot, const nn::TensorList& sub_weights,
+    const pruning::PruneMask& mask, const nn::TensorList& residual) {
+  nn::TensorList contribution;
+  const Status st =
+      pruning::RecoverToFullInto(spec_, sub_weights, mask, &contribution);
+  FEDMP_CHECK(st.ok()) << st;
+  nn::AxpyLists(contribution, 1.0f, residual);
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
+  s.contribution = std::move(contribution);
+  s.ready = true;
+  FoldReadyLocked();
+}
+
+void StreamingAggregator::MarkUnavailable(int slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
+  s.ready = true;
+  FoldReadyLocked();
+}
+
+void StreamingAggregator::Admit(int slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  FEDMP_CHECK(s.decision == Decision::kPending)
+      << "slot " << slot << " decided twice";
+  s.decision = Decision::kAdmitted;
+  FoldReadyLocked();
+}
+
+void StreamingAggregator::Reject(int slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  FEDMP_CHECK(s.decision == Decision::kPending)
+      << "slot " << slot << " decided twice";
+  s.decision = Decision::kRejected;
+  FoldReadyLocked();
+}
+
+void StreamingAggregator::FoldReadyLocked() {
+  while (folded_ < static_cast<int>(slots_.size())) {
+    Slot& s = slots_[static_cast<size_t>(folded_)];
+    // `ready` gates even rejected slots: it is the publish point for the
+    // slot's storage, so freeing before it risks racing the producer.
+    if (!s.ready || s.decision == Decision::kPending) return;
+    if (s.decision == Decision::kAdmitted) {
+      FEDMP_CHECK(!s.contribution.empty())
+          << "admitted slot " << folded_ << " has no payload";
+      if (sum_.empty()) {
+        sum_ = std::move(s.contribution);  // first admitted slot seeds
+      } else {
+        nn::AxpyLists(sum_, 1.0f, s.contribution);
+      }
+      ++participants_;
+    }
+    s.contribution.clear();
+    ++folded_;
+  }
+}
+
+StreamingAggregator::Result StreamingAggregator::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FEDMP_CHECK_EQ(folded_, static_cast<int>(slots_.size()))
+      << "Finish() before every slot was decided and ready";
+  FEDMP_CHECK_GT(participants_, 0) << "aggregation with no participants";
+  // Same telemetry as the serial AggregateSubModels, so traces and metric
+  // dumps are invariant to the pipeline toggle.
+  OBS_SPAN("r2sp_aggregate",
+           {{"scheme", SyncSchemeName(scheme_)}, {"updates", participants_}});
+  if (obs::Enabled()) {
+    static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
+    static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
+    aggs->Add(1.0);
+    upd->Add(static_cast<double>(participants_));
+  }
+  Result out;
+  out.sum = std::move(sum_);
+  out.participants = participants_;
+  return out;
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,108 @@
+#ifndef FEDMP_FL_PIPELINE_H_
+#define FEDMP_FL_PIPELINE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "fl/aggregation.h"
+
+namespace fedmp::fl {
+
+// Pipelined round execution toggle (DESIGN.md "Execution pipeline").
+// Defaults to on; FEDMP_PIPELINE=0 or FEDMP_HOTPATH_BASELINE=1 in the
+// environment disables it at first use (tests use SetPipelineEnabled).
+// When off, both trainers run their original phase-barrier loops — the
+// bit-identical oracle the pipelined path is tested against.
+bool PipelineEnabled();
+void SetPipelineEnabled(bool on);
+
+// Streams R2SP aggregation while workers are still training: each worker
+// task hands its sub-model in via Accumulate() the moment it finishes, and
+// the aggregator folds contributions into the running sum without waiting
+// for the full cohort — there is no materialized all-recovered-models
+// barrier.
+//
+// Determinism: floating-point addition is not associative, so the FOLD
+// order is pinned to slot order (= worker order, the order the serial
+// AggregateSubModels loop uses) no matter when contributions arrive.
+// Accumulate() computes the slot's contribution — recover to full shape,
+// plus the residual model under R2SP (the expensive, parallelizable part)
+// — and marks the slot ready; the running sum only advances across the
+// prefix of slots that are both decided and ready. Contribution values are
+// per-slot pure functions, so the result is bit-identical to the serial
+// loop at any thread count and any completion order.
+//
+// Protocol per slot (all methods thread-safe):
+//   exactly one of Accumulate / AccumulateWithResidual / MarkUnavailable,
+//   and exactly one of Admit / Reject (any order relative to the above);
+// then Finish() once every slot is decided and ready. Rejected slots are
+// skipped by the fold; MarkUnavailable is for slots that never produced a
+// payload (crashed worker) so the fold can move past them.
+class StreamingAggregator {
+ public:
+  // `global_weights` must outlive the aggregator and stay unchanged until
+  // Finish() (it is the dispatch-time global both recovery and residuals
+  // read). `quantize_residuals` applies the 8-bit residual round-trip,
+  // mirroring AggregateSubModels.
+  StreamingAggregator(const nn::ModelSpec& spec,
+                      const nn::TensorList& global_weights, int num_slots,
+                      SyncScheme scheme, bool quantize_residuals);
+
+  StreamingAggregator(const StreamingAggregator&) = delete;
+  StreamingAggregator& operator=(const StreamingAggregator&) = delete;
+
+  // Computes slot's contribution: recover(sub) [+ residual(global, mask),
+  // quantized if configured] — identical op order to AggregateSubModels.
+  void Accumulate(int slot, const nn::TensorList& sub_weights,
+                  const pruning::PruneMask& mask);
+
+  // Async-engine variant: the residual was computed at dispatch time by the
+  // caller and is added verbatim (never quantized), matching the async
+  // aggregation loop.
+  void AccumulateWithResidual(int slot, const nn::TensorList& sub_weights,
+                              const pruning::PruneMask& mask,
+                              const nn::TensorList& residual);
+
+  // Marks a slot that will never contribute (no payload exists).
+  void MarkUnavailable(int slot);
+
+  void Admit(int slot);
+  void Reject(int slot);
+
+  struct Result {
+    nn::TensorList sum;    // UNSCALED sum over admitted slots — callers
+                           // apply ScaleLists(1/participants) themselves so
+                           // the op order matches the serial path exactly
+    int participants = 0;
+  };
+  // Requires every slot decided and ready (the fold fully advanced) and at
+  // least one admitted slot. Emits the same r2sp_aggregate span + counters
+  // as AggregateSubModels.
+  Result Finish();
+
+ private:
+  enum class Decision { kPending, kAdmitted, kRejected };
+  struct Slot {
+    nn::TensorList contribution;
+    Decision decision = Decision::kPending;
+    bool ready = false;
+  };
+
+  // Folds the decided-and-ready prefix into sum_. Caller holds mu_.
+  void FoldReadyLocked();
+
+  const nn::ModelSpec& spec_;
+  const nn::TensorList& global_weights_;
+  const SyncScheme scheme_;
+  const bool quantize_residuals_;
+
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+  nn::TensorList sum_;
+  int folded_ = 0;        // next slot index the fold is waiting on
+  int participants_ = 0;  // admitted slots folded so far
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_PIPELINE_H_

@@ -60,6 +60,10 @@ class ParameterServer {
   // Records that a repeated delivery of the same worker's update was
   // dropped (duplication must not double-weight a worker in the average).
   void NoteDuplicateDropped() { ++duplicates_dropped_; }
+  // Records a rejection whose finite-ness scan already ran on a worker lane
+  // (the pipelined round screens payloads inside the per-worker task; only
+  // the counter update lands here, on the driver thread).
+  void NoteCorruptRejected() { ++corrupt_rejected_; }
 
   int64_t corrupt_rejected() const { return corrupt_rejected_; }
   int64_t duplicates_dropped() const { return duplicates_dropped_; }

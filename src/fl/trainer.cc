@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "edge/sim_clock.h"
+#include "fl/pipeline.h"
 #include "nn/tensor_ops.h"
 #include "nn/workspace.h"
 #include "obs/analysis/round_health.h"
@@ -66,6 +69,7 @@ void PushRunManifest(const char* engine, const std::string& strategy,
   obs::SetRunInfo("toggle_plan_cache", pruning::PlanCacheEnabled() ? 1 : 0);
   obs::SetRunInfo("toggle_fast_kernels", nn::FastKernelsEnabled() ? 1 : 0);
   obs::SetRunInfo("toggle_model_reuse", ModelReuseEnabled() ? 1 : 0);
+  obs::SetRunInfo("toggle_pipeline", PipelineEnabled() ? 1 : 0);
 }
 }  // namespace internal
 
@@ -110,6 +114,10 @@ RoundLog Trainer::Run() {
   // lanes override this inside the parallel regions below.
   obs::TrackScope ps_scope(obs::PsTrack());
   obs::SetLogicalTime(clock.now());
+  // Pipelined execution fuses each worker's prune→train→upload chain into
+  // one task and streams aggregation as uploads land (DESIGN.md "Execution
+  // pipeline"); the phase-barrier path below is the bit-identical oracle.
+  const bool pipelined = PipelineEnabled();
 
   for (int64_t round = 0; round < options_.max_rounds; ++round) {
     // --- (1) Pruning-ratio decision + distributed model pruning (PS). ---
@@ -139,31 +147,7 @@ RoundLog Trainer::Run() {
       ranking = pruning::RankUnits(global_spec, server_->weights());
     }
 
-    // Sub-model construction is a pure function of (spec, weights, ratio),
-    // so the per-worker prunes run concurrently; each lane writes only its
-    // own subs[i] slot.
     std::vector<pruning::SubModel> subs(static_cast<size_t>(num_workers));
-    ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t n = lo; n < hi; ++n) {
-        const size_t i = static_cast<size_t>(n);
-        // The pruner's spans belong to the worker the sub-model is for.
-        obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
-        if (plans[i].pruning_ratio > 0.0) {
-          auto sub = pruning::PruneByRatioRanked(
-              global_spec, server_->weights(), ranking,
-              plans[i].pruning_ratio);
-          FEDMP_CHECK(sub.ok()) << sub.status();
-          subs[i] = std::move(sub).value();
-        } else {
-          subs[i].spec = global_spec;
-          subs[i].weights = server_->weights();
-          subs[i].mask = pruning::FullMask(global_spec);
-        }
-      }
-    });
-    const double decision_ms = ElapsedMs(decision_start);
-
-    // --- (2) Local training (real SGD) + per-worker cost accounting. ---
     std::vector<double> comp_times(static_cast<size_t>(num_workers));
     std::vector<double> comm_times(static_cast<size_t>(num_workers));
     std::vector<double> completion_times(static_cast<size_t>(num_workers));
@@ -171,87 +155,185 @@ RoundLog Trainer::Run() {
     std::vector<double> initial_losses(static_cast<size_t>(num_workers));
     std::vector<double> final_losses(static_cast<size_t>(num_workers));
     std::vector<nn::TensorList> uploads(static_cast<size_t>(num_workers));
+    std::vector<edge::WorkerRoundFaults> faults(
+        static_cast<size_t>(num_workers));
+    // Byte flags, not vector<bool>: adjacent slots are written from
+    // different lanes in the pipelined path and vector<bool> bit-packs.
+    std::vector<uint8_t> arrives(static_cast<size_t>(num_workers), 1);
+    std::vector<uint8_t> payload_finite(static_cast<size_t>(num_workers), 1);
 
-    // Workers are independent: each owns its model, data shard, and RNG
-    // stream, and writes only its own slots of the pre-sized vectors above.
-    // The loss sums are reduced serially afterwards in worker order, so the
-    // aggregate — like the global model — is bit-identical to the serial
-    // engine at any thread count.
-    ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t n = lo; n < hi; ++n) {
-        const size_t i = static_cast<size_t>(n);
-        obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
-        LocalTrainOptions local;
-        local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
-        local.batch_size = task_->batch_size;
-        local.learning_rate = task_->learning_rate;
-        local.momentum = task_->momentum;
-        local.weight_decay = task_->weight_decay;
-        local.proximal_mu = plans[i].proximal_mu;
-        local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
-        local.is_language_model = task_->is_language_model;
-
-        OBS_SPAN("worker_train",
-                 {{"worker", static_cast<int>(n)},
-                  {"round", round},
-                  {"ratio", plans[i].pruning_ratio},
-                  {"tau", local.tau}});
-        LocalResult result =
-            workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
-        delta_losses[i] = result.initial_loss - result.final_loss;
-        initial_losses[i] = result.initial_loss;
-        final_losses[i] = result.final_loss;
-
-        uploads[i] = plans[i].compress_ratio > 0.0
-                         ? SparsifyUpdate(subs[i].weights, result.weights,
-                                          plans[i].compress_ratio)
-                         : std::move(result.weights);
-
-        // Simulated completion time (Eq. 5).
-        const edge::DeviceRoundSample sample =
-            edge::SampleRound(devices_[i], workers_[i]->rng());
-        comp_times[i] = edge::CompSeconds(subs[i].spec, local.tau,
-                                          local.batch_size, sample,
-                                          options_.cost);
-        const double param_bytes =
-            static_cast<double>(subs[i].spec.NumParams()) *
-            options_.cost.bytes_per_param;
-        // Compressed uploads carry a ~10% sparse-index overhead on the
-        // surviving entries.
-        const double up_bytes =
-            plans[i].compress_ratio > 0.0
-                ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
-                : param_bytes;
-        comm_times[i] =
-            edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
-        completion_times[i] = comp_times[i] + comm_times[i];
+    // Per-worker round stages. Each touches only worker-owned state (its
+    // subs/uploads/times slots, its model, shard, and RNG stream) plus
+    // read-only globals, so the stages can run per worker on any lane —
+    // phase-by-phase below, or fused into one task per worker when
+    // pipelined. Within a worker the stage order is fixed (its RNG stream
+    // serializes train → cost sampling), so results are bit-identical
+    // either way.
+    auto prune_one = [&](size_t i) {
+      // Sub-model construction is a pure function of (spec, weights,
+      // ratio); each lane writes only its own subs[i] slot.
+      if (plans[i].pruning_ratio > 0.0) {
+        auto sub = pruning::PruneByRatioRanked(
+            global_spec, server_->weights(), ranking,
+            plans[i].pruning_ratio);
+        FEDMP_CHECK(sub.ok()) << sub.status();
+        subs[i] = std::move(sub).value();
+      } else {
+        subs[i].spec = global_spec;
+        subs[i].weights = server_->weights();
+        subs[i].mask = pruning::FullMask(global_spec);
       }
-    });
+    };
+    auto train_one = [&](size_t i) {
+      const int n = static_cast<int>(i);
+      LocalTrainOptions local;
+      local.tau = plans[i].tau > 0 ? plans[i].tau : task_->local_iterations;
+      local.batch_size = task_->batch_size;
+      local.learning_rate = task_->learning_rate;
+      local.momentum = task_->momentum;
+      local.weight_decay = task_->weight_decay;
+      local.proximal_mu = plans[i].proximal_mu;
+      local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
+      local.is_language_model = task_->is_language_model;
+
+      OBS_SPAN("worker_train",
+               {{"worker", n},
+                {"round", round},
+                {"ratio", plans[i].pruning_ratio},
+                {"tau", local.tau}});
+      LocalResult result =
+          workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
+      delta_losses[i] = result.initial_loss - result.final_loss;
+      initial_losses[i] = result.initial_loss;
+      final_losses[i] = result.final_loss;
+
+      uploads[i] = plans[i].compress_ratio > 0.0
+                       ? SparsifyUpdate(subs[i].weights, result.weights,
+                                        plans[i].compress_ratio)
+                       : std::move(result.weights);
+
+      // Simulated completion time (Eq. 5).
+      const edge::DeviceRoundSample sample =
+          edge::SampleRound(devices_[i], workers_[i]->rng());
+      comp_times[i] = edge::CompSeconds(subs[i].spec, local.tau,
+                                        local.batch_size, sample,
+                                        options_.cost);
+      const double param_bytes =
+          static_cast<double>(subs[i].spec.NumParams()) *
+          options_.cost.bytes_per_param;
+      // Compressed uploads carry a ~10% sparse-index overhead on the
+      // surviving entries.
+      const double up_bytes =
+          plans[i].compress_ratio > 0.0
+              ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
+              : param_bytes;
+      comm_times[i] =
+          edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
+      completion_times[i] = comp_times[i] + comm_times[i];
+    };
+    // Fault draws are pure per (round, worker), so this runs equally well
+    // from the serial phase loop or inside a worker's fused task.
+    auto fault_one = [&](size_t i) {
+      if (!fault_plan_.active()) return;
+      faults[i] = fault_plan_.FaultsFor(round, static_cast<int>(i));
+      if (!faults[i].Arrives()) {
+        // Crashed worker or lost upload: the PS never hears back.
+        completion_times[i] = std::numeric_limits<double>::infinity();
+        arrives[i] = 0;
+        return;
+      }
+      completion_times[i] =
+          completion_times[i] * faults[i].slowdown + faults[i].extra_delay;
+      if (faults[i].update_corrupted) {
+        internal::CorruptPayload(&uploads[i]);
+      }
+    };
+
+    // Without a deadline policy the survivor set is exactly the finite
+    // arrivals — decidable per worker, so admission (and therefore the
+    // aggregation fold) streams too. With a deadline, admission needs every
+    // completion time and is decided in the serial tail; the expensive
+    // recover+residual work still overlapped with training.
+    const bool eager_admit = !options_.deadline.enabled;
+    std::unique_ptr<StreamingAggregator> agg;
+    double decision_ms = 0.0;
+    if (pipelined) {
+      // In-task pruning means the decision overhead column only covers the
+      // PS-side planning + ranking here.
+      decision_ms = ElapsedMs(decision_start);
+      agg = std::make_unique<StreamingAggregator>(
+          global_spec, server_->weights(), num_workers,
+          strategy_->sync_scheme(), strategy_->quantize_residuals());
+      TaskSet tasks;
+      for (int n = 0; n < num_workers; ++n) {
+        tasks.Submit(n, [&, n] {
+          const size_t i = static_cast<size_t>(n);
+          // The task's spans belong to the worker it simulates.
+          obs::TrackScope lane(obs::WorkerTrack(n));
+          prune_one(i);
+          train_one(i);
+          fault_one(i);
+          if (!arrives[i]) {
+            agg->MarkUnavailable(n);
+            return;
+          }
+          // The finite-ness screen the PS applies serially in the barrier
+          // path is a pure scan, so it runs here; only the accept/reject
+          // counters land on the driver thread.
+          payload_finite[i] = nn::AllFiniteList(uploads[i]) ? 1 : 0;
+          if (!payload_finite[i]) {
+            agg->MarkUnavailable(n);
+            return;
+          }
+          agg->Accumulate(n, uploads[i], subs[i].mask);
+        });
+      }
+      if (eager_admit) {
+        int64_t tag = -1;
+        while (tasks.DrainNext(&tag)) {
+          const size_t i = static_cast<size_t>(tag);
+          if (arrives[i] != 0 && payload_finite[i] != 0) {
+            agg->Admit(static_cast<int>(tag));
+          } else {
+            agg->Reject(static_cast<int>(tag));
+          }
+        }
+      } else {
+        tasks.WaitAll();
+      }
+    } else {
+      ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t n = lo; n < hi; ++n) {
+          // The pruner's spans belong to the worker the sub-model is for.
+          obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
+          prune_one(static_cast<size_t>(n));
+        }
+      });
+      decision_ms = ElapsedMs(decision_start);
+
+      // --- (2) Local training (real SGD) + per-worker cost accounting. ---
+      // The loss sums are reduced serially afterwards in worker order, so
+      // the aggregate — like the global model — is bit-identical to the
+      // serial engine at any thread count.
+      ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t n = lo; n < hi; ++n) {
+          obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
+          train_one(static_cast<size_t>(n));
+        }
+      });
+
+      // --- (3) Fault injection. ---
+      for (int n = 0; n < num_workers; ++n) {
+        fault_one(static_cast<size_t>(n));
+      }
+    }
     double initial_loss_sum = 0.0, final_loss_sum = 0.0;
     for (int n = 0; n < num_workers; ++n) {
       initial_loss_sum += initial_losses[static_cast<size_t>(n)];
       final_loss_sum += final_losses[static_cast<size_t>(n)];
     }
 
-    // --- (3) Fault injection + deadline policy. ---
-    std::vector<edge::WorkerRoundFaults> faults(
-        static_cast<size_t>(num_workers));
-    if (fault_plan_.active()) {
-      for (int n = 0; n < num_workers; ++n) {
-        const size_t i = static_cast<size_t>(n);
-        faults[i] = fault_plan_.FaultsFor(round, n);
-        if (!faults[i].Arrives()) {
-          // Crashed worker or lost upload: the PS never hears back.
-          completion_times[i] = std::numeric_limits<double>::infinity();
-          continue;
-        }
-        completion_times[i] =
-            completion_times[i] * faults[i].slowdown + faults[i].extra_delay;
-        if (faults[i].update_corrupted) {
-          internal::CorruptPayload(&uploads[i]);
-        }
-      }
-    }
+    // --- Deadline policy over the simulated completion times. ---
     const edge::DeadlineOutcome outcome =
         edge::ApplyDeadline(completion_times, options_.deadline);
     obs::InstantEvent(
@@ -295,39 +377,83 @@ RoundLog Trainer::Run() {
         obs::analysis::SummarizeRound(round, std::move(timings));
 
     // --- (4) Screening + aggregation over accepted survivors. ---
-    std::vector<SubModelUpdate> updates;
     std::vector<const pruning::PruneMask*> accepted_masks;
     std::vector<bool> participated(static_cast<size_t>(num_workers), false);
-    int64_t rejected = 0, duplicates = 0;
-    for (int n : outcome.survivors) {
-      const size_t i = static_cast<size_t>(n);
-      if (!server_->AcceptPayload(uploads[i])) {
-        ++rejected;  // corrupt payload refused by the PS
-        continue;
+    int64_t rejected = 0, duplicates = 0, participants = 0;
+    if (pipelined) {
+      // Admission runs in ascending worker order — the order the barrier
+      // path pushes updates — so the aggregator's fold (seed + axpys over
+      // admitted slots) reproduces AggregateSubModels bit-for-bit.
+      std::vector<uint8_t> survived(static_cast<size_t>(num_workers), 0);
+      for (int n : outcome.survivors) {
+        survived[static_cast<size_t>(n)] = 1;
       }
-      if (fault_plan_.active() && faults[i].update_duplicated) {
-        // The channel delivered this update twice; the PS keeps one copy
-        // so the worker is not double-weighted in the average.
-        server_->NoteDuplicateDropped();
-        ++duplicates;
+      for (int n = 0; n < num_workers; ++n) {
+        const size_t i = static_cast<size_t>(n);
+        if (survived[i] == 0) {
+          if (!eager_admit) agg->Reject(n);
+          continue;
+        }
+        if (payload_finite[i] == 0) {
+          ++rejected;  // corrupt payload refused by the PS
+          server_->NoteCorruptRejected();
+          if (!eager_admit) agg->Reject(n);
+          continue;
+        }
+        if (fault_plan_.active() && faults[i].update_duplicated) {
+          // The channel delivered this update twice; the PS keeps one copy
+          // so the worker is not double-weighted in the average.
+          server_->NoteDuplicateDropped();
+          ++duplicates;
+        }
+        participated[i] = true;
+        accepted_masks.push_back(&subs[i].mask);
+        ++participants;
+        if (!eager_admit) agg->Admit(n);
       }
-      participated[i] = true;
-      updates.push_back(SubModelUpdate{&subs[i].mask, &uploads[i]});
-      accepted_masks.push_back(&subs[i].mask);
+      if (participants > 0) {
+        OBS_SPAN("aggregate",
+                 {{"round", round},
+                  {"updates", static_cast<int>(participants)}});
+        StreamingAggregator::Result result = agg->Finish();
+        nn::ScaleLists(result.sum,
+                       1.0f / static_cast<float>(result.participants));
+        server_->SetWeights(std::move(result.sum));
+      }
+    } else {
+      std::vector<SubModelUpdate> updates;
+      for (int n : outcome.survivors) {
+        const size_t i = static_cast<size_t>(n);
+        if (!server_->AcceptPayload(uploads[i])) {
+          ++rejected;  // corrupt payload refused by the PS
+          continue;
+        }
+        if (fault_plan_.active() && faults[i].update_duplicated) {
+          // The channel delivered this update twice; the PS keeps one copy
+          // so the worker is not double-weighted in the average.
+          server_->NoteDuplicateDropped();
+          ++duplicates;
+        }
+        participated[i] = true;
+        updates.push_back(SubModelUpdate{&subs[i].mask, &uploads[i]});
+        accepted_masks.push_back(&subs[i].mask);
+      }
+      participants = static_cast<int64_t>(updates.size());
+      if (!updates.empty()) {
+        OBS_SPAN("aggregate",
+                 {{"round", round},
+                  {"updates", static_cast<int>(updates.size())}});
+        auto aggregated =
+            AggregateSubModels(global_spec, server_->weights(), updates,
+                               strategy_->sync_scheme(),
+                               strategy_->quantize_residuals());
+        FEDMP_CHECK(aggregated.ok()) << aggregated.status();
+        server_->SetWeights(std::move(aggregated).value());
+      }
     }
-    if (!updates.empty()) {
-      OBS_SPAN("aggregate",
-               {{"round", round},
-                {"updates", static_cast<int>(updates.size())}});
-      auto aggregated =
-          AggregateSubModels(global_spec, server_->weights(), updates,
-                             strategy_->sync_scheme(),
-                             strategy_->quantize_residuals());
-      FEDMP_CHECK(aggregated.ok()) << aggregated.status();
-      server_->SetWeights(std::move(aggregated).value());
-    }
-    // else: every worker crashed or every update was refused — keep the
-    // previous global model and let the round degrade gracefully.
+    // If no updates were accepted — every worker crashed or every payload
+    // was refused — keep the previous global model and let the round
+    // degrade gracefully.
 
     coverage_.ObserveRound(accepted_masks);
     const int64_t staleness = coverage_.max_staleness();
@@ -362,7 +488,7 @@ RoundLog Trainer::Run() {
     for (const auto& plan : plans) ratio_sum += plan.pruning_ratio;
     record.mean_ratio = ratio_sum / static_cast<double>(num_workers);
     record.decision_overhead_ms = decision_ms;
-    record.participants = static_cast<int64_t>(updates.size());
+    record.participants = participants;
     record.rejected_updates = rejected;
     record.duplicate_updates = duplicates;
     record.max_param_staleness = staleness;

@@ -1,5 +1,8 @@
 #include "nn/layers/conv2d.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "nn/initializers.h"
@@ -46,6 +49,50 @@ void Im2ColRange(const float* px, float* pc, int64_t b0, int64_t b1,
     }
   }
 }
+
+// Fast Im2Col (FEDMP_FAST_KERNELS): the inner kx loop of the scalar
+// expansion is a contiguous run of the input row clipped against the image
+// border. Emitting it as explicit zero-fill + bulk row copy replaces the
+// per-element inside test with memcpy-able spans. Pure data movement — the
+// output holds exactly the same copied-or-zero values as Im2ColRange, so
+// the toggle changes speed, never bits.
+void Im2ColRangeFast(const float* px, float* pc, int64_t b0, int64_t b1,
+                     int64_t c, int64_t h, int64_t w, int64_t oh, int64_t ow,
+                     int64_t kernel, int64_t stride, int64_t padding) {
+  const int64_t patch = c * kernel * kernel;
+  for (int64_t b = b0; b < b1; ++b) {
+    const float* img = px + b * c * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float* dst = pc + ((b * oh + oy) * ow + ox) * patch;
+        const int64_t iy0 = oy * stride - padding;
+        const int64_t ix0 = ox * stride - padding;
+        // Clip the kx run [ix0, ix0 + kernel) against [0, w).
+        const int64_t x_lo = std::max<int64_t>(0, -ix0);
+        const int64_t x_hi = std::min<int64_t>(kernel, w - ix0);
+        const int64_t run = std::max<int64_t>(0, x_hi - x_lo);
+        for (int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = img + ch * h * w;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h || run == 0) {
+              std::fill(dst, dst + kernel, 0.0f);
+              dst += kernel;
+              continue;
+            }
+            if (x_lo > 0) std::fill(dst, dst + x_lo, 0.0f);
+            std::memcpy(dst + x_lo, plane + iy * w + ix0 + x_lo,
+                        static_cast<size_t>(run) * sizeof(float));
+            if (x_hi < kernel) {
+              std::fill(dst + x_hi, dst + kernel, 0.0f);
+            }
+            dst += kernel;
+          }
+        }
+      }
+    }
+  }
+}
 }  // namespace
 
 Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
@@ -56,9 +103,15 @@ Tensor Im2Col(const Tensor& x, int64_t kernel, int64_t stride,
   const int64_t ow = Conv2d::OutSize(w, kernel, stride, padding);
   const int64_t patch = c * kernel * kernel;
   Tensor cols = ws::AcquireUninit({batch * oh * ow, patch});
+  const bool fast = FastKernelsEnabled();
   ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    Im2ColRange(x.data(), cols.data(), b0, b1, c, h, w, oh, ow, kernel,
-                stride, padding);
+    if (fast) {
+      Im2ColRangeFast(x.data(), cols.data(), b0, b1, c, h, w, oh, ow,
+                      kernel, stride, padding);
+    } else {
+      Im2ColRange(x.data(), cols.data(), b0, b1, c, h, w, oh, ow, kernel,
+                  stride, padding);
+    }
   });
   return cols;
 }

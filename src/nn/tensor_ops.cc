@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
 
 #include "common/thread_pool.h"
 #include "nn/workspace.h"
@@ -207,6 +210,131 @@ void MatmulTransBPanel(const float* pa, const float* pb, float* pc,
   }
 }
 
+// Explicitly vectorized A @ B^T for x86. Behind FEDMP_FAST_KERNELS like
+// the blocked/unrolled kernels above, with the same determinism contract:
+// the SIMD lanes are eight DIFFERENT output elements (a j-block), so each
+// output still accumulates a[i, kk] * b[j, kk] over ascending kk from
+// 0.0f, one IEEE mul + one IEEE add per step — bit-identical to the
+// scalar loop. Two things make that hold at the instruction level:
+//  * B is row-major [n, k], so b[j .. j+7][kk] is k-strided; an 8x8
+//    register transpose of eight contiguous B-row loads re-lanes it
+//    without reordering any output's sum.
+//  * the target string is "avx2" WITHOUT "fma", so the compiler cannot
+//    contract the separate _mm256_mul_ps/_mm256_add_ps into a fused
+//    multiply-add (which rounds once, not twice, and would change bits).
+// Dispatch is at runtime via __builtin_cpu_supports, falling back to the
+// unrolled scalar panel on machines without AVX2.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FEDMP_SIMD_X86 1
+
+__attribute__((target("avx2")))
+inline void Transpose8x8(__m256& r0, __m256& r1, __m256& r2, __m256& r3,
+                         __m256& r4, __m256& r5, __m256& r6, __m256& r7) {
+  const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+  const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+  const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+  const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+  const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+  const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+  const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+  const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  r0 = _mm256_permute2f128_ps(u0, u4, 0x20);
+  r1 = _mm256_permute2f128_ps(u1, u5, 0x20);
+  r2 = _mm256_permute2f128_ps(u2, u6, 0x20);
+  r3 = _mm256_permute2f128_ps(u3, u7, 0x20);
+  r4 = _mm256_permute2f128_ps(u0, u4, 0x31);
+  r5 = _mm256_permute2f128_ps(u1, u5, 0x31);
+  r6 = _mm256_permute2f128_ps(u2, u6, 0x31);
+  r7 = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
+
+__attribute__((target("avx2")))
+void MatmulTransBPanelSimd(const float* pa, const float* pb, float* pc,
+                           int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const float* bbase = pb + j * k;
+      __m256 acc = _mm256_setzero_ps();
+      int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        __m256 r0 = _mm256_loadu_ps(bbase + 0 * k + kk);
+        __m256 r1 = _mm256_loadu_ps(bbase + 1 * k + kk);
+        __m256 r2 = _mm256_loadu_ps(bbase + 2 * k + kk);
+        __m256 r3 = _mm256_loadu_ps(bbase + 3 * k + kk);
+        __m256 r4 = _mm256_loadu_ps(bbase + 4 * k + kk);
+        __m256 r5 = _mm256_loadu_ps(bbase + 5 * k + kk);
+        __m256 r6 = _mm256_loadu_ps(bbase + 6 * k + kk);
+        __m256 r7 = _mm256_loadu_ps(bbase + 7 * k + kk);
+        Transpose8x8(r0, r1, r2, r3, r4, r5, r6, r7);
+        // After the transpose, r_l holds b[j .. j+7] at inner index
+        // kk + l; the adds run l = 0..7, keeping kk ascending per lane.
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 0), r0));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 1), r1));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 2), r2));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 3), r3));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 4), r4));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 5), r5));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 6), r6));
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk + 7), r7));
+      }
+      for (; kk < k; ++kk) {
+        // k remainder: strided lane gather, still one mul + add per kk.
+        const __m256 bv = _mm256_set_ps(
+            bbase[7 * k + kk], bbase[6 * k + kk], bbase[5 * k + kk],
+            bbase[4 * k + kk], bbase[3 * k + kk], bbase[2 * k + kk],
+            bbase[1 * k + kk], bbase[0 * k + kk]);
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_broadcast_ss(arow + kk), bv));
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+bool Avx2Available() {
+  static const bool avail = __builtin_cpu_supports("avx2") != 0;
+  return avail;
+}
+#endif  // FEDMP_SIMD_X86
+
+// Fast-path A @ B^T: SIMD when the hardware has it, else the unrolled
+// scalar panel. Both produce the same bits (see above).
+void MatmulTransBPanelFast(const float* pa, const float* pb, float* pc,
+                           int64_t i0, int64_t i1, int64_t k, int64_t n) {
+#ifdef FEDMP_SIMD_X86
+  if (Avx2Available() && n >= 8) {
+    MatmulTransBPanelSimd(pa, pb, pc, i0, i1, k, n);
+    return;
+  }
+#endif
+  MatmulTransBPanel(pa, pb, pc, i0, i1, k, n);
+}
+
 // C[k0:k1, :] += A[:, k0:k1]^T @ B; each lane owns a disjoint output-row
 // range [k0, k1) and accumulates over i in ascending order.
 void MatmulTransAPanel(const float* pa, const float* pb, float* pc,
@@ -281,7 +409,7 @@ Tensor MatmulTransBCore(const Tensor& a, const float* pb, int64_t n) {
   const bool fast = FastKernelsEnabled();
   if (m * k * n < kMinParallelFlops) {
     if (fast) {
-      MatmulTransBPanel(pa, pb, pc, 0, m, k, n);
+      MatmulTransBPanelFast(pa, pb, pc, 0, m, k, n);
     } else {
       MatmulTransBPanelLegacy(pa, pb, pc, 0, m, k, n);
     }
@@ -289,7 +417,7 @@ Tensor MatmulTransBCore(const Tensor& a, const float* pb, int64_t n) {
   }
   ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
     if (fast) {
-      MatmulTransBPanel(pa, pb, pc, i0, i1, k, n);
+      MatmulTransBPanelFast(pa, pb, pc, i0, i1, k, n);
     } else {
       MatmulTransBPanelLegacy(pa, pb, pc, i0, i1, k, n);
     }

@@ -44,18 +44,34 @@ ThreadPoolState& State() {
   return state;
 }
 
+// Mirrors the model-cache pattern in fl/worker.cc: counters for the raw
+// tallies plus a hit_rate gauge so --perf-compare can diff pool efficacy
+// across runs without post-processing.
+void CountPoolLookup(bool hit) {
+  static obs::Gauge* rate = obs::GetGauge("nn.pool.hit_rate");
+  static std::atomic<int64_t> hit_count{0};
+  static std::atomic<int64_t> total_count{0};
+  const int64_t h =
+      hit_count.fetch_add(hit ? 1 : 0, std::memory_order_relaxed) +
+      (hit ? 1 : 0);
+  const int64_t t = total_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  rate->Set(static_cast<double>(h) / static_cast<double>(t));
+}
+
 void CountHit(int64_t numel) {
   if (!obs::Enabled()) return;
   static obs::Counter* hits = obs::GetCounter("nn.pool.hits");
   static obs::Counter* bytes = obs::GetCounter("nn.pool.reused_bytes");
   hits->Add(1.0);
   bytes->Add(static_cast<double>(numel) * static_cast<double>(sizeof(float)));
+  CountPoolLookup(/*hit=*/true);
 }
 
 void CountMiss() {
   if (!obs::Enabled()) return;
   static obs::Counter* misses = obs::GetCounter("nn.pool.misses");
   misses->Add(1.0);
+  CountPoolLookup(/*hit=*/false);
 }
 
 // Pops a recycled buffer of exactly `numel` floats, or an empty vector.

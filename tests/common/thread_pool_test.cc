@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <tuple>
 #include <vector>
 
 namespace fedmp {
@@ -70,6 +72,131 @@ TEST(ThreadPoolTest, GrainBoundsChunkCount) {
   pool.ParallelFor(0, 100, 60, [&](int64_t, int64_t) { chunks.fetch_add(1); });
   // 100 iterations at grain 60 permit at most ceil(100/60) = 2 chunks.
   EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ThreadPoolTest, EdgeChunkingsCoverEveryIndexExactlyOnce) {
+  // 0 items, 1 item, fewer items than lanes, and non-divisible splits.
+  ThreadPool pool(4);
+  for (const auto& [begin, end, grain] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {0, 0, 1},  {0, 1, 1},  {0, 2, 1},  {0, 3, 1},
+           {0, 17, 5}, {0, 97, 8}, {3, 4, 16}, {-5, 6, 2}}) {
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> count{0};
+    pool.ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+      ASSERT_LT(lo, hi);
+      ASSERT_GE(lo, begin);
+      ASSERT_LE(hi, end);
+      for (int64_t i = lo; i < hi; ++i) {
+        sum.fetch_add(i);
+        count.fetch_add(1);
+      }
+    });
+    int64_t want_sum = 0;
+    for (int64_t i = begin; i < end; ++i) want_sum += i;
+    EXPECT_EQ(count.load(), std::max<int64_t>(0, end - begin))
+        << "[" << begin << "," << end << ") grain " << grain;
+    EXPECT_EQ(sum.load(), want_sum);
+  }
+}
+
+TEST(ThreadPoolTest, DynamicChunkingStaysWithinGrainBound) {
+  // grain caps chunk count at ceil(n/grain) even with many lanes available.
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 64, 10, [&](int64_t lo, int64_t hi) {
+    chunks.fetch_add(1);
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_LE(chunks.load(), 7);  // ceil(64/10)
+  EXPECT_EQ(covered.load(), 64);
+}
+
+TEST(TaskSetTest, DrainsEveryTagExactlyOnce) {
+  ThreadPool pool(4);
+  TaskSet tasks(&pool);
+  std::vector<std::atomic<int>> ran(16);
+  for (auto& r : ran) r = 0;
+  for (int64_t t = 0; t < 16; ++t) {
+    tasks.Submit(t, [&ran, t] { ran[static_cast<size_t>(t)].fetch_add(1); });
+  }
+  std::vector<int> drained(16, 0);
+  int64_t tag = -1;
+  while (tasks.DrainNext(&tag)) {
+    ASSERT_GE(tag, 0);
+    ASSERT_LT(tag, 16);
+    ++drained[static_cast<size_t>(tag)];
+    // The task must have completed before its tag is drained.
+    EXPECT_EQ(ran[static_cast<size_t>(tag)].load(), 1);
+  }
+  for (int t = 0; t < 16; ++t) EXPECT_EQ(drained[static_cast<size_t>(t)], 1);
+}
+
+TEST(TaskSetTest, EmptySetDrainsFalseImmediately) {
+  ThreadPool pool(4);
+  TaskSet tasks(&pool);
+  int64_t tag = 0;
+  EXPECT_FALSE(tasks.DrainNext(&tag));
+  tasks.WaitAll();  // no-op
+}
+
+TEST(TaskSetTest, SingleLaneDrainOrderEqualsSubmitOrder) {
+  // With no spawned workers Submit runs inline, so the pipeline degenerates
+  // to the exact serial path: drain order == submit order.
+  ThreadPool pool(1);
+  TaskSet tasks(&pool);
+  std::vector<int64_t> completion_order;
+  for (int64_t t = 0; t < 8; ++t) {
+    tasks.Submit(t, [&completion_order, t] { completion_order.push_back(t); });
+  }
+  std::vector<int64_t> drain_order;
+  int64_t tag = -1;
+  while (tasks.DrainNext(&tag)) drain_order.push_back(tag);
+  const std::vector<int64_t> want{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(completion_order, want);
+  EXPECT_EQ(drain_order, want);
+}
+
+TEST(TaskSetTest, TasksMayRunNestedParallelFor) {
+  // Task bodies are pool tasks, so nested ParallelFors inline (the trainer
+  // relies on this: per-worker tasks call the parallel kernels underneath).
+  ThreadPool pool(4);
+  TaskSet tasks(&pool);
+  std::atomic<int64_t> total{0};
+  for (int64_t t = 0; t < 6; ++t) {
+    tasks.Submit(t, [&pool, &total] {
+      int64_t inner = 0;
+      pool.ParallelFor(0, 25, 1,
+                       [&inner](int64_t a, int64_t b) { inner += b - a; });
+      total.fetch_add(inner);
+    });
+  }
+  tasks.WaitAll();
+  EXPECT_EQ(total.load(), 150);
+  // Tags stay drainable after WaitAll.
+  int64_t tag = -1;
+  int drained = 0;
+  while (tasks.DrainNext(&tag)) ++drained;
+  EXPECT_EQ(drained, 6);
+}
+
+TEST(TaskSetTest, DestructorWaitsForUndrainedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    TaskSet tasks(&pool);
+    for (int64_t t = 0; t < 10; ++t) {
+      tasks.Submit(t, [&ran] { ran.fetch_add(1); });
+    }
+    // No drain: the destructor must block until all 10 completed.
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, TryRunOneReturnsFalseOnEmptyQueue) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.TryRunOne());
 }
 
 TEST(ThreadPoolTest, ResolveThreadsPrecedence) {

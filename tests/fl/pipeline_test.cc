@@ -1,0 +1,265 @@
+// The pipelined execution engine must be invisible in results: streamed
+// R2SP aggregation folds contributions in slot order no matter when they
+// arrive, so a full federated run with the pipeline enabled must be
+// bit-identical to the phase-barrier loop with it disabled, at any thread
+// count, for both trainers. The StreamingAggregator tests below hammer the
+// aggregator from concurrent std::threads on purpose — they are the TSAN
+// coverage for the streaming path.
+
+#include "fl/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "fl/aggregation.h"
+#include "fl/async_trainer.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+// --- StreamingAggregator vs the serial AggregateSubModels oracle ---
+
+struct AggFixture {
+  data::FlTask task;
+  nn::TensorList global;
+  std::vector<pruning::SubModel> subs;
+
+  AggFixture() : task(data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5)) {
+    auto model = nn::BuildModelOrDie(task.model, 9);
+    global = model->GetWeights();
+    for (double ratio : {0.2, 0.4, 0.5, 0.7}) {
+      auto sub = pruning::PruneByRatio(task.model, global, ratio);
+      EXPECT_TRUE(sub.ok());
+      subs.push_back(std::move(sub).value());
+      // Deterministic per-slot perturbation so the updates differ and the
+      // fold order actually matters.
+      for (auto& t : subs.back().weights) {
+        for (int64_t i = 0; i < t.numel(); ++i) {
+          t.at(i) += 0.001f * static_cast<float>((i + subs.size()) % 7);
+        }
+      }
+    }
+  }
+};
+
+void ExpectListsBitIdentical(const nn::TensorList& got,
+                             const nn::TensorList& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].SameShape(want[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(got[i], want[i]), 0.0) << "tensor " << i;
+  }
+}
+
+class StreamingAggregatorTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StreamingAggregatorTest, MatchesSerialOracleUnderConcurrentArrival) {
+  const bool quantize = GetParam();
+  AggFixture f;
+  const int n = static_cast<int>(f.subs.size());
+
+  std::vector<SubModelUpdate> updates;
+  for (const auto& sub : f.subs) {
+    updates.push_back(SubModelUpdate{&sub.mask, &sub.weights});
+  }
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP, quantize);
+  ASSERT_TRUE(oracle.ok());
+
+  StreamingAggregator agg(f.task.model, f.global, n, SyncScheme::kR2SP,
+                          quantize);
+  // Contributions arrive from concurrent threads in whatever order the
+  // scheduler picks; admissions race with them from the main thread. The
+  // fold must still advance strictly in slot order.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int slot = n - 1; slot >= 0; --slot) {
+    workers.emplace_back([&agg, &f, slot] {
+      agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                     f.subs[static_cast<size_t>(slot)].mask);
+    });
+  }
+  for (int slot = 0; slot < n; ++slot) agg.Admit(slot);
+  for (auto& t : workers) t.join();
+
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, n);
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  ExpectListsBitIdentical(result.sum, *oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuantizedResiduals, StreamingAggregatorTest,
+                         ::testing::Values(false, true));
+
+TEST(StreamingAggregatorFoldTest, RejectedAndUnavailableSlotsAreSkipped) {
+  AggFixture f;
+  // Oracle over the admitted subset only (slots 0 and 2).
+  std::vector<SubModelUpdate> updates{
+      SubModelUpdate{&f.subs[0].mask, &f.subs[0].weights},
+      SubModelUpdate{&f.subs[2].mask, &f.subs[2].weights}};
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(oracle.ok());
+
+  StreamingAggregator agg(f.task.model, f.global, 4, SyncScheme::kR2SP,
+                          /*quantize_residuals=*/false);
+  agg.Accumulate(0, f.subs[0].weights, f.subs[0].mask);
+  agg.Admit(0);
+  agg.Accumulate(1, f.subs[1].weights, f.subs[1].mask);  // computed but
+  agg.Reject(1);                                         // screened out
+  agg.Accumulate(2, f.subs[2].weights, f.subs[2].mask);
+  agg.Admit(2);
+  agg.MarkUnavailable(3);  // crashed worker: no payload exists
+  agg.Reject(3);
+
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, 2);
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  ExpectListsBitIdentical(result.sum, *oracle);
+}
+
+TEST(StreamingAggregatorFoldTest, DecisionsMayArriveBeforePayloads) {
+  AggFixture f;
+  std::vector<SubModelUpdate> updates;
+  for (const auto& sub : f.subs) {
+    updates.push_back(SubModelUpdate{&sub.mask, &sub.weights});
+  }
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(oracle.ok());
+
+  const int n = static_cast<int>(f.subs.size());
+  StreamingAggregator agg(f.task.model, f.global, n, SyncScheme::kR2SP,
+                          /*quantize_residuals=*/false);
+  for (int slot = 0; slot < n; ++slot) agg.Admit(slot);  // before payloads
+  for (int slot = 0; slot < n; ++slot) {
+    agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                   f.subs[static_cast<size_t>(slot)].mask);
+  }
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, n);
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  ExpectListsBitIdentical(result.sum, *oracle);
+}
+
+// --- Full-run equivalence: pipeline ON vs OFF ---
+
+struct RunResult {
+  nn::TensorList weights;
+  RoundLog log;
+};
+
+RunResult RunSync(int num_threads, bool deadline_enabled) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  opt.deadline.enabled = deadline_enabled;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+RunResult RunAsync(int num_threads) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  AsyncTrainerOptions opt;
+  opt.base.max_rounds = 4;
+  opt.base.eval_every = 2;
+  opt.base.eval_batch_size = 16;
+  opt.base.seed = 3;
+  opt.base.num_threads = num_threads;
+  opt.m = 2;
+  Rng rng(opt.base.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  AsyncTrainer trainer(&task, fleet, std::move(partition),
+                       std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+void ExpectIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_TRUE(a.weights[i].SameShape(b.weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(a.weights[i], b.weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(a.log.records().size(), b.log.records().size());
+  for (size_t i = 0; i < a.log.records().size(); ++i) {
+    const auto& ra = a.log.records()[i];
+    const auto& rb = b.log.records()[i];
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_loss, rb.test_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_accuracy, rb.test_accuracy) << "round " << ra.round;
+    EXPECT_EQ(ra.participants, rb.participants) << "round " << ra.round;
+    EXPECT_EQ(ra.sim_time, rb.sim_time) << "round " << ra.round;
+  }
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetPipelineEnabled(true);
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(PipelineTest, SyncTrainerBitIdenticalPipelineOnVsOff) {
+  SetPipelineEnabled(false);
+  const RunResult barrier = RunSync(1, /*deadline_enabled=*/true);
+  SetPipelineEnabled(true);
+  const RunResult pipelined_serial = RunSync(1, /*deadline_enabled=*/true);
+  const RunResult pipelined_parallel = RunSync(4, /*deadline_enabled=*/true);
+  ExpectIdentical(barrier, pipelined_serial);
+  ExpectIdentical(barrier, pipelined_parallel);
+}
+
+// Without a deadline the pipelined round admits eagerly as workers finish
+// (the fold streams); this is a different admission code path than the
+// deferred-admission deadline round above.
+TEST_F(PipelineTest, SyncTrainerEagerAdmissionBitIdentical) {
+  SetPipelineEnabled(false);
+  const RunResult barrier = RunSync(1, /*deadline_enabled=*/false);
+  SetPipelineEnabled(true);
+  const RunResult pipelined_serial = RunSync(1, /*deadline_enabled=*/false);
+  const RunResult pipelined_parallel = RunSync(4, /*deadline_enabled=*/false);
+  ExpectIdentical(barrier, pipelined_serial);
+  ExpectIdentical(barrier, pipelined_parallel);
+}
+
+TEST_F(PipelineTest, AsyncTrainerBitIdenticalPipelineOnVsOff) {
+  SetPipelineEnabled(false);
+  const RunResult barrier = RunAsync(1);
+  SetPipelineEnabled(true);
+  const RunResult pipelined_serial = RunAsync(1);
+  const RunResult pipelined_parallel = RunAsync(4);
+  ExpectIdentical(barrier, pipelined_serial);
+  ExpectIdentical(barrier, pipelined_parallel);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

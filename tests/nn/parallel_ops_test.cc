@@ -147,6 +147,53 @@ TEST(ParallelKernelDeterminismTest, MatmulBitIdenticalAcrossThreadCounts) {
   ThreadPool::SetGlobalThreads(1);
 }
 
+// The SIMD fast path (AVX2 MatmulTransB panel, memcpy Im2Col) must be a
+// pure speedup: bit-identical to the legacy scalar kernels at every shape,
+// including j-remainders (n % 8 != 0), k-remainders (k % 8 != 0), and
+// n < one SIMD lane group.
+TEST(ParallelKernelDeterminismTest, FastKernelsBitIdenticalToLegacy) {
+  const bool saved = FastKernelsEnabled();
+  Rng rng(29);
+  for (const Shape& s : kShapes) {
+    Tensor a({s.m, s.k}), bt({s.n, s.k});
+    UniformInit(a, -1, 1, rng);
+    UniformInit(bt, -1, 1, rng);
+    SetFastKernelsEnabled(false);
+    const Tensor want = MatmulTransB(a, bt);
+    SetFastKernelsEnabled(true);
+    ExpectBitIdentical(MatmulTransB(a, bt), want, "MatmulTransB fast", s);
+  }
+  SetFastKernelsEnabled(saved);
+}
+
+TEST(ParallelKernelDeterminismTest, FastIm2ColBitIdenticalToLegacy) {
+  const bool saved = FastKernelsEnabled();
+  Rng rng(31);
+  // Padded conv so Im2Col hits both in-range memcpy runs and zero-filled
+  // out-of-range rows/columns; odd spatial sizes exercise the clip math.
+  Tensor x({3, 4, 11, 9});
+  UniformInit(x, -1, 1, rng);
+  Tensor grad;
+
+  SetFastKernelsEnabled(false);
+  Rng wrng1(37);
+  Conv2d conv1(4, 5, 3, 1, 1, true, wrng1);
+  const Tensor y1 = conv1.Forward(x, true);
+  grad = Tensor(y1.shape());
+  UniformInit(grad, -1, 1, rng);
+  const Tensor dx1 = conv1.Backward(grad);
+
+  SetFastKernelsEnabled(true);
+  Rng wrng2(37);
+  Conv2d conv2(4, 5, 3, 1, 1, true, wrng2);
+  const Tensor y2 = conv2.Forward(x, true);
+  const Tensor dx2 = conv2.Backward(grad);
+
+  EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(dx1, dx2), 0.0);
+  SetFastKernelsEnabled(saved);
+}
+
 TEST(ParallelKernelDeterminismTest, ConvForwardBackwardAcrossThreadCounts) {
   Rng rng(17);
   Tensor x({5, 3, 13, 11});  // odd batch/spatial sizes
