@@ -1,0 +1,107 @@
+// Scale-out bench: one 10k-worker round through the windowed pipelined
+// engine with fog aggregation, reporting wall-clock and the peak-RSS delta
+// the round adds. The headline number is memory, not speed: a naive engine
+// materializes every recovered sub-model at once (O(workers x model)); the
+// bounded engine keeps the live set at O(max_inflight x model + fog
+// partials). Emits bench_scale.json for run_benches.sh --scale, which
+// stamps it into BENCH_scale.json and enforces the RSS ceiling.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "bench_util.h"
+#include "common/mem_info.h"
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "fl/pipeline.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "obs/metrics.h"
+
+using namespace fedmp;
+
+int main() {
+  bench::PrintHeader("Scale-out", "10k-worker round: wall-clock + peak RSS");
+
+  int64_t workers = 10000;
+  if (const char* env = std::getenv("FEDMP_SCALE_WORKERS")) {
+    const int64_t n = std::atoll(env);
+    if (n > 0) workers = n;
+  }
+
+  obs::SetEnabled(true);
+  fl::SetPipelineEnabled(true);
+
+  const data::FlTask task =
+      data::MakeScaleCnnTask(workers, /*seed=*/7);
+  const auto fleet = edge::MakeHalfAHalfB(static_cast<int>(workers),
+                                          /*seed=*/7);
+  fl::TrainerOptions opt;
+  opt.max_rounds = 1;
+  opt.eval_every = 100;  // no eval: the axis under test is round memory
+  opt.seed = 7;
+  opt.num_threads = 4;
+  opt.deadline.enabled = false;  // everyone arrives: worst-case live set
+  opt.scale.fog_fan_out = 32;
+  opt.scale.max_inflight = 64;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+
+  // Per-model footprint for the naive estimate: bytes of one full weight
+  // set, doubled for the recovered upload that rides along with it.
+  const int64_t model_bytes =
+      task.model.NumParams() * static_cast<int64_t>(sizeof(float));
+  const int64_t naive_bytes = 2 * model_bytes * workers;
+
+  const int64_t rss_before = PeakRssBytes();
+  fl::Trainer trainer(&task, fleet, std::move(partition),
+                      std::make_unique<fl::FedMpStrategy>(), opt);
+  const auto start = std::chrono::steady_clock::now();
+  const fl::RoundLog log = trainer.Run();
+  const double round_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const int64_t rss_after = PeakRssBytes();
+  const int64_t rss_delta = rss_after - rss_before;
+  const int participants =
+      log.records().empty() ? 0 : log.records().back().participants;
+
+  std::printf("  workers=%lld participants=%d round=%.2fs\n",
+              static_cast<long long>(workers), participants, round_seconds);
+  std::printf("  peak RSS delta: %.1f MiB (naive estimate %.1f MiB)\n",
+              static_cast<double>(rss_delta) / (1 << 20),
+              static_cast<double>(naive_bytes) / (1 << 20));
+
+  FILE* f = std::fopen("bench_scale.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench_scale.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workers\": %lld,\n"
+               "  \"participants\": %d,\n"
+               "  \"fog_fan_out\": %d,\n"
+               "  \"max_inflight\": %d,\n"
+               "  \"round_seconds\": %.3f,\n"
+               "  \"rss_before_bytes\": %lld,\n"
+               "  \"rss_after_bytes\": %lld,\n"
+               "  \"rss_delta_bytes\": %lld,\n"
+               "  \"naive_bytes_estimate\": %lld\n"
+               "}\n",
+               static_cast<long long>(workers), participants,
+               opt.scale.fog_fan_out, opt.scale.max_inflight, round_seconds,
+               static_cast<long long>(rss_before),
+               static_cast<long long>(rss_after),
+               static_cast<long long>(rss_delta),
+               static_cast<long long>(naive_bytes));
+  std::fclose(f);
+  std::printf("  wrote bench_scale.json\n");
+
+  ThreadPool::SetGlobalThreads(1);
+  return 0;
+}

@@ -22,6 +22,11 @@
 # fingerprint matches this machine. FEDMP_GATE_INJECT=<factor> multiplies
 # the fresh optimized wall-clock before comparison (CI uses it to prove the
 # gate actually fails on a regression).
+#
+# --scale: run only bench_scale (the 10k-worker bounded-memory round) and
+# stamp the result into BENCH_scale.json at the repo root, enforcing the
+# peak-RSS ceiling and the participants==workers guard (see run_scale
+# below). --gate runs the same check first, against a throwaway output.
 cd "$(dirname "$0")/build" || exit 1
 
 run_perf_compare() {
@@ -68,12 +73,99 @@ print("wrote", out_path)
 EOF
 }
 
+run_scale() {
+  # $1: output JSON path (relative to build/). Runs the 10k-worker scale
+  # bench and enforces the bounded-memory contract:
+  #   * every worker must have participated (a silent partial round would
+  #     make the RSS number meaningless);
+  #   * the peak-RSS delta must stay under FEDMP_SCALE_RSS_CEILING_MB
+  #     (default 200, matching tests/fl/scale_test.cc);
+  #   * the delta must undercut the naive O(workers x model) estimate by
+  #     at least 2x — the bound is the feature.
+  # FEDMP_GATE_INJECT=<factor> inflates the measured delta before the
+  # checks (CI uses it to prove the gate fails on a regression).
+  echo "### scale: bench/bench_scale ###"
+  ./bench/bench_scale 2>&1
+  scale_exit=$?
+  echo "### exit=$scale_exit ###"
+  if [ $scale_exit -ne 0 ]; then
+    echo "scale bench failed (exit=$scale_exit)" >&2
+    return $scale_exit
+  fi
+  local sha date host cores
+  sha=$(git -C .. rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+  date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  cores=$(nproc 2>/dev/null || echo 0)
+  host="$(hostname 2>/dev/null || echo unknown)-${cores}c"
+  python3 - "$1" "$sha" "$date" "$host" "$cores" <<'EOF'
+import json
+import os
+import sys
+
+out_path, sha, date, host, cores = sys.argv[1:6]
+CEILING_MB = float(os.environ.get("FEDMP_SCALE_RSS_CEILING_MB", "200"))
+INJECT = float(os.environ.get("FEDMP_GATE_INJECT", "1.0"))
+
+with open("bench_scale.json") as f:
+    raw = json.load(f)
+
+delta = raw["rss_delta_bytes"] * INJECT
+if INJECT != 1.0:
+    print(f"scale-gate: injected x{INJECT} into the peak-RSS delta")
+
+failures = []
+
+if raw["participants"] != raw["workers"]:
+    failures.append(f"participants {raw['participants']} != "
+                    f"workers {raw['workers']}")
+
+ceiling = CEILING_MB * (1 << 20)
+status = "ok" if delta <= ceiling else "FAIL"
+print(f"scale-gate: peak-RSS delta {delta / (1 << 20):.1f} MiB "
+      f"(ceiling {CEILING_MB:.0f} MiB) {status}")
+if delta > ceiling:
+    failures.append(f"peak-RSS delta {delta / (1 << 20):.1f} MiB "
+                    f"> ceiling {CEILING_MB:.0f} MiB")
+
+naive = raw["naive_bytes_estimate"]
+if delta * 2 > naive:
+    failures.append(f"peak-RSS delta {delta / (1 << 20):.1f} MiB does not "
+                    f"undercut the naive estimate "
+                    f"{naive / (1 << 20):.1f} MiB by 2x")
+
+out = {"bench": "scale-out 10k-worker round",
+       "git_sha": sha,
+       "date": date,
+       "host": host,
+       "cores": int(cores),
+       "rss_ceiling_bytes": int(ceiling)}
+out.update(raw)
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote", out_path)
+
+if failures:
+    print("SCALE GATE FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+print("SCALE GATE PASSED")
+EOF
+}
+
 if [ "$1" = "--perf-compare" ]; then
   run_perf_compare ../BENCH_pr5.json
   exit $?
 fi
 
+if [ "$1" = "--scale" ]; then
+  run_scale ../BENCH_scale.json
+  exit $?
+fi
+
 if [ "$1" = "--gate" ]; then
+  run_scale gate_scale.json || exit $?
   run_perf_compare gate_fresh.json || exit $?
   echo "### gate: fresh vs BENCH_baseline.json ###"
   python3 - <<'EOF'
@@ -222,6 +314,7 @@ for b in bench/bench_fig5_round_time bench/bench_fig11_overhead \
          bench/bench_fig7_r2sp_vs_bsp bench/bench_fig12_async \
          bench/bench_fig4_theta bench/bench_table3_fig6_methods \
          bench/bench_fig8_heterogeneity bench/bench_fig9_noniid \
-         bench/bench_fig10_scalability bench/bench_nn_microbench; do
+         bench/bench_fig10_scalability bench/bench_scale \
+         bench/bench_nn_microbench; do
   echo; echo "### $b ###"; ./$b 2>&1; echo "### exit=$? ###"
 done

@@ -1,0 +1,56 @@
+#include "common/mem_info.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fedmp {
+
+namespace {
+
+// Reads a "<key>:  <kB> kB" line from /proc/self/status; -1 when absent
+// (non-Linux hosts).
+int64_t ProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t out = -1;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      long long kb = -1;
+      if (std::sscanf(line + key_len + 1, "%lld", &kb) == 1) out = kb;
+      break;
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() {
+  const int64_t kb = ProcStatusKb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+int64_t CurrentRssBytes() {
+  const int64_t kb = ProcStatusKb("VmRSS");
+  return kb >= 0 ? kb * 1024 : 0;
+}
+
+}  // namespace fedmp

@@ -1,0 +1,20 @@
+#ifndef FEDMP_COMMON_MEM_INFO_H_
+#define FEDMP_COMMON_MEM_INFO_H_
+
+#include <cstdint>
+
+namespace fedmp {
+
+// Peak resident-set size (high-water mark) of this process in bytes, from
+// /proc/self/status VmHWM with a getrusage fallback; 0 when neither source
+// is available. This is what the fl.scale.peak_rss_bytes gauge and the
+// bounded-memory scale tests read: the hierarchy tier's contract is that a
+// round's peak stays O(in-flight window x model), never O(fleet x model).
+int64_t PeakRssBytes();
+
+// Current resident-set size in bytes (VmRSS), 0 when unavailable.
+int64_t CurrentRssBytes();
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_MEM_INFO_H_

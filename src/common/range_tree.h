@@ -1,0 +1,95 @@
+#ifndef FEDMP_COMMON_RANGE_TREE_H_
+#define FEDMP_COMMON_RANGE_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fedmp {
+
+// The canonical binary reduction tree over an index range [0, n).
+//
+// Floating-point addition is not associative, so any result that must be
+// bit-identical across execution shapes has to pin one association. A left
+// fold pins it, but cannot be split across regional aggregators: the sum of
+// per-region left folds associates differently than one flat left fold. The
+// canonical tree fixes that by making the association a pure function of n:
+//
+//   split([lo, hi)) divides at lo + p where p is the largest power of two
+//   strictly below hi - lo, recursively, down to single-element leaves.
+//
+// Every subtree's association depends only on its own bounds, so a sum can
+// be computed per-subtree (in any order, on any thread) and the subtrees
+// merged — the result is bit-identical to folding the whole range on one
+// thread. This is the association contract shared by AggregateSubModels,
+// StreamingAggregator, and the fog tier in fl/hierarchy.h.
+inline int64_t CanonicalSplit(int64_t lo, int64_t hi) {
+  FEDMP_CHECK_GE(hi - lo, 2);
+  int64_t p = 1;
+  while (p * 2 < hi - lo) p *= 2;
+  return lo + p;
+}
+
+// Partitions [0, n) into exactly min(parts, n) canonical-tree nodes by
+// repeatedly splitting the largest slice (leftmost on ties). Because every
+// slice is a tree node, a recursive descent from [0, n) that stops on slice
+// boundaries reaches each slice exactly once — which is what lets fog
+// partial sums be merged into the flat canonical sum (see fl/hierarchy.h).
+inline std::vector<std::pair<int64_t, int64_t>> CanonicalRangeSlices(
+    int64_t n, int64_t parts) {
+  FEDMP_CHECK_GT(n, 0);
+  FEDMP_CHECK_GT(parts, 0);
+  using Range = std::pair<int64_t, int64_t>;
+  // Largest-first, leftmost on ties.
+  auto later = [](const Range& a, const Range& b) {
+    const int64_t sa = a.second - a.first, sb = b.second - b.first;
+    return sa != sb ? sa < sb : a.first > b.first;
+  };
+  std::priority_queue<Range, std::vector<Range>, decltype(later)> heap(later);
+  heap.push({0, n});
+  std::vector<Range> done;  // single-element slices, unsplittable
+  while (static_cast<int64_t>(heap.size() + done.size()) < parts &&
+         !heap.empty()) {
+    const Range top = heap.top();
+    heap.pop();
+    if (top.second - top.first < 2) {
+      done.push_back(top);
+      continue;
+    }
+    const int64_t mid = CanonicalSplit(top.first, top.second);
+    heap.push({top.first, mid});
+    heap.push({mid, top.second});
+  }
+  while (!heap.empty()) {
+    done.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(done.begin(), done.end());
+  return done;
+}
+
+// Index of the slice containing `index` (slices must be sorted and cover
+// the index, as CanonicalRangeSlices guarantees).
+inline int SliceOf(const std::vector<std::pair<int64_t, int64_t>>& slices,
+                   int64_t index) {
+  int lo = 0, hi = static_cast<int>(slices.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (slices[static_cast<size_t>(mid)].first <= index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  FEDMP_CHECK(slices[static_cast<size_t>(lo)].first <= index &&
+              index < slices[static_cast<size_t>(lo)].second);
+  return lo;
+}
+
+}  // namespace fedmp
+
+#endif  // FEDMP_COMMON_RANGE_TREE_H_

@@ -234,6 +234,11 @@ bool TaskSet::DrainNext(int64_t* tag) {
   }
 }
 
+int64_t TaskSet::pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_ + static_cast<int64_t>(done_.size());
+}
+
 void TaskSet::WaitAll() {
   for (;;) {
     {

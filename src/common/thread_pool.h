@@ -127,6 +127,12 @@ class TaskSet {
   // Blocks until every submitted task completed (tags stay drainable).
   void WaitAll();
 
+  // Submitted tasks not yet drained (running + completed-but-undrained).
+  // The windowed scale-out loop uses this to cap in-flight work: submit
+  // until pending() hits the window, then drain one before submitting the
+  // next (see fl/trainer.cc and TrainerOptions::ScaleOptions).
+  int64_t pending();
+
  private:
   ThreadPool* pool_;
   std::mutex mu_;

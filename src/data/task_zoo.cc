@@ -1,5 +1,7 @@
 #include "data/task_zoo.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fedmp::data {
@@ -174,6 +176,45 @@ FlTask MakeCnnMnistTask(TaskScale scale, uint64_t seed) {
   task.train = std::move(split.train);
   task.test = std::move(split.test);
   task.model = CnnSpec(tiny);
+  task.target_accuracy = 0.90;
+  return task;
+}
+
+FlTask MakeScaleCnnTask(int64_t num_workers, uint64_t seed) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  SyntheticImageConfig cfg;
+  cfg.channels = 1;
+  cfg.height = cfg.width = 8;
+  cfg.num_classes = 4;
+  // ~2 samples per worker: every shard stays non-empty at any fleet size
+  // while the dataset itself stays small (at 10k workers: 20k 8x8 images
+  // ~= 5 MB) — the scale tests watch model buffers, not data.
+  cfg.train_per_class =
+      std::max<int64_t>(12, (2 * num_workers + cfg.num_classes - 1) /
+                                cfg.num_classes);
+  cfg.test_per_class = 6;
+  cfg.noise_stddev = 0.30;
+  cfg.seed = seed;
+  TrainTestSplit split = GenerateSyntheticImages(cfg);
+  FlTask task;
+  task.name = "cnn-scale";
+  task.train = std::move(split.train);
+  task.test = std::move(split.test);
+  ModelSpec spec;
+  spec.name = "cnn-scale";
+  spec.input.kind = ShapeKind::kImage;
+  spec.input.c = 1;
+  spec.input.h = spec.input.w = 8;
+  spec.num_classes = 4;
+  spec.layers = {
+      LayerSpec::Conv(1, 8, 3, 1, 1), LayerSpec::Relu(),
+      LayerSpec::MaxPool(2, 2),       LayerSpec::Flat(),
+      LayerSpec::Dense(8 * 4 * 4, 64), LayerSpec::Relu(),
+      LayerSpec::Dense(64, 4),
+  };
+  task.model = std::move(spec);
+  task.local_iterations = 1;
+  task.batch_size = 4;
   task.target_accuracy = 0.90;
   return task;
 }

@@ -43,6 +43,15 @@ FlTask MakeResNetTinyImagenetTask(TaskScale scale, uint64_t seed);// ResNet-50/T
 // The §VI RNN extension: 2-layer LSTM LM on a synthetic PTB stand-in.
 FlTask MakeLstmPtbTask(TaskScale scale, uint64_t seed);
 
+// Scale-out workload for 10k+-worker rounds (§V-G territory): a small CNN
+// (~8.6k params, ~34 KB of weights) over a dataset sized ~2 samples per
+// worker, tau = 1 and a small batch. The interesting axis is fleet size —
+// per-round memory and multiplexing behavior — not learning, so one round
+// stays ~O(seconds) at 10k workers while a naive per-worker
+// model+upload materialization would still need ~0.7 GB, which is what the
+// bounded-memory scale tests assert against.
+FlTask MakeScaleCnnTask(int64_t num_workers, uint64_t seed);
+
 // Task by paper name: "cnn", "alexnet", "vgg", "resnet", "lstm".
 FlTask MakeTaskByName(const std::string& name, TaskScale scale,
                       uint64_t seed);

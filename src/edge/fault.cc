@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/range_tree.h"
 #include "obs/metrics.h"
 
 namespace fedmp::edge {
@@ -80,9 +81,35 @@ FaultPlan::FaultPlan(int num_workers, const FaultPlanOptions& options)
   FEDMP_CHECK(options.crash_prob >= 0.0 && options.crash_prob <= 1.0);
   FEDMP_CHECK(options.straggle_prob >= 0.0 && options.straggle_prob <= 1.0);
   FEDMP_CHECK(options.corrupt_prob >= 0.0 && options.corrupt_prob <= 1.0);
+  FEDMP_CHECK(options.fog_outage_prob >= 0.0 &&
+              options.fog_outage_prob <= 1.0);
+  FEDMP_CHECK_GE(options.fog_groups, 0);
   FEDMP_CHECK_GE(options.straggle_factor, 1.0);
   FEDMP_CHECK_GE(options.rejoin_after, 1);
+  if (options.fog_outage_prob > 0.0 && options.fog_groups > 0) {
+    // Same slicing the hierarchical aggregator applies to the slot range,
+    // so "fog group g went down" in a chaos test maps one-to-one onto the
+    // aggregation tier that loses its workers.
+    fog_slices_ = CanonicalRangeSlices(num_workers, options.fog_groups);
+  }
   active_ = options.any();
+}
+
+int FaultPlan::FogGroupOf(int worker) const {
+  if (fog_slices_.empty()) return -1;
+  return SliceOf(fog_slices_, worker);
+}
+
+bool FaultPlan::FogOutageAt(int64_t round, int worker) const {
+  if (fog_slices_.empty()) return false;
+  const int group = SliceOf(fog_slices_, worker);
+  // A stream domain of its own — keyed by (round, group) with a fog salt —
+  // so group draws never consume from, or shift, the per-worker streams:
+  // flipping fog outages on replays the identical per-worker fault trace.
+  Rng rng(options_.seed ^ 0xF09F09F09F09F09FULL ^
+          (static_cast<uint64_t>(round + 1) * 0xD6E8FEB86659FD93ULL) ^
+          (static_cast<uint64_t>(group + 1) * 0x9E3779B97F4A7C15ULL));
+  return rng.NextDouble() < options_.fog_outage_prob;
 }
 
 Rng FaultPlan::StreamFor(int64_t round, int worker) const {
@@ -94,15 +121,22 @@ Rng FaultPlan::StreamFor(int64_t round, int worker) const {
 }
 
 bool FaultPlan::CrashesAt(int64_t round, int worker) const {
-  if (options_.crash_prob <= 0.0) return false;
-  Rng rng = StreamFor(round, worker);
-  // The crash decision is always the FIRST draw of a stream, so IsDown can
-  // probe past rounds without replaying their full fault vectors.
-  return rng.NextDouble() < options_.crash_prob;
+  if (options_.crash_prob > 0.0) {
+    Rng rng = StreamFor(round, worker);
+    // The crash decision is always the FIRST draw of a stream, so IsDown
+    // can probe past rounds without replaying their full fault vectors.
+    if (rng.NextDouble() < options_.crash_prob) return true;
+  }
+  // A regional outage takes the whole group down; folding it in here means
+  // the rejoin window in IsDown applies uniformly to both causes.
+  return FogOutageAt(round, worker);
 }
 
 bool FaultPlan::IsDown(int64_t round, int worker) const {
-  if (!active_ || options_.crash_prob <= 0.0) return false;
+  if (!active_ ||
+      (options_.crash_prob <= 0.0 && fog_slices_.empty())) {
+    return false;
+  }
   const int64_t window = options_.rejoin_after;
   const int64_t first = std::max<int64_t>(0, round - window + 1);
   for (int64_t r = first; r <= round; ++r) {
@@ -147,6 +181,8 @@ WorkerRoundFaults FaultPlan::FaultsFor(int64_t round, int worker) const {
     static obs::Counter* drop = obs::GetCounter("faults.drop");
     static obs::Counter* duplicate = obs::GetCounter("faults.duplicate");
     static obs::Counter* delay = obs::GetCounter("faults.delay");
+    static obs::Counter* fog_outage = obs::GetCounter("faults.fog_outage");
+    if (FogOutageAt(round, worker)) fog_outage->Add(1.0);
     if (out.crashed) crash->Add(1.0);
     if (out.slowdown > 1.0) straggle->Add(1.0);
     if (out.update_corrupted) corrupt->Add(1.0);

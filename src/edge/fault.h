@@ -2,6 +2,7 @@
 #define FEDMP_EDGE_FAULT_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,13 +65,23 @@ struct FaultPlanOptions {
   // Message-level faults on the worker->PS uplink (loss, duplication,
   // delay) — see edge/network.h.
   ChannelFaultConfig channel;
+  // Regional (fog) outages: the worker range is split into `fog_groups`
+  // contiguous groups by the same canonical slicing the hierarchical
+  // aggregator uses (common/range_tree.h), and each group independently
+  // goes down with probability `fog_outage_prob` per round — every worker
+  // in it crashes for the round, and the `rejoin_after` window applies
+  // exactly as for individual crashes. Group draws come from a stream
+  // domain of their own, so enabling outages never shifts the per-worker
+  // crash/straggle/corrupt draws. fog_groups == 0 disables.
+  double fog_outage_prob = 0.0;
+  int64_t fog_groups = 0;
   // 0 = derive from the trainer seed; any other value fixes the trace
   // independently of the learning seed.
   uint64_t seed = 0;
 
   bool any() const {
     return crash_prob > 0.0 || straggle_prob > 0.0 || corrupt_prob > 0.0 ||
-           channel.any();
+           (fog_outage_prob > 0.0 && fog_groups > 0) || channel.any();
   }
 };
 
@@ -108,14 +119,23 @@ class FaultPlan {
   // Number of workers not down in `round` (all of them when inactive).
   int CountAlive(int64_t round) const;
 
+  // The fog group `worker` belongs to; -1 when fog outages are disabled.
+  int FogGroupOf(int worker) const;
+  // The raw outage draw for `worker`'s group in `round` (ignores the
+  // rejoin window); false when fog outages are disabled.
+  bool FogOutageAt(int64_t round, int worker) const;
+
  private:
-  // The raw crash draw for (round, worker), ignoring the rejoin window.
+  // The raw down-draw for (round, worker), ignoring the rejoin window:
+  // an individual crash OR an outage of the worker's fog group.
   bool CrashesAt(int64_t round, int worker) const;
   Rng StreamFor(int64_t round, int worker) const;
 
   int num_workers_ = 0;
   FaultPlanOptions options_;
   bool active_ = false;
+  // Canonical worker-range slices when fog outages are enabled.
+  std::vector<std::pair<int64_t, int64_t>> fog_slices_;
 };
 
 }  // namespace fedmp::edge

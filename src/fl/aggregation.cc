@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "common/range_tree.h"
 #include "fl/quantize.h"
 #include "nn/tensor_ops.h"
 #include "obs/trace.h"
@@ -21,40 +23,68 @@ StatusOr<nn::TensorList> AggregateSubModels(
     const nn::ModelSpec& global_spec, const nn::TensorList& global_weights,
     const std::vector<SubModelUpdate>& updates, SyncScheme scheme,
     bool quantize_residuals) {
-  if (updates.empty()) {
+  int participants = 0;
+  for (const SubModelUpdate& update : updates) {
+    if (update.is_hole()) {
+      FEDMP_CHECK(update.mask == nullptr) << "hole with a mask";
+      continue;
+    }
+    FEDMP_CHECK(update.mask != nullptr);
+    ++participants;
+  }
+  if (participants == 0) {
     return InvalidArgumentError("aggregation with no participants");
   }
   OBS_SPAN("r2sp_aggregate",
            {{"scheme", SyncSchemeName(scheme)},
-            {"updates", static_cast<int>(updates.size())}});
+            {"updates", participants}});
   if (obs::Enabled()) {
     static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
     static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
     aggs->Add(1.0);
-    upd->Add(static_cast<double>(updates.size()));
+    upd->Add(static_cast<double>(participants));
   }
-  nn::TensorList sum;
-  nn::TensorList recovered;  // scratch lists reused across updates
-  nn::TensorList residual;
-  for (const SubModelUpdate& update : updates) {
-    FEDMP_CHECK(update.mask != nullptr && update.weights != nullptr);
-    FEDMP_RETURN_IF_ERROR(pruning::RecoverToFullInto(
-        global_spec, *update.weights, *update.mask, &recovered));
-    if (scheme == SyncScheme::kR2SP) {
-      FEDMP_RETURN_IF_ERROR(pruning::ResidualModelInto(
-          global_spec, global_weights, *update.mask, &residual));
-      if (quantize_residuals) {
-        residual = DequantizeList(Quantize8List(residual));
+  // Depth-first canonical-tree sum (see the header's association contract).
+  // Returns an empty list for all-hole subtrees; holes never cost a float
+  // op, so the bits only depend on which slots participate, not on how many
+  // holes surround them.
+  Status status = Status::Ok();
+  std::function<nn::TensorList(int64_t, int64_t)> sum_range =
+      [&](int64_t lo, int64_t hi) -> nn::TensorList {
+    if (!status.ok()) return {};
+    if (hi - lo == 1) {
+      const SubModelUpdate& update = updates[static_cast<size_t>(lo)];
+      if (update.is_hole()) return {};
+      nn::TensorList contribution;
+      Status st = pruning::RecoverToFullInto(
+          global_spec, *update.weights, *update.mask, &contribution);
+      if (st.ok() && scheme == SyncScheme::kR2SP) {
+        nn::TensorList residual;
+        st = pruning::ResidualModelInto(global_spec, global_weights,
+                                        *update.mask, &residual);
+        if (st.ok()) {
+          if (quantize_residuals) {
+            residual = DequantizeList(Quantize8List(residual));
+          }
+          nn::AxpyLists(contribution, 1.0f, residual);
+        }
       }
-      nn::AxpyLists(recovered, 1.0f, residual);
+      if (!st.ok()) {
+        status = st;
+        return {};
+      }
+      return contribution;
     }
-    if (sum.empty()) {
-      sum = std::move(recovered);  // first update seeds the sum
-    } else {
-      nn::AxpyLists(sum, 1.0f, recovered);
-    }
-  }
-  nn::ScaleLists(sum, 1.0f / static_cast<float>(updates.size()));
+    const int64_t mid = CanonicalSplit(lo, hi);
+    nn::TensorList left = sum_range(lo, mid);
+    nn::TensorList right = sum_range(mid, hi);
+    if (left.empty()) return right;
+    if (!right.empty()) nn::AxpyLists(left, 1.0f, right);
+    return left;
+  };
+  nn::TensorList sum = sum_range(0, static_cast<int64_t>(updates.size()));
+  FEDMP_RETURN_IF_ERROR(status);
+  nn::ScaleLists(sum, 1.0f / static_cast<float>(participants));
   return sum;
 }
 

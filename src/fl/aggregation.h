@@ -25,10 +25,19 @@ enum class SyncScheme {
 
 const char* SyncSchemeName(SyncScheme scheme);
 
-// One worker's contribution to a round of aggregation.
+// One worker's contribution to a round of aggregation. An entry with both
+// pointers null is a hole — a slot whose worker did not participate this
+// round (crashed, rejected, dropped). Holes contribute nothing and are not
+// counted in the average, but they keep the updates vector aligned to the
+// worker-slot layout, which is what makes the streamed and hierarchical
+// aggregators (fl/pipeline.h, fl/hierarchy.h) bit-identical to this serial
+// oracle: all of them associate additions by the same canonical reduction
+// tree over the slot range (common/range_tree.h).
 struct SubModelUpdate {
   const pruning::PruneMask* mask = nullptr;     // mask it was pruned with
   const nn::TensorList* weights = nullptr;      // trained sub-model weights
+
+  bool is_hole() const { return weights == nullptr; }
 };
 
 // Aggregates the participants' sub-models against the dispatch-time global
@@ -36,6 +45,14 @@ struct SubModelUpdate {
 // `global_spec`. With `quantize_residuals`, residual models pass through
 // 8-bit quantization (§III-C's PS memory optimization; see fl/quantize.h) —
 // the aggregate then carries the small reconstruction error.
+//
+// Association contract: contributions are summed along the canonical
+// reduction tree over [0, updates.size()) with holes passing through, never
+// by a left fold. Per-subtree sums are therefore well-defined, which is what
+// lets the fog tier compute regional partials and still reproduce this
+// function's bits exactly (see fl/hierarchy.h). Peak memory is
+// O(log(updates) x model): the depth-first descent holds one partial per
+// tree level, never all recovered models.
 StatusOr<nn::TensorList> AggregateSubModels(
     const nn::ModelSpec& global_spec, const nn::TensorList& global_weights,
     const std::vector<SubModelUpdate>& updates, SyncScheme scheme,

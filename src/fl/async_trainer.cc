@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 
+#include "common/range_tree.h"
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
@@ -288,8 +290,10 @@ RoundLog AsyncTrainer::Run() {
     // Pipelined: each accepted arrival's recover + residual fold starts the
     // moment the PS consumes its event, overlapping with the rest of the
     // collection loop (and any re-dispatch training it triggers) instead of
-    // running serially after the cohort completes. Slots are arrival-order,
-    // which is exactly the serial fold order, so the sum is bit-identical.
+    // running serially after the cohort completes. Slots are arrival-order
+    // and both paths sum along the canonical reduction tree over them
+    // (trailing unused slots are holes, which the tree ignores), so the sum
+    // is bit-identical to the serial engine.
     std::unique_ptr<StreamingAggregator> agg;
     TaskSet agg_tasks;
     if (PipelineEnabled()) {
@@ -419,19 +423,29 @@ RoundLog AsyncTrainer::Run() {
         StreamingAggregator::Result result = agg->Finish();
         sum = std::move(result.sum);
       } else {
-        nn::TensorList recovered;  // scratch reused across arrivals
-        for (int worker : arrived) {
-          const InFlight& f = inflight[static_cast<size_t>(worker)];
-          const Status st = pruning::RecoverToFullInto(
-              global_spec, f.trained_weights, f.mask, &recovered);
-          FEDMP_CHECK(st.ok()) << st;
-          nn::AxpyLists(recovered, 1.0f, f.residual);
-          if (sum.empty()) {
-            sum = std::move(recovered);  // first contribution seeds the sum
-          } else {
-            nn::AxpyLists(sum, 1.0f, recovered);
+        // Canonical-tree fold over the arrival-ordered contributions — the
+        // association the streamed slots produce: their trailing unused
+        // slots are holes, and a canonical tree whose holes sit only in the
+        // tail reduces to the dense tree over the arrivals.
+        std::function<nn::TensorList(int64_t, int64_t)> sum_range =
+            [&](int64_t lo, int64_t hi) -> nn::TensorList {
+          if (hi - lo == 1) {
+            const int worker = arrived[static_cast<size_t>(lo)];
+            const InFlight& f = inflight[static_cast<size_t>(worker)];
+            nn::TensorList recovered;
+            const Status st = pruning::RecoverToFullInto(
+                global_spec, f.trained_weights, f.mask, &recovered);
+            FEDMP_CHECK(st.ok()) << st;
+            nn::AxpyLists(recovered, 1.0f, f.residual);
+            return recovered;
           }
-        }
+          const int64_t mid = CanonicalSplit(lo, hi);
+          nn::TensorList left = sum_range(lo, mid);
+          const nn::TensorList right = sum_range(mid, hi);
+          nn::AxpyLists(left, 1.0f, right);
+          return left;
+        };
+        sum = sum_range(0, static_cast<int64_t>(arrived.size()));
       }
       nn::ScaleLists(sum, 1.0f / static_cast<float>(arrived.size()));
       nn::TensorList mixed = server_->weights();

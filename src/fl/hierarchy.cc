@@ -1,0 +1,120 @@
+#include "fl/hierarchy.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "common/range_tree.h"
+#include "nn/tensor_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::fl {
+
+HierarchicalAggregator::HierarchicalAggregator(
+    const nn::ModelSpec& spec, const nn::TensorList& global_weights,
+    int num_slots, SyncScheme scheme, bool quantize_residuals, int fan_out)
+    : scheme_(scheme), num_slots_(num_slots) {
+  FEDMP_CHECK_GT(num_slots, 0);
+  if (fan_out < 1) fan_out = 1;
+  slices_ = CanonicalRangeSlices(num_slots, fan_out);
+  fogs_.reserve(slices_.size());
+  for (const auto& [lo, hi] : slices_) {
+    fogs_.push_back(std::make_unique<StreamingAggregator>(
+        spec, global_weights, static_cast<int>(hi - lo), scheme,
+        quantize_residuals));
+  }
+}
+
+int HierarchicalAggregator::fog_of(int slot) const {
+  return SliceOf(slices_, slot);
+}
+
+HierarchicalAggregator::Route HierarchicalAggregator::RouteOf(int slot) {
+  const int f = SliceOf(slices_, slot);
+  return Route{fogs_[static_cast<size_t>(f)].get(),
+               static_cast<int>(slot - slices_[static_cast<size_t>(f)].first)};
+}
+
+void HierarchicalAggregator::Accumulate(int slot,
+                                        const nn::TensorList& sub_weights,
+                                        const pruning::PruneMask& mask) {
+  const Route r = RouteOf(slot);
+  r.fog->Accumulate(r.local_slot, sub_weights, mask);
+}
+
+void HierarchicalAggregator::AccumulateWithResidual(
+    int slot, const nn::TensorList& sub_weights,
+    const pruning::PruneMask& mask, const nn::TensorList& residual) {
+  const Route r = RouteOf(slot);
+  r.fog->AccumulateWithResidual(r.local_slot, sub_weights, mask, residual);
+}
+
+void HierarchicalAggregator::MarkUnavailable(int slot) {
+  const Route r = RouteOf(slot);
+  r.fog->MarkUnavailable(r.local_slot);
+}
+
+void HierarchicalAggregator::Admit(int slot) {
+  const Route r = RouteOf(slot);
+  r.fog->Admit(r.local_slot);
+}
+
+void HierarchicalAggregator::Reject(int slot) {
+  const Route r = RouteOf(slot);
+  r.fog->Reject(r.local_slot);
+}
+
+StreamingAggregator::Result HierarchicalAggregator::Finish() {
+  // Collect each fog's partial. The fog tier emits no aggregate telemetry
+  // of its own (FinishPartial); each gets a fog_aggregate span so traces
+  // attribute the reduction to regions, and the PS-level fold below emits
+  // the exact r2sp_aggregate span + counters the flat paths emit.
+  std::vector<StreamingAggregator::Result> partials;
+  partials.reserve(fogs_.size());
+  int total_participants = 0;
+  for (size_t f = 0; f < fogs_.size(); ++f) {
+    StreamingAggregator::Result partial;
+    {
+      OBS_SPAN("fog_aggregate",
+               {{"fog", static_cast<int>(f)},
+                {"lo", static_cast<int>(slices_[f].first)},
+                {"hi", static_cast<int>(slices_[f].second)}});
+      partial = fogs_[f]->FinishPartial();
+    }
+    total_participants += partial.participants;
+    partials.push_back(std::move(partial));
+  }
+  FEDMP_CHECK_GT(total_participants, 0) << "aggregation with no participants";
+  OBS_SPAN("r2sp_aggregate", {{"scheme", SyncSchemeName(scheme_)},
+                              {"updates", total_participants}});
+  if (obs::Enabled()) {
+    static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
+    static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
+    aggs->Add(1.0);
+    upd->Add(static_cast<double>(total_participants));
+  }
+  // Fold fog partials by descending the canonical tree until a range lines
+  // up with a fog slice: every slice is a tree node (CanonicalRangeSlices
+  // only ever splits at CanonicalSplit), so the descent always terminates
+  // at slice boundaries and reproduces the flat reduction's association.
+  std::function<nn::TensorList(int64_t, int64_t)> fold =
+      [&](int64_t lo, int64_t hi) -> nn::TensorList {
+    const int f = SliceOf(slices_, lo);
+    if (slices_[static_cast<size_t>(f)].first == lo &&
+        slices_[static_cast<size_t>(f)].second == hi) {
+      return std::move(partials[static_cast<size_t>(f)].sum);
+    }
+    const int64_t mid = CanonicalSplit(lo, hi);
+    nn::TensorList left = fold(lo, mid);
+    nn::TensorList right = fold(mid, hi);
+    if (left.empty()) return right;
+    if (!right.empty()) nn::AxpyLists(left, 1.0f, right);
+    return left;
+  };
+  StreamingAggregator::Result out;
+  out.sum = fold(0, num_slots_);
+  out.participants = total_participants;
+  return out;
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,94 @@
+#ifndef FEDMP_FL_HIERARCHY_H_
+#define FEDMP_FL_HIERARCHY_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fl/pipeline.h"
+
+namespace fedmp::fl {
+
+// Hierarchical (fog-tier) R2SP aggregation for scale-out rounds.
+//
+// Edge deployments at 10k+ workers do not upload to one parameter server:
+// regional aggregators ("fog" nodes) each own a contiguous slice of the
+// worker-slot range, reduce their slice locally, and the PS folds the fog
+// partials. This class reproduces that topology in-process:
+//
+//   - the slot range [0, num_slots) is partitioned into `fan_out` slices by
+//     CanonicalRangeSlices — every slice IS a node of the canonical
+//     reduction tree (common/range_tree.h), so each fog's partial sum is a
+//     well-defined subtree sum of the flat reduction;
+//   - each fog runs its own StreamingAggregator over its slice (the local
+//     tree over [lo, hi) has the same shape as the global subtree: the
+//     canonical split depends only on range width, so trees translate);
+//   - Finish() folds the fog partials by descending the canonical tree
+//     until it reaches slice boundaries, merging left-then-right.
+//
+// The result is bit-identical to flat AggregateSubModels / a single
+// StreamingAggregator at ANY fan_out, thread count, and arrival order —
+// including rounds with rejected/unavailable slots (holes pass through both
+// tiers without a float op) and fully-down regions (an all-hole fog yields
+// an empty partial, which the fold skips).
+//
+// Peak memory is the sum of the per-fog live sets: with a bounded in-flight
+// window it stays O(fan_out x log(slice) + window) models, never
+// O(num_slots) — the property the bounded-memory scale tests pin.
+//
+// Protocol and thread-safety are exactly StreamingAggregator's, addressed
+// by global slot index; the class routes to the owning fog internally.
+class HierarchicalAggregator {
+ public:
+  // fan_out <= 1 degenerates to a single fog over the whole range (the flat
+  // streaming path). fan_out is clamped to num_slots.
+  HierarchicalAggregator(const nn::ModelSpec& spec,
+                         const nn::TensorList& global_weights, int num_slots,
+                         SyncScheme scheme, bool quantize_residuals,
+                         int fan_out);
+
+  HierarchicalAggregator(const HierarchicalAggregator&) = delete;
+  HierarchicalAggregator& operator=(const HierarchicalAggregator&) = delete;
+
+  void Accumulate(int slot, const nn::TensorList& sub_weights,
+                  const pruning::PruneMask& mask);
+  void AccumulateWithResidual(int slot, const nn::TensorList& sub_weights,
+                              const pruning::PruneMask& mask,
+                              const nn::TensorList& residual);
+  void MarkUnavailable(int slot);
+  void Admit(int slot);
+  void Reject(int slot);
+
+  // Folds the fog partials in canonical order. Emits one fog_aggregate span
+  // per fog (with its slot range and participant count) and then the same
+  // r2sp_aggregate span + fl.aggregations / fl.updates_aggregated counters
+  // the flat paths emit, so metric dumps are invariant to the topology.
+  // Requires at least one admitted slot overall; individual fogs may be
+  // empty (fully down regions).
+  StreamingAggregator::Result Finish();
+
+  int num_fogs() const { return static_cast<int>(slices_.size()); }
+  // The fog owning a global slot index.
+  int fog_of(int slot) const;
+  // The slot range [lo, hi) owned by fog f.
+  std::pair<int, int> fog_range(int f) const {
+    return {static_cast<int>(slices_[static_cast<size_t>(f)].first),
+            static_cast<int>(slices_[static_cast<size_t>(f)].second)};
+  }
+
+ private:
+  struct Route {
+    StreamingAggregator* fog;
+    int local_slot;
+  };
+  Route RouteOf(int slot);
+
+  const SyncScheme scheme_;
+  const int num_slots_;
+  std::vector<std::pair<int64_t, int64_t>> slices_;
+  std::vector<std::unique_ptr<StreamingAggregator>> fogs_;
+};
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_HIERARCHY_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/range_tree.h"
 #include "fl/quantize.h"
 #include "nn/tensor_ops.h"
 #include "obs/metrics.h"
@@ -47,15 +48,38 @@ StreamingAggregator::StreamingAggregator(const nn::ModelSpec& spec,
       global_weights_(global_weights),
       scheme_(scheme),
       quantize_residuals_(quantize_residuals),
-      slots_(static_cast<size_t>(num_slots)) {
+      num_slots_(num_slots) {
   FEDMP_CHECK_GT(num_slots, 0);
+  leaf_of_slot_.assign(static_cast<size_t>(num_slots), -1);
+  nodes_.reserve(static_cast<size_t>(2 * num_slots - 1));
+  root_ = BuildTree(0, num_slots, -1);
+}
+
+int StreamingAggregator::BuildTree(int lo, int hi, int parent) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].lo = lo;
+  nodes_[id].hi = hi;
+  nodes_[id].parent = parent;
+  if (hi - lo == 1) {
+    leaf_of_slot_[static_cast<size_t>(lo)] = id;
+    return id;
+  }
+  const int mid = static_cast<int>(CanonicalSplit(lo, hi));
+  // Children indices are assigned after recursion completes; nodes_ may
+  // reallocate during it, so write through the index, not a reference.
+  const int left = BuildTree(lo, mid, id);
+  const int right = BuildTree(mid, hi, id);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
 }
 
 void StreamingAggregator::Accumulate(int slot,
                                      const nn::TensorList& sub_weights,
                                      const pruning::PruneMask& mask) {
   // The contribution is a pure function of (global, sub, mask): computed
-  // outside the lock so slots overlap, folded in slot order later.
+  // outside the lock so slots overlap, merged along the canonical tree.
   nn::TensorList contribution;
   Status st =
       pruning::RecoverToFullInto(spec_, sub_weights, mask, &contribution);
@@ -70,11 +94,12 @@ void StreamingAggregator::Accumulate(int slot,
     nn::AxpyLists(contribution, 1.0f, residual);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slots_[static_cast<size_t>(slot)];
-  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
-  s.contribution = std::move(contribution);
-  s.ready = true;
-  FoldReadyLocked();
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
+  leaf.sum = std::move(contribution);
+  leaf.participants = 1;
+  leaf.ready = true;
+  ResolveLeafLocked(slot);
 }
 
 void StreamingAggregator::AccumulateWithResidual(
@@ -86,79 +111,114 @@ void StreamingAggregator::AccumulateWithResidual(
   FEDMP_CHECK(st.ok()) << st;
   nn::AxpyLists(contribution, 1.0f, residual);
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slots_[static_cast<size_t>(slot)];
-  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
-  s.contribution = std::move(contribution);
-  s.ready = true;
-  FoldReadyLocked();
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
+  leaf.sum = std::move(contribution);
+  leaf.participants = 1;
+  leaf.ready = true;
+  ResolveLeafLocked(slot);
 }
 
 void StreamingAggregator::MarkUnavailable(int slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slots_[static_cast<size_t>(slot)];
-  FEDMP_CHECK(!s.ready) << "slot " << slot << " accumulated twice";
-  s.ready = true;
-  FoldReadyLocked();
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
+  leaf.ready = true;
+  ResolveLeafLocked(slot);
 }
 
 void StreamingAggregator::Admit(int slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slots_[static_cast<size_t>(slot)];
-  FEDMP_CHECK(s.decision == Decision::kPending)
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  FEDMP_CHECK(leaf.decision == Decision::kPending)
       << "slot " << slot << " decided twice";
-  s.decision = Decision::kAdmitted;
-  FoldReadyLocked();
+  leaf.decision = Decision::kAdmitted;
+  ResolveLeafLocked(slot);
 }
 
 void StreamingAggregator::Reject(int slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slots_[static_cast<size_t>(slot)];
-  FEDMP_CHECK(s.decision == Decision::kPending)
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  FEDMP_CHECK(leaf.decision == Decision::kPending)
       << "slot " << slot << " decided twice";
-  s.decision = Decision::kRejected;
-  FoldReadyLocked();
+  leaf.decision = Decision::kRejected;
+  ResolveLeafLocked(slot);
 }
 
-void StreamingAggregator::FoldReadyLocked() {
-  while (folded_ < static_cast<int>(slots_.size())) {
-    Slot& s = slots_[static_cast<size_t>(folded_)];
-    // `ready` gates even rejected slots: it is the publish point for the
-    // slot's storage, so freeing before it risks racing the producer.
-    if (!s.ready || s.decision == Decision::kPending) return;
-    if (s.decision == Decision::kAdmitted) {
-      FEDMP_CHECK(!s.contribution.empty())
-          << "admitted slot " << folded_ << " has no payload";
-      if (sum_.empty()) {
-        sum_ = std::move(s.contribution);  // first admitted slot seeds
-      } else {
-        nn::AxpyLists(sum_, 1.0f, s.contribution);
-      }
-      ++participants_;
-    }
-    s.contribution.clear();
-    ++folded_;
+void StreamingAggregator::ResolveLeafLocked(int slot) {
+  Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
+  // `ready` gates even rejected slots: it is the publish point for the
+  // slot's storage, so freeing before it risks racing the producer.
+  if (!leaf.ready || leaf.decision == Decision::kPending || leaf.resolved) {
+    return;
   }
+  if (leaf.decision == Decision::kAdmitted) {
+    FEDMP_CHECK(!leaf.sum.empty())
+        << "admitted slot " << slot << " has no payload";
+  } else if (!leaf.sum.empty()) {
+    leaf.sum.clear();  // rejected payload: drop it, the slot is a hole
+    leaf.participants = 0;
+  }
+  leaf.resolved = true;
+  ++resolved_leaves_;
+  // Bubble up: a parent collapses the moment both children are resolved,
+  // merging left-then-right (empty = hole passthrough) exactly as the
+  // serial oracle's depth-first descent would — this is why completion
+  // order never changes the bits, only when each merge happens.
+  int id = leaf.parent;
+  while (id >= 0) {
+    Node& node = nodes_[static_cast<size_t>(id)];
+    Node& left = nodes_[static_cast<size_t>(node.left)];
+    Node& right = nodes_[static_cast<size_t>(node.right)];
+    if (!left.resolved || !right.resolved) return;
+    if (left.sum.empty()) {
+      node.sum = std::move(right.sum);
+    } else {
+      node.sum = std::move(left.sum);
+      if (!right.sum.empty()) nn::AxpyLists(node.sum, 1.0f, right.sum);
+    }
+    left.sum.clear();
+    right.sum.clear();
+    node.participants = left.participants + right.participants;
+    node.resolved = true;
+    id = node.parent;
+  }
+}
+
+StreamingAggregator::Result StreamingAggregator::FinishInternal(
+    bool allow_empty, bool emit_telemetry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FEDMP_CHECK_EQ(resolved_leaves_, num_slots_)
+      << "Finish() before every slot was decided and ready";
+  Node& root = nodes_[static_cast<size_t>(root_)];
+  FEDMP_CHECK(root.resolved);
+  if (!allow_empty) {
+    FEDMP_CHECK_GT(root.participants, 0) << "aggregation with no participants";
+  }
+  if (emit_telemetry) {
+    // Same telemetry as the serial AggregateSubModels, so traces and metric
+    // dumps are invariant to the pipeline toggle.
+    OBS_SPAN("r2sp_aggregate", {{"scheme", SyncSchemeName(scheme_)},
+                                {"updates", root.participants}});
+    if (obs::Enabled()) {
+      static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
+      static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
+      aggs->Add(1.0);
+      upd->Add(static_cast<double>(root.participants));
+    }
+  }
+  Result out;
+  out.sum = std::move(root.sum);
+  out.participants = root.participants;
+  return out;
 }
 
 StreamingAggregator::Result StreamingAggregator::Finish() {
-  std::lock_guard<std::mutex> lock(mu_);
-  FEDMP_CHECK_EQ(folded_, static_cast<int>(slots_.size()))
-      << "Finish() before every slot was decided and ready";
-  FEDMP_CHECK_GT(participants_, 0) << "aggregation with no participants";
-  // Same telemetry as the serial AggregateSubModels, so traces and metric
-  // dumps are invariant to the pipeline toggle.
-  OBS_SPAN("r2sp_aggregate",
-           {{"scheme", SyncSchemeName(scheme_)}, {"updates", participants_}});
-  if (obs::Enabled()) {
-    static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
-    static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
-    aggs->Add(1.0);
-    upd->Add(static_cast<double>(participants_));
-  }
-  Result out;
-  out.sum = std::move(sum_);
-  out.participants = participants_;
-  return out;
+  return FinishInternal(/*allow_empty=*/false, /*emit_telemetry=*/true);
+}
+
+StreamingAggregator::Result StreamingAggregator::FinishPartial() {
+  return FinishInternal(/*allow_empty=*/true, /*emit_telemetry=*/false);
 }
 
 }  // namespace fedmp::fl

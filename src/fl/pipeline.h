@@ -18,26 +18,34 @@ void SetPipelineEnabled(bool on);
 
 // Streams R2SP aggregation while workers are still training: each worker
 // task hands its sub-model in via Accumulate() the moment it finishes, and
-// the aggregator folds contributions into the running sum without waiting
-// for the full cohort — there is no materialized all-recovered-models
-// barrier.
+// the aggregator folds contributions into partial sums without waiting for
+// the full cohort — there is no materialized all-recovered-models barrier.
 //
-// Determinism: floating-point addition is not associative, so the FOLD
-// order is pinned to slot order (= worker order, the order the serial
-// AggregateSubModels loop uses) no matter when contributions arrive.
-// Accumulate() computes the slot's contribution — recover to full shape,
-// plus the residual model under R2SP (the expensive, parallelizable part)
-// — and marks the slot ready; the running sum only advances across the
-// prefix of slots that are both decided and ready. Contribution values are
-// per-slot pure functions, so the result is bit-identical to the serial
-// loop at any thread count and any completion order.
+// Determinism: floating-point addition is not associative, so additions are
+// associated by the canonical reduction tree over the slot range
+// (common/range_tree.h) — the same association AggregateSubModels uses —
+// no matter when contributions arrive. Accumulate() computes the slot's
+// contribution (recover to full shape, plus the residual model under R2SP;
+// the expensive, parallelizable part) and resolves its leaf; a subtree sum
+// collapses the moment both children are resolved, so out-of-order arrivals
+// merge immediately instead of waiting on slot 0. Contribution values are
+// per-slot pure functions and the tree shape depends only on num_slots, so
+// the result is bit-identical to the serial oracle at any thread count and
+// any completion order.
+//
+// Memory: a resolved subtree frees its children, so the live set is the
+// undecided/unready leaves plus O(log num_slots) partials — with a bounded
+// in-flight window (trainer's scale.max_inflight) peak memory is
+// O(window x model), not O(fleet x model). Deadline rounds defer every
+// decision to the tail, so they keep all arrived contributions live; the
+// bounded-memory contract applies to eager-admission (no-deadline) rounds.
 //
 // Protocol per slot (all methods thread-safe):
 //   exactly one of Accumulate / AccumulateWithResidual / MarkUnavailable,
 //   and exactly one of Admit / Reject (any order relative to the above);
-// then Finish() once every slot is decided and ready. Rejected slots are
-// skipped by the fold; MarkUnavailable is for slots that never produced a
-// payload (crashed worker) so the fold can move past them.
+// then Finish() once every slot is decided and ready. Rejected and
+// unavailable slots are holes: they pass through the tree without costing
+// a float op, exactly as holes do in AggregateSubModels.
 class StreamingAggregator {
  public:
   // `global_weights` must outlive the aggregator and stay unchanged until
@@ -75,32 +83,51 @@ class StreamingAggregator {
                            // the op order matches the serial path exactly
     int participants = 0;
   };
-  // Requires every slot decided and ready (the fold fully advanced) and at
+  // Requires every slot decided and ready (the tree fully collapsed) and at
   // least one admitted slot. Emits the same r2sp_aggregate span + counters
   // as AggregateSubModels.
   Result Finish();
 
+  // Fog-tier variant: same preconditions on the slots, but no aggregate
+  // telemetry and zero admitted slots is legal (a whole region can be down
+  // — the result is then an empty sum). The HierarchicalAggregator calls
+  // this per fog and emits the round's telemetry once itself.
+  Result FinishPartial();
+
  private:
   enum class Decision { kPending, kAdmitted, kRejected };
-  struct Slot {
-    nn::TensorList contribution;
+
+  // One canonical-tree node over the slot range [lo, hi). Leaves carry the
+  // slot protocol state; inner nodes collapse once both children resolved.
+  struct Node {
+    int lo = 0, hi = 0;
+    int parent = -1;
+    int left = -1, right = -1;      // -1 on leaves
+    nn::TensorList sum;             // empty = hole / all-hole subtree
+    int participants = 0;
+    bool resolved = false;
+    // Leaf-only protocol state.
     Decision decision = Decision::kPending;
     bool ready = false;
   };
 
-  // Folds the decided-and-ready prefix into sum_. Caller holds mu_.
-  void FoldReadyLocked();
+  int BuildTree(int lo, int hi, int parent);
+  // Stores `contribution` (may be empty for holes) in the slot's leaf and
+  // collapses every subtree this completes. Caller holds mu_.
+  void ResolveLeafLocked(int slot);
+  Result FinishInternal(bool allow_empty, bool emit_telemetry);
 
   const nn::ModelSpec& spec_;
   const nn::TensorList& global_weights_;
   const SyncScheme scheme_;
   const bool quantize_residuals_;
+  const int num_slots_;
 
   std::mutex mu_;
-  std::vector<Slot> slots_;
-  nn::TensorList sum_;
-  int folded_ = 0;        // next slot index the fold is waiting on
-  int participants_ = 0;  // admitted slots folded so far
+  std::vector<Node> nodes_;
+  std::vector<int> leaf_of_slot_;
+  int root_ = -1;
+  int resolved_leaves_ = 0;
 };
 
 }  // namespace fedmp::fl

@@ -7,6 +7,7 @@
 #include "data/synthetic_text.h"
 #include "nn/layers/softmax_xent.h"
 #include "nn/metrics.h"
+#include "nn/tensor_ops.h"
 
 namespace fedmp::fl {
 
@@ -62,6 +63,12 @@ void ParameterServer::SetWeights(nn::TensorList weights) {
   FEDMP_CHECK(nn::SameShapes(weights, weights_))
       << "SetWeights with mismatched shapes";
   weights_ = std::move(weights);
+}
+
+void ParameterServer::ApplyAggregate(nn::TensorList sum, int participants) {
+  FEDMP_CHECK_GT(participants, 0);
+  nn::ScaleLists(sum, 1.0f / static_cast<float>(participants));
+  SetWeights(std::move(sum));
 }
 
 bool ParameterServer::AcceptPayload(const nn::TensorList& payload) {

@@ -52,6 +52,12 @@ class ParameterServer {
   const nn::TensorList& weights() const { return weights_; }
   void SetWeights(nn::TensorList weights);
 
+  // Installs an UNSCALED aggregate sum over `participants` admitted
+  // updates: scales by 1/participants in place, then SetWeights. The
+  // streamed/hierarchical aggregators return unscaled sums so this final
+  // op order matches the serial AggregateSubModels exactly.
+  void ApplyAggregate(nn::TensorList sum, int participants);
+
   // Update screening: the PS refuses payloads containing non-finite values
   // (NaN/Inf from corrupted uploads) — aggregating even one would poison
   // the global model. Returns whether the payload was accepted; rejections

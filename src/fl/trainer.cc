@@ -8,12 +8,15 @@
 #include <memory>
 
 #include "common/math_util.h"
+#include "common/mem_info.h"
 #include "common/thread_pool.h"
 #include "edge/sim_clock.h"
+#include "fl/hierarchy.h"
 #include "fl/pipeline.h"
 #include "nn/tensor_ops.h"
 #include "nn/workspace.h"
 #include "obs/analysis/round_health.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pruning/prune_cache.h"
 #include "pruning/structured_pruner.h"
@@ -70,6 +73,8 @@ void PushRunManifest(const char* engine, const std::string& strategy,
   obs::SetRunInfo("toggle_fast_kernels", nn::FastKernelsEnabled() ? 1 : 0);
   obs::SetRunInfo("toggle_model_reuse", ModelReuseEnabled() ? 1 : 0);
   obs::SetRunInfo("toggle_pipeline", PipelineEnabled() ? 1 : 0);
+  obs::SetRunInfo("fog_fan_out", options.scale.fog_fan_out);
+  obs::SetRunInfo("max_inflight", options.scale.max_inflight);
 }
 }  // namespace internal
 
@@ -255,17 +260,41 @@ RoundLog Trainer::Run() {
     // completion time and is decided in the serial tail; the expensive
     // recover+residual work still overlapped with training.
     const bool eager_admit = !options_.deadline.enabled;
-    std::unique_ptr<StreamingAggregator> agg;
+    std::unique_ptr<HierarchicalAggregator> agg;
     double decision_ms = 0.0;
     if (pipelined) {
       // In-task pruning means the decision overhead column only covers the
       // PS-side planning + ranking here.
       decision_ms = ElapsedMs(decision_start);
-      agg = std::make_unique<StreamingAggregator>(
+      agg = std::make_unique<HierarchicalAggregator>(
           global_spec, server_->weights(), num_workers,
-          strategy_->sync_scheme(), strategy_->quantize_residuals());
+          strategy_->sync_scheme(), strategy_->quantize_residuals(),
+          options_.scale.fog_fan_out);
+      // Submission is windowed: at most `window` workers are in flight at
+      // once (each holds a sub-model + upload), and each task frees its
+      // heavyweight buffers as it retires, so a 10k-worker round never
+      // materializes the fleet (TrainerOptions::ScaleOptions). A drained
+      // tag admits eagerly when no deadline policy needs the full horizon;
+      // the canonical tree makes the result independent of this pacing.
+      const int64_t window = options_.scale.max_inflight > 0
+                                 ? options_.scale.max_inflight
+                                 : static_cast<int64_t>(num_workers);
       TaskSet tasks;
+      auto on_drained = [&](int64_t tag) {
+        if (!eager_admit) return;
+        const size_t i = static_cast<size_t>(tag);
+        if (arrives[i] != 0 && payload_finite[i] != 0) {
+          agg->Admit(static_cast<int>(tag));
+        } else {
+          agg->Reject(static_cast<int>(tag));
+        }
+      };
       for (int n = 0; n < num_workers; ++n) {
+        while (tasks.pending() >= window) {
+          int64_t tag = -1;
+          FEDMP_CHECK(tasks.DrainNext(&tag));
+          on_drained(tag);
+        }
         tasks.Submit(n, [&, n] {
           const size_t i = static_cast<size_t>(n);
           // The task's spans belong to the worker it simulates.
@@ -273,8 +302,14 @@ RoundLog Trainer::Run() {
           prune_one(i);
           train_one(i);
           fault_one(i);
+          // Whatever the outcome, the aggregator owns any data it still
+          // needs (the leaf contribution) once the task retires, so the
+          // per-worker model-sized buffers free here — in-flight workers,
+          // not the fleet, bound peak RSS.
           if (!arrives[i]) {
             agg->MarkUnavailable(n);
+            uploads[i].clear();
+            subs[i].weights.clear();
             return;
           }
           // The finite-ness screen the PS applies serially in the barrier
@@ -283,24 +318,17 @@ RoundLog Trainer::Run() {
           payload_finite[i] = nn::AllFiniteList(uploads[i]) ? 1 : 0;
           if (!payload_finite[i]) {
             agg->MarkUnavailable(n);
+            uploads[i].clear();
+            subs[i].weights.clear();
             return;
           }
           agg->Accumulate(n, uploads[i], subs[i].mask);
+          uploads[i].clear();
+          subs[i].weights.clear();
         });
       }
-      if (eager_admit) {
-        int64_t tag = -1;
-        while (tasks.DrainNext(&tag)) {
-          const size_t i = static_cast<size_t>(tag);
-          if (arrives[i] != 0 && payload_finite[i] != 0) {
-            agg->Admit(static_cast<int>(tag));
-          } else {
-            agg->Reject(static_cast<int>(tag));
-          }
-        }
-      } else {
-        tasks.WaitAll();
-      }
+      int64_t tag = -1;
+      while (tasks.DrainNext(&tag)) on_drained(tag);
     } else {
       ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
         for (int64_t n = lo; n < hi; ++n) {
@@ -358,6 +386,8 @@ RoundLog Trainer::Run() {
       t.completion_s =
           std::isfinite(completion_times[i]) ? completion_times[i] : -1.0;
       t.ratio = plans[i].pruning_ratio;
+      // Region attribution (critical-path by fog tier); flat rounds keep -1.
+      t.fog = agg != nullptr ? agg->fog_of(n) : -1;
     }
     for (int n : outcome.survivors) {
       timings[static_cast<size_t>(n)].survived = true;
@@ -371,7 +401,8 @@ RoundLog Trainer::Run() {
                          {"comm_s", t.comm_s},
                          {"completion_s", t.completion_s},
                          {"ratio", t.ratio},
-                         {"survived", t.survived ? 1 : 0}});
+                         {"survived", t.survived ? 1 : 0},
+                         {"fog", t.fog}});
     }
     const obs::analysis::RoundHealth health =
         obs::analysis::SummarizeRound(round, std::move(timings));
@@ -381,9 +412,10 @@ RoundLog Trainer::Run() {
     std::vector<bool> participated(static_cast<size_t>(num_workers), false);
     int64_t rejected = 0, duplicates = 0, participants = 0;
     if (pipelined) {
-      // Admission runs in ascending worker order — the order the barrier
-      // path pushes updates — so the aggregator's fold (seed + axpys over
-      // admitted slots) reproduces AggregateSubModels bit-for-bit.
+      // Slot-indexed admission: which slot a worker occupies — not when it
+      // was decided — determines where its contribution sits in the
+      // canonical reduction tree, so this loop's order is bookkeeping only;
+      // the aggregator reproduces AggregateSubModels bit-for-bit.
       std::vector<uint8_t> survived(static_cast<size_t>(num_workers), 0);
       for (int n : outcome.survivors) {
         survived[static_cast<size_t>(n)] = 1;
@@ -416,12 +448,14 @@ RoundLog Trainer::Run() {
                  {{"round", round},
                   {"updates", static_cast<int>(participants)}});
         StreamingAggregator::Result result = agg->Finish();
-        nn::ScaleLists(result.sum,
-                       1.0f / static_cast<float>(result.participants));
-        server_->SetWeights(std::move(result.sum));
+        server_->ApplyAggregate(std::move(result.sum), result.participants);
       }
     } else {
-      std::vector<SubModelUpdate> updates;
+      // Slot-aligned updates with holes: the vector spans every worker slot
+      // and non-participants stay holes, so AggregateSubModels associates
+      // additions over the same slot tree the streamed and fog tiers use —
+      // crash/rejection patterns cannot skew the fold (see SubModelUpdate).
+      std::vector<SubModelUpdate> updates(static_cast<size_t>(num_workers));
       for (int n : outcome.survivors) {
         const size_t i = static_cast<size_t>(n);
         if (!server_->AcceptPayload(uploads[i])) {
@@ -435,14 +469,14 @@ RoundLog Trainer::Run() {
           ++duplicates;
         }
         participated[i] = true;
-        updates.push_back(SubModelUpdate{&subs[i].mask, &uploads[i]});
+        updates[i] = SubModelUpdate{&subs[i].mask, &uploads[i]};
         accepted_masks.push_back(&subs[i].mask);
+        ++participants;
       }
-      participants = static_cast<int64_t>(updates.size());
-      if (!updates.empty()) {
+      if (participants > 0) {
         OBS_SPAN("aggregate",
                  {{"round", round},
-                  {"updates", static_cast<int>(updates.size())}});
+                  {"updates", static_cast<int>(participants)}});
         auto aggregated =
             AggregateSubModels(global_spec, server_->weights(), updates,
                                strategy_->sync_scheme(),
@@ -492,6 +526,13 @@ RoundLog Trainer::Run() {
     record.rejected_updates = rejected;
     record.duplicate_updates = duplicates;
     record.max_param_staleness = staleness;
+    if (obs::Enabled()) {
+      // Round-granular high-water mark: the bounded-memory scale tests and
+      // the BENCH_scale gate read this to assert peak RSS stays
+      // O(in-flight window x model) rather than O(fleet x model).
+      static obs::Gauge* peak_rss = obs::GetGauge("fl.scale.peak_rss_bytes");
+      peak_rss->Set(static_cast<double>(PeakRssBytes()));
+    }
     record.critical_worker = health.critical_worker;
     record.critical_comp_s = health.critical_comp_s;
     record.critical_comm_s = health.critical_comm_s;

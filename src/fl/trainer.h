@@ -44,6 +44,23 @@ struct TrainerOptions {
   int64_t max_param_staleness = 0;
   uint64_t seed = 1;
   bool verbose = false;
+  // Scale-out knobs for large fleets (DESIGN.md "Hierarchical aggregation").
+  // Both only affect the pipelined engine; the global model is bit-identical
+  // at ANY setting — fog partials merge along the same canonical reduction
+  // tree the flat fold uses, and the window only reorders task completion,
+  // which the tree absorbs.
+  struct ScaleOptions {
+    // Number of regional (fog) aggregators the worker-slot range is split
+    // across. <= 1 keeps the flat single-aggregator topology.
+    int fog_fan_out = 1;
+    // Cap on simultaneously in-flight worker tasks. Each in-flight worker
+    // holds its sub-model + upload, so the cap bounds a round's peak memory
+    // at O(max_inflight x model) instead of O(fleet x model) — this is what
+    // makes 10k-worker rounds tractable. 0 = unbounded (submit everything
+    // up front, the PR-6 behavior).
+    int max_inflight = 0;
+  };
+  ScaleOptions scale;
   // Execution lanes for the parallel engine (per-worker rounds + kernels).
   // 0 = auto (FEDMP_THREADS env var, else hardware_concurrency); 1 runs the
   // exact serial path. The global model is bit-identical at any value —

@@ -11,10 +11,37 @@ namespace fedmp::fl {
 
 namespace {
 
-// Enough for the handful of pruned architectures a worker cycles through
-// (its bandit-chosen ratios); LRU eviction keeps memory bounded when a
-// strategy sweeps many distinct ratios.
-constexpr size_t kModelCacheCap = 4;
+// One reusable (model, optimizer) pair per sub-model architecture a lane
+// has trained. FedMP hands workers the same handful of pruned specs round
+// after round; rebuilding the model each time re-runs weight init that
+// SetWeights immediately overwrites.
+struct ModelCacheEntry {
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<nn::Sgd> sgd;
+  uint64_t last_used = 0;
+};
+
+// The cache is PER EXECUTION LANE (thread_local), shared by every Worker
+// the lane drives. Per-Worker caches fall apart at both ends of the scale
+// axis: 10k workers each holding models is O(fleet x model) memory, and a
+// short cold-start run spreads the same few architectures across hundreds
+// of private caches, paying the build cost per worker instead of per arch
+// (the PR-5 bench regression). Lane caches bound live models at
+// lanes x cap and let one warm-up serve the whole fleet. Entries are reset
+// to fresh-build state on every hit, so sharing never changes trained bits.
+struct LaneCache {
+  std::vector<ModelCacheEntry> entries;
+  uint64_t clock = 0;
+  uint64_t epoch = 0;  // lags g_cache_epoch until the next lookup clears
+};
+
+thread_local LaneCache g_lane_cache;
+std::atomic<uint64_t> g_cache_epoch{0};
+
+// Covers the full ratio grid a strategy sweeps (the theta grid induces ~15
+// distinct pruned architectures incl. the full model); LRU eviction keeps
+// memory bounded when a run sweeps more.
+constexpr size_t kModelCacheCap = 16;
 
 std::atomic<bool> g_reuse_enabled{true};
 std::atomic<bool> g_reuse_env_checked{false};
@@ -56,7 +83,48 @@ bool SameArchitecture(const nn::ModelSpec& a, const nn::ModelSpec& b) {
          a.num_classes == b.num_classes && a.layers == b.layers;
 }
 
+// Returns this lane's cache entry for `spec` reset to fresh-build state
+// (dropout stream reseeded with `seed`, optimizer Reset), building one on
+// miss and evicting the least-recently-used entry past the cap.
+ModelCacheEntry& CachedModel(const nn::ModelSpec& spec, uint64_t seed,
+                             const nn::SgdOptions& sgd_options) {
+  LaneCache& cache = g_lane_cache;
+  const uint64_t epoch = g_cache_epoch.load(std::memory_order_relaxed);
+  if (cache.epoch != epoch) {
+    cache.entries.clear();
+    cache.epoch = epoch;
+  }
+  ++cache.clock;
+  for (ModelCacheEntry& e : cache.entries) {
+    if (SameArchitecture(e.model->spec(), spec)) {
+      e.last_used = cache.clock;
+      e.model->ReseedDropout(seed);
+      e.sgd->Reset(sgd_options);
+      CountModelCache(/*hit=*/true);
+      return e;
+    }
+  }
+  CountModelCache(/*hit=*/false);
+  if (cache.entries.size() >= kModelCacheCap) {
+    size_t lru = 0;
+    for (size_t i = 1; i < cache.entries.size(); ++i) {
+      if (cache.entries[i].last_used < cache.entries[lru].last_used) lru = i;
+    }
+    cache.entries.erase(cache.entries.begin() + static_cast<ptrdiff_t>(lru));
+  }
+  ModelCacheEntry entry;
+  entry.model = nn::BuildModelOrDie(spec, seed);
+  entry.sgd = std::make_unique<nn::Sgd>(sgd_options);
+  entry.last_used = cache.clock;
+  cache.entries.push_back(std::move(entry));
+  return cache.entries.back();
+}
+
 }  // namespace
+
+void ClearModelCache() {
+  g_cache_epoch.fetch_add(1, std::memory_order_relaxed);
+}
 
 bool ModelReuseEnabled() {
   MaybeReadReuseEnv();
@@ -79,35 +147,6 @@ Worker::Worker(int id, const data::Dataset* train,
   FEDMP_CHECK(train != nullptr);
   FEDMP_CHECK(!shard_.empty()) << "worker " << id << " has an empty shard";
   loader_indices_size_ = static_cast<int64_t>(shard_.size());
-}
-
-Worker::ModelCacheEntry& Worker::CachedModel(
-    const nn::ModelSpec& spec, uint64_t seed,
-    const nn::SgdOptions& sgd_options) {
-  ++cache_clock_;
-  for (ModelCacheEntry& e : model_cache_) {
-    if (SameArchitecture(e.model->spec(), spec)) {
-      e.last_used = cache_clock_;
-      e.model->ReseedDropout(seed);
-      e.sgd->Reset(sgd_options);
-      CountModelCache(/*hit=*/true);
-      return e;
-    }
-  }
-  CountModelCache(/*hit=*/false);
-  if (model_cache_.size() >= kModelCacheCap) {
-    size_t lru = 0;
-    for (size_t i = 1; i < model_cache_.size(); ++i) {
-      if (model_cache_[i].last_used < model_cache_[lru].last_used) lru = i;
-    }
-    model_cache_.erase(model_cache_.begin() + static_cast<ptrdiff_t>(lru));
-  }
-  ModelCacheEntry entry;
-  entry.model = nn::BuildModelOrDie(spec, seed);
-  entry.sgd = std::make_unique<nn::Sgd>(sgd_options);
-  entry.last_used = cache_clock_;
-  model_cache_.push_back(std::move(entry));
-  return model_cache_.back();
 }
 
 LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,

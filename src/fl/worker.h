@@ -22,6 +22,12 @@ namespace fedmp::fl {
 bool ModelReuseEnabled();
 void SetModelReuseEnabled(bool on);
 
+// Drops every execution lane's cached (model, optimizer) pairs (lazily, the
+// next time each lane trains). Tests that pin cache hit counts call this
+// first so the counts start from a cold cache regardless of what ran
+// earlier in the process.
+void ClearModelCache();
+
 // Local-update configuration for one round on one worker.
 struct LocalTrainOptions {
   int64_t tau = 5;  // local SGD iterations per round
@@ -62,22 +68,15 @@ class Worker {
                          const LocalTrainOptions& options);
 
  private:
-  // One reusable (model, optimizer) pair per sub-model architecture this
-  // worker has trained. FedMP hands a worker the same handful of pruned
-  // specs round after round; rebuilding the model each time re-runs weight
-  // init that SetWeights immediately overwrites.
-  struct ModelCacheEntry {
-    std::unique_ptr<nn::Model> model;
-    std::unique_ptr<nn::Sgd> sgd;
-    uint64_t last_used = 0;
-  };
-
-  // Returns a cache entry for `spec` reset to fresh-build state (dropout
-  // stream reseeded with `seed`, optimizer Reset), building one on miss and
-  // evicting the least-recently-used entry past the cap.
-  ModelCacheEntry& CachedModel(const nn::ModelSpec& spec, uint64_t seed,
-                               const nn::SgdOptions& sgd_options);
-
+  // NOTE: reusable (model, optimizer) pairs live in a per-execution-lane
+  // cache shared by every Worker the lane drives (see worker.cc), NOT here.
+  // A Worker object is therefore lightweight — a shard, a profile, and an
+  // RNG stream — which is what lets one process simulate 10k+ workers: the
+  // number of live models scales with lanes x architectures, not fleet
+  // size, and a cache warmed by one worker serves all of them (the pruned
+  // architectures come from the shared ratio grid). The cached path resets
+  // the pair to fresh-build state (ReseedDropout, Sgd::Reset, SetWeights),
+  // so which worker warmed an entry never changes the trained bits.
   int id_;
   const data::Dataset* train_;
   std::vector<int64_t> shard_;
@@ -86,8 +85,6 @@ class Worker {
   std::unique_ptr<data::DataLoader> loader_;
   int64_t loader_batch_ = -1;
   int64_t loader_indices_size_ = 0;
-  std::vector<ModelCacheEntry> model_cache_;
-  uint64_t cache_clock_ = 0;
 };
 
 }  // namespace fedmp::fl

@@ -17,6 +17,15 @@ namespace {
 constexpr int64_t kMaxThreadPoolBytes = int64_t{64} << 20;
 // Free-list buffers below this size are not worth the bookkeeping.
 constexpr int64_t kMinPooledNumel = 64;
+// Per-numel cap on free-list depth. Some paths recycle more buffers of a
+// size than they ever acquire (e.g. freshly built tensors retired after a
+// single use each worker-round), so without a depth bound the lists grow
+// until the byte cap even for tiny models — at 10k workers that parked
+// ~140 MB of dead small buffers across lanes. A layer never holds more
+// than a few dozen live tensors of one shape (LSTM per-step caches are the
+// deepest at ~35), so 64 keeps every real reuse pattern while bounding the
+// parked set. Dropping a buffer only forfeits reuse; values are unchanged.
+constexpr size_t kMaxFreeListDepth = 64;
 
 std::atomic<bool> g_enabled{true};
 std::atomic<bool> g_env_checked{false};
@@ -134,8 +143,10 @@ void Recycle(Tensor&& t) {
   ThreadPoolState& state = State();
   const int64_t add = numel * static_cast<int64_t>(sizeof(float));
   if (state.bytes + add > kMaxThreadPoolBytes) return;  // drop: stay bounded
+  auto& list = state.free_lists[numel];
+  if (list.size() >= kMaxFreeListDepth) return;  // drop: list already deep
   Tensor victim = std::move(t);
-  state.free_lists[numel].push_back(std::move(victim.vec()));
+  list.push_back(std::move(victim.vec()));
   state.bytes += add;
 }
 

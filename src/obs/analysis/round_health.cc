@@ -23,6 +23,7 @@ RoundHealth SummarizeRound(int64_t round, std::vector<WorkerTiming> workers) {
     sum += w.completion_s;
     if (w.completion_s > health.critical_total_s) {
       health.critical_worker = w.worker;
+      health.critical_fog = w.fog;
       health.critical_comp_s = w.comp_s;
       health.critical_comm_s = w.comm_s;
       health.critical_total_s = w.completion_s;
@@ -64,6 +65,11 @@ std::vector<RoundHealth> HealthFromEvents(
     if (const JsonValue* v = args->Find("survived")) {
       timing.survived = v->IntOr(0) != 0;
     }
+    // Optional: only emitted by hierarchical rounds (older event streams
+    // and flat rounds keep the -1 default).
+    if (const JsonValue* v = args->Find("fog")) {
+      timing.fog = static_cast<int>(v->IntOr(-1));
+    }
     by_round[round].push_back(timing);
   }
   std::vector<RoundHealth> out;
@@ -79,14 +85,16 @@ std::string RenderRoundHealthTable(const std::vector<RoundHealth>& rounds) {
   char buf[192];
   out += "Round health (simulated time, critical path = slowest survivor)\n";
   out +=
-      "  round  crit.worker  crit.comp_s  crit.comm_s  crit.total_s"
+      "  round  crit.worker  crit.fog  crit.comp_s  crit.comm_s  crit.total_s"
       "  mean_s    gap_max  survivors\n";
   for (const RoundHealth& h : rounds) {
     std::snprintf(buf, sizeof(buf),
-                  "  %5lld  %11d  %11.4f  %11.4f  %12.4f  %6.4f  %9.4f  %9d\n",
+                  "  %5lld  %11d  %8d  %11.4f  %11.4f  %12.4f  %6.4f  %9.4f"
+                  "  %9d\n",
                   static_cast<long long>(h.round), h.critical_worker,
-                  h.critical_comp_s, h.critical_comm_s, h.critical_total_s,
-                  h.mean_completion_s, h.straggler_gap_max, h.survivors);
+                  h.critical_fog, h.critical_comp_s, h.critical_comm_s,
+                  h.critical_total_s, h.mean_completion_s,
+                  h.straggler_gap_max, h.survivors);
     out += buf;
   }
 
@@ -122,11 +130,12 @@ std::string RoundHealthJson(const std::vector<RoundHealth>& rounds) {
     if (r > 0) out += ",";
     std::snprintf(
         buf, sizeof(buf),
-        "{\"round\":%lld,\"critical_worker\":%d,\"critical_comp_s\":%s,"
+        "{\"round\":%lld,\"critical_worker\":%d,\"critical_fog\":%d,"
+        "\"critical_comp_s\":%s,"
         "\"critical_comm_s\":%s,\"critical_total_s\":%s,"
         "\"mean_completion_s\":%s,\"straggler_gap_max\":%s,\"survivors\":%d,"
         "\"workers\":[",
-        static_cast<long long>(h.round), h.critical_worker,
+        static_cast<long long>(h.round), h.critical_worker, h.critical_fog,
         JsonNumber(h.critical_comp_s, 6).c_str(),
         JsonNumber(h.critical_comm_s, 6).c_str(),
         JsonNumber(h.critical_total_s, 6).c_str(),
@@ -137,9 +146,9 @@ std::string RoundHealthJson(const std::vector<RoundHealth>& rounds) {
       const WorkerTiming& t = h.workers[w];
       if (w > 0) out += ",";
       std::snprintf(buf, sizeof(buf),
-                    "{\"worker\":%d,\"comp_s\":%s,\"comm_s\":%s,"
+                    "{\"worker\":%d,\"fog\":%d,\"comp_s\":%s,\"comm_s\":%s,"
                     "\"completion_s\":%s,\"ratio\":%s,\"survived\":%s}",
-                    t.worker, JsonNumber(t.comp_s, 6).c_str(),
+                    t.worker, t.fog, JsonNumber(t.comp_s, 6).c_str(),
                     JsonNumber(t.comm_s, 6).c_str(),
                     JsonNumber(t.completion_s, 6).c_str(),
                     JsonNumber(t.ratio, 6).c_str(),

@@ -26,6 +26,8 @@ struct WorkerTiming {
                               // upload never reached the PS
   double ratio = 0.0;         // pruning ratio the worker executed
   bool survived = false;      // arrival accepted within the round's deadline
+  int fog = -1;               // regional aggregator the worker uploads to;
+                              // -1 when the round ran the flat topology
 };
 
 struct RoundHealth {
@@ -33,6 +35,10 @@ struct RoundHealth {
   // The slowest surviving worker: the round's critical path runs through
   // its prune -> train -> transmit chain.
   int critical_worker = -1;
+  // Fog tier of the critical worker (-1 under the flat topology): at scale
+  // the actionable question is which REGION the round waited on, not just
+  // which worker.
+  int critical_fog = -1;
   double critical_comp_s = 0.0;
   double critical_comm_s = 0.0;
   double critical_total_s = 0.0;

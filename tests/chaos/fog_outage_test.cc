@@ -1,0 +1,254 @@
+// Chaos-at-scale: regional (fog) outages. A fog node going down takes its
+// whole worker slice out for the round; the run must degrade exactly like
+// the PR-2 crash rounds — completion, finite global model, previous global
+// kept on empty rounds — and the same seed must replay bit-for-bit at any
+// thread count. The plan-level tests also pin the stream-isolation
+// contract: enabling outages never shifts the per-worker fault draws.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/range_tree.h"
+#include "common/thread_pool.h"
+#include "edge/fault.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "nn/tensor_ops.h"
+#include "obs/metrics.h"
+
+namespace fedmp::fl {
+namespace {
+
+// ---- Plan-level properties ------------------------------------------------
+
+TEST(FogOutagePlanTest, FogKnobsAloneActivateThePlan) {
+  edge::FaultPlanOptions off;
+  EXPECT_FALSE(off.any());
+  edge::FaultPlanOptions probe = off;
+  probe.fog_outage_prob = 0.5;  // prob without groups: still disabled
+  EXPECT_FALSE(probe.any());
+  probe.fog_groups = 4;
+  EXPECT_TRUE(probe.any());
+  const edge::FaultPlan plan(16, probe);
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FogOutagePlanTest, GroupAssignmentMatchesCanonicalSlices) {
+  edge::FaultPlanOptions opts;
+  opts.fog_outage_prob = 0.3;
+  opts.fog_groups = 4;
+  opts.seed = 77;
+  const int workers = 11;
+  const edge::FaultPlan plan(workers, opts);
+  const auto slices = CanonicalRangeSlices(workers, opts.fog_groups);
+  for (int w = 0; w < workers; ++w) {
+    EXPECT_EQ(plan.FogGroupOf(w), SliceOf(slices, w)) << "worker " << w;
+  }
+  // Disabled plans report no group.
+  const edge::FaultPlan inactive(workers, edge::FaultPlanOptions{});
+  EXPECT_EQ(inactive.FogGroupOf(0), -1);
+}
+
+TEST(FogOutagePlanTest, OutageDrawIsDeterministicAndGroupWide) {
+  edge::FaultPlanOptions opts;
+  opts.fog_outage_prob = 0.4;
+  opts.fog_groups = 3;
+  opts.seed = 91;
+  const int workers = 12;
+  const edge::FaultPlan plan(workers, opts);
+  const edge::FaultPlan replay(workers, opts);
+  for (int64_t round = 0; round < 20; ++round) {
+    for (int w = 0; w < workers; ++w) {
+      // Pure function of (seed, round, group): replays agree, and every
+      // worker of a group shares its fate.
+      EXPECT_EQ(plan.FogOutageAt(round, w), replay.FogOutageAt(round, w));
+      const int g = plan.FogGroupOf(w);
+      for (int v = 0; v < workers; ++v) {
+        if (plan.FogGroupOf(v) == g) {
+          EXPECT_EQ(plan.FogOutageAt(round, w), plan.FogOutageAt(round, v))
+              << "round " << round << " workers " << w << "," << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(FogOutagePlanTest, EnablingOutagesDoesNotShiftPerWorkerDraws) {
+  edge::FaultPlanOptions base;
+  base.crash_prob = 0.2;
+  base.straggle_prob = 0.3;
+  base.straggle_factor = 3.0;
+  base.corrupt_prob = 0.2;
+  base.channel.loss_prob = 0.1;
+  base.channel.duplicate_prob = 0.1;
+  base.seed = 55;
+  edge::FaultPlanOptions with_fog = base;
+  with_fog.fog_outage_prob = 0.5;
+  with_fog.fog_groups = 2;
+
+  const int workers = 8;
+  const edge::FaultPlan plain(workers, base);
+  const edge::FaultPlan foggy(workers, with_fog);
+  for (int64_t round = 0; round < 15; ++round) {
+    for (int w = 0; w < workers; ++w) {
+      const auto a = plain.FaultsFor(round, w);
+      const auto b = foggy.FaultsFor(round, w);
+      // Everything drawn from the per-worker streams is untouched; only the
+      // down-state may differ (the group outage folds into it).
+      EXPECT_EQ(a.slowdown, b.slowdown) << "round " << round << " w " << w;
+      EXPECT_EQ(a.update_corrupted, b.update_corrupted);
+      EXPECT_EQ(a.update_dropped, b.update_dropped);
+      EXPECT_EQ(a.update_duplicated, b.update_duplicated);
+      EXPECT_EQ(a.extra_delay, b.extra_delay);
+      if (a.crashed) {
+        EXPECT_TRUE(b.crashed);  // outages only add downtime
+      }
+    }
+  }
+}
+
+TEST(FogOutagePlanTest, RejoinWindowAppliesToGroupOutages) {
+  edge::FaultPlanOptions opts;
+  opts.fog_outage_prob = 0.35;
+  opts.fog_groups = 2;
+  opts.rejoin_after = 2;
+  opts.seed = 13;
+  const int workers = 6;
+  const edge::FaultPlan plan(workers, opts);
+  // Find an outage round followed by a clean draw: the worker must still be
+  // down the next round (healing takes rejoin_after rounds).
+  bool exercised = false;
+  for (int64_t round = 0; round < 50 && !exercised; ++round) {
+    for (int w = 0; w < workers; ++w) {
+      if (plan.FogOutageAt(round, w) && !plan.FogOutageAt(round + 1, w)) {
+        EXPECT_TRUE(plan.IsDown(round, w));
+        EXPECT_TRUE(plan.IsDown(round + 1, w))
+            << "rejoin window ignored for a fog outage";
+        exercised = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(exercised) << "no outage/clean round pair in 50 rounds";
+}
+
+// ---- Engine-level: runs degrade gracefully and replay exactly -------------
+
+struct RunResult {
+  nn::TensorList weights;
+  RoundLog log;
+};
+
+RunResult RunWithOutages(int num_threads, uint64_t fault_seed) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 8);
+  TrainerOptions opt;
+  opt.max_rounds = 10;
+  opt.eval_every = 3;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  opt.faults.fog_outage_prob = 0.3;
+  opt.faults.fog_groups = 4;
+  opt.faults.rejoin_after = 2;
+  opt.faults.seed = fault_seed;
+  // The fault plan's groups mirror the aggregation topology on purpose.
+  opt.scale.fog_fan_out = 4;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_TRUE(a.weights[i].SameShape(b.weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(a.weights[i], b.weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(a.log.records().size(), b.log.records().size());
+  for (size_t i = 0; i < a.log.records().size(); ++i) {
+    const auto& ra = a.log.records()[i];
+    const auto& rb = b.log.records()[i];
+    EXPECT_EQ(ra.sim_time, rb.sim_time) << "round " << ra.round;
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.participants, rb.participants) << "round " << ra.round;
+  }
+}
+
+TEST(FogOutageChaosTest, OutageRoundsDegradeGracefullyAndCount) {
+  obs::SetEnabled(true);
+  obs::Registry::Get().Reset();
+  const RunResult run = RunWithOutages(1, /*fault_seed=*/41);
+
+  EXPECT_EQ(run.log.records().size(), 10u);
+  EXPECT_TRUE(nn::AllFiniteList(run.weights));
+  double prev = 0.0;
+  bool participation_dropped = false;
+  for (const auto& r : run.log.records()) {
+    EXPECT_GT(r.sim_time, prev) << "clock must keep advancing";
+    prev = r.sim_time;
+    if (r.participants < 8) participation_dropped = true;
+  }
+  EXPECT_TRUE(participation_dropped) << "no fog outage ever fired";
+
+  // The injected-event tally has to see them too.
+  double outage_count = 0.0;
+  for (const auto& m : obs::Registry::Get().Snapshot()) {
+    if (m.name == "faults.fog_outage") outage_count = m.value;
+  }
+  EXPECT_GT(outage_count, 0.0);
+  obs::SetEnabled(false);
+}
+
+TEST(FogOutageChaosTest, SameSeedBitIdenticalAcrossThreadCounts) {
+  const RunResult serial = RunWithOutages(1, /*fault_seed=*/41);
+  const RunResult parallel = RunWithOutages(4, /*fault_seed=*/41);
+  ExpectBitIdentical(serial, parallel);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(FogOutageChaosTest, AllGroupsDownKeepsPreviousGlobal) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 6);
+  TrainerOptions opt;
+  opt.max_rounds = 3;
+  opt.eval_every = 3;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.faults.fog_outage_prob = 1.0;  // every region, every round
+  opt.faults.fog_groups = 3;
+  opt.scale.fog_fan_out = 3;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  const nn::TensorList initial = trainer.server().weights();
+
+  const RoundLog log = trainer.Run();
+
+  EXPECT_EQ(log.records().size(), 3u);
+  for (const auto& r : log.records()) {
+    EXPECT_EQ(r.participants, 0);
+  }
+  const nn::TensorList& final = trainer.server().weights();
+  ASSERT_EQ(final.size(), initial.size());
+  for (size_t i = 0; i < final.size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff(final[i], initial[i]), 0.0)
+        << "empty rounds must leave the global model untouched";
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -194,6 +194,54 @@ TEST(TaskSetTest, DestructorWaitsForUndrainedTasks) {
   EXPECT_EQ(ran.load(), 10);
 }
 
+TEST(TaskSetTest, PendingCountsSubmittedMinusDrained) {
+  // pending() = running + completed-but-undrained; it is what the windowed
+  // scale-out loop throttles on, so its bookkeeping is pinned here.
+  ThreadPool pool(2);
+  TaskSet tasks(&pool);
+  EXPECT_EQ(tasks.pending(), 0);
+  for (int64_t t = 0; t < 6; ++t) {
+    tasks.Submit(t, [] {});
+    EXPECT_EQ(tasks.pending(), t + 1);  // completion never decrements it
+  }
+  tasks.WaitAll();
+  EXPECT_EQ(tasks.pending(), 6) << "only draining may lower pending()";
+  int64_t tag = -1;
+  for (int64_t left = 6; left > 0; --left) {
+    ASSERT_TRUE(tasks.DrainNext(&tag));
+    EXPECT_EQ(tasks.pending(), left - 1);
+  }
+  EXPECT_FALSE(tasks.DrainNext(&tag));
+  EXPECT_EQ(tasks.pending(), 0);
+}
+
+TEST(TaskSetTest, WindowedSubmitLoopNeverExceedsWindow) {
+  // The exact throttle shape fl/trainer.cc uses: before each Submit, drain
+  // until pending() is below the window. Observed in-flight count must
+  // never pass the window at any point in the loop.
+  ThreadPool pool(4);
+  TaskSet tasks(&pool);
+  const int64_t window = 3;
+  const int64_t total = 20;
+  std::vector<int> drained(total, 0);
+  int64_t max_pending = 0;
+  for (int64_t t = 0; t < total; ++t) {
+    int64_t tag = -1;
+    while (tasks.pending() >= window) {
+      ASSERT_TRUE(tasks.DrainNext(&tag));
+      ++drained[static_cast<size_t>(tag)];
+    }
+    tasks.Submit(t, [] {});
+    max_pending = std::max(max_pending, tasks.pending());
+  }
+  int64_t tag = -1;
+  while (tasks.DrainNext(&tag)) ++drained[static_cast<size_t>(tag)];
+  EXPECT_LE(max_pending, window);
+  for (int64_t t = 0; t < total; ++t) {
+    EXPECT_EQ(drained[static_cast<size_t>(t)], 1) << "tag " << t;
+  }
+}
+
 TEST(ThreadPoolTest, TryRunOneReturnsFalseOnEmptyQueue) {
   ThreadPool pool(4);
   EXPECT_FALSE(pool.TryRunOne());

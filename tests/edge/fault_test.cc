@@ -181,6 +181,44 @@ TEST(FaultPlanTest, CrashRateApproximatelyHonored) {
   EXPECT_NEAR(static_cast<double>(crashed) / (rounds * 10), 0.2, 0.02);
 }
 
+TEST(FaultPlanTest, FogKnobsAreValidated) {
+  FaultPlanOptions bad_prob;
+  bad_prob.fog_outage_prob = 1.5;
+  bad_prob.fog_groups = 4;
+  EXPECT_DEATH(FaultPlan(8, bad_prob), "Check failed");
+  FaultPlanOptions bad_groups;
+  bad_groups.fog_outage_prob = 0.5;
+  bad_groups.fog_groups = -1;
+  EXPECT_DEATH(FaultPlan(8, bad_groups), "Check failed");
+}
+
+TEST(FaultPlanTest, FogGroupsBeyondWorkersClampToOnePerWorker) {
+  FaultPlanOptions opts;
+  opts.fog_outage_prob = 0.5;
+  opts.fog_groups = 64;  // more regions than workers
+  opts.seed = 9;
+  FaultPlan plan(5, opts);
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_EQ(plan.FogGroupOf(w), w) << "each worker is its own region";
+  }
+}
+
+TEST(FaultPlanTest, FogOutageRateApproximatelyHonored) {
+  FaultPlanOptions opts;
+  opts.fog_outage_prob = 0.25;
+  opts.fog_groups = 4;
+  opts.seed = 17;
+  FaultPlan plan(16, opts);
+  int down = 0;
+  const int64_t rounds = 4000;
+  for (int64_t round = 0; round < rounds; ++round) {
+    for (int group_rep : {0, 4, 8, 12}) {  // one probe per region
+      if (plan.FogOutageAt(round, group_rep)) ++down;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(down) / (rounds * 4), 0.25, 0.02);
+}
+
 TEST(FaultPlanTest, StraggleScalesCompletionTime) {
   FaultPlanOptions opts;
   opts.straggle_prob = 1.0;

@@ -108,6 +108,61 @@ TEST(AggregationTest, EmptyParticipantsRejected) {
           .ok());
 }
 
+// Holes are free: with a single participant, slot position cannot change
+// association, so padding the updates vector with holes must reproduce the
+// lone-participant aggregate bit for bit (and count one participant).
+TEST(AggregationTest, HolesContributeNothingAroundLoneParticipant) {
+  Fixture f;
+  auto sub = pruning::PruneByRatio(f.task.model, f.global, 0.4);
+  ASSERT_TRUE(sub.ok());
+  nn::TensorList trained = sub->weights;
+  for (auto& t : trained) {
+    for (int64_t i = 0; i < t.numel(); ++i) t.at(i) += 0.25f;
+  }
+  auto lone = AggregateSubModels(
+      f.task.model, f.global, {SubModelUpdate{&sub->mask, &trained}},
+      SyncScheme::kR2SP);
+  ASSERT_TRUE(lone.ok());
+
+  std::vector<SubModelUpdate> holey(5);  // slots 0,1,3,4 are holes
+  holey[2] = SubModelUpdate{&sub->mask, &trained};
+  auto padded = AggregateSubModels(f.task.model, f.global, holey,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(padded.ok());
+  ASSERT_EQ(lone->size(), padded->size());
+  for (size_t i = 0; i < lone->size(); ++i) {
+    EXPECT_EQ(nn::MaxAbsDiff((*lone)[i], (*padded)[i]), 0.0) << "tensor " << i;
+  }
+}
+
+// A round where every slot is a hole has no participants — same error as an
+// empty updates vector, not a zero model.
+TEST(AggregationTest, AllHolesRejected) {
+  Fixture f;
+  std::vector<SubModelUpdate> holes(4);
+  EXPECT_FALSE(
+      AggregateSubModels(f.task.model, f.global, holes, SyncScheme::kR2SP)
+          .ok());
+}
+
+// A hole carrying a mask is a caller bug (the slot claims to have pruned
+// but not trained) — the aggregator refuses loudly instead of guessing.
+TEST(AggregationTest, HoleWithMaskIsFatal) {
+  Fixture f;
+  auto sub = pruning::PruneByRatio(f.task.model, f.global, 0.4);
+  ASSERT_TRUE(sub.ok());
+  std::vector<SubModelUpdate> updates(2);
+  updates[0] = SubModelUpdate{&sub->mask, &sub->weights};
+  updates[1].mask = &sub->mask;  // weights stay null: malformed hole
+  EXPECT_DEATH(
+      {
+        auto r = AggregateSubModels(f.task.model, f.global, updates,
+                                    SyncScheme::kR2SP);
+        (void)r;
+      },
+      "hole with a mask");
+}
+
 TEST(FedAvgTest, AveragesTensorwise) {
   nn::TensorList a{nn::Tensor::Full({2}, 1.0f)};
   nn::TensorList b{nn::Tensor::Full({2}, 3.0f)};

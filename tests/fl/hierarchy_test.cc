@@ -1,0 +1,364 @@
+// The fog tier must be invisible in results: hierarchical aggregation over
+// canonical range slices is bit-identical to the flat paths at any fan-out,
+// thread count, and arrival order — including rounds with interior holes and
+// fully-down regions. These are property tests in the pipeline_test oracle
+// style: the serial AggregateSubModels fold is the single source of truth,
+// and the concurrent suites double as TSAN coverage for the fog tier.
+
+#include "fl/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/range_tree.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "fl/aggregation.h"
+#include "fl/pipeline.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+// --- CanonicalRangeSlices / SliceOf properties ---
+
+// A range is a node of the canonical tree over [0, n) iff a descent that
+// splits at CanonicalSplit reaches it exactly.
+bool IsCanonicalTreeNode(int64_t n, int64_t lo, int64_t hi) {
+  int64_t clo = 0, chi = n;
+  while (!(clo == lo && chi == hi)) {
+    if (chi - clo < 2) return false;
+    const int64_t mid = CanonicalSplit(clo, chi);
+    if (hi <= mid) {
+      chi = mid;
+    } else if (lo >= mid) {
+      clo = mid;
+    } else {
+      return false;  // straddles a split: not a subtree
+    }
+  }
+  return true;
+}
+
+TEST(HierarchySlicesTest, SlicesPartitionTheRangeIntoTreeNodes) {
+  for (int64_t n : {1, 2, 3, 5, 8, 37, 100, 10000}) {
+    for (int64_t parts : {1, 2, 3, 4, 7, 32, 64}) {
+      const auto slices = CanonicalRangeSlices(n, parts);
+      ASSERT_EQ(static_cast<int64_t>(slices.size()), std::min(parts, n))
+          << "n=" << n << " parts=" << parts;
+      // Sorted, contiguous, covering [0, n).
+      EXPECT_EQ(slices.front().first, 0);
+      EXPECT_EQ(slices.back().second, n);
+      for (size_t i = 0; i < slices.size(); ++i) {
+        EXPECT_LT(slices[i].first, slices[i].second);
+        if (i > 0) {
+          EXPECT_EQ(slices[i - 1].second, slices[i].first);
+        }
+        EXPECT_TRUE(IsCanonicalTreeNode(n, slices[i].first, slices[i].second))
+            << "n=" << n << " parts=" << parts << " slice [" << slices[i].first
+            << ", " << slices[i].second << ")";
+      }
+      // SliceOf agrees with a linear scan at every index boundary and a
+      // spread of interior points.
+      for (int64_t idx = 0; idx < n; idx += std::max<int64_t>(1, n / 13)) {
+        int want = -1;
+        for (size_t s = 0; s < slices.size(); ++s) {
+          if (slices[s].first <= idx && idx < slices[s].second) {
+            want = static_cast<int>(s);
+          }
+        }
+        EXPECT_EQ(SliceOf(slices, idx), want) << "n=" << n << " idx=" << idx;
+      }
+    }
+  }
+}
+
+// --- HierarchicalAggregator vs the serial oracle ---
+
+// Many distinct sub-model updates over the tiny CNN so that fan-out 32 still
+// sees multi-slot fog slices and the fold order genuinely matters.
+struct FogFixture {
+  data::FlTask task;
+  nn::TensorList global;
+  std::vector<pruning::SubModel> subs;
+
+  explicit FogFixture(int n)
+      : task(data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5)) {
+    auto model = nn::BuildModelOrDie(task.model, 9);
+    global = model->GetWeights();
+    const double ratios[] = {0.2, 0.35, 0.5, 0.7};
+    for (int i = 0; i < n; ++i) {
+      auto sub = pruning::PruneByRatio(task.model, global, ratios[i % 4]);
+      EXPECT_TRUE(sub.ok());
+      subs.push_back(std::move(sub).value());
+      // Per-slot perturbation so every update is distinct and any
+      // re-association of the sum shows up in the bits.
+      for (auto& t : subs.back().weights) {
+        for (int64_t j = 0; j < t.numel(); ++j) {
+          t.at(j) += 0.0007f * static_cast<float>((j + i) % 11);
+        }
+      }
+    }
+  }
+};
+
+nn::TensorList FlatOracle(const FogFixture& f,
+                          const std::vector<bool>& admitted, bool quantize) {
+  std::vector<SubModelUpdate> updates(f.subs.size());
+  for (size_t i = 0; i < f.subs.size(); ++i) {
+    if (admitted[i]) {
+      updates[i] = SubModelUpdate{&f.subs[i].mask, &f.subs[i].weights};
+    }
+  }
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP, quantize);
+  EXPECT_TRUE(oracle.ok());
+  return std::move(oracle).value();
+}
+
+// Drives the fog tier from `num_threads` concurrent producers feeding slots
+// in a seeded shuffled order while the main thread races the decisions in
+// slot order. Returns the scaled global update.
+nn::TensorList RunFog(const FogFixture& f, const std::vector<bool>& admitted,
+                      bool quantize, int fan_out, int num_threads,
+                      uint64_t shuffle_seed, int* participants_out) {
+  const int n = static_cast<int>(f.subs.size());
+  HierarchicalAggregator agg(f.task.model, f.global, n, SyncScheme::kR2SP,
+                             quantize, fan_out);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(shuffle_seed);
+  rng.Shuffle(order);
+
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int k = t; k < n; k += num_threads) {
+        const int slot = order[static_cast<size_t>(k)];
+        if (admitted[static_cast<size_t>(slot)]) {
+          agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                         f.subs[static_cast<size_t>(slot)].mask);
+        } else {
+          agg.MarkUnavailable(slot);
+        }
+      }
+    });
+  }
+  // Decisions race with the payloads (and may land first — the aggregator
+  // must hold them until the slot is ready).
+  for (int slot = 0; slot < n; ++slot) {
+    if (admitted[static_cast<size_t>(slot)]) {
+      agg.Admit(slot);
+    } else {
+      agg.Reject(slot);
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  StreamingAggregator::Result result = agg.Finish();
+  *participants_out = result.participants;
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  return std::move(result.sum);
+}
+
+void ExpectListsBitIdentical(const nn::TensorList& got,
+                             const nn::TensorList& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].SameShape(want[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(got[i], want[i]), 0.0) << "tensor " << i;
+  }
+}
+
+class HierarchyAggregatorTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(HierarchyAggregatorTest, BitIdenticalToFlatAcrossFanOutAndThreads) {
+  const bool quantize = GetParam();
+  const int n = 37;  // odd, non-power-of-two: every slice width appears
+  FogFixture f(n);
+
+  // Hole patterns: dense round, interior holes, one whole fog region down
+  // ([8, 16) is exactly a fan-out-4 slice of 37 slots).
+  std::vector<std::pair<const char*, std::vector<bool>>> patterns;
+  patterns.emplace_back("dense", std::vector<bool>(n, true));
+  {
+    std::vector<bool> holes(static_cast<size_t>(n), true);
+    holes[1] = holes[13] = holes[22] = holes[36] = false;
+    patterns.emplace_back("interior-holes", holes);
+  }
+  {
+    std::vector<bool> region(static_cast<size_t>(n), true);
+    for (int i = 8; i < 16; ++i) region[static_cast<size_t>(i)] = false;
+    patterns.emplace_back("region-down", region);
+  }
+
+  uint64_t combo = 0;
+  for (const auto& [name, admitted] : patterns) {
+    const nn::TensorList oracle = FlatOracle(f, admitted, quantize);
+    const int want_participants = static_cast<int>(
+        std::count(admitted.begin(), admitted.end(), true));
+    for (int fan_out : {1, 4, 32}) {
+      for (int threads : {1, 4}) {
+        int participants = 0;
+        const nn::TensorList got =
+            RunFog(f, admitted, quantize, fan_out, threads,
+                   /*shuffle_seed=*/0xFEDC0DE + combo++, &participants);
+        EXPECT_EQ(participants, want_participants)
+            << name << " fan_out=" << fan_out << " threads=" << threads;
+        {
+          SCOPED_TRACE(::testing::Message()
+                       << name << " fan_out=" << fan_out
+                       << " threads=" << threads << " quantize=" << quantize);
+          ExpectListsBitIdentical(got, oracle);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QuantizedResiduals, HierarchyAggregatorTest,
+                         ::testing::Values(false, true));
+
+TEST(HierarchyRoutingTest, FogOfMatchesCanonicalSlices) {
+  FogFixture f(11);
+  HierarchicalAggregator agg(f.task.model, f.global, 11, SyncScheme::kR2SP,
+                             /*quantize_residuals=*/false, /*fan_out=*/4);
+  const auto slices = CanonicalRangeSlices(11, 4);
+  ASSERT_EQ(agg.num_fogs(), static_cast<int>(slices.size()));
+  for (int fog = 0; fog < agg.num_fogs(); ++fog) {
+    const auto [lo, hi] = agg.fog_range(fog);
+    EXPECT_EQ(lo, slices[static_cast<size_t>(fog)].first);
+    EXPECT_EQ(hi, slices[static_cast<size_t>(fog)].second);
+  }
+  for (int slot = 0; slot < 11; ++slot) {
+    EXPECT_EQ(agg.fog_of(slot), SliceOf(slices, slot)) << "slot " << slot;
+  }
+  // Drain the protocol so the aggregator can be destroyed cleanly.
+  for (int slot = 0; slot < 11; ++slot) {
+    agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                   f.subs[static_cast<size_t>(slot)].mask);
+    agg.Admit(slot);
+  }
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, 11);
+}
+
+TEST(HierarchyRoutingTest, FanOutBeyondSlotsClampsToOnePerSlot) {
+  FogFixture f(3);
+  HierarchicalAggregator agg(f.task.model, f.global, 3, SyncScheme::kR2SP,
+                             /*quantize_residuals=*/false, /*fan_out=*/32);
+  EXPECT_EQ(agg.num_fogs(), 3);
+  for (int slot = 0; slot < 3; ++slot) {
+    agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                   f.subs[static_cast<size_t>(slot)].mask);
+    agg.Admit(slot);
+  }
+  std::vector<bool> all(3, true);
+  const nn::TensorList oracle = FlatOracle(f, all, /*quantize=*/false);
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, 3);
+  nn::ScaleLists(result.sum, 1.0f / 3.0f);
+  ExpectListsBitIdentical(result.sum, oracle);
+}
+
+// --- Full-run equivalence: flat vs fog vs bounded-window ---
+
+struct RunResult {
+  nn::TensorList weights;
+  RoundLog log;
+};
+
+RunResult RunScaled(int num_threads, bool deadline_enabled, int fog_fan_out,
+                    int max_inflight) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  opt.deadline.enabled = deadline_enabled;
+  opt.scale.fog_fan_out = fog_fan_out;
+  opt.scale.max_inflight = max_inflight;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RunResult out;
+  out.log = trainer.Run();
+  out.weights = trainer.server().weights();
+  return out;
+}
+
+void ExpectIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    ASSERT_TRUE(a.weights[i].SameShape(b.weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(a.weights[i], b.weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(a.log.records().size(), b.log.records().size());
+  for (size_t i = 0; i < a.log.records().size(); ++i) {
+    const auto& ra = a.log.records()[i];
+    const auto& rb = b.log.records()[i];
+    EXPECT_EQ(ra.train_loss, rb.train_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_loss, rb.test_loss) << "round " << ra.round;
+    EXPECT_EQ(ra.test_accuracy, rb.test_accuracy) << "round " << ra.round;
+    EXPECT_EQ(ra.participants, rb.participants) << "round " << ra.round;
+    EXPECT_EQ(ra.sim_time, rb.sim_time) << "round " << ra.round;
+  }
+}
+
+class HierarchyRunTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetPipelineEnabled(true);
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(HierarchyRunTest, SyncTrainerBitIdenticalAcrossFanOutAndWindow) {
+  // The barrier loop with the pipeline disabled is the ground truth; every
+  // scale-out shape must land on the same bits.
+  SetPipelineEnabled(false);
+  const RunResult barrier = RunScaled(1, /*deadline_enabled=*/true,
+                                      /*fog_fan_out=*/1, /*max_inflight=*/0);
+  SetPipelineEnabled(true);
+  const RunResult flat = RunScaled(1, true, 1, 0);
+  const RunResult fog4 = RunScaled(1, true, 4, 0);
+  const RunResult fog4_mt = RunScaled(4, true, 4, 0);
+  const RunResult fog32 = RunScaled(1, true, 32, 0);
+  const RunResult fog4_window = RunScaled(4, true, 4, /*max_inflight=*/2);
+  ExpectIdentical(barrier, flat);
+  ExpectIdentical(barrier, fog4);
+  ExpectIdentical(barrier, fog4_mt);
+  ExpectIdentical(barrier, fog32);
+  ExpectIdentical(barrier, fog4_window);
+}
+
+// Eager admission (no deadline) decides slots as workers finish — the other
+// admission code path; a bounded window changes drain timing there too.
+TEST_F(HierarchyRunTest, SyncTrainerEagerAdmissionBitIdenticalUnderWindow) {
+  SetPipelineEnabled(false);
+  const RunResult barrier = RunScaled(1, /*deadline_enabled=*/false, 1, 0);
+  SetPipelineEnabled(true);
+  const RunResult fog4 = RunScaled(1, false, 4, 0);
+  const RunResult fog4_window_mt = RunScaled(4, false, 4, /*max_inflight=*/3);
+  ExpectIdentical(barrier, fog4);
+  ExpectIdentical(barrier, fog4_window_mt);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

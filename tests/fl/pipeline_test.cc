@@ -101,10 +101,11 @@ INSTANTIATE_TEST_SUITE_P(QuantizedResiduals, StreamingAggregatorTest,
 
 TEST(StreamingAggregatorFoldTest, RejectedAndUnavailableSlotsAreSkipped) {
   AggFixture f;
-  // Oracle over the admitted subset only (slots 0 and 2).
-  std::vector<SubModelUpdate> updates{
-      SubModelUpdate{&f.subs[0].mask, &f.subs[0].weights},
-      SubModelUpdate{&f.subs[2].mask, &f.subs[2].weights}};
+  // Slot-aligned oracle: slots 1 and 3 are holes, exactly how the trainer's
+  // barrier path presents non-participants to AggregateSubModels.
+  std::vector<SubModelUpdate> updates(4);
+  updates[0] = SubModelUpdate{&f.subs[0].mask, &f.subs[0].weights};
+  updates[2] = SubModelUpdate{&f.subs[2].mask, &f.subs[2].weights};
   auto oracle = AggregateSubModels(f.task.model, f.global, updates,
                                    SyncScheme::kR2SP);
   ASSERT_TRUE(oracle.ok());
@@ -122,6 +123,39 @@ TEST(StreamingAggregatorFoldTest, RejectedAndUnavailableSlotsAreSkipped) {
 
   StreamingAggregator::Result result = agg.Finish();
   EXPECT_EQ(result.participants, 2);
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  ExpectListsBitIdentical(result.sum, *oracle);
+}
+
+// The pattern where slot-tree and compacted-list association actually
+// diverge: {0, 2, 3} admitted out of 4 slots. The slot tree sums
+// 0 + (2 + 3) (slot 1 is a hole in the left subtree); a fold over the
+// compacted admitted list would sum (0 + 2) + 3. Which slots participate —
+// not how many — must determine the bits, or fog slices (which are
+// slot-based) could not reproduce the flat result under rejections.
+TEST(StreamingAggregatorFoldTest, InteriorHoleMatchesSlotTreeAssociation) {
+  AggFixture f;
+  std::vector<SubModelUpdate> updates(4);
+  updates[0] = SubModelUpdate{&f.subs[0].mask, &f.subs[0].weights};
+  updates[2] = SubModelUpdate{&f.subs[2].mask, &f.subs[2].weights};
+  updates[3] = SubModelUpdate{&f.subs[3].mask, &f.subs[3].weights};
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP);
+  ASSERT_TRUE(oracle.ok());
+
+  StreamingAggregator agg(f.task.model, f.global, 4, SyncScheme::kR2SP,
+                          /*quantize_residuals=*/false);
+  agg.Accumulate(0, f.subs[0].weights, f.subs[0].mask);
+  agg.Admit(0);
+  agg.MarkUnavailable(1);
+  agg.Reject(1);
+  agg.Accumulate(2, f.subs[2].weights, f.subs[2].mask);
+  agg.Admit(2);
+  agg.Accumulate(3, f.subs[3].weights, f.subs[3].mask);
+  agg.Admit(3);
+
+  StreamingAggregator::Result result = agg.Finish();
+  EXPECT_EQ(result.participants, 3);
   nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
   ExpectListsBitIdentical(result.sum, *oracle);
 }

@@ -1,0 +1,135 @@
+// Bounded-memory scale-out: a 10k-worker round must complete with peak RSS
+// growth far below the naive O(fleet x model) materialization. The scale
+// task's model is ~34 KB of weights, so 10k workers each holding a sub-model
+// plus an upload would need ~0.7 GB; the windowed pipelined engine with fog
+// aggregation keeps the live set at O(max_inflight x model + fog partials).
+// This test runs as its own process (gtest_discover_tests launches one
+// process per TEST), so the VmHWM delta it measures is its own.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/mem_info.h"
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "fl/pipeline.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/trainer.h"
+#include "obs/metrics.h"
+
+namespace fedmp::fl {
+namespace {
+
+constexpr int kWorkers = 10000;
+// Naive per-worker materialization would be ~0.7 GB (see header comment);
+// the bounded engine must stay an order of magnitude under that. The
+// ceiling leaves headroom for the dataset, the partition, per-lane model
+// caches, and allocator slack — it is a regression tripwire, not a tight
+// bound.
+constexpr int64_t kRssCeilingBytes = 200LL * 1024 * 1024;
+
+TEST(ScaleTest, TenThousandWorkerRoundStaysUnderRssCeiling) {
+  obs::SetEnabled(true);
+  obs::Registry::Get().Reset();
+  SetPipelineEnabled(true);
+
+  const data::FlTask task = data::MakeScaleCnnTask(kWorkers, /*seed=*/7);
+  const auto fleet = edge::MakeHalfAHalfB(kWorkers, /*seed=*/7);
+  TrainerOptions opt;
+  opt.max_rounds = 1;
+  opt.eval_every = 100;  // no eval: the axis under test is round memory
+  opt.seed = 7;
+  opt.num_threads = 4;
+  opt.deadline.enabled = false;  // everyone arrives: worst-case live set
+  opt.scale.fog_fan_out = 32;
+  opt.scale.max_inflight = 64;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+
+  // Baseline AFTER task + fleet + partition construction: the delta below
+  // is what the round itself adds.
+  const int64_t rss_before = PeakRssBytes();
+  ASSERT_GT(rss_before, 0);
+
+  Trainer trainer(&task, fleet, std::move(partition),
+                  std::make_unique<FedMpStrategy>(), opt);
+  RoundLog log = trainer.Run();
+
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].participants, kWorkers);
+
+  const int64_t rss_after = PeakRssBytes();
+  const int64_t delta = rss_after - rss_before;
+  EXPECT_LE(delta, kRssCeilingBytes)
+      << "10k-worker round grew peak RSS by " << (delta >> 20)
+      << " MiB (ceiling " << (kRssCeilingBytes >> 20)
+      << " MiB) — the bounded-memory scale path has regressed";
+
+  // The trainer publishes its own view of peak RSS for bench/gate dumps.
+  bool gauge_seen = false;
+  for (const auto& m : obs::Registry::Get().Snapshot()) {
+    if (m.name == "fl.scale.peak_rss_bytes") {
+      gauge_seen = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kGauge);
+      EXPECT_GE(m.value, static_cast<double>(rss_before));
+    }
+  }
+  EXPECT_TRUE(gauge_seen) << "fl.scale.peak_rss_bytes gauge was not set";
+
+  obs::SetEnabled(false);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// The multiplexing knobs must not change results even at fleet sizes where
+// running the unbounded engine is still cheap: 256 workers, windowed+fog vs
+// flat unbounded, same bits. (The 10k test above cannot afford the flat
+// reference run — that is the point of the feature.)
+TEST(ScaleTest, WindowedFogRunMatchesUnboundedFlatRunBitForBit) {
+  SetPipelineEnabled(true);
+  const int workers = 256;
+  auto run = [&](int fog_fan_out, int max_inflight, int num_threads) {
+    const data::FlTask task = data::MakeScaleCnnTask(workers, /*seed=*/11);
+    const auto fleet = edge::MakeHalfAHalfB(workers, /*seed=*/11);
+    TrainerOptions opt;
+    opt.max_rounds = 2;
+    opt.eval_every = 100;
+    opt.seed = 11;
+    opt.num_threads = num_threads;
+    opt.deadline.enabled = false;
+    opt.scale.fog_fan_out = fog_fan_out;
+    opt.scale.max_inflight = max_inflight;
+    Rng rng(opt.seed ^ 0xBEEFULL);
+    data::Partition partition = data::PartitionIid(
+        task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+    Trainer trainer(&task, fleet, std::move(partition),
+                    std::make_unique<FedMpStrategy>(), opt);
+    RoundLog log = trainer.Run();
+    return std::make_pair(trainer.server().weights(), std::move(log));
+  };
+
+  const auto [flat_weights, flat_log] = run(1, 0, 1);
+  const auto [fog_weights, fog_log] = run(32, 16, 4);
+
+  ASSERT_EQ(flat_weights.size(), fog_weights.size());
+  for (size_t i = 0; i < flat_weights.size(); ++i) {
+    ASSERT_TRUE(flat_weights[i].SameShape(fog_weights[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(flat_weights[i], fog_weights[i]), 0.0)
+        << "global weight tensor " << i << " diverged";
+  }
+  ASSERT_EQ(flat_log.records().size(), fog_log.records().size());
+  for (size_t i = 0; i < flat_log.records().size(); ++i) {
+    EXPECT_EQ(flat_log.records()[i].train_loss,
+              fog_log.records()[i].train_loss);
+    EXPECT_EQ(flat_log.records()[i].participants,
+              fog_log.records()[i].participants);
+    EXPECT_EQ(flat_log.records()[i].sim_time, fog_log.records()[i].sim_time);
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

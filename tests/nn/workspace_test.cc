@@ -52,6 +52,24 @@ TEST_F(WorkspaceTest, TinyTensorsAreNotPooled) {
   EXPECT_EQ(ws::ThisThreadBytes(), 0);
 }
 
+TEST_F(WorkspaceTest, FreeListDepthIsBounded) {
+  // Paths that recycle more buffers of a size than they ever re-acquire
+  // must not grow that free list without bound (the 10k-worker scale run
+  // parked ~140 MB of dead small buffers before the depth cap). Park far
+  // more same-numel buffers than any layer holds live; the parked bytes
+  // have to plateau well below the uncapped total.
+  const int64_t numel = 256;
+  const int parked = 4096;
+  for (int i = 0; i < parked; ++i) {
+    ws::Recycle(Tensor({numel}));
+  }
+  const int64_t uncapped =
+      static_cast<int64_t>(parked) * numel * static_cast<int64_t>(sizeof(float));
+  EXPECT_LT(ws::ThisThreadBytes(), uncapped / 8)
+      << "free-list depth cap is not bounding parked memory";
+  EXPECT_GT(ws::ThisThreadBytes(), 0);
+}
+
 TEST_F(WorkspaceTest, DisabledPoolNeverParksBuffers) {
   ws::SetEnabled(false);
   Tensor t = ws::AcquireZeroed({32, 32});
