@@ -5,11 +5,17 @@
 // bounded engine keeps the live set at O(max_inflight x model + fog
 // partials). Emits bench_scale.json for run_benches.sh --scale, which
 // stamps it into BENCH_scale.json and enforces the RSS ceiling.
+//
+// The live observability tier runs alongside: a bounded flight recorder and
+// deterministic trace sampling are enabled for the round, so the gate also
+// checks that recorder + sampling stay within the same RSS ceiling and that
+// the dump is a bounded artifact (not O(workers x rounds)).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sys/stat.h>
 #include <utility>
 
 #include "bench_util.h"
@@ -19,7 +25,9 @@
 #include "fl/pipeline.h"
 #include "fl/strategies/fedmp_strategy.h"
 #include "fl/trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampling.h"
 
 using namespace fedmp;
 
@@ -34,6 +42,18 @@ int main() {
 
   obs::SetEnabled(true);
   fl::SetPipelineEnabled(true);
+
+  // Live tier under load: last-4096-events ring, 256-worker/round sampling
+  // budget. The trace buffer cap keeps the main buffer bounded too — at 10k
+  // workers an uncapped buffer, not the ring, would be the memory story.
+  obs::FlightRecorderOptions flight;
+  flight.dump_path_prefix = "bench_scale_flight";
+  flight.install_signal_handlers = false;  // benches exit normally
+  obs::EnableFlightRecorder(flight);
+  obs::SamplingOptions sampling;
+  sampling.per_round_budget = 256;
+  sampling.seed = 7;
+  obs::EnableTraceSampling(sampling);
 
   const data::FlTask task =
       data::MakeScaleCnnTask(workers, /*seed=*/7);
@@ -70,11 +90,27 @@ int main() {
   const int participants =
       log.records().empty() ? 0 : log.records().back().participants;
 
+  // Dump the ring and measure the artifact: the events file must stay
+  // O(ring capacity), independent of fleet size.
+  const int64_t flight_events = obs::FlightRecorderEventCount();
+  const int64_t flight_evicted = obs::FlightRecorderEvictedCount();
+  obs::DumpFlightRecorder("bench_scale");
+  int64_t flight_dump_bytes = 0;
+  struct stat st;
+  if (stat("bench_scale_flight_dump_events.jsonl", &st) == 0) {
+    flight_dump_bytes = static_cast<int64_t>(st.st_size);
+  }
+
   std::printf("  workers=%lld participants=%d round=%.2fs\n",
               static_cast<long long>(workers), participants, round_seconds);
   std::printf("  peak RSS delta: %.1f MiB (naive estimate %.1f MiB)\n",
               static_cast<double>(rss_delta) / (1 << 20),
               static_cast<double>(naive_bytes) / (1 << 20));
+  std::printf("  flight recorder: %lld events held, %lld evicted, dump %.1f"
+              " KiB\n",
+              static_cast<long long>(flight_events),
+              static_cast<long long>(flight_evicted),
+              static_cast<double>(flight_dump_bytes) / 1024.0);
 
   FILE* f = std::fopen("bench_scale.json", "w");
   if (f == nullptr) {
@@ -91,14 +127,21 @@ int main() {
                "  \"rss_before_bytes\": %lld,\n"
                "  \"rss_after_bytes\": %lld,\n"
                "  \"rss_delta_bytes\": %lld,\n"
-               "  \"naive_bytes_estimate\": %lld\n"
+               "  \"naive_bytes_estimate\": %lld,\n"
+               "  \"trace_sample_budget\": 256,\n"
+               "  \"flight_recorder_events\": %lld,\n"
+               "  \"flight_recorder_evicted\": %lld,\n"
+               "  \"flight_dump_bytes\": %lld\n"
                "}\n",
                static_cast<long long>(workers), participants,
                opt.scale.fog_fan_out, opt.scale.max_inflight, round_seconds,
                static_cast<long long>(rss_before),
                static_cast<long long>(rss_after),
                static_cast<long long>(rss_delta),
-               static_cast<long long>(naive_bytes));
+               static_cast<long long>(naive_bytes),
+               static_cast<long long>(flight_events),
+               static_cast<long long>(flight_evicted),
+               static_cast<long long>(flight_dump_bytes));
   std::fclose(f);
   std::printf("  wrote bench_scale.json\n");
 

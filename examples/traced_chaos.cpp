@@ -20,6 +20,7 @@
 //   ./build/examples/traced_chaos
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/fedmp.h"
 #include "obs/trace.h"
@@ -33,6 +34,12 @@ fedmp::ExperimentConfig ChaosConfig() {
   config.scale = fedmp::data::TaskScale::kTiny;
   config.heterogeneity = fedmp::edge::HeterogeneityLevel::kHigh;
   config.trainer.max_rounds = 6;
+  // Round-count override for harness scenarios — CI's flight-recorder test
+  // starts a long run and SIGTERMs it mid-round to validate the dump path.
+  if (const char* rounds = std::getenv("FEDMP_CHAOS_ROUNDS")) {
+    const long long n = std::atoll(rounds);
+    if (n > 0) config.trainer.max_rounds = n;
+  }
   config.trainer.eval_every = 2;
   config.trainer.seed = 17;
   // Force a real pool even on single-core CI runners so the trace shows

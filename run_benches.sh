@@ -133,6 +133,25 @@ if delta * 2 > naive:
                     f"undercut the naive estimate "
                     f"{naive / (1 << 20):.1f} MiB by 2x")
 
+# The bench runs with the flight recorder + trace sampling enabled INSIDE
+# the measured window, so the RSS ceiling above already covers the live
+# observability tier. The dump must exist and stay a bounded artifact
+# (O(ring capacity), never O(workers x rounds)).
+FLIGHT_DUMP_CEILING_MB = 8
+flight_bytes = raw.get("flight_dump_bytes", 0)
+flight_events = raw.get("flight_recorder_events", 0)
+print(f"scale-gate: flight recorder {flight_events} events held, dump "
+      f"{flight_bytes / 1024:.1f} KiB (ceiling "
+      f"{FLIGHT_DUMP_CEILING_MB} MiB; RSS delta above includes "
+      f"recorder+sampling)")
+if flight_bytes <= 0:
+    failures.append("flight-recorder dump missing or empty "
+                    f"(flight_dump_bytes={flight_bytes})")
+elif flight_bytes > FLIGHT_DUMP_CEILING_MB * (1 << 20):
+    failures.append(f"flight-recorder dump {flight_bytes / (1 << 20):.1f} "
+                    f"MiB > ceiling {FLIGHT_DUMP_CEILING_MB} MiB "
+                    "(not a bounded artifact)")
+
 out = {"bench": "scale-out 10k-worker round",
        "git_sha": sha,
        "date": date,

@@ -9,20 +9,37 @@
 
 namespace fedmp {
 
-namespace {
+namespace internal {
 
-// Reads a "<key>:  <kB> kB" line from /proc/self/status; -1 when absent
-// (non-Linux hosts).
-int64_t ProcStatusKb(const char* key) {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
+int64_t ParseStatusKb(const char* text, const char* key) {
+  if (text == nullptr || key == nullptr) return -1;
+  const size_t key_len = std::strlen(key);
+  if (key_len == 0) return -1;
+  const char* line = text;
+  while (*line != '\0') {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      long long kb = -1;
+      if (std::sscanf(line + key_len + 1, "%lld", &kb) == 1 && kb >= 0) {
+        return kb;
+      }
+      return -1;  // key present but value malformed
+    }
+    const char* next = std::strchr(line, '\n');
+    if (next == nullptr) break;
+    line = next + 1;
+  }
+  return -1;
+}
+
+int64_t StatusFileKb(const char* path, const char* key) {
+  std::FILE* f = std::fopen(path, "r");
   if (f == nullptr) return -1;
   char line[256];
   int64_t out = -1;
   const size_t key_len = std::strlen(key);
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
-      long long kb = -1;
-      if (std::sscanf(line + key_len + 1, "%lld", &kb) == 1) out = kb;
+      out = ParseStatusKb(line, key);
       break;
     }
   }
@@ -30,10 +47,10 @@ int64_t ProcStatusKb(const char* key) {
   return out;
 }
 
-}  // namespace
+}  // namespace internal
 
 int64_t PeakRssBytes() {
-  const int64_t kb = ProcStatusKb("VmHWM");
+  const int64_t kb = internal::StatusFileKb("/proc/self/status", "VmHWM");
   if (kb >= 0) return kb * 1024;
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage;
@@ -49,7 +66,7 @@ int64_t PeakRssBytes() {
 }
 
 int64_t CurrentRssBytes() {
-  const int64_t kb = ProcStatusKb("VmRSS");
+  const int64_t kb = internal::StatusFileKb("/proc/self/status", "VmRSS");
   return kb >= 0 ? kb * 1024 : 0;
 }
 

@@ -15,6 +15,21 @@ int64_t PeakRssBytes();
 // Current resident-set size in bytes (VmRSS), 0 when unavailable.
 int64_t CurrentRssBytes();
 
+namespace internal {
+
+// Finds a "<key>:  <kB> kB" line in a status-file text blob (the format of
+// /proc/self/status) and returns the kB count; -1 when the key is absent or
+// its value is malformed. Exposed so tests can exercise the parsing without
+// a /proc filesystem.
+int64_t ParseStatusKb(const char* text, const char* key);
+
+// Reads the key from a status-format file at `path`; -1 when the file is
+// missing/unreadable or the key can't be parsed (the callers then fall back
+// to getrusage or 0 — never crash).
+int64_t StatusFileKb(const char* path, const char* key);
+
+}  // namespace internal
+
 }  // namespace fedmp
 
 #endif  // FEDMP_COMMON_MEM_INFO_H_

@@ -6,14 +6,21 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 
+#include "common/mem_info.h"
 #include "common/range_tree.h"
 #include "common/thread_pool.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
 #include "fl/pipeline.h"
 #include "obs/analysis/round_health.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/sampling.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "pruning/recovery.h"
 #include "pruning/sparsify.h"
 #include "pruning/structured_pruner.h"
@@ -68,6 +75,11 @@ AsyncTrainer::AsyncTrainer(const data::FlTask* task,
   ThreadPool::SetGlobalThreads(
       ThreadPool::ResolveThreads(options_.base.num_threads));
   obs::MaybeEnableFromEnv();
+  // Live tier (all opt-in via FEDMP_* variables; see obs/ headers).
+  obs::MaybeEnableFlightRecorderFromEnv();
+  obs::MaybeEnableSamplingFromEnv(options.base.seed);
+  obs::MaybeEnableSnapshotsFromEnv();
+  obs::MaybeEnableWatchdogFromEnv();
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.base.seed ^ 0x5EEDULL);
   fault_plan_ = internal::ResolveFaultPlan(options_.base,
@@ -141,10 +153,17 @@ RoundLog AsyncTrainer::Run() {
       const size_t i = static_cast<size_t>(ids[jj]);
       const WorkerRoundPlan& plan = plans[jj];
       obs::TrackScope lane(obs::WorkerTrack(ids[jj]));
-      OBS_SPAN("worker_dispatch",
-               {{"worker", ids[jj]},
-                {"round", round},
-                {"ratio", plan.pruning_ratio}});
+      // Sampling-gated like the sync trainer's worker_train span: the plan
+      // is a pure function of (seed, round, worker), so lanes agree on it
+      // without coordination.
+      std::optional<obs::ScopedSpan> dispatch_span;
+      if (obs::ShouldTraceWorker(round, ids[jj],
+                                 static_cast<int>(workers_.size()))) {
+        dispatch_span.emplace("worker_dispatch",
+                              obs::Args{{"worker", ids[jj]},
+                                        {"round", round},
+                                        {"ratio", plan.pruning_ratio}});
+      }
       pruning::SubModel sub;
       if (plan.pruning_ratio > 0.0) {
         auto pruned = pruning::PruneByRatioRanked(
@@ -315,6 +334,11 @@ RoundLog AsyncTrainer::Run() {
       t.ratio = f.ratio;
       t.survived = survived;
       timings.push_back(t);
+      // Under trace sampling the emission set needs the round summary
+      // (critical worker, max-gap straggler), so events are emitted after
+      // SummarizeRound instead; without sampling the stream is emitted
+      // in arrival order as before.
+      if (obs::TraceSamplingActive()) return;
       obs::InstantEvent("worker_timing", obs::WorkerTrack(worker),
                         {{"worker", worker},
                          {"round", round},
@@ -486,6 +510,39 @@ RoundLog AsyncTrainer::Run() {
     record.critical_comp_s = health.critical_comp_s;
     record.critical_comm_s = health.critical_comm_s;
     record.straggler_gap_max = health.straggler_gap_max;
+    if (obs::TraceSamplingActive()) {
+      // Deferred, thinned emission (see note_timing): sampled workers plus
+      // the critical worker and max-gap straggler; everyone else folds into
+      // the rollup histogram and the exact aggregates below.
+      const int straggler = obs::analysis::StragglerArgmax(health);
+      for (const obs::analysis::WorkerTiming& t : health.workers) {
+        if (t.worker != health.critical_worker && t.worker != straggler &&
+            !obs::ShouldTraceWorker(round, t.worker, num_workers)) {
+          if (obs::Enabled() && t.survived && t.completion_s >= 0.0) {
+            static obs::Histogram* completion_hist = obs::GetHistogram(
+                "fl.round.completion_s",
+                {0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+            completion_hist->Observe(t.completion_s);
+          }
+          continue;
+        }
+        obs::InstantEvent("worker_timing", obs::WorkerTrack(t.worker),
+                          {{"worker", t.worker},
+                           {"round", round},
+                           {"comp_s", t.comp_s},
+                           {"comm_s", t.comm_s},
+                           {"completion_s", t.completion_s},
+                           {"ratio", t.ratio},
+                           {"survived", t.survived ? 1 : 0}});
+      }
+      obs::InstantEvent("round_rollup", obs::PsTrack(),
+                        {{"round", round},
+                         {"workers", num_workers},
+                         {"survivors", health.survivors},
+                         {"mean_completion_s", health.mean_completion_s},
+                         {"median_completion_s", health.median_completion_s},
+                         {"straggler_gap_max", health.straggler_gap_max}});
+    }
 
     // Re-dispatch this round's arrivals plus the parked workers. Coverage
     // and aggregation read the inflight slots, so this must come after.
@@ -495,7 +552,8 @@ RoundLog AsyncTrainer::Run() {
 
     bool stop = round + 1 >= options_.base.max_rounds ||
                 clock.now() >= options_.base.time_budget_seconds;
-    if (round % options_.base.eval_every == 0 || stop) {
+    const bool evaluated = round % options_.base.eval_every == 0 || stop;
+    if (evaluated) {
       OBS_SPAN("evaluate", {{"round", round}});
       const auto eval = server_->Evaluate(
           task_->test, options_.base.eval_batch_size,
@@ -525,6 +583,24 @@ RoundLog AsyncTrainer::Run() {
                        {"rejected", record.rejected_updates},
                        {"duplicates", record.duplicate_updates},
                        {"staleness", record.max_param_staleness}});
+
+    // --- Round-boundary watchdog + periodic health snapshot. ---
+    if (obs::WatchdogActive()) {
+      obs::WatchdogSignals signals;
+      signals.round = round;
+      signals.straggler_gap_max = health.straggler_gap_max;
+      signals.median_completion_s = health.median_completion_s;
+      signals.survivors = health.survivors;
+      // Async rounds run the flat topology: no fog tier to watch.
+      signals.evaluated = evaluated;
+      signals.accuracy = record.test_accuracy;
+      signals.peak_rss_bytes = PeakRssBytes();
+      signals.model_cache_hit_rate = obs::Registry::Get().GaugeValue(
+          "fl.worker.model_cache.hit_rate", -1.0);
+      obs::WatchdogObserveRound(signals);
+    }
+    if (obs::HealthSnapshotDue(round)) obs::WriteHealthSnapshot(round);
+
     log.Add(record);
     if (stop) break;
   }

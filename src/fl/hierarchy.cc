@@ -17,6 +17,7 @@ HierarchicalAggregator::HierarchicalAggregator(
   FEDMP_CHECK_GT(num_slots, 0);
   if (fan_out < 1) fan_out = 1;
   slices_ = CanonicalRangeSlices(num_slots, fan_out);
+  fog_admitted_.assign(slices_.size(), 0);
   fogs_.reserve(slices_.size());
   for (const auto& [lo, hi] : slices_) {
     fogs_.push_back(std::make_unique<StreamingAggregator>(
@@ -56,6 +57,7 @@ void HierarchicalAggregator::MarkUnavailable(int slot) {
 
 void HierarchicalAggregator::Admit(int slot) {
   const Route r = RouteOf(slot);
+  fog_admitted_[static_cast<size_t>(SliceOf(slices_, slot))] += 1;
   r.fog->Admit(r.local_slot);
 }
 

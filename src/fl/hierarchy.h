@@ -75,6 +75,11 @@ class HierarchicalAggregator {
     return {static_cast<int>(slices_[static_cast<size_t>(f)].first),
             static_cast<int>(slices_[static_cast<size_t>(f)].second)};
   }
+  // Admitted-upload count per fog this round (index = fog id). Feeds the
+  // watchdog's fog-silence rule. Admit() is only ever called from the
+  // driver/event-loop thread (unlike Accumulate, which may run on pool
+  // lanes), so plain counters suffice; read after the round completes.
+  const std::vector<int64_t>& fog_admitted() const { return fog_admitted_; }
 
  private:
   struct Route {
@@ -87,6 +92,7 @@ class HierarchicalAggregator {
   const int num_slots_;
   std::vector<std::pair<int64_t, int64_t>> slices_;
   std::vector<std::unique_ptr<StreamingAggregator>> fogs_;
+  std::vector<int64_t> fog_admitted_;
 };
 
 }  // namespace fedmp::fl

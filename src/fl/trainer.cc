@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "common/math_util.h"
 #include "common/mem_info.h"
@@ -16,8 +17,12 @@
 #include "nn/tensor_ops.h"
 #include "nn/workspace.h"
 #include "obs/analysis/round_health.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampling.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "pruning/prune_cache.h"
 #include "pruning/structured_pruner.h"
 
@@ -95,6 +100,13 @@ Trainer::Trainer(const data::FlTask* task,
   ThreadPool::SetGlobalThreads(
       ThreadPool::ResolveThreads(options_.num_threads));
   obs::MaybeEnableFromEnv();
+  // Live tier: bounded flight recorder, deterministic per-worker trace
+  // sampling, periodic health snapshots, and the round-boundary watchdog.
+  // All off unless their FEDMP_* variables are set.
+  obs::MaybeEnableFlightRecorderFromEnv();
+  obs::MaybeEnableSamplingFromEnv(options.seed);
+  obs::MaybeEnableSnapshotsFromEnv();
+  obs::MaybeEnableWatchdogFromEnv();
   server_ = std::make_unique<ParameterServer>(task_->model,
                                               options_.seed ^ 0x5EEDULL);
   strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
@@ -201,11 +213,17 @@ RoundLog Trainer::Run() {
       local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
       local.is_language_model = task_->is_language_model;
 
-      OBS_SPAN("worker_train",
-               {{"worker", n},
-                {"round", round},
-                {"ratio", plans[i].pruning_ratio},
-                {"tau", local.tau}});
+      // Per-worker spans respect the deterministic sampling plan (a pure
+      // function of seed/round/worker, so every thread agrees without
+      // coordination). ScopedSpan is not movable; gate via optional.
+      std::optional<obs::ScopedSpan> train_span;
+      if (obs::ShouldTraceWorker(round, n, num_workers)) {
+        train_span.emplace("worker_train",
+                           obs::Args{{"worker", n},
+                                     {"round", round},
+                                     {"ratio", plans[i].pruning_ratio},
+                                     {"tau", local.tau}});
+      }
       LocalResult result =
           workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
       delta_losses[i] = result.initial_loss - result.final_loss;
@@ -392,10 +410,29 @@ RoundLog Trainer::Run() {
     for (int n : outcome.survivors) {
       timings[static_cast<size_t>(n)].survived = true;
     }
-    for (int n = 0; n < num_workers; ++n) {
-      const obs::analysis::WorkerTiming& t = timings[static_cast<size_t>(n)];
-      obs::InstantEvent("worker_timing", obs::WorkerTrack(n),
-                        {{"worker", n},
+    // Summarize BEFORE emitting: under trace sampling the emission set is
+    // the sampled workers plus the critical worker and the max-gap
+    // straggler, which only the summary identifies.
+    const obs::analysis::RoundHealth health =
+        obs::analysis::SummarizeRound(round, std::move(timings));
+    const bool sampling = obs::TraceSamplingActive();
+    const int straggler = obs::analysis::StragglerArgmax(health);
+    for (const obs::analysis::WorkerTiming& t : health.workers) {
+      if (sampling && t.worker != health.critical_worker &&
+          t.worker != straggler &&
+          !obs::ShouldTraceWorker(round, t.worker, num_workers)) {
+        // Sampled out: fold into the per-round rollup histogram instead of
+        // emitting a per-worker event.
+        if (obs::Enabled() && t.survived && t.completion_s >= 0.0) {
+          static obs::Histogram* completion_hist = obs::GetHistogram(
+              "fl.round.completion_s",
+              {0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+          completion_hist->Observe(t.completion_s);
+        }
+        continue;
+      }
+      obs::InstantEvent("worker_timing", obs::WorkerTrack(t.worker),
+                        {{"worker", t.worker},
                          {"round", round},
                          {"comp_s", t.comp_s},
                          {"comm_s", t.comm_s},
@@ -404,8 +441,17 @@ RoundLog Trainer::Run() {
                          {"survived", t.survived ? 1 : 0},
                          {"fog", t.fog}});
     }
-    const obs::analysis::RoundHealth health =
-        obs::analysis::SummarizeRound(round, std::move(timings));
+    if (sampling) {
+      // Exact aggregates for the analyzer: overrides what it would recompute
+      // from the thinned per-worker stream (see HealthFromEvents).
+      obs::InstantEvent("round_rollup", obs::PsTrack(),
+                        {{"round", round},
+                         {"workers", num_workers},
+                         {"survivors", health.survivors},
+                         {"mean_completion_s", health.mean_completion_s},
+                         {"median_completion_s", health.median_completion_s},
+                         {"straggler_gap_max", health.straggler_gap_max}});
+    }
 
     // --- (4) Screening + aggregation over accepted survivors. ---
     std::vector<const pruning::PruneMask*> accepted_masks;
@@ -576,6 +622,24 @@ RoundLog Trainer::Run() {
                        {"rejected", record.rejected_updates},
                        {"duplicates", record.duplicate_updates},
                        {"staleness", record.max_param_staleness}});
+
+    // --- Round-boundary watchdog + periodic health snapshot. ---
+    if (obs::WatchdogActive()) {
+      obs::WatchdogSignals signals;
+      signals.round = round;
+      signals.straggler_gap_max = health.straggler_gap_max;
+      signals.median_completion_s = health.median_completion_s;
+      signals.survivors = health.survivors;
+      if (agg != nullptr) signals.fog_participants = agg->fog_admitted();
+      signals.evaluated = evaluate;
+      signals.accuracy = record.test_accuracy;
+      signals.peak_rss_bytes = PeakRssBytes();
+      signals.model_cache_hit_rate = obs::Registry::Get().GaugeValue(
+          "fl.worker.model_cache.hit_rate", -1.0);
+      obs::WatchdogObserveRound(signals);
+    }
+    if (obs::HealthSnapshotDue(round)) obs::WriteHealthSnapshot(round);
+
     log.Add(record);
     if (stop) break;
   }

@@ -83,6 +83,45 @@ std::vector<HitRate> HitRatesFromCounters(
   return out;
 }
 
+// One watchdog alert reconstructed from an `obs.alert` event. Only
+// deterministic-rule alerts reach the events JSONL (environment rules are
+// Chrome-trace-only), so this section is part of the deterministic report.
+struct AlertRecord {
+  std::string rule;
+  int64_t round = -1;
+  std::string detail;
+  double value = 0.0;
+  double threshold = 0.0;
+  int fog = -1;
+};
+
+std::vector<AlertRecord> AlertsFromEvents(const std::vector<JsonValue>& events) {
+  std::vector<AlertRecord> out;
+  for (const JsonValue& e : events) {
+    const JsonValue* name = e.Find("event");
+    if (name == nullptr || name->StringOr("") != "obs.alert") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    AlertRecord alert;
+    if (const JsonValue* v = args->Find("rule")) alert.rule = v->StringOr("?");
+    if (const JsonValue* v = args->Find("round")) alert.round = v->IntOr(-1);
+    if (const JsonValue* v = args->Find("detail")) {
+      alert.detail = v->StringOr("");
+    }
+    if (const JsonValue* v = args->Find("value")) {
+      alert.value = v->NumberOr(0.0);
+    }
+    if (const JsonValue* v = args->Find("threshold")) {
+      alert.threshold = v->NumberOr(0.0);
+    }
+    if (const JsonValue* v = args->Find("fog")) {
+      alert.fog = static_cast<int>(v->IntOr(-1));
+    }
+    out.push_back(std::move(alert));
+  }
+  return out;
+}
+
 }  // namespace
 
 Report BuildReport(const ReportInputs& inputs, const ReportOptions& options) {
@@ -156,6 +195,43 @@ Report BuildReport(const ReportInputs& inputs, const ReportOptions& options) {
   human += "\n" + RenderDecisionTable(decisions);
   json += ",\"decision_audit\":" + DecisionAuditJson(decisions);
 
+  // Watchdog alerts (deterministic — only logical-rule alerts are in the
+  // events JSONL). Always present, so `--diff` can compare alert counts
+  // between a clean run and a degraded one without schema branching.
+  const std::vector<AlertRecord> alerts = AlertsFromEvents(events);
+  human += "\nAlerts (" + std::to_string(alerts.size()) + ")\n";
+  std::map<std::string, int64_t> alerts_by_rule;
+  for (const AlertRecord& a : alerts) ++alerts_by_rule[a.rule];
+  json += ",\"alerts\":{\"count\":" + std::to_string(alerts.size());
+  json += ",\"by_rule\":{";
+  {
+    bool first = true;
+    for (const auto& [rule, count] : alerts_by_rule) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + JsonEscape(rule) + "\":" + std::to_string(count);
+    }
+  }
+  json += "},\"items\":[";
+  for (size_t a = 0; a < alerts.size(); ++a) {
+    const AlertRecord& alert = alerts[a];
+    std::snprintf(buf, sizeof(buf), "  round %5lld  %-20s %s\n",
+                  static_cast<long long>(alert.round), alert.rule.c_str(),
+                  alert.detail.c_str());
+    human += buf;
+    if (a > 0) json += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"rule\":\"%s\",\"round\":%lld,\"value\":%s,"
+                  "\"threshold\":%s,\"fog\":%d,\"detail\":\"",
+                  JsonEscape(alert.rule).c_str(),
+                  static_cast<long long>(alert.round),
+                  JsonNumber(alert.value, 6).c_str(),
+                  JsonNumber(alert.threshold, 6).c_str(), alert.fog);
+    json += buf;
+    json += JsonEscape(alert.detail) + "\"}";
+  }
+  json += "]}";
+
   // --- Environment-dependent sections. ---
   if (!options.deterministic_only) {
     // Cache/pool counters and derived hit rates.
@@ -228,19 +304,28 @@ Report BuildReport(const ReportInputs& inputs, const ReportOptions& options) {
       json += "null";
     }
 
-    // Round log tail: the experiment-level metrics for quick inspection.
+    // Round log tail: the experiment-level metrics for quick inspection —
+    // also exported as "last_round" JSON so --diff can compare accuracy and
+    // round counts between two runs.
     std::vector<JsonValue> rounds;
     if (!inputs.rounds_jsonl.empty() &&
         ParseJsonLines(inputs.rounds_jsonl, &rounds, &error)) {
       human += "\nRound log (last round)\n";
+      json += ",\"rounds_total\":" + std::to_string(rounds.size());
+      json += ",\"last_round\":{";
+      bool first = true;
       if (!rounds.empty() && rounds.back().is_object()) {
         for (const auto& [key, value] : rounds.back().object) {
           if (!value.is_number()) continue;
           std::snprintf(buf, sizeof(buf), "  %-24s %12.6g\n", key.c_str(),
                         value.number);
           human += buf;
+          if (!first) json += ",";
+          first = false;
+          json += "\"" + JsonEscape(key) + "\":" + JsonNumber(value.number, 6);
         }
       }
+      json += "}";
     } else if (!inputs.rounds_jsonl.empty()) {
       report.warnings.push_back("rounds: " + error);
     }

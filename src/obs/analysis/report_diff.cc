@@ -1,0 +1,193 @@
+#include "obs/analysis/report_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/analysis/json_value.h"
+#include "obs/json_util.h"
+
+namespace fedmp::obs::analysis {
+
+namespace {
+
+// The comparable scalars extracted from one report document.
+struct ReportFacts {
+  bool parsed = false;
+  int64_t rounds = 0;               // round_health entries
+  double mean_critical_total_s = 0.0;
+  double max_straggler_gap = 0.0;
+  int64_t alert_count = 0;
+  std::map<std::string, int64_t> alerts_by_rule;
+  std::map<std::string, double> hit_rates;
+  std::map<std::string, double> last_round;  // numeric round-log tail
+};
+
+ReportFacts ExtractFacts(const std::string& text, const char* label,
+                         std::vector<std::string>* warnings) {
+  ReportFacts facts;
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(text, &doc, &error)) {
+    warnings->push_back(std::string(label) + ": " + error);
+    return facts;
+  }
+  facts.parsed = true;
+  if (const JsonValue* health = doc.Find("round_health")) {
+    if (health->kind == JsonValue::Kind::kArray) {
+      double critical_sum = 0.0;
+      for (const JsonValue& round : health->array) {
+        ++facts.rounds;
+        if (const JsonValue* v = round.Find("critical_total_s")) {
+          critical_sum += v->NumberOr(0.0);
+        }
+        if (const JsonValue* v = round.Find("straggler_gap_max")) {
+          facts.max_straggler_gap =
+              std::max(facts.max_straggler_gap, v->NumberOr(0.0));
+        }
+      }
+      if (facts.rounds > 0) {
+        facts.mean_critical_total_s =
+            critical_sum / static_cast<double>(facts.rounds);
+      }
+    }
+  }
+  if (const JsonValue* alerts = doc.Find("alerts")) {
+    if (const JsonValue* count = alerts->Find("count")) {
+      facts.alert_count = count->IntOr(0);
+    }
+    if (const JsonValue* by_rule = alerts->Find("by_rule")) {
+      if (by_rule->is_object()) {
+        for (const auto& [rule, count] : by_rule->object) {
+          facts.alerts_by_rule[rule] = count.IntOr(0);
+        }
+      }
+    }
+  }
+  if (const JsonValue* rates = doc.Find("hit_rates")) {
+    if (rates->is_object()) {
+      for (const auto& [name, rate] : rates->object) {
+        if (rate.is_number()) facts.hit_rates[name] = rate.number;
+      }
+    }
+  }
+  if (const JsonValue* last = doc.Find("last_round")) {
+    if (last->is_object()) {
+      for (const auto& [key, value] : last->object) {
+        if (value.is_number()) facts.last_round[key] = value.number;
+      }
+    }
+  }
+  return facts;
+}
+
+// All keys present in either map, sorted (std::map iteration order).
+template <typename M>
+std::map<std::string, char> KeyUnion(const M& a, const M& b) {
+  std::map<std::string, char> keys;
+  for (const auto& [k, v] : a) keys[k] = 0;
+  for (const auto& [k, v] : b) keys[k] = 0;
+  return keys;
+}
+
+}  // namespace
+
+ReportDiff DiffReports(const std::string& a_json, const std::string& b_json) {
+  ReportDiff diff;
+  const ReportFacts a = ExtractFacts(a_json, "a", &diff.warnings);
+  const ReportFacts b = ExtractFacts(b_json, "b", &diff.warnings);
+  if (!a.parsed || !b.parsed) return diff;
+
+  std::string human = "== fedmp_report diff (a -> b) ==\n";
+  std::string json = "{\"schema\":\"fedmp_report_diff/1\"";
+  char buf[192];
+
+  auto row = [&](const char* name, double va, double vb) {
+    std::snprintf(buf, sizeof(buf), "  %-32s %14.6g %14.6g %+14.6g\n", name,
+                  va, vb, vb - va);
+    human += buf;
+  };
+  auto jnum = [&](const char* name, double va, double vb) {
+    json += std::string(",\"") + name + "\":{\"a\":" + JsonNumber(va, 6) +
+            ",\"b\":" + JsonNumber(vb, 6) +
+            ",\"delta\":" + JsonNumber(vb - va, 6) + "}";
+  };
+
+  human += "\nRound health\n";
+  std::snprintf(buf, sizeof(buf), "  %-32s %14s %14s %14s\n", "metric", "a",
+                "b", "delta");
+  human += buf;
+  row("rounds", static_cast<double>(a.rounds), static_cast<double>(b.rounds));
+  row("mean_critical_total_s", a.mean_critical_total_s,
+      b.mean_critical_total_s);
+  row("max_straggler_gap_s", a.max_straggler_gap, b.max_straggler_gap);
+  jnum("rounds", static_cast<double>(a.rounds),
+       static_cast<double>(b.rounds));
+  jnum("mean_critical_total_s", a.mean_critical_total_s,
+       b.mean_critical_total_s);
+  jnum("max_straggler_gap_s", a.max_straggler_gap, b.max_straggler_gap);
+
+  human += "\nRound log (last round)\n";
+  json += ",\"last_round\":{";
+  bool first = true;
+  for (const auto& [key, unused] : KeyUnion(a.last_round, b.last_round)) {
+    const auto ia = a.last_round.find(key);
+    const auto ib = b.last_round.find(key);
+    const double va = ia != a.last_round.end() ? ia->second : 0.0;
+    const double vb = ib != b.last_round.end() ? ib->second : 0.0;
+    row(key.c_str(), va, vb);
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + JsonEscape(key) + "\":{\"a\":" + JsonNumber(va, 6) +
+            ",\"b\":" + JsonNumber(vb, 6) +
+            ",\"delta\":" + JsonNumber(vb - va, 6) + "}";
+  }
+  json += "}";
+
+  human += "\nCache hit rates\n";
+  json += ",\"hit_rates\":{";
+  first = true;
+  for (const auto& [name, unused] : KeyUnion(a.hit_rates, b.hit_rates)) {
+    const auto ia = a.hit_rates.find(name);
+    const auto ib = b.hit_rates.find(name);
+    const double va = ia != a.hit_rates.end() ? ia->second : 0.0;
+    const double vb = ib != b.hit_rates.end() ? ib->second : 0.0;
+    row(name.c_str(), va, vb);
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + JsonEscape(name) + "\":{\"a\":" + JsonNumber(va, 6) +
+            ",\"b\":" + JsonNumber(vb, 6) +
+            ",\"delta\":" + JsonNumber(vb - va, 6) + "}";
+  }
+  json += "}";
+
+  human += "\nAlerts\n";
+  row("alerts_total", static_cast<double>(a.alert_count),
+      static_cast<double>(b.alert_count));
+  jnum("alerts_total", static_cast<double>(a.alert_count),
+       static_cast<double>(b.alert_count));
+  json += ",\"alerts_by_rule\":{";
+  first = true;
+  for (const auto& [rule, unused] :
+       KeyUnion(a.alerts_by_rule, b.alerts_by_rule)) {
+    const auto ia = a.alerts_by_rule.find(rule);
+    const auto ib = b.alerts_by_rule.find(rule);
+    const int64_t va = ia != a.alerts_by_rule.end() ? ia->second : 0;
+    const int64_t vb = ib != b.alerts_by_rule.end() ? ib->second : 0;
+    row(rule.c_str(), static_cast<double>(va), static_cast<double>(vb));
+    if (!first) json += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":{\"a\":%lld,\"b\":%lld,\"delta\":%lld}",
+                  JsonEscape(rule).c_str(), static_cast<long long>(va),
+                  static_cast<long long>(vb), static_cast<long long>(vb - va));
+    json += buf;
+  }
+  json += "}}";
+
+  diff.human = std::move(human);
+  diff.json = std::move(json);
+  return diff;
+}
+
+}  // namespace fedmp::obs::analysis

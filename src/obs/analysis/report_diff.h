@@ -1,0 +1,32 @@
+#ifndef FEDMP_OBS_ANALYSIS_REPORT_DIFF_H_
+#define FEDMP_OBS_ANALYSIS_REPORT_DIFF_H_
+
+#include <string>
+#include <vector>
+
+// Compares two fedmp_report/1 JSON documents (the --json output of
+// fedmp_report, or a live health snapshot — same schema) and summarizes
+// what moved: round count and critical-path time, straggler gap, final
+// round-log metrics (accuracy/loss), cache hit rates, and watchdog alert
+// counts by rule. The intended workflow is A/B-ing a baseline run against a
+// patched or degraded one:
+//
+//   fedmp_report --prefix base --json a.json
+//   fedmp_report --prefix cand --json b.json
+//   fedmp_report --diff a.json b.json
+//
+// Output ordering is fixed (sorted metric names), so diffs of diffs are
+// stable in CI logs.
+namespace fedmp::obs::analysis {
+
+struct ReportDiff {
+  std::string human;  // aligned "metric  a  b  delta" table
+  std::string json;   // one JSON document with the same content
+  std::vector<std::string> warnings;  // unparseable inputs
+};
+
+ReportDiff DiffReports(const std::string& a_json, const std::string& b_json);
+
+}  // namespace fedmp::obs::analysis
+
+#endif  // FEDMP_OBS_ANALYSIS_REPORT_DIFF_H_

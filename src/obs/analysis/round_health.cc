@@ -31,23 +31,83 @@ RoundHealth SummarizeRound(int64_t round, std::vector<WorkerTiming> workers) {
   }
   if (health.survivors > 0) {
     health.mean_completion_s = sum / static_cast<double>(health.survivors);
+    std::vector<double> completions;
+    completions.reserve(static_cast<size_t>(health.survivors));
     for (const WorkerTiming& w : workers) {
       if (!w.survived || w.completion_s < 0.0) continue;
       health.straggler_gap_max =
           std::max(health.straggler_gap_max,
                    std::fabs(w.completion_s - health.mean_completion_s));
+      completions.push_back(w.completion_s);
     }
+    std::sort(completions.begin(), completions.end());
+    const size_t n = completions.size();
+    health.median_completion_s =
+        n % 2 == 1 ? completions[n / 2]
+                   : 0.5 * (completions[n / 2 - 1] + completions[n / 2]);
   }
   health.workers = std::move(workers);
   return health;
 }
 
+int StragglerArgmax(const RoundHealth& health) {
+  int worker = -1;
+  double best = -1.0;
+  for (const WorkerTiming& w : health.workers) {
+    if (!w.survived || w.completion_s < 0.0) continue;
+    const double gap = std::fabs(w.completion_s - health.mean_completion_s);
+    if (gap > best) {
+      best = gap;
+      worker = w.worker;
+    }
+  }
+  return worker;
+}
+
+namespace {
+
+// Exact aggregates carried by a `round_rollup` event: present whenever the
+// emitting trainer sampled the per-worker stream.
+struct Rollup {
+  int survivors = -1;
+  double mean = -1.0;
+  double median = -1.0;
+  double gap = -1.0;
+};
+
+}  // namespace
+
 std::vector<RoundHealth> HealthFromEvents(
     const std::vector<JsonValue>& events) {
   std::map<int64_t, std::vector<WorkerTiming>> by_round;
+  std::map<int64_t, Rollup> rollups;
   for (const JsonValue& e : events) {
     const JsonValue* name = e.Find("event");
-    if (name == nullptr || name->StringOr("") != "worker_timing") continue;
+    if (name == nullptr) continue;
+    if (name->StringOr("") == "round_rollup") {
+      const JsonValue* args = e.Find("args");
+      if (args == nullptr || !args->is_object()) continue;
+      const int64_t round =
+          args->Find("round") ? args->Find("round")->IntOr(-1) : -1;
+      if (round < 0) continue;
+      Rollup& rollup = rollups[round];
+      if (const JsonValue* v = args->Find("survivors")) {
+        rollup.survivors = static_cast<int>(v->IntOr(-1));
+      }
+      if (const JsonValue* v = args->Find("mean_completion_s")) {
+        rollup.mean = v->NumberOr(-1.0);
+      }
+      if (const JsonValue* v = args->Find("median_completion_s")) {
+        rollup.median = v->NumberOr(-1.0);
+      }
+      if (const JsonValue* v = args->Find("straggler_gap_max")) {
+        rollup.gap = v->NumberOr(-1.0);
+      }
+      // Ensure the round appears even if every worker event was sampled out.
+      by_round[round];
+      continue;
+    }
+    if (name->StringOr("") != "worker_timing") continue;
     const JsonValue* args = e.Find("args");
     if (args == nullptr || !args->is_object()) continue;
     WorkerTiming timing;
@@ -75,7 +135,20 @@ std::vector<RoundHealth> HealthFromEvents(
   std::vector<RoundHealth> out;
   out.reserve(by_round.size());
   for (auto& [round, workers] : by_round) {
-    out.push_back(SummarizeRound(round, std::move(workers)));
+    RoundHealth health = SummarizeRound(round, std::move(workers));
+    auto it = rollups.find(round);
+    if (it != rollups.end()) {
+      // The rollup saw every worker; the sampled subset did not. Critical
+      // worker/fog stay as computed — the trainers force the critical and
+      // max-gap workers into the emitted subset, so those fields are exact.
+      if (it->second.survivors >= 0) health.survivors = it->second.survivors;
+      if (it->second.mean >= 0.0) health.mean_completion_s = it->second.mean;
+      if (it->second.median >= 0.0) {
+        health.median_completion_s = it->second.median;
+      }
+      if (it->second.gap >= 0.0) health.straggler_gap_max = it->second.gap;
+    }
+    out.push_back(std::move(health));
   }
   return out;
 }
@@ -86,15 +159,15 @@ std::string RenderRoundHealthTable(const std::vector<RoundHealth>& rounds) {
   out += "Round health (simulated time, critical path = slowest survivor)\n";
   out +=
       "  round  crit.worker  crit.fog  crit.comp_s  crit.comm_s  crit.total_s"
-      "  mean_s    gap_max  survivors\n";
+      "  mean_s  median_s    gap_max  survivors\n";
   for (const RoundHealth& h : rounds) {
     std::snprintf(buf, sizeof(buf),
-                  "  %5lld  %11d  %8d  %11.4f  %11.4f  %12.4f  %6.4f  %9.4f"
-                  "  %9d\n",
+                  "  %5lld  %11d  %8d  %11.4f  %11.4f  %12.4f  %6.4f  %8.4f"
+                  "  %9.4f  %9d\n",
                   static_cast<long long>(h.round), h.critical_worker,
                   h.critical_fog, h.critical_comp_s, h.critical_comm_s,
                   h.critical_total_s, h.mean_completion_s,
-                  h.straggler_gap_max, h.survivors);
+                  h.median_completion_s, h.straggler_gap_max, h.survivors);
     out += buf;
   }
 
@@ -124,7 +197,7 @@ std::string RenderRoundHealthTable(const std::vector<RoundHealth>& rounds) {
 
 std::string RoundHealthJson(const std::vector<RoundHealth>& rounds) {
   std::string out = "[";
-  char buf[256];
+  char buf[384];
   for (size_t r = 0; r < rounds.size(); ++r) {
     const RoundHealth& h = rounds[r];
     if (r > 0) out += ",";
@@ -133,13 +206,15 @@ std::string RoundHealthJson(const std::vector<RoundHealth>& rounds) {
         "{\"round\":%lld,\"critical_worker\":%d,\"critical_fog\":%d,"
         "\"critical_comp_s\":%s,"
         "\"critical_comm_s\":%s,\"critical_total_s\":%s,"
-        "\"mean_completion_s\":%s,\"straggler_gap_max\":%s,\"survivors\":%d,"
+        "\"mean_completion_s\":%s,\"median_completion_s\":%s,"
+        "\"straggler_gap_max\":%s,\"survivors\":%d,"
         "\"workers\":[",
         static_cast<long long>(h.round), h.critical_worker, h.critical_fog,
         JsonNumber(h.critical_comp_s, 6).c_str(),
         JsonNumber(h.critical_comm_s, 6).c_str(),
         JsonNumber(h.critical_total_s, 6).c_str(),
         JsonNumber(h.mean_completion_s, 6).c_str(),
+        JsonNumber(h.median_completion_s, 6).c_str(),
         JsonNumber(h.straggler_gap_max, 6).c_str(), h.survivors);
     out += buf;
     for (size_t w = 0; w < h.workers.size(); ++w) {

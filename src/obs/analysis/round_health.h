@@ -46,6 +46,10 @@ struct RoundHealth {
   // reference point) and the largest |T_n - mean(T)| straggler gap.
   double mean_completion_s = 0.0;
   double straggler_gap_max = 0.0;
+  // Median survivor completion time — the watchdog's straggler rule
+  // compares the gap against a multiple of this (the mean is itself pulled
+  // by the straggler, the median is not).
+  double median_completion_s = 0.0;
   int survivors = 0;
   std::vector<WorkerTiming> workers;  // sorted by worker id
 };
@@ -53,9 +57,19 @@ struct RoundHealth {
 // Folds one round's worker timings into a health record.
 RoundHealth SummarizeRound(int64_t round, std::vector<WorkerTiming> workers);
 
+// The survivor realizing straggler_gap_max (largest |T_n - mean|), or -1
+// when the round had no survivors. Under trace sampling the trainers force
+// this worker's events into the per-round emission set alongside the
+// critical worker.
+int StragglerArgmax(const RoundHealth& health);
+
 // Rebuilds per-round health from parsed events-JSONL lines (the
-// `worker_timing` instant events both trainers emit). Rounds are returned
-// in ascending order.
+// `worker_timing` instant events both trainers emit). When a round also
+// carries a `round_rollup` event (emitted whenever trace sampling thins the
+// per-worker stream), its aggregate fields — survivors, mean, median,
+// straggler gap — override the values recomputed from the sampled subset,
+// so the table stays exact even though most workers are folded out. Rounds
+// are returned in ascending order.
 std::vector<RoundHealth> HealthFromEvents(
     const std::vector<JsonValue>& events);
 

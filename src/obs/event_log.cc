@@ -1,0 +1,130 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/json_util.h"
+
+namespace fedmp::obs::internal {
+
+int TrackKey(Track t) {
+  return static_cast<int>(t.kind) * 1000000 + t.index;
+}
+
+int TrackTid(Track t) {
+  switch (t.kind) {
+    case Track::Kind::kMain: return 0;
+    case Track::Kind::kPs: return 1;
+    case Track::Kind::kWorker: return 100 + t.index;
+    case Track::Kind::kPool: return 10000 + t.index;
+  }
+  return 0;
+}
+
+std::string TrackName(Track t) {
+  char buf[32];
+  switch (t.kind) {
+    case Track::Kind::kMain: return "main";
+    case Track::Kind::kPs: return "ps";
+    case Track::Kind::kWorker:
+      std::snprintf(buf, sizeof(buf), "worker %d", t.index);
+      return buf;
+    case Track::Kind::kPool:
+      std::snprintf(buf, sizeof(buf), "pool lane %d", t.index);
+      return buf;
+  }
+  return "main";
+}
+
+std::string ArgsToJson(const Args& args) {
+  std::string out = "{";
+  for (size_t a = 0; a < args.size(); ++a) {
+    if (a > 0) out += ",";
+    out += "\"" + JsonEscape(args[a].first) + "\":" + args[a].second.ToJson();
+  }
+  out += "}";
+  return out;
+}
+
+std::string ChromeTraceFromEvents(std::vector<TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.wall_begin_us != b.wall_begin_us) {
+                return a.wall_begin_us < b.wall_begin_us;
+              }
+              return TrackTid(a.track) < TrackTid(b.track);
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"fedmp\"}}";
+
+  // One named thread track per distinct (worker / PS / pool lane) track.
+  std::map<int, Track> tracks;
+  for (const TraceEvent& e : events) tracks[TrackTid(e.track)] = e.track;
+  char buf[160];
+  for (const auto& [tid, track] : tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  tid, TrackName(track).c_str());
+    out += buf;
+  }
+
+  for (const TraceEvent& e : events) {
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"s\":\"t\",\"name\":\"%s\",\"args\":",
+                    TrackTid(e.track), e.wall_begin_us,
+                    JsonEscape(e.name).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"name\":\"%s\",\"args\":",
+                    TrackTid(e.track), e.wall_begin_us,
+                    e.wall_end_us - e.wall_begin_us,
+                    JsonEscape(e.name).c_str());
+    }
+    out += buf;
+    // Fold the deterministic clock into args so both clocks are visible.
+    Args args = e.args;
+    args.emplace_back("t_sim", e.logical_begin);
+    if (!e.instant) args.emplace_back("t_sim_end", e.logical_end);
+    out += ArgsToJson(args);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EventsJsonlFromEvents(std::vector<TraceEvent> events) {
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const TraceEvent& e) { return !e.logical; }),
+               events.end());
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              const int ka = TrackKey(a.track), kb = TrackKey(b.track);
+              if (ka != kb) return ka < kb;
+              return a.track_seq < b.track_seq;
+            });
+  std::string out;
+  char buf[192];
+  for (const TraceEvent& e : events) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"track\":\"%s\",\"seq\":%llu,\"kind\":\"%s\",\"event\":\"%s\","
+        "\"t_sim\":%.9g,\"t_sim_end\":%.9g,\"depth\":%d,\"args\":",
+        TrackName(e.track).c_str(),
+        static_cast<unsigned long long>(e.track_seq),
+        e.instant ? "instant" : "span", JsonEscape(e.name).c_str(),
+        e.logical_begin, e.logical_end, e.depth);
+    out += buf;
+    out += ArgsToJson(e.args);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace fedmp::obs::internal

@@ -1,0 +1,51 @@
+#ifndef FEDMP_OBS_EVENT_LOG_H_
+#define FEDMP_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+// Shared in-memory event representation and exporters for the two recording
+// tiers: the unbounded-until-cap trace buffer (obs/trace.cc) and the
+// fixed-capacity flight recorder (obs/flight_recorder.cc). Both serialize
+// through the same two functions, so a flight-recorder dump is
+// format-identical to a full trace export — every post-hoc tool
+// (fedmp_report, the python CI validators, Perfetto) reads either without
+// knowing which tier produced it.
+namespace fedmp::obs::internal {
+
+struct TraceEvent {
+  std::string name;
+  Track track;
+  double wall_begin_us = 0.0;
+  double wall_end_us = 0.0;
+  double logical_begin = 0.0;
+  double logical_end = 0.0;
+  int depth = 0;
+  uint64_t track_seq = 0;  // logical events only
+  bool instant = false;
+  bool logical = true;  // include in the deterministic export
+  Args args;
+};
+
+// Stable integer key / chrome tid / display name per track.
+int TrackKey(Track t);
+int TrackTid(Track t);
+std::string TrackName(Track t);
+
+// Args as one JSON object (keys escaped, values via ArgValue::ToJson).
+std::string ArgsToJson(const Args& args);
+
+// Chrome trace-event JSON over `events` (sorted internally by wall time;
+// takes by value because sorting mutates).
+std::string ChromeTraceFromEvents(std::vector<TraceEvent> events);
+
+// Deterministic structured log: logical events only, one JSON object per
+// line, sorted by (track key, per-track sequence), wall time excluded.
+std::string EventsJsonlFromEvents(std::vector<TraceEvent> events);
+
+}  // namespace fedmp::obs::internal
+
+#endif  // FEDMP_OBS_EVENT_LOG_H_

@@ -1,0 +1,267 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace fedmp::obs {
+
+namespace {
+
+// Logical and non-logical events are bounded separately: a burst of
+// scheduling-dependent pool chunks must never evict deterministic history
+// (that would make the JSONL half of a dump thread-count-dependent).
+struct Ledger {
+  // Track key -> that track's recent events (front = oldest).
+  std::map<int, std::deque<internal::TraceEvent>> tracks;
+  int64_t total = 0;
+};
+
+struct Ring {
+  std::mutex mu;
+  FlightRecorderOptions options;
+  Ledger logical;
+  Ledger other;
+  int64_t evicted = 0;
+};
+
+Ring& TheRing() {
+  static Ring* ring = new Ring();  // leaky: signal-handler + thread-exit safe
+  return *ring;
+}
+
+// Fast gate read by the PushEvent hot path (bench_obs_overhead budget).
+std::atomic<bool> g_flight_enabled{false};
+
+// Pops the front of the largest deque (ties: smallest track key). The
+// policy water-fills capacity across tracks, so the steady state is "each
+// track keeps its most recent fair share" — and because the winner depends
+// only on deque SIZES, never on wall time, the final logical contents are a
+// pure function of the per-track event counts: bit-identical across thread
+// counts for a fixed seed.
+void EvictLargest(Ring& ring, Ledger& ledger) {
+  auto largest = ledger.tracks.end();
+  size_t largest_size = 0;
+  for (auto it = ledger.tracks.begin(); it != ledger.tracks.end(); ++it) {
+    if (it->second.size() > largest_size) {
+      largest = it;
+      largest_size = it->second.size();
+    }
+  }
+  if (largest == ledger.tracks.end()) return;
+  largest->second.pop_front();
+  --ledger.total;
+  ++ring.evicted;
+}
+
+std::vector<internal::TraceEvent> SnapshotLocked(const Ring& ring,
+                                                 bool include_other) {
+  std::vector<internal::TraceEvent> events;
+  events.reserve(static_cast<size_t>(ring.logical.total) +
+                 (include_other ? static_cast<size_t>(ring.other.total) : 0));
+  for (const auto& [key, dq] : ring.logical.tracks) {
+    events.insert(events.end(), dq.begin(), dq.end());
+  }
+  if (include_other) {
+    for (const auto& [key, dq] : ring.other.tracks) {
+      events.insert(events.end(), dq.begin(), dq.end());
+    }
+  }
+  return events;
+}
+
+bool WriteAtomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[obs] cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << content;
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "[obs] cannot rename %s -> %s\n", tmp.c_str(),
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Fatal-signal path: dump once, restore the default disposition, re-raise.
+std::atomic<bool> g_in_signal_dump{false};
+
+void FlightSignalHandler(int sig) {
+  if (!g_in_signal_dump.exchange(true)) {
+    char reason[32];
+    std::snprintf(reason, sizeof(reason), "signal:%d", sig);
+    DumpFlightRecorder(reason);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGTERM, FlightSignalHandler);
+  std::signal(SIGINT, FlightSignalHandler);
+  std::signal(SIGABRT, FlightSignalHandler);
+  std::signal(SIGSEGV, FlightSignalHandler);
+}
+
+}  // namespace
+
+void EnableFlightRecorder(const FlightRecorderOptions& options) {
+  Ring& ring = TheRing();
+  {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    ring.options = options;
+    if (ring.options.total_capacity < 1) ring.options.total_capacity = 1;
+    if (ring.options.per_track_capacity < 1) {
+      ring.options.per_track_capacity = 1;
+    }
+  }
+  if (options.install_signal_handlers) InstallSignalHandlers();
+  g_flight_enabled.store(true, std::memory_order_release);
+}
+
+void DisableFlightRecorder() {
+  g_flight_enabled.store(false, std::memory_order_release);
+}
+
+bool FlightRecorderEnabled() {
+  return g_flight_enabled.load(std::memory_order_acquire);
+}
+
+bool MaybeEnableFlightRecorderFromEnv() {
+  if (FlightRecorderEnabled()) return true;
+  const char* env = std::getenv("FEDMP_FLIGHT_RECORDER");
+  if (env == nullptr) return false;
+  const int64_t total = std::atoll(env);
+  if (total <= 0) return false;
+  FlightRecorderOptions options;
+  options.total_capacity = total;
+  if (const char* per_track = std::getenv("FEDMP_FLIGHT_PER_TRACK")) {
+    const int64_t n = std::atoll(per_track);
+    if (n > 0) options.per_track_capacity = n;
+  }
+  if (const char* prefix = std::getenv("FEDMP_FLIGHT_DUMP_PREFIX")) {
+    options.dump_path_prefix = prefix;
+  }
+  if (!Enabled()) {
+    // Ring-only mode: recording hooks run but the unbounded main buffer is
+    // capped at zero, so the ring is the whole memory footprint.
+    TraceOptions trace;
+    trace.max_events = 0;
+    Enable(trace);
+  }
+  EnableFlightRecorder(options);
+  return true;
+}
+
+bool DumpFlightRecorder(const char* reason) {
+  if (!FlightRecorderEnabled()) return false;
+  Ring& ring = TheRing();
+  std::vector<internal::TraceEvent> chrome_events;
+  std::vector<internal::TraceEvent> logical_events;
+  FlightRecorderOptions options;
+  int64_t evicted = 0;
+  {
+    // try_lock, not lock: the fatal-signal handler may fire while another
+    // thread holds the ring mutex; deadlocking inside a handler would turn
+    // "no dump" into "hung process".
+    std::unique_lock<std::mutex> lock(ring.mu, std::try_to_lock);
+    if (!lock.owns_lock()) return false;
+    chrome_events = SnapshotLocked(ring, /*include_other=*/true);
+    logical_events = SnapshotLocked(ring, /*include_other=*/false);
+    options = ring.options;
+    evicted = ring.evicted;
+  }
+  // The dump reason rides as a Chrome-only metadata event so the JSONL half
+  // stays a pure record of logical history (bit-identical across dumps
+  // triggered at the same logical point).
+  internal::TraceEvent marker;
+  marker.name = "obs.flight_dump";
+  marker.track = MainTrack();
+  marker.wall_begin_us = marker.wall_end_us = WallNowUs();
+  marker.logical_begin = marker.logical_end = LogicalTime();
+  marker.instant = true;
+  marker.logical = false;
+  marker.args = {{"reason", reason},
+                 {"events", static_cast<long long>(chrome_events.size())},
+                 {"evicted", static_cast<long long>(evicted)}};
+  chrome_events.push_back(std::move(marker));
+
+  const std::string prefix = options.dump_path_prefix;
+  const bool trace_ok = WriteAtomically(
+      prefix + "_dump_trace.json",
+      internal::ChromeTraceFromEvents(std::move(chrome_events)));
+  const bool jsonl_ok = WriteAtomically(
+      prefix + "_dump_events.jsonl",
+      internal::EventsJsonlFromEvents(std::move(logical_events)));
+  return trace_ok && jsonl_ok;
+}
+
+int64_t FlightRecorderEventCount() {
+  Ring& ring = TheRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.logical.total + ring.other.total;
+}
+
+int64_t FlightRecorderEvictedCount() {
+  Ring& ring = TheRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.evicted;
+}
+
+std::string FlightRecorderEventsJsonl() {
+  Ring& ring = TheRing();
+  std::vector<internal::TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    events = SnapshotLocked(ring, /*include_other=*/false);
+  }
+  return internal::EventsJsonlFromEvents(std::move(events));
+}
+
+void FlightRecorderResetForTest() {
+  g_flight_enabled.store(false, std::memory_order_release);
+  Ring& ring = TheRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.logical = Ledger();
+  ring.other = Ledger();
+  ring.evicted = 0;
+  ring.options = FlightRecorderOptions();
+  g_in_signal_dump.store(false);
+}
+
+namespace internal {
+
+void FlightRecord(const TraceEvent& event) {
+  Ring& ring = TheRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  Ledger& ledger = event.logical ? ring.logical : ring.other;
+  std::deque<TraceEvent>& track = ledger.tracks[TrackKey(event.track)];
+  track.push_back(event);
+  ++ledger.total;
+  if (static_cast<int64_t>(track.size()) > ring.options.per_track_capacity) {
+    track.pop_front();
+    --ledger.total;
+    ++ring.evicted;
+  }
+  while (ledger.total > ring.options.total_capacity) {
+    EvictLargest(ring, ledger);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace fedmp::obs

@@ -1,0 +1,89 @@
+#ifndef FEDMP_OBS_FLIGHT_RECORDER_H_
+#define FEDMP_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/event_log.h"
+
+// Flight recorder: a fixed-capacity ring behind the span/event API. Every
+// event PushEvent records is also offered to the recorder, which keeps the
+// last N events per track (and at most `total_capacity` overall), so a
+// 10k-worker chaos run holds recent history in bounded memory regardless
+// of fleet size or run length.
+//
+// Dumps — a valid Chrome trace + the deterministic events JSONL, written
+// atomically (tmp + rename) — happen on demand (DumpFlightRecorder), on
+// every watchdog alert (obs/watchdog.cc), at Flush(), and best-effort from
+// a fatal-signal handler (SIGTERM/SIGINT/SIGABRT/SIGSEGV), so crashed or
+// killed runs leave evidence instead of nothing.
+//
+// Determinism: ring events keep the per-track sequence numbers assigned by
+// trace.cc, and the eviction policy (per-track cap, then pop from the
+// largest track) depends only on per-track event counts — pure functions
+// of the logical schedule — so the JSONL view of a dump is bit-identical
+// across thread counts for a fixed seed (the test oracle, same as the main
+// buffer's EventsJsonl). Non-logical events (pool lanes, environment
+// alerts) are bounded in a separate ledger and ride in the Chrome half of
+// the dump only.
+namespace fedmp::obs {
+
+struct FlightRecorderOptions {
+  // Global cap across all tracks; evicting pops the front of the currently
+  // largest track (ties: smallest track key), which water-fills capacity so
+  // every track keeps its most recent fair share. Applied separately to
+  // logical and non-logical events, so scheduling-dependent pool chunks can
+  // never displace deterministic history.
+  int64_t total_capacity = 4096;
+  // Cap per track (a hot PS track cannot starve the worker tracks).
+  int64_t per_track_capacity = 256;
+  // Dump file prefix: writes <prefix>_dump_trace.json and
+  // <prefix>_dump_events.jsonl.
+  std::string dump_path_prefix = "flight";
+  // Install SIGTERM/SIGINT/SIGABRT/SIGSEGV handlers that dump then re-raise.
+  bool install_signal_handlers = true;
+};
+
+// Starts mirroring events into the ring (idempotent; replaces options).
+// Does NOT toggle the global obs enable flag — callers combine it with
+// Enable()/MaybeEnableFromEnv() as needed.
+void EnableFlightRecorder(const FlightRecorderOptions& options = {});
+void DisableFlightRecorder();
+bool FlightRecorderEnabled();
+
+// Enables from FEDMP_FLIGHT_RECORDER=<total events> (0/unset = off), with
+// FEDMP_FLIGHT_PER_TRACK and FEDMP_FLIGHT_DUMP_PREFIX overrides. When the
+// broader telemetry switch is still off (no FEDMP_TRACE* configured), this
+// also enables obs in ring-only mode: recording hooks run, the unbounded
+// main buffer is capped at zero, and the ring holds the only history — the
+// bounded-memory configuration the scale bench gates. Returns whether the
+// recorder ended up enabled.
+bool MaybeEnableFlightRecorderFromEnv();
+
+// Writes <prefix>_dump_trace.json + <prefix>_dump_events.jsonl from the
+// current ring contents (atomic: tmp + rename). `reason` is stamped into
+// the Chrome dump as an obs.flight_dump metadata event. Returns false when
+// the recorder is disabled, the ring lock is contended (signal context), or
+// the files cannot be written.
+bool DumpFlightRecorder(const char* reason);
+
+// Events currently buffered across all tracks / evicted so far (tests).
+int64_t FlightRecorderEventCount();
+int64_t FlightRecorderEvictedCount();
+
+// The ring's deterministic JSONL view (same format as EventsJsonl()).
+std::string FlightRecorderEventsJsonl();
+
+// Clears the ring, counters, and options. Tests only.
+void FlightRecorderResetForTest();
+
+namespace internal {
+// Called by trace.cc PushEvent with the sequence number already assigned.
+// The caller holds the trace-buffer mutex; this only takes the ring mutex
+// (strict rec.mu -> ring.mu order, never reversed).
+void FlightRecord(const TraceEvent& event);
+}  // namespace internal
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_FLIGHT_RECORDER_H_

@@ -211,6 +211,18 @@ std::vector<MetricSnapshot> Registry::Snapshot() {
   return out;
 }
 
+double Registry::GaugeValue(const std::string& name, double fallback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, idx] : by_name_) {
+    if (n != name) continue;
+    const MetricInfo& info = metrics_[static_cast<size_t>(idx)];
+    if (info.kind != MetricSnapshot::Kind::kGauge) return fallback;
+    return static_cast<Gauge*>(info.handle)
+        ->value_.load(std::memory_order_relaxed);
+  }
+  return fallback;
+}
+
 std::string Registry::ToText() {
   std::string out;
   char buf[160];

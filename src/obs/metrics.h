@@ -95,6 +95,11 @@ class Registry {
   // Merges every live thread shard plus retired residue. Sorted by name.
   std::vector<MetricSnapshot> Snapshot();
 
+  // Current value of the named gauge, or `fallback` when no gauge of that
+  // name exists. Cheap (one registry lock + one atomic load, no shard
+  // merge), so the watchdog can poll per round.
+  double GaugeValue(const std::string& name, double fallback = 0.0);
+
   // "name value" lines (histograms: one line per bucket) for consoles.
   std::string ToText();
   // One JSON object keyed by metric name.

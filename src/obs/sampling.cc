@@ -1,0 +1,85 @@
+#include "obs/sampling.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace fedmp::obs {
+
+namespace {
+
+// One atomic word each: ShouldTraceWorker sits on the trainers' per-worker
+// emission path, so the inactive case must stay a relaxed load + branch
+// (same budget as the obs enable flag).
+std::atomic<int64_t> g_budget{0};
+std::atomic<uint64_t> g_seed{0};
+
+// splitmix64 finalizer — the same mix the Rng constructor applies to the
+// FaultPlan stream seeds, reproduced here so obs stays dependency-free.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void EnableTraceSampling(const SamplingOptions& options) {
+  g_seed.store(options.seed, std::memory_order_relaxed);
+  g_budget.store(options.per_round_budget > 0 ? options.per_round_budget : 0,
+                 std::memory_order_relaxed);
+}
+
+void DisableTraceSampling() {
+  g_budget.store(0, std::memory_order_relaxed);
+}
+
+bool TraceSamplingActive() {
+  return g_budget.load(std::memory_order_relaxed) > 0;
+}
+
+int64_t TraceSampleBudget() {
+  return g_budget.load(std::memory_order_relaxed);
+}
+
+bool MaybeEnableSamplingFromEnv(uint64_t run_seed) {
+  if (TraceSamplingActive()) return true;
+  const char* env = std::getenv("FEDMP_TRACE_SAMPLE");
+  if (env == nullptr) return false;
+  const int64_t budget = std::atoll(env);
+  if (budget <= 0) return false;
+  SamplingOptions options;
+  options.per_round_budget = budget;
+  options.seed = run_seed;
+  EnableTraceSampling(options);
+  return true;
+}
+
+bool SampleWorker(uint64_t seed, int64_t round, int worker, int num_workers,
+                  int64_t budget) {
+  if (budget <= 0 || num_workers <= 0) return true;
+  if (budget >= num_workers) return true;
+  // Same (round, worker) stream-derivation constants as
+  // edge::FaultPlan::StreamFor, with a salt so the sampling stream never
+  // aliases a fault stream of the same seed.
+  const uint64_t h = Mix64(
+      seed ^ 0x0B5E55EDFEEDFACEULL ^
+      (static_cast<uint64_t>(round + 1) * 0xD6E8FEB86659FD93ULL) ^
+      (static_cast<uint64_t>(worker + 1) * 0x8CB92BA72F3D8DD7ULL));
+  return static_cast<int64_t>(h % static_cast<uint64_t>(num_workers)) <
+         budget;
+}
+
+bool ShouldTraceWorker(int64_t round, int worker, int num_workers) {
+  const int64_t budget = g_budget.load(std::memory_order_relaxed);
+  if (budget <= 0) return true;
+  return SampleWorker(g_seed.load(std::memory_order_relaxed), round, worker,
+                      num_workers, budget);
+}
+
+void SamplingResetForTest() {
+  g_budget.store(0, std::memory_order_relaxed);
+  g_seed.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fedmp::obs

@@ -1,0 +1,59 @@
+#ifndef FEDMP_OBS_SAMPLING_H_
+#define FEDMP_OBS_SAMPLING_H_
+
+#include <cstdint>
+
+// Deterministic trace sampling for fleet-scale runs. Per-worker spans and
+// worker_timing events grow linearly with fleet size; at 10k+ workers the
+// trainers instead trace only a per-round sample of workers and fold the
+// rest into rollup histograms plus one round_rollup event (see
+// analysis/round_health.cc, which reconstructs survivors/means from the
+// rollup so post-hoc reports stay exact under sampling).
+//
+// The sample is a pure function of (seed, round, worker) with the same
+// hash-seeding discipline as edge::FaultPlan::StreamFor — no RNG state, no
+// draw-order coupling — so the sampled set is bit-identical across thread
+// counts, engines, and replay, and changing the sample budget never
+// perturbs training (sampling gates event EMISSION only; no model code
+// consumes these bits).
+//
+// The pure function cannot know a round's critical path, so the trainers
+// additionally force-include the critical worker and the max-gap straggler
+// after computing the round summary; round_health attribution therefore
+// always names the worker it blames, sampled or not.
+namespace fedmp::obs {
+
+struct SamplingOptions {
+  // Expected number of workers traced per round; <= 0 disables sampling
+  // (every worker traced). The set is pseudo-random per round, so over R
+  // rounds every worker appears in roughly R * budget / num_workers rounds.
+  int64_t per_round_budget = 0;
+  // Stream seed; the trainers pass the run seed so traces replay exactly.
+  uint64_t seed = 0;
+};
+
+// Installs the process-global sampling configuration (idempotent).
+void EnableTraceSampling(const SamplingOptions& options);
+void DisableTraceSampling();
+bool TraceSamplingActive();
+int64_t TraceSampleBudget();
+
+// Enables from FEDMP_TRACE_SAMPLE=<per-round budget> (0/unset = off),
+// seeding from `run_seed`. Returns whether sampling ended up active.
+bool MaybeEnableSamplingFromEnv(uint64_t run_seed);
+
+// The pure predicate: whether `worker` emits per-worker events in `round`.
+// Expected selection size is `budget` of `num_workers` (each worker is
+// included independently with probability budget/num_workers).
+bool SampleWorker(uint64_t seed, int64_t round, int worker, int num_workers,
+                  int64_t budget);
+
+// SampleWorker over the active global options; always true when sampling
+// is inactive.
+bool ShouldTraceWorker(int64_t round, int worker, int num_workers);
+
+void SamplingResetForTest();
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_SAMPLING_H_

@@ -1,0 +1,135 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/analysis/report.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+
+namespace {
+
+struct SnapshotState {
+  std::mutex mu;
+  SnapshotOptions options;
+  bool active = false;
+};
+
+SnapshotState& TheState() {
+  static SnapshotState* state = new SnapshotState();  // leaky
+  return *state;
+}
+
+bool WriteAtomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[obs] cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << content;
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "[obs] cannot rename %s -> %s\n", tmp.c_str(),
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EnableHealthSnapshots(const SnapshotOptions& options) {
+  SnapshotState& state = TheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.options = options;
+  if (state.options.every_rounds < 1) state.options.every_rounds = 1;
+  state.active = !state.options.path.empty();
+}
+
+void DisableHealthSnapshots() {
+  SnapshotState& state = TheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.active = false;
+}
+
+bool HealthSnapshotsActive() {
+  SnapshotState& state = TheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active;
+}
+
+bool MaybeEnableSnapshotsFromEnv() {
+  if (HealthSnapshotsActive()) return true;
+  const char* path = std::getenv("FEDMP_HEALTH_SNAPSHOT");
+  if (path == nullptr || *path == '\0') return false;
+  SnapshotOptions options;
+  options.path = path;
+  if (const char* every = std::getenv("FEDMP_HEALTH_SNAPSHOT_EVERY")) {
+    const int64_t k = std::atoll(every);
+    if (k > 0) options.every_rounds = k;
+  }
+  if (const char* metrics = std::getenv("FEDMP_HEALTH_SNAPSHOT_METRICS")) {
+    options.metrics_text_path = metrics;
+  }
+  EnableHealthSnapshots(options);
+  return true;
+}
+
+bool HealthSnapshotDue(int64_t round) {
+  SnapshotState& state = TheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.active) return false;
+  return round % state.options.every_rounds == 0;
+}
+
+bool WriteHealthSnapshot(int64_t round) {
+  SnapshotOptions options;
+  {
+    SnapshotState& state = TheState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) return false;
+    options = state.options;
+  }
+  analysis::ReportInputs inputs;
+  inputs.manifest_json = ManifestJson();
+  // Bounded work when the flight recorder is on: the ring holds O(capacity)
+  // events. Without it the full buffer serializes — fine for short runs,
+  // which is the only configuration that has one.
+  inputs.events_jsonl = FlightRecorderEnabled() ? FlightRecorderEventsJsonl()
+                                                : EventsJsonl();
+  inputs.metrics_json = Registry::Get().ToJson();
+  analysis::Report report = analysis::BuildReport(inputs);
+  // Stamp the snapshot boundary into the document (the schema tolerates
+  // unknown keys; `round` tells a tailing reader how fresh the file is).
+  if (!report.json.empty() && report.json.back() == '}') {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"snapshot_round\":%lld}",
+                  static_cast<long long>(round));
+    report.json.pop_back();
+    report.json += buf;
+  }
+  bool ok = WriteAtomically(options.path, report.json + "\n");
+  if (!options.metrics_text_path.empty()) {
+    ok = WriteAtomically(options.metrics_text_path,
+                         Registry::Get().ToText()) &&
+         ok;
+  }
+  return ok;
+}
+
+void SnapshotResetForTest() {
+  SnapshotState& state = TheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.options = SnapshotOptions();
+  state.active = false;
+}
+
+}  // namespace fedmp::obs

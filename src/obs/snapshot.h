@@ -1,0 +1,53 @@
+#ifndef FEDMP_OBS_SNAPSHOT_H_
+#define FEDMP_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+// Periodic health snapshots: every K rounds the trainer atomically replaces
+// one JSON file with a fedmp_report/1-compatible document built from the
+// LIVE buffers (manifest, deterministic events, metrics registry — which
+// carries the fl.scale.peak_rss_bytes gauge and the bandit decision audit
+// events), so a long run is tail-able:
+//
+//   FEDMP_HEALTH_SNAPSHOT=health.json FEDMP_HEALTH_SNAPSHOT_EVERY=10 ...
+//   watch -n5 "python3 -m json.tool health.json | head"
+//
+// Writes are tmp + rename, so a reader never observes a torn file. When
+// the flight recorder is active its bounded ring feeds the round-health
+// section (O(capacity) work per snapshot); otherwise the full trace buffer
+// does. An optional second file serves the metrics text format for trivial
+// poll/scrape consumers.
+namespace fedmp::obs {
+
+struct SnapshotOptions {
+  // Report JSON path; empty disables.
+  std::string path;
+  // Snapshot cadence in rounds (round 0, K, 2K, ...).
+  int64_t every_rounds = 10;
+  // Optional metrics text-format poll file; empty = skip.
+  std::string metrics_text_path;
+};
+
+void EnableHealthSnapshots(const SnapshotOptions& options);
+void DisableHealthSnapshots();
+bool HealthSnapshotsActive();
+
+// Enables from FEDMP_HEALTH_SNAPSHOT=<report.json> with
+// FEDMP_HEALTH_SNAPSHOT_EVERY=<K> (default 10) and
+// FEDMP_HEALTH_SNAPSHOT_METRICS=<metrics.txt> overrides. Returns whether
+// snapshots ended up active.
+bool MaybeEnableSnapshotsFromEnv();
+
+// Whether `round` is a snapshot boundary under the active cadence.
+bool HealthSnapshotDue(int64_t round);
+
+// Builds the report from the live buffers and atomically replaces the
+// configured file(s). Returns false when inactive or the write failed.
+bool WriteHealthSnapshot(int64_t round);
+
+void SnapshotResetForTest();
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_SNAPSHOT_H_

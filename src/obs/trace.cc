@@ -1,6 +1,5 @@
 #include "obs/trace.h"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -10,53 +9,19 @@
 #include <map>
 #include <mutex>
 
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_util.h"
+#include "obs/sampling.h"
+#include "obs/snapshot.h"
+#include "obs/watchdog.h"
 
 namespace fedmp::obs {
 
+using internal::TraceEvent;
+using internal::TrackKey;
+
 namespace {
-
-// Stable integer key / chrome tid / display name per track.
-int TrackKey(Track t) {
-  return static_cast<int>(t.kind) * 1000000 + t.index;
-}
-int TrackTid(Track t) {
-  switch (t.kind) {
-    case Track::Kind::kMain: return 0;
-    case Track::Kind::kPs: return 1;
-    case Track::Kind::kWorker: return 100 + t.index;
-    case Track::Kind::kPool: return 10000 + t.index;
-  }
-  return 0;
-}
-std::string TrackName(Track t) {
-  char buf[32];
-  switch (t.kind) {
-    case Track::Kind::kMain: return "main";
-    case Track::Kind::kPs: return "ps";
-    case Track::Kind::kWorker:
-      std::snprintf(buf, sizeof(buf), "worker %d", t.index);
-      return buf;
-    case Track::Kind::kPool:
-      std::snprintf(buf, sizeof(buf), "pool lane %d", t.index);
-      return buf;
-  }
-  return "main";
-}
-
-struct TraceEvent {
-  std::string name;
-  Track track;
-  double wall_begin_us = 0.0;
-  double wall_end_us = 0.0;
-  double logical_begin = 0.0;
-  double logical_end = 0.0;
-  int depth = 0;
-  uint64_t track_seq = 0;  // logical events only
-  bool instant = false;
-  bool logical = true;  // include in the deterministic export
-  Args args;
-};
 
 struct Recorder {
   std::mutex mu;
@@ -81,24 +46,28 @@ thread_local int t_span_depth = 0;
 void PushEvent(TraceEvent event) {
   Recorder& rec = Rec();
   std::lock_guard<std::mutex> lock(rec.mu);
-  if (static_cast<int64_t>(rec.events.size()) >= rec.options.max_events) {
-    ++rec.dropped;
-    return;
-  }
+  // Sequence numbers are assigned BEFORE the capacity check: the flight
+  // recorder keeps recording past the main buffer's cap, and its events
+  // must carry the same per-track ordering the unbounded buffer would have.
   if (event.logical) {
     event.track_seq = rec.next_seq[TrackKey(event.track)]++;
   }
-  rec.events.push_back(std::move(event));
-}
-
-std::string ArgsToJson(const Args& args) {
-  std::string out = "{";
-  for (size_t a = 0; a < args.size(); ++a) {
-    if (a > 0) out += ",";
-    out += "\"" + JsonEscape(args[a].first) + "\":" + args[a].second.ToJson();
+  if (FlightRecorderEnabled()) {
+    // Strict lock order: rec.mu -> ring.mu (FlightRecord only takes the
+    // ring mutex; no ring path ever takes rec.mu).
+    internal::FlightRecord(event);
   }
-  out += "}";
-  return out;
+  if (static_cast<int64_t>(rec.events.size()) >= rec.options.max_events) {
+    ++rec.dropped;
+    if (rec.options.max_events > 0) {
+      // Resolve-once outside the registry would race Enable(); a static
+      // local is fine — Counter handles are process-stable.
+      static Counter* dropped_counter = GetCounter("obs.trace.dropped");
+      dropped_counter->Add(1);
+    }
+    return;
+  }
+  rec.events.push_back(std::move(event));
 }
 
 }  // namespace
@@ -148,6 +117,10 @@ bool MaybeEnableFromEnv() {
   if (jsonl != nullptr) options.events_jsonl_path = jsonl;
   if (metrics != nullptr) options.metrics_json_path = metrics;
   if (manifest != nullptr) options.manifest_path = manifest;
+  if (const char* cap = std::getenv("FEDMP_TRACE_MAX_EVENTS")) {
+    const int64_t n = std::atoll(cap);
+    if (n >= 0) options.max_events = n;
+  }
   Enable(options);
   return true;
 }
@@ -180,6 +153,10 @@ void Flush() {
   if (!options.manifest_path.empty()) {
     WriteFileOrWarn(options.manifest_path, ManifestJson());
   }
+  // A normal end-of-run flush also dumps the ring, so every recorded run
+  // leaves the bounded artifacts too (CI validates them the same way it
+  // validates the kill-path dumps).
+  if (FlightRecorderEnabled()) DumpFlightRecorder("flush");
 }
 
 void SetRunInfo(const std::string& key, ArgValue value) {
@@ -203,7 +180,7 @@ std::string ManifestJson() {
     info = rec.run_info;
   }
   std::string out = "{\"run_info\":";
-  out += ArgsToJson(info);
+  out += internal::ArgsToJson(info);
   out += "}\n";
   return out;
 }
@@ -276,6 +253,20 @@ void InstantEvent(const char* name, Track track, Args args) {
   PushEvent(std::move(event));
 }
 
+void InstantEventEnv(const char* name, Track track, Args args) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.track = track;
+  event.wall_begin_us = event.wall_end_us = WallNowUs();
+  event.logical_begin = event.logical_end = LogicalTime();
+  event.depth = t_span_depth;
+  event.instant = true;
+  event.logical = false;  // Chrome trace only, by contract
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
+
 void RecordPoolChunk(int lane, double wall_begin_us, double wall_end_us,
                      int64_t iterations) {
   if (!Enabled()) return;
@@ -301,55 +292,7 @@ std::string ChromeTraceJson() {
     std::lock_guard<std::mutex> lock(rec.mu);
     events = rec.events;
   }
-  std::sort(events.begin(), events.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              if (a.wall_begin_us != b.wall_begin_us) {
-                return a.wall_begin_us < b.wall_begin_us;
-              }
-              return TrackTid(a.track) < TrackTid(b.track);
-            });
-
-  std::string out = "{\"traceEvents\":[";
-  out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
-         "\"args\":{\"name\":\"fedmp\"}}";
-
-  // One named thread track per distinct (worker / PS / pool lane) track.
-  std::map<int, Track> tracks;
-  for (const TraceEvent& e : events) tracks[TrackTid(e.track)] = e.track;
-  char buf[160];
-  for (const auto& [tid, track] : tracks) {
-    std::snprintf(buf, sizeof(buf),
-                  ",{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":"
-                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
-                  tid, TrackName(track).c_str());
-    out += buf;
-  }
-
-  for (const TraceEvent& e : events) {
-    if (e.instant) {
-      std::snprintf(buf, sizeof(buf),
-                    ",{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
-                    "\"s\":\"t\",\"name\":\"%s\",\"args\":",
-                    TrackTid(e.track), e.wall_begin_us,
-                    JsonEscape(e.name).c_str());
-    } else {
-      std::snprintf(buf, sizeof(buf),
-                    ",{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
-                    "\"dur\":%.3f,\"name\":\"%s\",\"args\":",
-                    TrackTid(e.track), e.wall_begin_us,
-                    e.wall_end_us - e.wall_begin_us,
-                    JsonEscape(e.name).c_str());
-    }
-    out += buf;
-    // Fold the deterministic clock into args so both clocks are visible.
-    Args args = e.args;
-    args.emplace_back("t_sim", e.logical_begin);
-    if (!e.instant) args.emplace_back("t_sim_end", e.logical_end);
-    out += ArgsToJson(args);
-    out += "}";
-  }
-  out += "]}";
-  return out;
+  return internal::ChromeTraceFromEvents(std::move(events));
 }
 
 std::string EventsJsonl() {
@@ -359,37 +302,19 @@ std::string EventsJsonl() {
     std::lock_guard<std::mutex> lock(rec.mu);
     events = rec.events;
   }
-  events.erase(std::remove_if(events.begin(), events.end(),
-                              [](const TraceEvent& e) { return !e.logical; }),
-               events.end());
-  std::sort(events.begin(), events.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              const int ka = TrackKey(a.track), kb = TrackKey(b.track);
-              if (ka != kb) return ka < kb;
-              return a.track_seq < b.track_seq;
-            });
-  std::string out;
-  char buf[192];
-  for (const TraceEvent& e : events) {
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\"track\":\"%s\",\"seq\":%llu,\"kind\":\"%s\",\"event\":\"%s\","
-        "\"t_sim\":%.9g,\"t_sim_end\":%.9g,\"depth\":%d,\"args\":",
-        TrackName(e.track).c_str(),
-        static_cast<unsigned long long>(e.track_seq),
-        e.instant ? "instant" : "span", JsonEscape(e.name).c_str(),
-        e.logical_begin, e.logical_end, e.depth);
-    out += buf;
-    out += ArgsToJson(e.args);
-    out += "}\n";
-  }
-  return out;
+  return internal::EventsJsonlFromEvents(std::move(events));
 }
 
 int64_t BufferedEventCount() {
   Recorder& rec = Rec();
   std::lock_guard<std::mutex> lock(rec.mu);
   return static_cast<int64_t>(rec.events.size());
+}
+
+int64_t DroppedEventCount() {
+  Recorder& rec = Rec();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  return rec.dropped;
 }
 
 void ResetForTest() {
@@ -400,9 +325,16 @@ void ResetForTest() {
     rec.next_seq.clear();
     rec.dropped = 0;
     rec.run_info.clear();
+    rec.options = TraceOptions();
   }
   SetLogicalTime(0.0);
   Registry::Get().Reset();
+  // One-stop teardown for the live tier, so tests cannot leak a recorder /
+  // sampler / watchdog into each other.
+  FlightRecorderResetForTest();
+  SamplingResetForTest();
+  WatchdogResetForTest();
+  SnapshotResetForTest();
 }
 
 }  // namespace fedmp::obs

@@ -39,8 +39,14 @@ struct TraceOptions {
   // Pool-lane chunk events shorter than this never reach the buffer (they
   // would swamp the trace: kernels issue thousands of tiny chunks).
   double pool_event_min_us = 200.0;
-  // Hard cap on buffered events; past it new events are dropped and counted
-  // in the obs.events_dropped counter.
+  // Hard cap on buffered events (FEDMP_TRACE_MAX_EVENTS overrides when
+  // enabling from the environment). Past it new events are dropped, counted
+  // in the obs.trace.dropped counter and DroppedEventCount(); sequence
+  // numbers are still assigned, so the flight recorder keeps recording the
+  // tail with correct ordering after the main buffer saturates. A cap of 0
+  // is the ring-only mode the flight recorder's env enabling uses: nothing
+  // is buffered here (and drops are not counted — by construction every
+  // event "drops") while the bounded ring keeps the recent history.
   int64_t max_events = 1000000;
 };
 
@@ -163,6 +169,12 @@ class ScopedSpan {
 void InstantEvent(const char* name, Args args = {});
 void InstantEvent(const char* name, Track track, Args args = {});
 
+// A zero-duration event EXCLUDED from the deterministic JSONL export, for
+// values that depend on the host or thread count (RSS, wall-clock, cache
+// hit rates — e.g. the watchdog's environment alerts). Appears in the
+// Chrome trace only, like pool-lane events.
+void InstantEventEnv(const char* name, Track track, Args args = {});
+
 // Pool instrumentation hook (called by common/thread_pool.cc): records a
 // chunk execution on the lane's pool track; chunks shorter than
 // pool_event_min_us are dropped.
@@ -185,6 +197,11 @@ std::string EventsJsonl();
 
 // Number of events currently buffered (tests).
 int64_t BufferedEventCount();
+
+// Number of events dropped at the TraceOptions::max_events cap since the
+// last reset (also exported as the obs.trace.dropped counter, except in
+// ring-only mode — see TraceOptions::max_events).
+int64_t DroppedEventCount();
 
 // Clears buffered events, sequence counters, logical time, and the metrics
 // registry. Tests only.

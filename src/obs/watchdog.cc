@@ -1,0 +1,284 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+
+std::vector<WatchdogAlert> Watchdog::Evaluate(const WatchdogSignals& s) {
+  std::vector<WatchdogAlert> alerts;
+  char buf[160];
+
+  // --- Straggler blowup (deterministic). ---
+  if (rules_.straggler_gap_factor > 0.0 && s.median_completion_s > 0.0) {
+    const double threshold =
+        rules_.straggler_gap_factor * s.median_completion_s;
+    if (s.straggler_gap_max > threshold) {
+      WatchdogAlert alert;
+      alert.rule = "straggler_blowup";
+      alert.round = s.round;
+      alert.value = s.straggler_gap_max;
+      alert.threshold = threshold;
+      std::snprintf(buf, sizeof(buf),
+                    "straggler gap %.4fs > %.1fx median %.4fs",
+                    s.straggler_gap_max, rules_.straggler_gap_factor,
+                    s.median_completion_s);
+      alert.detail = buf;
+      alerts.push_back(std::move(alert));
+    }
+  }
+
+  // --- Fog-region silence (deterministic). ---
+  if (rules_.fog_silent_rounds > 0 && !s.fog_participants.empty()) {
+    if (fog_silence_.size() != s.fog_participants.size()) {
+      fog_silence_.assign(s.fog_participants.size(), 0);
+    }
+    for (size_t f = 0; f < s.fog_participants.size(); ++f) {
+      if (s.fog_participants[f] > 0) {
+        fog_silence_[f] = 0;
+        continue;
+      }
+      ++fog_silence_[f];
+      // Fire exactly once when the streak reaches the threshold; the reset
+      // above re-arms the rule when the region recovers.
+      if (fog_silence_[f] == rules_.fog_silent_rounds) {
+        WatchdogAlert alert;
+        alert.rule = "fog_silent";
+        alert.round = s.round;
+        alert.fog = static_cast<int>(f);
+        alert.value = static_cast<double>(fog_silence_[f]);
+        alert.threshold = static_cast<double>(rules_.fog_silent_rounds);
+        std::snprintf(buf, sizeof(buf),
+                      "fog %d silent for %lld consecutive rounds",
+                      static_cast<int>(f),
+                      static_cast<long long>(fog_silence_[f]));
+        alert.detail = buf;
+        alerts.push_back(std::move(alert));
+      }
+    }
+  }
+
+  // --- Accuracy NaN / stall (deterministic). ---
+  if (s.evaluated) {
+    if (std::isnan(s.accuracy)) {
+      WatchdogAlert alert;
+      alert.rule = "accuracy_nan";
+      alert.round = s.round;
+      alert.detail = "evaluation returned NaN accuracy";
+      alerts.push_back(std::move(alert));
+    } else if (rules_.accuracy_stall_evals > 0) {
+      if (!has_best_accuracy_ ||
+          s.accuracy > best_accuracy_ + rules_.accuracy_stall_eps) {
+        best_accuracy_ = has_best_accuracy_
+                             ? std::max(best_accuracy_, s.accuracy)
+                             : s.accuracy;
+        has_best_accuracy_ = true;
+        evals_since_improvement_ = 0;
+      } else {
+        ++evals_since_improvement_;
+        if (evals_since_improvement_ == rules_.accuracy_stall_evals) {
+          WatchdogAlert alert;
+          alert.rule = "accuracy_stall";
+          alert.round = s.round;
+          alert.value = s.accuracy;
+          alert.threshold = best_accuracy_;
+          std::snprintf(buf, sizeof(buf),
+                        "accuracy %.4f stuck <= best %.4f + %.4f for %lld "
+                        "evaluations",
+                        s.accuracy, best_accuracy_, rules_.accuracy_stall_eps,
+                        static_cast<long long>(evals_since_improvement_));
+          alert.detail = buf;
+          alerts.push_back(std::move(alert));
+        }
+      }
+    }
+  }
+
+  // --- Peak RSS over budget (environment). ---
+  if (rules_.rss_budget_bytes > 0 && s.peak_rss_bytes > 0 &&
+      s.peak_rss_bytes > rules_.rss_budget_bytes) {
+    WatchdogAlert alert;
+    alert.rule = "rss_over_budget";
+    alert.round = s.round;
+    alert.deterministic = false;
+    alert.value = static_cast<double>(s.peak_rss_bytes);
+    alert.threshold = static_cast<double>(rules_.rss_budget_bytes);
+    std::snprintf(buf, sizeof(buf), "peak RSS %.1f MiB > budget %.1f MiB",
+                  static_cast<double>(s.peak_rss_bytes) / (1 << 20),
+                  static_cast<double>(rules_.rss_budget_bytes) / (1 << 20));
+    alert.detail = buf;
+    alerts.push_back(std::move(alert));
+  }
+
+  // --- Model-cache hit-rate collapse (environment: the lane-shared cache
+  // hit pattern depends on thread count). ---
+  if (rules_.cache_hit_rate_floor > 0.0 && s.model_cache_hit_rate >= 0.0 &&
+      s.round >= rules_.cache_warmup_rounds &&
+      s.model_cache_hit_rate < rules_.cache_hit_rate_floor) {
+    WatchdogAlert alert;
+    alert.rule = "cache_hit_rate_collapse";
+    alert.round = s.round;
+    alert.deterministic = false;
+    alert.value = s.model_cache_hit_rate;
+    alert.threshold = rules_.cache_hit_rate_floor;
+    std::snprintf(buf, sizeof(buf),
+                  "model-cache hit rate %.3f < floor %.3f after warmup",
+                  s.model_cache_hit_rate, rules_.cache_hit_rate_floor);
+    alert.detail = buf;
+    alerts.push_back(std::move(alert));
+  }
+
+  return alerts;
+}
+
+// ---------------------------------------------------------------------------
+// Process-global instance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GlobalWatchdog {
+  std::mutex mu;
+  std::unique_ptr<Watchdog> dog;
+};
+
+GlobalWatchdog& TheWatchdog() {
+  static GlobalWatchdog* g = new GlobalWatchdog();  // leaky
+  return *g;
+}
+
+bool ParseRuleOverrides(const char* spec, WatchdogRules* rules) {
+  // "key=value,key=value"; unknown keys are reported and skipped.
+  const char* p = spec;
+  bool ok = true;
+  while (*p != '\0') {
+    const char* end = std::strchr(p, ',');
+    const size_t len = end != nullptr ? static_cast<size_t>(end - p)
+                                      : std::strlen(p);
+    char item[64];
+    if (len < sizeof(item)) {
+      std::memcpy(item, p, len);
+      item[len] = '\0';
+      char* eq = std::strchr(item, '=');
+      if (eq != nullptr) {
+        *eq = '\0';
+        const double v = std::atof(eq + 1);
+        if (std::strcmp(item, "straggler_factor") == 0) {
+          rules->straggler_gap_factor = v;
+        } else if (std::strcmp(item, "fog_rounds") == 0) {
+          rules->fog_silent_rounds = static_cast<int64_t>(v);
+        } else if (std::strcmp(item, "acc_evals") == 0) {
+          rules->accuracy_stall_evals = static_cast<int64_t>(v);
+        } else if (std::strcmp(item, "acc_eps") == 0) {
+          rules->accuracy_stall_eps = v;
+        } else if (std::strcmp(item, "rss_mb") == 0) {
+          rules->rss_budget_bytes =
+              static_cast<int64_t>(v * (1 << 20));
+        } else if (std::strcmp(item, "cache_floor") == 0) {
+          rules->cache_hit_rate_floor = v;
+        } else if (std::strcmp(item, "cache_warmup") == 0) {
+          rules->cache_warmup_rounds = static_cast<int64_t>(v);
+        } else {
+          std::fprintf(stderr, "[obs] FEDMP_WATCHDOG: unknown rule '%s'\n",
+                       item);
+          ok = false;
+        }
+      }
+    }
+    if (end == nullptr) break;
+    p = end + 1;
+  }
+  return ok;
+}
+
+}  // namespace
+
+void EnableWatchdog(const WatchdogRules& rules) {
+  GlobalWatchdog& g = TheWatchdog();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.dog = std::make_unique<Watchdog>(rules);
+}
+
+void DisableWatchdog() {
+  GlobalWatchdog& g = TheWatchdog();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.dog.reset();
+}
+
+bool WatchdogActive() {
+  GlobalWatchdog& g = TheWatchdog();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.dog != nullptr;
+}
+
+bool MaybeEnableWatchdogFromEnv() {
+  if (WatchdogActive()) return true;
+  const char* env = std::getenv("FEDMP_WATCHDOG");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    return false;
+  }
+  WatchdogRules rules;
+  if (std::strcmp(env, "1") != 0 && std::strcmp(env, "on") != 0) {
+    ParseRuleOverrides(env, &rules);
+  }
+  EnableWatchdog(rules);
+  return true;
+}
+
+int WatchdogObserveRound(const WatchdogSignals& signals) {
+  if (!Enabled()) return 0;
+  std::vector<WatchdogAlert> alerts;
+  {
+    GlobalWatchdog& g = TheWatchdog();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.dog == nullptr) return 0;
+    alerts = g.dog->Evaluate(signals);
+  }
+  if (alerts.empty()) return 0;
+  static Counter* alert_counter = GetCounter("obs.alerts");
+  for (const WatchdogAlert& alert : alerts) {
+    alert_counter->Add(1);
+    Args args = {{"rule", alert.rule},
+                 {"round", alert.round},
+                 {"detail", alert.detail},
+                 {"value", alert.value},
+                 {"threshold", alert.threshold}};
+    if (alert.fog >= 0) args.emplace_back("fog", alert.fog);
+    if (alert.deterministic) {
+      // Deterministic rule: the alert is part of logical history and must
+      // appear bit-identically at any thread count, so it rides the PS
+      // track of the events JSONL.
+      InstantEvent("obs.alert", PsTrack(), std::move(args));
+    } else {
+      // Environment rule: the triggering value is host/thread-dependent, so
+      // the alert is Chrome-trace-only — the logical export stays pure.
+      InstantEventEnv("obs.alert", PsTrack(), std::move(args));
+    }
+    std::fprintf(stderr, "[obs] ALERT round %lld %s: %s\n",
+                 static_cast<long long>(alert.round), alert.rule.c_str(),
+                 alert.detail.c_str());
+  }
+  if (FlightRecorderEnabled()) {
+    const std::string reason = "alert:" + alerts.front().rule;
+    DumpFlightRecorder(reason.c_str());
+  }
+  return static_cast<int>(alerts.size());
+}
+
+void WatchdogResetForTest() {
+  GlobalWatchdog& g = TheWatchdog();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.dog.reset();
+}
+
+}  // namespace fedmp::obs

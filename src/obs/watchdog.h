@@ -1,0 +1,118 @@
+#ifndef FEDMP_OBS_WATCHDOG_H_
+#define FEDMP_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// In-run anomaly watchdog: declarative rules evaluated at round boundaries,
+// so a wedged fog region or a straggler blowup in round 400 of a long chaos
+// run surfaces the moment it happens instead of after the process ends.
+//
+// Rules split into two determinism classes:
+//   * deterministic rules — straggler gap vs median, fog-region silence,
+//     accuracy stall/NaN — read only simulated-time quantities, so their
+//     obs.alert events land in the logical export (bit-identical across
+//     thread counts) and fedmp_report's Alerts section;
+//   * environment rules — peak RSS over budget, model-cache hit-rate
+//     collapse — read host-dependent values and emit Chrome-trace-only
+//     alerts (InstantEventEnv), keeping the logical export pure.
+//
+// Every alert increments the obs.alerts counter and triggers a flight-
+// recorder dump (reason "alert:<rule>"), so the evidence window around the
+// anomaly is preserved even if the run keeps going for hours.
+namespace fedmp::obs {
+
+struct WatchdogRules {
+  // Straggler blowup: straggler_gap_max > factor x median survivor
+  // completion time. <= 0 disables.
+  double straggler_gap_factor = 8.0;
+  // Fog silence: a fog region contributes zero admitted updates for this
+  // many consecutive rounds. <= 0 disables. Fires once when the streak
+  // reaches the threshold, then re-arms only after the region recovers.
+  int64_t fog_silent_rounds = 3;
+  // Accuracy: NaN always alerts (when an evaluation happened this round);
+  // a stall alerts after this many consecutive evaluations without an
+  // improvement > accuracy_stall_eps. <= 0 disables the stall rule.
+  int64_t accuracy_stall_evals = 0;
+  double accuracy_stall_eps = 1e-3;
+  // Environment rules (Chrome-trace-only alerts). <= 0 disables each.
+  int64_t rss_budget_bytes = 0;
+  double cache_hit_rate_floor = 0.0;
+  // Hit-rate collapse is only judged after the cache had a chance to warm.
+  int64_t cache_warmup_rounds = 8;
+};
+
+// Everything a round boundary knows, pushed in by the trainer (obs sits
+// below common/, so it cannot read RSS or the aggregator itself).
+struct WatchdogSignals {
+  int64_t round = 0;
+  // Deterministic (simulated-time) signals.
+  double straggler_gap_max = 0.0;
+  double median_completion_s = 0.0;
+  int survivors = 0;
+  // Admitted updates per fog region this round; empty for flat rounds.
+  std::vector<int64_t> fog_participants;
+  bool evaluated = false;   // did this round run an evaluation?
+  double accuracy = 0.0;    // valid when evaluated (may be NaN)
+  // Environment signals (thread-count / host dependent).
+  int64_t peak_rss_bytes = 0;
+  double model_cache_hit_rate = -1.0;  // < 0: unknown this round
+};
+
+struct WatchdogAlert {
+  std::string rule;    // "straggler_blowup", "fog_silent", "accuracy_nan",
+                       // "accuracy_stall", "rss_over_budget",
+                       // "cache_hit_rate_collapse"
+  std::string detail;  // human one-liner
+  int64_t round = 0;
+  bool deterministic = true;  // logical-export eligible
+  double value = 0.0;
+  double threshold = 0.0;
+  int fog = -1;  // fog_silent only
+};
+
+// Pure rule engine (unit-testable without the trace layer). Evaluate keeps
+// the cross-round state: per-fog silence streaks and the best-accuracy
+// tracker.
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogRules& rules) : rules_(rules) {}
+
+  std::vector<WatchdogAlert> Evaluate(const WatchdogSignals& signals);
+
+  const WatchdogRules& rules() const { return rules_; }
+
+ private:
+  WatchdogRules rules_;
+  std::vector<int64_t> fog_silence_;  // consecutive silent rounds per fog
+  bool has_best_accuracy_ = false;
+  double best_accuracy_ = 0.0;
+  int64_t evals_since_improvement_ = 0;
+};
+
+// Process-global instance the trainers feed. EnableWatchdog installs the
+// rules (idempotent; resets streak state).
+void EnableWatchdog(const WatchdogRules& rules = {});
+void DisableWatchdog();
+bool WatchdogActive();
+
+// Enables from FEDMP_WATCHDOG: "1"/"on" for defaults, or a comma list of
+// key=value overrides (straggler_factor, fog_rounds, acc_evals, acc_eps,
+// rss_mb, cache_floor, cache_warmup), e.g.
+//   FEDMP_WATCHDOG=straggler_factor=6,fog_rounds=2,rss_mb=500
+// Returns whether the watchdog ended up active.
+bool MaybeEnableWatchdogFromEnv();
+
+// Runs the global watchdog over one round's signals: emits obs.alert
+// events (logical for deterministic rules, Chrome-only otherwise), bumps
+// the obs.alerts counter, and triggers one flight-recorder dump when any
+// alert fired. Returns the number of alerts. No-op (0) while the watchdog
+// is inactive or telemetry is disabled.
+int WatchdogObserveRound(const WatchdogSignals& signals);
+
+void WatchdogResetForTest();
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_WATCHDOG_H_

@@ -1,0 +1,71 @@
+#include "common/mem_info.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fedmp {
+namespace {
+
+TEST(MemInfoTest, ParseStatusKbFindsKey) {
+  const char* status =
+      "Name:\tfedmp\n"
+      "VmPeak:\t  123456 kB\n"
+      "VmHWM:\t   98765 kB\n"
+      "VmRSS:\t   45678 kB\n";
+  EXPECT_EQ(internal::ParseStatusKb(status, "VmHWM"), 98765);
+  EXPECT_EQ(internal::ParseStatusKb(status, "VmRSS"), 45678);
+}
+
+TEST(MemInfoTest, ParseStatusKbMissingKeyReturnsMinusOne) {
+  EXPECT_EQ(internal::ParseStatusKb("Name:\tfedmp\n", "VmHWM"), -1);
+  EXPECT_EQ(internal::ParseStatusKb("", "VmHWM"), -1);
+}
+
+TEST(MemInfoTest, ParseStatusKbMalformedValueReturnsMinusOne) {
+  EXPECT_EQ(internal::ParseStatusKb("VmHWM:\tgarbage kB\n", "VmHWM"), -1);
+  EXPECT_EQ(internal::ParseStatusKb("VmHWM:\n", "VmHWM"), -1);
+  EXPECT_EQ(internal::ParseStatusKb("VmHWM:\t-5 kB\n", "VmHWM"), -1);
+}
+
+TEST(MemInfoTest, ParseStatusKbNullInputsReturnMinusOne) {
+  EXPECT_EQ(internal::ParseStatusKb(nullptr, "VmHWM"), -1);
+  EXPECT_EQ(internal::ParseStatusKb("VmHWM:\t1 kB\n", nullptr), -1);
+  EXPECT_EQ(internal::ParseStatusKb("VmHWM:\t1 kB\n", ""), -1);
+}
+
+TEST(MemInfoTest, ParseStatusKbDoesNotMatchKeyPrefix) {
+  // "VmRSS" must not match the "VmRSSExtra:" line.
+  const char* status = "VmRSSExtra:\t 111 kB\nVmRSS:\t 222 kB\n";
+  EXPECT_EQ(internal::ParseStatusKb(status, "VmRSS"), 222);
+}
+
+TEST(MemInfoTest, StatusFileKbMissingFileReturnsMinusOne) {
+  EXPECT_EQ(
+      internal::StatusFileKb("/nonexistent/fedmp_mem_info_test", "VmHWM"),
+      -1);
+}
+
+TEST(MemInfoTest, StatusFileKbReadsWellFormedFile) {
+  const std::string path = ::testing::TempDir() + "mem_info_test_status";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "Name:\tfedmp\nVmHWM:\t  4096 kB\nVmRSS:\tbroken\n";
+  }
+  EXPECT_EQ(internal::StatusFileKb(path.c_str(), "VmHWM"), 4096);
+  EXPECT_EQ(internal::StatusFileKb(path.c_str(), "VmRSS"), -1);
+  EXPECT_EQ(internal::StatusFileKb(path.c_str(), "VmSwap"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(MemInfoTest, ProcessProbesNeverCrashAndNeverGoNegative) {
+  // On hosts without /proc (or with a hardened one) both must degrade to
+  // their fallbacks, never crash, and never report a negative size.
+  EXPECT_GE(PeakRssBytes(), 0);
+  EXPECT_GE(CurrentRssBytes(), 0);
+}
+
+}  // namespace
+}  // namespace fedmp

@@ -1,0 +1,184 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/analysis/json_value.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetForTest(); }
+  void TearDown() override {
+    Disable();
+    ResetForTest();
+  }
+};
+
+TEST_F(FlightRecorderTest, KeepsTailWithinTotalCapacity) {
+  Enable(TraceOptions{});
+  FlightRecorderOptions options;
+  options.total_capacity = 16;
+  options.per_track_capacity = 16;
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  for (int i = 0; i < 100; ++i) {
+    InstantEvent("tick", PsTrack(), {{"i", i}});
+  }
+  EXPECT_LE(FlightRecorderEventCount(), 16);
+  EXPECT_EQ(FlightRecorderEvictedCount(), 100 - FlightRecorderEventCount());
+  const std::string jsonl = FlightRecorderEventsJsonl();
+  // The ring holds the most recent events, not the oldest.
+  EXPECT_NE(jsonl.find("\"i\":99"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"i\":0,"), std::string::npos);
+  // Sequence numbers survive into the ring (assigned before the cap).
+  EXPECT_NE(jsonl.find("\"seq\":99"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, PerTrackCapPreventsStarvationByHotTrack) {
+  Enable(TraceOptions{});
+  FlightRecorderOptions options;
+  options.total_capacity = 64;
+  options.per_track_capacity = 4;
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  // One hot track, one quiet track.
+  for (int i = 0; i < 50; ++i) {
+    InstantEvent("hot", PsTrack(), {{"i", i}});
+  }
+  InstantEvent("quiet", WorkerTrack(3), {{"w", 3}});
+  const std::string jsonl = FlightRecorderEventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"quiet\""), std::string::npos);
+  // The hot track is capped at 4, so the ring stays small.
+  EXPECT_LE(FlightRecorderEventCount(), 5);
+}
+
+TEST_F(FlightRecorderTest, EvictionIsInterleavingInvariant) {
+  // Two emission interleavings with identical per-track content must leave
+  // the ring with identical deterministic views — the property that makes a
+  // dump bit-identical across thread counts.
+  auto run = [&](bool alternate) {
+    ResetForTest();
+    Enable(TraceOptions{});
+    FlightRecorderOptions options;
+    options.total_capacity = 8;
+    options.per_track_capacity = 8;
+    options.install_signal_handlers = false;
+    EnableFlightRecorder(options);
+    if (alternate) {
+      for (int i = 0; i < 10; ++i) {
+        InstantEvent("a", WorkerTrack(0), {{"i", i}});
+        InstantEvent("b", WorkerTrack(1), {{"i", i}});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        InstantEvent("a", WorkerTrack(0), {{"i", i}});
+      }
+      for (int i = 0; i < 10; ++i) {
+        InstantEvent("b", WorkerTrack(1), {{"i", i}});
+      }
+    }
+    std::string jsonl = FlightRecorderEventsJsonl();
+    Disable();
+    return jsonl;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST_F(FlightRecorderTest, DumpWritesValidChromeTraceAndJsonl) {
+  Enable(TraceOptions{});
+  FlightRecorderOptions options;
+  options.dump_path_prefix =
+      ::testing::TempDir() + "flight_recorder_test_dump";
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  SetLogicalTime(1.5);
+  InstantEvent("marker", PsTrack(), {{"k", 7}});
+  { ScopedSpan span("work", WorkerTrack(2), {{"w", 2}}); }
+  ASSERT_TRUE(DumpFlightRecorder("unit_test"));
+
+  const std::string chrome =
+      ReadFile(options.dump_path_prefix + "_dump_trace.json");
+  analysis::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(analysis::ParseJson(chrome, &doc, &error)) << error;
+  EXPECT_NE(chrome.find("traceEvents"), std::string::npos);
+  EXPECT_NE(chrome.find("obs.flight_dump"), std::string::npos);
+  EXPECT_NE(chrome.find("unit_test"), std::string::npos);
+
+  const std::string jsonl =
+      ReadFile(options.dump_path_prefix + "_dump_events.jsonl");
+  std::vector<analysis::JsonValue> lines;
+  ASSERT_TRUE(analysis::ParseJsonLines(jsonl, &lines, &error)) << error;
+  EXPECT_EQ(lines.size(), 2u);  // the dump marker is Chrome-only
+  EXPECT_NE(jsonl.find("\"event\":\"marker\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"work\""), std::string::npos);
+
+  std::remove((options.dump_path_prefix + "_dump_trace.json").c_str());
+  std::remove((options.dump_path_prefix + "_dump_events.jsonl").c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpReturnsFalseWhenDisabled) {
+  EXPECT_FALSE(FlightRecorderEnabled());
+  EXPECT_FALSE(DumpFlightRecorder("nothing"));
+}
+
+TEST_F(FlightRecorderTest, RingOnlyModeFromEnvKeepsMainBufferEmpty) {
+  ::setenv("FEDMP_FLIGHT_RECORDER", "32", 1);
+  ::setenv("FEDMP_FLIGHT_DUMP_PREFIX",
+           (::testing::TempDir() + "flight_ring_only").c_str(), 1);
+  ASSERT_TRUE(MaybeEnableFlightRecorderFromEnv());
+  ::unsetenv("FEDMP_FLIGHT_RECORDER");
+  ::unsetenv("FEDMP_FLIGHT_DUMP_PREFIX");
+  ASSERT_TRUE(Enabled());  // ring-only mode switched telemetry on
+  for (int i = 0; i < 10; ++i) {
+    InstantEvent("ring_only", PsTrack(), {{"i", i}});
+  }
+  // Nothing lands in the unbounded buffer, everything in the ring, and the
+  // by-construction drops are not counted as losses.
+  EXPECT_EQ(BufferedEventCount(), 0);
+  EXPECT_EQ(DroppedEventCount(), 10);
+  EXPECT_EQ(FlightRecorderEventCount(), 10);
+  const std::string jsonl = FlightRecorderEventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"ring_only\""), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, NonLogicalEventsCannotDisplaceLogicalHistory) {
+  Enable(TraceOptions{});
+  FlightRecorderOptions options;
+  options.total_capacity = 4;
+  options.per_track_capacity = 4;
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  for (int i = 0; i < 4; ++i) {
+    InstantEvent("logical", PsTrack(), {{"i", i}});
+  }
+  // A flood of pool-lane (non-logical) records must not evict the logical
+  // ledger: they are bounded separately.
+  for (int i = 0; i < 100; ++i) {
+    RecordPoolChunk(0, 0.0, 1e6, 1);
+  }
+  const std::string jsonl = FlightRecorderEventsJsonl();
+  for (int i = 0; i < 4; ++i) {
+    const std::string needle = "\"i\":" + std::to_string(i);
+    EXPECT_NE(jsonl.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::obs

@@ -1,0 +1,117 @@
+#include "obs/sampling.h"
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+namespace {
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetForTest(); }
+  void TearDown() override {
+    Disable();
+    ResetForTest();
+  }
+};
+
+TEST_F(SamplingTest, PureFunctionIsReproducible) {
+  for (int worker = 0; worker < 200; ++worker) {
+    const bool first = SampleWorker(/*seed=*/42, /*round=*/3, worker,
+                                    /*num_workers=*/200, /*budget=*/20);
+    const bool second = SampleWorker(42, 3, worker, 200, 20);
+    EXPECT_EQ(first, second) << "worker " << worker;
+  }
+}
+
+TEST_F(SamplingTest, NonPositiveBudgetTracesEveryWorker) {
+  for (int worker = 0; worker < 64; ++worker) {
+    EXPECT_TRUE(SampleWorker(7, 0, worker, 64, 0));
+    EXPECT_TRUE(SampleWorker(7, 0, worker, 64, -5));
+  }
+}
+
+TEST_F(SamplingTest, BudgetAtOrAboveFleetTracesEveryWorker) {
+  for (int worker = 0; worker < 64; ++worker) {
+    EXPECT_TRUE(SampleWorker(7, 5, worker, 64, 64));
+    EXPECT_TRUE(SampleWorker(7, 5, worker, 64, 1000));
+  }
+}
+
+TEST_F(SamplingTest, SelectionSizeTracksBudget) {
+  const int num_workers = 4000;
+  const int64_t budget = 400;
+  int64_t selected = 0;
+  for (int worker = 0; worker < num_workers; ++worker) {
+    if (SampleWorker(/*seed=*/17, /*round=*/1, worker, num_workers, budget)) {
+      ++selected;
+    }
+  }
+  // Independent inclusion at p = budget/num_workers: allow a generous
+  // deviation band (> 5 sigma) so the test never flakes on a fixed seed.
+  EXPECT_GT(selected, budget / 2);
+  EXPECT_LT(selected, budget * 2);
+}
+
+TEST_F(SamplingTest, DifferentRoundsSampleDifferentSets) {
+  const int num_workers = 500;
+  std::set<int> round0, round1;
+  for (int worker = 0; worker < num_workers; ++worker) {
+    if (SampleWorker(9, 0, worker, num_workers, 50)) round0.insert(worker);
+    if (SampleWorker(9, 1, worker, num_workers, 50)) round1.insert(worker);
+  }
+  EXPECT_FALSE(round0.empty());
+  EXPECT_FALSE(round1.empty());
+  EXPECT_NE(round0, round1);
+}
+
+TEST_F(SamplingTest, ShouldTraceWorkerAlwaysTrueWhileInactive) {
+  ASSERT_FALSE(TraceSamplingActive());
+  for (int worker = 0; worker < 32; ++worker) {
+    EXPECT_TRUE(ShouldTraceWorker(0, worker, 32));
+  }
+}
+
+TEST_F(SamplingTest, ShouldTraceWorkerFollowsGlobalOptions) {
+  SamplingOptions options;
+  options.per_round_budget = 8;
+  options.seed = 123;
+  EnableTraceSampling(options);
+  ASSERT_TRUE(TraceSamplingActive());
+  EXPECT_EQ(TraceSampleBudget(), 8);
+  for (int worker = 0; worker < 100; ++worker) {
+    EXPECT_EQ(ShouldTraceWorker(4, worker, 100),
+              SampleWorker(123, 4, worker, 100, 8));
+  }
+  DisableTraceSampling();
+  EXPECT_FALSE(TraceSamplingActive());
+}
+
+TEST_F(SamplingTest, EnableFromEnvReadsBudgetAndRunSeed) {
+  ::setenv("FEDMP_TRACE_SAMPLE", "16", 1);
+  EXPECT_TRUE(MaybeEnableSamplingFromEnv(/*run_seed=*/77));
+  ::unsetenv("FEDMP_TRACE_SAMPLE");
+  ASSERT_TRUE(TraceSamplingActive());
+  EXPECT_EQ(TraceSampleBudget(), 16);
+  for (int worker = 0; worker < 50; ++worker) {
+    EXPECT_EQ(ShouldTraceWorker(2, worker, 50),
+              SampleWorker(77, 2, worker, 50, 16));
+  }
+}
+
+TEST_F(SamplingTest, EnableFromEnvZeroOrUnsetStaysOff) {
+  ::unsetenv("FEDMP_TRACE_SAMPLE");
+  EXPECT_FALSE(MaybeEnableSamplingFromEnv(1));
+  ::setenv("FEDMP_TRACE_SAMPLE", "0", 1);
+  EXPECT_FALSE(MaybeEnableSamplingFromEnv(1));
+  ::unsetenv("FEDMP_TRACE_SAMPLE");
+  EXPECT_FALSE(TraceSamplingActive());
+}
+
+}  // namespace
+}  // namespace fedmp::obs

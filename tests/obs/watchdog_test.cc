@@ -1,0 +1,351 @@
+#include "obs/watchdog.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/fedmp.h"
+#include "obs/analysis/report.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+WatchdogSignals BaseSignals() {
+  WatchdogSignals signals;
+  signals.round = 5;
+  signals.straggler_gap_max = 1.0;
+  signals.median_completion_s = 1.0;
+  signals.survivors = 8;
+  return signals;
+}
+
+// ---------------------------------------------------------------------------
+// Pure rule engine
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogRulesTest, StragglerBlowupFiresAboveFactorTimesMedian) {
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 4.0;
+  Watchdog dog(rules);
+
+  WatchdogSignals calm = BaseSignals();
+  calm.straggler_gap_max = 3.9;
+  EXPECT_TRUE(dog.Evaluate(calm).empty());
+
+  WatchdogSignals blowup = BaseSignals();
+  blowup.straggler_gap_max = 4.1;
+  const auto alerts = dog.Evaluate(blowup);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "straggler_blowup");
+  EXPECT_TRUE(alerts[0].deterministic);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 4.1);
+}
+
+TEST(WatchdogRulesTest, StragglerRuleIgnoresDegenerateMedian) {
+  Watchdog dog(WatchdogRules{});
+  WatchdogSignals signals = BaseSignals();
+  signals.median_completion_s = 0.0;  // empty/degenerate round
+  signals.straggler_gap_max = 1e9;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+}
+
+TEST(WatchdogRulesTest, FogSilenceFiresOnceThenRearmsAfterRecovery) {
+  WatchdogRules rules;
+  rules.fog_silent_rounds = 2;
+  Watchdog dog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.fog_participants = {3, 0};
+  EXPECT_TRUE(dog.Evaluate(signals).empty());  // streak 1 < 2
+
+  auto alerts = dog.Evaluate(signals);  // streak 2 == 2: fire
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "fog_silent");
+  EXPECT_EQ(alerts[0].fog, 1);
+
+  EXPECT_TRUE(dog.Evaluate(signals).empty());  // streak 3: already fired
+
+  signals.fog_participants = {3, 4};  // region recovers
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  signals.fog_participants = {3, 0};  // silent again: streak restarts
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "fog_silent");
+}
+
+TEST(WatchdogRulesTest, AccuracyNanAlertsOnlyWhenEvaluated) {
+  Watchdog dog(WatchdogRules{});
+  WatchdogSignals signals = BaseSignals();
+  signals.evaluated = false;
+  signals.accuracy = std::nan("");
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  signals.evaluated = true;
+  const auto alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "accuracy_nan");
+  EXPECT_TRUE(alerts[0].deterministic);
+}
+
+TEST(WatchdogRulesTest, AccuracyStallFiresAfterNEvalsWithoutImprovement) {
+  WatchdogRules rules;
+  rules.accuracy_stall_evals = 3;
+  rules.accuracy_stall_eps = 0.01;
+  Watchdog dog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.evaluated = true;
+  signals.accuracy = 0.50;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());  // baseline
+
+  signals.accuracy = 0.505;  // within eps: no improvement, streak 1
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  signals.accuracy = 0.502;  // streak 2
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  signals.accuracy = 0.503;  // streak 3: fire
+  auto alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "accuracy_stall");
+
+  signals.accuracy = 0.60;  // real improvement resets the streak
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  signals.accuracy = 0.601;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+}
+
+TEST(WatchdogRulesTest, RssOverBudgetIsEnvironmentRule) {
+  WatchdogRules rules;
+  rules.rss_budget_bytes = 100 << 20;
+  Watchdog dog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.peak_rss_bytes = 99 << 20;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  signals.peak_rss_bytes = 101 << 20;
+  const auto alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "rss_over_budget");
+  EXPECT_FALSE(alerts[0].deterministic);
+}
+
+TEST(WatchdogRulesTest, CacheCollapseRespectsWarmup) {
+  WatchdogRules rules;
+  rules.cache_hit_rate_floor = 0.5;
+  rules.cache_warmup_rounds = 8;
+  Watchdog dog(rules);
+
+  WatchdogSignals cold = BaseSignals();
+  cold.round = 3;  // still warming
+  cold.model_cache_hit_rate = 0.1;
+  EXPECT_TRUE(dog.Evaluate(cold).empty());
+
+  WatchdogSignals unknown = BaseSignals();
+  unknown.round = 20;
+  unknown.model_cache_hit_rate = -1.0;  // no cache in play
+  EXPECT_TRUE(dog.Evaluate(unknown).empty());
+
+  WatchdogSignals warm = BaseSignals();
+  warm.round = 20;
+  warm.model_cache_hit_rate = 0.1;
+  const auto alerts = dog.Evaluate(warm);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "cache_hit_rate_collapse");
+  EXPECT_FALSE(alerts[0].deterministic);
+}
+
+TEST(WatchdogRulesTest, DisabledRulesNeverFire) {
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 0.0;
+  rules.fog_silent_rounds = 0;
+  Watchdog dog(rules);
+  WatchdogSignals signals = BaseSignals();
+  signals.straggler_gap_max = 1e9;
+  signals.fog_participants = {0, 0, 0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(dog.Evaluate(signals).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global instance + env parsing + event emission
+// ---------------------------------------------------------------------------
+
+class WatchdogGlobalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetForTest(); }
+  void TearDown() override {
+    Disable();
+    ResetForTest();
+  }
+};
+
+TEST_F(WatchdogGlobalTest, EnableFromEnvParsesOverrides) {
+  ::unsetenv("FEDMP_WATCHDOG");
+  EXPECT_FALSE(MaybeEnableWatchdogFromEnv());
+  EXPECT_FALSE(WatchdogActive());
+
+  ::setenv("FEDMP_WATCHDOG", "straggler_factor=6,fog_rounds=2,rss_mb=500",
+           1);
+  EXPECT_TRUE(MaybeEnableWatchdogFromEnv());
+  ::unsetenv("FEDMP_WATCHDOG");
+  ASSERT_TRUE(WatchdogActive());
+
+  // The installed rules are observable through behavior: a gap of 5x the
+  // median stays quiet, 7x fires.
+  WatchdogSignals signals = BaseSignals();
+  signals.straggler_gap_max = 5.0;
+  Enable(TraceOptions{});
+  EXPECT_EQ(WatchdogObserveRound(signals), 0);
+  signals.straggler_gap_max = 7.0;
+  EXPECT_EQ(WatchdogObserveRound(signals), 1);
+}
+
+TEST_F(WatchdogGlobalTest, ObserveRoundEmitsAlertEventAndCounter) {
+  Enable(TraceOptions{});
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 2.0;
+  EnableWatchdog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.straggler_gap_max = 10.0;
+  EXPECT_EQ(WatchdogObserveRound(signals), 1);
+
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"obs.alert\""), std::string::npos);
+  EXPECT_NE(jsonl.find("straggler_blowup"), std::string::npos);
+  double alerts_total = -1.0;
+  for (const MetricSnapshot& snapshot : Registry::Get().Snapshot()) {
+    if (snapshot.name == "obs.alerts") alerts_total = snapshot.value;
+  }
+  EXPECT_DOUBLE_EQ(alerts_total, 1.0);
+}
+
+TEST_F(WatchdogGlobalTest, EnvironmentAlertStaysOutOfLogicalExport) {
+  Enable(TraceOptions{});
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 0.0;  // keep deterministic rules quiet
+  rules.rss_budget_bytes = 1;
+  EnableWatchdog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.peak_rss_bytes = 1 << 20;
+  EXPECT_EQ(WatchdogObserveRound(signals), 1);
+
+  EXPECT_EQ(EventsJsonl().find("obs.alert"), std::string::npos);
+  EXPECT_NE(ChromeTraceJson().find("obs.alert"), std::string::npos);
+}
+
+TEST_F(WatchdogGlobalTest, AlertTriggersFlightRecorderDump) {
+  Enable(TraceOptions{});
+  FlightRecorderOptions flight;
+  flight.dump_path_prefix = ::testing::TempDir() + "watchdog_alert_dump";
+  flight.install_signal_handlers = false;
+  EnableFlightRecorder(flight);
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 2.0;
+  EnableWatchdog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.straggler_gap_max = 100.0;
+  EXPECT_EQ(WatchdogObserveRound(signals), 1);
+
+  const std::string trace_path =
+      flight.dump_path_prefix + "_dump_trace.json";
+  EXPECT_TRUE(FileExists(trace_path));
+  std::remove(trace_path.c_str());
+  std::remove((flight.dump_path_prefix + "_dump_events.jsonl").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: injected straggler blowup through the real engine
+// ---------------------------------------------------------------------------
+
+struct ChaosRun {
+  std::string events_jsonl;
+  std::string report_human;
+  std::string report_json;
+  bool dump_written = false;
+};
+
+ChaosRun RunStragglerChaos(int num_threads) {
+  ResetForTest();
+  Enable(TraceOptions{});
+  const std::string prefix = ::testing::TempDir() + "watchdog_e2e_t" +
+                             std::to_string(num_threads);
+  FlightRecorderOptions flight;
+  flight.dump_path_prefix = prefix;
+  flight.install_signal_handlers = false;
+  EnableFlightRecorder(flight);
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 2.0;
+  EnableWatchdog(rules);
+
+  ExperimentConfig config;
+  config.task = "cnn";
+  config.method = "fedmp";
+  config.scale = data::TaskScale::kTiny;
+  config.trainer.max_rounds = 3;
+  config.trainer.eval_every = 10;  // accuracy is not the axis under test
+  config.trainer.seed = 23;
+  config.trainer.num_threads = num_threads;
+  config.trainer.deadline.enabled = false;  // stragglers must survive
+  config.trainer.faults.straggle_prob = 0.4;
+  config.trainer.faults.straggle_factor = 40.0;
+
+  ChaosRun run;
+  auto log = RunExperiment(config);
+  EXPECT_TRUE(log.ok());
+  run.events_jsonl = EventsJsonl();
+  run.dump_written = FileExists(prefix + "_dump_trace.json");
+
+  analysis::ReportInputs inputs;
+  inputs.events_jsonl = run.events_jsonl;
+  analysis::ReportOptions options;
+  options.deterministic_only = true;
+  const analysis::Report report = analysis::BuildReport(inputs, options);
+  run.report_human = report.human;
+  run.report_json = report.json;
+
+  Disable();
+  std::remove((prefix + "_dump_trace.json").c_str());
+  std::remove((prefix + "_dump_events.jsonl").c_str());
+  return run;
+}
+
+TEST(WatchdogEndToEndTest, StragglerBlowupAlertIsThreadCountInvariant) {
+  const ChaosRun t1 = RunStragglerChaos(1);
+  const ChaosRun t4 = RunStragglerChaos(4);
+  ResetForTest();
+
+  // The injected blowup produced a deterministic alert, a flight-recorder
+  // dump, and an Alerts section in the report...
+  EXPECT_NE(t1.events_jsonl.find("\"event\":\"obs.alert\""),
+            std::string::npos);
+  EXPECT_NE(t1.events_jsonl.find("straggler_blowup"), std::string::npos);
+  EXPECT_TRUE(t1.dump_written);
+  EXPECT_TRUE(t4.dump_written);
+  EXPECT_NE(t1.report_human.find("Alerts ("), std::string::npos);
+  EXPECT_NE(t1.report_json.find("\"straggler_blowup\""), std::string::npos);
+
+  // ...all bit-identical across thread counts in deterministic-logical mode.
+  EXPECT_EQ(t1.events_jsonl, t4.events_jsonl);
+  EXPECT_EQ(t1.report_human, t4.report_human);
+  EXPECT_EQ(t1.report_json, t4.report_json);
+}
+
+}  // namespace
+}  // namespace fedmp::obs

@@ -5,6 +5,7 @@
 //                [--metrics sync_metrics.json] [--rounds sync_rounds.jsonl]
 //                [--trace sync_trace.json] [--out report.txt]
 //                [--json report.json] [--deterministic-only]
+//   fedmp_report --diff a.json b.json [--out diff.txt] [--json diff.json]
 //
 // With a common artifact prefix (what examples/traced_chaos writes), the
 // shorthand `fedmp_report --prefix sync` expands to the file names above.
@@ -13,6 +14,8 @@
 // --deterministic-only restricts both outputs to the logical-time sections
 // (round health / critical path, E-UCB audit), which are byte-identical
 // across thread counts for a fixed seed.
+// --diff compares two --json report documents (round time, accuracy, cache
+// hit rates, alert counts) with a stable ordering.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "obs/analysis/report.h"
+#include "obs/analysis/report_diff.h"
 
 namespace {
 
@@ -42,9 +46,26 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--prefix P | --events F] [--manifest F] [--metrics F]\n"
       "          [--rounds F] [--trace F] [--out F] [--json F]\n"
-      "          [--deterministic-only]\n",
-      argv0);
+      "          [--deterministic-only]\n"
+      "       %s --diff a.json b.json [--out F] [--json F]\n",
+      argv0, argv0);
   return 2;
+}
+
+// Writes `content` to `path`, or stdout when the path is empty. Returns
+// false (with a message) when the file can't be opened.
+bool WriteOutput(const std::string& path, const std::string& content) {
+  if (path.empty()) {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "fedmp_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace
@@ -52,6 +73,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string events_path, manifest_path, metrics_path, rounds_path;
   std::string trace_path, out_path, json_path;
+  std::string diff_a_path, diff_b_path;
   fedmp::obs::analysis::ReportOptions options;
 
   for (int a = 1; a < argc; ++a) {
@@ -61,6 +83,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--deterministic-only") {
       options.deterministic_only = true;
+    } else if (arg == "--diff") {
+      const char* pa = next();
+      const char* pb = next();
+      if (pa == nullptr || pb == nullptr) return Usage(argv[0]);
+      diff_a_path = pa;
+      diff_b_path = pb;
     } else if (arg == "--prefix") {
       const char* prefix = next();
       if (prefix == nullptr) return Usage(argv[0]);
@@ -87,6 +115,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fedmp_report: unknown argument %s\n", arg.c_str());
       return Usage(argv[0]);
     }
+  }
+  if (!diff_a_path.empty()) {
+    bool missing = false;
+    const std::string a_json = ReadFileOrEmpty(diff_a_path, &missing);
+    const std::string b_json = ReadFileOrEmpty(diff_b_path, &missing);
+    if (missing) return 1;
+    const fedmp::obs::analysis::ReportDiff diff =
+        fedmp::obs::analysis::DiffReports(a_json, b_json);
+    for (const std::string& warning : diff.warnings) {
+      std::fprintf(stderr, "fedmp_report: warning: %s\n", warning.c_str());
+    }
+    if (diff.human.empty()) {
+      std::fprintf(stderr, "fedmp_report: --diff inputs did not parse\n");
+      return 1;
+    }
+    if (!WriteOutput(out_path, diff.human)) return 1;
+    if (!json_path.empty() && !WriteOutput(json_path, diff.json + "\n")) {
+      return 1;
+    }
+    return 0;
   }
   if (events_path.empty()) {
     std::fprintf(stderr, "fedmp_report: --events (or --prefix) is required\n");
