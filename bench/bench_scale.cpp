@@ -1,10 +1,14 @@
-// Scale-out bench: one 10k-worker round through the windowed pipelined
-// engine with fog aggregation, reporting wall-clock and the peak-RSS delta
-// the round adds. The headline number is memory, not speed: a naive engine
-// materializes every recovered sub-model at once (O(workers x model)); the
-// bounded engine keeps the live set at O(max_inflight x model + fog
-// partials). Emits bench_scale.json for run_benches.sh --scale, which
-// stamps it into BENCH_scale.json and enforces the RSS ceiling.
+// Scale-out bench: one streaming round through the windowed pipelined
+// engine with fog aggregation and the sharded parameter server, reporting
+// wall-clock and the peak-RSS delta the round adds. The headline number is
+// memory, not speed: a naive engine materializes every recovered sub-model
+// at once (O(workers x model)); the bounded engine keeps the live set at
+// O(max_inflight x model + fog partials), and the streaming partition view
+// kills the per-worker index-vector floor — which is what takes the fleet
+// from 10k to the gated 100k round. Emits bench_scale.json for
+// run_benches.sh --scale, which runs 10k and 100k as separate processes
+// (VmHWM is process-lifetime monotonic), merges the entries into
+// BENCH_scale.json, and enforces the per-scale gates.
 //
 // The live observability tier runs alongside: a bounded flight recorder and
 // deterministic trace sampling are enabled for the round, so the gate also
@@ -23,16 +27,19 @@
 #include "common/thread_pool.h"
 #include "data/task_zoo.h"
 #include "fl/pipeline.h"
+#include "fl/ps_shard.h"
 #include "fl/strategies/fedmp_strategy.h"
 #include "fl/trainer.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/sampling.h"
+#include "obs/trace.h"
 
 using namespace fedmp;
 
 int main() {
-  bench::PrintHeader("Scale-out", "10k-worker round: wall-clock + peak RSS");
+  bench::PrintHeader("Scale-out",
+                     "streaming round: wall-clock + peak RSS + shard folds");
 
   int64_t workers = 10000;
   if (const char* env = std::getenv("FEDMP_SCALE_WORKERS")) {
@@ -40,12 +47,17 @@ int main() {
     if (n > 0) workers = n;
   }
 
-  obs::SetEnabled(true);
+  // Ring-only telemetry: metrics + spans are on, but the unbounded main
+  // trace buffer is capped at zero — this bench only ever exports the
+  // flight-recorder ring, and at fleet scale even a few logical events per
+  // worker would otherwise pile up ~O(workers) of never-flushed strings.
+  obs::TraceOptions trace;
+  trace.max_events = 0;
+  obs::Enable(trace);
   fl::SetPipelineEnabled(true);
 
   // Live tier under load: last-4096-events ring, 256-worker/round sampling
-  // budget. The trace buffer cap keeps the main buffer bounded too — at 10k
-  // workers an uncapped buffer, not the ring, would be the memory story.
+  // budget.
   obs::FlightRecorderOptions flight;
   flight.dump_path_prefix = "bench_scale_flight";
   flight.install_signal_handlers = false;  // benches exit normally
@@ -67,9 +79,12 @@ int main() {
   opt.deadline.enabled = false;  // everyone arrives: worst-case live set
   opt.scale.fog_fan_out = 32;
   opt.scale.max_inflight = 64;
-  Rng rng(opt.seed ^ 0xBEEFULL);
-  data::Partition partition = data::PartitionIid(
-      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  opt.scale.ps_shards = 0;  // auto: pool lanes (FEDMP_PS_SHARDS overrides)
+  // Streaming partition view: worker shards are a pure function of
+  // (seed, worker), materialized per round and freed — the engine never
+  // stores O(fleet) index vectors.
+  auto view = std::make_shared<const data::StreamingIidPartition>(
+      task.train.size(), workers, opt.seed ^ 0xBEEFULL);
 
   // Per-model footprint for the naive estimate: bytes of one full weight
   // set, doubled for the recovered upload that rides along with it.
@@ -78,7 +93,7 @@ int main() {
   const int64_t naive_bytes = 2 * model_bytes * workers;
 
   const int64_t rss_before = PeakRssBytes();
-  fl::Trainer trainer(&task, fleet, std::move(partition),
+  fl::Trainer trainer(&task, fleet, std::move(view),
                       std::make_unique<fl::FedMpStrategy>(), opt);
   const auto start = std::chrono::steady_clock::now();
   const fl::RoundLog log = trainer.Run();
@@ -89,6 +104,13 @@ int main() {
   const int64_t rss_delta = rss_after - rss_before;
   const int participants =
       log.records().empty() ? 0 : log.records().back().participants;
+  // The sharded-PS fold facts the gate pins: how many per-range owners the
+  // slot range was split across, and how many distinct pool lanes executed
+  // shard folds (>= 2 proves the Finish tail actually overlapped).
+  const int ps_shards = static_cast<int>(
+      obs::Registry::Get().GaugeValue("fl.ps.shards", 0.0));
+  const int fold_lanes = static_cast<int>(
+      obs::Registry::Get().GaugeValue("fl.ps.fold_lanes", 0.0));
 
   // Dump the ring and measure the artifact: the events file must stay
   // O(ring capacity), independent of fleet size.
@@ -103,6 +125,7 @@ int main() {
 
   std::printf("  workers=%lld participants=%d round=%.2fs\n",
               static_cast<long long>(workers), participants, round_seconds);
+  std::printf("  ps shards=%d fold lanes=%d\n", ps_shards, fold_lanes);
   std::printf("  peak RSS delta: %.1f MiB (naive estimate %.1f MiB)\n",
               static_cast<double>(rss_delta) / (1 << 20),
               static_cast<double>(naive_bytes) / (1 << 20));
@@ -123,6 +146,8 @@ int main() {
                "  \"participants\": %d,\n"
                "  \"fog_fan_out\": %d,\n"
                "  \"max_inflight\": %d,\n"
+               "  \"ps_shards\": %d,\n"
+               "  \"fold_lanes\": %d,\n"
                "  \"round_seconds\": %.3f,\n"
                "  \"rss_before_bytes\": %lld,\n"
                "  \"rss_after_bytes\": %lld,\n"
@@ -134,7 +159,8 @@ int main() {
                "  \"flight_dump_bytes\": %lld\n"
                "}\n",
                static_cast<long long>(workers), participants,
-               opt.scale.fog_fan_out, opt.scale.max_inflight, round_seconds,
+               opt.scale.fog_fan_out, opt.scale.max_inflight, ps_shards,
+               fold_lanes, round_seconds,
                static_cast<long long>(rss_before),
                static_cast<long long>(rss_after),
                static_cast<long long>(rss_delta),

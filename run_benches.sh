@@ -23,10 +23,13 @@
 # the fresh optimized wall-clock before comparison (CI uses it to prove the
 # gate actually fails on a regression).
 #
-# --scale: run only bench_scale (the 10k-worker bounded-memory round) and
-# stamp the result into BENCH_scale.json at the repo root, enforcing the
-# peak-RSS ceiling and the participants==workers guard (see run_scale
-# below). --gate runs the same check first, against a throwaway output.
+# --scale: run bench_scale at 10k and 100k workers (separate processes —
+# VmHWM is process-lifetime monotonic) and stamp both entries into a
+# runs[] array in BENCH_scale.json at the repo root, enforcing per-scale
+# peak-RSS ceilings, the participants==workers guard, the 100k sublinear-
+# memory and fold-overlap gates, and (same host only) round_seconds against
+# the committed entries (see run_scale below). --gate runs the same check
+# first, against a throwaway output.
 cd "$(dirname "$0")/build" || exit 1
 
 run_perf_compare() {
@@ -74,91 +77,188 @@ EOF
 }
 
 run_scale() {
-  # $1: output JSON path (relative to build/). Runs the 10k-worker scale
-  # bench and enforces the bounded-memory contract:
+  # $1: output JSON path (relative to build/). Runs the streaming scale
+  # bench once per fleet size in FEDMP_SCALE_RUNS (default "10000 100000"),
+  # each as its own process — VmHWM is process-lifetime monotonic, so a
+  # second scale in the same process would inherit the first one's peak —
+  # and merges the entries into one runs[] document. Per-run gates:
   #   * every worker must have participated (a silent partial round would
   #     make the RSS number meaningless);
-  #   * the peak-RSS delta must stay under FEDMP_SCALE_RSS_CEILING_MB
-  #     (default 200, matching tests/fl/scale_test.cc);
+  #   * the peak-RSS delta must stay under the per-scale ceiling:
+  #     FEDMP_SCALE_RSS_CEILING_MB (default 200, matching
+  #     tests/fl/scale_test.cc) below 100k workers,
+  #     FEDMP_SCALE_RSS_CEILING_MB_100K (default 400) at 100k+;
   #   * the delta must undercut the naive O(workers x model) estimate by
-  #     at least 2x — the bound is the feature.
-  # FEDMP_GATE_INJECT=<factor> inflates the measured delta before the
-  # checks (CI uses it to prove the gate fails on a regression).
-  echo "### scale: bench/bench_scale ###"
-  ./bench/bench_scale 2>&1
-  scale_exit=$?
-  echo "### exit=$scale_exit ###"
-  if [ $scale_exit -ne 0 ]; then
-    echo "scale bench failed (exit=$scale_exit)" >&2
-    return $scale_exit
-  fi
+  #     at least 2x — the bound is the feature;
+  #   * the flight-recorder dump must exist and stay a bounded artifact.
+  # 100k-only gates:
+  #   * RSS delta <= 4x the 10k delta (10x the fleet must NOT cost 10x the
+  #     memory — the streaming-view + sharded-PS contract);
+  #   * shard folds must have run on >= FEDMP_SCALE_MIN_FOLD_LANES
+  #     (default 2) distinct pool lanes — the Finish tail really
+  #     overlapped.
+  # Same-host only (fingerprint match against the committed
+  # BENCH_scale.json): round_seconds per scale must stay within
+  # FEDMP_GATE_TOLERANCE (default 0.15) of the committed entry.
+  # FEDMP_GATE_INJECT=<factor> inflates the measured deltas and round
+  # times before the checks (CI uses it to prove the gate fails on a
+  # regression).
+  local committed="../BENCH_scale.json"
+  local run_files=()
+  # One malloc arena: per-thread arenas inflate VmHWM by a scheduling-
+  # dependent amount (glibc never returns arena pages), which would put
+  # multi-MiB noise on the deltas the gates compare across runs and hosts.
+  for w in ${FEDMP_SCALE_RUNS:-10000 100000}; do
+    echo "### scale: bench/bench_scale (workers=$w) ###"
+    MALLOC_ARENA_MAX=1 FEDMP_SCALE_WORKERS=$w ./bench/bench_scale 2>&1
+    scale_exit=$?
+    echo "### exit=$scale_exit ###"
+    if [ $scale_exit -ne 0 ]; then
+      echo "scale bench failed at $w workers (exit=$scale_exit)" >&2
+      return $scale_exit
+    fi
+    mv bench_scale.json "bench_scale_${w}.json"
+    run_files+=("bench_scale_${w}.json")
+  done
   local sha date host cores
   sha=$(git -C .. rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
   date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   cores=$(nproc 2>/dev/null || echo 0)
   host="$(hostname 2>/dev/null || echo unknown)-${cores}c"
-  python3 - "$1" "$sha" "$date" "$host" "$cores" <<'EOF'
+  python3 - "$1" "$sha" "$date" "$host" "$cores" "$committed" \
+    "${run_files[@]}" <<'EOF'
 import json
 import os
 import sys
 
-out_path, sha, date, host, cores = sys.argv[1:6]
+out_path, sha, date, host, cores, committed_path = sys.argv[1:7]
+run_paths = sys.argv[7:]
 CEILING_MB = float(os.environ.get("FEDMP_SCALE_RSS_CEILING_MB", "200"))
+CEILING_MB_100K = float(
+    os.environ.get("FEDMP_SCALE_RSS_CEILING_MB_100K", "400"))
+MIN_FOLD_LANES = int(os.environ.get("FEDMP_SCALE_MIN_FOLD_LANES", "2"))
+TOL = float(os.environ.get("FEDMP_GATE_TOLERANCE", "0.15"))
 INJECT = float(os.environ.get("FEDMP_GATE_INJECT", "1.0"))
 
-with open("bench_scale.json") as f:
-    raw = json.load(f)
+# The committed document is read BEFORE the output overwrites it (in
+# --scale mode they are the same file): it carries the same-host
+# round_seconds references. Only new-schema documents (a runs[] array)
+# are comparable — flat-schema ones predate the streaming-partition bench
+# and measured a different workload, so their times are skipped.
+committed_runs, committed_host = {}, None
+try:
+    with open(committed_path) as f:
+        committed = json.load(f)
+    committed_host = committed.get("host")
+    for run in committed.get("runs", []):
+        committed_runs[int(run["workers"])] = run
+except (OSError, ValueError):
+    pass
 
-delta = raw["rss_delta_bytes"] * INJECT
+runs = []
+for path in run_paths:
+    with open(path) as f:
+        runs.append(json.load(f))
+runs.sort(key=lambda r: r["workers"])
+
 if INJECT != 1.0:
-    print(f"scale-gate: injected x{INJECT} into the peak-RSS delta")
+    print(f"scale-gate: injected x{INJECT} into peak-RSS deltas and "
+          "round times")
 
 failures = []
+delta_by_workers = {}
+for raw in runs:
+    workers = raw["workers"]
+    tag = f"{workers}w"
+    delta = raw["rss_delta_bytes"] * INJECT
+    round_seconds = raw["round_seconds"] * INJECT
+    delta_by_workers[workers] = delta
 
-if raw["participants"] != raw["workers"]:
-    failures.append(f"participants {raw['participants']} != "
-                    f"workers {raw['workers']}")
+    if raw["participants"] != workers:
+        failures.append(f"{tag}: participants {raw['participants']} != "
+                        f"workers {workers}")
 
-ceiling = CEILING_MB * (1 << 20)
-status = "ok" if delta <= ceiling else "FAIL"
-print(f"scale-gate: peak-RSS delta {delta / (1 << 20):.1f} MiB "
-      f"(ceiling {CEILING_MB:.0f} MiB) {status}")
-if delta > ceiling:
-    failures.append(f"peak-RSS delta {delta / (1 << 20):.1f} MiB "
-                    f"> ceiling {CEILING_MB:.0f} MiB")
+    ceiling_mb = CEILING_MB_100K if workers >= 100000 else CEILING_MB
+    ceiling = ceiling_mb * (1 << 20)
+    raw["rss_ceiling_bytes"] = int(ceiling)
+    status = "ok" if delta <= ceiling else "FAIL"
+    print(f"scale-gate: {tag}: peak-RSS delta {delta / (1 << 20):.1f} MiB "
+          f"(ceiling {ceiling_mb:.0f} MiB) {status}")
+    if delta > ceiling:
+        failures.append(f"{tag}: peak-RSS delta {delta / (1 << 20):.1f} MiB "
+                        f"> ceiling {ceiling_mb:.0f} MiB")
 
-naive = raw["naive_bytes_estimate"]
-if delta * 2 > naive:
-    failures.append(f"peak-RSS delta {delta / (1 << 20):.1f} MiB does not "
-                    f"undercut the naive estimate "
-                    f"{naive / (1 << 20):.1f} MiB by 2x")
+    naive = raw["naive_bytes_estimate"]
+    if delta * 2 > naive:
+        failures.append(f"{tag}: peak-RSS delta {delta / (1 << 20):.1f} MiB "
+                        f"does not undercut the naive estimate "
+                        f"{naive / (1 << 20):.1f} MiB by 2x")
 
-# The bench runs with the flight recorder + trace sampling enabled INSIDE
-# the measured window, so the RSS ceiling above already covers the live
-# observability tier. The dump must exist and stay a bounded artifact
-# (O(ring capacity), never O(workers x rounds)).
-FLIGHT_DUMP_CEILING_MB = 8
-flight_bytes = raw.get("flight_dump_bytes", 0)
-flight_events = raw.get("flight_recorder_events", 0)
-print(f"scale-gate: flight recorder {flight_events} events held, dump "
-      f"{flight_bytes / 1024:.1f} KiB (ceiling "
-      f"{FLIGHT_DUMP_CEILING_MB} MiB; RSS delta above includes "
-      f"recorder+sampling)")
-if flight_bytes <= 0:
-    failures.append("flight-recorder dump missing or empty "
-                    f"(flight_dump_bytes={flight_bytes})")
-elif flight_bytes > FLIGHT_DUMP_CEILING_MB * (1 << 20):
-    failures.append(f"flight-recorder dump {flight_bytes / (1 << 20):.1f} "
-                    f"MiB > ceiling {FLIGHT_DUMP_CEILING_MB} MiB "
-                    "(not a bounded artifact)")
+    # The bench runs with the flight recorder + trace sampling enabled
+    # INSIDE the measured window, so the RSS ceiling above already covers
+    # the live observability tier. The dump must exist and stay a bounded
+    # artifact (O(ring capacity), never O(workers x rounds)).
+    FLIGHT_DUMP_CEILING_MB = 8
+    flight_bytes = raw.get("flight_dump_bytes", 0)
+    flight_events = raw.get("flight_recorder_events", 0)
+    print(f"scale-gate: {tag}: flight recorder {flight_events} events held, "
+          f"dump {flight_bytes / 1024:.1f} KiB (ceiling "
+          f"{FLIGHT_DUMP_CEILING_MB} MiB)")
+    if flight_bytes <= 0:
+        failures.append(f"{tag}: flight-recorder dump missing or empty "
+                        f"(flight_dump_bytes={flight_bytes})")
+    elif flight_bytes > FLIGHT_DUMP_CEILING_MB * (1 << 20):
+        failures.append(f"{tag}: flight-recorder dump "
+                        f"{flight_bytes / (1 << 20):.1f} MiB > ceiling "
+                        f"{FLIGHT_DUMP_CEILING_MB} MiB (not a bounded "
+                        "artifact)")
 
-out = {"bench": "scale-out 10k-worker round",
+    if workers >= 100000:
+        lanes = raw.get("fold_lanes", 0)
+        status = "ok" if lanes >= MIN_FOLD_LANES else "FAIL"
+        print(f"scale-gate: {tag}: shard folds on {lanes} pool lanes "
+              f"(min {MIN_FOLD_LANES}) {status}")
+        if lanes < MIN_FOLD_LANES:
+            failures.append(f"{tag}: shard folds ran on {lanes} lanes "
+                            f"< {MIN_FOLD_LANES} — the Finish tail did "
+                            "not overlap")
+
+    # Same-host round-time budget against the committed entry. A missing
+    # or foreign-host reference skips the check (first stamp, new machine,
+    # schema migration) — memory gates above still ran.
+    ref = committed_runs.get(workers)
+    if ref is None or committed_host != host:
+        print(f"scale-gate: {tag}: no same-host committed round time "
+              f"(host={host}, committed={committed_host}); round-time "
+              "check skipped")
+    else:
+        ceil = ref["round_seconds"] * (1.0 + TOL)
+        status = "ok" if round_seconds <= ceil else "FAIL"
+        print(f"scale-gate: {tag}: round {round_seconds:.2f}s vs committed "
+              f"{ref['round_seconds']:.2f}s (ceil {ceil:.2f}s) {status}")
+        if round_seconds > ceil:
+            failures.append(f"{tag}: round {round_seconds:.2f}s > ceil "
+                            f"{ceil:.2f}s")
+
+# Sublinear memory across the decade: 10x the fleet must cost at most 4x
+# the peak-RSS delta (both deltas scale by INJECT, so this ratio check is
+# injection-invariant by design — the ceilings above catch inflation).
+if 10000 in delta_by_workers and 100000 in delta_by_workers:
+    small, big = delta_by_workers[10000], delta_by_workers[100000]
+    ratio = big / small if small > 0 else float("inf")
+    status = "ok" if ratio <= 4.0 else "FAIL"
+    print(f"scale-gate: 100k-vs-10k peak-RSS delta ratio {ratio:.2f}x "
+          f"(max 4.0x) {status}")
+    if ratio > 4.0:
+        failures.append(f"100k delta is {ratio:.2f}x the 10k delta "
+                        "(max 4.0x) — memory is not sublinear in the fleet")
+
+out = {"bench": "scale-out streaming rounds",
        "git_sha": sha,
        "date": date,
        "host": host,
        "cores": int(cores),
-       "rss_ceiling_bytes": int(ceiling)}
-out.update(raw)
+       "runs": runs}
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

@@ -39,10 +39,20 @@ inline int64_t CanonicalSplit(int64_t lo, int64_t hi) {
 // slice is a tree node, a recursive descent from [0, n) that stops on slice
 // boundaries reaches each slice exactly once — which is what lets fog
 // partial sums be merged into the flat canonical sum (see fl/hierarchy.h).
+//
+// Refinement: the splitting process is a deterministic chain — the slicing
+// for `parts + 1` is obtained from the slicing for `parts` by splitting one
+// slice. So for q <= p, every slice of CanonicalRangeSlices(n, p) nests
+// inside exactly one slice of CanonicalRangeSlices(n, q). This is what lets
+// a coarser PS-shard partition own whole fog slices (fl/ps_shard.h): shard
+// count <= fog count guarantees no fog straddles a shard boundary.
+//
+// n == 0 yields no slices (an empty range has no owners).
 inline std::vector<std::pair<int64_t, int64_t>> CanonicalRangeSlices(
     int64_t n, int64_t parts) {
-  FEDMP_CHECK_GT(n, 0);
+  FEDMP_CHECK_GE(n, 0);
   FEDMP_CHECK_GT(parts, 0);
+  if (n == 0) return {};
   using Range = std::pair<int64_t, int64_t>;
   // Largest-first, leftmost on ties.
   auto later = [](const Range& a, const Range& b) {

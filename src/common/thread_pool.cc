@@ -83,6 +83,8 @@ void ThreadPool::WorkerLoop(int lane) {
 
 bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
 
+int ThreadPool::CurrentLane() { return t_pool_lane; }
+
 namespace {
 // Chunks per lane beyond which splitting finer buys nothing: enough that a
 // lane stuck on one slow chunk leaves (kChunksPerLane - 1) claimable chunks

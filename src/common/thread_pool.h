@@ -63,6 +63,12 @@ class ThreadPool {
   // True when called from inside a pool task (nested region).
   static bool InPoolWorker();
 
+  // The calling thread's stable execution-lane id: pool workers are
+  // 1..N-1, every non-pool thread (including the ParallelFor caller /
+  // TaskSet drainer) is lane 0. Used to label pool-track telemetry from
+  // inside submitted tasks (e.g. the PS shard folds).
+  static int CurrentLane();
+
   // Process-wide pool used by the free ParallelFor and the kernels. Created
   // on first use with ResolveThreads(0) lanes.
   static ThreadPool& Global();

@@ -1,6 +1,7 @@
 #include "data/partition.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -113,6 +114,87 @@ Partition PartitionMissingClasses(const Dataset& dataset, int64_t num_workers,
     }
   }
   return out;
+}
+
+MaterializedPartitionView::MaterializedPartitionView(Partition partition)
+    : partition_(std::move(partition)) {
+  FEDMP_CHECK(!partition_.empty());
+}
+
+int64_t MaterializedPartitionView::num_workers() const {
+  return static_cast<int64_t>(partition_.size());
+}
+
+int64_t MaterializedPartitionView::shard_size(int64_t worker) const {
+  return static_cast<int64_t>(partition_[static_cast<size_t>(worker)].size());
+}
+
+std::vector<int64_t> MaterializedPartitionView::Shard(int64_t worker) const {
+  return partition_[static_cast<size_t>(worker)];
+}
+
+namespace {
+// splitmix64 finalizer: the Feistel round function's mixer. Statistical
+// quality is all that matters here — any fixed bijective mixer keyed by
+// (seed, round, half) yields a valid permutation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+StreamingIidPartition::StreamingIidPartition(int64_t dataset_size,
+                                             int64_t num_workers,
+                                             uint64_t seed)
+    : n_(dataset_size), workers_(num_workers), seed_(seed) {
+  FEDMP_CHECK_GT(num_workers, 0);
+  FEDMP_CHECK_GE(dataset_size, num_workers)
+      << "every worker needs a non-empty shard";
+  // Smallest even bit-width with 2^bits >= n: the Feistel halves must be
+  // equal-width for the swap network to be a bijection.
+  int bits = 2;
+  while ((int64_t{1} << bits) < n_) bits += 2;
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+}
+
+int64_t StreamingIidPartition::Permute(int64_t i) const {
+  FEDMP_CHECK(i >= 0 && i < n_);
+  // 4-round balanced Feistel over [0, 2^(2*half_bits)); cycle-walk until
+  // the image lands back in [0, n). Walking stays inside the permutation's
+  // cycle through i, so the restriction to [0, n) is itself a bijection,
+  // and the expected walk length is domain/n <= 4 steps.
+  uint64_t x = static_cast<uint64_t>(i);
+  do {
+    uint64_t left = x >> half_bits_;
+    uint64_t right = x & half_mask_;
+    for (uint64_t round = 0; round < 4; ++round) {
+      const uint64_t f =
+          Mix64(seed_ ^ (round + 1) * 0xD6E8FEB86659FD93ULL ^ right) &
+          half_mask_;
+      const uint64_t new_left = right;
+      right = left ^ f;
+      left = new_left;
+    }
+    x = (left << half_bits_) | right;
+  } while (x >= static_cast<uint64_t>(n_));
+  return static_cast<int64_t>(x);
+}
+
+int64_t StreamingIidPartition::shard_size(int64_t worker) const {
+  FEDMP_CHECK(worker >= 0 && worker < workers_);
+  return (n_ - 1 - worker) / workers_ + 1;
+}
+
+std::vector<int64_t> StreamingIidPartition::Shard(int64_t worker) const {
+  std::vector<int64_t> shard;
+  shard.reserve(static_cast<size_t>(shard_size(worker)));
+  for (int64_t i = worker; i < n_; i += workers_) {
+    shard.push_back(Permute(i));
+  }
+  return shard;
 }
 
 std::vector<int64_t> ShardLabelHistogram(const Dataset& dataset,

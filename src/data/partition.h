@@ -34,6 +34,60 @@ Partition PartitionMissingClasses(const Dataset& dataset, int64_t num_workers,
 std::vector<int64_t> ShardLabelHistogram(const Dataset& dataset,
                                          const std::vector<int64_t>& shard);
 
+// A lazy view of a partition: per-worker index shards materialized on
+// demand instead of stored. At 100k+ workers the stored Partition itself is
+// the RSS floor (100k index vectors live for the whole run); a view keeps
+// the fleet's index footprint at O(concurrently-training workers x shard).
+// Shard(w) must be a pure function of the view's construction parameters —
+// the same worker gets the same indices on every call, every round.
+class PartitionView {
+ public:
+  virtual ~PartitionView() = default;
+  virtual int64_t num_workers() const = 0;
+  virtual int64_t shard_size(int64_t worker) const = 0;
+  virtual std::vector<int64_t> Shard(int64_t worker) const = 0;
+};
+
+// Adapts an eagerly-built Partition (IID, label-skew, missing-classes) to
+// the view interface. Shard(w) copies — callers own and free the result.
+class MaterializedPartitionView : public PartitionView {
+ public:
+  explicit MaterializedPartitionView(Partition partition);
+  int64_t num_workers() const override;
+  int64_t shard_size(int64_t worker) const override;
+  std::vector<int64_t> Shard(int64_t worker) const override;
+
+ private:
+  Partition partition_;
+};
+
+// IID partition with O(1) state: a Feistel-network permutation of
+// [0, dataset_size) keyed by `seed` (cycle-walking over the next
+// power-of-four domain) stands in for the stored shuffle, and worker w's
+// shard is the permuted image of {w, w + W, w + 2W, ...} — the same
+// shuffled-deal-round-robin structure PartitionIid builds, just computed
+// per (seed, index) on demand. Distribution-equivalent to PartitionIid but
+// a different shuffle, so shard CONTENTS differ for the same seed.
+class StreamingIidPartition : public PartitionView {
+ public:
+  StreamingIidPartition(int64_t dataset_size, int64_t num_workers,
+                        uint64_t seed);
+  int64_t num_workers() const override { return workers_; }
+  int64_t shard_size(int64_t worker) const override;
+  std::vector<int64_t> Shard(int64_t worker) const override;
+
+  // The shuffled dataset index at deal position i — a bijection on
+  // [0, dataset_size) (tests pin bijectivity and determinism).
+  int64_t Permute(int64_t i) const;
+
+ private:
+  int64_t n_;
+  int64_t workers_;
+  uint64_t seed_;
+  int half_bits_;
+  uint64_t half_mask_;
+};
+
 }  // namespace fedmp::data
 
 #endif  // FEDMP_DATA_PARTITION_H_

@@ -318,7 +318,7 @@ RoundLog AsyncTrainer::Run() {
     if (PipelineEnabled()) {
       agg = std::make_unique<StreamingAggregator>(
           global_spec, server_->weights(), target_m, SyncScheme::kR2SP,
-          /*quantize_residuals=*/false);
+          /*quantize_residuals=*/false, options_.base.scale.ps_shards);
     }
     // Round-health inputs, one entry per consumed event (a re-dispatched
     // worker can contribute more than one). Emitted from this serial event

@@ -1,6 +1,8 @@
 #include "fl/hierarchy.h"
 
+#include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/range_tree.h"
@@ -12,8 +14,10 @@ namespace fedmp::fl {
 
 HierarchicalAggregator::HierarchicalAggregator(
     const nn::ModelSpec& spec, const nn::TensorList& global_weights,
-    int num_slots, SyncScheme scheme, bool quantize_residuals, int fan_out)
-    : scheme_(scheme), num_slots_(num_slots) {
+    int num_slots, SyncScheme scheme, bool quantize_residuals, int fan_out,
+    int ps_shards)
+    : scheme_(scheme), num_slots_(num_slots),
+      ps_shards_requested_(ps_shards) {
   FEDMP_CHECK_GT(num_slots, 0);
   if (fan_out < 1) fan_out = 1;
   slices_ = CanonicalRangeSlices(num_slots, fan_out);
@@ -22,7 +26,7 @@ HierarchicalAggregator::HierarchicalAggregator(
   for (const auto& [lo, hi] : slices_) {
     fogs_.push_back(std::make_unique<StreamingAggregator>(
         spec, global_weights, static_cast<int>(hi - lo), scheme,
-        quantize_residuals));
+        quantize_residuals, ps_shards));
   }
 }
 
@@ -67,55 +71,69 @@ void HierarchicalAggregator::Reject(int slot) {
 }
 
 StreamingAggregator::Result HierarchicalAggregator::Finish() {
-  // Collect each fog's partial. The fog tier emits no aggregate telemetry
-  // of its own (FinishPartial); each gets a fog_aggregate span so traces
-  // attribute the reduction to regions, and the PS-level fold below emits
-  // the exact r2sp_aggregate span + counters the flat paths emit.
-  std::vector<StreamingAggregator::Result> partials;
-  partials.reserve(fogs_.size());
-  int total_participants = 0;
+  // Partition the slot range into PS shards — coarser than (or equal to)
+  // the fog slices, so the refinement property of CanonicalRangeSlices
+  // guarantees every fog nests in exactly one shard. Each shard's fold
+  // descends the canonical tree over its own slice, collecting a fog's
+  // partial (FinishPartial) the moment the descent reaches its boundary
+  // and merging as it unwinds: at most the descent spine — O(log fogs)
+  // partials — is live per shard, never all of them at once.
+  const int num_fogs_i = num_fogs();
+  const int S = ResolvePsShards(
+      ps_shards_requested_, std::min(num_fogs_i, num_slots_));
+  PsShardSet shards(num_slots_, S);
+  auto fold_shard = [&](int shard, int64_t shard_lo,
+                        int64_t shard_hi) -> ShardPartial {
+    (void)shard;
+    std::function<ShardPartial(int64_t, int64_t)> fold =
+        [&](int64_t lo, int64_t hi) -> ShardPartial {
+      const int f = SliceOf(slices_, lo);
+      if (slices_[static_cast<size_t>(f)].first == lo &&
+          slices_[static_cast<size_t>(f)].second == hi) {
+        StreamingAggregator::Result partial =
+            fogs_[static_cast<size_t>(f)]->FinishPartial();
+        ShardPartial part;
+        part.sum = std::move(partial.sum);
+        part.participants = partial.participants;
+        return part;
+      }
+      const int64_t mid = CanonicalSplit(lo, hi);
+      ShardPartial left = fold(lo, mid);
+      ShardPartial right = fold(mid, hi);
+      if (left.sum.empty()) {
+        left.sum = std::move(right.sum);
+      } else if (!right.sum.empty()) {
+        nn::AxpyLists(left.sum, 1.0f, right.sum);
+      }
+      left.participants += right.participants;
+      return left;
+    };
+    return fold(shard_lo, shard_hi);
+  };
+  ShardPartial total = ParallelShardFold(shards, fold_shard);
+  FEDMP_CHECK_GT(total.participants, 0) << "aggregation with no participants";
+  // Logical telemetry is emitted from the calling thread in fixed fog
+  // order AFTER the fold — the spans no longer time the per-fog work (the
+  // pool-track ps_shard_fold spans carry the wall story now), but the
+  // deterministic JSONL export keeps the exact event sequence the serial
+  // path produced, at any shard or thread count.
   for (size_t f = 0; f < fogs_.size(); ++f) {
-    StreamingAggregator::Result partial;
-    {
-      OBS_SPAN("fog_aggregate",
-               {{"fog", static_cast<int>(f)},
-                {"lo", static_cast<int>(slices_[f].first)},
-                {"hi", static_cast<int>(slices_[f].second)}});
-      partial = fogs_[f]->FinishPartial();
-    }
-    total_participants += partial.participants;
-    partials.push_back(std::move(partial));
+    OBS_SPAN("fog_aggregate",
+             {{"fog", static_cast<int>(f)},
+              {"lo", static_cast<int>(slices_[f].first)},
+              {"hi", static_cast<int>(slices_[f].second)}});
   }
-  FEDMP_CHECK_GT(total_participants, 0) << "aggregation with no participants";
   OBS_SPAN("r2sp_aggregate", {{"scheme", SyncSchemeName(scheme_)},
-                              {"updates", total_participants}});
+                              {"updates", total.participants}});
   if (obs::Enabled()) {
     static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
     static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
     aggs->Add(1.0);
-    upd->Add(static_cast<double>(total_participants));
+    upd->Add(static_cast<double>(total.participants));
   }
-  // Fold fog partials by descending the canonical tree until a range lines
-  // up with a fog slice: every slice is a tree node (CanonicalRangeSlices
-  // only ever splits at CanonicalSplit), so the descent always terminates
-  // at slice boundaries and reproduces the flat reduction's association.
-  std::function<nn::TensorList(int64_t, int64_t)> fold =
-      [&](int64_t lo, int64_t hi) -> nn::TensorList {
-    const int f = SliceOf(slices_, lo);
-    if (slices_[static_cast<size_t>(f)].first == lo &&
-        slices_[static_cast<size_t>(f)].second == hi) {
-      return std::move(partials[static_cast<size_t>(f)].sum);
-    }
-    const int64_t mid = CanonicalSplit(lo, hi);
-    nn::TensorList left = fold(lo, mid);
-    nn::TensorList right = fold(mid, hi);
-    if (left.empty()) return right;
-    if (!right.empty()) nn::AxpyLists(left, 1.0f, right);
-    return left;
-  };
   StreamingAggregator::Result out;
-  out.sum = fold(0, num_slots_);
-  out.participants = total_participants;
+  out.sum = std::move(total.sum);
+  out.participants = total.participants;
   return out;
 }
 

@@ -41,11 +41,17 @@ namespace fedmp::fl {
 class HierarchicalAggregator {
  public:
   // fan_out <= 1 degenerates to a single fog over the whole range (the flat
-  // streaming path). fan_out is clamped to num_slots.
+  // streaming path). fan_out is clamped to num_slots. `ps_shards` is the
+  // requested PS shard count (fl/ps_shard.h): Finish() partitions the slot
+  // range into min(resolved shards, num_fogs) canonical slices — the
+  // refinement property guarantees each fog slice nests in exactly one
+  // shard — and folds each shard's fogs on its own pool lane, the serial
+  // top-tree tail overlapping the still-running folds. The same request is
+  // forwarded to each fog's StreamingAggregator as its lock-shard count.
   HierarchicalAggregator(const nn::ModelSpec& spec,
                          const nn::TensorList& global_weights, int num_slots,
                          SyncScheme scheme, bool quantize_residuals,
-                         int fan_out);
+                         int fan_out, int ps_shards = 0);
 
   HierarchicalAggregator(const HierarchicalAggregator&) = delete;
   HierarchicalAggregator& operator=(const HierarchicalAggregator&) = delete;
@@ -59,12 +65,22 @@ class HierarchicalAggregator {
   void Admit(int slot);
   void Reject(int slot);
 
-  // Folds the fog partials in canonical order. Emits one fog_aggregate span
-  // per fog (with its slot range and participant count) and then the same
-  // r2sp_aggregate span + fl.aggregations / fl.updates_aggregated counters
-  // the flat paths emit, so metric dumps are invariant to the topology.
-  // Requires at least one admitted slot overall; individual fogs may be
-  // empty (fully down regions).
+  // Folds the fog partials in canonical order: each PS shard descends the
+  // canonical tree over its own slice on its own pool lane, collecting and
+  // merging its fogs' partials as it goes (never materializing more than
+  // the descent spine — O(log fogs) partials live per shard, not O(fogs)),
+  // and the caller merges shard results up the top tree as they complete.
+  // Shard count never changes the bits (every shard is a canonical node);
+  // with one shard this is exactly the serial in-order fold.
+  //
+  // Emits one fog_aggregate span per fog (with its slot range) and then the
+  // same r2sp_aggregate span + fl.aggregations / fl.updates_aggregated
+  // counters the flat paths emit — in fixed fog order from the calling
+  // thread, so the deterministic JSONL export is invariant to topology,
+  // shard count, and thread count (the per-lane ps_shard_fold spans live on
+  // pool tracks, which never reach the logical export). Requires at least
+  // one admitted slot overall; individual fogs may be empty (fully down
+  // regions).
   StreamingAggregator::Result Finish();
 
   int num_fogs() const { return static_cast<int>(slices_.size()); }
@@ -90,6 +106,7 @@ class HierarchicalAggregator {
 
   const SyncScheme scheme_;
   const int num_slots_;
+  const int ps_shards_requested_;
   std::vector<std::pair<int64_t, int64_t>> slices_;
   std::vector<std::unique_ptr<StreamingAggregator>> fogs_;
   std::vector<int64_t> fog_admitted_;

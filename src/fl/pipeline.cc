@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -43,16 +45,39 @@ void SetPipelineEnabled(bool on) {
 StreamingAggregator::StreamingAggregator(const nn::ModelSpec& spec,
                                          const nn::TensorList& global_weights,
                                          int num_slots, SyncScheme scheme,
-                                         bool quantize_residuals)
+                                         bool quantize_residuals,
+                                         int ps_shards)
     : spec_(spec),
       global_weights_(global_weights),
       scheme_(scheme),
       quantize_residuals_(quantize_residuals),
-      num_slots_(num_slots) {
+      num_slots_(num_slots),
+      shards_(num_slots, ResolvePsShards(ps_shards, num_slots)) {
   FEDMP_CHECK_GT(num_slots, 0);
-  leaf_of_slot_.assign(static_cast<size_t>(num_slots), -1);
-  nodes_.reserve(static_cast<size_t>(2 * num_slots - 1));
+  // Zero-extend through unsigned: a plain int -> size_t cast sign-extends,
+  // and GCC warns about the (checked-impossible) negative-count fill.
+  const size_t slots = static_cast<unsigned int>(num_slots);
+  leaf_of_slot_.assign(slots, -1);
+  nodes_.reserve(2 * slots - 1);
   root_ = BuildTree(0, num_slots, -1);
+  // Locate each shard's subtree root: every shard slice is a canonical
+  // node, so a descent from the root lands on a node with exactly the
+  // shard's range.
+  shard_resolved_.assign(static_cast<size_t>(shards_.num_shards()), 0);
+  shard_root_.resize(static_cast<size_t>(shards_.num_shards()));
+  for (int s = 0; s < shards_.num_shards(); ++s) {
+    const auto [lo, hi] = shards_.shard_range(s);
+    int id = root_;
+    while (nodes_[static_cast<size_t>(id)].lo != lo ||
+           nodes_[static_cast<size_t>(id)].hi != hi) {
+      const Node& node = nodes_[static_cast<size_t>(id)];
+      const int64_t mid = nodes_[static_cast<size_t>(node.left)].hi;
+      FEDMP_CHECK(hi <= mid || lo >= mid)
+          << "shard [" << lo << ", " << hi << ") straddles a tree node";
+      id = hi <= mid ? node.left : node.right;
+    }
+    shard_root_[static_cast<size_t>(s)] = id;
+  }
 }
 
 int StreamingAggregator::BuildTree(int lo, int hi, int parent) {
@@ -85,21 +110,29 @@ void StreamingAggregator::Accumulate(int slot,
       pruning::RecoverToFullInto(spec_, sub_weights, mask, &contribution);
   FEDMP_CHECK(st.ok()) << st;
   if (scheme_ == SyncScheme::kR2SP) {
-    nn::TensorList residual;
+    // Per-lane scratch: ResidualModelInto refills matching shapes in place,
+    // so each lane reuses one full-model list across every slot it folds
+    // instead of allocating (and faulting in) a fresh one per contribution.
+    // Peak scratch is O(lanes x model), and the values are a pure function
+    // of (global, mask) either way — bit-identical to a fresh list.
+    thread_local nn::TensorList residual;
     st = pruning::ResidualModelInto(spec_, global_weights_, mask, &residual);
     FEDMP_CHECK(st.ok()) << st;
     if (quantize_residuals_) {
-      residual = DequantizeList(Quantize8List(residual));
+      nn::TensorList rounded = DequantizeList(Quantize8List(residual));
+      nn::AxpyLists(contribution, 1.0f, rounded);
+    } else {
+      nn::AxpyLists(contribution, 1.0f, residual);
     }
-    nn::AxpyLists(contribution, 1.0f, residual);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const int shard = shards_.shard_of(slot);
+  std::lock_guard<std::mutex> lock(shards_.mutex(shard));
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
   leaf.sum = std::move(contribution);
   leaf.participants = 1;
   leaf.ready = true;
-  ResolveLeafLocked(slot);
+  ResolveLeafLocked(slot, shard);
 }
 
 void StreamingAggregator::AccumulateWithResidual(
@@ -110,42 +143,46 @@ void StreamingAggregator::AccumulateWithResidual(
       pruning::RecoverToFullInto(spec_, sub_weights, mask, &contribution);
   FEDMP_CHECK(st.ok()) << st;
   nn::AxpyLists(contribution, 1.0f, residual);
-  std::lock_guard<std::mutex> lock(mu_);
+  const int shard = shards_.shard_of(slot);
+  std::lock_guard<std::mutex> lock(shards_.mutex(shard));
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
   leaf.sum = std::move(contribution);
   leaf.participants = 1;
   leaf.ready = true;
-  ResolveLeafLocked(slot);
+  ResolveLeafLocked(slot, shard);
 }
 
 void StreamingAggregator::MarkUnavailable(int slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const int shard = shards_.shard_of(slot);
+  std::lock_guard<std::mutex> lock(shards_.mutex(shard));
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   FEDMP_CHECK(!leaf.ready) << "slot " << slot << " accumulated twice";
   leaf.ready = true;
-  ResolveLeafLocked(slot);
+  ResolveLeafLocked(slot, shard);
 }
 
 void StreamingAggregator::Admit(int slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const int shard = shards_.shard_of(slot);
+  std::lock_guard<std::mutex> lock(shards_.mutex(shard));
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   FEDMP_CHECK(leaf.decision == Decision::kPending)
       << "slot " << slot << " decided twice";
   leaf.decision = Decision::kAdmitted;
-  ResolveLeafLocked(slot);
+  ResolveLeafLocked(slot, shard);
 }
 
 void StreamingAggregator::Reject(int slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const int shard = shards_.shard_of(slot);
+  std::lock_guard<std::mutex> lock(shards_.mutex(shard));
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   FEDMP_CHECK(leaf.decision == Decision::kPending)
       << "slot " << slot << " decided twice";
   leaf.decision = Decision::kRejected;
-  ResolveLeafLocked(slot);
+  ResolveLeafLocked(slot, shard);
 }
 
-void StreamingAggregator::ResolveLeafLocked(int slot) {
+void StreamingAggregator::ResolveLeafLocked(int slot, int shard) {
   Node& leaf = nodes_[static_cast<size_t>(leaf_of_slot_[slot])];
   // `ready` gates even rejected slots: it is the publish point for the
   // slot's storage, so freeing before it risks racing the producer.
@@ -156,15 +193,23 @@ void StreamingAggregator::ResolveLeafLocked(int slot) {
     FEDMP_CHECK(!leaf.sum.empty())
         << "admitted slot " << slot << " has no payload";
   } else if (!leaf.sum.empty()) {
-    leaf.sum.clear();  // rejected payload: drop it, the slot is a hole
+    // Rejected payload: drop it, the slot is a hole. Fresh-object
+    // assignment, not clear(): clear() keeps the tensor-struct capacity
+    // alive in the resolved node, and resolved nodes are never reused —
+    // across a fleet-sized round that capacity is an O(slots) heap floor.
+    leaf.sum = nn::TensorList();
     leaf.participants = 0;
   }
   leaf.resolved = true;
-  ++resolved_leaves_;
+  ++shard_resolved_[static_cast<size_t>(shard)];
   // Bubble up: a parent collapses the moment both children are resolved,
   // merging left-then-right (empty = hole passthrough) exactly as the
   // serial oracle's depth-first descent would — this is why completion
-  // order never changes the bits, only when each merge happens.
+  // order never changes the bits, only when each merge happens. The climb
+  // stops at the shard's subtree root: nodes above it span other shards
+  // (other locks) and are merged by Finish()'s top fold instead.
+  const int stop = shard_root_[static_cast<size_t>(shard)];
+  if (leaf_of_slot_[slot] == stop) return;  // single-slot shard
   int id = leaf.parent;
   while (id >= 0) {
     Node& node = nodes_[static_cast<size_t>(id)];
@@ -177,39 +222,79 @@ void StreamingAggregator::ResolveLeafLocked(int slot) {
       node.sum = std::move(left.sum);
       if (!right.sum.empty()) nn::AxpyLists(node.sum, 1.0f, right.sum);
     }
-    left.sum.clear();
-    right.sum.clear();
+    // Fresh objects, not clear(): the Axpy-consumed child keeps its
+    // outer-vector capacity through clear(), and collapsed nodes are dead
+    // for the rest of the round — one ~300 B husk per merge is an
+    // O(slots) retained-heap term at fleet scale (the dominant one the
+    // RSS gate caught at 100k).
+    left.sum = nn::TensorList();
+    right.sum = nn::TensorList();
     node.participants = left.participants + right.participants;
     node.resolved = true;
+    if (id == stop) return;
     id = node.parent;
   }
 }
 
 StreamingAggregator::Result StreamingAggregator::FinishInternal(
     bool allow_empty, bool emit_telemetry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  FEDMP_CHECK_EQ(resolved_leaves_, num_slots_)
+  // Lock each shard once: the acquisition is the publish point for that
+  // shard's subtree (every producer released the same lock after its last
+  // write), and the count check proves no producer can touch it again.
+  int resolved = 0;
+  for (int s = 0; s < shards_.num_shards(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_.mutex(s));
+    resolved += shard_resolved_[static_cast<size_t>(s)];
+  }
+  FEDMP_CHECK_EQ(resolved, num_slots_)
       << "Finish() before every slot was decided and ready";
-  Node& root = nodes_[static_cast<size_t>(root_)];
-  FEDMP_CHECK(root.resolved);
+  // Merge the shard roots down the canonical top tree — O(num_shards)
+  // merges with the descent-to-shard-boundaries association, which is the
+  // same association the unsharded bubble-up produced when it climbed all
+  // the way to the root.
+  std::function<ShardPartial(int64_t, int64_t)> fold =
+      [&](int64_t lo, int64_t hi) -> ShardPartial {
+    const int s = shards_.shard_of(lo);
+    if (shards_.shard_range(s) == std::make_pair(lo, hi)) {
+      Node& shard_root = nodes_[static_cast<size_t>(
+          shard_root_[static_cast<size_t>(s)])];
+      FEDMP_CHECK(shard_root.resolved);
+      ShardPartial part;
+      part.sum = std::move(shard_root.sum);
+      part.participants = shard_root.participants;
+      return part;
+    }
+    const int64_t mid = CanonicalSplit(lo, hi);
+    ShardPartial left = fold(lo, mid);
+    ShardPartial right = fold(mid, hi);
+    if (left.sum.empty()) {
+      left.sum = std::move(right.sum);
+    } else if (!right.sum.empty()) {
+      nn::AxpyLists(left.sum, 1.0f, right.sum);
+    }
+    left.participants += right.participants;
+    return left;
+  };
+  ShardPartial total = fold(0, num_slots_);
   if (!allow_empty) {
-    FEDMP_CHECK_GT(root.participants, 0) << "aggregation with no participants";
+    FEDMP_CHECK_GT(total.participants, 0)
+        << "aggregation with no participants";
   }
   if (emit_telemetry) {
     // Same telemetry as the serial AggregateSubModels, so traces and metric
     // dumps are invariant to the pipeline toggle.
     OBS_SPAN("r2sp_aggregate", {{"scheme", SyncSchemeName(scheme_)},
-                                {"updates", root.participants}});
+                                {"updates", total.participants}});
     if (obs::Enabled()) {
       static obs::Counter* aggs = obs::GetCounter("fl.aggregations");
       static obs::Counter* upd = obs::GetCounter("fl.updates_aggregated");
       aggs->Add(1.0);
-      upd->Add(static_cast<double>(root.participants));
+      upd->Add(static_cast<double>(total.participants));
     }
   }
   Result out;
-  out.sum = std::move(root.sum);
-  out.participants = root.participants;
+  out.sum = std::move(total.sum);
+  out.participants = total.participants;
   return out;
 }
 

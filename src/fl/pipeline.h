@@ -1,10 +1,10 @@
 #ifndef FEDMP_FL_PIPELINE_H_
 #define FEDMP_FL_PIPELINE_H_
 
-#include <mutex>
 #include <vector>
 
 #include "fl/aggregation.h"
+#include "fl/ps_shard.h"
 
 namespace fedmp::fl {
 
@@ -46,15 +46,26 @@ void SetPipelineEnabled(bool on);
 // then Finish() once every slot is decided and ready. Rejected and
 // unavailable slots are holes: they pass through the tree without costing
 // a float op, exactly as holes do in AggregateSubModels.
+//
+// Locking is sharded (fl/ps_shard.h): the slot range is partitioned into
+// canonical-slice shards, each guarded by its own mutex, and bubble-up
+// collapse stops at the shard's subtree root. Producers folding into
+// different shards never contend; Finish() locks each shard once (the
+// publish point for its subtree) and merges the shard roots down the
+// canonical top tree. Since every shard is a tree node, the shard count
+// changes only lock granularity, never the aggregated bits — shard count 1
+// is a single global lock, today's unsharded behavior exactly.
 class StreamingAggregator {
  public:
   // `global_weights` must outlive the aggregator and stay unchanged until
   // Finish() (it is the dispatch-time global both recovery and residuals
   // read). `quantize_residuals` applies the 8-bit residual round-trip,
-  // mirroring AggregateSubModels.
+  // mirroring AggregateSubModels. `ps_shards` is the requested lock-shard
+  // count, resolved by ResolvePsShards (0 = FEDMP_PS_SHARDS, else auto).
   StreamingAggregator(const nn::ModelSpec& spec,
                       const nn::TensorList& global_weights, int num_slots,
-                      SyncScheme scheme, bool quantize_residuals);
+                      SyncScheme scheme, bool quantize_residuals,
+                      int ps_shards = 0);
 
   StreamingAggregator(const StreamingAggregator&) = delete;
   StreamingAggregator& operator=(const StreamingAggregator&) = delete;
@@ -112,9 +123,10 @@ class StreamingAggregator {
   };
 
   int BuildTree(int lo, int hi, int parent);
-  // Stores `contribution` (may be empty for holes) in the slot's leaf and
-  // collapses every subtree this completes. Caller holds mu_.
-  void ResolveLeafLocked(int slot);
+  // Marks the slot's leaf resolved and collapses every subtree this
+  // completes, stopping at the owning shard's root (nodes above it belong
+  // to the Finish()-time top fold). Caller holds shard's mutex.
+  void ResolveLeafLocked(int slot, int shard);
   Result FinishInternal(bool allow_empty, bool emit_telemetry);
 
   const nn::ModelSpec& spec_;
@@ -123,11 +135,14 @@ class StreamingAggregator {
   const bool quantize_residuals_;
   const int num_slots_;
 
-  std::mutex mu_;
+  PsShardSet shards_;
   std::vector<Node> nodes_;
   std::vector<int> leaf_of_slot_;
   int root_ = -1;
-  int resolved_leaves_ = 0;
+  // Node id of each shard's subtree root; bubble-up never crosses it.
+  std::vector<int> shard_root_;
+  // Resolved-leaf count per shard, guarded by that shard's mutex.
+  std::vector<int> shard_resolved_;
 };
 
 }  // namespace fedmp::fl

@@ -1,0 +1,186 @@
+#include "fl/ps_shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/mem_info.h"
+#include "common/range_tree.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::fl {
+
+namespace {
+
+std::atomic<int> g_ps_shards_override{0};  // > 0 forces the count (tests)
+std::atomic<int> g_ps_shards_env{-1};      // -1 = env not read yet
+
+int PsShardsEnv() {
+  const int cached = g_ps_shards_env.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached;
+  int parsed = 0;
+  if (const char* env = std::getenv("FEDMP_PS_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) parsed = v;
+  }
+  g_ps_shards_env.store(parsed, std::memory_order_relaxed);
+  return parsed;
+}
+
+}  // namespace
+
+int ResolvePsShards(int requested, int num_slots) {
+  if (num_slots < 1) num_slots = 1;
+  int n = g_ps_shards_override.load(std::memory_order_relaxed);
+  if (n <= 0) n = PsShardsEnv();
+  if (n <= 0) n = requested;
+  if (n <= 0) n = ThreadPool::Global().num_threads();
+  return std::clamp(n, 1, num_slots);
+}
+
+void SetPsShards(int n) {
+  g_ps_shards_override.store(n, std::memory_order_relaxed);
+}
+
+PsShardSet::PsShardSet(int num_slots, int num_shards)
+    : num_slots_(num_slots) {
+  FEDMP_CHECK_GT(num_slots, 0);
+  if (num_shards < 1) num_shards = 1;
+  if (num_shards > num_slots) num_shards = num_slots;
+  slices_ = CanonicalRangeSlices(num_slots, num_shards);
+  locks_ = std::make_unique<std::mutex[]>(slices_.size());
+}
+
+int PsShardSet::shard_of(int64_t slot) const {
+  return SliceOf(slices_, slot);
+}
+
+ShardPartial ParallelShardFold(
+    const PsShardSet& shards,
+    const std::function<ShardPartial(int shard, int64_t lo, int64_t hi)>&
+        fold_shard) {
+  const int S = shards.num_shards();
+  if (obs::Enabled()) {
+    static obs::Gauge* count = obs::GetGauge("fl.ps.shards");
+    count->Set(static_cast<double>(S));
+  }
+  if (S == 1) {
+    // The unsharded path: fold inline on the caller, no pool traffic and no
+    // extra spans — byte-for-byte today's serial tail.
+    const auto [lo, hi] = shards.shard_range(0);
+    ShardPartial out = fold_shard(0, lo, hi);
+    if (obs::Enabled()) {
+      static obs::Gauge* lanes = obs::GetGauge("fl.ps.fold_lanes");
+      lanes->Set(1.0);
+    }
+    return out;
+  }
+
+  // The top tree: the canonical descent from [0, num_slots) down to shard
+  // boundaries. Leaves are shards; each inner node collapses the moment
+  // both children are resolved, exactly like StreamingAggregator's bubble-
+  // up, so merge association never depends on completion order.
+  struct TopNode {
+    int64_t lo = 0, hi = 0;
+    int parent = -1, left = -1, right = -1;
+    ShardPartial part;
+    bool resolved = false;
+  };
+  std::vector<TopNode> top;
+  top.reserve(static_cast<size_t>(2 * S - 1));
+  std::vector<int> leaf_of_shard(static_cast<size_t>(S), -1);
+  std::function<int(int64_t, int64_t, int)> build = [&](int64_t lo, int64_t hi,
+                                                        int parent) -> int {
+    const int id = static_cast<int>(top.size());
+    top.emplace_back();
+    top[static_cast<size_t>(id)].lo = lo;
+    top[static_cast<size_t>(id)].hi = hi;
+    top[static_cast<size_t>(id)].parent = parent;
+    const int s = shards.shard_of(lo);
+    if (shards.shard_range(s) == std::make_pair(lo, hi)) {
+      leaf_of_shard[static_cast<size_t>(s)] = id;
+      return id;
+    }
+    const int64_t mid = CanonicalSplit(lo, hi);
+    const int left = build(lo, mid, id);
+    const int right = build(mid, hi, id);
+    top[static_cast<size_t>(id)].left = left;
+    top[static_cast<size_t>(id)].right = right;
+    return id;
+  };
+  const int root = build(0, shards.num_slots(), -1);
+
+  std::vector<ShardPartial> parts(static_cast<size_t>(S));
+  std::mutex lanes_mu;
+  std::vector<int> lanes_seen;
+  TaskSet tasks;
+  for (int s = 0; s < S; ++s) {
+    tasks.Submit(s, [&, s] {
+      const auto [lo, hi] = shards.shard_range(s);
+      const int lane = ThreadPool::CurrentLane();
+      // Pool-track span: visible in the Chrome trace (where overlap across
+      // lanes can be seen), excluded from the deterministic JSONL export —
+      // which shard runs on which lane is an OS-scheduling fact.
+      obs::TrackScope track(obs::PoolTrack(lane));
+      {
+        OBS_SPAN("ps_shard_fold",
+                 {{"shard", s}, {"lo", lo}, {"hi", hi}, {"lane", lane}});
+        parts[static_cast<size_t>(s)] = fold_shard(s, lo, hi);
+      }
+      if (obs::Enabled()) {
+        // Mid-round VmHWM sample: the shard-fold boundary is where fog
+        // partials are live, i.e. where the round's memory peaks.
+        static obs::Gauge* peak = obs::GetGauge("fl.scale.peak_rss_bytes");
+        peak->Set(static_cast<double>(PeakRssBytes()));
+      }
+      std::lock_guard<std::mutex> lock(lanes_mu);
+      if (std::find(lanes_seen.begin(), lanes_seen.end(), lane) ==
+          lanes_seen.end()) {
+        lanes_seen.push_back(lane);
+      }
+    });
+  }
+
+  // The caller is the serial tail: it merges the top tree in completion
+  // order while the remaining shard folds are still running (DrainNext
+  // work-shares, so it may also execute queued folds itself).
+  int64_t tag = 0;
+  while (tasks.DrainNext(&tag)) {
+    const int leaf = leaf_of_shard[static_cast<size_t>(tag)];
+    top[static_cast<size_t>(leaf)].part =
+        std::move(parts[static_cast<size_t>(tag)]);
+    top[static_cast<size_t>(leaf)].resolved = true;
+    int id = top[static_cast<size_t>(leaf)].parent;
+    while (id >= 0) {
+      TopNode& node = top[static_cast<size_t>(id)];
+      TopNode& left = top[static_cast<size_t>(node.left)];
+      TopNode& right = top[static_cast<size_t>(node.right)];
+      if (!left.resolved || !right.resolved) break;
+      if (left.part.sum.empty()) {
+        node.part.sum = std::move(right.part.sum);
+      } else {
+        node.part.sum = std::move(left.part.sum);
+        if (!right.part.sum.empty()) {
+          nn::AxpyLists(node.part.sum, 1.0f, right.part.sum);
+        }
+      }
+      left.part.sum.clear();
+      right.part.sum.clear();
+      node.part.participants =
+          left.part.participants + right.part.participants;
+      node.resolved = true;
+      id = node.parent;
+    }
+  }
+  FEDMP_CHECK(top[static_cast<size_t>(root)].resolved);
+  if (obs::Enabled()) {
+    static obs::Gauge* lanes = obs::GetGauge("fl.ps.fold_lanes");
+    lanes->Set(static_cast<double>(lanes_seen.size()));
+  }
+  return std::move(top[static_cast<size_t>(root)].part);
+}
+
+}  // namespace fedmp::fl

@@ -1,0 +1,102 @@
+#ifndef FEDMP_FL_PS_SHARD_H_
+#define FEDMP_FL_PS_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor_ops.h"
+
+// Sharded parameter server (DESIGN.md "Sharded parameter server").
+//
+// At 10k+ workers the PS stops being a monolith: the worker-slot range is
+// partitioned into canonical-tree slices (common/range_tree.h) and each
+// slice gets an owner — its own lock for streaming accumulation and its own
+// ThreadPool lane for the Finish() fold. Because every shard is a canonical
+// tree node, per-shard subtree sums merge into the flat reduction with the
+// exact association AggregateSubModels pins, so shard count never changes
+// the aggregated bits — only who holds which lock and which lane folds
+// which range.
+namespace fedmp::fl {
+
+// Effective shard count for a PS over `num_slots` worker slots.
+// Precedence: FEDMP_PS_SHARDS env var (> 0) wins, then `requested` (> 0),
+// then auto = the global pool's lane count. The result is clamped to
+// [1, max(1, num_slots)]. Shard count 1 reproduces the unsharded path
+// exactly (single lock, inline fold on the caller).
+int ResolvePsShards(int requested, int num_slots);
+
+// Test override: n > 0 forces every subsequent ResolvePsShards to n (before
+// clamping); n == 0 restores normal env/requested/auto resolution.
+void SetPsShards(int n);
+
+// The ownership map: min(num_shards, num_slots) canonical slices over
+// [0, num_slots), each with its own mutex. Copyable state lives in the
+// slices; the locks are owned storage addressed by shard id.
+class PsShardSet {
+ public:
+  // num_shards is clamped to [1, num_slots]. num_slots must be > 0.
+  PsShardSet(int num_slots, int num_shards);
+
+  PsShardSet(const PsShardSet&) = delete;
+  PsShardSet& operator=(const PsShardSet&) = delete;
+
+  int num_slots() const { return num_slots_; }
+  int num_shards() const { return static_cast<int>(slices_.size()); }
+
+  // The shard owning a global slot index.
+  int shard_of(int64_t slot) const;
+
+  // The slot range [lo, hi) owned by shard s.
+  std::pair<int64_t, int64_t> shard_range(int s) const {
+    return slices_[static_cast<size_t>(s)];
+  }
+
+  // The shard's accumulation lock. Callers lock only the owning shard, so
+  // producers folding into different shards never contend.
+  std::mutex& mutex(int s) const {
+    return locks_[static_cast<size_t>(s)];
+  }
+
+ private:
+  int num_slots_;
+  std::vector<std::pair<int64_t, int64_t>> slices_;
+  std::unique_ptr<std::mutex[]> locks_;
+};
+
+// One shard's (or the whole range's) partial reduction: the UNSCALED sum
+// over admitted slots in the range, empty when every slot was a hole.
+struct ShardPartial {
+  nn::TensorList sum;
+  int participants = 0;
+};
+
+// Computes fold_shard(s, lo, hi) for every shard and merges the results up
+// the canonical top tree, returning the whole-range partial.
+//
+// With one shard the fold runs inline on the caller — the exact serial
+// path, no pool traffic, no extra telemetry. With S > 1 each shard fold is
+// submitted to the global pool and the CALLER does the top-tree merges in
+// completion order while other shard folds are still running — the serial
+// tail overlaps the parallel folds instead of waiting for all of them.
+// Merge association is the canonical descent to shard boundaries, so the
+// result is bit-identical to folding the shards serially in order.
+//
+// Telemetry (S > 1 only): each fold emits a ps_shard_fold span on its
+// lane's pool track — Chrome-trace only, never in the deterministic JSONL
+// export, so traces stay bit-identical across shard/thread counts — and
+// samples VmHWM into fl.scale.peak_rss_bytes at the fold boundary (mid-
+// round peaks, not just round end). fl.ps.shards and fl.ps.fold_lanes
+// gauges record the shard count and how many distinct lanes executed
+// folds this call.
+ShardPartial ParallelShardFold(
+    const PsShardSet& shards,
+    const std::function<ShardPartial(int shard, int64_t lo, int64_t hi)>&
+        fold_shard);
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_PS_SHARD_H_

@@ -23,24 +23,49 @@ ParameterCoverage::ParameterCoverage(const nn::ModelSpec& spec) {
 
 void ParameterCoverage::ObserveRound(
     const std::vector<const pruning::PruneMask*>& masks) {
-  ++rounds_observed_;
+  BeginRound();
+  for (const pruning::PruneMask* mask : masks) {
+    FEDMP_CHECK(mask != nullptr);
+    AccumulateMask(*mask);
+  }
+  CommitRound();
+}
+
+void ParameterCoverage::BeginRound() {
+  if (covered_.size() != staleness_.size()) {
+    covered_.resize(staleness_.size());
+    for (size_t t = 0; t < staleness_.size(); ++t) {
+      covered_[t].resize(staleness_[t].size());
+    }
+  }
+  for (auto& layer : covered_) {
+    std::fill(layer.begin(), layer.end(), 0);
+  }
+}
+
+void ParameterCoverage::AccumulateMask(const pruning::PruneMask& mask) {
   for (size_t t = 0; t < staleness_.size(); ++t) {
     const size_t l = layer_index_[t];
-    std::vector<int64_t>& units = staleness_[t];
-    std::vector<bool> covered(units.size(), false);
-    for (const pruning::PruneMask* mask : masks) {
-      FEDMP_CHECK(mask != nullptr);
-      FEDMP_CHECK_LT(l, mask->layers.size());
-      const pruning::LayerMask& lm = mask->layers[l];
-      if (!lm.prunable) {
-        // A full-model participant covers the whole layer.
-        std::fill(covered.begin(), covered.end(), true);
-        break;
-      }
-      for (int64_t u : lm.kept) covered[static_cast<size_t>(u)] = true;
+    FEDMP_CHECK_LT(l, mask.layers.size());
+    const pruning::LayerMask& lm = mask.layers[l];
+    std::vector<uint8_t>& covered = covered_[t];
+    if (!lm.prunable) {
+      // A full-model participant covers the whole layer.
+      std::fill(covered.begin(), covered.end(), 1);
+      continue;
     }
+    for (int64_t u : lm.kept) covered[static_cast<size_t>(u)] = 1;
+  }
+}
+
+void ParameterCoverage::CommitRound() {
+  if (covered_.size() != staleness_.size()) BeginRound();  // nothing folded
+  ++rounds_observed_;
+  for (size_t t = 0; t < staleness_.size(); ++t) {
+    std::vector<int64_t>& units = staleness_[t];
+    const std::vector<uint8_t>& covered = covered_[t];
     for (size_t u = 0; u < units.size(); ++u) {
-      units[u] = covered[u] ? 0 : units[u] + 1;
+      units[u] = covered[u] != 0 ? 0 : units[u] + 1;
     }
   }
 }

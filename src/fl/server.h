@@ -26,6 +26,16 @@ class ParameterCoverage {
   // workers crashed / all updates rejected) stales every unit.
   void ObserveRound(const std::vector<const pruning::PruneMask*>& masks);
 
+  // Streaming equivalent for fleet-scale rounds: BeginRound, then
+  // AccumulateMask once per accepted participant as it retires, then
+  // CommitRound. The union fold is commutative, so arrival order does not
+  // matter, and the caller can free each mask immediately after its fold —
+  // retaining O(fleet) masks until round end is a per-worker RSS floor at
+  // 100k workers. ObserveRound(masks) == BeginRound + folds + CommitRound.
+  void BeginRound();
+  void AccumulateMask(const pruning::PruneMask& mask);
+  void CommitRound();
+
   // Largest rounds-since-covered over all prunable units (0 right after a
   // full-coverage round).
   int64_t max_staleness() const;
@@ -36,6 +46,9 @@ class ParameterCoverage {
   // of an accepted update. Non-prunable layers (always shipped whole) are
   // not tracked — any surviving participant covers them.
   std::vector<std::vector<int64_t>> staleness_;
+  // Per-round union scratch, shaped like staleness_; lives across rounds so
+  // BeginRound is a fill, not an allocation.
+  std::vector<std::vector<uint8_t>> covered_;
   std::vector<size_t> layer_index_;  // spec layer index of staleness_[l]
   int64_t rounds_observed_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "obs/sampling.h"
 #include "obs/trace.h"
 
 namespace fedmp::fl {
@@ -16,16 +17,21 @@ namespace {
 double SquashReward(double r) { return r / (1.0 + std::fabs(r)); }
 
 // Telemetry hooks for the bandit loop. Both are emitted from serial driver
-// code, so the worker-track event order is thread-count-invariant.
+// code, so the worker-track event order is thread-count-invariant. Both
+// respect the per-round trace-sampling plan: these are per-worker events,
+// and at fleet scale two unsampled events per worker per round are an
+// O(fleet) telemetry term (sampling gates emission only — arm selection
+// never consumes these bits, so the budget cannot perturb training).
 //
 // eucb_select carries the full decision context (chosen leaf, discounted
 // N_k / mean / padding / UCB, total discounted pulls, exploration
 // coefficient) so the decision audit (obs/analysis/decision_audit.h) can
 // re-derive every score from the logged fields alone. Non-finite values
 // (never-pulled leaves have infinite UCB) render as JSON null.
-void NoteSelect(int worker, const bandit::EucbAgent& agent,
-                double executed_ratio) {
+void NoteSelect(int64_t round, int worker, int num_workers,
+                const bandit::EucbAgent& agent, double executed_ratio) {
   if (!obs::Enabled()) return;
+  if (!obs::ShouldTraceWorker(round, worker, num_workers)) return;
   const bandit::SelectionAudit& audit = agent.last_audit();
   obs::Args args = {{"worker", worker}, {"ratio", executed_ratio}};
   if (audit.valid) {
@@ -49,8 +55,9 @@ void NoteSelect(int worker, const bandit::EucbAgent& agent,
                     std::move(args));
 }
 
-void NoteReward(int worker, double reward) {
+void NoteReward(int64_t round, int worker, int num_workers, double reward) {
   if (!obs::Enabled()) return;
+  if (!obs::ShouldTraceWorker(round, worker, num_workers)) return;
   obs::InstantEvent("eucb_reward", obs::WorkerTrack(worker),
                     {{"worker", worker}, {"reward", reward}});
 }
@@ -87,19 +94,20 @@ double FedMpStrategy::SnapRatio(double ratio) const {
   return std::max(snapped, options_.eucb.ratio_lo);
 }
 
-void FedMpStrategy::PlanRound(int64_t /*round*/,
+void FedMpStrategy::PlanRound(int64_t round,
                               std::vector<WorkerRoundPlan>* plans) {
   FEDMP_CHECK_EQ(plans->size(), agents_.size());
   for (size_t n = 0; n < agents_.size(); ++n) {
     const double ratio = SnapRatio(agents_[n]->SelectRatio());
-    NoteSelect(static_cast<int>(n), *agents_[n], ratio);
+    NoteSelect(round, static_cast<int>(n),
+               static_cast<int>(agents_.size()), *agents_[n], ratio);
     last_ratios_[n] = ratio;
     (*plans)[n] = WorkerRoundPlan{};
     (*plans)[n].pruning_ratio = ratio;
   }
 }
 
-void FedMpStrategy::ObserveRound(int64_t /*round*/,
+void FedMpStrategy::ObserveRound(int64_t round,
                                  const RoundObservation& observation) {
   FEDMP_CHECK_EQ(observation.completion_times.size(), agents_.size());
   // Mean completion time over workers that finished (Eq. 8's denominator).
@@ -123,24 +131,25 @@ void FedMpStrategy::ObserveRound(int64_t /*round*/,
     }
     // Crashed workers observe zero reward for the pulled arm.
     const double squashed = SquashReward(reward);
-    NoteReward(static_cast<int>(n), squashed);
+    NoteReward(round, static_cast<int>(n),
+               static_cast<int>(agents_.size()), squashed);
     agents_[n]->ObserveReward(squashed);
   }
 }
 
-WorkerRoundPlan FedMpStrategy::PlanWorker(int64_t /*round*/, int worker) {
+WorkerRoundPlan FedMpStrategy::PlanWorker(int64_t round, int worker) {
   FEDMP_CHECK(worker >= 0 &&
               worker < static_cast<int>(agents_.size()));
   WorkerRoundPlan plan;
   plan.pruning_ratio =
       SnapRatio(agents_[static_cast<size_t>(worker)]->SelectRatio());
-  NoteSelect(worker, *agents_[static_cast<size_t>(worker)],
-             plan.pruning_ratio);
+  NoteSelect(round, worker, static_cast<int>(agents_.size()),
+             *agents_[static_cast<size_t>(worker)], plan.pruning_ratio);
   last_ratios_[static_cast<size_t>(worker)] = plan.pruning_ratio;
   return plan;
 }
 
-void FedMpStrategy::ObserveWorker(int64_t /*round*/, int worker,
+void FedMpStrategy::ObserveWorker(int64_t round, int worker,
                                   double completion_time, double mean_time,
                                   double delta_loss) {
   FEDMP_CHECK(worker >= 0 &&
@@ -153,7 +162,7 @@ void FedMpStrategy::ObserveWorker(int64_t /*round*/, int worker,
                                        mean_time, options_.reward);
   }
   const double squashed = SquashReward(reward);
-  NoteReward(worker, squashed);
+  NoteReward(round, worker, static_cast<int>(agents_.size()), squashed);
   agents_[static_cast<size_t>(worker)]->ObserveReward(squashed);
 }
 

@@ -79,7 +79,7 @@ class FixedRatioStrategy : public Strategy {
   SyncScheme sync_scheme() const override { return sync_; }
   void Initialize(int num_workers, uint64_t seed) override;
   void PlanRound(int64_t round, std::vector<WorkerRoundPlan>* plans) override;
-  void ObserveRound(int64_t round, const RoundObservation&) override {}
+  void ObserveRound(int64_t /*round*/, const RoundObservation&) override {}
 
  private:
   double ratio_;

@@ -80,8 +80,35 @@ void PushRunManifest(const char* engine, const std::string& strategy,
   obs::SetRunInfo("toggle_pipeline", PipelineEnabled() ? 1 : 0);
   obs::SetRunInfo("fog_fan_out", options.scale.fog_fan_out);
   obs::SetRunInfo("max_inflight", options.scale.max_inflight);
+  obs::SetRunInfo("ps_shards", options.scale.ps_shards);
 }
 }  // namespace internal
+
+void Trainer::InitBeforeWorkers() {
+  FEDMP_CHECK(task_ != nullptr);
+  FEDMP_CHECK(!devices_.empty());
+  ThreadPool::SetGlobalThreads(
+      ThreadPool::ResolveThreads(options_.num_threads));
+  obs::MaybeEnableFromEnv();
+  // Live tier: bounded flight recorder, deterministic per-worker trace
+  // sampling, periodic health snapshots, and the round-boundary watchdog.
+  // All off unless their FEDMP_* variables are set.
+  obs::MaybeEnableFlightRecorderFromEnv();
+  obs::MaybeEnableSamplingFromEnv(options_.seed);
+  obs::MaybeEnableSnapshotsFromEnv();
+  obs::MaybeEnableWatchdogFromEnv();
+  server_ = std::make_unique<ParameterServer>(task_->model,
+                                              options_.seed ^ 0x5EEDULL);
+  strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
+}
+
+void Trainer::InitAfterWorkers() {
+  fault_plan_ = internal::ResolveFaultPlan(
+      options_, static_cast<int>(devices_.size()));
+  coverage_ = ParameterCoverage(task_->model);
+  internal::PushRunManifest("sync", strategy_->Name(), options_,
+                            static_cast<int>(devices_.size()));
+}
 
 Trainer::Trainer(const data::FlTask* task,
                  std::vector<edge::DeviceProfile> devices,
@@ -93,33 +120,39 @@ Trainer::Trainer(const data::FlTask* task,
       strategy_(std::move(strategy)),
       options_(options),
       rng_(options.seed) {
-  FEDMP_CHECK(task != nullptr);
-  FEDMP_CHECK(!devices_.empty());
   FEDMP_CHECK_EQ(devices_.size(), partition.size())
       << "one shard per device required";
-  ThreadPool::SetGlobalThreads(
-      ThreadPool::ResolveThreads(options_.num_threads));
-  obs::MaybeEnableFromEnv();
-  // Live tier: bounded flight recorder, deterministic per-worker trace
-  // sampling, periodic health snapshots, and the round-boundary watchdog.
-  // All off unless their FEDMP_* variables are set.
-  obs::MaybeEnableFlightRecorderFromEnv();
-  obs::MaybeEnableSamplingFromEnv(options.seed);
-  obs::MaybeEnableSnapshotsFromEnv();
-  obs::MaybeEnableWatchdogFromEnv();
-  server_ = std::make_unique<ParameterServer>(task_->model,
-                                              options_.seed ^ 0x5EEDULL);
-  strategy_->Initialize(static_cast<int>(devices_.size()), rng_.NextU64());
+  InitBeforeWorkers();
   for (size_t n = 0; n < devices_.size(); ++n) {
     workers_.push_back(std::make_unique<Worker>(
         static_cast<int>(n), &task_->train, partition[n], devices_[n],
         rng_.NextU64()));
   }
-  fault_plan_ = internal::ResolveFaultPlan(
-      options_, static_cast<int>(devices_.size()));
-  coverage_ = ParameterCoverage(task_->model);
-  internal::PushRunManifest("sync", strategy_->Name(), options_,
-                            static_cast<int>(devices_.size()));
+  InitAfterWorkers();
+}
+
+Trainer::Trainer(const data::FlTask* task,
+                 std::vector<edge::DeviceProfile> devices,
+                 std::shared_ptr<const data::PartitionView> partition,
+                 std::unique_ptr<Strategy> strategy,
+                 const TrainerOptions& options)
+    : task_(task),
+      devices_(std::move(devices)),
+      strategy_(std::move(strategy)),
+      options_(options),
+      partition_view_(std::move(partition)),
+      rng_(options.seed) {
+  FEDMP_CHECK(partition_view_ != nullptr);
+  FEDMP_CHECK_EQ(static_cast<int64_t>(devices_.size()),
+                 partition_view_->num_workers())
+      << "one shard per device required";
+  InitBeforeWorkers();
+  for (size_t n = 0; n < devices_.size(); ++n) {
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<int>(n), &task_->train, partition_view_.get(),
+        devices_[n], rng_.NextU64()));
+  }
+  InitAfterWorkers();
 }
 
 RoundLog Trainer::Run() {
@@ -287,7 +320,12 @@ RoundLog Trainer::Run() {
       agg = std::make_unique<HierarchicalAggregator>(
           global_spec, server_->weights(), num_workers,
           strategy_->sync_scheme(), strategy_->quantize_residuals(),
-          options_.scale.fog_fan_out);
+          options_.scale.fog_fan_out, options_.scale.ps_shards);
+      // Coverage streams with admission: each admitted worker's mask is
+      // folded into the round's union as it retires and then freed —
+      // retaining O(fleet) masks until the tail was a ~2 KB/worker RSS
+      // floor at 100k workers.
+      coverage_.BeginRound();
       // Submission is windowed: at most `window` workers are in flight at
       // once (each holds a sub-model + upload), and each task frees its
       // heavyweight buffers as it retires, so a 10k-worker round never
@@ -303,9 +341,12 @@ RoundLog Trainer::Run() {
         const size_t i = static_cast<size_t>(tag);
         if (arrives[i] != 0 && payload_finite[i] != 0) {
           agg->Admit(static_cast<int>(tag));
+          coverage_.AccumulateMask(subs[i].mask);
         } else {
           agg->Reject(static_cast<int>(tag));
         }
+        // Admission and coverage were the mask's last readers.
+        subs[i].mask = pruning::PruneMask();
       };
       for (int n = 0; n < num_workers; ++n) {
         while (tasks.pending() >= window) {
@@ -315,19 +356,27 @@ RoundLog Trainer::Run() {
         }
         tasks.Submit(n, [&, n] {
           const size_t i = static_cast<size_t>(n);
-          // The task's spans belong to the worker it simulates.
+          // The task's spans belong to the worker it simulates. Library
+          // spans emitted inside the task (the pruner's) follow the
+          // sampling plan via the lane mute, like worker_train does.
           obs::TrackScope lane(obs::WorkerTrack(n));
+          obs::TraceMuteScope mute(
+              !obs::ShouldTraceWorker(round, n, num_workers));
           prune_one(i);
           train_one(i);
           fault_one(i);
           // Whatever the outcome, the aggregator owns any data it still
           // needs (the leaf contribution) once the task retires, so the
           // per-worker model-sized buffers free here — in-flight workers,
-          // not the fleet, bound peak RSS.
+          // not the fleet, bound peak RSS. The mask outlives the task only
+          // until its drain callback (admission + coverage fold) on the
+          // driver thread; under a deadline policy it survives to the
+          // serial tail, where admission is first decidable.
           if (!arrives[i]) {
             agg->MarkUnavailable(n);
-            uploads[i].clear();
-            subs[i].weights.clear();
+            uploads[i] = nn::TensorList();
+            subs[i].weights = nn::TensorList();
+            subs[i].spec = nn::ModelSpec();
             return;
           }
           // The finite-ness screen the PS applies serially in the barrier
@@ -336,13 +385,18 @@ RoundLog Trainer::Run() {
           payload_finite[i] = nn::AllFiniteList(uploads[i]) ? 1 : 0;
           if (!payload_finite[i]) {
             agg->MarkUnavailable(n);
-            uploads[i].clear();
-            subs[i].weights.clear();
+            uploads[i] = nn::TensorList();
+            subs[i].weights = nn::TensorList();
+            subs[i].spec = nn::ModelSpec();
             return;
           }
           agg->Accumulate(n, uploads[i], subs[i].mask);
-          uploads[i].clear();
-          subs[i].weights.clear();
+          // Fresh-object assignment, not clear(): clear() keeps the
+          // tensor-struct capacity (~300 B per list) alive per retired
+          // worker — an O(fleet) floor the windowed round exists to avoid.
+          uploads[i] = nn::TensorList();
+          subs[i].weights = nn::TensorList();
+          subs[i].spec = nn::ModelSpec();
         });
       }
       int64_t tag = -1;
@@ -350,8 +404,11 @@ RoundLog Trainer::Run() {
     } else {
       ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
         for (int64_t n = lo; n < hi; ++n) {
-          // The pruner's spans belong to the worker the sub-model is for.
+          // The pruner's spans belong to the worker the sub-model is for
+          // and respect the sampling plan via the lane mute.
           obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
+          obs::TraceMuteScope mute(!obs::ShouldTraceWorker(
+              round, static_cast<int>(n), num_workers));
           prune_one(static_cast<size_t>(n));
         }
       });
@@ -364,6 +421,8 @@ RoundLog Trainer::Run() {
       ParallelFor(0, num_workers, 1, [&](int64_t lo, int64_t hi) {
         for (int64_t n = lo; n < hi; ++n) {
           obs::TrackScope lane(obs::WorkerTrack(static_cast<int>(n)));
+          obs::TraceMuteScope mute(!obs::ShouldTraceWorker(
+              round, static_cast<int>(n), num_workers));
           train_one(static_cast<size_t>(n));
         }
       });
@@ -485,7 +544,9 @@ RoundLog Trainer::Run() {
           ++duplicates;
         }
         participated[i] = true;
-        accepted_masks.push_back(&subs[i].mask);
+        // Eager admission already folded this worker's mask (and freed it)
+        // at drain time; the deadline path still holds every mask here.
+        if (!eager_admit) coverage_.AccumulateMask(subs[i].mask);
         ++participants;
         if (!eager_admit) agg->Admit(n);
       }
@@ -535,7 +596,11 @@ RoundLog Trainer::Run() {
     // was refused — keep the previous global model and let the round
     // degrade gracefully.
 
-    coverage_.ObserveRound(accepted_masks);
+    if (pipelined) {
+      coverage_.CommitRound();
+    } else {
+      coverage_.ObserveRound(accepted_masks);
+    }
     const int64_t staleness = coverage_.max_staleness();
     if (options_.max_param_staleness > 0 &&
         staleness >= options_.max_param_staleness) {

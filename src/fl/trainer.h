@@ -59,6 +59,11 @@ struct TrainerOptions {
     // makes 10k-worker rounds tractable. 0 = unbounded (submit everything
     // up front, the PR-6 behavior).
     int max_inflight = 0;
+    // Requested PS shard count (fl/ps_shard.h): how many per-range owners
+    // the slot range is split across for streaming-lock granularity and the
+    // parallel Finish() fold. 0 = auto (FEDMP_PS_SHARDS env var, else the
+    // pool's lane count); 1 = the unsharded single-lock serial-tail path.
+    int ps_shards = 0;
   };
   ScaleOptions scale;
   // Execution lanes for the parallel engine (per-worker rounds + kernels).
@@ -82,6 +87,17 @@ class Trainer {
           data::Partition partition, std::unique_ptr<Strategy> strategy,
           const TrainerOptions& options);
 
+  // Streaming-partition mode: workers materialize their shards on demand
+  // from the view (see data::PartitionView / Worker's view constructor), so
+  // the engine never stores O(fleet) index vectors — the 100k-worker
+  // configuration. Deterministic run to run, but not bit-compatible with
+  // the eager-Partition constructor (the per-round loader draws shift each
+  // worker's rng stream).
+  Trainer(const data::FlTask* task,
+          std::vector<edge::DeviceProfile> devices,
+          std::shared_ptr<const data::PartitionView> partition,
+          std::unique_ptr<Strategy> strategy, const TrainerOptions& options);
+
   // Runs to completion and returns the per-round log.
   RoundLog Run();
 
@@ -89,12 +105,19 @@ class Trainer {
   Strategy& strategy() { return *strategy_; }
 
  private:
+  // Shared constructor phases around the mode-specific worker build: pool +
+  // telemetry + PS + strategy init, then fault plan + coverage + manifest.
+  void InitBeforeWorkers();
+  void InitAfterWorkers();
+
   const data::FlTask* task_;
   std::vector<edge::DeviceProfile> devices_;
   std::unique_ptr<Strategy> strategy_;
   TrainerOptions options_;
   std::unique_ptr<ParameterServer> server_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Keeps the streaming view alive for the workers that read it.
+  std::shared_ptr<const data::PartitionView> partition_view_;
   Rng rng_;
   edge::FaultPlan fault_plan_;
   ParameterCoverage coverage_;

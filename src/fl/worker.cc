@@ -149,14 +149,41 @@ Worker::Worker(int id, const data::Dataset* train,
   loader_indices_size_ = static_cast<int64_t>(shard_.size());
 }
 
+Worker::Worker(int id, const data::Dataset* train,
+               const data::PartitionView* view, edge::DeviceProfile profile,
+               uint64_t seed)
+    : id_(id),
+      train_(train),
+      view_(view),
+      profile_(std::move(profile)),
+      rng_(seed) {
+  FEDMP_CHECK(train != nullptr);
+  FEDMP_CHECK(view != nullptr);
+  loader_indices_size_ = view->shard_size(id);
+  FEDMP_CHECK_GT(loader_indices_size_, 0)
+      << "worker " << id << " has an empty shard";
+}
+
 LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
                                const nn::TensorList& weights,
                                const LocalTrainOptions& options) {
-  if (loader_ == nullptr || loader_batch_ != options.batch_size) {
-    loader_ = std::make_unique<data::DataLoader>(
-        train_, shard_, options.batch_size, /*shuffle=*/true,
+  std::unique_ptr<data::DataLoader> round_loader;
+  data::DataLoader* loader;
+  if (view_ != nullptr) {
+    // Streaming mode: materialize the shard for this call only; both the
+    // index vector and the loader die with the round.
+    round_loader = std::make_unique<data::DataLoader>(
+        train_, view_->Shard(id_), options.batch_size, /*shuffle=*/true,
         rng_.NextU64());
-    loader_batch_ = options.batch_size;
+    loader = round_loader.get();
+  } else {
+    if (loader_ == nullptr || loader_batch_ != options.batch_size) {
+      loader_ = std::make_unique<data::DataLoader>(
+          train_, shard_, options.batch_size, /*shuffle=*/true,
+          rng_.NextU64());
+      loader_batch_ = options.batch_size;
+    }
+    loader = loader_.get();
   }
 
   nn::SgdOptions sgd_options;
@@ -196,7 +223,7 @@ LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,
   for (int64_t it = 0; it < options.tau; ++it) {
     nn::Tensor batch;
     std::vector<int64_t> labels;
-    loader_->NextBatch(&batch, &labels);
+    loader->NextBatch(&batch, &labels);
 
     double loss = 0.0;
     nn::Tensor grad;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataloader.h"
+#include "data/partition.h"
 #include "data/task_zoo.h"
 #include "edge/device.h"
 #include "nn/model_builder.h"
@@ -56,6 +57,19 @@ class Worker {
   Worker(int id, const data::Dataset* train, std::vector<int64_t> shard,
          edge::DeviceProfile profile, uint64_t seed);
 
+  // Streaming-view mode: the worker stores NO index vector. Each
+  // LocalTrain materializes its shard from the view (a pure function of
+  // (view seed, worker id)), trains, and frees it — the fleet's index
+  // footprint is O(concurrently-training workers x shard) instead of
+  // O(fleet x shard), which is what makes 100k-worker rounds fit. The
+  // view must outlive the worker. Deterministic run to run, but NOT
+  // bit-compatible with the eager-shard mode: a fresh loader (and its
+  // rng_-drawn shuffle seed) is created every round here, while the eager
+  // path draws one loader seed and keeps the loader across rounds.
+  Worker(int id, const data::Dataset* train,
+         const data::PartitionView* view, edge::DeviceProfile profile,
+         uint64_t seed);
+
   int id() const { return id_; }
   const edge::DeviceProfile& profile() const { return profile_; }
   Rng& rng() { return rng_; }
@@ -79,7 +93,8 @@ class Worker {
   // so which worker warmed an entry never changes the trained bits.
   int id_;
   const data::Dataset* train_;
-  std::vector<int64_t> shard_;
+  std::vector<int64_t> shard_;                       // eager mode only
+  const data::PartitionView* view_ = nullptr;        // streaming mode only
   edge::DeviceProfile profile_;
   Rng rng_;
   std::unique_ptr<data::DataLoader> loader_;

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -20,10 +21,25 @@ namespace {
 // scheduling-dependent pool chunks must never evict deterministic history
 // (that would make the JSONL half of a dump thread-count-dependent).
 struct Ledger {
-  // Track key -> that track's recent events (front = oldest).
+  // Track key -> that track's recent events (front = oldest). Tracks whose
+  // deque drains to empty are erased: at fleet scale every worker has its
+  // own track key, and 100k dead (map node + deque chunk) carcasses are a
+  // per-worker RSS floor the ring exists to avoid.
   std::map<int, std::deque<internal::TraceEvent>> tracks;
+  // (-size, key) for every non-empty track: begin() is the largest deque,
+  // ties broken toward the smallest key — the same winner a linear scan
+  // would pick, found in O(log tracks) instead of O(tracks) per eviction
+  // (the scan made recording O(fleet) per event on 100k-worker rounds).
+  std::set<std::pair<int64_t, int>> by_size;
   int64_t total = 0;
 };
+
+// Keeps by_size consistent with a track whose deque went old_size ->
+// new_size. Zero-size entries are not indexed.
+void Reindex(Ledger& ledger, int key, int64_t old_size, int64_t new_size) {
+  if (old_size > 0) ledger.by_size.erase({-old_size, key});
+  if (new_size > 0) ledger.by_size.insert({-new_size, key});
+}
 
 struct Ring {
   std::mutex mu;
@@ -48,16 +64,13 @@ std::atomic<bool> g_flight_enabled{false};
 // pure function of the per-track event counts: bit-identical across thread
 // counts for a fixed seed.
 void EvictLargest(Ring& ring, Ledger& ledger) {
-  auto largest = ledger.tracks.end();
-  size_t largest_size = 0;
-  for (auto it = ledger.tracks.begin(); it != ledger.tracks.end(); ++it) {
-    if (it->second.size() > largest_size) {
-      largest = it;
-      largest_size = it->second.size();
-    }
-  }
-  if (largest == ledger.tracks.end()) return;
-  largest->second.pop_front();
+  if (ledger.by_size.empty()) return;
+  const int key = ledger.by_size.begin()->second;
+  auto it = ledger.tracks.find(key);
+  const int64_t old_size = static_cast<int64_t>(it->second.size());
+  it->second.pop_front();
+  Reindex(ledger, key, old_size, old_size - 1);
+  if (it->second.empty()) ledger.tracks.erase(it);
   --ledger.total;
   ++ring.evicted;
 }
@@ -249,14 +262,21 @@ void FlightRecord(const TraceEvent& event) {
   Ring& ring = TheRing();
   std::lock_guard<std::mutex> lock(ring.mu);
   Ledger& ledger = event.logical ? ring.logical : ring.other;
-  std::deque<TraceEvent>& track = ledger.tracks[TrackKey(event.track)];
+  const int key = TrackKey(event.track);
+  std::deque<TraceEvent>& track = ledger.tracks[key];
+  const int64_t old_size = static_cast<int64_t>(track.size());
   track.push_back(event);
+  int64_t new_size = old_size + 1;
   ++ledger.total;
-  if (static_cast<int64_t>(track.size()) > ring.options.per_track_capacity) {
+  if (new_size > ring.options.per_track_capacity) {
+    // The push above makes new_size >= 1 even after this pop, so the track
+    // never drains to empty here — only EvictLargest erases map entries.
     track.pop_front();
+    --new_size;
     --ledger.total;
     ++ring.evicted;
   }
+  Reindex(ledger, key, old_size, new_size);
   while (ledger.total > ring.options.total_capacity) {
     EvictLargest(ring, ledger);
   }

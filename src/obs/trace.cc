@@ -42,6 +42,7 @@ std::atomic<double> g_logical_time{0.0};
 std::atomic<double> g_pool_min_us{200.0};  // mirror of options (hot path)
 thread_local Track t_default_track = MainTrack();
 thread_local int t_span_depth = 0;
+thread_local bool t_trace_muted = false;
 
 void PushEvent(TraceEvent event) {
   Recorder& rec = Rec();
@@ -205,12 +206,18 @@ TrackScope::TrackScope(Track track) : previous_(t_default_track) {
 }
 TrackScope::~TrackScope() { t_default_track = previous_; }
 
+TraceMuteScope::TraceMuteScope(bool mute) : previous_(t_trace_muted) {
+  t_trace_muted = t_trace_muted || mute;
+}
+
+TraceMuteScope::~TraceMuteScope() { t_trace_muted = previous_; }
+
 ScopedSpan::ScopedSpan(const char* name, Args args)
     : ScopedSpan(name, t_default_track, std::move(args)) {}
 
 ScopedSpan::ScopedSpan(const char* name, Track track, Args args)
     : name_(name), track_(track) {
-  if (!Enabled()) return;
+  if (!Enabled() || t_trace_muted) return;
   active_ = true;
   wall_begin_us_ = WallNowUs();
   logical_begin_ = LogicalTime();
@@ -240,7 +247,7 @@ void InstantEvent(const char* name, Args args) {
 }
 
 void InstantEvent(const char* name, Track track, Args args) {
-  if (!Enabled()) return;
+  if (!Enabled() || t_trace_muted) return;
   TraceEvent event;
   event.name = name;
   event.track = track;

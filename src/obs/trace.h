@@ -101,6 +101,25 @@ class TrackScope {
   Track previous_;
 };
 
+// Thread-locally suppresses span/instant emission while in scope (pool
+// chunk recording is unaffected — pool tracks are bounded by lane count,
+// not fleet size). This is how the trainers extend the trace-sampling plan
+// to spans emitted by layers that have no worker context: the pruner's
+// "prune" span rides whatever lane called it, so the lane mutes itself for
+// sampled-out workers instead of teaching the library about sampling. At
+// 100k workers one unsampled library span per worker is an O(fleet)
+// telemetry term. A `mute` of false is a no-op scope.
+class TraceMuteScope {
+ public:
+  explicit TraceMuteScope(bool mute);
+  ~TraceMuteScope();
+  TraceMuteScope(const TraceMuteScope&) = delete;
+  TraceMuteScope& operator=(const TraceMuteScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------

@@ -19,6 +19,13 @@ namespace {
 // sweep many ratios.
 constexpr size_t kMaxEntries = 512;
 
+// Lock shards: the memo table is hit once per worker per path (send,
+// receive, residual), so at 100k workers with a bounded in-flight window
+// every pool lane is in here constantly — one global mutex would serialize
+// the fleet on a hash lookup. Keys spread by their hash; each bucket has
+// its own lock and its own slice of the entry budget.
+constexpr size_t kBuckets = 16;
+
 std::atomic<bool> g_enabled{true};
 std::atomic<bool> g_env_checked{false};
 
@@ -82,9 +89,17 @@ std::string Fingerprint(const nn::ModelSpec& spec, const PruneMask& mask) {
   return key;
 }
 
-struct CacheState {
+struct CacheBucket {
   std::mutex mu;
   std::unordered_map<std::string, std::shared_ptr<const PrunePlan>> plans;
+};
+
+struct CacheState {
+  CacheBucket buckets[kBuckets];
+
+  CacheBucket& BucketFor(const std::string& key) {
+    return buckets[std::hash<std::string>{}(key) % kBuckets];
+  }
 };
 
 CacheState& State() {
@@ -126,11 +141,11 @@ StatusOr<std::shared_ptr<const PrunePlan>> CachedPrunePlan(
     return std::make_shared<const PrunePlan>(std::move(plan));
   }
   const std::string key = Fingerprint(full_spec, mask);
-  CacheState& state = State();
+  CacheBucket& bucket = State().BucketFor(key);
   {
-    std::lock_guard<std::mutex> lock(state.mu);
-    auto it = state.plans.find(key);
-    if (it != state.plans.end()) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto it = bucket.plans.find(key);
+    if (it != bucket.plans.end()) {
       Count("hit");
       return it->second;
     }
@@ -141,12 +156,12 @@ StatusOr<std::shared_ptr<const PrunePlan>> CachedPrunePlan(
   FEDMP_ASSIGN_OR_RETURN(PrunePlan plan, BuildPrunePlan(full_spec, mask));
   auto shared = std::make_shared<const PrunePlan>(std::move(plan));
   {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (state.plans.size() >= kMaxEntries) {
-      state.plans.clear();
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (bucket.plans.size() >= kMaxEntries / kBuckets) {
+      bucket.plans.clear();
       Count("eviction");
     }
-    auto [it, inserted] = state.plans.emplace(key, shared);
+    auto [it, inserted] = bucket.plans.emplace(key, shared);
     if (!inserted) return it->second;
   }
   return shared;
@@ -154,14 +169,20 @@ StatusOr<std::shared_ptr<const PrunePlan>> CachedPrunePlan(
 
 void ClearPlanCache() {
   CacheState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
-  state.plans.clear();
+  for (CacheBucket& bucket : state.buckets) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.plans.clear();
+  }
 }
 
 size_t PlanCacheSize() {
   CacheState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
-  return state.plans.size();
+  size_t total = 0;
+  for (CacheBucket& bucket : state.buckets) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    total += bucket.plans.size();
+  }
+  return total;
 }
 
 }  // namespace fedmp::pruning

@@ -115,5 +115,85 @@ TEST(ShardHistogramTest, CountsLabels) {
   EXPECT_EQ(hist[0] + hist[1], 4);
 }
 
+// --- Streaming partition views (the 100k-worker path) ---
+
+TEST(StreamingIidPartitionTest, PermuteIsABijection) {
+  for (int64_t n : {1, 2, 7, 100, 1000}) {
+    const StreamingIidPartition view(n, 1, /*seed=*/42);
+    std::set<int64_t> images;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = view.Permute(i);
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, n);
+      EXPECT_TRUE(images.insert(y).second)
+          << "n=" << n << ": Permute(" << i << ") collides";
+    }
+    EXPECT_EQ(static_cast<int64_t>(images.size()), n);
+  }
+}
+
+TEST(StreamingIidPartitionTest, ShardsDisjointlyCoverTheDataset) {
+  const int64_t n = 503, workers = 7;  // prime n: uneven shard sizes
+  const StreamingIidPartition view(n, workers, /*seed=*/9);
+  ASSERT_EQ(view.num_workers(), workers);
+  std::set<int64_t> seen;
+  for (int64_t w = 0; w < workers; ++w) {
+    const std::vector<int64_t> shard = view.Shard(w);
+    EXPECT_EQ(static_cast<int64_t>(shard.size()), view.shard_size(w));
+    // Balanced within one element, like PartitionIid.
+    EXPECT_GE(static_cast<int64_t>(shard.size()), n / workers);
+    EXPECT_LE(static_cast<int64_t>(shard.size()), n / workers + 1);
+    for (int64_t idx : shard) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, n);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), n);
+}
+
+TEST(StreamingIidPartitionTest, PureFunctionOfSeedAndWorker) {
+  const StreamingIidPartition a(200, 5, 77), b(200, 5, 77);
+  const StreamingIidPartition c(200, 5, 78);
+  bool any_diff = false;
+  for (int64_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(a.Shard(w), b.Shard(w)) << "worker " << w;
+    // Repeated materialization of the same shard is identical (the whole
+    // point: the index vector can be dropped and regenerated at will).
+    EXPECT_EQ(a.Shard(w), a.Shard(w)) << "worker " << w;
+    if (a.Shard(w) != c.Shard(w)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "seed does not influence the permutation";
+}
+
+TEST(StreamingIidPartitionTest, DegenerateShapes) {
+  // One worker owns everything.
+  const StreamingIidPartition solo(10, 1, 3);
+  EXPECT_EQ(solo.shard_size(0), 10);
+  // Workers == examples: singleton shards.
+  const StreamingIidPartition tight(6, 6, 3);
+  for (int64_t w = 0; w < 6; ++w) {
+    EXPECT_EQ(tight.shard_size(w), 1) << "worker " << w;
+    EXPECT_EQ(static_cast<int64_t>(tight.Shard(w).size()), 1);
+  }
+}
+
+TEST(StreamingIidPartitionDeathTest, RejectsMoreWorkersThanExamples) {
+  EXPECT_DEATH(StreamingIidPartition(3, 4, 1), "Check failed");
+}
+
+TEST(MaterializedPartitionViewTest, MirrorsTheEagerPartition) {
+  Rng rng(11);
+  Partition p = PartitionIid(60, 4, rng);
+  const Partition copy = p;
+  const MaterializedPartitionView view(std::move(p));
+  ASSERT_EQ(view.num_workers(), 4);
+  for (int64_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(view.Shard(w), copy[static_cast<size_t>(w)]);
+    EXPECT_EQ(view.shard_size(w),
+              static_cast<int64_t>(copy[static_cast<size_t>(w)].size()));
+  }
+}
+
 }  // namespace
 }  // namespace fedmp::data

@@ -1,0 +1,450 @@
+// The sharded parameter server must be invisible in results: per-shard
+// locks and parallel shard folds change who holds which lock and which lane
+// folds which range, never the aggregated bits. The serial flat fold is the
+// single oracle; the grid suites double as TSAN coverage for the per-shard
+// lock hand-off (producers -> Finish folds on pool lanes).
+
+#include "fl/ps_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/range_tree.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "fl/aggregation.h"
+#include "fl/hierarchy.h"
+#include "fl/pipeline.h"
+#include "nn/model_builder.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+// --- CanonicalRangeSlices / SliceOf degenerate inputs ---
+
+TEST(PsShardSlicesTest, EmptyRangeYieldsNoSlices) {
+  for (int64_t parts : {1, 2, 7, 64}) {
+    EXPECT_TRUE(CanonicalRangeSlices(0, parts).empty()) << "parts=" << parts;
+  }
+}
+
+TEST(PsShardSlicesTest, MorePartsThanSlotsClampsToSingletons) {
+  for (int64_t n : {1, 2, 3, 5, 11}) {
+    for (int64_t parts : {n + 1, 2 * n, int64_t{1000}}) {
+      const auto slices = CanonicalRangeSlices(n, parts);
+      ASSERT_EQ(static_cast<int64_t>(slices.size()), n)
+          << "n=" << n << " parts=" << parts;
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(slices[static_cast<size_t>(i)].first, i);
+        EXPECT_EQ(slices[static_cast<size_t>(i)].second, i + 1);
+      }
+    }
+  }
+}
+
+TEST(PsShardSlicesTest, SingleSlotRange) {
+  for (int64_t parts : {1, 2, 64}) {
+    const auto slices = CanonicalRangeSlices(1, parts);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0], std::make_pair(int64_t{0}, int64_t{1}));
+    EXPECT_EQ(SliceOf(slices, 0), 0);
+  }
+}
+
+// The refinement property the sharded hierarchy Finish() depends on: a
+// coarser slicing's boundaries are a subset of a finer one's, so every fine
+// slice (a fog) nests inside exactly one coarse slice (a shard).
+TEST(PsShardSlicesTest, CoarserSlicingsNestFinerOnes) {
+  const int64_t kParts[] = {1, 2, 3, 4, 7, 8, 32, 64};
+  for (int64_t n : {1, 2, 3, 5, 37, 100, 1000}) {
+    for (int64_t p : kParts) {
+      const auto fine = CanonicalRangeSlices(n, p);
+      for (int64_t q : kParts) {
+        if (q > p) continue;
+        const auto coarse = CanonicalRangeSlices(n, q);
+        for (const auto& [lo, hi] : fine) {
+          const int owner = SliceOf(coarse, lo);
+          EXPECT_LE(coarse[static_cast<size_t>(owner)].first, lo);
+          EXPECT_GE(coarse[static_cast<size_t>(owner)].second, hi)
+              << "n=" << n << " fine=" << p << " coarse=" << q << " slice ["
+              << lo << ", " << hi << ") straddles a coarse boundary";
+        }
+      }
+    }
+  }
+}
+
+// --- ResolvePsShards precedence and clamping ---
+
+class PsShardResolveTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetPsShards(0);
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(PsShardResolveTest, RequestedWinsOverAuto) {
+  SetPsShards(0);
+  EXPECT_EQ(ResolvePsShards(3, 100), 3);
+  EXPECT_EQ(ResolvePsShards(1, 100), 1);
+}
+
+TEST_F(PsShardResolveTest, AutoFollowsPoolLaneCount) {
+  SetPsShards(0);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ResolvePsShards(0, 100), 1);
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_EQ(ResolvePsShards(0, 100), 4);
+}
+
+TEST_F(PsShardResolveTest, OverrideBeatsRequested) {
+  SetPsShards(5);
+  EXPECT_EQ(ResolvePsShards(2, 100), 5);
+  SetPsShards(0);
+  EXPECT_EQ(ResolvePsShards(2, 100), 2);
+}
+
+TEST_F(PsShardResolveTest, ClampsToSlotRange) {
+  SetPsShards(0);
+  EXPECT_EQ(ResolvePsShards(64, 5), 5);
+  EXPECT_EQ(ResolvePsShards(64, 1), 1);
+  EXPECT_EQ(ResolvePsShards(-3, 100), ResolvePsShards(0, 100));
+  // A degenerate slot range still yields a usable count.
+  EXPECT_EQ(ResolvePsShards(4, 0), 1);
+}
+
+// --- PsShardSet routing ---
+
+TEST(PsShardSetTest, RoutingMatchesCanonicalSlices) {
+  PsShardSet shards(37, 8);
+  const auto slices = CanonicalRangeSlices(37, 8);
+  ASSERT_EQ(shards.num_shards(), static_cast<int>(slices.size()));
+  EXPECT_EQ(shards.num_slots(), 37);
+  for (int s = 0; s < shards.num_shards(); ++s) {
+    EXPECT_EQ(shards.shard_range(s), slices[static_cast<size_t>(s)]);
+  }
+  for (int64_t slot = 0; slot < 37; ++slot) {
+    EXPECT_EQ(shards.shard_of(slot), SliceOf(slices, slot));
+  }
+}
+
+TEST(PsShardSetTest, ShardCountClampsToSlots) {
+  PsShardSet tiny(5, 100);
+  EXPECT_EQ(tiny.num_shards(), 5);
+  PsShardSet one(5, 0);
+  EXPECT_EQ(one.num_shards(), 1);
+  EXPECT_EQ(one.shard_range(0), std::make_pair(int64_t{0}, int64_t{5}));
+}
+
+// --- ParallelShardFold vs a serial canonical fold ---
+
+// Per-slot contribution: a small tensor whose values depend on (slot, j) so
+// any re-association shows up in the bits. Holes return an empty partial.
+nn::TensorList SlotContribution(int64_t slot) {
+  nn::Tensor t({16});
+  for (int64_t j = 0; j < t.numel(); ++j) {
+    t.at(j) = 0.001f * static_cast<float>((slot * 31 + j * 7) % 97) +
+              1.0f / static_cast<float>(slot + 3);
+  }
+  nn::TensorList list;
+  list.push_back(std::move(t));
+  return list;
+}
+
+// The canonical fold over [lo, hi): exactly the association every tier pins.
+ShardPartial CanonicalFold(int64_t lo, int64_t hi,
+                           const std::vector<bool>& admitted) {
+  if (hi - lo == 1) {
+    ShardPartial p;
+    if (admitted[static_cast<size_t>(lo)]) {
+      p.sum = SlotContribution(lo);
+      p.participants = 1;
+    }
+    return p;
+  }
+  const int64_t mid = CanonicalSplit(lo, hi);
+  ShardPartial left = CanonicalFold(lo, mid, admitted);
+  ShardPartial right = CanonicalFold(mid, hi, admitted);
+  if (left.sum.empty()) {
+    left.sum = std::move(right.sum);
+  } else if (!right.sum.empty()) {
+    nn::AxpyLists(left.sum, 1.0f, right.sum);
+  }
+  left.participants += right.participants;
+  return left;
+}
+
+class ParallelShardFoldTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalThreads(1); }
+};
+
+TEST_F(ParallelShardFoldTest, BitIdenticalAcrossShardAndThreadCounts) {
+  const int64_t n = 37;
+  // Dense, interior holes, and a fully-empty prefix region (its shards
+  // return empty partials, which the top tree must pass through).
+  std::vector<std::vector<bool>> patterns;
+  patterns.emplace_back(n, true);
+  {
+    std::vector<bool> holes(static_cast<size_t>(n), true);
+    holes[0] = holes[13] = holes[36] = false;
+    patterns.push_back(holes);
+  }
+  {
+    std::vector<bool> region(static_cast<size_t>(n), false);
+    for (int64_t i = 32; i < n; ++i) region[static_cast<size_t>(i)] = true;
+    patterns.push_back(region);
+  }
+  for (const auto& admitted : patterns) {
+    const ShardPartial oracle = CanonicalFold(0, n, admitted);
+    for (int threads : {1, 4}) {
+      ThreadPool::SetGlobalThreads(threads);
+      for (int S : {1, 2, 3, 8, 37}) {
+        PsShardSet shards(static_cast<int>(n), S);
+        ShardPartial got = ParallelShardFold(
+            shards, [&](int, int64_t lo, int64_t hi) {
+              return CanonicalFold(lo, hi, admitted);
+            });
+        EXPECT_EQ(got.participants, oracle.participants)
+            << "S=" << S << " threads=" << threads;
+        ASSERT_EQ(got.sum.size(), oracle.sum.size());
+        for (size_t i = 0; i < got.sum.size(); ++i) {
+          EXPECT_EQ(nn::MaxAbsDiff(got.sum[i], oracle.sum[i]), 0.0)
+              << "S=" << S << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelShardFoldTest, AllHoleRangeYieldsEmptyPartial) {
+  const std::vector<bool> none(16, false);
+  for (int S : {1, 4}) {
+    PsShardSet shards(16, S);
+    ShardPartial got = ParallelShardFold(
+        shards,
+        [&](int, int64_t lo, int64_t hi) { return CanonicalFold(lo, hi, none); });
+    EXPECT_TRUE(got.sum.empty()) << "S=" << S;
+    EXPECT_EQ(got.participants, 0) << "S=" << S;
+  }
+}
+
+// --- Sharded aggregators vs the serial AggregateSubModels oracle ---
+
+// Same fixture idiom as hierarchy_test: many distinct sub-model updates over
+// the tiny CNN so the fold order genuinely matters.
+struct ShardFixture {
+  data::FlTask task;
+  nn::TensorList global;
+  std::vector<pruning::SubModel> subs;
+
+  explicit ShardFixture(int n)
+      : task(data::MakeTaskByName("cnn", data::TaskScale::kTiny, 5)) {
+    auto model = nn::BuildModelOrDie(task.model, 9);
+    global = model->GetWeights();
+    const double ratios[] = {0.2, 0.35, 0.5, 0.7};
+    for (int i = 0; i < n; ++i) {
+      auto sub = pruning::PruneByRatio(task.model, global, ratios[i % 4]);
+      EXPECT_TRUE(sub.ok());
+      subs.push_back(std::move(sub).value());
+      for (auto& t : subs.back().weights) {
+        for (int64_t j = 0; j < t.numel(); ++j) {
+          t.at(j) += 0.0007f * static_cast<float>((j + i) % 11);
+        }
+      }
+    }
+  }
+};
+
+nn::TensorList FlatOracle(const ShardFixture& f,
+                          const std::vector<bool>& admitted) {
+  std::vector<SubModelUpdate> updates(f.subs.size());
+  for (size_t i = 0; i < f.subs.size(); ++i) {
+    if (admitted[i]) {
+      updates[i] = SubModelUpdate{&f.subs[i].mask, &f.subs[i].weights};
+    }
+  }
+  auto oracle = AggregateSubModels(f.task.model, f.global, updates,
+                                   SyncScheme::kR2SP, /*quantize=*/false);
+  EXPECT_TRUE(oracle.ok());
+  return std::move(oracle).value();
+}
+
+// Drives a sharded hierarchical aggregator from `num_threads` producers
+// feeding slots in a seeded shuffled order while the main thread races the
+// decisions, then finishes on the current global pool (shard folds run on
+// pool lanes when it has more than one).
+nn::TensorList RunSharded(const ShardFixture& f,
+                          const std::vector<bool>& admitted, int fan_out,
+                          int ps_shards, int num_threads,
+                          uint64_t shuffle_seed, int* participants_out) {
+  const int n = static_cast<int>(f.subs.size());
+  HierarchicalAggregator agg(f.task.model, f.global, n, SyncScheme::kR2SP,
+                             /*quantize_residuals=*/false, fan_out, ps_shards);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(shuffle_seed);
+  rng.Shuffle(order);
+
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int k = t; k < n; k += num_threads) {
+        const int slot = order[static_cast<size_t>(k)];
+        if (admitted[static_cast<size_t>(slot)]) {
+          agg.Accumulate(slot, f.subs[static_cast<size_t>(slot)].weights,
+                         f.subs[static_cast<size_t>(slot)].mask);
+        } else {
+          agg.MarkUnavailable(slot);
+        }
+      }
+    });
+  }
+  for (int slot = 0; slot < n; ++slot) {
+    if (admitted[static_cast<size_t>(slot)]) {
+      agg.Admit(slot);
+    } else {
+      agg.Reject(slot);
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  StreamingAggregator::Result result = agg.Finish();
+  *participants_out = result.participants;
+  nn::ScaleLists(result.sum, 1.0f / static_cast<float>(result.participants));
+  return std::move(result.sum);
+}
+
+void ExpectListsBitIdentical(const nn::TensorList& got,
+                             const nn::TensorList& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].SameShape(want[i]));
+    EXPECT_EQ(nn::MaxAbsDiff(got[i], want[i]), 0.0) << "tensor " << i;
+  }
+}
+
+class PsShardAggregatorTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetPsShards(0);
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+// The acceptance grid: shards {1, 2, 8} x fan-out {1, 32} x producer
+// threads {1, 4} x shuffled arrivals, against the serial flat oracle, over
+// a dense round and one with holes. Pool lanes stay at 4 so multi-shard
+// Finish() folds genuinely run concurrently.
+TEST_F(PsShardAggregatorTest, BitIdenticalToFlatAcrossShardGrid) {
+  const int n = 37;
+  ShardFixture f(n);
+  ThreadPool::SetGlobalThreads(4);
+
+  std::vector<std::vector<bool>> patterns;
+  patterns.emplace_back(n, true);
+  {
+    std::vector<bool> holes(static_cast<size_t>(n), true);
+    holes[2] = holes[16] = holes[31] = false;
+    patterns.push_back(holes);
+  }
+  uint64_t combo = 0;
+  for (const auto& admitted : patterns) {
+    const nn::TensorList oracle = FlatOracle(f, admitted);
+    const int want_participants = static_cast<int>(
+        std::count(admitted.begin(), admitted.end(), true));
+    for (int shards : {1, 2, 8}) {
+      for (int fan_out : {1, 32}) {
+        for (int threads : {1, 4}) {
+          int participants = 0;
+          const nn::TensorList got =
+              RunSharded(f, admitted, fan_out, shards, threads,
+                         /*shuffle_seed=*/0x54A6D + combo++, &participants);
+          EXPECT_EQ(participants, want_participants)
+              << "shards=" << shards << " fan_out=" << fan_out
+              << " threads=" << threads;
+          SCOPED_TRACE(::testing::Message()
+                       << "shards=" << shards << " fan_out=" << fan_out
+                       << " threads=" << threads);
+          ExpectListsBitIdentical(got, oracle);
+        }
+      }
+    }
+  }
+}
+
+// A whole fog region down must survive sharding: the empty fog partials
+// pass through shard folds and the top tree alike.
+TEST_F(PsShardAggregatorTest, RegionDownBitIdenticalUnderShards) {
+  const int n = 37;
+  ShardFixture f(n);
+  ThreadPool::SetGlobalThreads(4);
+  std::vector<bool> region(static_cast<size_t>(n), true);
+  for (int i = 8; i < 16; ++i) region[static_cast<size_t>(i)] = false;
+  const nn::TensorList oracle = FlatOracle(f, region);
+  for (int shards : {2, 8}) {
+    int participants = 0;
+    const nn::TensorList got = RunSharded(f, region, /*fan_out=*/32, shards,
+                                          /*threads=*/4, 0xD0,
+                                          &participants);
+    EXPECT_EQ(participants, n - 8);
+    SCOPED_TRACE(::testing::Message() << "shards=" << shards);
+    ExpectListsBitIdentical(got, oracle);
+  }
+}
+
+// The env-style override path: SetPsShards forces the count every aggregator
+// resolves, the kill-switch contract (FEDMP_PS_SHARDS=1 must reproduce the
+// unsharded path bit-for-bit).
+TEST_F(PsShardAggregatorTest, ForcedShardCountStaysBitIdentical) {
+  const int n = 21;
+  ShardFixture f(n);
+  ThreadPool::SetGlobalThreads(4);
+  const std::vector<bool> all(static_cast<size_t>(n), true);
+  const nn::TensorList oracle = FlatOracle(f, all);
+  for (int forced : {1, 4}) {
+    SetPsShards(forced);
+    int participants = 0;
+    const nn::TensorList got = RunSharded(f, all, /*fan_out=*/4,
+                                          /*ps_shards=*/0, /*threads=*/4,
+                                          0xF0 + static_cast<uint64_t>(forced),
+                                          &participants);
+    EXPECT_EQ(participants, n);
+    SCOPED_TRACE(::testing::Message() << "forced=" << forced);
+    ExpectListsBitIdentical(got, oracle);
+  }
+}
+
+// TSAN stress: concurrent producers feed per-shard accumulation while the
+// driver races decisions, immediately followed by multi-lane shard folds —
+// the full lock hand-off (producer release -> Finish acquire) under racing
+// late arrivals, repeated across seeds.
+TEST_F(PsShardAggregatorTest, ConcurrentFoldsRaceLateArrivals) {
+  const int n = 64;
+  ShardFixture f(n);
+  ThreadPool::SetGlobalThreads(4);
+  std::vector<bool> admitted(static_cast<size_t>(n), true);
+  admitted[7] = admitted[40] = false;
+  const nn::TensorList oracle = FlatOracle(f, admitted);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    int participants = 0;
+    const nn::TensorList got =
+        RunSharded(f, admitted, /*fan_out=*/32, /*ps_shards=*/8,
+                   /*threads=*/4, 0xACE0 + seed, &participants);
+    EXPECT_EQ(participants, n - 2);
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    ExpectListsBitIdentical(got, oracle);
+  }
+}
+
+}  // namespace
+}  // namespace fedmp::fl

@@ -107,7 +107,10 @@ TEST_F(WorkerTest, ShardSizeReported) {
 TEST(WorkerDeathTest, EmptyShardAborts) {
   const data::FlTask task =
       data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
-  EXPECT_DEATH(Worker(0, &task.train, {}, edge::JetsonTx2Mode(0), 7),
+  // Explicit vector type: a bare `{}` would now resolve to the
+  // PartitionView* overload (a null pointer) instead of an empty shard.
+  EXPECT_DEATH(Worker(0, &task.train, std::vector<int64_t>{},
+                      edge::JetsonTx2Mode(0), 7),
                "empty shard");
 }
 
