@@ -3,11 +3,18 @@
 // export), min-of-N wall clock each way. The run exits non-zero when the
 // enabled/disabled ratio exceeds the 3% budget documented in DESIGN.md
 // "Observability", so run_benches.sh can surface a regression.
+//
+// A second phase gates the resource ledger's instrumented MAC-count mode
+// (the FEDMP_LEDGER_CHECK cross-check: a thread-local counter bump inside
+// every matmul/conv/LSTM kernel) against a 1% budget. The analytic ledger
+// itself is always-on O(workers) arithmetic per round and has no kernel
+// footprint; the armed counter is the only per-MAC-visible cost.
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace fedmp::bench {
@@ -63,6 +70,26 @@ int Main() {
     std::fprintf(stderr,
                  "FAIL: telemetry overhead %.2f%% exceeds the %.0f%% budget\n",
                  overhead * 100.0, kBudget * 100.0);
+    return 1;
+  }
+  std::printf("PASS: within budget\n");
+
+  // Ledger instrumented-count mode, telemetry off both ways so only the
+  // armed per-kernel counter is on the clock.
+  constexpr double kLedgerBudget = 0.01;  // 1%
+  obs::SetMacCountingEnabled(true);
+  const double check_on = MinOfN(task, kReps);
+  obs::SetMacCountingEnabled(false);
+
+  const double ledger_overhead = check_on / off - 1.0;
+  std::printf("ledger check off: %.3fs   on: %.3fs   overhead: %+.2f%%  "
+              "(budget %.0f%%)\n",
+              off, check_on, ledger_overhead * 100.0, kLedgerBudget * 100.0);
+  if (ledger_overhead > kLedgerBudget) {
+    std::fprintf(stderr,
+                 "FAIL: ledger MAC-count overhead %.2f%% exceeds the %.0f%% "
+                 "budget\n",
+                 ledger_overhead * 100.0, kLedgerBudget * 100.0);
     return 1;
   }
   std::printf("PASS: within budget\n");

@@ -104,6 +104,17 @@ int main() {
   const int64_t rss_delta = rss_after - rss_before;
   const int participants =
       log.records().empty() ? 0 : log.records().back().participants;
+  // Resource-ledger rollups for the round: exact MACs and wire bytes, plus
+  // the savings ratio vs the dense FedAvg baseline — the scale gate pins
+  // that pruning still pays at fleet scale.
+  const int64_t flops_total =
+      log.records().empty() ? 0 : log.records().back().flops_total;
+  const int64_t bytes_up =
+      log.records().empty() ? 0 : log.records().back().bytes_up;
+  const int64_t bytes_down =
+      log.records().empty() ? 0 : log.records().back().bytes_down;
+  const double bytes_saved_ratio =
+      log.records().empty() ? 0.0 : log.records().back().bytes_saved_ratio;
   // The sharded-PS fold facts the gate pins: how many per-range owners the
   // slot range was split across, and how many distinct pool lanes executed
   // shard folds (>= 2 proves the Finish tail actually overlapped).
@@ -126,6 +137,11 @@ int main() {
   std::printf("  workers=%lld participants=%d round=%.2fs\n",
               static_cast<long long>(workers), participants, round_seconds);
   std::printf("  ps shards=%d fold lanes=%d\n", ps_shards, fold_lanes);
+  std::printf("  ledger: %lld MACs, %lld B up, %lld B down, "
+              "%.1f%% bytes saved vs dense\n",
+              static_cast<long long>(flops_total),
+              static_cast<long long>(bytes_up),
+              static_cast<long long>(bytes_down), bytes_saved_ratio * 100.0);
   std::printf("  peak RSS delta: %.1f MiB (naive estimate %.1f MiB)\n",
               static_cast<double>(rss_delta) / (1 << 20),
               static_cast<double>(naive_bytes) / (1 << 20));
@@ -153,6 +169,10 @@ int main() {
                "  \"rss_after_bytes\": %lld,\n"
                "  \"rss_delta_bytes\": %lld,\n"
                "  \"naive_bytes_estimate\": %lld,\n"
+               "  \"flops_total\": %lld,\n"
+               "  \"bytes_up\": %lld,\n"
+               "  \"bytes_down\": %lld,\n"
+               "  \"bytes_saved_ratio\": %.6f,\n"
                "  \"trace_sample_budget\": 256,\n"
                "  \"flight_recorder_events\": %lld,\n"
                "  \"flight_recorder_evicted\": %lld,\n"
@@ -165,6 +185,9 @@ int main() {
                static_cast<long long>(rss_after),
                static_cast<long long>(rss_delta),
                static_cast<long long>(naive_bytes),
+               static_cast<long long>(flops_total),
+               static_cast<long long>(bytes_up),
+               static_cast<long long>(bytes_down), bytes_saved_ratio,
                static_cast<long long>(flight_events),
                static_cast<long long>(flight_evicted),
                static_cast<long long>(flight_dump_bytes));

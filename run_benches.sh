@@ -90,7 +90,9 @@ run_scale() {
   #     FEDMP_SCALE_RSS_CEILING_MB_100K (default 400) at 100k+;
   #   * the delta must undercut the naive O(workers x model) estimate by
   #     at least 2x — the bound is the feature;
-  #   * the flight-recorder dump must exist and stay a bounded artifact.
+  #   * the flight-recorder dump must exist and stay a bounded artifact;
+  #   * the ledger's bytes_saved_ratio (stamped into the entry) must stay
+  #     positive — pruning must still pay at fleet scale.
   # 100k-only gates:
   #   * RSS delta <= 4x the 10k delta (10x the fleet must NOT cost 10x the
   #     memory — the streaming-view + sharded-PS contract);
@@ -177,6 +179,17 @@ for raw in runs:
     if raw["participants"] != workers:
         failures.append(f"{tag}: participants {raw['participants']} != "
                         f"workers {workers}")
+
+    # The resource ledger stamps the round's exact wire-byte savings vs the
+    # dense FedAvg baseline; pruning that stops paying at fleet scale is a
+    # regression, not a tuning choice.
+    saved = raw.get("bytes_saved_ratio", 0.0)
+    status = "ok" if saved > 0.0 else "FAIL"
+    print(f"scale-gate: {tag}: ledger {raw.get('flops_total', 0)} MACs, "
+          f"bytes_saved_ratio {saved:.3f} {status}")
+    if saved <= 0.0:
+        failures.append(f"{tag}: bytes_saved_ratio {saved} <= 0 — the "
+                        "pruned round shipped no byte savings vs dense")
 
     ceiling_mb = CEILING_MB_100K if workers >= 100000 else CEILING_MB
     ceiling = ceiling_mb * (1 << 20)
@@ -417,14 +430,16 @@ EOF
 fi
 
 # Telemetry overhead gate: enabled-vs-disabled runtime on the microbench
-# workload must stay within the 3% budget (DESIGN.md "Observability").
-# The binary exits non-zero past the budget; surface that loudly.
+# workload must stay within the 3% budget (DESIGN.md "Observability"), and
+# the resource ledger's instrumented MAC-count mode (FEDMP_LEDGER_CHECK)
+# within 1% (DESIGN.md "Resource accounting"). The binary exits non-zero
+# past either budget; surface that loudly.
 echo "### bench/bench_obs_overhead ###"
 ./bench/bench_obs_overhead 2>&1
 obs_exit=$?
 echo "### exit=$obs_exit ###"
 if [ $obs_exit -ne 0 ]; then
-  echo "TELEMETRY OVERHEAD BUDGET EXCEEDED (bench_obs_overhead exit=$obs_exit)" >&2
+  echo "OBSERVABILITY OVERHEAD BUDGET EXCEEDED (bench_obs_overhead exit=$obs_exit)" >&2
 fi
 
 for b in bench/bench_fig5_round_time bench/bench_fig11_overhead \

@@ -30,6 +30,10 @@ class DataLoader {
   int64_t size() const { return static_cast<int64_t>(indices_.size()); }
   int64_t batch_size() const { return batch_size_; }
   int64_t epochs_completed() const { return epochs_completed_; }
+  // Position of the next batch within the epoch. Together with size() and
+  // batch_size() this determines the exact row count of every upcoming
+  // batch (the resource ledger predicts them analytically).
+  int64_t cursor() const { return cursor_; }
 
  private:
   const Dataset* dataset_;

@@ -1,8 +1,30 @@
 #include "edge/cost_model.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace fedmp::edge {
+
+namespace {
+// -1 = unresolved, 0 = off, 1 = on.
+std::atomic<int> g_cost_encoded{-1};
+}  // namespace
+
+bool CostEncodedEnabled() {
+  int state = g_cost_encoded.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("FEDMP_COST_ENCODED");
+    state = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_cost_encoded.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetCostEncodedEnabled(bool on) {
+  g_cost_encoded.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 double CompSeconds(const nn::ModelSpec& model, int64_t tau,
                    int64_t batch_size, const DeviceRoundSample& device,

@@ -49,6 +49,17 @@ double CommSeconds(double down_bytes, double up_bytes,
                    const DeviceRoundSample& device,
                    const CostModelOptions& options = {});
 
+// Encoded-bytes charging mode (FEDMP_COST_ENCODED=1): when on, the
+// trainers pass the ledger's exact encoded payload bytes (pruned sub-model
+// + mask encoding down, compressed upload up) to CommSeconds instead of
+// the dense float32 parameter-count approximation, so straggler simulation
+// reflects what pruning actually shrank (ROADMAP item 3). Default off:
+// simulated timing — and everything downstream of it (E-UCB rewards,
+// golden traces) — stays bit-identical to prior releases. The environment
+// is read once at first use; SetCostEncodedEnabled overrides it (tests).
+bool CostEncodedEnabled();
+void SetCostEncodedEnabled(bool on);
+
 }  // namespace fedmp::edge
 
 #endif  // FEDMP_EDGE_COST_MODEL_H_

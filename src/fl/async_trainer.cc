@@ -11,9 +11,11 @@
 #include "common/mem_info.h"
 #include "common/range_tree.h"
 #include "common/thread_pool.h"
+#include "edge/cost_model.h"
 #include "edge/event_queue.h"
 #include "edge/sim_clock.h"
 #include "fl/pipeline.h"
+#include "fl/resource_accounting.h"
 #include "obs/analysis/round_health.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -110,6 +112,15 @@ RoundLog AsyncTrainer::Run() {
                                   static_cast<double>(num_workers);
   std::vector<InFlight> inflight(static_cast<size_t>(num_workers));
   int64_t next_generation = 1;
+  // Resource ledger: async rounds charge every dispatch (initial, mid-round
+  // re-dispatch) to the round it serves; a failed dispatch keeps its
+  // downlink + compute cost but uploads nothing. Entries fold in from the
+  // serial commit path, so totals are thread-count invariant.
+  const ResourceParams res_params =
+      MakeResourceParams(global_spec, server_->weights());
+  obs::Ledger ledger;
+  const bool ledger_check = LedgerCheckEnabled();
+  if (ledger_check) obs::SetMacCountingEnabled(true);
   // Running mean of successful arrival durations, for the opt-in timeout.
   double duration_sum = 0.0;
   int64_t duration_count = 0;
@@ -145,6 +156,7 @@ RoundLog AsyncTrainer::Run() {
 
     std::vector<InFlight> prepared(static_cast<size_t>(count));
     std::vector<double> durations(static_cast<size_t>(count));
+    std::vector<obs::WorkerResources> prepared_res(static_cast<size_t>(count));
     // Phase 2 body: prune + local SGD + cost sampling + residual for one
     // dispatch. Touches only slot jj and worker ids[jj]'s own state, so it
     // runs on any lane.
@@ -185,8 +197,18 @@ RoundLog AsyncTrainer::Run() {
       local.proximal_mu = plan.proximal_mu;
       local.clip_norm = task_->is_language_model ? 5.0 : 0.0;
       local.is_language_model = task_->is_language_model;
+      // Rows must be read before LocalTrain advances the loader cursor.
+      prepared_res[jj] = ComputeWorkerResources(
+          res_params, sub.spec, sub.mask, workers_[i]->PlannedRows(local),
+          /*compress_ratio=*/0.0, /*quantize_residuals=*/false);
+      if (ledger_check) obs::ResetThreadMacCount();
       LocalResult result =
           workers_[i]->LocalTrain(sub.spec, sub.weights, local);
+      if (ledger_check) {
+        FEDMP_CHECK_EQ(obs::ThreadMacCount(), prepared_res[jj].flops())
+            << "analytic vs instrumented MAC mismatch for worker " << ids[jj]
+            << " round " << round;
+      }
 
       const edge::DeviceRoundSample sample =
           edge::SampleRound(devices_[i], workers_[i]->rng());
@@ -196,7 +218,12 @@ RoundLog AsyncTrainer::Run() {
       const double bytes = static_cast<double>(sub.spec.NumParams()) *
                            options_.base.cost.bytes_per_param;
       const double comm =
-          edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
+          edge::CostEncodedEnabled()
+              ? edge::CommSeconds(
+                    static_cast<double>(prepared_res[jj].bytes_down),
+                    static_cast<double>(prepared_res[jj].bytes_up), sample,
+                    options_.base.cost)
+              : edge::CommSeconds(bytes, bytes, sample, options_.base.cost);
 
       auto residual = pruning::ResidualModel(
           global_spec, server_->weights(), sub.mask);
@@ -251,6 +278,14 @@ RoundLog AsyncTrainer::Run() {
                          {"eta", arrival}});
       queue.Push(arrival, id, slot.generation);
       if (duplicated) queue.Push(arrival, id, slot.generation);
+      obs::WorkerResources res = prepared_res[jj];
+      if (slot.failed) {
+        // Nothing arrives: downlink and compute were still spent, but no
+        // upload lands (the dense baseline loses its uplink leg too).
+        res.bytes_up = 0;
+        res.dense_bytes -= res_params.dense_params * 4;
+      }
+      ledger.Add(res);
       inflight[static_cast<size_t>(id)] = std::move(slot);
     };
 
@@ -282,6 +317,7 @@ RoundLog AsyncTrainer::Run() {
     }
   };
 
+  ledger.BeginRound(0);
   {
     std::vector<int> everyone(static_cast<size_t>(num_workers));
     for (int n = 0; n < num_workers; ++n) everyone[static_cast<size_t>(n)] = n;
@@ -413,10 +449,20 @@ RoundLog AsyncTrainer::Run() {
       ++duration_count;
     }
 
+    // Close this round's ledger before the post-aggregation re-dispatch
+    // starts charging round+1; mid-round re-dispatches above already folded
+    // into the current round.
+    const obs::RoundResources round_res = ledger.Commit();
+    ledger.BeginRound(round + 1);
+
     RoundRecord record;
     record.round = round;
     record.rejected_updates = rejected;
     record.duplicate_updates = duplicates;
+    record.flops_total = round_res.total.flops();
+    record.bytes_up = round_res.total.bytes_up;
+    record.bytes_down = round_res.total.bytes_down;
+    record.bytes_saved_ratio = round_res.BytesSavedRatio();
 
     if (arrived.empty()) {
       // Every candidate failed this round. Keep the previous global, let
@@ -592,6 +638,8 @@ RoundLog AsyncTrainer::Run() {
       signals.median_completion_s = health.median_completion_s;
       signals.survivors = health.survivors;
       // Async rounds run the flat topology: no fog tier to watch.
+      signals.round_wire_bytes = round_res.total.wire_bytes();
+      signals.round_flops = round_res.total.flops();
       signals.evaluated = evaluated;
       signals.accuracy = record.test_accuracy;
       signals.peak_rss_bytes = PeakRssBytes();

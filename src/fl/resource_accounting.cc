@@ -1,0 +1,87 @@
+#include "fl/resource_accounting.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "nn/flops.h"
+
+namespace fedmp::fl {
+
+ResourceParams MakeResourceParams(const nn::ModelSpec& spec,
+                                  const nn::TensorList& weights) {
+  ResourceParams p;
+  p.dense_params = spec.NumParams();
+
+  nn::MacAnalysis macs;
+  Status s = nn::AnalyzeTrainingMacs(spec, &macs);
+  FEDMP_CHECK(s.ok()) << "dense spec MAC analysis failed: " << s.message();
+  p.dense_macs_fwd_per_sample = macs.forward_per_sample;
+  p.dense_macs_bwd_per_sample = macs.backward_per_sample;
+
+  for (const nn::Tensor& t : weights) {
+    const int64_t numel = t.numel();
+    p.residual_bytes_f32 += numel * 4;
+    // QuantizedTensor::ByteSize(): one byte per element + min/scale floats
+    // + the stored shape vector.
+    p.residual_bytes_quantized +=
+        numel + 2 * static_cast<int64_t>(sizeof(float)) +
+        t.ndim() * static_cast<int64_t>(sizeof(int64_t));
+  }
+  return p;
+}
+
+int64_t MaskWireBytes(const pruning::PruneMask& mask) {
+  int64_t bytes = 0;
+  for (const pruning::LayerMask& layer : mask.layers) {
+    if (!layer.prunable) continue;
+    bytes += 8 + (layer.original_width + 7) / 8;
+  }
+  return bytes;
+}
+
+obs::WorkerResources ComputeWorkerResources(const ResourceParams& base,
+                                            const nn::ModelSpec& sub_spec,
+                                            const pruning::PruneMask& mask,
+                                            int64_t rows,
+                                            double compress_ratio,
+                                            bool quantize_residuals) {
+  obs::WorkerResources w;
+  w.rows = rows;
+
+  nn::MacAnalysis macs;
+  Status s = nn::AnalyzeTrainingMacs(sub_spec, &macs);
+  FEDMP_CHECK(s.ok()) << "sub spec MAC analysis failed: " << s.message();
+  w.flops_forward = macs.forward_per_sample * rows;
+  w.flops_backward = macs.backward_per_sample * rows;
+  w.dense_flops =
+      (base.dense_macs_fwd_per_sample + base.dense_macs_bwd_per_sample) * rows;
+
+  const int64_t sub_params = sub_spec.NumParams();
+  const bool pruned = sub_params < base.dense_params;
+  const int64_t sub_bytes = sub_params * 4;
+  w.bytes_down = sub_bytes + (pruned ? MaskWireBytes(mask) : 0);
+  // Upload compression mirrors the trainers' effective-byte convention:
+  // (1 - ratio) payload plus ~10% encoding overhead.
+  w.bytes_up = compress_ratio > 0.0
+                   ? static_cast<int64_t>(std::llround(
+                         static_cast<double>(sub_bytes) *
+                         (1.0 - compress_ratio) * 1.1))
+                   : sub_bytes;
+  if (pruned) {
+    w.bytes_residual = quantize_residuals ? base.residual_bytes_quantized
+                                          : base.residual_bytes_f32;
+  }
+  w.dense_bytes = 2 * base.dense_params * 4;  // dense f32 down + up
+  return w;
+}
+
+bool LedgerCheckEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("FEDMP_LEDGER_CHECK");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
+
+}  // namespace fedmp::fl

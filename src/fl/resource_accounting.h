@@ -1,0 +1,68 @@
+#ifndef FEDMP_FL_RESOURCE_ACCOUNTING_H_
+#define FEDMP_FL_RESOURCE_ACCOUNTING_H_
+
+#include <cstdint>
+
+#include "nn/model_spec.h"
+#include "nn/tensor_ops.h"
+#include "obs/ledger.h"
+#include "pruning/mask.h"
+
+// Bridges the FL layer's round plans to the obs ledger: turns (sub-model
+// spec, mask, row count, transport flags) into an exact obs::WorkerResources
+// entry. Everything here is a pure function of deterministic round state —
+// no clocks, no RNG — so the resulting ledger totals are bit-identical at
+// any thread count.
+namespace fedmp::fl {
+
+// Per-run constants of the dense (unpruned) global model, computed once so
+// the per-worker hot path never re-walks the dense spec.
+struct ResourceParams {
+  int64_t dense_params = 0;             // global NumParams
+  int64_t dense_macs_fwd_per_sample = 0;
+  int64_t dense_macs_bwd_per_sample = 0;
+  int64_t residual_bytes_f32 = 0;        // full-shape float32 residual
+  int64_t residual_bytes_quantized = 0;  // same, through Quantize8
+};
+
+// `weights` are the global model tensors (residual models share their
+// shapes; the quantized size depends on tensor count and ndims, not
+// values).
+ResourceParams MakeResourceParams(const nn::ModelSpec& spec,
+                                  const nn::TensorList& weights);
+
+// Wire encoding of a prune mask: one bit per original unit of each
+// prunable layer (bitmap), plus an 8-byte per-layer header (layer index +
+// width). Non-prunable layers are implied by the spec and cost nothing.
+int64_t MaskWireBytes(const pruning::PruneMask& mask);
+
+// Exact resources for one worker round-trip:
+//   flops       analytic forward/backward MACs of `sub_spec` x `rows`
+//   bytes_down  dense f32 sub weights + mask encoding (mask bytes only
+//               when the worker is actually pruned; FedAvg sends no mask)
+//   bytes_up    dense f32 sub weights, shrunk by the strategy's upload
+//               compression (same (1-ratio)*1.1 convention as the cost
+//               model's effective-byte accounting)
+//   residual    PS-side residual storage for pruned workers (quantized
+//               when the strategy quantizes residuals)
+//   dense_*     the unpruned no-compression baseline for the same rows,
+//               so savings ratios fall out of the round rollup
+// `rows` is the total training examples the worker will process (see
+// nn::PlannedLoaderRows — partial tail batches included).
+obs::WorkerResources ComputeWorkerResources(const ResourceParams& base,
+                                            const nn::ModelSpec& sub_spec,
+                                            const pruning::PruneMask& mask,
+                                            int64_t rows,
+                                            double compress_ratio,
+                                            bool quantize_residuals);
+
+// FEDMP_LEDGER_CHECK=1: the trainers arm the kernel MAC counters
+// (obs::SetMacCountingEnabled) and FEDMP_CHECK the analytic FLOP count
+// against the instrumented kernel count on every worker dispatch. Debug
+// mode — the counter write in every matmul makes training a few percent
+// slower. Read once at first use.
+bool LedgerCheckEnabled();
+
+}  // namespace fedmp::fl
+
+#endif  // FEDMP_FL_RESOURCE_ACCOUNTING_H_

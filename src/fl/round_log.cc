@@ -47,6 +47,10 @@ const Column kColumns[] = {
     FEDMP_DBL_COLUMN(critical_comp_s, 4),
     FEDMP_DBL_COLUMN(critical_comm_s, 4),
     FEDMP_DBL_COLUMN(straggler_gap_max, 4),
+    FEDMP_INT_COLUMN(flops_total),
+    FEDMP_INT_COLUMN(bytes_up),
+    FEDMP_INT_COLUMN(bytes_down),
+    FEDMP_DBL_COLUMN(bytes_saved_ratio, 4),
 };
 
 #undef FEDMP_INT_COLUMN

@@ -39,6 +39,13 @@ struct RoundRecord {
   double critical_comp_s = 0.0;
   double critical_comm_s = 0.0;
   double straggler_gap_max = 0.0;
+  // Resource ledger rollup (obs/ledger.h): exact forward+backward MACs and
+  // wire bytes across the round's dispatched workers, and the fraction of
+  // the dense-baseline bytes that pruning/compression saved.
+  int64_t flops_total = 0;
+  int64_t bytes_up = 0;
+  int64_t bytes_down = 0;
+  double bytes_saved_ratio = 0.0;
 };
 
 // Per-run record sequence plus the derived summary statistics the paper's

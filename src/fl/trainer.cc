@@ -14,6 +14,7 @@
 #include "edge/sim_clock.h"
 #include "fl/hierarchy.h"
 #include "fl/pipeline.h"
+#include "fl/resource_accounting.h"
 #include "nn/tensor_ops.h"
 #include "nn/workspace.h"
 #include "obs/analysis/round_health.h"
@@ -169,6 +170,16 @@ RoundLog Trainer::Run() {
   // pipeline"); the phase-barrier path below is the bit-identical oracle.
   const bool pipelined = PipelineEnabled();
 
+  // Resource ledger: dense-baseline constants once per run; per-worker
+  // entries are computed analytically at dispatch (pure functions of the
+  // round plan) and folded in driver order, so every total is
+  // bit-identical at any thread count (obs/ledger.h).
+  const ResourceParams res_params =
+      MakeResourceParams(global_spec, server_->weights());
+  obs::Ledger ledger;
+  const bool ledger_check = LedgerCheckEnabled();
+  if (ledger_check) obs::SetMacCountingEnabled(true);
+
   for (int64_t round = 0; round < options_.max_rounds; ++round) {
     // --- (1) Pruning-ratio decision + distributed model pruning (PS). ---
     const auto decision_start = std::chrono::steady_clock::now();
@@ -198,6 +209,7 @@ RoundLog Trainer::Run() {
     }
 
     std::vector<pruning::SubModel> subs(static_cast<size_t>(num_workers));
+    std::vector<obs::WorkerResources> res(static_cast<size_t>(num_workers));
     std::vector<double> comp_times(static_cast<size_t>(num_workers));
     std::vector<double> comm_times(static_cast<size_t>(num_workers));
     std::vector<double> completion_times(static_cast<size_t>(num_workers));
@@ -257,8 +269,22 @@ RoundLog Trainer::Run() {
                                      {"ratio", plans[i].pruning_ratio},
                                      {"tau", local.tau}});
       }
+      // Ledger entry BEFORE training: PlannedRows reads the loader cursor
+      // LocalTrain is about to advance, and the analytic FLOP/byte counts
+      // are pure functions of (sub spec, mask, rows, plan).
+      res[i] = ComputeWorkerResources(
+          res_params, subs[i].spec, subs[i].mask,
+          workers_[i]->PlannedRows(local), plans[i].compress_ratio,
+          strategy_->quantize_residuals());
+
+      if (ledger_check) obs::ResetThreadMacCount();
       LocalResult result =
           workers_[i]->LocalTrain(subs[i].spec, subs[i].weights, local);
+      if (ledger_check) {
+        FEDMP_CHECK_EQ(obs::ThreadMacCount(), res[i].flops())
+            << "ledger: analytic MACs diverge from instrumented kernels "
+            << "(worker " << n << " round " << round << ")";
+      }
       delta_losses[i] = result.initial_loss - result.final_loss;
       initial_losses[i] = result.initial_loss;
       final_losses[i] = result.final_loss;
@@ -283,8 +309,17 @@ RoundLog Trainer::Run() {
           plans[i].compress_ratio > 0.0
               ? param_bytes * (1.0 - plans[i].compress_ratio) * 1.1
               : param_bytes;
+      // Encoded-bytes mode charges what the wire actually carries (pruned
+      // sub weights + mask down, compressed payload up) instead of the
+      // dense parameter-count approximation. Off by default so simulated
+      // timing stays bit-identical to prior releases.
       comm_times[i] =
-          edge::CommSeconds(param_bytes, up_bytes, sample, options_.cost);
+          edge::CostEncodedEnabled()
+              ? edge::CommSeconds(static_cast<double>(res[i].bytes_down),
+                                  static_cast<double>(res[i].bytes_up),
+                                  sample, options_.cost)
+              : edge::CommSeconds(param_bytes, up_bytes, sample,
+                                  options_.cost);
       completion_times[i] = comp_times[i] + comm_times[i];
     };
     // Fault draws are pure per (round, worker), so this runs equally well
@@ -610,6 +645,25 @@ RoundLog Trainer::Run() {
     clock.Advance(outcome.round_time);
     obs::SetLogicalTime(clock.now());
 
+    // --- Resource-ledger rollup (serial, driver thread, fog order). ---
+    // Dispatch (download + local compute) is charged for every worker; the
+    // upload only when the payload reached the PS, and the residual model
+    // only for admitted (aggregated) workers. Each adjustment also shrinks
+    // the dense baseline the same way, so savings ratios compare like with
+    // like.
+    ledger.BeginRound(round, agg != nullptr ? agg->num_fogs() : 0);
+    for (int n = 0; n < num_workers; ++n) {
+      const size_t i = static_cast<size_t>(n);
+      obs::WorkerResources w = res[i];
+      if (arrives[i] == 0) {
+        w.bytes_up = 0;
+        w.dense_bytes -= res_params.dense_params * 4;
+      }
+      if (!participated[i]) w.bytes_residual = 0;
+      ledger.Add(w, agg != nullptr ? agg->fog_of(n) : -1);
+    }
+    const obs::RoundResources round_res = ledger.Commit();
+
     // --- Feedback to the strategy. ---
     RoundObservation observation;
     observation.completion_times = completion_times;
@@ -648,6 +702,10 @@ RoundLog Trainer::Run() {
     record.critical_comp_s = health.critical_comp_s;
     record.critical_comm_s = health.critical_comm_s;
     record.straggler_gap_max = health.straggler_gap_max;
+    record.flops_total = round_res.total.flops();
+    record.bytes_up = round_res.total.bytes_up;
+    record.bytes_down = round_res.total.bytes_down;
+    record.bytes_saved_ratio = round_res.BytesSavedRatio();
 
     bool stop = round + 1 >= options_.max_rounds ||
                 clock.now() >= options_.time_budget_seconds;
@@ -698,6 +756,8 @@ RoundLog Trainer::Run() {
       if (agg != nullptr) signals.fog_participants = agg->fog_admitted();
       signals.evaluated = evaluate;
       signals.accuracy = record.test_accuracy;
+      signals.round_wire_bytes = round_res.total.wire_bytes();
+      signals.round_flops = round_res.total.flops();
       signals.peak_rss_bytes = PeakRssBytes();
       signals.model_cache_hit_rate = obs::Registry::Get().GaugeValue(
           "fl.worker.model_cache.hit_rate", -1.0);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "data/synthetic_text.h"
+#include "nn/flops.h"
 #include "nn/layers/softmax_xent.h"
 #include "obs/metrics.h"
 
@@ -162,6 +163,19 @@ Worker::Worker(int id, const data::Dataset* train,
   loader_indices_size_ = view->shard_size(id);
   FEDMP_CHECK_GT(loader_indices_size_, 0)
       << "worker " << id << " has an empty shard";
+}
+
+int64_t Worker::PlannedRows(const LocalTrainOptions& options) const {
+  // Mirrors the loader selection below: streaming mode and batch-size
+  // changes start from a fresh cursor; the persistent eager loader carries
+  // its position across rounds.
+  int64_t cursor = 0;
+  if (view_ == nullptr && loader_ != nullptr &&
+      loader_batch_ == options.batch_size) {
+    cursor = loader_->cursor();
+  }
+  return nn::PlannedLoaderRows(loader_indices_size_, options.batch_size,
+                               cursor, options.tau);
 }
 
 LocalResult Worker::LocalTrain(const nn::ModelSpec& spec,

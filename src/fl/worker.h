@@ -81,6 +81,13 @@ class Worker {
                          const nn::TensorList& weights,
                          const LocalTrainOptions& options);
 
+  // Total training rows the NEXT LocalTrain with these options will
+  // process: replays the loader cursor (fresh in streaming mode or after a
+  // batch-size change, persisted otherwise) over options.tau batches,
+  // partial tail batches included. A pure function of deterministic worker
+  // state, used by the resource ledger at dispatch time.
+  int64_t PlannedRows(const LocalTrainOptions& options) const;
+
  private:
   // NOTE: reusable (model, optimizer) pairs live in a per-execution-lane
   // cache shared by every Worker the lane drives (see worker.cc), NOT here.

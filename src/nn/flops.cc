@@ -1,0 +1,94 @@
+#include "nn/flops.h"
+
+#include <algorithm>
+
+namespace fedmp::nn {
+
+Status AnalyzeTrainingMacs(const ModelSpec& spec, MacAnalysis* out) {
+  ModelAnalysis shapes;
+  Status s = spec.Analyze(&shapes);
+  if (!s.ok()) return s;
+
+  out->layers.assign(spec.layers.size(), LayerMacs{});
+  out->forward_per_sample = 0;
+  out->backward_per_sample = 0;
+
+  // Rows one sample contributes to a row-major matmul. TimeFlatten folds
+  // the T time steps of a sequence into the batch dimension, so every
+  // Linear after it runs T rows per sample.
+  int64_t row_mult = 1;
+
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    const LayerSpec& layer = spec.layers[i];
+    const ValueShape& in = shapes.layers[i].input;
+    LayerMacs& m = out->layers[i];
+    switch (layer.type) {
+      case LayerType::kConv2d: {
+        const ValueShape& o = shapes.layers[i].output;
+        const int64_t patch = layer.in_channels * layer.kernel * layer.kernel;
+        m.forward = o.h * o.w * layer.out_channels * patch;
+        m.backward = 2 * m.forward;  // dW (MatmulTransA) + dcols (MatmulRaw)
+        break;
+      }
+      case LayerType::kLinear: {
+        m.forward = row_mult * layer.in_channels * layer.out_channels;
+        m.backward = 2 * m.forward;  // dW (MatmulTransA) + dX (Matmul)
+        break;
+      }
+      case LayerType::kResidualBlock: {
+        // conv1 c->m and conv2 m->c, both 3x3 stride 1 pad 1 (same plane).
+        const int64_t plane = in.h * in.w;
+        const int64_t c = layer.in_channels, mid = layer.mid_channels;
+        m.forward = 2 * plane * c * mid * 9;
+        m.backward = 2 * m.forward;
+        break;
+      }
+      case LayerType::kLstm: {
+        const int64_t T = in.t;
+        const int64_t h4 = 4 * layer.out_channels;
+        const int64_t is = layer.in_channels;
+        const int64_t hs = layer.out_channels;
+        m.forward = T * h4 * (is + hs);
+        // dWx + dx_t every step; dh_next every step; dWh only for t > 0
+        // (h_prev is the untrained zero state at t = 0).
+        m.backward = 2 * T * h4 * is + (2 * T - 1) * h4 * hs;
+        break;
+      }
+      case LayerType::kTimeFlatten: {
+        row_mult *= in.t;
+        break;
+      }
+      case LayerType::kBatchNorm2d:
+      case LayerType::kReLU:
+      case LayerType::kTanh:
+      case LayerType::kMaxPool2d:
+      case LayerType::kGlobalAvgPool:
+      case LayerType::kFlatten:
+      case LayerType::kDropout:
+      case LayerType::kEmbedding:
+        break;  // no matmul kernels on either pass
+    }
+    out->forward_per_sample += m.forward;
+    out->backward_per_sample += m.backward;
+  }
+  return Status::Ok();
+}
+
+int64_t TrainingMacsForRows(const MacAnalysis& analysis, int64_t total_rows) {
+  return analysis.per_sample() * total_rows;
+}
+
+int64_t PlannedLoaderRows(int64_t dataset_size, int64_t batch_size,
+                          int64_t cursor, int64_t iterations) {
+  if (dataset_size <= 0 || batch_size <= 0) return 0;
+  int64_t rows = 0;
+  for (int64_t it = 0; it < iterations; ++it) {
+    const int64_t take = std::min(batch_size, dataset_size - cursor);
+    rows += take;
+    cursor += take;
+    if (cursor >= dataset_size) cursor = 0;
+  }
+  return rows;
+}
+
+}  // namespace fedmp::nn

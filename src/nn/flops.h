@@ -1,0 +1,64 @@
+#ifndef FEDMP_NN_FLOPS_H_
+#define FEDMP_NN_FLOPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/model_spec.h"
+
+// Exact multiply-accumulate (MAC) accounting for the training path.
+//
+// ModelSpec::Analyze() estimates *forward* flops for the cost model; the
+// ledger needs something stricter: the exact number of MACs the nn/ matmul
+// kernels execute for one forward+backward pass, so that the analytic count
+// (a pure function of the sub-model spec, hence of the pruning mask) can be
+// cross-checked against the instrumented kernel counters bit-for-bit. Only
+// matmul MACs are counted — elementwise work (bias adds, activations,
+// batch-norm, pooling, softmax, SGD) never routes through the matmul
+// kernels and is excluded from both sides of the check by construction.
+//
+// Every layer's per-iteration MAC count is linear in the batch row count,
+// so the totals for a whole local-training call factor into
+// per-sample MACs x total rows (see TrainingMacsForRows).
+namespace fedmp::nn {
+
+struct LayerMacs {
+  // MACs executed by one forward / backward pass with batch size 1.
+  int64_t forward = 0;
+  int64_t backward = 0;
+};
+
+struct MacAnalysis {
+  std::vector<LayerMacs> layers;  // aligned with ModelSpec::layers
+  int64_t forward_per_sample = 0;
+  int64_t backward_per_sample = 0;
+
+  int64_t per_sample() const { return forward_per_sample + backward_per_sample; }
+};
+
+// Walks the spec (shapes from ModelSpec::Analyze) and derives the exact
+// per-sample matmul MAC counts of the nn/ layer implementations:
+//   Linear        fwd R·out·in             bwd 2x fwd (dW + dX)
+//   Conv2d        fwd OH·OW·out_c·patch    bwd 2x fwd (dW + dcols)
+//   Residual      two 3x3 convs, as above (skip path is elementwise)
+//   Lstm          fwd T·4H·(In+H)          bwd 2·T·4H·In + (2T-1)·4H·H
+//                 (dWh is skipped at t=0 where h_prev is the zero state)
+// A Linear downstream of TimeFlatten sees T rows per sample; the walker
+// carries that row multiplier. All other layer types execute zero matmuls.
+Status AnalyzeTrainingMacs(const ModelSpec& spec, MacAnalysis* out);
+
+// Total forward+backward MACs for a local-training call that processes
+// `total_rows` examples (the sum of the tau batch sizes the DataLoader
+// will actually deliver, partial tail batches included).
+int64_t TrainingMacsForRows(const MacAnalysis& analysis, int64_t total_rows);
+
+// The row sequence a DataLoader with `dataset_size` indices and batch size
+// `batch_size`, starting at `cursor`, delivers over `iterations` calls to
+// NextBatch (partial tail batch, then wrap to 0). Returns the summed rows.
+int64_t PlannedLoaderRows(int64_t dataset_size, int64_t batch_size,
+                          int64_t cursor, int64_t iterations);
+
+}  // namespace fedmp::nn
+
+#endif  // FEDMP_NN_FLOPS_H_

@@ -10,6 +10,7 @@
 
 #include "common/thread_pool.h"
 #include "nn/workspace.h"
+#include "obs/ledger.h"
 
 namespace fedmp::nn {
 
@@ -378,6 +379,9 @@ void MatmulSparseAPanel(const float* pa, const float* pb, float* pc,
 // entry points (which let conv skip weight Reshape copies) are one kernel.
 Tensor MatmulCore(const Tensor& a, const float* pb, int64_t n) {
   const int64_t m = a.dim(0), k = a.dim(1);
+  // Ledger cross-check: algorithmic MACs counted on the calling thread at
+  // entry, before any panel parallelism (obs/ledger.h).
+  obs::CountMacs(m * k * n);
   Tensor c = ws::AcquireZeroed({m, n});  // += accumulation needs zeros
   const float* pa = a.data();
   float* pc = c.data();
@@ -403,6 +407,7 @@ Tensor MatmulCore(const Tensor& a, const float* pb, int64_t n) {
 
 Tensor MatmulTransBCore(const Tensor& a, const float* pb, int64_t n) {
   const int64_t m = a.dim(0), k = a.dim(1);
+  obs::CountMacs(m * k * n);
   const float* pa = a.data();
   Tensor c = ws::AcquireUninit({m, n});  // every element assigned below
   float* pc = c.data();
@@ -499,6 +504,9 @@ Tensor MatmulSparseA(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMP_CHECK_EQ(k, b.dim(0)) << "MatmulSparseA inner dimension mismatch";
+  // Counted as dense m·k·n: the ledger attributes algorithmic MACs; the
+  // zero-skip is a kernel-level shortcut, not a workload change.
+  obs::CountMacs(m * k * n);
   Tensor c = ws::AcquireZeroed({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -539,6 +547,7 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   FEDMP_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMP_CHECK_EQ(m, b.dim(0)) << "MatmulTransA outer dimension mismatch";
+  obs::CountMacs(m * k * n);
   Tensor c = ws::AcquireZeroed({k, n});
   const float* pa = a.data();
   const float* pb = b.data();

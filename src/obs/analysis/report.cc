@@ -83,6 +83,55 @@ std::vector<HitRate> HitRatesFromCounters(
   return out;
 }
 
+// One round's resource-ledger rollup reconstructed from a `resource` event
+// (obs/ledger.h). Pure function of the logical event stream, so the section
+// is part of the deterministic report: bit-identical across thread counts
+// and shard counts.
+struct ResourceRound {
+  int64_t round = -1;
+  int64_t workers = 0;
+  int64_t flops_fwd = 0;
+  int64_t flops_bwd = 0;
+  int64_t bytes_up = 0;
+  int64_t bytes_down = 0;
+  int64_t bytes_residual = 0;
+  int64_t dense_flops = 0;
+  int64_t dense_bytes = 0;
+  int64_t rows = 0;
+};
+
+std::vector<ResourceRound> ResourcesFromEvents(
+    const std::vector<JsonValue>& events) {
+  std::vector<ResourceRound> out;
+  for (const JsonValue& e : events) {
+    const JsonValue* name = e.Find("event");
+    if (name == nullptr || name->StringOr("") != "resource") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    ResourceRound r;
+    auto read = [&](const char* key, int64_t* field) {
+      if (const JsonValue* v = args->Find(key)) *field = v->IntOr(0);
+    };
+    read("round", &r.round);
+    read("workers", &r.workers);
+    read("flops_fwd", &r.flops_fwd);
+    read("flops_bwd", &r.flops_bwd);
+    read("bytes_up", &r.bytes_up);
+    read("bytes_down", &r.bytes_down);
+    read("bytes_residual", &r.bytes_residual);
+    read("dense_flops", &r.dense_flops);
+    read("dense_bytes", &r.dense_bytes);
+    read("rows", &r.rows);
+    out.push_back(r);
+  }
+  return out;
+}
+
+double SavedRatio(int64_t used, int64_t dense) {
+  if (dense <= 0) return 0.0;
+  return 1.0 - static_cast<double>(used) / static_cast<double>(dense);
+}
+
 // One watchdog alert reconstructed from an `obs.alert` event. Only
 // deterministic-rule alerts reach the events JSONL (environment rules are
 // Chrome-trace-only), so this section is part of the deterministic report.
@@ -194,6 +243,86 @@ Report BuildReport(const ReportInputs& inputs, const ReportOptions& options) {
   const std::vector<DecisionRecord> decisions = DecisionsFromEvents(events);
   human += "\n" + RenderDecisionTable(decisions);
   json += ",\"decision_audit\":" + DecisionAuditJson(decisions);
+
+  // Resource ledger (deterministic: `resource` events are exact integer
+  // rollups of the round plan). Integer fields are serialized via
+  // to_string so 64-bit totals round-trip exactly through the report.
+  const std::vector<ResourceRound> resources = ResourcesFromEvents(events);
+  {
+    ResourceRound tot;
+    tot.round = static_cast<int64_t>(resources.size());
+    for (const ResourceRound& r : resources) {
+      tot.workers += r.workers;
+      tot.flops_fwd += r.flops_fwd;
+      tot.flops_bwd += r.flops_bwd;
+      tot.bytes_up += r.bytes_up;
+      tot.bytes_down += r.bytes_down;
+      tot.bytes_residual += r.bytes_residual;
+      tot.dense_flops += r.dense_flops;
+      tot.dense_bytes += r.dense_bytes;
+      tot.rows += r.rows;
+    }
+    const int64_t tot_flops = tot.flops_fwd + tot.flops_bwd;
+    const int64_t tot_wire = tot.bytes_up + tot.bytes_down;
+    human += "\nResources (" + std::to_string(resources.size()) + " rounds)\n";
+    human += "  round   workers       flops_total          bytes_up"
+             "        bytes_down  saved_b  saved_f\n";
+    for (const ResourceRound& r : resources) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %5lld  %8lld  %16lld  %16lld  %16lld  %6.1f%%  %6.1f%%\n",
+                    static_cast<long long>(r.round),
+                    static_cast<long long>(r.workers),
+                    static_cast<long long>(r.flops_fwd + r.flops_bwd),
+                    static_cast<long long>(r.bytes_up),
+                    static_cast<long long>(r.bytes_down),
+                    SavedRatio(r.bytes_up + r.bytes_down, r.dense_bytes) * 100.0,
+                    SavedRatio(r.flops_fwd + r.flops_bwd, r.dense_flops) *
+                        100.0);
+      human += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  total  %8lld  %16lld  %16lld  %16lld  %6.1f%%  %6.1f%%\n",
+                  static_cast<long long>(tot.workers),
+                  static_cast<long long>(tot_flops),
+                  static_cast<long long>(tot.bytes_up),
+                  static_cast<long long>(tot.bytes_down),
+                  SavedRatio(tot_wire, tot.dense_bytes) * 100.0,
+                  SavedRatio(tot_flops, tot.dense_flops) * 100.0);
+    human += buf;
+
+    auto resource_json = [](const ResourceRound& r, int64_t flops,
+                            int64_t wire) {
+      std::string j = "{";
+      j += "\"workers\":" + std::to_string(r.workers);
+      j += ",\"flops_fwd\":" + std::to_string(r.flops_fwd);
+      j += ",\"flops_bwd\":" + std::to_string(r.flops_bwd);
+      j += ",\"flops_total\":" + std::to_string(flops);
+      j += ",\"bytes_up\":" + std::to_string(r.bytes_up);
+      j += ",\"bytes_down\":" + std::to_string(r.bytes_down);
+      j += ",\"bytes_residual\":" + std::to_string(r.bytes_residual);
+      j += ",\"dense_flops\":" + std::to_string(r.dense_flops);
+      j += ",\"dense_bytes\":" + std::to_string(r.dense_bytes);
+      j += ",\"rows\":" + std::to_string(r.rows);
+      j += ",\"bytes_saved_ratio\":" +
+           JsonNumber(SavedRatio(wire, r.dense_bytes), 6);
+      j += ",\"flops_saved_ratio\":" +
+           JsonNumber(SavedRatio(flops, r.dense_flops), 6);
+      j += "}";
+      return j;
+    };
+    json += ",\"resources\":{\"rounds\":" + std::to_string(resources.size());
+    json += ",\"totals\":" + resource_json(tot, tot_flops, tot_wire);
+    json += ",\"per_round\":[";
+    for (size_t r = 0; r < resources.size(); ++r) {
+      if (r > 0) json += ",";
+      const ResourceRound& rr = resources[r];
+      json += "{\"round\":" + std::to_string(rr.round) +
+              ",\"data\":" + resource_json(rr, rr.flops_fwd + rr.flops_bwd,
+                                           rr.bytes_up + rr.bytes_down) +
+              "}";
+    }
+    json += "]}";
+  }
 
   // Watchdog alerts (deterministic — only logical-rule alerts are in the
   // events JSONL). Always present, so `--diff` can compare alert counts

@@ -22,6 +22,7 @@ struct ReportFacts {
   std::map<std::string, int64_t> alerts_by_rule;
   std::map<std::string, double> hit_rates;
   std::map<std::string, double> last_round;  // numeric round-log tail
+  std::map<std::string, double> resources;   // ledger totals (flops, bytes)
 };
 
 ReportFacts ExtractFacts(const std::string& text, const char* label,
@@ -76,6 +77,15 @@ ReportFacts ExtractFacts(const std::string& text, const char* label,
     if (last->is_object()) {
       for (const auto& [key, value] : last->object) {
         if (value.is_number()) facts.last_round[key] = value.number;
+      }
+    }
+  }
+  if (const JsonValue* res = doc.Find("resources")) {
+    if (const JsonValue* totals = res->Find("totals")) {
+      if (totals->is_object()) {
+        for (const auto& [key, value] : totals->object) {
+          if (value.is_number()) facts.resources[key] = value.number;
+        }
       }
     }
   }
@@ -136,6 +146,23 @@ ReportDiff DiffReports(const std::string& a_json, const std::string& b_json) {
     const auto ib = b.last_round.find(key);
     const double va = ia != a.last_round.end() ? ia->second : 0.0;
     const double vb = ib != b.last_round.end() ? ib->second : 0.0;
+    row(key.c_str(), va, vb);
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + JsonEscape(key) + "\":{\"a\":" + JsonNumber(va, 6) +
+            ",\"b\":" + JsonNumber(vb, 6) +
+            ",\"delta\":" + JsonNumber(vb - va, 6) + "}";
+  }
+  json += "}";
+
+  human += "\nResources (run totals)\n";
+  json += ",\"resources\":{";
+  first = true;
+  for (const auto& [key, unused] : KeyUnion(a.resources, b.resources)) {
+    const auto ia = a.resources.find(key);
+    const auto ib = b.resources.find(key);
+    const double va = ia != a.resources.end() ? ia->second : 0.0;
+    const double vb = ib != b.resources.end() ? ib->second : 0.0;
     row(key.c_str(), va, vb);
     if (!first) json += ",";
     first = false;

@@ -73,6 +73,17 @@ std::string ChromeTraceFromEvents(std::vector<TraceEvent> events) {
   }
 
   for (const TraceEvent& e : events) {
+    if (e.counter) {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"%s\",\"args\":",
+                    TrackTid(e.track), e.wall_begin_us,
+                    JsonEscape(e.name).c_str());
+      out += buf;
+      out += ArgsToJson(e.args);  // each arg key renders as one series
+      out += "}";
+      continue;
+    }
     if (e.instant) {
       std::snprintf(buf, sizeof(buf),
                     ",{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"

@@ -27,6 +27,7 @@ struct TraceEvent {
   uint64_t track_seq = 0;  // logical events only
   bool instant = false;
   bool logical = true;  // include in the deterministic export
+  bool counter = false;  // Chrome "C" counter sample (never logical)
   Args args;
 };
 

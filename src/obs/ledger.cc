@@ -1,0 +1,126 @@
+#include "obs/ledger.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+
+namespace internal {
+std::atomic<bool> g_mac_counting{false};
+thread_local int64_t t_mac_count = 0;
+}  // namespace internal
+
+void SetMacCountingEnabled(bool on) {
+  internal::g_mac_counting.store(on, std::memory_order_relaxed);
+}
+
+bool MacCountingEnabled() {
+  return internal::g_mac_counting.load(std::memory_order_relaxed);
+}
+
+int64_t ThreadMacCount() { return internal::t_mac_count; }
+
+void ResetThreadMacCount() { internal::t_mac_count = 0; }
+
+WorkerResources& WorkerResources::operator+=(const WorkerResources& o) {
+  flops_forward += o.flops_forward;
+  flops_backward += o.flops_backward;
+  bytes_down += o.bytes_down;
+  bytes_up += o.bytes_up;
+  bytes_residual += o.bytes_residual;
+  dense_flops += o.dense_flops;
+  dense_bytes += o.dense_bytes;
+  rows += o.rows;
+  return *this;
+}
+
+double RoundResources::BytesSavedRatio() const {
+  if (total.dense_bytes <= 0) return 0.0;
+  return 1.0 - static_cast<double>(total.wire_bytes()) /
+                   static_cast<double>(total.dense_bytes);
+}
+
+double RoundResources::FlopsSavedRatio() const {
+  if (total.dense_flops <= 0) return 0.0;
+  return 1.0 - static_cast<double>(total.flops()) /
+                   static_cast<double>(total.dense_flops);
+}
+
+void Ledger::BeginRound(int64_t round, int num_fogs) {
+  current_ = RoundResources{};
+  current_.round = round;
+  if (num_fogs > 0) {
+    current_.per_fog.assign(static_cast<size_t>(num_fogs), WorkerResources{});
+  }
+}
+
+void Ledger::Add(const WorkerResources& w, int fog) {
+  current_.total += w;
+  ++current_.workers;
+  if (fog >= 0 && static_cast<size_t>(fog) < current_.per_fog.size()) {
+    current_.per_fog[static_cast<size_t>(fog)] += w;
+  }
+}
+
+RoundResources Ledger::Commit() {
+  const RoundResources round = current_;
+  cumulative_ += round.total;
+  ++rounds_committed_;
+
+  if (Enabled()) {
+    Registry& reg = Registry::Get();
+    reg.GetGauge("fl.ledger.round.flops")
+        ->Set(static_cast<double>(round.total.flops()));
+    reg.GetGauge("fl.ledger.round.bytes_up")
+        ->Set(static_cast<double>(round.total.bytes_up));
+    reg.GetGauge("fl.ledger.round.bytes_down")
+        ->Set(static_cast<double>(round.total.bytes_down));
+    reg.GetGauge("fl.ledger.round.bytes_saved_ratio")
+        ->Set(round.BytesSavedRatio());
+    reg.GetCounter("fl.ledger.total.flops")
+        ->Add(static_cast<double>(round.total.flops()));
+    reg.GetCounter("fl.ledger.total.bytes")
+        ->Add(static_cast<double>(round.total.wire_bytes()));
+
+    // Deterministic per-round rollup on the PS track (driver thread; never
+    // inside a TraceMuteScope, so sampling plans cannot perturb it).
+    InstantEvent("resource", PsTrack(),
+                 {{"round", round.round},
+                  {"workers", round.workers},
+                  {"flops_fwd", round.total.flops_forward},
+                  {"flops_bwd", round.total.flops_backward},
+                  {"bytes_up", round.total.bytes_up},
+                  {"bytes_down", round.total.bytes_down},
+                  {"bytes_residual", round.total.bytes_residual},
+                  {"dense_flops", round.total.dense_flops},
+                  {"dense_bytes", round.total.dense_bytes},
+                  {"rows", round.total.rows},
+                  {"bytes_saved_ratio", round.BytesSavedRatio()},
+                  {"flops_saved_ratio", round.FlopsSavedRatio()}});
+    if (static_cast<int>(round.per_fog.size()) <= kMaxPerFogEvents) {
+      for (size_t f = 0; f < round.per_fog.size(); ++f) {
+        const WorkerResources& w = round.per_fog[f];
+        if (w.rows == 0 && w.wire_bytes() == 0) continue;
+        InstantEvent("resource.fog", PsTrack(),
+                     {{"round", round.round},
+                      {"fog", static_cast<int64_t>(f)},
+                      {"flops", w.flops()},
+                      {"bytes_up", w.bytes_up},
+                      {"bytes_down", w.bytes_down},
+                      {"rows", w.rows}});
+      }
+    }
+    CounterEvent("fl.ledger.flops", PsTrack(),
+                 {{"macs", round.total.flops()}});
+    CounterEvent("fl.ledger.bytes", PsTrack(),
+                 {{"up", round.total.bytes_up},
+                  {"down", round.total.bytes_down},
+                  {"saved", round.total.dense_bytes -
+                                round.total.wire_bytes()}});
+  }
+
+  current_ = RoundResources{};
+  return round;
+}
+
+}  // namespace fedmp::obs

@@ -1,0 +1,133 @@
+#ifndef FEDMP_OBS_LEDGER_H_
+#define FEDMP_OBS_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+// Deterministic resource-accounting ledger: exact FLOP (multiply-accumulate)
+// and payload-byte attribution for every worker round-trip, rolled up
+// per-worker -> per-cluster (fog) -> per-round.
+//
+// Counts are 64-bit integers computed analytically at dispatch time from
+// the *pruned* sub-model shapes (nn/flops.h) and payload shape math
+// (fl/resource_accounting.h) — a pure function of the mask and round plan,
+// never of wall time or thread interleaving. Integer addition is
+// associative, so the fold order does not matter and every total is
+// bit-identical at any FEDMP_THREADS / shard count. The ledger itself is
+// std-only (obs sits below nn/fl) and lock-free: trainers accumulate
+// per-worker entries from their serial commit paths (or slot-indexed
+// buffers) and Commit() once per round from the driver thread.
+//
+// The instrumented cross-check: nn/ matmul kernels add their algorithmic
+// MAC count (m·n·k) to a thread-local counter when counting is enabled.
+// LocalTrain runs entirely on one lane thread, so reading the counter
+// delta around the call yields the kernel-truth MACs for that worker —
+// compared against the analytic count by tests and, when
+// FEDMP_LEDGER_CHECK=1, by the trainers on every dispatch.
+namespace fedmp::obs {
+
+// ---------------------------------------------------------------------------
+// Instrumented MAC counting (hot path: one relaxed load + one TL add)
+// ---------------------------------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> g_mac_counting;
+extern thread_local int64_t t_mac_count;
+}  // namespace internal
+
+// Globally arms the kernel counters (off by default; the add below is a
+// single predictable branch when disarmed, so leaving the hooks compiled
+// into the kernels costs nothing measurable).
+void SetMacCountingEnabled(bool on);
+bool MacCountingEnabled();
+
+// Called by the matmul kernels at entry with the algorithmic MAC count
+// (m·n·k) — counted on the calling thread before any panel parallelism,
+// so the total lands on the thread that issued the kernel.
+inline void CountMacs(int64_t macs) {
+  if (internal::g_mac_counting.load(std::memory_order_relaxed)) {
+    internal::t_mac_count += macs;
+  }
+}
+
+// This thread's accumulated MAC count since the last reset.
+int64_t ThreadMacCount();
+void ResetThreadMacCount();
+
+// ---------------------------------------------------------------------------
+// Resource attribution
+// ---------------------------------------------------------------------------
+
+// Exact resources attributed to one worker's round-trip.
+struct WorkerResources {
+  int64_t flops_forward = 0;   // analytic MACs, forward passes of LocalTrain
+  int64_t flops_backward = 0;  // analytic MACs, backward passes
+  int64_t bytes_down = 0;      // PS -> worker: dense f32 sub weights + mask
+  int64_t bytes_up = 0;        // worker -> PS: trained payload (compressed)
+  int64_t bytes_residual = 0;  // PS-side residual storage (quantized or f32)
+  int64_t dense_flops = 0;     // unpruned baseline MACs for the same rows
+  int64_t dense_bytes = 0;     // unpruned dense f32 round-trip bytes
+  int64_t rows = 0;            // training examples processed
+
+  int64_t flops() const { return flops_forward + flops_backward; }
+  int64_t wire_bytes() const { return bytes_down + bytes_up; }
+
+  WorkerResources& operator+=(const WorkerResources& o);
+};
+
+// One round's rollup: fleet total plus per-fog cluster subtotals.
+struct RoundResources {
+  int64_t round = -1;
+  int64_t workers = 0;  // round-trips folded in
+  WorkerResources total;
+  std::vector<WorkerResources> per_fog;  // empty when no hierarchy rollup
+
+  // Fraction of the dense-baseline wire bytes that pruning/compression
+  // saved this round: 1 - wire/dense. 0 when no baseline was recorded.
+  double BytesSavedRatio() const;
+  // Same for compute: 1 - flops/dense_flops.
+  double FlopsSavedRatio() const;
+};
+
+// Per-round accumulator. NOT thread-safe by design: all writes must come
+// from one thread at a time (the trainers' serial commit paths) or from
+// slot-indexed buffers folded by the driver; the determinism contract is
+// documented above. Commit() publishes the round to metrics gauges, a
+// logical `resource` instant event on the PS track (plus per-fog
+// `resource.fog` events while the fog count is small enough to bound the
+// O(fleet) telemetry term), and the `fl.ledger.*` Chrome counter track.
+class Ledger {
+ public:
+  // Starts accumulation for `round`. num_fogs > 0 sizes the cluster rollup.
+  void BeginRound(int64_t round, int num_fogs = 0);
+
+  // Folds one worker round-trip into the current round (and fog cluster
+  // `fog` when the rollup is active; pass -1 for "no cluster").
+  void Add(const WorkerResources& w, int fog = -1);
+
+  const RoundResources& current() const { return current_; }
+
+  // Closes the round: emits telemetry (when obs::Enabled()), folds the
+  // round into the cumulative totals, and returns the round's rollup.
+  RoundResources Commit();
+
+  // Lifetime totals across all committed rounds.
+  const WorkerResources& cumulative() const { return cumulative_; }
+  int64_t rounds_committed() const { return rounds_committed_; }
+
+ private:
+  RoundResources current_;
+  WorkerResources cumulative_;
+  int64_t rounds_committed_ = 0;
+};
+
+// Cap on per-fog `resource.fog` events per round: past this many fogs only
+// the fleet total is emitted (the per-fog subtotals stay available in the
+// returned RoundResources). Pure function of config, so the gate is
+// thread-count invariant.
+inline constexpr int kMaxPerFogEvents = 64;
+
+}  // namespace fedmp::obs
+
+#endif  // FEDMP_OBS_LEDGER_H_

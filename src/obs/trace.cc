@@ -273,6 +273,19 @@ void InstantEventEnv(const char* name, Track track, Args args) {
   event.args = std::move(args);
   PushEvent(std::move(event));
 }
+void CounterEvent(const char* name, Track track, Args args) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.track = track;
+  event.wall_begin_us = event.wall_end_us = WallNowUs();
+  event.logical_begin = event.logical_end = LogicalTime();
+  event.instant = true;
+  event.logical = false;  // Chrome trace only, by contract
+  event.counter = true;
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
 
 void RecordPoolChunk(int lane, double wall_begin_us, double wall_end_us,
                      int64_t iterations) {

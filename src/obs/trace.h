@@ -194,6 +194,12 @@ void InstantEvent(const char* name, Track track, Args args = {});
 // Chrome trace only, like pool-lane events.
 void InstantEventEnv(const char* name, Track track, Args args = {});
 
+// A Chrome counter sample (ph "C"): each arg key becomes one series of the
+// named counter track (e.g. the ledger's `fl.ledger.bytes` up/down plot).
+// Chrome-trace only — the same values already reach the deterministic
+// export through logical instant events, so counters stay env-class.
+void CounterEvent(const char* name, Track track, Args args);
+
 // Pool instrumentation hook (called by common/thread_pool.cc): records a
 // chunk execution on the lane's pool track; chunks shorter than
 // pool_event_min_us are dropped.

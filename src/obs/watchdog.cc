@@ -103,6 +103,50 @@ std::vector<WatchdogAlert> Watchdog::Evaluate(const WatchdogSignals& s) {
     }
   }
 
+  // --- Comm-bytes blowup (deterministic: ledger totals are pure functions
+  // of the round plan). Baseline = smallest non-zero round seen so far, so
+  // a regression back toward dense transfers fires relative to the best
+  // pruning the run achieved. ---
+  if (rules_.comm_bytes_blowup_factor > 0.0 && s.round_wire_bytes > 0) {
+    if (min_round_wire_bytes_ > 0) {
+      const double threshold = rules_.comm_bytes_blowup_factor *
+                               static_cast<double>(min_round_wire_bytes_);
+      if (static_cast<double>(s.round_wire_bytes) > threshold) {
+        WatchdogAlert alert;
+        alert.rule = "comm_bytes_blowup";
+        alert.round = s.round;
+        alert.value = static_cast<double>(s.round_wire_bytes);
+        alert.threshold = threshold;
+        std::snprintf(buf, sizeof(buf),
+                      "round wire bytes %lld > %.2fx best round %lld",
+                      static_cast<long long>(s.round_wire_bytes),
+                      rules_.comm_bytes_blowup_factor,
+                      static_cast<long long>(min_round_wire_bytes_));
+        alert.detail = buf;
+        alerts.push_back(std::move(alert));
+      }
+    }
+    if (min_round_wire_bytes_ == 0 ||
+        s.round_wire_bytes < min_round_wire_bytes_) {
+      min_round_wire_bytes_ = s.round_wire_bytes;
+    }
+  }
+
+  // --- FLOP budget regression (deterministic). ---
+  if (rules_.flop_budget > 0 && s.round_flops > rules_.flop_budget) {
+    WatchdogAlert alert;
+    alert.rule = "flop_budget_regression";
+    alert.round = s.round;
+    alert.value = static_cast<double>(s.round_flops);
+    alert.threshold = static_cast<double>(rules_.flop_budget);
+    std::snprintf(buf, sizeof(buf),
+                  "round MACs %lld > budget %lld",
+                  static_cast<long long>(s.round_flops),
+                  static_cast<long long>(rules_.flop_budget));
+    alert.detail = buf;
+    alerts.push_back(std::move(alert));
+  }
+
   // --- Peak RSS over budget (environment). ---
   if (rules_.rss_budget_bytes > 0 && s.peak_rss_bytes > 0 &&
       s.peak_rss_bytes > rules_.rss_budget_bytes) {
@@ -187,6 +231,10 @@ bool ParseRuleOverrides(const char* spec, WatchdogRules* rules) {
           rules->cache_hit_rate_floor = v;
         } else if (std::strcmp(item, "cache_warmup") == 0) {
           rules->cache_warmup_rounds = static_cast<int64_t>(v);
+        } else if (std::strcmp(item, "comm_factor") == 0) {
+          rules->comm_bytes_blowup_factor = v;
+        } else if (std::strcmp(item, "flop_budget") == 0) {
+          rules->flop_budget = static_cast<int64_t>(v);
         } else {
           std::fprintf(stderr, "[obs] FEDMP_WATCHDOG: unknown rule '%s'\n",
                        item);

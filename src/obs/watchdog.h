@@ -41,6 +41,13 @@ struct WatchdogRules {
   double cache_hit_rate_floor = 0.0;
   // Hit-rate collapse is only judged after the cache had a chance to warm.
   int64_t cache_warmup_rounds = 8;
+  // Resource-ledger rules (deterministic: ledger totals are pure functions
+  // of the round plan). <= 0 disables each.
+  // Comm blowup: a round's wire bytes exceed factor x the smallest round
+  // observed so far (pruning regressing to near-dense transfers).
+  double comm_bytes_blowup_factor = 0.0;
+  // FLOP budget: a round's total MACs exceed this absolute budget.
+  int64_t flop_budget = 0;
 };
 
 // Everything a round boundary knows, pushed in by the trainer (obs sits
@@ -55,6 +62,9 @@ struct WatchdogSignals {
   std::vector<int64_t> fog_participants;
   bool evaluated = false;   // did this round run an evaluation?
   double accuracy = 0.0;    // valid when evaluated (may be NaN)
+  // Resource-ledger signals (deterministic; 0 when the ledger is idle).
+  int64_t round_wire_bytes = 0;  // bytes_up + bytes_down, fleet total
+  int64_t round_flops = 0;       // forward+backward MACs, fleet total
   // Environment signals (thread-count / host dependent).
   int64_t peak_rss_bytes = 0;
   double model_cache_hit_rate = -1.0;  // < 0: unknown this round
@@ -63,7 +73,8 @@ struct WatchdogSignals {
 struct WatchdogAlert {
   std::string rule;    // "straggler_blowup", "fog_silent", "accuracy_nan",
                        // "accuracy_stall", "rss_over_budget",
-                       // "cache_hit_rate_collapse"
+                       // "cache_hit_rate_collapse", "comm_bytes_blowup",
+                       // "flop_budget_regression"
   std::string detail;  // human one-liner
   int64_t round = 0;
   bool deterministic = true;  // logical-export eligible
@@ -89,6 +100,7 @@ class Watchdog {
   bool has_best_accuracy_ = false;
   double best_accuracy_ = 0.0;
   int64_t evals_since_improvement_ = 0;
+  int64_t min_round_wire_bytes_ = 0;  // comm-blowup baseline (0: none yet)
 };
 
 // Process-global instance the trainers feed. EnableWatchdog installs the
@@ -99,7 +111,7 @@ bool WatchdogActive();
 
 // Enables from FEDMP_WATCHDOG: "1"/"on" for defaults, or a comma list of
 // key=value overrides (straggler_factor, fog_rounds, acc_evals, acc_eps,
-// rss_mb, cache_floor, cache_warmup), e.g.
+// rss_mb, cache_floor, cache_warmup, comm_factor, flop_budget), e.g.
 //   FEDMP_WATCHDOG=straggler_factor=6,fog_rounds=2,rss_mb=500
 // Returns whether the watchdog ended up active.
 bool MaybeEnableWatchdogFromEnv();

@@ -1,0 +1,268 @@
+// Resource-accounting ledger: the analytic FLOP/byte attribution must match
+// the instrumented kernel counts exactly (the analytic side is a pure
+// function of the pruned sub-model spec, the instrumented side is what the
+// matmul kernels actually executed), and the per-round rollups must be
+// bit-identical across thread counts and PS shard counts.
+
+#include "fl/resource_accounting.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "data/task_zoo.h"
+#include "edge/cost_model.h"
+#include "edge/device.h"
+#include "fl/pipeline.h"
+#include "fl/strategies/fedmp_strategy.h"
+#include "fl/strategies/syn_fl.h"
+#include "fl/trainer.h"
+#include "fl/worker.h"
+#include "nn/model_builder.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pruning/structured_pruner.h"
+
+namespace fedmp::fl {
+namespace {
+
+std::vector<int64_t> ShardOfSize(int64_t n) {
+  std::vector<int64_t> shard(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) shard[static_cast<size_t>(i)] = i;
+  return shard;
+}
+
+// Trains one worker on a (possibly pruned) sub-model with the kernel MAC
+// counters armed and checks the analytic count — twice, so the second call
+// also exercises the carried DataLoader cursor (partial tail batches).
+void CheckAnalyticMacs(const data::FlTask& task, double ratio) {
+  SCOPED_TRACE("task=" + task.model.name + " ratio=" + std::to_string(ratio));
+  const nn::ModelSpec& spec = task.model;
+  auto model = nn::BuildModelOrDie(spec, /*seed=*/11);
+  const nn::TensorList weights = model->GetWeights();
+
+  pruning::SubModel sub;
+  if (ratio > 0.0) {
+    const pruning::ImportanceRanking ranking =
+        pruning::RankUnits(spec, weights);
+    auto pruned = pruning::PruneByRatioRanked(spec, weights, ranking, ratio);
+    ASSERT_TRUE(pruned.ok()) << pruned.status();
+    sub = std::move(pruned).value();
+  } else {
+    sub.spec = spec;
+    sub.weights = weights;
+    sub.mask = pruning::FullMask(spec);
+  }
+
+  // A shard not divisible by the batch size forces partial tail batches.
+  Worker worker(0, &task.train, ShardOfSize(37), edge::JetsonTx2Mode(0), 7);
+  LocalTrainOptions local;
+  local.tau = 3;
+  local.batch_size = 16;
+  local.learning_rate = 0.05;
+  local.is_language_model = task.is_language_model;
+  if (task.is_language_model) local.clip_norm = 5.0;
+
+  const ResourceParams params = MakeResourceParams(spec, weights);
+  obs::SetMacCountingEnabled(true);
+  for (int call = 0; call < 2; ++call) {
+    // PlannedRows must be read before LocalTrain advances the cursor.
+    const obs::WorkerResources res = ComputeWorkerResources(
+        params, sub.spec, sub.mask, worker.PlannedRows(local),
+        /*compress_ratio=*/0.0, /*quantize_residuals=*/false);
+    obs::ResetThreadMacCount();
+    worker.LocalTrain(sub.spec, sub.weights, local);
+    EXPECT_EQ(obs::ThreadMacCount(), res.flops()) << "call " << call;
+    EXPECT_GT(res.flops(), 0);
+    if (ratio > 0.0) {
+      EXPECT_LT(res.flops(), res.dense_flops)
+          << "pruning must reduce the MAC count";
+    } else {
+      EXPECT_EQ(res.flops(), res.dense_flops);
+    }
+  }
+  obs::SetMacCountingEnabled(false);
+}
+
+TEST(ResourceLedgerTest, AnalyticMacsMatchInstrumentedKernelsAcrossZoo) {
+  const uint64_t seed = 5;
+  for (double ratio : {0.0, 0.25, 0.5}) {
+    CheckAnalyticMacs(data::MakeCnnMnistTask(data::TaskScale::kTiny, seed),
+                      ratio);
+    CheckAnalyticMacs(
+        data::MakeAlexNetCifarTask(data::TaskScale::kTiny, seed), ratio);
+    CheckAnalyticMacs(data::MakeLstmPtbTask(data::TaskScale::kTiny, seed),
+                      ratio);
+  }
+}
+
+TEST(ResourceLedgerTest, MaskWireBytesChargesOnlyPrunableLayers) {
+  pruning::PruneMask mask;
+  pruning::LayerMask prunable;
+  prunable.prunable = true;
+  prunable.original_width = 10;  // 2-byte bitmap
+  pruning::LayerMask implied;    // BatchNorm-style follower: free
+  implied.prunable = false;
+  implied.original_width = 10;
+  pruning::LayerMask wide;
+  wide.prunable = true;
+  wide.original_width = 64;  // exact 8-byte bitmap
+  mask.layers = {prunable, implied, wide};
+  // Per prunable layer: 8-byte header + ceil(width/8) bitmap.
+  EXPECT_EQ(MaskWireBytes(mask), (8 + 2) + (8 + 8));
+}
+
+TEST(ResourceLedgerTest, ByteAttributionForDenseAndPrunedWorkers) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  auto model = nn::BuildModelOrDie(task.model, 11);
+  const nn::TensorList weights = model->GetWeights();
+  const ResourceParams params = MakeResourceParams(task.model, weights);
+  const int64_t dense_bytes = task.model.NumParams() * 4;
+
+  // Dense worker (FedAvg): full payload both ways, no mask, no residual —
+  // and therefore zero savings vs the dense baseline.
+  pruning::SubModel full;
+  full.spec = task.model;
+  full.mask = pruning::FullMask(task.model);
+  const obs::WorkerResources dense = ComputeWorkerResources(
+      params, full.spec, full.mask, /*rows=*/48, 0.0, false);
+  EXPECT_EQ(dense.bytes_down, dense_bytes);
+  EXPECT_EQ(dense.bytes_up, dense_bytes);
+  EXPECT_EQ(dense.bytes_residual, 0);
+  EXPECT_EQ(dense.wire_bytes(), dense.dense_bytes);
+
+  // Pruned worker: smaller payloads + mask encoding + PS residual.
+  const pruning::ImportanceRanking ranking =
+      pruning::RankUnits(task.model, weights);
+  auto pruned =
+      pruning::PruneByRatioRanked(task.model, weights, ranking, 0.5);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  const int64_t sub_bytes = pruned.value().spec.NumParams() * 4;
+  const obs::WorkerResources small = ComputeWorkerResources(
+      params, pruned.value().spec, pruned.value().mask, 48, 0.0, false);
+  EXPECT_EQ(small.bytes_down, sub_bytes + MaskWireBytes(pruned.value().mask));
+  EXPECT_EQ(small.bytes_up, sub_bytes);
+  EXPECT_EQ(small.bytes_residual, params.residual_bytes_f32);
+  EXPECT_LT(small.wire_bytes(), small.dense_bytes);
+
+  // Upload compression shrinks only the uplink ((1-ratio) x 1.1 overhead);
+  // quantized residuals shrink the PS-side storage.
+  const obs::WorkerResources squeezed = ComputeWorkerResources(
+      params, pruned.value().spec, pruned.value().mask, 48, 0.5, true);
+  EXPECT_EQ(squeezed.bytes_down, small.bytes_down);
+  EXPECT_LT(squeezed.bytes_up, small.bytes_up);
+  EXPECT_EQ(squeezed.bytes_residual, params.residual_bytes_quantized);
+  EXPECT_LT(params.residual_bytes_quantized, params.residual_bytes_f32);
+}
+
+RoundLog RunSync(std::unique_ptr<Strategy> strategy, int num_threads,
+                 int ps_shards) {
+  const data::FlTask task = data::MakeCnnMnistTask(data::TaskScale::kTiny, 5);
+  const auto fleet =
+      edge::MakeHeterogeneousWorkers(edge::HeterogeneityLevel::kMedium, 5);
+  TrainerOptions opt;
+  opt.max_rounds = 4;
+  opt.eval_every = 2;
+  opt.eval_batch_size = 16;
+  opt.seed = 3;
+  opt.num_threads = num_threads;
+  opt.scale.ps_shards = ps_shards;
+  Rng rng(opt.seed ^ 0xBEEFULL);
+  data::Partition partition = data::PartitionIid(
+      task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+  Trainer trainer(&task, fleet, std::move(partition), std::move(strategy),
+                  opt);
+  return trainer.Run();
+}
+
+TEST(ResourceLedgerTest, RoundLogCarriesLedgerColumns) {
+  const RoundLog fedmp = RunSync(std::make_unique<FedMpStrategy>(), 1, 1);
+  double fedmp_saved = 0.0;
+  for (const RoundRecord& r : fedmp.records()) {
+    EXPECT_GT(r.flops_total, 0) << "round " << r.round;
+    EXPECT_GT(r.bytes_up, 0) << "round " << r.round;
+    EXPECT_GT(r.bytes_down, 0) << "round " << r.round;
+    EXPECT_GE(r.bytes_saved_ratio, 0.0) << "round " << r.round;
+    fedmp_saved += r.bytes_saved_ratio;
+  }
+  // The pruned strategy actually saves wire bytes; the FedAvg baseline
+  // ships the dense model and saves nothing.
+  EXPECT_GT(fedmp_saved, 0.0);
+  const RoundLog fedavg = RunSync(std::make_unique<SynFlStrategy>(), 1, 1);
+  for (const RoundRecord& r : fedavg.records()) {
+    EXPECT_EQ(r.bytes_saved_ratio, 0.0) << "round " << r.round;
+  }
+
+  // The new columns reach both serializations.
+  const std::string jsonl = fedmp.ToJsonlString();
+  EXPECT_NE(jsonl.find("\"flops_total\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"bytes_saved_ratio\":"), std::string::npos);
+  const CsvTable table = fedmp.ToTable();
+  const std::vector<std::string>& header = table.header();
+  EXPECT_NE(std::find(header.begin(), header.end(), "flops_total"),
+            header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "bytes_saved_ratio"),
+            header.end());
+}
+
+// Runs a traced round and returns only the ledger's `resource` /
+// `resource.fog` lines of the logical export.
+std::string ResourceEvents(int num_threads, int ps_shards) {
+  obs::ResetForTest();
+  obs::Enable(obs::TraceOptions{});
+  RunSync(std::make_unique<FedMpStrategy>(), num_threads, ps_shards);
+  const std::string jsonl = obs::EventsJsonl();
+  obs::Disable();
+  obs::ResetForTest();
+  std::string out;
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"event\":\"resource") != std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+TEST(ResourceLedgerTest, ResourceEventsBitIdenticalAcrossThreadsAndShards) {
+  const std::string base = ResourceEvents(1, 1);
+  EXPECT_NE(base.find("\"event\":\"resource\""), std::string::npos);
+  EXPECT_EQ(base, ResourceEvents(4, 1));
+  EXPECT_EQ(base, ResourceEvents(1, 4));
+  EXPECT_EQ(base, ResourceEvents(4, 4));
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ResourceLedgerTest, EncodedCostModeIsOffByDefaultAndChangesTiming) {
+  // Default: bit-identical timing whether or not the ledger knows about
+  // masks/encodings — the simulated clock still charges params x 4 bytes.
+  const RoundLog a = RunSync(std::make_unique<FedMpStrategy>(), 1, 1);
+  const RoundLog b = RunSync(std::make_unique<FedMpStrategy>(), 1, 1);
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].sim_time, b.records()[i].sim_time);
+  }
+
+  // FEDMP_COST_ENCODED: comm time is charged on the exact encoded payload
+  // (mask bitmaps ride the downlink), so pruned-round timings shift.
+  edge::SetCostEncodedEnabled(true);
+  const RoundLog encoded = RunSync(std::make_unique<FedMpStrategy>(), 1, 1);
+  edge::SetCostEncodedEnabled(false);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    any_diff |= encoded.records()[i].sim_time != a.records()[i].sim_time;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace fedmp::fl

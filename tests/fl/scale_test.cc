@@ -19,6 +19,8 @@
 #include "fl/strategies/fedmp_strategy.h"
 #include "fl/trainer.h"
 #include "obs/metrics.h"
+#include "obs/sampling.h"
+#include "obs/trace.h"
 
 namespace fedmp::fl {
 namespace {
@@ -179,6 +181,59 @@ TEST(ScaleTest, StreamingViewShardedRunsBitIdentical) {
               sharded_log.records()[i].participants);
     EXPECT_EQ(serial_log.records()[i].sim_time,
               sharded_log.records()[i].sim_time);
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// Trace sampling thins per-worker EMISSION only — the resource ledger folds
+// every worker from the serial commit path, so the per-round FLOP/byte
+// totals must be identical whether the 10k-worker round runs untraced or
+// traced with a tight per-round sample budget.
+TEST(ScaleTest, TraceSamplingDoesNotChangeLedgerTotalsAtTenThousandWorkers) {
+  SetPipelineEnabled(true);
+  auto run = [&](bool sampled) {
+    obs::ResetForTest();
+    if (sampled) {
+      obs::Enable(obs::TraceOptions{});
+      obs::EnableTraceSampling(obs::SamplingOptions{/*per_round_budget=*/64,
+                                                    /*seed=*/7});
+    }
+    const data::FlTask task = data::MakeScaleCnnTask(kWorkers, /*seed=*/7);
+    const auto fleet = edge::MakeHalfAHalfB(kWorkers, /*seed=*/7);
+    TrainerOptions opt;
+    opt.max_rounds = 1;
+    opt.eval_every = 100;
+    opt.seed = 7;
+    opt.num_threads = 4;
+    opt.deadline.enabled = false;
+    opt.scale.fog_fan_out = 32;
+    opt.scale.max_inflight = 64;
+    Rng rng(opt.seed ^ 0xBEEFULL);
+    data::Partition partition = data::PartitionIid(
+        task.train.size(), static_cast<int64_t>(fleet.size()), rng);
+    Trainer trainer(&task, fleet, std::move(partition),
+                    std::make_unique<FedMpStrategy>(), opt);
+    RoundLog log = trainer.Run();
+    if (sampled) {
+      obs::DisableTraceSampling();
+      obs::Disable();
+      obs::ResetForTest();
+    }
+    return log;
+  };
+
+  const RoundLog plain = run(/*sampled=*/false);
+  const RoundLog sampled = run(/*sampled=*/true);
+  ASSERT_EQ(plain.records().size(), sampled.records().size());
+  for (size_t i = 0; i < plain.records().size(); ++i) {
+    EXPECT_GT(plain.records()[i].flops_total, 0);
+    EXPECT_EQ(plain.records()[i].flops_total,
+              sampled.records()[i].flops_total);
+    EXPECT_EQ(plain.records()[i].bytes_up, sampled.records()[i].bytes_up);
+    EXPECT_EQ(plain.records()[i].bytes_down,
+              sampled.records()[i].bytes_down);
+    EXPECT_EQ(plain.records()[i].bytes_saved_ratio,
+              sampled.records()[i].bytes_saved_ratio);
   }
   ThreadPool::SetGlobalThreads(1);
 }

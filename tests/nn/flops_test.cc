@@ -1,0 +1,105 @@
+#include "nn/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_spec.h"
+
+namespace fedmp::nn {
+namespace {
+
+TEST(PlannedLoaderRowsTest, PartialTailBatchThenWrap) {
+  // 10 rows, batch 4: the loader delivers 4, 4, 2 and wraps to cursor 0.
+  EXPECT_EQ(PlannedLoaderRows(10, 4, 0, 3), 10);
+  // A fourth iteration restarts from the front.
+  EXPECT_EQ(PlannedLoaderRows(10, 4, 0, 4), 14);
+}
+
+TEST(PlannedLoaderRowsTest, ResumesFromCarriedCursor) {
+  // cursor 8 of 10: first batch is the 2-row tail, then a full 4.
+  EXPECT_EQ(PlannedLoaderRows(10, 4, 8, 2), 6);
+  // Divisible case: every batch is full regardless of cursor.
+  EXPECT_EQ(PlannedLoaderRows(12, 4, 4, 5), 20);
+}
+
+TEST(PlannedLoaderRowsTest, DegenerateInputsYieldZero) {
+  EXPECT_EQ(PlannedLoaderRows(0, 4, 0, 3), 0);
+  EXPECT_EQ(PlannedLoaderRows(10, 4, 0, 0), 0);
+}
+
+TEST(AnalyzeTrainingMacsTest, LinearChainMatchesHandCount) {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input.kind = ShapeKind::kFeatures;
+  spec.input.f = 12;
+  spec.num_classes = 3;
+  spec.layers = {LayerSpec::Dense(12, 8), LayerSpec::Relu(),
+                 LayerSpec::Dense(8, 3)};
+
+  MacAnalysis macs;
+  ASSERT_TRUE(AnalyzeTrainingMacs(spec, &macs).ok());
+  ASSERT_EQ(macs.layers.size(), 3u);
+  EXPECT_EQ(macs.layers[0].forward, 12 * 8);
+  EXPECT_EQ(macs.layers[0].backward, 2 * 12 * 8);  // dW + dX
+  EXPECT_EQ(macs.layers[1].forward, 0);            // ReLU is elementwise
+  EXPECT_EQ(macs.layers[2].forward, 8 * 3);
+  EXPECT_EQ(macs.forward_per_sample, 12 * 8 + 8 * 3);
+  EXPECT_EQ(macs.backward_per_sample, 2 * (12 * 8 + 8 * 3));
+  EXPECT_EQ(macs.per_sample(), 3 * (12 * 8 + 8 * 3));
+  EXPECT_EQ(TrainingMacsForRows(macs, 10), 30 * (12 * 8 + 8 * 3));
+}
+
+TEST(AnalyzeTrainingMacsTest, ConvBackwardIsTwiceForward) {
+  ModelSpec spec;
+  spec.name = "conv";
+  spec.input.kind = ShapeKind::kImage;
+  spec.input.c = 1;
+  spec.input.h = 8;
+  spec.input.w = 8;
+  spec.num_classes = 2;
+  spec.layers = {LayerSpec::Conv(1, 4, 3, 1, 1), LayerSpec::Relu(),
+                 LayerSpec::Flat(), LayerSpec::Dense(4 * 8 * 8, 2)};
+
+  MacAnalysis macs;
+  ASSERT_TRUE(AnalyzeTrainingMacs(spec, &macs).ok());
+  // im2col matmul: OH*OW rows, patch = in_c * k * k.
+  EXPECT_EQ(macs.layers[0].forward, 8 * 8 * 4 * (1 * 3 * 3));
+  EXPECT_EQ(macs.layers[0].backward, 2 * macs.layers[0].forward);
+  EXPECT_EQ(macs.backward_per_sample, 2 * macs.forward_per_sample);
+}
+
+TEST(AnalyzeTrainingMacsTest, LstmBackwardSkipsInitialRecurrentGrad) {
+  const int64_t T = 5, In = 6, H = 4;
+  ModelSpec spec;
+  spec.name = "lstm";
+  spec.input.kind = ShapeKind::kTokens;
+  spec.input.t = T;
+  spec.num_classes = 7;
+  spec.layers = {LayerSpec::Embed(7, In), LayerSpec::LstmLayer(In, H),
+                 LayerSpec::TimeFlat(), LayerSpec::Dense(H, 7)};
+
+  MacAnalysis macs;
+  ASSERT_TRUE(AnalyzeTrainingMacs(spec, &macs).ok());
+  EXPECT_EQ(macs.layers[0].forward, 0);  // embedding is a gather
+  EXPECT_EQ(macs.layers[1].forward, T * 4 * H * (In + H));
+  // dWx+dx every step, dWh only for t>0 (h_prev is the zero state at t=0),
+  // dh_next (Matmul with Wh) every step: 2*T on the input path, (2T-1) on
+  // the recurrent path.
+  EXPECT_EQ(macs.layers[1].backward,
+            2 * T * 4 * H * In + (2 * T - 1) * 4 * H * H);
+  // The head after TimeFlatten sees T rows per sample.
+  EXPECT_EQ(macs.layers[3].forward, T * H * 7);
+  EXPECT_EQ(macs.layers[3].backward, 2 * T * H * 7);
+}
+
+TEST(AnalyzeTrainingMacsTest, MalformedSpecReturnsError) {
+  ModelSpec spec;
+  spec.name = "broken";
+  spec.input.kind = ShapeKind::kFeatures;
+  spec.input.f = 4;
+  spec.layers = {LayerSpec::Dense(5, 3)};  // width mismatch
+  MacAnalysis macs;
+  EXPECT_FALSE(AnalyzeTrainingMacs(spec, &macs).ok());
+}
+
+}  // namespace
+}  // namespace fedmp::nn

@@ -1,0 +1,147 @@
+#include "obs/ledger.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedmp::obs {
+namespace {
+
+WorkerResources SampleWorkerResources() {
+  WorkerResources w;
+  w.flops_forward = 100;
+  w.flops_backward = 200;
+  w.bytes_down = 40;
+  w.bytes_up = 30;
+  w.bytes_residual = 8;
+  w.dense_flops = 600;
+  w.dense_bytes = 140;
+  w.rows = 16;
+  return w;
+}
+
+TEST(WorkerResourcesTest, DerivedTotalsAndAccumulation) {
+  WorkerResources w = SampleWorkerResources();
+  EXPECT_EQ(w.flops(), 300);
+  EXPECT_EQ(w.wire_bytes(), 70);
+  w += SampleWorkerResources();
+  EXPECT_EQ(w.flops(), 600);
+  EXPECT_EQ(w.wire_bytes(), 140);
+  EXPECT_EQ(w.rows, 32);
+}
+
+TEST(LedgerTest, RollsUpWorkersIntoFogsAndRound) {
+  Ledger ledger;
+  ledger.BeginRound(3, /*num_fogs=*/2);
+  ledger.Add(SampleWorkerResources(), /*fog=*/0);
+  ledger.Add(SampleWorkerResources(), /*fog=*/1);
+  ledger.Add(SampleWorkerResources(), /*fog=*/1);
+  EXPECT_EQ(ledger.current().workers, 3);
+
+  const RoundResources round = ledger.Commit();
+  EXPECT_EQ(round.round, 3);
+  EXPECT_EQ(round.workers, 3);
+  EXPECT_EQ(round.total.flops(), 900);
+  ASSERT_EQ(round.per_fog.size(), 2u);
+  EXPECT_EQ(round.per_fog[0].flops(), 300);
+  EXPECT_EQ(round.per_fog[1].flops(), 600);
+  // Savings: 1 - wire/dense = 1 - 210/420.
+  EXPECT_DOUBLE_EQ(round.BytesSavedRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(round.FlopsSavedRatio(), 0.5);
+
+  // Commit resets the current round and folds the cumulative totals.
+  EXPECT_EQ(ledger.current().workers, 0);
+  EXPECT_EQ(ledger.cumulative().flops(), 900);
+  EXPECT_EQ(ledger.rounds_committed(), 1);
+}
+
+TEST(LedgerTest, EmptyRoundHasZeroSavings) {
+  Ledger ledger;
+  ledger.BeginRound(0);
+  const RoundResources round = ledger.Commit();
+  EXPECT_EQ(round.BytesSavedRatio(), 0.0);
+  EXPECT_EQ(round.FlopsSavedRatio(), 0.0);
+}
+
+TEST(MacCountingTest, DisarmedCounterIgnoresAdds) {
+  SetMacCountingEnabled(false);
+  ResetThreadMacCount();
+  CountMacs(123);
+  EXPECT_EQ(ThreadMacCount(), 0);
+}
+
+TEST(MacCountingTest, ArmedCounterAccumulatesPerThread) {
+  SetMacCountingEnabled(true);
+  ResetThreadMacCount();
+  CountMacs(100);
+  CountMacs(23);
+  EXPECT_EQ(ThreadMacCount(), 123);
+  ResetThreadMacCount();
+  EXPECT_EQ(ThreadMacCount(), 0);
+  SetMacCountingEnabled(false);
+}
+
+class LedgerTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetForTest();
+    Registry::Get().Reset();
+    Enable(TraceOptions{});
+  }
+  void TearDown() override {
+    Disable();
+    ResetForTest();
+  }
+};
+
+TEST_F(LedgerTraceTest, CommitPublishesGaugesEventAndCounterTrack) {
+  Ledger ledger;
+  ledger.BeginRound(7, /*num_fogs=*/1);
+  ledger.Add(SampleWorkerResources(), /*fog=*/0);
+  ledger.Commit();
+
+  EXPECT_DOUBLE_EQ(Registry::Get().GaugeValue("fl.ledger.round.flops", -1.0),
+                   300.0);
+  EXPECT_DOUBLE_EQ(
+      Registry::Get().GaugeValue("fl.ledger.round.bytes_saved_ratio", -1.0),
+      0.5);
+
+  // The logical export carries the deterministic rollups...
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"resource\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"resource.fog\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"bytes_saved_ratio\":0.5"), std::string::npos);
+  // ...but never the Chrome counter samples (environment class).
+  EXPECT_EQ(jsonl.find("fl.ledger.flops"), std::string::npos);
+
+  // The Chrome trace renders the counter track as ph:"C" samples.
+  const std::string chrome = ChromeTraceJson();
+  EXPECT_NE(chrome.find("\"name\":\"fl.ledger.flops\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"fl.ledger.bytes\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST_F(LedgerTraceTest, PerFogEventsAreCappedButTotalsAreNot) {
+  Ledger ledger;
+  ledger.BeginRound(0, /*num_fogs=*/kMaxPerFogEvents + 1);
+  WorkerResources w = SampleWorkerResources();
+  for (int f = 0; f < kMaxPerFogEvents + 1; ++f) ledger.Add(w, f);
+  const RoundResources round = ledger.Commit();
+  EXPECT_EQ(round.per_fog.size(),
+            static_cast<size_t>(kMaxPerFogEvents) + 1);
+  const std::string jsonl = EventsJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"resource\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"event\":\"resource.fog\""), std::string::npos);
+}
+
+TEST_F(LedgerTraceTest, CounterEventIsInvisibleWhenDisabled) {
+  Disable();
+  CounterEvent("fl.ledger.flops", PsTrack(), {{"macs", 1}});
+  EXPECT_EQ(BufferedEventCount(), 0);
+}
+
+}  // namespace
+}  // namespace fedmp::obs

@@ -180,6 +180,60 @@ TEST(WatchdogRulesTest, DisabledRulesNeverFire) {
   }
 }
 
+TEST(WatchdogRulesTest, CommBytesBlowupFiresAgainstBestRoundBaseline) {
+  WatchdogRules rules;
+  rules.comm_bytes_blowup_factor = 2.0;
+  Watchdog dog(rules);
+
+  // First non-zero round only seeds the baseline — nothing to compare yet.
+  WatchdogSignals signals = BaseSignals();
+  signals.round_wire_bytes = 1000;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  // Within factor x baseline: quiet, and a smaller round lowers the bar.
+  signals.round_wire_bytes = 1900;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  signals.round_wire_bytes = 500;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  // 1100 > 2 x 500: pruning regressed toward dense transfers.
+  signals.round_wire_bytes = 1100;
+  const auto alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "comm_bytes_blowup");
+  EXPECT_TRUE(alerts[0].deterministic);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 1100.0);
+  EXPECT_DOUBLE_EQ(alerts[0].threshold, 1000.0);
+}
+
+TEST(WatchdogRulesTest, FlopBudgetRegressionFiresAboveBudget) {
+  WatchdogRules rules;
+  rules.flop_budget = 10000;
+  Watchdog dog(rules);
+
+  WatchdogSignals signals = BaseSignals();
+  signals.round_flops = 10000;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+
+  signals.round_flops = 10001;
+  const auto alerts = dog.Evaluate(signals);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "flop_budget_regression");
+  EXPECT_TRUE(alerts[0].deterministic);
+  EXPECT_DOUBLE_EQ(alerts[0].threshold, 10000.0);
+}
+
+TEST(WatchdogRulesTest, LedgerRulesAreOffByDefault) {
+  Watchdog dog(WatchdogRules{});
+  WatchdogSignals signals = BaseSignals();
+  signals.round_wire_bytes = 1;
+  signals.round_flops = 1;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+  signals.round_wire_bytes = 1LL << 50;
+  signals.round_flops = 1LL << 50;
+  EXPECT_TRUE(dog.Evaluate(signals).empty());
+}
+
 // ---------------------------------------------------------------------------
 // Global instance + env parsing + event emission
 // ---------------------------------------------------------------------------
@@ -198,7 +252,9 @@ TEST_F(WatchdogGlobalTest, EnableFromEnvParsesOverrides) {
   EXPECT_FALSE(MaybeEnableWatchdogFromEnv());
   EXPECT_FALSE(WatchdogActive());
 
-  ::setenv("FEDMP_WATCHDOG", "straggler_factor=6,fog_rounds=2,rss_mb=500",
+  ::setenv("FEDMP_WATCHDOG",
+           "straggler_factor=6,fog_rounds=2,rss_mb=500,comm_factor=4,"
+           "flop_budget=1000",
            1);
   EXPECT_TRUE(MaybeEnableWatchdogFromEnv());
   ::unsetenv("FEDMP_WATCHDOG");
@@ -211,6 +267,11 @@ TEST_F(WatchdogGlobalTest, EnableFromEnvParsesOverrides) {
   Enable(TraceOptions{});
   EXPECT_EQ(WatchdogObserveRound(signals), 0);
   signals.straggler_gap_max = 7.0;
+  EXPECT_EQ(WatchdogObserveRound(signals), 1);
+
+  // The ledger overrides landed too: a round past the FLOP budget fires.
+  signals.straggler_gap_max = 1.0;
+  signals.round_flops = 1001;
   EXPECT_EQ(WatchdogObserveRound(signals), 1);
 }
 
@@ -341,10 +402,45 @@ TEST(WatchdogEndToEndTest, StragglerBlowupAlertIsThreadCountInvariant) {
   EXPECT_NE(t1.report_human.find("Alerts ("), std::string::npos);
   EXPECT_NE(t1.report_json.find("\"straggler_blowup\""), std::string::npos);
 
+  // ...and a Resources section (ledger rollups are logical events too)...
+  EXPECT_NE(t1.report_human.find("Resources ("), std::string::npos);
+  EXPECT_NE(t1.report_json.find("\"resources\""), std::string::npos);
+
   // ...all bit-identical across thread counts in deterministic-logical mode.
   EXPECT_EQ(t1.events_jsonl, t4.events_jsonl);
   EXPECT_EQ(t1.report_human, t4.report_human);
   EXPECT_EQ(t1.report_json, t4.report_json);
+}
+
+TEST(WatchdogEndToEndTest, InjectedByteBlowupFiresBothLedgerRules) {
+  ResetForTest();
+  Enable(TraceOptions{});
+  WatchdogRules rules;
+  rules.straggler_gap_factor = 0.0;  // isolate the ledger rules
+  rules.fog_silent_rounds = 0;
+  // A 1-MAC budget makes every round a regression; a 1.0x factor fires the
+  // moment any round ships more bytes than the best round so far (E-UCB
+  // ratio exploration guarantees round-to-round variation).
+  rules.comm_bytes_blowup_factor = 1.0;
+  rules.flop_budget = 1;
+  EnableWatchdog(rules);
+
+  ExperimentConfig config;
+  config.task = "cnn";
+  config.method = "fedmp";
+  config.scale = data::TaskScale::kTiny;
+  config.trainer.max_rounds = 6;
+  config.trainer.eval_every = 10;
+  config.trainer.seed = 23;
+  auto log = RunExperiment(config);
+  EXPECT_TRUE(log.ok());
+  const std::string events = EventsJsonl();
+  Disable();
+  ResetForTest();
+
+  EXPECT_NE(events.find("\"rule\":\"flop_budget_regression\""),
+            std::string::npos);
+  EXPECT_NE(events.find("\"rule\":\"comm_bytes_blowup\""), std::string::npos);
 }
 
 }  // namespace
